@@ -1,0 +1,83 @@
+//! Criterion benchmarks of Vulcan's decision algorithms: CBFRP rounds,
+//! promotion-queue refill/drain, and the QoS math — the per-quantum
+//! daemon work whose cost §3.6 worries about for FaaS-like churn.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vulcan::core::{Cbfrp, Classifier, PageClass, PromotionQueues, ServiceClass};
+use vulcan::prelude::*;
+
+fn bench_cbfrp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cbfrp");
+    for n in [4usize, 16, 64] {
+        g.throughput(Throughput::Elements(n as u64));
+        let classes: Vec<ServiceClass> = (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    ServiceClass::LatencyCritical
+                } else {
+                    ServiceClass::BestEffort
+                }
+            })
+            .collect();
+        let active = vec![true; n];
+        g.bench_function(format!("partition_{n}_workloads"), |b| {
+            let mut cbfrp = Cbfrp::new(n, 64);
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                let demands: Vec<u64> = (0..n)
+                    .map(|i| ((i as u64 * 977 + round * 131) % 4_096) * 2)
+                    .collect();
+                black_box(cbfrp.partition(&demands, &classes, &active, 2_048))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("promotion_queues");
+    for n in [1_000u64, 10_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("refill_drain_{n}_pages"), |b| {
+            let mut q = PromotionQueues::new();
+            b.iter(|| {
+                q.refill((0..n).map(|i| {
+                    let class = match i % 4 {
+                        0 => PageClass::PrivateRead,
+                        1 => PageClass::SharedRead,
+                        2 => PageClass::PrivateWrite,
+                        _ => PageClass::SharedWrite,
+                    };
+                    (Vpn(i), class, (i % 97) as f64)
+                }));
+                black_box(q.drain(512))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classifier");
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("observe_64_workloads", |b| {
+        let mut cls = Classifier::new(64);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            for i in 0..64 {
+                cls.observe(i, ((i as u64 + t) % 100) as f64 / 100.0);
+            }
+            black_box(cls.classes().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cbfrp, bench_queues, bench_classifier
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmark of end-to-end simulation throughput: one quantum
+//! of the three-application co-location per policy. This is the number
+//! that determines how long every figure binary takes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vulcan::prelude::*;
+use vulcan_bench::{colocation_specs, make_policy, POLICIES};
+
+fn bench_quantum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantum");
+    g.sample_size(10);
+    for policy in POLICIES {
+        g.bench_with_input(BenchmarkId::new("colocation", policy), &policy, |b, &policy| {
+            // Warm a runner past the arrivals, then time steady quanta.
+            let mut runner = SimRunner::new(
+                MachineSpec::paper_testbed(),
+                colocation_specs()
+                    .into_iter()
+                    .map(|w| w.starting_at(Nanos::ZERO))
+                    .collect(),
+                &mut |_| profiler_for(policy),
+                make_policy(policy),
+                SimConfig {
+                    n_quanta: 0,
+                    record_series: false,
+                    ..Default::default()
+                },
+            );
+            for _ in 0..10 {
+                runner.run_quantum();
+            }
+            b.iter(|| runner.run_quantum());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_quantum);
+criterion_main!(benches);

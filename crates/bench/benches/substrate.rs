@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks of the substrate data structures: these
+//! bound the simulator's own throughput (accesses simulated per second),
+//! which determines how much simulated time the experiment harness can
+//! afford.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vulcan::prelude::*;
+use vulcan::profile::HeatMap;
+use vulcan::vm::{AddressSpace, Asid, LocalTid, Tlb};
+use vulcan::workloads::Zipf;
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlb");
+    g.throughput(Throughput::Elements(1));
+    let mut tlb = Tlb::server_default();
+    let asid = Asid(1);
+    for v in 0..4096u64 {
+        tlb.insert(
+            asid,
+            Vpn(v),
+            vulcan::sim::FrameId {
+                tier: TierKind::Fast,
+                index: v as u32,
+            },
+        );
+    }
+    let mut rng = SmallRng::seed_from_u64(7);
+    g.bench_function("lookup_hit_miss_mix", |b| {
+        b.iter(|| {
+            let v = rng.gen_range(0..8192u64);
+            black_box(tlb.lookup(asid, Vpn(v)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_page_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_tables");
+    g.throughput(Throughput::Elements(1));
+    for (label, replication) in [("replicated", true), ("process_wide", false)] {
+        let mut space = AddressSpace::new(replication);
+        for t in 0..8u8 {
+            space.register_thread(LocalTid(t));
+        }
+        for v in 0..16_384u64 {
+            space.map(
+                Vpn(v),
+                vulcan::sim::FrameId {
+                    tier: TierKind::Slow,
+                    index: v as u32,
+                },
+                LocalTid(0),
+            );
+        }
+        let mut rng = SmallRng::seed_from_u64(3);
+        g.bench_function(format!("touch_{label}"), |b| {
+            b.iter(|| {
+                let v = rng.gen_range(0..16_384u64);
+                let t = LocalTid(rng.gen_range(0..8u8));
+                black_box(space.touch(Vpn(v), t, false))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_zipf_and_heat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profiling");
+    g.throughput(Throughput::Elements(1));
+    let zipf = Zipf::new(17_664, 0.99);
+    let mut rng = SmallRng::seed_from_u64(11);
+    g.bench_function("zipf_sample", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+    let mut heat = HeatMap::new(0.7);
+    g.bench_function("heat_record", |b| {
+        b.iter(|| {
+            let v = zipf.sample(&mut rng);
+            heat.record(Vpn(v), false, 16.0);
+        })
+    });
+    for v in 0..17_664u64 {
+        heat.record(Vpn(v), false, (v % 97) as f64);
+    }
+    g.bench_function("heat_hottest_8192", |b| {
+        b.iter(|| black_box(heat.hottest(8_192).len()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tlb, bench_page_tables, bench_zipf_and_heat
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Figure 1: hot and cold pages identified over time under MEMTIS for
+//! Memcached (LC) and Liblinear (BE) — solo and co-located — plus the
+//! (d) panel: hot-page ratio and normalized performance.
+//!
+//! Paper anchors: Memcached's hot-page ratio collapses from ~75% solo to
+//! <28% co-located; its normalized performance drops to ~0.8x while
+//! Liblinear's fast-tier occupancy dominates (Observation #1).
+
+use vulcan::prelude::*;
+use vulcan_bench::{run_policy, save_json};
+
+fn main() {
+    let n_quanta = 60;
+    let solo_mc = run_policy("memtis", vec![memcached()], n_quanta, 1);
+    let solo_lib = run_policy("memtis", vec![liblinear()], n_quanta, 1);
+    let co = run_policy("memtis", vec![memcached(), liblinear()], n_quanta, 1);
+
+    // Panels (a)-(c): hot (fast-resident) vs cold page counts over time.
+    let mut panels = serde_json::Map::new();
+    for (label, res, names) in [
+        ("a_memcached_solo", &solo_mc, vec!["memcached"]),
+        ("b_liblinear_solo", &solo_lib, vec!["liblinear"]),
+        ("c_colocated", &co, vec!["memcached", "liblinear"]),
+    ] {
+        let mut series = serde_json::Map::new();
+        for name in names {
+            for kind in ["fast_pages", "slow_pages"] {
+                let s = res.series.get(&format!("{name}.{kind}")).expect("series");
+                series.insert(
+                    format!("{name}.{kind}"),
+                    serde_json::to_value(&s.points).unwrap(),
+                );
+            }
+        }
+        panels.insert(label.to_string(), serde_json::Value::Object(series));
+    }
+
+    // Panel (d): settled hot-page ratio and normalized performance.
+    let settle = 30.0;
+    let ratio = |r: &RunResult, name: &str| {
+        r.series
+            .get(&format!("{name}.hot_ratio"))
+            .expect("series")
+            .mean_after(settle)
+    };
+    let mc_solo_ratio = ratio(&solo_mc, "memcached");
+    let mc_co_ratio = ratio(&co, "memcached");
+    let lib_solo_ratio = ratio(&solo_lib, "liblinear");
+    let lib_co_ratio = ratio(&co, "liblinear");
+    let mc_norm =
+        co.workload("memcached").performance() / solo_mc.workload("memcached").performance();
+    let lib_norm =
+        co.workload("liblinear").performance() / solo_lib.workload("liblinear").performance();
+
+    let mut table = Table::new(
+        "Figure 1(d): impact of co-location under MEMTIS",
+        &["workload", "hot ratio solo", "hot ratio co-located", "normalized perf"],
+    );
+    table.row(&[
+        "memcached (LC)".into(),
+        format!("{:.2}", mc_solo_ratio),
+        format!("{:.2}", mc_co_ratio),
+        format!("{mc_norm:.2}"),
+    ]);
+    table.row(&[
+        "liblinear (BE)".into(),
+        format!("{:.2}", lib_solo_ratio),
+        format!("{:.2}", lib_co_ratio),
+        format!("{lib_norm:.2}"),
+    ]);
+    table.print();
+    println!(
+        "\nPaper: Memcached ~75% -> <28% hot ratio, performance -> 0.8x; \
+         Liblinear dominates the fast tier and tolerates co-location."
+    );
+
+    panels.insert(
+        "d_summary".into(),
+        serde_json::json!({
+            "memcached": {"solo_ratio": mc_solo_ratio, "co_ratio": mc_co_ratio, "normalized_perf": mc_norm},
+            "liblinear": {"solo_ratio": lib_solo_ratio, "co_ratio": lib_co_ratio, "normalized_perf": lib_norm},
+        }),
+    );
+    save_json("fig1", &serde_json::Value::Object(panels));
+}

@@ -1,0 +1,145 @@
+//! Figure 10: performance and fairness comparison of Memcached, PageRank
+//! and Liblinear between TPP, MEMTIS, NOMAD and VULCAN (higher is
+//! better), over multiple trials with 95% confidence intervals.
+//!
+//! Paper anchors: Vulcan ≈ +35% over TPP and +25% over Memtis on
+//! Memcached; ≈ +5.3% over TPP and +19% over Memtis on PageRank; ≈ +15%
+//! over Memtis on Liblinear (slightly under TPP); fairness +52% over
+//! Memtis and +86% over Nomad; averages: +12.4% performance, +75.3%
+//! fairness.
+
+use rayon::prelude::*;
+use vulcan::metrics::OnlineStats;
+use vulcan::prelude::*;
+use vulcan_bench::{colocation_specs, run_policy, save_json, trials, POLICIES};
+
+const APPS: [&str; 3] = ["memcached", "pagerank", "liblinear"];
+
+struct PolicyAgg {
+    perf: [OnlineStats; 3],
+    cfi: OnlineStats,
+}
+
+/// Steady-state performance: settled-tail latency inverse for the LC
+/// app, settled-tail throughput for BE apps (Figure 10 reports the
+/// co-located steady state).
+fn perf(res: &RunResult, name: &str) -> f64 {
+    let settle = 150.0;
+    match res.workload(name).class {
+        WorkloadClass::LatencyCritical => {
+            let lat = res
+                .series
+                .get(&format!("{name}.latency_ns"))
+                .expect("series")
+                .mean_after(settle);
+            if lat == 0.0 {
+                0.0
+            } else {
+                1e9 / lat
+            }
+        }
+        WorkloadClass::BestEffort => res
+            .series
+            .get(&format!("{name}.ops_per_sec"))
+            .expect("series")
+            .mean_after(settle),
+    }
+}
+
+fn main() {
+    let n_trials = trials();
+    // Independent cells (policy x trial) run in parallel via rayon.
+    let cells: Vec<(usize, RunResult)> = POLICIES
+        .par_iter()
+        .enumerate()
+        .flat_map(|(pi, &policy)| {
+            (0..n_trials)
+                .into_par_iter()
+                .map(move |seed| (pi, run_policy(policy, colocation_specs(), 200, seed)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut agg: Vec<PolicyAgg> = (0..POLICIES.len())
+        .map(|_| PolicyAgg {
+            perf: [OnlineStats::new(), OnlineStats::new(), OnlineStats::new()],
+            cfi: OnlineStats::new(),
+        })
+        .collect();
+    for (pi, res) in &cells {
+        for (ai, app) in APPS.iter().enumerate() {
+            agg[*pi].perf[ai].push(perf(res, app));
+        }
+        agg[*pi].cfi.push(res.cfi);
+    }
+
+    // Normalize each app's performance to the lowest-performing policy
+    // (the paper normalizes to the worst approach).
+    let mins: Vec<f64> = (0..3)
+        .map(|ai| {
+            agg.iter()
+                .map(|a| a.perf[ai].mean())
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+
+    let mut table = Table::new(
+        format!("Figure 10: normalized performance & CFI ({n_trials} trials, 95% CI)"),
+        &["policy", "memcached", "pagerank", "liblinear", "CFI"],
+    );
+    let mut rows = Vec::new();
+    for (pi, policy) in POLICIES.iter().enumerate() {
+        let mut cells_out = vec![policy.to_string()];
+        let mut json_apps = serde_json::Map::new();
+        for (ai, app) in APPS.iter().enumerate() {
+            let mean = agg[pi].perf[ai].mean() / mins[ai];
+            let ci = agg[pi].perf[ai].ci95() / mins[ai];
+            cells_out.push(format!("{mean:.3}±{ci:.3}"));
+            json_apps.insert(
+                app.to_string(),
+                serde_json::json!({"normalized": mean, "ci95": ci}),
+            );
+        }
+        cells_out.push(format!("{:.3}±{:.3}", agg[pi].cfi.mean(), agg[pi].cfi.ci95()));
+        table.row(&cells_out);
+        rows.push(serde_json::json!({
+            "policy": policy,
+            "apps": json_apps,
+            "cfi": agg[pi].cfi.mean(),
+            "cfi_ci95": agg[pi].cfi.ci95(),
+        }));
+    }
+    table.print();
+
+    // Headline averages (the paper's 12.4% performance / 75.3% fairness).
+    let vi = POLICIES.iter().position(|&p| p == "vulcan").expect("vulcan");
+    let mut perf_gains = Vec::new();
+    let mut fair_gains = Vec::new();
+    for (pi, policy) in POLICIES.iter().enumerate() {
+        if pi == vi {
+            continue;
+        }
+        for ai in 0..3 {
+            perf_gains.push(agg[vi].perf[ai].mean() / agg[pi].perf[ai].mean() - 1.0);
+        }
+        fair_gains.push(agg[vi].cfi.mean() / agg[pi].cfi.mean() - 1.0);
+        println!(
+            "vulcan vs {policy}: perf {:+.1}%/{:+.1}%/{:+.1}% (mc/pr/lib), fairness {:+.1}%",
+            100.0 * (agg[vi].perf[0].mean() / agg[pi].perf[0].mean() - 1.0),
+            100.0 * (agg[vi].perf[1].mean() / agg[pi].perf[1].mean() - 1.0),
+            100.0 * (agg[vi].perf[2].mean() / agg[pi].perf[2].mean() - 1.0),
+            100.0 * (agg[vi].cfi.mean() / agg[pi].cfi.mean() - 1.0),
+        );
+    }
+    let avg_perf = 100.0 * perf_gains.iter().sum::<f64>() / perf_gains.len() as f64;
+    let avg_fair = 100.0 * fair_gains.iter().sum::<f64>() / fair_gains.len() as f64;
+    println!(
+        "\nHeadline: average performance improvement {avg_perf:+.1}% \
+         (paper: +12.4%), average fairness improvement {avg_fair:+.1}% \
+         (paper: +75.3%)."
+    );
+    rows.push(serde_json::json!({
+        "headline": {"avg_perf_gain_pct": avg_perf, "avg_fairness_gain_pct": avg_fair}
+    }));
+    save_json("fig10", &rows);
+}

@@ -1,0 +1,39 @@
+//! Table 1: page promotion priority and strategy — printed directly from
+//! the implementation (`vulcan_core::queues::PageClass`), so the code and
+//! the paper's table cannot drift apart.
+
+use vulcan::core::PageClass;
+use vulcan::prelude::Table;
+
+fn main() {
+    let mut table = Table::new(
+        "Table 1: page promotion priority and strategy",
+        &["page type", "read/write pattern", "priority", "strategy"],
+    );
+    for class in PageClass::ALL {
+        let (ty, rw) = match class {
+            PageClass::PrivateRead => ("Private", "Read-intensive"),
+            PageClass::SharedRead => ("Shared", "Read-intensive"),
+            PageClass::PrivateWrite => ("Private", "Write-intensive"),
+            PageClass::SharedWrite => ("Shared", "Write-intensive"),
+        };
+        table.row(&[
+            ty.into(),
+            rw.into(),
+            "★".repeat(class.stars() as usize),
+            if class.use_async() { "Async copy" } else { "Sync copy" }.into(),
+        ]);
+    }
+    table.print();
+    vulcan_bench::save_json(
+        "table1",
+        &PageClass::ALL
+            .iter()
+            .map(|c| {
+                serde_json::json!({
+                    "class": format!("{c:?}"), "stars": c.stars(), "async": c.use_async(),
+                })
+            })
+            .collect::<Vec<_>>(),
+    );
+}

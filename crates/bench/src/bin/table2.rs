@@ -1,0 +1,33 @@
+//! Table 2: workloads and RSS in tiered memory — the scaled inventory
+//! this reproduction instantiates (1 paper-GB = 256 pages, DESIGN.md §5).
+
+use vulcan::prelude::*;
+
+fn main() {
+    let mut table = Table::new(
+        "Table 2: workloads and RSS in tiered memory (scaled 1 GB -> 256 pages)",
+        &["app", "workload", "class", "paper RSS", "scaled RSS (pages)"],
+    );
+    let rows = [
+        (memcached(), "In-memory KV engine, YCSB-style 90/10 GET/SET", "51 GB"),
+        (pagerank(), "PageRank scoring of a power-law web graph", "42 GB"),
+        (liblinear(), "Linear classification sweep (KDD12-like)", "69 GB"),
+    ];
+    let mut json = Vec::new();
+    for (spec, desc, paper_rss) in rows {
+        table.row(&[
+            spec.name.clone(),
+            desc.into(),
+            format!("{:?}", spec.class),
+            paper_rss.into(),
+            spec.rss_pages().to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "app": spec.name, "class": format!("{:?}", spec.class),
+            "paper_rss": paper_rss, "scaled_pages": spec.rss_pages(),
+            "threads": spec.n_threads,
+        }));
+    }
+    table.print();
+    vulcan_bench::save_json("table2", &json);
+}

@@ -1,0 +1,118 @@
+//! # vulcan-bench — the paper's evaluation harness
+//!
+//! One binary per table and figure of the paper (see DESIGN.md §4 for the
+//! full index):
+//!
+//! | binary   | reproduces |
+//! |----------|------------|
+//! | `fig1`   | hot/cold pages under Memtis, solo vs co-located + the dilemma summary |
+//! | `fig2`   | single base-page migration cost breakdown, 2–32 CPUs |
+//! | `fig3`   | TLB vs copy share across batch sizes and thread counts |
+//! | `fig4`   | sync vs async copying across read/write ratios |
+//! | `fig7`   | speedup of Vulcan's migration-mechanism optimizations |
+//! | `fig8`   | migration bandwidth, 4 systems × 3 WSS scenarios |
+//! | `fig9`   | Vulcan's dynamic allocation / FTHR / GPT timelines |
+//! | `fig10`  | performance + CFI fairness, 4 systems, multi-trial |
+//! | `table1` | the biased-migration priority/strategy matrix |
+//! | `table2` | the workload/RSS inventory |
+//! | `ablation` | component ablations (§3.6 discussion) |
+//! | `thp`    | transparent-huge-page study: TLB reach + split-on-promotion (§3.4/§3.5) |
+//! | `bias_study` | MTM → no-bias → Table 1 policy lineage (§3.5) |
+//!
+//! Every binary prints its rows and writes the underlying series/values
+//! as JSON under `target/experiments/`.
+
+use std::path::PathBuf;
+use vulcan::prelude::*;
+
+/// Where experiment JSON artifacts are written.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Persist a serializable artifact as pretty JSON.
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+        .expect("write artifact");
+    println!("[wrote {}]", path.display());
+}
+
+/// The four evaluated systems, in the paper's presentation order.
+pub const POLICIES: [&str; 4] = ["tpp", "memtis", "nomad", "vulcan"];
+
+/// Instantiate a policy by name.
+pub fn make_policy(name: &str) -> Box<dyn TieringPolicy> {
+    match name {
+        "tpp" => Box::new(Tpp::new()),
+        "memtis" => Box::new(Memtis::new()),
+        "nomad" => Box::new(Nomad::new()),
+        "vulcan" => Box::new(VulcanPolicy::new()),
+        other => panic!("unknown policy {other}"),
+    }
+}
+
+/// The §5.3 staggered three-application co-location.
+pub fn colocation_specs() -> Vec<WorkloadSpec> {
+    vec![
+        memcached(),
+        pagerank().starting_at(Nanos::secs(50)),
+        liblinear().starting_at(Nanos::secs(110)),
+    ]
+}
+
+/// Run one policy on a workload mix on the paper testbed.
+pub fn run_policy(
+    name: &str,
+    specs: Vec<WorkloadSpec>,
+    n_quanta: u64,
+    seed: u64,
+) -> RunResult {
+    SimRunner::new(
+        MachineSpec::paper_testbed(),
+        specs,
+        &mut |_| profiler_for(name),
+        make_policy(name),
+        SimConfig {
+            n_quanta,
+            seed,
+            ..Default::default()
+        },
+    )
+    .run()
+}
+
+/// Number of trials, overridable with `VULCAN_TRIALS` (paper uses 10).
+pub fn trials() -> u64 {
+    std::env::var("VULCAN_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_instantiate() {
+        for p in POLICIES {
+            assert_eq!(make_policy(p).name(), p);
+        }
+    }
+
+    #[test]
+    fn colocation_specs_match_paper() {
+        let specs = colocation_specs();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[1].start, Nanos::secs(50));
+        assert_eq!(specs[2].start, Nanos::secs(110));
+    }
+
+    #[test]
+    fn experiments_dir_exists() {
+        assert!(experiments_dir().is_dir());
+    }
+}

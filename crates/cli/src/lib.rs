@@ -1,0 +1,365 @@
+//! # vulcan-cli — config-driven simulation runs
+//!
+//! Describes experiments as JSON (machine, workloads, policy, duration)
+//! and runs them through the same stack the benchmark harness uses. The
+//! `vulcan-sim` binary is the entry point:
+//!
+//! ```text
+//! vulcan-sim run config.json          # one policy
+//! vulcan-sim compare config.json      # all four systems, same mix
+//! vulcan-sim example                  # print a commented example config
+//! ```
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use vulcan::prelude::*;
+use vulcan::sim::{MachineSpec, PAGES_PER_PAPER_GB};
+
+/// Machine description (paper-scaled units).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Fast-tier capacity in paper-GB (scaled 1 GB → 256 pages).
+    #[serde(default = "default_fast_gb")]
+    pub fast_gb: u64,
+    /// Slow-tier capacity in paper-GB.
+    #[serde(default = "default_slow_gb")]
+    pub slow_gb: u64,
+    /// Cores on the socket.
+    #[serde(default = "default_cores")]
+    pub cores: u16,
+}
+
+fn default_fast_gb() -> u64 {
+    32
+}
+fn default_slow_gb() -> u64 {
+    256
+}
+fn default_cores() -> u16 {
+    32
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            fast_gb: default_fast_gb(),
+            slow_gb: default_slow_gb(),
+            cores: default_cores(),
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Build the machine spec.
+    pub fn to_spec(&self) -> MachineSpec {
+        let mut spec = MachineSpec::paper_testbed();
+        spec.fast.capacity_pages = self.fast_gb * PAGES_PER_PAPER_GB;
+        spec.slow.capacity_pages = self.slow_gb * PAGES_PER_PAPER_GB;
+        spec.n_cores = self.cores;
+        spec
+    }
+}
+
+/// One workload in the mix: either a Table 2 preset or a custom
+/// microbenchmark.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum WorkloadConfig {
+    /// A Table 2 preset: `memcached`, `pagerank` or `liblinear`.
+    Preset {
+        /// Preset name.
+        preset: String,
+        /// Start time in simulated seconds.
+        #[serde(default)]
+        start_sec: u64,
+    },
+    /// A Zipfian microbenchmark.
+    Micro {
+        /// Display name.
+        name: String,
+        /// Resident pages.
+        rss_pages: u64,
+        /// Working-set pages.
+        wss_pages: u64,
+        /// Read fraction (default 0.8).
+        #[serde(default = "default_read_ratio")]
+        read_ratio: f64,
+        /// Zipf skew (default 0.99).
+        #[serde(default = "default_skew")]
+        skew: f64,
+        /// Worker threads (default 8).
+        #[serde(default = "default_threads")]
+        threads: usize,
+        /// Pre-place all pages in the slow tier.
+        #[serde(default)]
+        prealloc_slow: bool,
+        /// Back with transparent huge pages.
+        #[serde(default)]
+        thp: bool,
+        /// Start time in simulated seconds.
+        #[serde(default)]
+        start_sec: u64,
+    },
+}
+
+fn default_read_ratio() -> f64 {
+    0.8
+}
+fn default_skew() -> f64 {
+    0.99
+}
+fn default_threads() -> usize {
+    8
+}
+
+impl WorkloadConfig {
+    /// Build the workload spec.
+    pub fn to_spec(&self) -> Result<WorkloadSpec, String> {
+        match self {
+            WorkloadConfig::Preset { preset, start_sec } => {
+                let spec = match preset.as_str() {
+                    "memcached" => memcached(),
+                    "pagerank" => pagerank(),
+                    "liblinear" => liblinear(),
+                    other => return Err(format!("unknown preset '{other}'")),
+                };
+                Ok(spec.starting_at(Nanos::secs(*start_sec)))
+            }
+            WorkloadConfig::Micro {
+                name,
+                rss_pages,
+                wss_pages,
+                read_ratio,
+                skew,
+                threads,
+                prealloc_slow,
+                thp,
+                start_sec,
+            } => {
+                let mut spec = microbench(
+                    name,
+                    MicroConfig {
+                        rss_pages: *rss_pages,
+                        wss_pages: *wss_pages,
+                        read_ratio: *read_ratio,
+                        skew: *skew,
+                        ..Default::default()
+                    },
+                    *threads,
+                )
+                .starting_at(Nanos::secs(*start_sec));
+                if *prealloc_slow {
+                    spec = spec.preallocated(TierKind::Slow);
+                }
+                if *thp {
+                    spec = spec.with_thp();
+                }
+                Ok(spec)
+            }
+        }
+    }
+}
+
+/// A complete experiment description.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The simulated machine.
+    #[serde(default)]
+    pub machine: MachineConfig,
+    /// Simulated seconds to run.
+    #[serde(default = "default_seconds")]
+    pub seconds: u64,
+    /// RNG seed.
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// Policy: `vulcan`, `tpp`, `memtis`, `nomad`, `mtm`, `static`,
+    /// `uniform`.
+    #[serde(default = "default_policy")]
+    pub policy: String,
+    /// The co-located workloads.
+    pub workloads: Vec<WorkloadConfig>,
+    /// Optional path to dump the full series JSON.
+    #[serde(default)]
+    pub series_out: Option<String>,
+}
+
+fn default_seconds() -> u64 {
+    60
+}
+fn default_seed() -> u64 {
+    42
+}
+fn default_policy() -> String {
+    "vulcan".into()
+}
+
+/// Instantiate a policy by name.
+pub fn make_policy(name: &str) -> Result<Box<dyn TieringPolicy>, String> {
+    Ok(match name {
+        "vulcan" => Box::new(VulcanPolicy::new()),
+        "tpp" => Box::new(Tpp::new()),
+        "memtis" => Box::new(Memtis::new()),
+        "nomad" => Box::new(Nomad::new()),
+        "mtm" => Box::new(vulcan::policy::Mtm::new()),
+        "static" => Box::new(StaticPlacement),
+        "uniform" => Box::new(UniformPartition),
+        other => return Err(format!("unknown policy '{other}'")),
+    })
+}
+
+impl ExperimentConfig {
+    /// Parse a config from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("config parse error: {e}"))
+    }
+
+    /// Run the experiment with `policy_override` (or the config's policy).
+    pub fn run(&self, policy_override: Option<&str>) -> Result<RunResult, String> {
+        if self.workloads.is_empty() {
+            return Err("config needs at least one workload".into());
+        }
+        let policy_name = policy_override.unwrap_or(&self.policy);
+        let policy = make_policy(policy_name)?;
+        let specs: Result<Vec<WorkloadSpec>, String> =
+            self.workloads.iter().map(|w| w.to_spec()).collect();
+        let specs = specs?;
+        let total_rss: u64 = specs.iter().map(|w| w.rss_pages()).sum();
+        let capacity = (self.machine.fast_gb + self.machine.slow_gb) * PAGES_PER_PAPER_GB;
+        if total_rss > capacity {
+            return Err(format!(
+                "combined RSS ({total_rss} pages) exceeds machine capacity ({capacity} pages)"
+            ));
+        }
+        let runner = SimRunner::new(
+            self.machine.to_spec(),
+            specs,
+            &mut |_| profiler_for(policy_name),
+            policy,
+            SimConfig {
+                n_quanta: self.seconds,
+                seed: self.seed,
+                ..Default::default()
+            },
+        );
+        Ok(runner.run())
+    }
+
+    /// A commented example configuration.
+    pub fn example() -> &'static str {
+        r#"{
+  "machine": { "fast_gb": 32, "slow_gb": 256, "cores": 32 },
+  "seconds": 120,
+  "seed": 42,
+  "policy": "vulcan",
+  "workloads": [
+    { "kind": "preset", "preset": "memcached" },
+    { "kind": "preset", "preset": "liblinear", "start_sec": 30 },
+    { "kind": "micro", "name": "scanner", "rss_pages": 4096,
+      "wss_pages": 1024, "read_ratio": 0.9, "threads": 4,
+      "prealloc_slow": true, "start_sec": 60 }
+  ],
+  "series_out": null
+}"#
+    }
+}
+
+/// Render a run result as the standard report table.
+pub fn report(res: &RunResult) -> String {
+    let mut table = Table::new(
+        format!("{} — per-workload results", res.policy),
+        &["workload", "class", "perf", "latency(ns)", "FTHR", "hot ratio"],
+    );
+    for w in &res.per_workload {
+        table.row(&[
+            w.name.clone(),
+            format!("{:?}", w.class),
+            format!("{:.0}", w.performance()),
+            format!("{:.0}", w.mean_latency_ns),
+            format!("{:.3}", w.mean_fthr),
+            format!("{:.3}", w.mean_hot_ratio),
+        ]);
+    }
+    format!("{}\nCFI fairness: {:.3}\n", table.render(), res.cfi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_config_parses_and_validates() {
+        let cfg = ExperimentConfig::from_json(ExperimentConfig::example()).unwrap();
+        assert_eq!(cfg.workloads.len(), 3);
+        assert_eq!(cfg.policy, "vulcan");
+        for w in &cfg.workloads {
+            w.to_spec().unwrap();
+        }
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let cfg = ExperimentConfig::from_json(
+            r#"{"workloads": [{"kind": "preset", "preset": "memcached"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.machine.fast_gb, 32);
+        assert_eq!(cfg.seconds, 60);
+        assert_eq!(cfg.policy, "vulcan");
+    }
+
+    #[test]
+    fn unknown_preset_and_policy_are_rejected() {
+        let w = WorkloadConfig::Preset {
+            preset: "redis".into(),
+            start_sec: 0,
+        };
+        assert!(w.to_spec().is_err());
+        assert!(make_policy("firefly").is_err());
+        for p in ["vulcan", "tpp", "memtis", "nomad", "mtm", "static", "uniform"] {
+            assert!(make_policy(p).is_ok());
+        }
+    }
+
+    #[test]
+    fn oversized_mix_is_rejected() {
+        let cfg = ExperimentConfig::from_json(
+            r#"{
+                "machine": {"fast_gb": 1, "slow_gb": 1, "cores": 4},
+                "workloads": [{"kind": "preset", "preset": "memcached"}]
+            }"#,
+        )
+        .unwrap();
+        let err = cfg.run(None).unwrap_err();
+        assert!(err.contains("exceeds machine capacity"), "{err}");
+    }
+
+    #[test]
+    fn tiny_run_end_to_end() {
+        let cfg = ExperimentConfig::from_json(
+            r#"{
+                "machine": {"fast_gb": 2, "slow_gb": 16, "cores": 8},
+                "seconds": 3,
+                "workloads": [
+                    {"kind": "micro", "name": "a", "rss_pages": 256,
+                     "wss_pages": 64, "threads": 2}
+                ]
+            }"#,
+        )
+        .unwrap();
+        let res = cfg.run(None).unwrap();
+        assert_eq!(res.policy, "vulcan");
+        assert!(res.workload("a").ops_total > 0);
+        let text = report(&res);
+        assert!(text.contains("CFI fairness"));
+        // Policy override works too.
+        let res2 = cfg.run(Some("memtis")).unwrap();
+        assert_eq!(res2.policy, "memtis");
+    }
+
+    #[test]
+    fn empty_workloads_rejected() {
+        let cfg = ExperimentConfig::from_json(r#"{"workloads": []}"#).unwrap();
+        assert!(cfg.run(None).is_err());
+    }
+}

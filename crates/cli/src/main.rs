@@ -1,0 +1,68 @@
+//! `vulcan-sim` — run tiered-memory experiments from a JSON config.
+
+use vulcan_cli::{report, ExperimentConfig};
+
+const USAGE: &str = "\
+vulcan-sim — tiered-memory simulation runner (Vulcan reproduction)
+
+USAGE:
+    vulcan-sim run <config.json>       run the config's policy
+    vulcan-sim compare <config.json>   run tpp, memtis, nomad and vulcan
+    vulcan-sim example                 print an example config
+    vulcan-sim help                    this text
+";
+
+fn load(path: &str) -> Result<ExperimentConfig, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    ExperimentConfig::from_json(&text)
+}
+
+fn dump_series(cfg: &ExperimentConfig, res: &vulcan::prelude::RunResult) -> Result<(), String> {
+    if let Some(path) = &cfg.series_out {
+        std::fs::write(path, res.series.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("[series written to {path}]");
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => args
+            .get(1)
+            .ok_or_else(|| "run needs a config path".to_string())
+            .and_then(|p| load(p))
+            .and_then(|cfg| {
+                let res = cfg.run(None)?;
+                print!("{}", report(&res));
+                dump_series(&cfg, &res)
+            }),
+        Some("compare") => args
+            .get(1)
+            .ok_or_else(|| "compare needs a config path".to_string())
+            .and_then(|p| load(p))
+            .and_then(|cfg| {
+                for policy in ["tpp", "memtis", "nomad", "vulcan"] {
+                    let res = cfg.run(Some(policy))?;
+                    print!("{}", report(&res));
+                    println!();
+                }
+                Ok(())
+            }),
+        Some("example") => {
+            println!("{}", ExperimentConfig::example());
+            Ok(())
+        }
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

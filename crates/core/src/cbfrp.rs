@@ -1,0 +1,370 @@
+//! Credit-Based Fair Resource Partitioning (Algorithm 1, §3.3).
+//!
+//! Fast memory is an entitlement of GFMC pages per co-located workload.
+//! Each round:
+//!
+//! 1. every active workload is granted `min(demand, GFMC)` (lines 1–2);
+//! 2. best-effort workloads *retain* allocation above GFMC they borrowed
+//!    in earlier rounds, as far as the unclaimed pool allows (their pages
+//!    are physically resident — this is the state the paper's reclaim arm
+//!    operates on);
+//! 3. remaining demand is served unit-by-unit from donors — workloads not
+//!    using their entitlement — picking the donor with **minimum
+//!    credits** first; every donated unit moves one credit from borrower
+//!    to donor (the Karma-inspired ledger that yields long-term
+//!    fairness). Latency-critical borrowers are strictly served first
+//!    (lines 6–10);
+//! 4. when no voluntary surplus remains, an LC borrower may **reclaim**
+//!    units from a BE task holding more than its GFMC entitlement
+//!    (lines 11–13).
+//!
+//! Invariant: the sum of allocations never exceeds the active workloads'
+//! combined entitlement (the fast-tier capacity).
+
+/// Service class assigned by the classifier (§3.3 classifies black-box
+/// workloads by utilization patterns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ServiceClass {
+    /// Latency-critical: prioritized in CBFRP.
+    LatencyCritical,
+    /// Best-effort: donates first, reclaimed from when LC needs units.
+    BestEffort,
+}
+
+/// Persistent CBFRP state: the credit ledger and last round's partition.
+///
+/// ```
+/// use vulcan_core::{Cbfrp, ServiceClass};
+///
+/// // Two workloads, 1000-page entitlements. The LC demands 1500; the BE
+/// // only uses 200, so its surplus funds the LC's overage.
+/// let mut cbfrp = Cbfrp::new(2, 8);
+/// let p = cbfrp.partition(
+///     &[1500, 200],
+///     &[ServiceClass::LatencyCritical, ServiceClass::BestEffort],
+///     &[true, true],
+///     1000,
+/// );
+/// assert_eq!(p.alloc, vec![1500, 200]);
+/// assert!(cbfrp.credits()[1] > 0); // the donor earned credits
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cbfrp {
+    /// Pages per transfer unit (granularity/overhead knob).
+    pub unit_pages: u64,
+    credits: Vec<i64>,
+    prev_alloc: Vec<u64>,
+}
+
+/// One partitioning decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Fast-tier allocation per workload, in pages.
+    pub alloc: Vec<u64>,
+}
+
+impl Cbfrp {
+    /// A ledger for `n` workloads with `unit_pages` transfer granularity.
+    /// Everyone starts with equal (zero) credits.
+    pub fn new(n: usize, unit_pages: u64) -> Cbfrp {
+        assert!(unit_pages > 0);
+        Cbfrp {
+            unit_pages,
+            credits: vec![0; n],
+            prev_alloc: vec![0; n],
+        }
+    }
+
+    /// Current credit balances (zero-sum across workloads).
+    pub fn credits(&self) -> &[i64] {
+        &self.credits
+    }
+
+    /// Run one round of Algorithm 1.
+    ///
+    /// `demands` are the equation-3 demands in pages; `classes` the
+    /// classifier's verdicts; `active[i]` marks started workloads;
+    /// `gfmc` the per-workload entitlement in pages.
+    pub fn partition(
+        &mut self,
+        demands: &[u64],
+        classes: &[ServiceClass],
+        active: &[bool],
+        gfmc: u64,
+    ) -> Partition {
+        let n = demands.len();
+        assert_eq!(n, classes.len());
+        assert_eq!(n, active.len());
+        assert_eq!(n, self.credits.len());
+        let u = self.unit_pages;
+        let n_active = active.iter().filter(|&&a| a).count() as u64;
+        let capacity = n_active * gfmc;
+
+        // Lines 1-2: base grant within the entitlement.
+        let mut alloc: Vec<u64> = (0..n)
+            .map(|i| if active[i] { demands[i].min(gfmc) } else { 0 })
+            .collect();
+        let mut pool = capacity - alloc.iter().sum::<u64>();
+
+        // Per-donor surplus attribution: a donor's unclaimed entitlement.
+        let mut surplus: Vec<u64> = (0..n)
+            .map(|i| if active[i] { gfmc - alloc[i] } else { 0 })
+            .collect();
+
+        // Consume one unit of surplus from the minimum-credit donor
+        // (Karma: the poorest donor earns first), crediting it.
+        let draw = |surplus: &mut Vec<u64>,
+                        credits: &mut Vec<i64>,
+                        pool: &mut u64,
+                        except: usize,
+                        want: u64|
+         -> u64 {
+            let want = want.min(*pool);
+            if want == 0 {
+                return 0;
+            }
+            let donor = (0..n)
+                .filter(|&i| surplus[i] > 0 && i != except)
+                .min_by_key(|&i| (credits[i], i));
+            let Some(d) = donor else { return 0 };
+            let got = want.min(surplus[d]);
+            surplus[d] -= got;
+            *pool -= got;
+            credits[d] += 1;
+            got
+        };
+
+        // Stage 2: BE workloads retain prior over-entitlement while the
+        // pool allows (their pages are resident from earlier rounds).
+        for i in 0..n {
+            if !active[i] || classes[i] != ServiceClass::BestEffort {
+                continue;
+            }
+            let mut want = demands[i].min(self.prev_alloc[i]).saturating_sub(alloc[i]);
+            while want > 0 && pool > 0 {
+                let got = draw(&mut surplus, &mut self.credits, &mut pool, i, u.min(want));
+                if got == 0 {
+                    break;
+                }
+                alloc[i] += got;
+                self.credits[i] -= 1;
+                want -= got;
+            }
+        }
+
+        // Stages 3-4: the borrowing loop (lines 6-17).
+        loop {
+            // Line 7: LC borrowers strictly first; within a class, the
+            // borrower with the most credits (earned by past donations),
+            // ties by index — a deterministic refinement.
+            let borrower = {
+                let pick = |class: ServiceClass, credits: &[i64]| {
+                    (0..n)
+                        .filter(|&i| active[i] && demands[i] > alloc[i] && classes[i] == class)
+                        .max_by_key(|&i| (credits[i], std::cmp::Reverse(i)))
+                };
+                pick(ServiceClass::LatencyCritical, &self.credits)
+                    .or_else(|| pick(ServiceClass::BestEffort, &self.credits))
+            };
+            let Some(b) = borrower else { break };
+            let want = u.min(demands[b] - alloc[b]);
+
+            // Lines 8-10: voluntary donation.
+            let got = draw(&mut surplus, &mut self.credits, &mut pool, b, want);
+            if got > 0 {
+                alloc[b] += got;
+                self.credits[b] -= 1;
+                continue;
+            }
+
+            // Lines 11-13: LC reclaims from an over-entitled BE task.
+            // Deterministic stand-in for the paper's random choice: the
+            // most over-entitled BE.
+            if classes[b] == ServiceClass::LatencyCritical {
+                let victim = (0..n)
+                    .filter(|&i| {
+                        active[i]
+                            && classes[i] == ServiceClass::BestEffort
+                            && alloc[i] > gfmc
+                            && i != b
+                    })
+                    .max_by_key(|&i| (alloc[i], std::cmp::Reverse(i)));
+                if let Some(v) = victim {
+                    let got = want.min(alloc[v] - gfmc);
+                    alloc[v] -= got;
+                    alloc[b] += got;
+                    self.credits[v] += 1;
+                    self.credits[b] -= 1;
+                    continue;
+                }
+            }
+
+            // Lines 14-15: nothing left for this borrower — but other
+            // borrowers of the other class may still reclaim, so only
+            // retire this one. Mark satisfied by capping its demand view.
+            // (Implemented by breaking when nothing changed for anyone.)
+            break;
+        }
+
+        // Serve remaining BE borrowers from any leftover surplus (the LC
+        // break above ends the loop; BE-only surplus passes are safe).
+        loop {
+            let borrower = (0..n)
+                .filter(|&i| active[i] && demands[i] > alloc[i])
+                .max_by_key(|&i| (self.credits[i], std::cmp::Reverse(i)));
+            let Some(b) = borrower else { break };
+            let want = u.min(demands[b] - alloc[b]);
+            let got = draw(&mut surplus, &mut self.credits, &mut pool, b, want);
+            if got == 0 {
+                break;
+            }
+            alloc[b] += got;
+            self.credits[b] -= 1;
+        }
+
+        debug_assert!(alloc.iter().sum::<u64>() <= capacity, "over-committed");
+        self.prev_alloc = alloc.clone();
+        Partition { alloc }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ServiceClass::{BestEffort as BE, LatencyCritical as LC};
+
+    fn total(p: &Partition) -> u64 {
+        p.alloc.iter().sum()
+    }
+
+    #[test]
+    fn demands_within_entitlement_are_granted_exactly() {
+        let mut c = Cbfrp::new(2, 8);
+        let p = c.partition(&[100, 200], &[LC, BE], &[true, true], 1000);
+        assert_eq!(p.alloc, vec![100, 200]);
+        assert_eq!(c.credits(), &[0, 0], "no transfers needed");
+    }
+
+    #[test]
+    fn surplus_flows_to_borrowers() {
+        let mut c = Cbfrp::new(2, 8);
+        // w0 wants 1500 (500 over entitlement), w1 wants 200 (800 spare).
+        let p = c.partition(&[1500, 200], &[LC, BE], &[true, true], 1000);
+        assert_eq!(p.alloc, vec![1500, 200]);
+        // Donor earned credits, borrower spent them.
+        assert!(c.credits()[1] > 0);
+        assert!(c.credits()[0] < 0);
+    }
+
+    #[test]
+    fn lc_borrower_served_before_be_borrower() {
+        let mut c = Cbfrp::new(3, 8);
+        // One donor with 400 spare; LC and BE both want 400 extra.
+        let p = c.partition(&[1400, 1400, 600], &[BE, LC, BE], &[true, true, true], 1000);
+        assert_eq!(p.alloc[1], 1400, "LC demand fully met first");
+        assert_eq!(p.alloc[0], 1000, "BE borrower got nothing extra");
+        assert_eq!(total(&p), 3000);
+    }
+
+    #[test]
+    fn lc_reclaims_retained_be_over_entitlement() {
+        let mut c = Cbfrp::new(3, 8);
+        // Round 1: BE w0 borrows the whole idle pool.
+        let p1 = c.partition(&[3000, 0, 0], &[BE, LC, BE], &[true; 3], 1000);
+        assert_eq!(p1.alloc, vec![3000, 0, 0]);
+        // Round 2: LC w1 demands 2000. The pool can fund w0's retention
+        // only partially; the LC then reclaims w0's over-entitlement.
+        let p2 = c.partition(&[3000, 2000, 0], &[BE, LC, BE], &[true; 3], 1000);
+        assert_eq!(p2.alloc[1], 2000, "LC fully served via reclaim");
+        assert_eq!(p2.alloc[0], 1000, "BE stripped back to GFMC");
+        assert!(total(&p2) <= 3000);
+    }
+
+    #[test]
+    fn be_cannot_reclaim_from_retained_be() {
+        let mut c = Cbfrp::new(3, 8);
+        let p1 = c.partition(&[3000, 0, 0], &[BE, BE, LC], &[true; 3], 1000);
+        assert_eq!(p1.alloc[0], 3000);
+        // A BE newcomer regains only its own entitlement; it cannot strip
+        // w0's retained overage (no reclaim arm for BE).
+        let p2 = c.partition(&[3000, 2000, 0], &[BE, BE, LC], &[true; 3], 1000);
+        assert_eq!(p2.alloc[1], 1000, "entitlement only");
+        assert_eq!(p2.alloc[0], 2000, "retention funded by the idle LC");
+    }
+
+    #[test]
+    fn total_never_exceeds_capacity() {
+        let mut c = Cbfrp::new(4, 8);
+        for round in 0..6 {
+            let d = [
+                5000,
+                4000 - 500 * round,
+                500 * round,
+                3000,
+            ];
+            let p = c.partition(&d, &[LC, BE, LC, BE], &[true; 4], 1000);
+            assert!(total(&p) <= 4000, "round {round}: {:?}", p.alloc);
+        }
+    }
+
+    #[test]
+    fn inactive_workloads_get_nothing() {
+        let mut c = Cbfrp::new(3, 8);
+        let p = c.partition(&[500, 500, 500], &[LC, BE, BE], &[true, false, true], 1000);
+        assert_eq!(p.alloc[1], 0);
+        assert_eq!(p.alloc[0], 500);
+    }
+
+    #[test]
+    fn min_credit_donor_donates_first() {
+        let mut c = Cbfrp::new(3, 100);
+        // Round 1: w0 borrows 300; donors are w1 (1000 spare) and w2
+        // (100 spare). Unit transfers alternate by min-credit, leaving
+        // w1 with more credits than w2.
+        c.partition(&[1300, 0, 900], &[LC, BE, BE], &[true; 3], 1000);
+        assert!(c.credits()[1] > c.credits()[2], "{:?}", c.credits());
+        // Round 2: both have spare; the poorer donor (w2) must earn.
+        let before = (c.credits()[1], c.credits()[2]);
+        c.partition(&[1100, 0, 0], &[LC, BE, BE], &[true; 3], 1000);
+        assert_eq!(c.credits()[1], before.0, "rich donor skipped");
+        assert!(c.credits()[2] > before.1, "poorest donor earns first");
+    }
+
+    #[test]
+    fn unit_granularity_respected() {
+        let mut c = Cbfrp::new(2, 64);
+        let p = c.partition(&[1030, 0], &[LC, BE], &[true, true], 1000);
+        assert_eq!(p.alloc[0], 1030, "last unit is partial");
+    }
+
+    #[test]
+    fn credits_conserved_across_transfers() {
+        let mut c = Cbfrp::new(3, 8);
+        for round in 0..5 {
+            let d = [
+                1000 + 200 * round,
+                (1000u64).saturating_sub(100 * round),
+                500,
+            ];
+            c.partition(&d, &[LC, BE, BE], &[true; 3], 1000);
+            let sum: i64 = c.credits().iter().sum();
+            assert_eq!(sum, 0, "credit transfers are zero-sum");
+        }
+    }
+
+    #[test]
+    fn long_term_fairness_alternating_demands() {
+        // Two BE workloads alternate bursts; over time both should be
+        // served symmetrically and credits stay bounded.
+        let mut c = Cbfrp::new(2, 8);
+        let mut got = [0u64, 0u64];
+        for round in 0..20 {
+            let d = if round % 2 == 0 { [2000, 0] } else { [0, 2000] };
+            let p = c.partition(&d, &[BE, BE], &[true, true], 1000);
+            got[0] += p.alloc[0];
+            got[1] += p.alloc[1];
+        }
+        assert_eq!(got[0], got[1], "alternating bursts served equally");
+        assert!(c.credits().iter().all(|&x| x.abs() < 2000));
+    }
+}

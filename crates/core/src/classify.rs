@@ -1,0 +1,141 @@
+//! Black-box LC/BE classification from utilization patterns (§3.3).
+//!
+//! "We then classify black-box workloads as either LC or BE based on
+//! resource utilization patterns \[Themis\] to ensure differentiated QoS
+//! guarantees." The observable signal on this substrate is the *memory
+//! duty cycle*: latency-critical services spend most of each operation in
+//! off-memory work (network, request handling) and issue sparse memory
+//! accesses, while best-effort batch jobs are memory-bound sweeps. An EMA
+//! of the per-quantum duty cycle with hysteresis keeps verdicts stable.
+
+use crate::cbfrp::ServiceClass;
+
+/// Per-workload duty-cycle classifier.
+#[derive(Clone, Debug)]
+pub struct Classifier {
+    duty_ema: Vec<f64>,
+    verdict: Vec<ServiceClass>,
+    warm: Vec<u32>,
+    /// Duty below this (memory time / active time) reads as LC.
+    pub lc_threshold: f64,
+    /// Hysteresis band around the threshold.
+    pub hysteresis: f64,
+    /// Quanta of warm-up before a verdict can flip from the default.
+    pub warmup: u32,
+}
+
+/// EMA weight for the duty-cycle signal.
+const DUTY_ALPHA: f64 = 0.3;
+
+impl Classifier {
+    /// A classifier for `n` workloads. Everyone starts as BE (the safe
+    /// default: BE receives no reclaim privileges).
+    pub fn new(n: usize) -> Classifier {
+        Classifier {
+            duty_ema: vec![0.0; n],
+            verdict: vec![ServiceClass::BestEffort; n],
+            warm: vec![0; n],
+            lc_threshold: 0.5,
+            hysteresis: 0.05,
+            warmup: 2,
+        }
+    }
+
+    /// Feed one quantum's duty cycle for workload `i`.
+    pub fn observe(&mut self, i: usize, memory_duty: f64) {
+        debug_assert!((0.0..=1.0 + 1e-9).contains(&memory_duty));
+        let e = &mut self.duty_ema[i];
+        *e = DUTY_ALPHA * memory_duty + (1.0 - DUTY_ALPHA) * *e;
+        self.warm[i] = self.warm[i].saturating_add(1);
+        if self.warm[i] < self.warmup {
+            return;
+        }
+        // Hysteresis: flip only past the band edges.
+        match self.verdict[i] {
+            ServiceClass::BestEffort if *e < self.lc_threshold - self.hysteresis => {
+                self.verdict[i] = ServiceClass::LatencyCritical;
+            }
+            ServiceClass::LatencyCritical if *e > self.lc_threshold + self.hysteresis => {
+                self.verdict[i] = ServiceClass::BestEffort;
+            }
+            _ => {}
+        }
+    }
+
+    /// Current verdict for workload `i`.
+    pub fn class(&self, i: usize) -> ServiceClass {
+        self.verdict[i]
+    }
+
+    /// All verdicts.
+    pub fn classes(&self) -> &[ServiceClass] {
+        &self.verdict
+    }
+
+    /// The smoothed duty cycle of workload `i`.
+    pub fn duty(&self, i: usize) -> f64 {
+        self.duty_ema[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ServiceClass::{BestEffort as BE, LatencyCritical as LC};
+
+    #[test]
+    fn sparse_access_pattern_reads_as_lc() {
+        let mut c = Classifier::new(1);
+        for _ in 0..10 {
+            c.observe(0, 0.15); // memcached-like duty
+        }
+        assert_eq!(c.class(0), LC);
+    }
+
+    #[test]
+    fn memory_bound_pattern_reads_as_be() {
+        let mut c = Classifier::new(1);
+        for _ in 0..10 {
+            c.observe(0, 0.9); // liblinear-like duty
+        }
+        assert_eq!(c.class(0), BE);
+    }
+
+    #[test]
+    fn default_is_be_until_warm() {
+        let mut c = Classifier::new(1);
+        assert_eq!(c.class(0), BE);
+        c.observe(0, 0.1);
+        assert_eq!(c.class(0), BE, "one quantum is not enough evidence");
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping() {
+        let mut c = Classifier::new(1);
+        for _ in 0..20 {
+            c.observe(0, 0.2);
+        }
+        assert_eq!(c.class(0), LC);
+        // Oscillate right at the threshold: verdict must hold.
+        for _ in 0..20 {
+            c.observe(0, 0.52);
+        }
+        assert_eq!(c.class(0), LC, "within the hysteresis band");
+        // Clear evidence flips it.
+        for _ in 0..30 {
+            c.observe(0, 0.95);
+        }
+        assert_eq!(c.class(0), BE);
+    }
+
+    #[test]
+    fn independent_workloads() {
+        let mut c = Classifier::new(2);
+        for _ in 0..10 {
+            c.observe(0, 0.1);
+            c.observe(1, 0.9);
+        }
+        assert_eq!(c.classes(), &[LC, BE]);
+        assert!(c.duty(0) < c.duty(1));
+    }
+}

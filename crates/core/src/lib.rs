@@ -1,0 +1,32 @@
+//! # vulcan-core — the paper's contribution
+//!
+//! Vulcan: workload-aware, fair and efficient tiered memory management
+//! for multi-tenant environments (Tang et al., ICPP'25). Four
+//! innovations, each a module here:
+//!
+//! 1. **Workload-dependent page migration** (§3.2) — per-application
+//!    migration engines with Vulcan's optimized preparation, driven by
+//!    [`VulcanPolicy`]; the mechanism lives in `vulcan-migrate`.
+//! 2. **QoS-aware fair resource partitioning** (§3.3) — [`qos`]
+//!    (GPT/FTHR/demand, equations 1–3) and [`cbfrp`] (Algorithm 1), fed
+//!    by the black-box [`classify`] LC/BE classifier.
+//! 3. **Per-thread page-table replication** (§3.4) — implemented in
+//!    `vulcan-vm`; exploited here through ownership-targeted shootdowns
+//!    in the default [`VulcanConfig::mechanism`].
+//! 4. **Biased page migration policy** (§3.5) — [`queues`]: Table 1's
+//!    four priority queues with MLFQ aging, async copies for
+//!    read-intensive pages and sync for write-intensive ones.
+
+#![warn(missing_docs)]
+
+pub mod cbfrp;
+pub mod classify;
+pub mod policy;
+pub mod qos;
+pub mod queues;
+
+pub use cbfrp::{Cbfrp, Partition, ServiceClass};
+pub use classify::Classifier;
+pub use policy::{VulcanConfig, VulcanPolicy};
+pub use qos::{demand, gfmc, gpt};
+pub use queues::{classify as classify_page, DrainPlan, PageClass, PromotionQueues, WRITE_INTENSIVE_RATIO};

@@ -1,0 +1,633 @@
+//! The Vulcan tiering policy: the per-workload migration manager plus
+//! the global daemon loop (§3.2–§3.5 combined).
+//!
+//! Each quantum the daemon:
+//! 1. drives every workload's dedicated async migration engine (§3.2's
+//!    per-application migration threads, with Vulcan's optimized
+//!    preparation and ownership-targeted shootdowns);
+//! 2. updates the black-box LC/BE classifier from utilization patterns;
+//! 3. recomputes `GPT`/`FTHR`/demand (equations 1–3) and runs CBFRP
+//!    (Algorithm 1) to repartition fast memory;
+//! 4. enforces the partition: over-quota workloads demote their coldest
+//!    fast pages (shadow remaps make clean demotions cheap), under-quota
+//!    workloads promote hot slow pages through the four biased priority
+//!    queues (Table 1) — async copies for read-intensive pages, sync for
+//!    write-intensive ones;
+//! 5. when a workload's partition is full but a queued candidate is much
+//!    hotter than its coldest fast page, swaps them (intra-workload
+//!    hot/cold exchange).
+
+use crate::cbfrp::{Cbfrp, ServiceClass};
+use crate::classify::Classifier;
+use crate::qos;
+use crate::queues::{classify, PromotionQueues};
+use vulcan_migrate::MechanismConfig;
+use vulcan_runtime::{SystemState, TieringPolicy};
+use vulcan_sim::TierKind;
+use vulcan_vm::Vpn;
+
+/// Vulcan policy configuration.
+#[derive(Clone, Debug)]
+pub struct VulcanConfig {
+    /// CBFRP transfer unit in pages.
+    pub unit_pages: u64,
+    /// Max promotions per workload per quantum.
+    pub promotion_budget: usize,
+    /// Pages of tolerated overage before demotion kicks in.
+    pub demotion_slack: u64,
+    /// Minimum heat for a promotion candidate.
+    pub heat_threshold: f64,
+    /// A queued candidate must be this many times hotter than the
+    /// workload's coldest fast page to justify a swap.
+    pub swap_margin: f64,
+    /// Max hot/cold swaps per workload per quantum.
+    pub swap_budget: usize,
+    /// Fraction of the over-quota excess demoted per quantum (gradual
+    /// enforcement avoids bang-bang oscillation of equation 3).
+    pub demotion_rate: f64,
+    /// Use the biased four-queue policy of Table 1. When disabled
+    /// (ablation), candidates drain in pure heat order and every page
+    /// migrates asynchronously, ignoring write intensity and ownership.
+    pub biased_queues: bool,
+    /// Use CBFRP partitioning. When disabled (ablation), every started
+    /// workload gets a uniform GFMC quota.
+    pub cbfrp: bool,
+    /// Colloid-style contention guard (§3.6's proposed integration):
+    /// suspend promotions while the *loaded* fast-tier latency offers no
+    /// advantage over the slow tier — migrating into a bandwidth-saturated
+    /// tier only adds traffic where it hurts most.
+    pub colloid_guard: bool,
+    /// Loaded-latency advantage (fast vs slow) below which the guard
+    /// engages: pause when `fast_loaded >= slow_loaded * margin`.
+    pub colloid_margin: f64,
+    /// The migration mechanism (per-workload prep + targeted shootdowns
+    /// + shadowing by default).
+    pub mechanism: MechanismConfig,
+}
+
+impl Default for VulcanConfig {
+    fn default() -> Self {
+        VulcanConfig {
+            unit_pages: 64,
+            promotion_budget: 4_096,
+            demotion_slack: 16,
+            heat_threshold: 0.1,
+            swap_margin: 1.3,
+            swap_budget: 512,
+            demotion_rate: 0.5,
+            biased_queues: true,
+            cbfrp: true,
+            colloid_guard: true,
+            colloid_margin: 0.95,
+            mechanism: MechanismConfig::vulcan(),
+        }
+    }
+}
+
+/// The Vulcan tiering policy (the paper's contribution).
+#[derive(Debug, Default)]
+pub struct VulcanPolicy {
+    cfg: VulcanConfig,
+    cbfrp: Option<Cbfrp>,
+    classifier: Option<Classifier>,
+    queues: Vec<PromotionQueues>,
+    /// Quanta in which the Colloid guard suspended promotion.
+    guard_engaged: u64,
+}
+
+impl VulcanPolicy {
+    /// Vulcan with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Vulcan with a custom configuration (ablations flip fields here).
+    pub fn with_config(cfg: VulcanConfig) -> Self {
+        VulcanPolicy {
+            cfg,
+            ..Default::default()
+        }
+    }
+
+    /// The classifier's current verdicts (None before the first quantum).
+    pub fn classes(&self) -> Option<&[ServiceClass]> {
+        self.classifier.as_ref().map(|c| c.classes())
+    }
+
+    /// The CBFRP credit ledger (None before the first quantum).
+    pub fn credits(&self) -> Option<&[i64]> {
+        self.cbfrp.as_ref().map(|c| c.credits())
+    }
+
+    /// Quanta in which the Colloid contention guard paused promotion.
+    pub fn guard_engagements(&self) -> u64 {
+        self.guard_engaged
+    }
+
+    /// Whether the fast tier's *loaded* latency still beats the slow
+    /// tier's by the configured margin.
+    fn fast_tier_worth_it(&self, state: &SystemState) -> bool {
+        let fast = state.machine.access_latency(vulcan_sim::TierKind::Fast).as_f64();
+        let slow = state.machine.access_latency(vulcan_sim::TierKind::Slow).as_f64();
+        fast < slow * self.cfg.colloid_margin
+    }
+
+    fn ensure_init(&mut self, n: usize) {
+        if self.cbfrp.is_none() {
+            self.cbfrp = Some(Cbfrp::new(n, self.cfg.unit_pages));
+            self.classifier = Some(Classifier::new(n));
+            self.queues = (0..n).map(|_| PromotionQueues::new()).collect();
+        }
+    }
+
+    /// Enforce workload `w`'s partition: demote overage, promote into
+    /// headroom through the biased queues, swap when full but beatable.
+    fn enforce(&mut self, state: &mut SystemState, w: usize, alloc: u64) {
+        let mech = self.cfg.mechanism;
+        let fast_used = state.workloads[w].stats.fast_used;
+
+        // --- Demotion: over quota AND under capacity pressure ---------
+        // Tiering is non-exclusive: holding pages beyond the partition
+        // is harmless while fast memory is plentiful (work conservation);
+        // the quota bites when capacity is actually contended.
+        let pressured = state.fast_free() < state.fast_capacity() / 50;
+        if pressured && fast_used > alloc + self.cfg.demotion_slack {
+            let excess = (fast_used - alloc) as usize;
+            // Rate-limited: release gradually so the FTHR feedback loop
+            // settles instead of thrashing.
+            let step = ((excess as f64 * self.cfg.demotion_rate).ceil() as usize)
+                .max(self.cfg.unit_pages as usize)
+                .min(excess);
+            let victims = coldest_fast_pages(state, w, step);
+            if !victims.is_empty() {
+                state.migrate_background(w, &victims, TierKind::Slow, &mech);
+            }
+        }
+
+        // --- Build this quantum's promotion queues -------------------
+        let candidates: Vec<(Vpn, crate::queues::PageClass, f64)> = {
+            let ws = &state.workloads[w];
+            ws.heat()
+                .iter()
+                .filter(|(vpn, s)| {
+                    s.heat >= self.cfg.heat_threshold
+                        && ws.process.space.pte(*vpn).tier() == Some(TierKind::Slow)
+                        && !ws.async_migrator.is_inflight(*vpn)
+                })
+                .filter_map(|(vpn, s)| {
+                    ws.process.space.owner(vpn).map(|o| (vpn, classify(o, s), s.heat))
+                })
+                .collect()
+        };
+        self.queues[w].refill(candidates);
+
+        // --- Promotion into headroom ---------------------------------
+        let fast_used = state.workloads[w].stats.fast_used;
+        let headroom = alloc.saturating_sub(fast_used) as usize;
+        let budget = headroom
+            .min(self.cfg.promotion_budget)
+            .min(state.fast_free() as usize);
+        if budget > 0 && !self.queues[w].is_empty() {
+            let mut plan = self.queues[w].drain(budget);
+            if !self.cfg.biased_queues {
+                // Ablation: ignore Table 1 — everything goes async.
+                plan.async_pages.append(&mut plan.sync_pages);
+            }
+            if !plan.async_pages.is_empty() {
+                state.migrate_async(w, &plan.async_pages, TierKind::Fast);
+            }
+            if !plan.sync_pages.is_empty() {
+                // Write-intensive pages: synchronous copy (Table 1) on
+                // Vulcan's cheap mechanism.
+                state.migrate_sync(w, &plan.sync_pages, TierKind::Fast, &mech);
+            }
+        }
+
+        // --- Hot/cold swap when the partition is full -----------------
+        if headroom == 0 && !self.queues[w].is_empty() {
+            let swaps = self.plan_swaps(state, w);
+            if !swaps.is_empty() {
+                let victims: Vec<Vpn> = swaps.iter().map(|&(cold, _)| cold).collect();
+                let out = state.migrate_background(w, &victims, TierKind::Slow, &self.cfg.mechanism);
+                let freed = out.moved.len();
+                let plan = self.queues[w].drain(freed);
+                if !plan.async_pages.is_empty() {
+                    state.migrate_async(w, &plan.async_pages, TierKind::Fast);
+                }
+                if !plan.sync_pages.is_empty() {
+                    state.migrate_sync(w, &plan.sync_pages, TierKind::Fast, &self.cfg.mechanism);
+                }
+            }
+        }
+    }
+
+    /// Pair queued hot candidates against the workload's coldest fast
+    /// pages; keep pairs where the candidate is `swap_margin`× hotter.
+    fn plan_swaps(&self, state: &SystemState, w: usize) -> Vec<(Vpn, Vpn)> {
+        let ws = &state.workloads[w];
+        let mut cold = coldest_fast_pages_with_heat(state, w, self.cfg.swap_budget);
+        cold.reverse(); // coldest last → pop coldest first
+        let mut hot: Vec<(Vpn, f64)> = (0..4)
+            .flat_map(|l| self.queues[w].level(l))
+            .map(|v| (v, ws.heat().get(v).heat))
+            .collect();
+        hot.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let mut swaps = Vec::new();
+        for (hv, hh) in hot.into_iter().take(self.cfg.swap_budget) {
+            let Some(&(cv, ch)) = cold.last() else { break };
+            if hh >= self.cfg.swap_margin * ch.max(1e-9) {
+                swaps.push((cv, hv));
+                cold.pop();
+            } else {
+                break;
+            }
+        }
+        swaps
+    }
+}
+
+/// The `n` coldest fast-resident pages of workload `w`.
+fn coldest_fast_pages(state: &SystemState, w: usize, n: usize) -> Vec<Vpn> {
+    coldest_fast_pages_with_heat(state, w, n)
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect()
+}
+
+fn coldest_fast_pages_with_heat(state: &SystemState, w: usize, n: usize) -> Vec<(Vpn, f64)> {
+    let ws = &state.workloads[w];
+    let mut pages: Vec<(Vpn, f64)> = ws
+        .process
+        .space
+        .mapped_vpns()
+        .filter(|&v| ws.process.space.pte(v).tier() == Some(TierKind::Fast))
+        .map(|v| (v, ws.heat().get(v).heat))
+        .collect();
+    pages.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+    pages.truncate(n);
+    pages
+}
+
+impl TieringPolicy for VulcanPolicy {
+    fn name(&self) -> &'static str {
+        "vulcan"
+    }
+
+    fn on_quantum(&mut self, state: &mut SystemState) {
+        let n = state.n_workloads();
+        self.ensure_init(n);
+
+        // 1. Drive per-workload async migration engines (§3.2). Pages
+        //    whose transactions keep aborting have a write *rate* no
+        //    async copy can outrun — escalate them to the synchronous
+        //    path (the biased policy's fallback arm): one bounded stall
+        //    beats an arbitrarily hot page pinned in slow memory.
+        for w in 0..n {
+            if !state.workloads[w].started {
+                continue;
+            }
+            let mech = self.cfg.mechanism;
+            state.poll_async(w, &mech);
+            let aborted: Vec<Vpn> = {
+                let ws = &state.workloads[w];
+                ws.stats
+                    .aborted_pages_q
+                    .iter()
+                    .copied()
+                    .filter(|&v| ws.process.space.pte(v).tier() == Some(TierKind::Slow))
+                    .collect()
+            };
+            if !aborted.is_empty() && state.fast_free() > aborted.len() as u64 {
+                state.migrate_sync(w, &aborted, TierKind::Fast, &mech);
+            }
+        }
+
+        // 2. Black-box classification from utilization patterns (§3.3).
+        let classifier = self.classifier.as_mut().expect("initialized");
+        for (w, ws) in state.workloads.iter().enumerate() {
+            if ws.started && ws.stats.active_q.0 > 0 {
+                classifier.observe(w, ws.stats.memory_duty_q().min(1.0));
+            }
+        }
+
+        // 3. QoS model + CBFRP partitioning (§3.3).
+        let started: Vec<bool> = state.workloads.iter().map(|w| w.started).collect();
+        let n_started = started.iter().filter(|&&s| s).count();
+        if n_started == 0 {
+            return;
+        }
+        let gfmc = qos::gfmc(state.fast_capacity(), n_started);
+        let demands: Vec<u64> = state
+            .workloads
+            .iter()
+            .map(|ws| {
+                if !ws.started {
+                    return 0;
+                }
+                let rss = ws.rss_pages();
+                let gpt = qos::gpt(gfmc, rss);
+                let d = qos::demand(ws.stats.fast_used, gpt, ws.stats.fthr, rss);
+                // Sufficiency floor: a workload meeting its target never
+                // releases allocation within its own GFMC entitlement —
+                // equation 3's shrink expresses fairness pressure, which
+                // only applies to *borrowed* memory.
+                d.max(ws.stats.fast_used.min(gfmc))
+            })
+            .collect();
+        let classes = self.classifier.as_ref().expect("initialized").classes().to_vec();
+        let partition = if self.cfg.cbfrp {
+            self.cbfrp
+                .as_mut()
+                .expect("initialized")
+                .partition(&demands, &classes, &started, gfmc)
+        } else {
+            // Ablation: static uniform split, no credits, no reclaim.
+            crate::cbfrp::Partition {
+                alloc: started
+                    .iter()
+                    .map(|&s| if s { gfmc } else { 0 })
+                    .collect(),
+            }
+        };
+
+        // Colloid guard (§3.6): when bandwidth contention erases the
+        // fast tier's latency advantage, suspend promotion — quotas are
+        // still published, demotion pressure still applies on the next
+        // uncontended quantum.
+        if self.cfg.colloid_guard && !self.fast_tier_worth_it(state) {
+            self.guard_engaged += 1;
+            for (w, &s) in started.iter().enumerate() {
+                if s {
+                    state.set_quota(w, partition.alloc[w]);
+                }
+            }
+            return;
+        }
+
+        // 4-5. Enforce each workload's partition.
+        for w in 0..n {
+            if !started[w] {
+                continue;
+            }
+            state.set_quota(w, partition.alloc[w]);
+            self.enforce(state, w, partition.alloc[w]);
+        }
+
+        // 6. Work conservation: capacity no partition claimed still
+        //    serves queued hot candidates (round-robin) — an idle fast
+        //    tier helps no one.
+        let reserve = state.fast_capacity() / 50;
+        for w in 0..n {
+            let slack = state.fast_free().saturating_sub(reserve) as usize;
+            if slack == 0 {
+                break;
+            }
+            if !started[w] || self.queues[w].is_empty() {
+                continue;
+            }
+            let mut plan = self.queues[w].drain(slack.min(self.cfg.promotion_budget));
+            if !self.cfg.biased_queues {
+                plan.async_pages.append(&mut plan.sync_pages);
+            }
+            if !plan.async_pages.is_empty() {
+                state.migrate_async(w, &plan.async_pages, TierKind::Fast);
+            }
+            if !plan.sync_pages.is_empty() {
+                state.migrate_sync(w, &plan.sync_pages, TierKind::Fast, &self.cfg.mechanism);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulcan_profile::HybridProfiler;
+    use vulcan_runtime::{RunResult, SimConfig, SimRunner};
+    use vulcan_sim::{MachineSpec, Nanos};
+    use vulcan_workloads::{microbench, MicroConfig, WorkloadSpec};
+
+    fn run_micro(specs: Vec<WorkloadSpec>, fast: u64, n_quanta: u64) -> RunResult {
+        SimRunner::new(
+            MachineSpec::small(fast, 8192, 16),
+            specs,
+            &mut |_| Box::new(HybridProfiler::vulcan_default()),
+            Box::new(VulcanPolicy::new()),
+            SimConfig {
+                quantum_active: Nanos::micros(500),
+                n_quanta,
+                ..Default::default()
+            },
+        )
+        .run()
+    }
+
+    fn mb(name: &str, rss: u64, wss: u64, fixed_op: Nanos) -> WorkloadSpec {
+        microbench(
+            name,
+            MicroConfig {
+                rss_pages: rss,
+                wss_pages: wss,
+                fixed_op,
+                ..Default::default()
+            },
+            2,
+        )
+        .preallocated(vulcan_sim::TierKind::Slow)
+    }
+
+    #[test]
+    fn solo_workload_converges_to_high_fthr() {
+        let res = run_micro(vec![mb("a", 512, 64, Nanos(0))], 256, 25);
+        let fthr = res.series.get("a.fthr").unwrap().last().unwrap();
+        assert!(fthr > 0.8, "solo hot set promoted: fthr={fthr}");
+    }
+
+    #[test]
+    fn lc_keeps_its_hot_set_under_colocation() {
+        // An LC-like sparse workload co-located with a memory-hammering
+        // BE workload of the same footprint. Vulcan must not let the BE
+        // starve the LC's fast-memory share (the anti-dilemma property).
+        let lc = mb("lc", 512, 128, Nanos(20_000));
+        let be = mb("be", 512, 400, Nanos(0));
+        let res = run_micro(vec![lc, be], 256, 40);
+        let lc_fthr = res.series.get("lc.fthr").unwrap().last().unwrap();
+        assert!(
+            lc_fthr > 0.4,
+            "LC gets its share despite BE intensity: {lc_fthr}"
+        );
+        // GPT for the LC is GFMC/RSS = 128/512 = 0.25; its FTHR must
+        // clear that target (the QoS guarantee), which requires holding a
+        // real slice of fast memory despite the BE's 40x access rate.
+        assert!(lc_fthr > 0.25, "QoS target met: {lc_fthr}");
+        let lc_fast = res.series.get("lc.fast_pages").unwrap().last().unwrap();
+        assert!(lc_fast > 24.0, "LC holds a meaningful partition: {lc_fast}");
+    }
+
+    #[test]
+    fn quotas_follow_cbfrp_partition() {
+        let res = run_micro(
+            vec![mb("a", 512, 64, Nanos(0)), mb("b", 512, 64, Nanos(0))],
+            256,
+            20,
+        );
+        // Both small hot sets fit their entitlements; neither workload
+        // should hold much more than its GFMC + slack.
+        for name in ["a", "b"] {
+            let fast = res.series.get(&format!("{name}.fast_pages")).unwrap();
+            assert!(fast.last().unwrap() <= 160.0, "{name}: {:?}", fast.last());
+        }
+        assert!(res.cfi > 0.8, "near-equal effective allocations: {}", res.cfi);
+    }
+
+    #[test]
+    fn never_stalls_apps_for_read_intensive_migration() {
+        let res = run_micro(vec![mb("a", 512, 64, Nanos(0))], 256, 20);
+        // read_ratio defaults to 0.8 → most promotions are async; sync
+        // stall should be small relative to, say, TPP (smoke bound).
+        let w = res.workload("a");
+        assert!(w.ops_total > 0);
+    }
+
+    #[test]
+    fn policy_accessors() {
+        let mut p = VulcanPolicy::new();
+        assert!(p.classes().is_none());
+        assert!(p.credits().is_none());
+        p.ensure_init(2);
+        assert_eq!(p.classes().unwrap().len(), 2);
+        assert_eq!(p.credits().unwrap(), &[0, 0]);
+        assert_eq!(p.name(), "vulcan");
+    }
+}
+
+#[cfg(test)]
+mod colloid_tests {
+    use super::*;
+    use vulcan_profile::HybridProfiler;
+    use vulcan_runtime::{SimConfig, SimRunner};
+    use vulcan_sim::{MachineSpec, Nanos, TierSpec};
+    use vulcan_workloads::{microbench, MicroConfig};
+
+    /// A machine whose fast tier saturates trivially: the loaded fast
+    /// latency quickly exceeds the slow tier's.
+    fn contended_machine() -> MachineSpec {
+        let mut spec = MachineSpec::small(512, 4096, 8);
+        spec.fast = TierSpec {
+            bandwidth_bytes_per_ns: 0.05, // 50 MB/s: saturates instantly
+            ..spec.fast
+        };
+        spec
+    }
+
+    fn workload() -> vulcan_workloads::WorkloadSpec {
+        microbench(
+            "mb",
+            MicroConfig {
+                rss_pages: 1024,
+                wss_pages: 256,
+                ..Default::default()
+            },
+            4,
+        )
+        .preallocated(vulcan_sim::TierKind::Slow)
+    }
+
+    fn run(guard: bool) -> (vulcan_runtime::RunResult, u64) {
+        let policy = VulcanPolicy::with_config(VulcanConfig {
+            colloid_guard: guard,
+            ..Default::default()
+        });
+        let engaged = std::cell::Cell::new(0);
+        let mut runner = SimRunner::new(
+            contended_machine(),
+            vec![workload()],
+            &mut |_| Box::new(HybridProfiler::vulcan_default()),
+            Box::new(policy),
+            SimConfig {
+                quantum_active: Nanos::micros(500),
+                n_quanta: 0,
+                ..Default::default()
+            },
+        );
+        for _ in 0..15 {
+            runner.run_quantum();
+        }
+        // Count migrations that happened (promotions consume fast frames).
+        let _ = &engaged;
+        let fast_used = runner.state.workloads[0].stats.fast_used;
+        let res = runner.run();
+        (res, fast_used)
+    }
+
+    #[test]
+    fn guard_suspends_promotion_under_fast_tier_saturation() {
+        let (_res_on, fast_on) = run(true);
+        let (_res_off, fast_off) = run(false);
+        assert!(
+            fast_on < fast_off / 2,
+            "guard pauses promotion into a saturated tier: on={fast_on} off={fast_off}"
+        );
+    }
+
+    #[test]
+    fn guard_counter_reports_engagements() {
+        let mut policy = VulcanPolicy::with_config(VulcanConfig {
+            colloid_guard: true,
+            ..Default::default()
+        });
+        assert_eq!(policy.guard_engagements(), 0);
+        let mut runner = SimRunner::new(
+            contended_machine(),
+            vec![workload()],
+            &mut |_| Box::new(HybridProfiler::vulcan_default()),
+            Box::new(StaticNoop),
+            SimConfig {
+                quantum_active: Nanos::micros(500),
+                n_quanta: 0,
+                ..Default::default()
+            },
+        );
+        // Saturate the fast tier by hand, then drive the policy directly.
+        for _ in 0..3 {
+            runner.run_quantum();
+        }
+        for _ in 0..5 {
+            policy.on_quantum(&mut runner.state);
+        }
+        // The guard may or may not have engaged depending on measured
+        // contention, but the counter must be consistent and bounded.
+        assert!(policy.guard_engagements() <= 5);
+    }
+
+    /// Helper no-op policy for manual driving.
+    struct StaticNoop;
+    impl vulcan_runtime::TieringPolicy for StaticNoop {
+        fn name(&self) -> &'static str {
+            "noop"
+        }
+        fn on_quantum(&mut self, _s: &mut vulcan_runtime::SystemState) {}
+    }
+
+    #[test]
+    fn guard_disengaged_on_healthy_machine() {
+        // On the paper testbed the guard should essentially never fire.
+        let mut policy = VulcanPolicy::new();
+        let mut runner = SimRunner::new(
+            MachineSpec::small(512, 4096, 8),
+            vec![workload()],
+            &mut |_| Box::new(HybridProfiler::vulcan_default()),
+            Box::new(StaticNoop),
+            SimConfig {
+                quantum_active: Nanos::micros(500),
+                n_quanta: 0,
+                ..Default::default()
+            },
+        );
+        for _ in 0..5 {
+            runner.run_quantum();
+            policy.on_quantum(&mut runner.state);
+        }
+        assert_eq!(policy.guard_engagements(), 0, "healthy tier, no pauses");
+    }
+}

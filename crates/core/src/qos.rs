@@ -1,0 +1,119 @@
+//! The tiered-memory QoS model of §3.3.
+//!
+//! * `GPT_i = GFMC / RSS_i`, clamped to 1 when the equal share covers the
+//!   workload's resident set — the per-workload guaranteed performance
+//!   target.
+//! * `FTHR_i` — the fast-tier hit ratio, an EMA over per-interval hit
+//!   ratios (equations 1–2); maintained by the runtime
+//!   ([`vulcan_runtime::WorkloadStats`]).
+//! * `demand_i = alloc_i + (GPT_i − FTHR_i) · RSS_i · log²(RSS_i)`
+//!   (equation 3) — the fast-memory demand update, clamped to
+//!   `[0, RSS_i]`. The log argument uses RSS in paper-GB (the unit the
+//!   paper reports RSS in); the simulator's page-scaled RSS would inflate
+//!   the log² factor ~4× without changing behaviour, since the adjustment
+//!   saturates at the clamp for any meaningful GPT−FTHR gap.
+
+use vulcan_sim::PAGES_PER_PAPER_GB;
+
+/// Guaranteed Fast Memory Capacity: the equal split of fast memory among
+/// the `n` currently co-located workloads (dynamically adjusted with n).
+pub fn gfmc(fast_capacity_pages: u64, n_workloads: usize) -> u64 {
+    if n_workloads == 0 {
+        fast_capacity_pages
+    } else {
+        fast_capacity_pages / n_workloads as u64
+    }
+}
+
+/// The guaranteed performance target `GPT_i` (§3.3): 1 when GFMC covers
+/// the RSS, else the fraction of the RSS the equal share can hold.
+pub fn gpt(gfmc_pages: u64, rss_pages: u64) -> f64 {
+    if rss_pages == 0 || gfmc_pages >= rss_pages {
+        1.0
+    } else {
+        gfmc_pages as f64 / rss_pages as f64
+    }
+}
+
+/// Equation 3: the updated fast-memory demand in pages.
+///
+/// ```
+/// use vulcan_core::{demand, gfmc, gpt};
+///
+/// let gfmc = gfmc(8192, 2);          // 4096 pages each
+/// let gpt = gpt(gfmc, 13_056);       // ≈ 0.31 for memcached's RSS
+/// // FTHR far below target: demand grows (clamped to the RSS).
+/// assert!(demand(1000, gpt, 0.1, 13_056) > 1000);
+/// // FTHR above target: demand shrinks.
+/// assert!(demand(5000, gpt, 0.9, 13_056) < 5000);
+/// ```
+///
+/// A workload whose `FTHR` trails its `GPT` is under-allocated and its
+/// demand grows; one exceeding its target shrinks. The `RSS·log²(RSS)`
+/// factor makes the adjustment proportional to footprint ("a scalable and
+/// workload-sensitive mechanism"). Clamped to `[0, RSS]` — no workload
+/// can demand more fast memory than it has pages.
+pub fn demand(alloc_pages: u64, gpt: f64, fthr: f64, rss_pages: u64) -> u64 {
+    if rss_pages == 0 {
+        return 0;
+    }
+    let rss_gb = (rss_pages as f64 / PAGES_PER_PAPER_GB as f64).max(1.0);
+    let log2 = rss_gb.log2().max(0.0);
+    let adjust = (gpt - fthr) * rss_pages as f64 * log2 * log2;
+    let d = alloc_pages as f64 + adjust;
+    d.clamp(0.0, rss_pages as f64).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gfmc_splits_evenly_and_adapts_to_n() {
+        assert_eq!(gfmc(8192, 2), 4096);
+        assert_eq!(gfmc(8192, 3), 2730);
+        assert_eq!(gfmc(8192, 0), 8192);
+    }
+
+    #[test]
+    fn gpt_clamps_at_one() {
+        assert_eq!(gpt(4096, 1024), 1.0, "share covers RSS");
+        assert_eq!(gpt(4096, 0), 1.0, "empty RSS is trivially covered");
+        let g = gpt(4096, 8192);
+        assert!((g - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn under_allocated_workload_demands_more() {
+        // FTHR far below GPT: demand grows beyond current allocation.
+        let d = demand(1000, 0.8, 0.3, 13_056);
+        assert!(d > 1000);
+    }
+
+    #[test]
+    fn over_served_workload_releases() {
+        // FTHR above GPT: demand shrinks below current allocation.
+        let d = demand(5000, 0.4, 0.95, 13_056);
+        assert!(d < 5000);
+    }
+
+    #[test]
+    fn demand_clamps_to_rss() {
+        assert_eq!(demand(10_000, 1.0, 0.0, 13_056), 13_056);
+        assert_eq!(demand(100, 0.0, 1.0, 13_056), 0);
+        assert_eq!(demand(0, 1.0, 1.0, 0), 0);
+    }
+
+    #[test]
+    fn satisfied_workload_holds_steady() {
+        // FTHR == GPT: demand equals current allocation.
+        assert_eq!(demand(4096, 0.6, 0.6, 13_056), 4096);
+    }
+
+    #[test]
+    fn larger_footprints_adjust_faster() {
+        let small = demand(100, 0.8, 0.4, 1_024) - 100;
+        let large = demand(100, 0.8, 0.4, 65_536) - 100;
+        assert!(large > small, "log² scaling: {large} vs {small}");
+    }
+}

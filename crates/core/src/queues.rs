@@ -1,0 +1,304 @@
+//! The biased page-migration policy: four priority queues plus MLFQ
+//! aging (§3.5, Table 1).
+//!
+//! | Page type | R/W pattern      | Priority | Strategy   |
+//! |-----------|------------------|----------|------------|
+//! | Private   | Read-intensive   | ★★★★     | Async copy |
+//! | Shared    | Read-intensive   | ★★★      | Async copy |
+//! | Private   | Write-intensive  | ★★       | Sync copy  |
+//! | Shared    | Write-intensive  | ★        | Sync copy  |
+//!
+//! Private pages need a single-core TLB shootdown; read-intensive pages
+//! migrate safely with cheap asynchronous copies. Within a queue, pages
+//! drain in heat order; an MLFQ mechanism bumps pages whose heat keeps
+//! rising into higher-priority queues so nothing stagnates.
+
+use vulcan_profile::PageStats;
+use vulcan_vm::{PageOwner, Vpn};
+
+/// Write-intensity threshold: at or above this write ratio a page is
+/// write-intensive (Table 1's R/W pattern split).
+pub const WRITE_INTENSIVE_RATIO: f64 = 0.25;
+
+/// The four classes of Table 1, ordered by descending priority.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageClass {
+    /// Private + read-intensive: ★★★★, async copy.
+    PrivateRead,
+    /// Shared + read-intensive: ★★★, async copy.
+    SharedRead,
+    /// Private + write-intensive: ★★, sync copy.
+    PrivateWrite,
+    /// Shared + write-intensive: ★, sync copy.
+    SharedWrite,
+}
+
+impl PageClass {
+    /// All classes, highest priority first.
+    pub const ALL: [PageClass; 4] = [
+        PageClass::PrivateRead,
+        PageClass::SharedRead,
+        PageClass::PrivateWrite,
+        PageClass::SharedWrite,
+    ];
+
+    /// Star rating from Table 1 (4 = highest).
+    pub fn stars(self) -> u8 {
+        match self {
+            PageClass::PrivateRead => 4,
+            PageClass::SharedRead => 3,
+            PageClass::PrivateWrite => 2,
+            PageClass::SharedWrite => 1,
+        }
+    }
+
+    /// Table 1's migration strategy: async for read-intensive classes.
+    pub fn use_async(self) -> bool {
+        matches!(self, PageClass::PrivateRead | PageClass::SharedRead)
+    }
+
+    /// Queue index (0 = highest priority).
+    pub fn index(self) -> usize {
+        4 - self.stars() as usize
+    }
+}
+
+/// Classify a page from its ownership and sampled access pattern.
+pub fn classify(owner: PageOwner, stats: &PageStats) -> PageClass {
+    let write = stats.write_intensive(WRITE_INTENSIVE_RATIO);
+    match (owner, write) {
+        (PageOwner::Private(_), false) => PageClass::PrivateRead,
+        (PageOwner::Shared, false) => PageClass::SharedRead,
+        (PageOwner::Private(_), true) => PageClass::PrivateWrite,
+        (PageOwner::Shared, true) => PageClass::SharedWrite,
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    vpn: Vpn,
+    heat: f64,
+    age: u32,
+    class: PageClass,
+}
+
+/// The four promotion queues with MLFQ aging.
+#[derive(Clone, Debug, Default)]
+pub struct PromotionQueues {
+    queues: [Vec<Entry>; 4],
+    /// Quanta a page must wait before being bumped one queue up.
+    aging_quanta: u32,
+}
+
+/// Pages drained from the queues, ready to migrate.
+#[derive(Clone, Debug, Default)]
+pub struct DrainPlan {
+    /// Pages to migrate asynchronously (read-intensive classes).
+    pub async_pages: Vec<Vpn>,
+    /// Pages to migrate synchronously (write-intensive classes).
+    pub sync_pages: Vec<Vpn>,
+}
+
+impl DrainPlan {
+    /// Total pages drained.
+    pub fn len(&self) -> usize {
+        self.async_pages.len() + self.sync_pages.len()
+    }
+
+    /// Whether nothing was drained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl PromotionQueues {
+    /// Queues with the default aging interval (2 quanta per bump).
+    pub fn new() -> Self {
+        PromotionQueues {
+            queues: Default::default(),
+            aging_quanta: 2,
+        }
+    }
+
+    /// Re-enqueue this quantum's candidates. Ages carried over from pages
+    /// already queued are preserved (the MLFQ memory); pages that
+    /// disappeared from the candidate set are dropped.
+    pub fn refill(&mut self, candidates: impl IntoIterator<Item = (Vpn, PageClass, f64)>) {
+        let mut ages: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for q in &self.queues {
+            for e in q {
+                ages.insert(e.vpn.0, e.age);
+            }
+        }
+        for q in &mut self.queues {
+            q.clear();
+        }
+        for (vpn, class, heat) in candidates {
+            let age = ages.get(&vpn.0).map_or(0, |&a| a + 1);
+            // MLFQ: waiting promotes a page `age / aging_quanta` levels.
+            let boost = (age / self.aging_quanta.max(1)) as usize;
+            let level = class.index().saturating_sub(boost);
+            self.queues[level].push(Entry {
+                vpn,
+                heat,
+                age,
+                class,
+            });
+        }
+        for q in &mut self.queues {
+            q.sort_by(|a, b| b.heat.partial_cmp(&a.heat).unwrap().then(a.vpn.0.cmp(&b.vpn.0)));
+        }
+    }
+
+    /// Pages currently queued at `level` (0 = ★★★★), hottest first.
+    pub fn level(&self, level: usize) -> Vec<Vpn> {
+        self.queues[level].iter().map(|e| e.vpn).collect()
+    }
+
+    /// Total queued pages.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(Vec::len).sum()
+    }
+
+    /// Whether all queues are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain up to `budget` pages in strict priority order, splitting
+    /// them by Table 1's strategy. Drained pages leave the queues.
+    pub fn drain(&mut self, budget: usize) -> DrainPlan {
+        let mut plan = DrainPlan::default();
+        let mut left = budget;
+        for q in self.queues.iter_mut() {
+            if left == 0 {
+                break;
+            }
+            let take = left.min(q.len());
+            for e in q.drain(..take) {
+                // MLFQ aging raises a page's *priority*, never its copy
+                // strategy: Table 1's async/sync split is about copy
+                // safety, which follows the page's original class.
+                if e.class.use_async() {
+                    plan.async_pages.push(e.vpn);
+                } else {
+                    plan.sync_pages.push(e.vpn);
+                }
+            }
+            left -= take;
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulcan_vm::LocalTid;
+
+    fn stats(reads: f64, writes: f64) -> PageStats {
+        PageStats {
+            heat: reads + writes,
+            reads,
+            writes,
+        }
+    }
+
+    #[test]
+    fn table1_classification() {
+        let private = PageOwner::Private(LocalTid(1));
+        let shared = PageOwner::Shared;
+        assert_eq!(classify(private, &stats(9.0, 1.0)), PageClass::PrivateRead);
+        assert_eq!(classify(shared, &stats(9.0, 1.0)), PageClass::SharedRead);
+        assert_eq!(classify(private, &stats(1.0, 9.0)), PageClass::PrivateWrite);
+        assert_eq!(classify(shared, &stats(1.0, 9.0)), PageClass::SharedWrite);
+    }
+
+    #[test]
+    fn table1_priorities_and_strategies() {
+        assert_eq!(PageClass::PrivateRead.stars(), 4);
+        assert_eq!(PageClass::SharedRead.stars(), 3);
+        assert_eq!(PageClass::PrivateWrite.stars(), 2);
+        assert_eq!(PageClass::SharedWrite.stars(), 1);
+        assert!(PageClass::PrivateRead.use_async());
+        assert!(PageClass::SharedRead.use_async());
+        assert!(!PageClass::PrivateWrite.use_async());
+        assert!(!PageClass::SharedWrite.use_async());
+        // Read-intensive shared outranks write-intensive private: "the
+        // overhead of page copying is lower than that of TLB shootdowns".
+        assert!(PageClass::SharedRead.stars() > PageClass::PrivateWrite.stars());
+    }
+
+    #[test]
+    fn drain_respects_priority_order() {
+        let mut q = PromotionQueues::new();
+        q.refill([
+            (Vpn(1), PageClass::SharedWrite, 100.0),
+            (Vpn(2), PageClass::PrivateRead, 1.0),
+            (Vpn(3), PageClass::SharedRead, 50.0),
+        ]);
+        let plan = q.drain(2);
+        // Highest-priority queue first even though its page is coldest.
+        assert_eq!(plan.async_pages, vec![Vpn(2), Vpn(3)]);
+        assert!(plan.sync_pages.is_empty());
+        assert_eq!(q.len(), 1, "shared-write page remains queued");
+    }
+
+    #[test]
+    fn within_queue_heat_order() {
+        let mut q = PromotionQueues::new();
+        q.refill([
+            (Vpn(1), PageClass::PrivateRead, 1.0),
+            (Vpn(2), PageClass::PrivateRead, 9.0),
+            (Vpn(3), PageClass::PrivateRead, 5.0),
+        ]);
+        assert_eq!(q.level(0), vec![Vpn(2), Vpn(3), Vpn(1)]);
+    }
+
+    #[test]
+    fn write_intensive_pages_drain_to_sync() {
+        let mut q = PromotionQueues::new();
+        q.refill([
+            (Vpn(1), PageClass::PrivateWrite, 5.0),
+            (Vpn(2), PageClass::SharedWrite, 5.0),
+        ]);
+        let plan = q.drain(10);
+        assert!(plan.async_pages.is_empty());
+        assert_eq!(plan.sync_pages, vec![Vpn(1), Vpn(2)]);
+    }
+
+    #[test]
+    fn mlfq_aging_bumps_stagnant_pages() {
+        let mut q = PromotionQueues::new();
+        // A shared-write page never drained keeps aging; after enough
+        // quanta it reaches the top queue.
+        for _ in 0..10 {
+            q.refill([(Vpn(7), PageClass::SharedWrite, 1.0)]);
+        }
+        assert_eq!(q.level(0), vec![Vpn(7)], "aged to the top");
+        // But its copy strategy remains sync (write-intensive).
+        let plan = q.drain(1);
+        assert_eq!(plan.sync_pages, vec![Vpn(7)]);
+        assert!(plan.async_pages.is_empty());
+    }
+
+    #[test]
+    fn refill_drops_stale_candidates() {
+        let mut q = PromotionQueues::new();
+        q.refill([(Vpn(1), PageClass::PrivateRead, 1.0)]);
+        q.refill([(Vpn(2), PageClass::PrivateRead, 1.0)]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.level(0), vec![Vpn(2)]);
+    }
+
+    #[test]
+    fn budget_limits_drain() {
+        let mut q = PromotionQueues::new();
+        q.refill((0..10).map(|i| (Vpn(i), PageClass::PrivateRead, i as f64)));
+        let plan = q.drain(3);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(q.len(), 7);
+        let empty = PromotionQueues::new().drain(5);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for Vulcan's partitioning and policy math.
+
+use proptest::prelude::*;
+use vulcan_core::{demand, gfmc, gpt, Cbfrp, Classifier, PageClass, ServiceClass};
+use vulcan_profile::PageStats;
+use vulcan_vm::{LocalTid, PageOwner};
+
+fn arb_classes(n: usize) -> impl Strategy<Value = Vec<ServiceClass>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(ServiceClass::LatencyCritical),
+            Just(ServiceClass::BestEffort)
+        ],
+        n..=n,
+    )
+}
+
+proptest! {
+    /// CBFRP never over-commits, never produces negative allocations,
+    /// never grants a workload more than it demanded, and keeps the
+    /// credit ledger zero-sum — across arbitrary multi-round histories.
+    #[test]
+    fn cbfrp_invariants(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(0u64..20_000, 4..=4), 1..12),
+        classes in arb_classes(4),
+        gfmc_pages in 1u64..5_000,
+        unit in 1u64..256,
+    ) {
+        let mut cbfrp = Cbfrp::new(4, unit);
+        for demands in &rounds {
+            let p = cbfrp.partition(demands, &classes, &[true; 4], gfmc_pages);
+            let total: u64 = p.alloc.iter().sum();
+            prop_assert!(total <= 4 * gfmc_pages, "over-committed: {total}");
+            for i in 0..4 {
+                prop_assert!(p.alloc[i] <= demands[i], "granted beyond demand");
+            }
+            let credit_sum: i64 = cbfrp.credits().iter().sum();
+            prop_assert_eq!(credit_sum, 0, "ledger must be zero-sum");
+        }
+    }
+
+    /// Everyone demanding at most the entitlement gets exactly their
+    /// demand (no transfers needed, no credits move).
+    #[test]
+    fn cbfrp_within_entitlement_is_identity(
+        demands in proptest::collection::vec(0u64..1_000, 4..=4),
+        classes in arb_classes(4),
+    ) {
+        let mut cbfrp = Cbfrp::new(4, 16);
+        let p = cbfrp.partition(&demands, &classes, &[true; 4], 1_000);
+        prop_assert_eq!(p.alloc, demands);
+        prop_assert_eq!(cbfrp.credits(), &[0, 0, 0, 0]);
+    }
+
+    /// An LC borrower is never worse off than a BE borrower with the
+    /// same demand in the same round.
+    #[test]
+    fn cbfrp_lc_dominates_equal_be(
+        demand in 1_000u64..10_000,
+        others in proptest::collection::vec(0u64..3_000, 2..=2),
+    ) {
+        let mut cbfrp = Cbfrp::new(4, 16);
+        let demands = [demand, demand, others[0], others[1]];
+        let classes = [
+            ServiceClass::LatencyCritical,
+            ServiceClass::BestEffort,
+            ServiceClass::BestEffort,
+            ServiceClass::BestEffort,
+        ];
+        let p = cbfrp.partition(&demands, &classes, &[true; 4], 1_000);
+        prop_assert!(p.alloc[0] >= p.alloc[1], "{:?}", p.alloc);
+    }
+
+    /// GPT is in (0, 1], monotone in GFMC and antitone in RSS.
+    #[test]
+    fn gpt_bounds_and_monotonicity(g in 1u64..100_000, r in 1u64..100_000) {
+        let v = gpt(g, r);
+        prop_assert!(v > 0.0 && v <= 1.0);
+        prop_assert!(gpt(g + 1, r) >= v - 1e-12);
+        prop_assert!(gpt(g, r + 1) <= v + 1e-12);
+    }
+
+    /// Equation 3's demand is always within [0, RSS] and moves in the
+    /// direction of the GPT-FTHR gap.
+    #[test]
+    fn demand_clamped_and_directional(
+        alloc in 0u64..50_000,
+        gpt_v in 0.0f64..=1.0,
+        fthr in 0.0f64..=1.0,
+        rss in 1u64..50_000,
+    ) {
+        let d = demand(alloc, gpt_v, fthr, rss);
+        prop_assert!(d <= rss);
+        let alloc = alloc.min(rss);
+        if gpt_v > fthr + 1e-9 {
+            prop_assert!(d >= alloc.min(rss), "under-served must not shrink");
+        }
+        if fthr > gpt_v + 1e-9 {
+            prop_assert!(d <= alloc, "over-served must not grow");
+        }
+    }
+
+    /// GFMC splits capacity without exceeding it.
+    #[test]
+    fn gfmc_never_exceeds_capacity(cap in 0u64..1_000_000, n in 1usize..64) {
+        prop_assert!(gfmc(cap, n) * n as u64 <= cap);
+    }
+
+    /// Page classification is total and consistent with Table 1's
+    /// async/sync strategy split.
+    #[test]
+    fn classification_matches_strategy(
+        reads in 0.0f64..1e6,
+        writes in 0.0f64..1e6,
+        tid in 0u8..0x7E,
+        shared in any::<bool>(),
+    ) {
+        let owner = if shared {
+            PageOwner::Shared
+        } else {
+            PageOwner::Private(LocalTid(tid))
+        };
+        let stats = PageStats { heat: reads + writes, reads, writes };
+        let class = vulcan_core::classify_page(owner, &stats);
+        let write_intensive =
+            stats.write_intensive(vulcan_core::WRITE_INTENSIVE_RATIO);
+        prop_assert_eq!(class.use_async(), !write_intensive);
+        match (owner, class) {
+            (PageOwner::Shared, PageClass::PrivateRead | PageClass::PrivateWrite) =>
+                prop_assert!(false, "shared page classified private"),
+            (PageOwner::Private(_), PageClass::SharedRead | PageClass::SharedWrite) =>
+                prop_assert!(false, "private page classified shared"),
+            _ => {}
+        }
+    }
+
+    /// The classifier's verdict stabilizes for any constant duty signal.
+    #[test]
+    fn classifier_converges(duty in 0.0f64..=1.0) {
+        let mut c = Classifier::new(1);
+        for _ in 0..50 {
+            c.observe(0, duty);
+        }
+        let settled = c.class(0);
+        for _ in 0..10 {
+            c.observe(0, duty);
+            prop_assert_eq!(c.class(0), settled, "verdict flapped");
+        }
+        if duty < 0.3 {
+            prop_assert_eq!(settled, ServiceClass::LatencyCritical);
+        }
+        if duty > 0.7 {
+            prop_assert_eq!(settled, ServiceClass::BestEffort);
+        }
+    }
+}

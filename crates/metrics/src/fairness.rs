@@ -1,0 +1,148 @@
+//! Fairness metrics: Jain's index and the paper's FTHR-weighted
+//! Cumulative Fairness Index (CFI).
+//!
+//! §5.3 "Fairness Model": Jain's fairness index is applied to the
+//! cumulative efficiency-adjusted allocation
+//! `X_i = Σ_t x_i(t) · FTHR_i(t)`, giving
+//! `CFI = (Σ X_i)² / (N · Σ X_i²)`   (equation 4).
+
+use serde::{Deserialize, Serialize};
+
+/// Jain's fairness index over non-negative allocations.
+///
+/// Ranges from `1/n` (one workload gets everything) to `1` (perfectly
+/// equal). Returns 1.0 for an empty or all-zero input (vacuously fair).
+///
+/// ```
+/// use vulcan_metrics::jain_index;
+/// assert_eq!(jain_index(&[5.0, 5.0, 5.0]), 1.0);        // equal
+/// assert_eq!(jain_index(&[9.0, 0.0, 0.0]), 1.0 / 3.0);  // monopoly
+/// ```
+pub fn jain_index(xs: &[f64]) -> f64 {
+    debug_assert!(xs.iter().all(|&x| x >= 0.0), "allocations must be >= 0");
+    let n = xs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+    if sumsq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sumsq)
+}
+
+/// Accumulator for the FTHR-weighted Cumulative Fairness Index.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CfiAccumulator {
+    /// `X_i` per workload.
+    x: Vec<f64>,
+    /// Samples folded in.
+    samples: u64,
+}
+
+impl CfiAccumulator {
+    /// Accumulator for `n` workloads.
+    pub fn new(n: usize) -> Self {
+        CfiAccumulator {
+            x: vec![0.0; n],
+            samples: 0,
+        }
+    }
+
+    /// Fold in one sampling interval: `alloc[i]` is workload *i*'s fast
+    /// memory allocation `x_i(t)` and `fthr[i]` its fast-tier hit ratio.
+    pub fn record(&mut self, alloc: &[f64], fthr: &[f64]) {
+        assert_eq!(alloc.len(), self.x.len());
+        assert_eq!(fthr.len(), self.x.len());
+        for i in 0..self.x.len() {
+            debug_assert!((0.0..=1.0).contains(&fthr[i]), "FTHR out of range");
+            self.x[i] += alloc[i] * fthr[i];
+        }
+        self.samples += 1;
+    }
+
+    /// The cumulative efficiency-adjusted allocations `X_i`.
+    pub fn cumulative(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Equation 4: Jain's index over the `X_i`.
+    pub fn cfi(&self) -> f64 {
+        jain_index(&self.x)
+    }
+
+    /// Number of recorded intervals.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_allocation_is_perfectly_fair() {
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monopolized_allocation_hits_lower_bound() {
+        let j = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12, "1/n for total monopoly");
+    }
+
+    #[test]
+    fn index_is_scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 3.0]);
+        let b = jain_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_index(&[7.0]), 1.0);
+    }
+
+    #[test]
+    fn more_unequal_is_less_fair() {
+        let mild = jain_index(&[4.0, 5.0, 6.0]);
+        let harsh = jain_index(&[1.0, 5.0, 9.0]);
+        assert!(mild > harsh);
+    }
+
+    #[test]
+    fn cfi_weights_by_fthr() {
+        // Equal allocations but one workload's allocation is useless
+        // (FTHR 0): CFI must punish the *efficiency-adjusted* inequality.
+        let mut acc = CfiAccumulator::new(2);
+        acc.record(&[10.0, 10.0], &[1.0, 0.0]);
+        assert!(acc.cfi() < 0.6);
+        assert_eq!(acc.cumulative(), &[10.0, 0.0]);
+        assert_eq!(acc.samples(), 1);
+    }
+
+    #[test]
+    fn cfi_accumulates_over_time() {
+        let mut acc = CfiAccumulator::new(2);
+        // Alternating monopoly evens out cumulatively.
+        for t in 0..10 {
+            if t % 2 == 0 {
+                acc.record(&[10.0, 0.0], &[1.0, 1.0]);
+            } else {
+                acc.record(&[0.0, 10.0], &[1.0, 1.0]);
+            }
+        }
+        assert!((acc.cfi() - 1.0).abs() < 1e-12, "long-term fairness");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let mut acc = CfiAccumulator::new(2);
+        acc.record(&[1.0], &[1.0, 1.0]);
+    }
+}

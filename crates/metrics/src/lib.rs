@@ -1,0 +1,18 @@
+//! # vulcan-metrics — fairness, statistics and reporting
+//!
+//! Jain's fairness index and the FTHR-weighted Cumulative Fairness Index
+//! (equation 4, §5.3), summary statistics with 95% confidence intervals
+//! (the paper's 10-trial error bars), named time series for the timeline
+//! figures, and fixed-width table rendering for the bench harness.
+
+#![warn(missing_docs)]
+
+pub mod fairness;
+pub mod report;
+pub mod series;
+pub mod stats;
+
+pub use fairness::{jain_index, CfiAccumulator};
+pub use report::{f1, f3, pm, Table};
+pub use series::{SeriesSet, TimeSeries};
+pub use stats::{mean_ci95, percentile, OnlineStats};

@@ -1,0 +1,156 @@
+//! Named time series for the timeline figures (Figures 1 and 9).
+
+use serde::{Deserialize, Serialize};
+
+/// A named series of `(time_seconds, value)` points.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Series label (e.g. `"memcached.fthr"`).
+    pub name: String,
+    /// Samples in time order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a sample; time must not go backwards.
+    pub fn push(&mut self, t_secs: f64, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            debug_assert!(t_secs >= last, "time series must be monotone");
+        }
+        self.points.push((t_secs, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Mean of values with `t >= from` (0 when no samples qualify).
+    pub fn mean_after(&self, from: f64) -> f64 {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= from)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// The last value (None when empty).
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+}
+
+/// A collection of series keyed by name, dumped as JSON for EXPERIMENTS.md.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SeriesSet {
+    /// All series, in creation order.
+    pub series: Vec<TimeSeries>,
+}
+
+impl SeriesSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create a series by name.
+    pub fn entry(&mut self, name: &str) -> &mut TimeSeries {
+        if let Some(i) = self.series.iter().position(|s| s.name == name) {
+            &mut self.series[i]
+        } else {
+            self.series.push(TimeSeries::new(name));
+            self.series.last_mut().expect("just pushed")
+        }
+    }
+
+    /// Look up a series by name.
+    pub fn get(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Serialize the whole set as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("series serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut s = TimeSeries::new("x");
+        s.push(0.0, 1.0);
+        s.push(1.0, 3.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.last(), Some(3.0));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn mean_after_filters() {
+        let mut s = TimeSeries::new("x");
+        for t in 0..10 {
+            s.push(t as f64, if t < 5 { 0.0 } else { 10.0 });
+        }
+        assert_eq!(s.mean_after(5.0), 10.0);
+        assert_eq!(s.mean_after(100.0), 0.0);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new("e");
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.last(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_entry_is_idempotent() {
+        let mut set = SeriesSet::new();
+        set.entry("a").push(0.0, 1.0);
+        set.entry("a").push(1.0, 2.0);
+        set.entry("b").push(0.0, 5.0);
+        assert_eq!(set.series.len(), 2);
+        assert_eq!(set.get("a").unwrap().len(), 2);
+        assert!(set.get("missing").is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut set = SeriesSet::new();
+        set.entry("a").push(0.5, 1.5);
+        let json = set.to_json();
+        let back: SeriesSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("a").unwrap().points, vec![(0.5, 1.5)]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Summary statistics: online mean/variance, percentiles, and the
+//! mean ± 95% confidence intervals the paper plots over 10 trials.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford online mean/variance accumulator.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (NaN-free; infinity when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Half-width of the 95% confidence interval of the mean, using the
+    /// normal approximation (the paper plots 95% CIs over ≥10 trials).
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        1.96 * self.stddev() / (self.n as f64).sqrt()
+    }
+}
+
+/// Mean and 95% CI of a slice of trial results.
+pub fn mean_ci95(samples: &[f64]) -> (f64, f64) {
+    let mut s = OnlineStats::new();
+    for &x in samples {
+        s.push(x);
+    }
+    (s.mean(), s.ci95())
+}
+
+/// Exact percentile (nearest-rank) of a sample set.
+pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p));
+    assert!(!samples.is_empty(), "percentile of empty sample set");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let rank = ((p / 100.0) * (samples.len() as f64 - 1.0)).round() as usize;
+    samples[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-9);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut small = OnlineStats::new();
+        let mut large = OnlineStats::new();
+        for i in 0..10 {
+            small.push((i % 3) as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 3) as f64);
+        }
+        assert!(large.ci95() < small.ci95());
+    }
+
+    #[test]
+    fn mean_ci_helper() {
+        let (m, ci) = mean_ci95(&[1.0, 1.0, 1.0]);
+        assert_eq!(m, 1.0);
+        assert_eq!(ci, 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&mut v, 50.0), 51.0); // rank 49.5 rounds up
+        assert_eq!(percentile(&mut v, 0.0), 1.0);
+        assert_eq!(percentile(&mut v, 100.0), 100.0);
+        assert_eq!(percentile(&mut v, 99.0), 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&mut [], 50.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # vulcan-migrate — page-migration mechanisms
+//!
+//! The five-phase migration mechanism (§2.1) with cycle-accurate phase
+//! accounting calibrated to the paper's Figure 2/3 measurements, two
+//! execution engines (synchronous and transactional-asynchronous), and
+//! Nomad-style page shadowing for cheap demotions.
+//!
+//! Vulcan's mechanism-level optimizations live here as configuration:
+//! per-workload preparation ([`PrepStrategy::Optimized`]) and
+//! ownership-targeted shootdowns ([`vulcan_vm::ShootdownScope::Targeted`]).
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod phases;
+pub mod shadow;
+
+pub use engine::{
+    migrate_sync, AsyncMigrator, AsyncPoll, AsyncStats, MechanismConfig, SyncOutcome,
+};
+pub use phases::{batch_phases_without_shootdown, prep_cost, PhaseCycles, PrepStrategy};
+pub use shadow::ShadowRegistry;

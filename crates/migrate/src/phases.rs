@@ -1,0 +1,145 @@
+//! The five-phase migration mechanism and its cost accounting.
+//!
+//! §2.1: pages move between tiers through ① kernel trapping, ② PTE
+//! locking and unmapping, ③ TLB shootdown via IPIs, ④ content copying
+//! and ⑤ PTE remapping — preceded in Linux by migration *preparation*
+//! (`lru_add_drain_all()`), whose global synchronization Figure 2 shows
+//! dominating on many-core machines.
+
+use vulcan_sim::{Cycles, MigrationCosts};
+
+/// How migration preparation is performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrepStrategy {
+    /// Linux baseline: `lru_add_drain_all()` synchronizes every CPU
+    /// (cost grows superlinearly with core count — Observation #2).
+    BaselineGlobal,
+    /// Vulcan: per-workload queues drained by the application's own
+    /// migration threads, no global `on_each_cpu_mask()` (§3.2).
+    Optimized,
+}
+
+/// Per-phase cycle accounting for one migration batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCycles {
+    /// Migration preparation (LRU drain / per-workload drain).
+    pub prep: Cycles,
+    /// Kernel entry.
+    pub trap: Cycles,
+    /// PTE locking and unmapping.
+    pub unmap: Cycles,
+    /// TLB shootdown IPIs and remote flushes.
+    pub shootdown: Cycles,
+    /// Page content copy between tiers.
+    pub copy: Cycles,
+    /// PTE remapping to the new frames.
+    pub remap: Cycles,
+}
+
+impl PhaseCycles {
+    /// Total cycles across all phases.
+    pub fn total(&self) -> Cycles {
+        self.prep + self.trap + self.unmap + self.shootdown + self.copy + self.remap
+    }
+
+    /// Fraction contributed by one phase value.
+    pub fn share(&self, phase: Cycles) -> f64 {
+        let t = self.total().as_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            phase.as_f64() / t
+        }
+    }
+
+    /// Accumulate another batch's phases.
+    pub fn accumulate(&mut self, other: &PhaseCycles) {
+        self.prep += other.prep;
+        self.trap += other.trap;
+        self.unmap += other.unmap;
+        self.shootdown += other.shootdown;
+        self.copy += other.copy;
+        self.remap += other.remap;
+    }
+}
+
+/// Preparation cost under `strategy` on an `n_cpus` machine.
+pub fn prep_cost(costs: &MigrationCosts, strategy: PrepStrategy, n_cpus: u16) -> Cycles {
+    match strategy {
+        PrepStrategy::BaselineGlobal => costs.prep_baseline(n_cpus),
+        PrepStrategy::Optimized => costs.prep_vulcan(),
+    }
+}
+
+/// Phase costs (excluding shootdown, which depends on the IPI target set
+/// — see [`vulcan_vm::shootdown`]) for a batch of `pages` pages.
+pub fn batch_phases_without_shootdown(
+    costs: &MigrationCosts,
+    strategy: PrepStrategy,
+    n_cpus: u16,
+    pages: u64,
+) -> PhaseCycles {
+    PhaseCycles {
+        prep: prep_cost(costs, strategy, n_cpus),
+        trap: costs.trap,
+        unmap: Cycles(costs.unmap.0 * pages),
+        shootdown: Cycles::ZERO,
+        copy: costs.copy_batched(pages),
+        remap: Cycles(costs.remap.0 * pages),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_shares() {
+        let p = PhaseCycles {
+            prep: Cycles(50),
+            trap: Cycles(10),
+            unmap: Cycles(10),
+            shootdown: Cycles(20),
+            copy: Cycles(5),
+            remap: Cycles(5),
+        };
+        assert_eq!(p.total(), Cycles(100));
+        assert!((p.share(p.prep) - 0.5).abs() < 1e-12);
+        assert_eq!(PhaseCycles::default().share(Cycles(0)), 0.0);
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = PhaseCycles {
+            prep: Cycles(1),
+            ..Default::default()
+        };
+        let b = PhaseCycles {
+            prep: Cycles(2),
+            copy: Cycles(3),
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.prep, Cycles(3));
+        assert_eq!(a.copy, Cycles(3));
+    }
+
+    #[test]
+    fn optimized_prep_is_flat_in_cpus() {
+        let costs = MigrationCosts::default();
+        let p2 = prep_cost(&costs, PrepStrategy::Optimized, 2);
+        let p32 = prep_cost(&costs, PrepStrategy::Optimized, 32);
+        assert_eq!(p2, p32);
+        assert!(prep_cost(&costs, PrepStrategy::BaselineGlobal, 32) > p32 * 50);
+    }
+
+    #[test]
+    fn per_page_phases_scale_linearly() {
+        let costs = MigrationCosts::default();
+        let one = batch_phases_without_shootdown(&costs, PrepStrategy::Optimized, 32, 1);
+        let ten = batch_phases_without_shootdown(&costs, PrepStrategy::Optimized, 32, 10);
+        assert_eq!(ten.unmap, one.unmap * 10);
+        assert_eq!(ten.remap, one.remap * 10);
+        assert_eq!(ten.prep, one.prep, "prep amortizes over the batch");
+    }
+}

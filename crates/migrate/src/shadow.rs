@@ -1,0 +1,135 @@
+//! Page shadowing (borrowed from Nomad, §3.5).
+//!
+//! When a page is promoted to the fast tier, its old slow-tier frame is
+//! retained as a *shadow* instead of being freed. If the page is later
+//! demoted **without having been written**, demotion degenerates to a
+//! remap back to the shadow frame — no copy, no destination allocation.
+//! A write to the promoted page invalidates the shadow (the copies have
+//! diverged). Shadows are reclaimed when the slow tier runs short.
+
+use std::collections::BTreeMap;
+use vulcan_sim::FrameId;
+use vulcan_vm::Vpn;
+
+/// Registry of shadow frames retained in the slow tier.
+#[derive(Clone, Debug, Default)]
+pub struct ShadowRegistry {
+    shadows: BTreeMap<u64, FrameId>,
+    hits: u64,
+    invalidations: u64,
+}
+
+impl ShadowRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Retain `frame` as the shadow of `vpn` after promotion.
+    /// Returns a previously retained shadow that must be freed, if any.
+    pub fn retain(&mut self, vpn: Vpn, frame: FrameId) -> Option<FrameId> {
+        self.shadows.insert(vpn.0, frame)
+    }
+
+    /// The shadow of `vpn`, if still valid.
+    pub fn get(&self, vpn: Vpn) -> Option<FrameId> {
+        self.shadows.get(&vpn.0).copied()
+    }
+
+    /// Consume the shadow of `vpn` for a remap-only demotion.
+    pub fn take(&mut self, vpn: Vpn) -> Option<FrameId> {
+        let s = self.shadows.remove(&vpn.0);
+        if s.is_some() {
+            self.hits += 1;
+        }
+        s
+    }
+
+    /// Invalidate the shadow after the promoted copy was written.
+    /// Returns the frame that must be freed, if a shadow existed.
+    pub fn invalidate(&mut self, vpn: Vpn) -> Option<FrameId> {
+        let s = self.shadows.remove(&vpn.0);
+        if s.is_some() {
+            self.invalidations += 1;
+        }
+        s
+    }
+
+    /// Evict up to `n` shadows to free slow-tier frames (capacity
+    /// pressure). Returns the frames to release, oldest vpn first.
+    pub fn evict(&mut self, n: usize) -> Vec<FrameId> {
+        let keys: Vec<u64> = self.shadows.keys().take(n).copied().collect();
+        keys.into_iter()
+            .map(|k| self.shadows.remove(&k).expect("key just listed"))
+            .collect()
+    }
+
+    /// Number of live shadows.
+    pub fn len(&self) -> usize {
+        self.shadows.len()
+    }
+
+    /// Whether no shadows are retained.
+    pub fn is_empty(&self) -> bool {
+        self.shadows.is_empty()
+    }
+
+    /// (remap-only demotions served, shadows invalidated by writes).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.invalidations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulcan_sim::TierKind;
+
+    fn frame(index: u32) -> FrameId {
+        FrameId {
+            tier: TierKind::Slow,
+            index,
+        }
+    }
+
+    #[test]
+    fn retain_take_roundtrip() {
+        let mut r = ShadowRegistry::new();
+        assert_eq!(r.retain(Vpn(1), frame(5)), None);
+        assert_eq!(r.get(Vpn(1)), Some(frame(5)));
+        assert_eq!(r.take(Vpn(1)), Some(frame(5)));
+        assert_eq!(r.take(Vpn(1)), None);
+        assert_eq!(r.stats(), (1, 0));
+    }
+
+    #[test]
+    fn retain_twice_returns_stale_frame() {
+        let mut r = ShadowRegistry::new();
+        r.retain(Vpn(1), frame(5));
+        assert_eq!(r.retain(Vpn(1), frame(6)), Some(frame(5)));
+    }
+
+    #[test]
+    fn write_invalidates() {
+        let mut r = ShadowRegistry::new();
+        r.retain(Vpn(1), frame(5));
+        assert_eq!(r.invalidate(Vpn(1)), Some(frame(5)));
+        assert_eq!(r.get(Vpn(1)), None);
+        assert_eq!(r.stats(), (0, 1));
+        assert_eq!(r.invalidate(Vpn(1)), None);
+    }
+
+    #[test]
+    fn eviction_frees_frames() {
+        let mut r = ShadowRegistry::new();
+        for i in 0..5 {
+            r.retain(Vpn(i), frame(i as u32));
+        }
+        let evicted = r.evict(3);
+        assert_eq!(evicted.len(), 3);
+        assert_eq!(r.len(), 2);
+        let more = r.evict(10);
+        assert_eq!(more.len(), 2);
+        assert!(r.is_empty());
+    }
+}

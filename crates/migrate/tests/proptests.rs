@@ -1,0 +1,111 @@
+//! Property-based tests for the migration engines: conservation and
+//! mapping integrity under arbitrary migration sequences.
+
+use proptest::prelude::*;
+use vulcan_migrate::{migrate_sync, AsyncMigrator, MechanismConfig, ShadowRegistry};
+use vulcan_sim::{CoreId, Machine, MachineSpec, Nanos, SimThreadId, TierKind};
+use vulcan_vm::{Asid, LocalTid, Process, TlbArray, Vpn};
+
+fn setup(fast: u64, slow: u64, pages: u64) -> (Process, Machine, TlbArray, ShadowRegistry) {
+    let mut machine = Machine::new(MachineSpec::small(fast, slow, 8));
+    let mut process = Process::new(Asid(1), true);
+    for i in 0..4u32 {
+        process.spawn_thread(SimThreadId(i));
+        machine.topology.pin(SimThreadId(i), CoreId(i as u16));
+    }
+    for v in 0..pages {
+        let frame = machine.alloc(TierKind::Slow).expect("slow capacity");
+        let tid = LocalTid((v % 4) as u8);
+        process.space.map(Vpn(v), frame, tid);
+        process.space.touch(Vpn(v), tid, false).unwrap();
+    }
+    (process, machine, TlbArray::new(8), ShadowRegistry::new())
+}
+
+fn check_consistency(p: &Process, m: &Machine, s: &ShadowRegistry, am: Option<&AsyncMigrator>) {
+    let mut seen = std::collections::HashSet::new();
+    for vpn in p.space.mapped_vpns() {
+        let f = p.space.pte(vpn).frame().expect("mapped");
+        assert!(m.allocator(f.tier).is_allocated(f.index), "{vpn:?} -> freed frame");
+        assert!(seen.insert((f.tier, f.index)), "frame aliased");
+    }
+    let used =
+        m.allocator(TierKind::Fast).used_frames() + m.allocator(TierKind::Slow).used_frames();
+    let expected =
+        p.space.rss_pages() + s.len() as u64 + am.map_or(0, |a| a.inflight() as u64);
+    assert_eq!(used, expected, "frame conservation");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary interleavings of sync promotions/demotions over random
+    /// page subsets keep mappings and frame accounting consistent, under
+    /// both the Linux and the Vulcan mechanism, with or without room.
+    #[test]
+    fn sync_migration_storm(
+        moves in proptest::collection::vec(
+            (proptest::collection::vec(0u64..64, 1..16), any::<bool>(), any::<bool>()),
+            1..12,
+        ),
+        fast in 8u64..80,
+    ) {
+        let (mut p, mut m, mut t, mut s) = setup(fast, 256, 64);
+        for (pages, promote, vulcan_mech) in moves {
+            let cfg = if vulcan_mech {
+                MechanismConfig::vulcan()
+            } else {
+                MechanismConfig::linux_baseline()
+            };
+            let vpns: Vec<Vpn> = pages.into_iter().map(Vpn).collect();
+            let dest = if promote { TierKind::Fast } else { TierKind::Slow };
+            let out = migrate_sync(&mut p, &mut m, &mut t, &mut s, &vpns, dest, &cfg);
+            // Moved pages are in the destination; skipped pages are mapped.
+            for &vpn in &out.moved {
+                prop_assert_eq!(p.space.pte(vpn).tier(), Some(dest));
+            }
+            for &vpn in &out.skipped {
+                prop_assert!(p.space.is_mapped(vpn));
+            }
+            check_consistency(&p, &m, &s, None);
+        }
+        prop_assert_eq!(p.space.rss_pages(), 64, "no page lost");
+    }
+
+    /// Async transactions interleaved with sync migrations of the same
+    /// pages never leak frames or alias mappings, whatever commits,
+    /// retries or aborts.
+    #[test]
+    fn async_sync_interleaving(
+        rounds in proptest::collection::vec(
+            (proptest::collection::vec(0u64..48, 1..12), 0u8..3, any::<bool>()),
+            1..10,
+        ),
+    ) {
+        let cfg = MechanismConfig::vulcan();
+        let (mut p, mut m, mut t, mut s) = setup(32, 256, 48);
+        let mut am = AsyncMigrator::new();
+        let mut now = Nanos(0);
+        for (pages, action, dirty) in rounds {
+            now += Nanos::millis(1);
+            let vpns: Vec<Vpn> = pages.into_iter().map(Vpn).collect();
+            match action {
+                0 => {
+                    am.start(&mut p, &mut m, &mut t, &vpns, TierKind::Fast, now);
+                }
+                1 => {
+                    migrate_sync(&mut p, &mut m, &mut t, &mut s, &vpns, TierKind::Fast, &cfg);
+                }
+                _ => {
+                    migrate_sync(&mut p, &mut m, &mut t, &mut s, &vpns, TierKind::Slow, &cfg);
+                }
+            }
+            let prob = if dirty { 1.0 } else { 0.0 };
+            am.poll(&mut p, &mut m, &mut t, &mut s, now + Nanos::millis(1), &cfg, &mut |_| prob);
+            check_consistency(&p, &m, &s, Some(&am));
+        }
+        am.abort_all(&mut m);
+        check_consistency(&p, &m, &s, Some(&am));
+        prop_assert_eq!(p.space.rss_pages(), 48);
+    }
+}

@@ -1,0 +1,34 @@
+//! # vulcan-policy — baseline tiering policies
+//!
+//! Re-implementations of the three comparison systems the paper
+//! evaluates against (§5.1): TPP, MEMTIS and NOMAD, each running on the
+//! same simulated substrate as Vulcan so that policy differences — not
+//! substrate differences — drive every comparison, mirroring how the
+//! paper runs all four on identical hardware.
+
+#![warn(missing_docs)]
+
+pub mod memtis;
+pub mod mtm;
+pub mod nomad;
+pub mod tpp;
+
+pub use memtis::{Memtis, MemtisConfig};
+pub use mtm::{Mtm, MtmConfig};
+pub use nomad::{Nomad, NomadConfig};
+pub use tpp::{Tpp, TppConfig};
+
+use vulcan_profile::{HintFaultProfiler, HybridProfiler, PebsProfiler, Profiler};
+
+/// The profiling mechanism each baseline uses in its original system:
+/// TPP → NUMA hinting faults, Memtis → PEBS, Nomad → hint faults plus
+/// sampling (hybrid).
+pub fn profiler_for(policy: &str) -> Box<dyn Profiler> {
+    match policy {
+        "tpp" => Box::new(HintFaultProfiler::new(0.06)),
+        "memtis" => Box::new(PebsProfiler::new(16)),
+        "mtm" => Box::new(PebsProfiler::new(16)),
+        "nomad" => Box::new(HybridProfiler::new(16, 0.05)),
+        _ => Box::new(HybridProfiler::vulcan_default()),
+    }
+}

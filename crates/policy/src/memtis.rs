@@ -1,0 +1,229 @@
+//! MEMTIS (Lee et al., SOSP'23), §2.1/§2.2.
+//!
+//! Model of Memtis's capacity-based classification on the shared
+//! substrate: PEBS samples feed per-page access counts; pages are ranked
+//! by **absolute** heat *globally across all co-located workloads*, and
+//! the hottest pages up to fast-tier capacity form the hot set. Hot pages
+//! below are promoted, cold pages above are demoted, both off the
+//! critical path (Memtis's kmigrated threads).
+//!
+//! The global absolute ranking is precisely what Figure 1 indicts: a
+//! high-intensity best-effort workload makes its whole working set look
+//! "persistently hot" and evicts the latency-critical workload's
+//! moderately-hot pages — the cold page dilemma.
+
+use vulcan_migrate::MechanismConfig;
+use vulcan_runtime::{SystemState, TieringPolicy};
+use vulcan_sim::TierKind;
+use vulcan_vm::Vpn;
+
+/// Memtis configuration.
+#[derive(Clone, Debug)]
+pub struct MemtisConfig {
+    /// Fraction of fast capacity the hot set may fill (Memtis keeps a
+    /// little headroom for new allocations).
+    pub hot_set_fraction: f64,
+    /// Max promotions per workload per quantum.
+    pub promotion_budget: usize,
+}
+
+impl Default for MemtisConfig {
+    fn default() -> Self {
+        MemtisConfig {
+            hot_set_fraction: 0.98,
+            promotion_budget: 4_096,
+        }
+    }
+}
+
+/// The Memtis baseline policy.
+#[derive(Clone, Debug, Default)]
+pub struct Memtis {
+    cfg: MemtisConfig,
+}
+
+impl Memtis {
+    /// Memtis with defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memtis with a custom configuration.
+    pub fn with_config(cfg: MemtisConfig) -> Self {
+        Memtis { cfg }
+    }
+}
+
+impl TieringPolicy for Memtis {
+    fn name(&self) -> &'static str {
+        "memtis"
+    }
+
+    fn on_quantum(&mut self, state: &mut SystemState) {
+        let mech = MechanismConfig::linux_baseline();
+        let budget = (state.fast_capacity() as f64 * self.cfg.hot_set_fraction) as usize;
+
+        // Global absolute-heat ranking across every workload (the
+        // workload-agnostic step that causes the dilemma).
+        let mut all: Vec<(usize, Vpn, f64)> = Vec::new();
+        for (w, ws) in state.workloads.iter().enumerate() {
+            if !ws.started {
+                continue;
+            }
+            for (vpn, s) in ws.heat().iter() {
+                if s.heat > 0.0 && ws.process.space.is_mapped(vpn) {
+                    all.push((w, vpn, s.heat));
+                }
+            }
+        }
+        all.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap()
+                .then((a.0, a.1 .0).cmp(&(b.0, b.1 .0)))
+        });
+
+        // Hot set = hottest pages up to the capacity budget.
+        let hot: Vec<(usize, Vpn)> = all.iter().take(budget).map(|&(w, v, _)| (w, v)).collect();
+        let hot_len = hot.len();
+
+        // Cold fast-resident pages (outside the hot set) per workload.
+        let mut demote: Vec<Vec<Vpn>> = vec![Vec::new(); state.n_workloads()];
+        {
+            let mut is_hot: std::collections::HashSet<(usize, u64)> =
+                std::collections::HashSet::with_capacity(hot_len);
+            for &(w, v) in &hot {
+                is_hot.insert((w, v.0));
+            }
+            for (w, ws) in state.workloads.iter().enumerate() {
+                if !ws.started {
+                    continue;
+                }
+                for vpn in ws.process.space.mapped_vpns() {
+                    if ws.process.space.pte(vpn).tier() == Some(TierKind::Fast)
+                        && !is_hot.contains(&(w, vpn.0))
+                    {
+                        demote[w].push(vpn);
+                    }
+                }
+            }
+        }
+
+        // Promotions: hot pages still in slow memory.
+        let mut promote: Vec<Vec<Vpn>> = vec![Vec::new(); state.n_workloads()];
+        for &(w, vpn) in &hot {
+            if state.workloads[w].process.space.pte(vpn).tier() == Some(TierKind::Slow)
+                && promote[w].len() < self.cfg.promotion_budget
+            {
+                promote[w].push(vpn);
+            }
+        }
+
+        // Demote first to make room, then promote — both in background.
+        let wanted: usize = promote.iter().map(Vec::len).sum();
+        let mut freed = state.fast_free() as usize;
+        for w in 0..state.n_workloads() {
+            if freed >= wanted {
+                break;
+            }
+            let take = (wanted - freed).min(demote[w].len());
+            if take > 0 {
+                let out =
+                    state.migrate_background(w, &demote[w][..take], TierKind::Slow, &mech);
+                freed += out.moved.len();
+            }
+        }
+        for w in 0..state.n_workloads() {
+            if !promote[w].is_empty() {
+                state.migrate_background(w, &promote[w], TierKind::Fast, &mech);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulcan_profile::PebsProfiler;
+    use vulcan_runtime::{SimConfig, SimRunner};
+    use vulcan_sim::{MachineSpec, Nanos};
+    use vulcan_workloads::{microbench, MicroConfig};
+
+    #[test]
+    fn promotes_hot_wss_into_fast() {
+        let res = SimRunner::new(
+            MachineSpec::small(128, 4096, 8),
+            vec![microbench(
+                "mb",
+                MicroConfig {
+                    rss_pages: 512,
+                    wss_pages: 64,
+                    skew: 0.99,
+                    ..Default::default()
+                },
+                2,
+            )],
+            &mut |_| Box::new(PebsProfiler::new(4)),
+            Box::new(Memtis::new()),
+            SimConfig {
+                quantum_active: Nanos::micros(500),
+                n_quanta: 25,
+                ..Default::default()
+            },
+        )
+        .run();
+        let fthr = res.series.get("mb.fthr").unwrap().last().unwrap();
+        assert!(fthr > 0.85, "hot WSS should end up fast: fthr={fthr}");
+        // Off the critical path: no sync stall charged to the app.
+        assert_eq!(res.workload("mb").stall_cycles.0, 0);
+    }
+
+    #[test]
+    fn intense_workload_monopolizes_fast_tier() {
+        // Two identical-RSS workloads; "be" issues ~20x the accesses of
+        // "lc" per unit time (tiny fixed op cost). Memtis's absolute
+        // ranking should hand be nearly the whole fast tier.
+        let lc = microbench(
+            "lc",
+            MicroConfig {
+                rss_pages: 256,
+                wss_pages: 128,
+                fixed_op: Nanos(20_000),
+                ..Default::default()
+            },
+            2,
+        );
+        let be = microbench(
+            "be",
+            MicroConfig {
+                rss_pages: 256,
+                wss_pages: 128,
+                fixed_op: Nanos(0),
+                ..Default::default()
+            },
+            2,
+        );
+        let res = SimRunner::new(
+            MachineSpec::small(128, 4096, 8),
+            vec![lc, be],
+            &mut |_| Box::new(PebsProfiler::new(4)),
+            Box::new(Memtis::new()),
+            SimConfig {
+                quantum_active: Nanos::micros(500),
+                n_quanta: 25,
+                ..Default::default()
+            },
+        )
+        .run();
+        let lc_fast = res.series.get("lc.fast_pages").unwrap().last().unwrap();
+        let be_fast = res.series.get("be.fast_pages").unwrap().last().unwrap();
+        assert!(
+            be_fast > 3.0 * lc_fast.max(1.0),
+            "cold page dilemma: be={be_fast} lc={lc_fast}"
+        );
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(Memtis::new().name(), "memtis");
+    }
+}

@@ -1,0 +1,216 @@
+//! MTM (Ren et al., EuroSys'24), §2.1/§3.5.
+//!
+//! The direct ancestor of Vulcan's biased migration policy: MTM picks the
+//! copy engine by **write intensity** — synchronous copying for
+//! write-intensive pages, asynchronous for read-intensive ones — but has
+//! no notion of thread-level page ownership (no targeted shootdowns) and
+//! no multi-workload fairness, "lack\[ing\] a fine-grained consideration of
+//! the migration costs inherent in multi-CPU core scenarios". Comparing
+//! MTM against Vulcan isolates what ownership awareness adds on top of
+//! the read/write split.
+
+use vulcan_migrate::MechanismConfig;
+use vulcan_runtime::{SystemState, TieringPolicy};
+use vulcan_sim::TierKind;
+use vulcan_vm::Vpn;
+
+/// MTM configuration.
+#[derive(Clone, Debug)]
+pub struct MtmConfig {
+    /// Write ratio at or above which a page is write-intensive.
+    pub write_intensive_ratio: f64,
+    /// Minimum heat for promotion eligibility.
+    pub heat_threshold: f64,
+    /// Max promotions per workload per quantum.
+    pub promotion_budget: usize,
+    /// Free-fraction low watermark triggering demotion.
+    pub low_watermark: f64,
+    /// Free-fraction restored by demotion.
+    pub high_watermark: f64,
+}
+
+impl Default for MtmConfig {
+    fn default() -> Self {
+        MtmConfig {
+            write_intensive_ratio: 0.25,
+            heat_threshold: 0.1,
+            promotion_budget: 4_096,
+            low_watermark: 0.02,
+            high_watermark: 0.08,
+        }
+    }
+}
+
+/// The MTM baseline policy.
+#[derive(Clone, Debug, Default)]
+pub struct Mtm {
+    cfg: MtmConfig,
+}
+
+impl Mtm {
+    /// MTM with defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// MTM with a custom configuration.
+    pub fn with_config(cfg: MtmConfig) -> Self {
+        Mtm { cfg }
+    }
+}
+
+impl TieringPolicy for Mtm {
+    fn name(&self) -> &'static str {
+        "mtm"
+    }
+
+    fn on_quantum(&mut self, state: &mut SystemState) {
+        // Vanilla mechanism: MTM has no page-table replication, so its
+        // shootdowns are process-wide and preparation is global.
+        let mech = MechanismConfig::linux_baseline();
+
+        for w in 0..state.n_workloads() {
+            if !state.workloads[w].started {
+                continue;
+            }
+            state.poll_async(w, &mech);
+
+            // Rank hot slow pages, split by write intensity.
+            let (read_hot, write_hot): (Vec<Vpn>, Vec<Vpn>) = {
+                let ws = &state.workloads[w];
+                let mut hot: Vec<(Vpn, f64, bool)> = ws
+                    .heat()
+                    .iter()
+                    .filter(|(vpn, s)| {
+                        s.heat >= self.cfg.heat_threshold
+                            && ws.process.space.pte(*vpn).tier() == Some(TierKind::Slow)
+                            && !ws.async_migrator.is_inflight(*vpn)
+                    })
+                    .map(|(vpn, s)| {
+                        (vpn, s.heat, s.write_intensive(self.cfg.write_intensive_ratio))
+                    })
+                    .collect();
+                hot.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+                hot.truncate(self.cfg.promotion_budget);
+                let mut read = Vec::new();
+                let mut write = Vec::new();
+                for (vpn, _, wi) in hot {
+                    if wi {
+                        write.push(vpn);
+                    } else {
+                        read.push(vpn);
+                    }
+                }
+                (read, write)
+            };
+            let budget = state.fast_free() as usize;
+            if budget == 0 {
+                continue;
+            }
+            // Write-intensive pages: synchronous copy (blocks the app).
+            if !write_hot.is_empty() {
+                let take = write_hot.len().min(budget);
+                state.migrate_sync(w, &write_hot[..take], TierKind::Fast, &mech);
+            }
+            // Read-intensive pages: asynchronous copy.
+            let budget = state.fast_free() as usize;
+            if !read_hot.is_empty() && budget > 0 {
+                let take = read_hot.len().min(budget);
+                state.migrate_async(w, &read_hot[..take], TierKind::Fast);
+            }
+        }
+
+        // Watermark demotion, coldest first (standard reclaim).
+        let capacity = state.fast_capacity() as f64;
+        if (state.fast_free() as f64) < self.cfg.low_watermark * capacity {
+            let target_free = (self.cfg.high_watermark * capacity) as u64;
+            for w in 0..state.n_workloads() {
+                if state.fast_free() >= target_free {
+                    break;
+                }
+                if !state.workloads[w].started {
+                    continue;
+                }
+                let need = (target_free - state.fast_free()) as usize;
+                let victims: Vec<Vpn> = {
+                    let ws = &state.workloads[w];
+                    let mut cold: Vec<(Vpn, f64)> = ws
+                        .process
+                        .space
+                        .mapped_vpns()
+                        .filter(|&v| ws.process.space.pte(v).tier() == Some(TierKind::Fast))
+                        .map(|v| (v, ws.heat().get(v).heat))
+                        .collect();
+                    cold.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+                    cold.into_iter().take(need).map(|(v, _)| v).collect()
+                };
+                if !victims.is_empty() {
+                    state.migrate_background(w, &victims, TierKind::Slow, &mech);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulcan_profile::PebsProfiler;
+    use vulcan_runtime::{SimConfig, SimRunner};
+    use vulcan_sim::{MachineSpec, Nanos};
+    use vulcan_workloads::{microbench, MicroConfig};
+
+    fn run(read_ratio: f64) -> vulcan_runtime::SimRunner {
+        let mut r = SimRunner::new(
+            MachineSpec::small(256, 4096, 8),
+            vec![microbench(
+                "mb",
+                MicroConfig {
+                    rss_pages: 1024,
+                    wss_pages: 128,
+                    read_ratio,
+                    ..Default::default()
+                },
+                2,
+            )
+            .preallocated(vulcan_sim::TierKind::Slow)],
+            &mut |_| Box::new(PebsProfiler::new(8)),
+            Box::new(Mtm::new()),
+            SimConfig {
+                quantum_active: Nanos::micros(500),
+                n_quanta: 0,
+                ..Default::default()
+            },
+        );
+        for _ in 0..20 {
+            r.run_quantum();
+        }
+        r
+    }
+
+    #[test]
+    fn read_heavy_promotions_use_async() {
+        let r = run(1.0);
+        let ws = &r.state.workloads[0];
+        assert!(ws.async_migrator.stats.started > 0, "read pages go async");
+        assert_eq!(ws.stats.stall_cycles.0, 0, "no sync copies for reads");
+        assert!(ws.stats.fthr > 0.7, "converged: {}", ws.stats.fthr);
+    }
+
+    #[test]
+    fn write_heavy_promotions_use_sync() {
+        let r = run(0.0);
+        let ws = &r.state.workloads[0];
+        assert_eq!(
+            ws.async_migrator.stats.started, 0,
+            "write-intensive pages never go async"
+        );
+        assert!(ws.stats.stall_cycles.0 > 0, "sync copies charge the app");
+        assert!(ws.stats.fthr > 0.7, "converged: {}", ws.stats.fthr);
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(Mtm::new().name(), "mtm");
+    }
+}

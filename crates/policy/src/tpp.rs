@@ -1,0 +1,186 @@
+//! TPP: Transparent Page Placement (Maruf et al., ASPLOS'23), §2.1.
+//!
+//! Model of TPP's behaviour on the shared substrate:
+//! * **Promotion on NUMA hinting faults** — a slow-tier page that takes a
+//!   hinting fault is promoted *synchronously*, on the faulting
+//!   application's critical path, using the vanilla Linux mechanism
+//!   (global preparation, process-wide shootdowns).
+//! * **Watermark-based proactive demotion** — when fast-tier free pages
+//!   drop below the low watermark, the coldest fast pages are reclaimed
+//!   to the slow tier off the critical path (kswapd-style), until the
+//!   high watermark is restored.
+//!
+//! TPP is workload-agnostic: it keeps no per-workload accounting, which
+//! is exactly why co-located high-intensity workloads monopolize the fast
+//! tier (Observation #1).
+
+use vulcan_migrate::MechanismConfig;
+use vulcan_runtime::{SystemState, TieringPolicy};
+use vulcan_sim::TierKind;
+use vulcan_vm::Vpn;
+
+/// TPP configuration.
+#[derive(Clone, Debug)]
+pub struct TppConfig {
+    /// Low watermark: demotion starts below this free fraction.
+    pub low_watermark: f64,
+    /// High watermark: demotion stops at this free fraction.
+    pub high_watermark: f64,
+    /// Max promotions per workload per quantum (promotion rate limit).
+    pub promotion_budget: usize,
+    /// Max demotions per workload per quantum.
+    pub demotion_budget: usize,
+}
+
+impl Default for TppConfig {
+    fn default() -> Self {
+        TppConfig {
+            low_watermark: 0.02,
+            high_watermark: 0.08,
+            promotion_budget: 2_048,
+            demotion_budget: 2_048,
+        }
+    }
+}
+
+/// The TPP baseline policy.
+#[derive(Clone, Debug, Default)]
+pub struct Tpp {
+    cfg: TppConfig,
+}
+
+impl Tpp {
+    /// TPP with default watermarks.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// TPP with a custom configuration.
+    pub fn with_config(cfg: TppConfig) -> Self {
+        Tpp { cfg }
+    }
+}
+
+impl TieringPolicy for Tpp {
+    fn name(&self) -> &'static str {
+        "tpp"
+    }
+
+    fn on_quantum(&mut self, state: &mut SystemState) {
+        let mech = MechanismConfig::linux_baseline();
+
+        // 1. Promotion: hint-faulted slow pages go up synchronously.
+        for w in 0..state.n_workloads() {
+            if !state.workloads[w].started {
+                continue;
+            }
+            let candidates: Vec<Vpn> = {
+                let ws = &state.workloads[w];
+                ws.stats
+                    .hint_faulted_pages
+                    .iter()
+                    .map(|&(vpn, _)| vpn)
+                    .filter(|&vpn| ws.process.space.pte(vpn).tier() == Some(TierKind::Slow))
+                    .take(self.cfg.promotion_budget)
+                    .collect()
+            };
+            if !candidates.is_empty() && state.fast_free() > 0 {
+                // TPP's promotion is on the critical path of the faulting
+                // thread: charge the stall to the application.
+                state.migrate_sync(w, &candidates, TierKind::Fast, &mech);
+            }
+        }
+
+        // 2. Demotion: restore the free-page watermark from the coldest
+        //    fast pages, round-robin across workloads (kswapd is global).
+        let capacity = state.fast_capacity() as f64;
+        if (state.fast_free() as f64) < self.cfg.low_watermark * capacity {
+            let target_free = (self.cfg.high_watermark * capacity) as u64;
+            for w in 0..state.n_workloads() {
+                if state.fast_free() >= target_free {
+                    break;
+                }
+                if !state.workloads[w].started {
+                    continue;
+                }
+                let need = (target_free - state.fast_free()) as usize;
+                let victims: Vec<Vpn> = {
+                    let ws = &state.workloads[w];
+                    let mut cold: Vec<(Vpn, f64)> = ws
+                        .process
+                        .space
+                        .mapped_vpns()
+                        .filter(|&v| ws.process.space.pte(v).tier() == Some(TierKind::Fast))
+                        .map(|v| (v, ws.heat().get(v).heat))
+                        .collect();
+                    cold.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+                    cold.into_iter()
+                        .take(need.min(self.cfg.demotion_budget))
+                        .map(|(v, _)| v)
+                        .collect()
+                };
+                if !victims.is_empty() {
+                    state.migrate_background(w, &victims, TierKind::Slow, &mech);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulcan_profile::HintFaultProfiler;
+    use vulcan_runtime::{SimConfig, SimRunner};
+    use vulcan_sim::{MachineSpec, Nanos};
+    use vulcan_workloads::{microbench, MicroConfig};
+
+    fn quick(n_quanta: u64, fast: u64, wss: u64) -> SimRunner {
+        SimRunner::new(
+            MachineSpec::small(fast, 4096, 8),
+            vec![microbench(
+                "mb",
+                MicroConfig {
+                    rss_pages: 512,
+                    wss_pages: wss,
+                    ..Default::default()
+                },
+                2,
+            )
+            .preallocated(vulcan_sim::TierKind::Slow)],
+            &mut |_| Box::new(HintFaultProfiler::new(0.25)),
+            Box::new(Tpp::new()),
+            SimConfig {
+                quantum_active: Nanos::micros(500),
+                n_quanta,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn promotes_hint_faulted_pages_into_fast() {
+        // Data starts entirely in the slow tier; the fast tier (128) is
+        // bigger than the WSS (64): TPP should pull the hot WSS up.
+        let res = quick(30, 128, 64).run();
+        let w = res.workload("mb");
+        let final_fthr = res.series.get("mb.fthr").unwrap().last().unwrap();
+        assert!(final_fthr > 0.8, "hot WSS promoted, fthr={final_fthr}");
+        assert!(w.stall_cycles.0 > 0, "TPP promotion stalls the app");
+    }
+
+    #[test]
+    fn maintains_free_watermark() {
+        // WSS (256) exceeds the fast tier (128): promotions keep pushing
+        // against capacity, and watermark demotion must keep headroom.
+        let res = quick(40, 128, 256).run();
+        let fast_used = res.series.get("mb.fast_pages").unwrap().last().unwrap();
+        assert!(fast_used < 128.0, "watermark keeps headroom: {fast_used}");
+        assert!(fast_used > 32.0, "but fast tier is well used: {fast_used}");
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(Tpp::new().name(), "tpp");
+    }
+}

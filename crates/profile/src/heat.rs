@@ -1,0 +1,244 @@
+//! Per-page heat tracking with exponential decay.
+//!
+//! Profilers feed observed accesses into a [`HeatMap`]; migration
+//! policies read hot sets and write-intensity out of it. Decay gives the
+//! recency weighting that systems like Memtis apply to their access
+//! histograms (§2.1: strategies based on "frequency, recency, or a
+//! combination of both").
+
+use std::collections::HashMap;
+use vulcan_vm::Vpn;
+
+/// Accumulated statistics for one page.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PageStats {
+    /// Decayed access heat.
+    pub heat: f64,
+    /// Sampled reads since tracking began (decayed alongside heat).
+    pub reads: f64,
+    /// Sampled writes since tracking began (decayed alongside heat).
+    pub writes: f64,
+}
+
+impl PageStats {
+    /// Fraction of sampled accesses that were writes, in `[0, 1]`.
+    pub fn write_ratio(&self) -> f64 {
+        let total = self.reads + self.writes;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.writes / total
+        }
+    }
+
+    /// Whether the page counts as write-intensive under `threshold`
+    /// (Table 1 classifies pages read- vs write-intensive).
+    pub fn write_intensive(&self, threshold: f64) -> bool {
+        self.write_ratio() >= threshold
+    }
+}
+
+/// Decayed per-page heat map.
+///
+/// ```
+/// use vulcan_profile::HeatMap;
+/// use vulcan_vm::Vpn;
+///
+/// let mut heat = HeatMap::new(0.7);
+/// heat.record(Vpn(1), false, 10.0);
+/// heat.record(Vpn(2), true, 2.0);
+/// assert_eq!(heat.hot_set(1), vec![Vpn(1)]);
+/// heat.decay_epoch();
+/// assert_eq!(heat.get(Vpn(1)).heat, 7.0); // decayed by 0.7
+/// ```
+#[derive(Clone, Debug)]
+pub struct HeatMap {
+    pages: HashMap<u64, PageStats>,
+    /// Multiplier applied at each epoch (0 = pure frequency of last epoch,
+    /// 1 = pure cumulative frequency).
+    decay: f64,
+}
+
+impl HeatMap {
+    /// A heat map with per-epoch decay factor `decay` in `[0, 1]`.
+    pub fn new(decay: f64) -> HeatMap {
+        assert!((0.0..=1.0).contains(&decay), "decay must be in [0,1]");
+        HeatMap {
+            pages: HashMap::new(),
+            decay,
+        }
+    }
+
+    /// Record `weight` sampled accesses to `vpn`.
+    pub fn record(&mut self, vpn: Vpn, is_write: bool, weight: f64) {
+        let s = self.pages.entry(vpn.0).or_default();
+        s.heat += weight;
+        if is_write {
+            s.writes += weight;
+        } else {
+            s.reads += weight;
+        }
+    }
+
+    /// Apply one epoch of exponential decay, dropping negligible pages.
+    pub fn decay_epoch(&mut self) {
+        let d = self.decay;
+        self.pages.retain(|_, s| {
+            s.heat *= d;
+            s.reads *= d;
+            s.writes *= d;
+            s.heat >= 1e-3
+        });
+    }
+
+    /// Statistics for one page (zero if never sampled).
+    pub fn get(&self, vpn: Vpn) -> PageStats {
+        self.pages.get(&vpn.0).copied().unwrap_or_default()
+    }
+
+    /// Remove a page's statistics (e.g. after unmap).
+    pub fn forget(&mut self, vpn: Vpn) {
+        self.pages.remove(&vpn.0);
+    }
+
+    /// Number of tracked pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether no pages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Iterate `(vpn, stats)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, &PageStats)> {
+        self.pages.iter().map(|(&v, s)| (Vpn(v), s))
+    }
+
+    /// The `n` hottest pages, hottest first (ties by VPN for determinism).
+    pub fn hottest(&self, n: usize) -> Vec<(Vpn, f64)> {
+        let mut v: Vec<(Vpn, f64)> = self.iter().map(|(vpn, s)| (vpn, s.heat)).collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+        v.truncate(n);
+        v
+    }
+
+    /// The `n` coldest pages among those tracked, coldest first.
+    pub fn coldest(&self, n: usize) -> Vec<(Vpn, f64)> {
+        let mut v: Vec<(Vpn, f64)> = self.iter().map(|(vpn, s)| (vpn, s.heat)).collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Total heat across all pages.
+    pub fn total_heat(&self) -> f64 {
+        self.pages.values().map(|s| s.heat).sum()
+    }
+
+    /// The hot set under a capacity budget: hottest pages whose count fits
+    /// `budget_pages` (Memtis-style capacity-based classification).
+    pub fn hot_set(&self, budget_pages: usize) -> Vec<Vpn> {
+        self.hottest(budget_pages)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut h = HeatMap::new(0.5);
+        h.record(Vpn(1), false, 1.0);
+        h.record(Vpn(1), true, 2.0);
+        let s = h.get(Vpn(1));
+        assert_eq!(s.heat, 3.0);
+        assert_eq!(s.reads, 1.0);
+        assert_eq!(s.writes, 2.0);
+        assert!((s.write_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_page_is_cold() {
+        let h = HeatMap::new(0.5);
+        assert_eq!(h.get(Vpn(42)), PageStats::default());
+        assert_eq!(h.get(Vpn(42)).write_ratio(), 0.0);
+    }
+
+    #[test]
+    fn decay_halves_and_prunes() {
+        let mut h = HeatMap::new(0.5);
+        h.record(Vpn(1), false, 8.0);
+        h.record(Vpn(2), false, 0.001);
+        h.decay_epoch();
+        assert_eq!(h.get(Vpn(1)).heat, 4.0);
+        assert_eq!(h.len(), 1, "negligible page pruned");
+        for _ in 0..20 {
+            h.decay_epoch();
+        }
+        assert!(h.is_empty(), "everything decays away eventually");
+    }
+
+    #[test]
+    fn hottest_orders_and_breaks_ties_deterministically() {
+        let mut h = HeatMap::new(1.0);
+        h.record(Vpn(3), false, 5.0);
+        h.record(Vpn(1), false, 9.0);
+        h.record(Vpn(2), false, 5.0);
+        let top = h.hottest(3);
+        assert_eq!(top[0].0, Vpn(1));
+        assert_eq!(top[1].0, Vpn(2), "tie broken by vpn");
+        assert_eq!(top[2].0, Vpn(3));
+        assert_eq!(h.hottest(1).len(), 1);
+    }
+
+    #[test]
+    fn coldest_is_reverse_of_hottest_extremes() {
+        let mut h = HeatMap::new(1.0);
+        for (v, w) in [(1u64, 1.0), (2, 10.0), (3, 5.0)] {
+            h.record(Vpn(v), false, w);
+        }
+        assert_eq!(h.coldest(1)[0].0, Vpn(1));
+        assert_eq!(h.hottest(1)[0].0, Vpn(2));
+    }
+
+    #[test]
+    fn hot_set_respects_budget() {
+        let mut h = HeatMap::new(1.0);
+        for v in 0..10u64 {
+            h.record(Vpn(v), false, v as f64 + 1.0);
+        }
+        let hot = h.hot_set(3);
+        assert_eq!(hot, vec![Vpn(9), Vpn(8), Vpn(7)]);
+    }
+
+    #[test]
+    fn write_intensity_threshold() {
+        let mut h = HeatMap::new(1.0);
+        h.record(Vpn(1), true, 3.0);
+        h.record(Vpn(1), false, 7.0);
+        assert!(h.get(Vpn(1)).write_intensive(0.3));
+        assert!(!h.get(Vpn(1)).write_intensive(0.5));
+    }
+
+    #[test]
+    fn forget_removes() {
+        let mut h = HeatMap::new(1.0);
+        h.record(Vpn(1), false, 1.0);
+        h.forget(Vpn(1));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn total_heat_sums() {
+        let mut h = HeatMap::new(1.0);
+        h.record(Vpn(1), false, 2.0);
+        h.record(Vpn(2), true, 3.0);
+        assert!((h.total_heat() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,451 @@
+//! Profiling mechanisms (§2.1): PEBS-like event sampling, page-table
+//! scanning, NUMA hinting faults, and the hybrid profiler Vulcan uses by
+//! default (performance counters + hint faults, inspired by FlexMem).
+//!
+//! Each mechanism trades accuracy for overhead differently — the paper's
+//! §2.1 concludes "none provide a universal solution", which is why the
+//! daemon decouples the choice per workload (§3.2).
+
+use crate::heat::HeatMap;
+use vulcan_sim::{Cycles, Nanos};
+use vulcan_vm::{AddressSpace, Vpn};
+
+/// Result of one profiling epoch.
+#[derive(Clone, Debug, Default)]
+pub struct EpochOutcome {
+    /// Daemon-side cycle cost of the epoch.
+    pub cycles: Cycles,
+    /// Pages freshly poisoned for hinting faults — the runtime must
+    /// invalidate their TLB entries so the next access actually faults
+    /// (real kernels flush when installing the hint PTE).
+    pub poisoned: Vec<Vpn>,
+}
+
+impl EpochOutcome {
+    /// An epoch that only cost cycles.
+    pub fn cost(cycles: Cycles) -> Self {
+        EpochOutcome {
+            cycles,
+            poisoned: Vec::new(),
+        }
+    }
+}
+
+/// A page-access profiler.
+///
+/// The runtime calls [`on_access`](Profiler::on_access) for every demand
+/// access, [`on_hint_fault`](Profiler::on_hint_fault) when a poisoned PTE
+/// faults, and [`epoch`](Profiler::epoch) at each profiling interval; the
+/// returned cycles are charged to the daemon, not the application.
+pub trait Profiler {
+    /// Observe one demand access (the mechanism decides whether to sample).
+    fn on_access(&mut self, vpn: Vpn, is_write: bool);
+
+    /// Observe a hinting fault taken on a poisoned PTE.
+    fn on_hint_fault(&mut self, vpn: Vpn, is_write: bool) {
+        let _ = (vpn, is_write);
+    }
+
+    /// Per-epoch maintenance (scanning, poisoning, decay). Returns the
+    /// daemon-side cycle cost and any pages poisoned this epoch.
+    fn epoch(&mut self, space: &mut AddressSpace) -> EpochOutcome;
+
+    /// Latency this mechanism adds to every (non-faulting) access.
+    fn sampling_overhead(&self) -> Nanos {
+        Nanos::ZERO
+    }
+
+    /// The accumulated heat map.
+    fn heat(&self) -> &HeatMap;
+
+    /// Mutable access to the heat map (policies forget migrated pages).
+    fn heat_mut(&mut self) -> &mut HeatMap;
+}
+
+/// Default per-epoch heat decay (recency-vs-frequency balance).
+pub const DEFAULT_DECAY: f64 = 0.7;
+
+// ---------------------------------------------------------------------------
+
+/// PEBS-style event sampling: every `period`-th access is recorded.
+///
+/// Cheap and precise at moderate scale but suffers false negatives when
+/// the footprint is huge relative to the sampling rate (§2.1 cites
+/// Telescope's terabyte-scale critique) — reproduced here naturally: a
+/// page needs ≥`period` accesses per epoch to be reliably seen.
+#[derive(Clone, Debug)]
+pub struct PebsProfiler {
+    period: u64,
+    countdown: u64,
+    heat: HeatMap,
+    samples: u64,
+}
+
+impl PebsProfiler {
+    /// Sample every `period`-th access (Memtis uses a similar budget).
+    pub fn new(period: u64) -> Self {
+        assert!(period > 0);
+        PebsProfiler {
+            period,
+            countdown: period,
+            heat: HeatMap::new(DEFAULT_DECAY),
+            samples: 0,
+        }
+    }
+
+    /// Total samples taken.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The sampling period.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+}
+
+impl Profiler for PebsProfiler {
+    fn on_access(&mut self, vpn: Vpn, is_write: bool) {
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = self.period;
+            self.samples += 1;
+            // One sample stands for `period` accesses.
+            self.heat.record(vpn, is_write, self.period as f64);
+        }
+    }
+
+    fn epoch(&mut self, _space: &mut AddressSpace) -> EpochOutcome {
+        self.heat.decay_epoch();
+        // Draining the PEBS buffer is cheap and amortized.
+        EpochOutcome::cost(Cycles(2_000))
+    }
+
+    fn heat(&self) -> &HeatMap {
+        &self.heat
+    }
+
+    fn heat_mut(&mut self) -> &mut HeatMap {
+        &mut self.heat
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Page-table scanning: walk every mapped PTE each epoch, harvest and
+/// clear accessed bits (Nimble / MULTI-CLOCK style). Accurate presence
+/// signal, but the epoch cost is linear in RSS — the scalability problem
+/// §2.1 notes.
+#[derive(Clone, Debug)]
+pub struct PtScanProfiler {
+    heat: HeatMap,
+    /// Cycles to test-and-clear one PTE during the scan.
+    per_pte: Cycles,
+    scans: u64,
+}
+
+impl PtScanProfiler {
+    /// A scanner with the default per-PTE cost (~30 cycles).
+    pub fn new() -> Self {
+        PtScanProfiler {
+            heat: HeatMap::new(DEFAULT_DECAY),
+            per_pte: Cycles(30),
+            scans: 0,
+        }
+    }
+
+    /// Completed scan passes.
+    pub fn scans(&self) -> u64 {
+        self.scans
+    }
+}
+
+impl Default for PtScanProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Profiler for PtScanProfiler {
+    fn on_access(&mut self, _vpn: Vpn, _is_write: bool) {
+        // Scanning sees accesses only through PTE accessed bits.
+    }
+
+    fn epoch(&mut self, space: &mut AddressSpace) -> EpochOutcome {
+        self.heat.decay_epoch();
+        let vpns: Vec<Vpn> = space.mapped_vpns().collect();
+        let mut cost = Cycles::ZERO;
+        for vpn in &vpns {
+            let pte = space.pte(*vpn);
+            cost += self.per_pte;
+            if pte.accessed() {
+                // One bit per epoch: scanning can't distinguish 1 access
+                // from 1000 (its precision limitation), nor reads/writes
+                // beyond the dirty bit.
+                self.heat.record(*vpn, pte.dirty(), 1.0);
+                space.set_pte(*vpn, pte.clear_accessed().clear_dirty());
+            }
+        }
+        self.scans += 1;
+        EpochOutcome::cost(cost)
+    }
+
+    fn heat(&self) -> &HeatMap {
+        &self.heat
+    }
+
+    fn heat_mut(&mut self) -> &mut HeatMap {
+        &mut self.heat
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// NUMA hinting faults: each epoch poisons a window of mapped pages; the
+/// next access to a poisoned page takes a minor fault that reports the
+/// access precisely (AutoTiering / TPP style). Precise, but every sampled
+/// access pays fault latency — the overhead the runtime charges via
+/// [`vulcan_vm::TouchOutcome::hint_fault`].
+#[derive(Clone, Debug)]
+pub struct HintFaultProfiler {
+    heat: HeatMap,
+    /// Fraction of mapped pages poisoned each epoch.
+    poison_fraction: f64,
+    /// Rotating start offset so successive epochs cover different pages.
+    cursor: u64,
+    faults: u64,
+}
+
+impl HintFaultProfiler {
+    /// Poison `poison_fraction` of the RSS each epoch.
+    pub fn new(poison_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&poison_fraction));
+        HintFaultProfiler {
+            heat: HeatMap::new(DEFAULT_DECAY),
+            poison_fraction,
+            cursor: 0,
+            faults: 0,
+        }
+    }
+
+    /// Hint faults observed.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+}
+
+impl Profiler for HintFaultProfiler {
+    fn on_access(&mut self, _vpn: Vpn, _is_write: bool) {}
+
+    fn on_hint_fault(&mut self, vpn: Vpn, is_write: bool) {
+        self.faults += 1;
+        // A fault on a poisoned page witnesses roughly one epoch-window
+        // of accesses; weight higher than a scan bit.
+        self.heat.record(vpn, is_write, 4.0);
+    }
+
+    fn epoch(&mut self, space: &mut AddressSpace) -> EpochOutcome {
+        self.heat.decay_epoch();
+        let vpns: Vec<Vpn> = space.mapped_vpns().collect();
+        if vpns.is_empty() {
+            return EpochOutcome::default();
+        }
+        let n = ((vpns.len() as f64 * self.poison_fraction).ceil() as usize).max(1);
+        let start = (self.cursor as usize) % vpns.len();
+        let mut cost = Cycles::ZERO;
+        let mut poisoned = Vec::with_capacity(n);
+        for i in 0..n.min(vpns.len()) {
+            let vpn = vpns[(start + i) % vpns.len()];
+            let pte = space.pte(vpn);
+            space.set_pte(vpn, pte.with_poisoned(true));
+            poisoned.push(vpn);
+            cost += Cycles(150); // PTE write + local flush
+        }
+        self.cursor = self.cursor.wrapping_add(n as u64);
+        EpochOutcome { cycles: cost, poisoned }
+    }
+
+    fn heat(&self) -> &HeatMap {
+        &self.heat
+    }
+
+    fn heat_mut(&mut self) -> &mut HeatMap {
+        &mut self.heat
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Vulcan's default: PEBS sampling fused with hinting faults (§3.2,
+/// "hybrid profiling approach that integrates performance counter-based
+/// profiling and page hinting fault-based profiling", after FlexMem).
+///
+/// PEBS provides broad, cheap coverage; hint faults add precise
+/// confirmation for a rotating window, overcoming sampling's false
+/// negatives on large, moderately-warm footprints.
+#[derive(Clone, Debug)]
+pub struct HybridProfiler {
+    pebs: PebsProfiler,
+    hint: HintFaultProfiler,
+}
+
+impl HybridProfiler {
+    /// Hybrid with the given PEBS period and hint-fault window fraction.
+    pub fn new(pebs_period: u64, poison_fraction: f64) -> Self {
+        HybridProfiler {
+            pebs: PebsProfiler::new(pebs_period),
+            hint: HintFaultProfiler::new(poison_fraction),
+        }
+    }
+
+    /// Vulcan's default configuration.
+    pub fn vulcan_default() -> Self {
+        HybridProfiler::new(64, 0.05)
+    }
+}
+
+impl Profiler for HybridProfiler {
+    fn on_access(&mut self, vpn: Vpn, is_write: bool) {
+        self.pebs.on_access(vpn, is_write);
+    }
+
+    fn on_hint_fault(&mut self, vpn: Vpn, is_write: bool) {
+        // Fold the precise signal into the shared (PEBS) heat map so
+        // policies read a single fused view.
+        self.hint.faults += 1;
+        self.pebs.heat.record(vpn, is_write, 4.0);
+    }
+
+    fn epoch(&mut self, space: &mut AddressSpace) -> EpochOutcome {
+        let a = self.pebs.epoch(space);
+        let mut b = self.hint.epoch(space);
+        b.cycles += a.cycles;
+        b
+    }
+
+    fn heat(&self) -> &HeatMap {
+        &self.pebs.heat
+    }
+
+    fn heat_mut(&mut self) -> &mut HeatMap {
+        &mut self.pebs.heat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulcan_sim::{FrameId, TierKind};
+    use vulcan_vm::LocalTid;
+
+    fn space_with_pages(n: u64) -> AddressSpace {
+        let mut s = AddressSpace::new(false);
+        for v in 0..n {
+            s.map(
+                Vpn(v),
+                FrameId {
+                    tier: TierKind::Slow,
+                    index: v as u32,
+                },
+                LocalTid(0),
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn pebs_samples_every_period() {
+        let mut p = PebsProfiler::new(10);
+        for _ in 0..100 {
+            p.on_access(Vpn(1), false);
+        }
+        assert_eq!(p.samples(), 10);
+        assert_eq!(p.heat().get(Vpn(1)).heat, 100.0, "weighted by period");
+    }
+
+    #[test]
+    fn pebs_misses_infrequent_pages() {
+        let mut p = PebsProfiler::new(100);
+        // 99 accesses: below the period, never sampled.
+        for _ in 0..99 {
+            p.on_access(Vpn(7), false);
+        }
+        assert_eq!(p.samples(), 0, "false negative by design");
+    }
+
+    #[test]
+    fn ptscan_harvests_and_clears_accessed_bits() {
+        let mut s = space_with_pages(4);
+        s.touch(Vpn(0), LocalTid(0), false).unwrap();
+        s.touch(Vpn(1), LocalTid(0), true).unwrap();
+        let mut p = PtScanProfiler::new();
+        let out = p.epoch(&mut s);
+        assert!(out.cycles.0 >= 4 * 30);
+        assert_eq!(p.heat().get(Vpn(0)).heat, 1.0);
+        assert!(p.heat().get(Vpn(1)).write_ratio() > 0.0);
+        assert_eq!(p.heat().get(Vpn(2)).heat, 0.0);
+        assert!(!s.pte(Vpn(0)).accessed(), "bit cleared for next epoch");
+        assert_eq!(p.scans(), 1);
+    }
+
+    #[test]
+    fn ptscan_cost_scales_with_rss() {
+        let mut small = space_with_pages(10);
+        let mut large = space_with_pages(1000);
+        let mut p1 = PtScanProfiler::new();
+        let mut p2 = PtScanProfiler::new();
+        assert!(p2.epoch(&mut large).cycles.0 > 50 * p1.epoch(&mut small).cycles.0);
+    }
+
+    #[test]
+    fn hint_fault_poisons_rotating_window() {
+        let mut s = space_with_pages(100);
+        let mut p = HintFaultProfiler::new(0.1);
+        let out = p.epoch(&mut s);
+        assert_eq!(out.poisoned.len(), 10, "epoch reports poisoned pages");
+        let poisoned: Vec<Vpn> = s
+            .mapped_vpns()
+            .filter(|&v| s.pte(v).poisoned())
+            .collect();
+        assert_eq!(poisoned.len(), 10);
+        // Next epoch poisons a different window.
+        p.epoch(&mut s);
+        let poisoned2: usize = s.mapped_vpns().filter(|&v| s.pte(v).poisoned()).count();
+        assert_eq!(poisoned2, 20, "windows rotate, first batch still set");
+    }
+
+    #[test]
+    fn hint_fault_records_heat() {
+        let mut p = HintFaultProfiler::new(0.1);
+        p.on_hint_fault(Vpn(3), true);
+        assert_eq!(p.faults(), 1);
+        assert!(p.heat().get(Vpn(3)).heat > 0.0);
+        assert!(p.heat().get(Vpn(3)).write_ratio() > 0.99);
+    }
+
+    #[test]
+    fn hybrid_fuses_both_signals() {
+        let mut s = space_with_pages(50);
+        let mut p = HybridProfiler::vulcan_default();
+        for _ in 0..640 {
+            p.on_access(Vpn(5), false);
+        }
+        p.on_hint_fault(Vpn(9), false);
+        let out = p.epoch(&mut s);
+        assert!(out.cycles > Cycles::ZERO);
+        assert!(!out.poisoned.is_empty(), "hybrid poisons via hint faults");
+        assert!(p.heat().get(Vpn(5)).heat > 0.0, "PEBS signal present");
+        assert!(p.heat().get(Vpn(9)).heat > 0.0, "hint signal fused in");
+        // Poisoning happened too.
+        assert!(s.mapped_vpns().any(|v| s.pte(v).poisoned()));
+    }
+
+    #[test]
+    fn epoch_on_empty_space_is_safe() {
+        let mut s = AddressSpace::new(false);
+        let mut p = HintFaultProfiler::new(0.5);
+        let out = p.epoch(&mut s);
+        assert_eq!(out.cycles, Cycles::ZERO);
+        assert!(out.poisoned.is_empty());
+    }
+}

@@ -1,0 +1,277 @@
+//! Per-access simulation: TLB → page walk → tier access, with demand
+//! paging, hint faults and replication faults.
+
+use crate::state::{WorkloadState, WorkloadStats};
+use vulcan_migrate::ShadowRegistry;
+use vulcan_profile::Profiler;
+use vulcan_sim::{Machine, Nanos, TierKind};
+use vulcan_vm::{LocalTid, Process, TlbArray, Vpn};
+
+/// Cost of linking a thread's private upper-level tables to a shared leaf
+/// (a minor "replication fault", §3.6's manipulation overhead).
+const REPLICATION_FAULT: Nanos = Nanos(400);
+
+/// Cost of a major (demand-allocation) fault.
+const MAJOR_FAULT: Nanos = Nanos(2_000);
+
+/// Cost of a THP (2 MiB) demand fault — allocation plus clearing of a
+/// whole region, amortized over 512 base pages of coverage.
+const THP_FAULT: Nanos = Nanos(8_000);
+
+/// Extra cost of the locked walk that sets the dirty bit on a write hit.
+const DIRTY_WALK: Nanos = Nanos(5);
+
+/// Simulate one memory access of `tid` to `vpn`; returns its latency.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_access(
+    machine: &mut Machine,
+    tlbs: &mut TlbArray,
+    process: &mut Process,
+    profiler: &mut dyn Profiler,
+    shadows: &mut ShadowRegistry,
+    stats: &mut WorkloadStats,
+    quota: u64,
+    thp: bool,
+    tid: LocalTid,
+    vpn: Vpn,
+    write: bool,
+) -> Nanos {
+    let core = machine
+        .topology
+        .core_of(process.sim_thread(tid))
+        .expect("threads are pinned at construction");
+    let ac = &machine.spec().access_costs;
+    let (tlb_hit, walk, minor_fault) = (ac.tlb_hit, ac.walk, ac.minor_fault);
+    let mut t = tlb_hit;
+
+    // THP-backed region: one 2 MiB TLB entry covers 512 base pages.
+    if process.space.in_huge(vpn) {
+        let hit = tlbs.core(core).lookup_huge(process.asid, vpn);
+        if !hit {
+            t += walk;
+        }
+        // Hardware still maintains A/D on the (split-ready) base PTEs.
+        let out = process
+            .space
+            .touch(vpn, tid, write)
+            .expect("huge-marked region is mapped");
+        if !hit {
+            tlbs.core(core).insert_huge(process.asid, vpn);
+            if out.replication_fault {
+                stats.replication_faults += 1;
+                t += REPLICATION_FAULT;
+            }
+        }
+        let frame = out.pte.frame().expect("mapped");
+        let tier = frame.tier;
+        let lat = machine.access_latency(tier);
+        t += lat;
+        machine.record_access(tier);
+        profiler.on_access(vpn, write);
+        match tier {
+            TierKind::Fast => stats.fast_q += 1,
+            TierKind::Slow => stats.slow_q += 1,
+        }
+        if write {
+            stats.write_bytes_q += 64;
+        } else {
+            stats.read_bytes_q += 64;
+        }
+        stats.mem_time_q += lat;
+        return t;
+    }
+
+    let cached = tlbs.core(core).lookup(process.asid, vpn);
+    let frame = match cached {
+        Some(f) if !write => f,
+        Some(f) => {
+            // Write hit: hardware performs a locked walk to set D.
+            t += DIRTY_WALK;
+            match process.space.touch(vpn, tid, true) {
+                Some(out) => {
+                    if out.hint_fault {
+                        stats.hint_faults += 1;
+                        t += minor_fault;
+                        profiler.on_hint_fault(vpn, true);
+                        stats.hint_faulted_pages.push((vpn, true));
+                    }
+                    out.pte.frame().expect("touched mapped page")
+                }
+                None => f, // defensive: stale entry, use the cached frame
+            }
+        }
+        None => {
+            t += walk;
+            let out = match process.space.touch(vpn, tid, write) {
+                Some(o) => o,
+                None => {
+                    // Major fault: demand-allocate, preferring the fast
+                    // tier while the workload is under its quota.
+                    stats.major_faults += 1;
+                    let pref = if stats.fast_used < quota {
+                        TierKind::Fast
+                    } else {
+                        TierKind::Slow
+                    };
+                    if thp && try_thp_fault(machine, process, stats, pref, tid, vpn) {
+                        t += THP_FAULT;
+                        tlbs.core(core).insert_huge(process.asid, vpn);
+                        process.space.touch(vpn, tid, write).expect("just mapped");
+                        // Account the access against the mapped tier.
+                        let pte = process.space.pte(vpn);
+                        let tier = pte.tier().expect("mapped");
+                        let lat = machine.access_latency(tier);
+                        machine.record_access(tier);
+                        profiler.on_access(vpn, write);
+                        match tier {
+                            TierKind::Fast => stats.fast_q += 1,
+                            TierKind::Slow => stats.slow_q += 1,
+                        }
+                        if write {
+                            stats.write_bytes_q += 64;
+                        } else {
+                            stats.read_bytes_q += 64;
+                        }
+                        stats.mem_time_q += lat;
+                        return t + lat;
+                    }
+                    t += MAJOR_FAULT;
+                    let frame = match machine.alloc_with_fallback(pref) {
+                        Ok(f) => f,
+                        Err(_) => {
+                            // Both tiers full: reclaim shadow frames.
+                            for f in shadows.evict(64) {
+                                machine.free(f);
+                            }
+                            machine
+                                .alloc_with_fallback(pref)
+                                .expect("tiers sized below combined RSS")
+                        }
+                    };
+                    if frame.tier == TierKind::Fast {
+                        stats.fast_used += 1;
+                    }
+                    process.space.map(vpn, frame, tid);
+                    process.space.touch(vpn, tid, write).expect("just mapped")
+                }
+            };
+            if out.hint_fault {
+                stats.hint_faults += 1;
+                t += minor_fault;
+                profiler.on_hint_fault(vpn, write);
+                stats.hint_faulted_pages.push((vpn, write));
+            }
+            if out.replication_fault {
+                stats.replication_faults += 1;
+                t += REPLICATION_FAULT;
+            }
+            let frame = out.pte.frame().expect("mapped");
+            tlbs.core(core).insert(process.asid, vpn, frame);
+            frame
+        }
+    };
+
+    let tier = frame.tier;
+    let lat = machine.access_latency(tier);
+    t += lat;
+    machine.record_access(tier);
+    profiler.on_access(vpn, write);
+    match tier {
+        TierKind::Fast => stats.fast_q += 1,
+        TierKind::Slow => stats.slow_q += 1,
+    }
+    if write {
+        stats.write_bytes_q += 64;
+    } else {
+        stats.read_bytes_q += 64;
+    }
+    stats.mem_time_q += lat;
+    t
+}
+
+/// Try to service a major fault with a whole 2 MiB region: every page of
+/// the region must be unmapped and the preferred tier must have 512 free
+/// frames (THP does not straddle tiers). Returns true on success.
+fn try_thp_fault(
+    machine: &mut Machine,
+    process: &mut Process,
+    stats: &mut WorkloadStats,
+    pref: TierKind,
+    tid: LocalTid,
+    vpn: Vpn,
+) -> bool {
+    let base = vpn.huge_base();
+    let span = vulcan_sim::HUGE_PAGE_PAGES as u64;
+    if machine.free_pages(pref) < span {
+        return false;
+    }
+    for v in base.0..base.0 + span {
+        if process.space.is_mapped(Vpn(v)) {
+            return false; // partially populated region: fall back to 4K
+        }
+    }
+    for v in base.0..base.0 + span {
+        let frame = machine.alloc(pref).expect("checked capacity");
+        process.space.map(Vpn(v), frame, tid);
+    }
+    if pref == TierKind::Fast {
+        stats.fast_used += span;
+    }
+    process.space.mark_huge(base);
+    true
+}
+
+/// Run one thread of a workload for (at least) `budget` of simulated time,
+/// completing whole operations.
+pub(crate) fn run_thread_quantum(
+    machine: &mut Machine,
+    tlbs: &mut TlbArray,
+    ws: &mut WorkloadState,
+    thread_idx: usize,
+    budget: Nanos,
+) {
+    if budget == Nanos::ZERO {
+        ws.stats.active_q += Nanos::ZERO;
+        return;
+    }
+    let quota = ws.effective_quota();
+    let thp = ws.spec.thp;
+    let tid = LocalTid(thread_idx as u8);
+    let WorkloadState {
+        gen,
+        rngs,
+        process,
+        profiler,
+        shadows,
+        stats,
+        ..
+    } = ws;
+    let rng = &mut rngs[thread_idx];
+    let mut buf: Vec<vulcan_workloads::PageAccess> = Vec::with_capacity(16);
+    let mut used = Nanos::ZERO;
+    while used < budget {
+        buf.clear();
+        gen.next_op(thread_idx, rng, &mut buf);
+        let mut t = gen.fixed_op_nanos();
+        for a in &buf {
+            t += simulate_access(
+                machine,
+                tlbs,
+                process,
+                profiler.as_mut(),
+                shadows,
+                stats,
+                quota,
+                thp,
+                tid,
+                Vpn(a.offset),
+                a.write,
+            );
+        }
+        used += t;
+        stats.ops_q += 1;
+        stats.ops_total += 1;
+        stats.op_latency_q += t;
+    }
+    ws.stats.active_q += used;
+}

@@ -1,0 +1,18 @@
+//! # vulcan-runtime — the simulation driver
+//!
+//! Drives co-located workloads against the simulated tiered-memory
+//! machine: per-access TLB/page-table/tier simulation, demand paging,
+//! staggered arrivals, FTHR tracking (equations 1–2), CFI accumulation
+//! (equation 4), and the [`TieringPolicy`] trait that baselines
+//! (`vulcan-policy`) and Vulcan itself (`vulcan-core`) implement.
+
+#![warn(missing_docs)]
+
+mod access;
+pub mod policy;
+pub mod runner;
+pub mod state;
+
+pub use policy::{StaticPlacement, TieringPolicy, UniformPartition};
+pub use runner::{hot_page_ratio, RunResult, SimConfig, SimRunner, WorkloadResult};
+pub use state::{SystemState, WorkloadState, WorkloadStats, FTHR_ALPHA};

@@ -1,0 +1,109 @@
+//! The tiering-policy interface.
+//!
+//! A policy observes the whole system once per quantum and issues
+//! promotions/demotions through [`SystemState`]'s migration helpers.
+//! Baselines (TPP, Memtis, Nomad) live in `vulcan-policy`; the paper's
+//! contribution lives in `vulcan-core`. Both implement this trait.
+
+use crate::state::SystemState;
+
+/// A memory-tiering policy driven once per quantum.
+pub trait TieringPolicy {
+    /// Short display name (used in tables and figures).
+    fn name(&self) -> &'static str;
+
+    /// Called once before the first quantum executes (initial quotas,
+    /// watermarks). Defaults to nothing.
+    fn on_start(&mut self, state: &mut SystemState) {
+        let _ = state;
+    }
+
+    /// Observe the system and issue migrations for this quantum.
+    fn on_quantum(&mut self, state: &mut SystemState);
+}
+
+/// A policy that never migrates: pages stay where first-touch allocation
+/// placed them. The floor every tiering system must beat.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StaticPlacement;
+
+impl TieringPolicy for StaticPlacement {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn on_quantum(&mut self, _state: &mut SystemState) {}
+}
+
+/// Uniform partitioning without migration intelligence: every workload
+/// gets an equal fast-tier quota enforced at allocation time (the
+/// straw-man §3.3 dismisses as inefficient under dynamic demands).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UniformPartition;
+
+impl TieringPolicy for UniformPartition {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn on_start(&mut self, state: &mut SystemState) {
+        self.on_quantum(state);
+    }
+
+    fn on_quantum(&mut self, state: &mut SystemState) {
+        let started = state.workloads.iter().filter(|w| w.started).count().max(1);
+        let share = state.fast_capacity() / started as u64;
+        for w in 0..state.n_workloads() {
+            if state.workloads[w].started {
+                state.set_quota(w, share);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::SystemState;
+    use vulcan_profile::PebsProfiler;
+    use vulcan_sim::{Machine, MachineSpec};
+    use vulcan_workloads::{microbench, MicroConfig};
+
+    fn mk_state() -> SystemState {
+        let specs = vec![
+            microbench("a", MicroConfig { rss_pages: 128, wss_pages: 64, ..Default::default() }, 2),
+            microbench("b", MicroConfig { rss_pages: 128, wss_pages: 64, ..Default::default() }, 2),
+        ];
+        SystemState::new(
+            Machine::new(MachineSpec::small(100, 1024, 8)),
+            specs,
+            &mut |_| Box::new(PebsProfiler::new(4)),
+            true,
+            1,
+        )
+    }
+
+    #[test]
+    fn static_placement_does_nothing() {
+        let mut st = mk_state();
+        StaticPlacement.on_quantum(&mut st);
+        assert!(st.workloads.iter().all(|w| w.quota.is_none()));
+        assert_eq!(StaticPlacement.name(), "static");
+    }
+
+    #[test]
+    fn uniform_partition_splits_evenly() {
+        let mut st = mk_state();
+        UniformPartition.on_quantum(&mut st);
+        assert_eq!(st.workloads[0].quota, Some(50));
+        assert_eq!(st.workloads[1].quota, Some(50));
+    }
+
+    #[test]
+    fn uniform_partition_adapts_to_started_set() {
+        let mut st = mk_state();
+        st.workloads[1].started = false;
+        UniformPartition.on_quantum(&mut st);
+        assert_eq!(st.workloads[0].quota, Some(100), "GFMC adjusts with n");
+    }
+}

@@ -1,0 +1,546 @@
+//! The quantum-stepped simulation driver.
+//!
+//! Each *quantum* represents one displayed second of the paper's
+//! timelines but simulates a shorter active window (`quantum_active`,
+//! default 2 ms) of every thread's execution — the workloads are
+//! stationary at sub-second scale, so the window is statistically
+//! representative while keeping full-timeline runs (~200 s) cheap.
+//! Throughput and bandwidth are normalized to simulated *active* time, so
+//! the scaling does not distort any reported rate.
+
+use crate::access::run_thread_quantum;
+use crate::policy::TieringPolicy;
+use crate::state::SystemState;
+use vulcan_metrics::{CfiAccumulator, OnlineStats, SeriesSet};
+use vulcan_profile::Profiler;
+use vulcan_sim::{Cycles, Machine, MachineSpec, Nanos, TierKind};
+use vulcan_workloads::{WorkloadClass, WorkloadSpec};
+
+/// Configuration of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Simulated active execution per quantum (per thread).
+    pub quantum_active: Nanos,
+    /// Displayed wall time per quantum (timeline granularity).
+    pub quantum_wall: Nanos,
+    /// Number of quanta to run.
+    pub n_quanta: u64,
+    /// RNG seed (trials vary this).
+    pub seed: u64,
+    /// Enable per-thread page-table replication (§3.4); ablation switch.
+    pub replication: bool,
+    /// Record full time series (disable for throughput-only sweeps).
+    pub record_series: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            quantum_active: Nanos::millis(2),
+            quantum_wall: Nanos::secs(1),
+            n_quanta: 60,
+            seed: 42,
+            replication: true,
+            record_series: true,
+        }
+    }
+}
+
+/// Per-workload summary of a finished run.
+#[derive(Clone, Debug)]
+pub struct WorkloadResult {
+    /// Workload name.
+    pub name: String,
+    /// Ground-truth class.
+    pub class: WorkloadClass,
+    /// Mean throughput over started quanta (ops per active second).
+    pub mean_ops_per_sec: f64,
+    /// Mean operation latency (ns).
+    pub mean_latency_ns: f64,
+    /// Mean fast-tier hit ratio (FTHR).
+    pub mean_fthr: f64,
+    /// Mean fraction of the RSS resident in fast memory (Figure 1's
+    /// "hot page ratio" — the share of pages classified hot).
+    pub mean_hot_ratio: f64,
+    /// Mean read bandwidth (GB/s of demand traffic).
+    pub mean_read_gbps: f64,
+    /// Mean write bandwidth (GB/s of demand traffic).
+    pub mean_write_gbps: f64,
+    /// Total operations completed.
+    pub ops_total: u64,
+    /// Total synchronous migration stall charged.
+    pub stall_cycles: Cycles,
+    /// Page-table memory added by per-thread replication.
+    pub replication_overhead_bytes: u64,
+}
+
+impl WorkloadResult {
+    /// The paper's per-class performance metric: op latency inverse for
+    /// latency-critical workloads, throughput for best-effort ones.
+    pub fn performance(&self) -> f64 {
+        match self.class {
+            WorkloadClass::LatencyCritical => {
+                if self.mean_latency_ns == 0.0 {
+                    0.0
+                } else {
+                    1e9 / self.mean_latency_ns
+                }
+            }
+            WorkloadClass::BestEffort => self.mean_ops_per_sec,
+        }
+    }
+}
+
+/// Summary of a finished run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The policy that ran.
+    pub policy: String,
+    /// Per-workload summaries, in spec order.
+    pub per_workload: Vec<WorkloadResult>,
+    /// FTHR-weighted Cumulative Fairness Index (equation 4).
+    pub cfi: f64,
+    /// Recorded time series (empty if disabled).
+    pub series: SeriesSet,
+}
+
+impl RunResult {
+    /// Look up a workload's result by name.
+    pub fn workload(&self, name: &str) -> &WorkloadResult {
+        self.per_workload
+            .iter()
+            .find(|w| w.name == name)
+            .unwrap_or_else(|| panic!("no workload named {name}"))
+    }
+}
+
+/// The simulation driver: workloads + machine + policy.
+pub struct SimRunner {
+    /// The live system state (public for policy unit tests).
+    pub state: SystemState,
+    policy: Box<dyn TieringPolicy>,
+    cfg: SimConfig,
+    series: SeriesSet,
+    cfi: CfiAccumulator,
+    thr_stats: Vec<OnlineStats>,
+    lat_stats: Vec<OnlineStats>,
+    fthr_stats: Vec<OnlineStats>,
+    hot_stats: Vec<OnlineStats>,
+    rbw_stats: Vec<OnlineStats>,
+    wbw_stats: Vec<OnlineStats>,
+}
+
+impl SimRunner {
+    /// Build a runner with the given machine, workloads, profiler factory
+    /// and policy.
+    pub fn new(
+        machine_spec: MachineSpec,
+        specs: Vec<WorkloadSpec>,
+        make_profiler: &mut dyn FnMut(&WorkloadSpec) -> Box<dyn Profiler>,
+        policy: Box<dyn TieringPolicy>,
+        cfg: SimConfig,
+    ) -> SimRunner {
+        let n = specs.len();
+        let mut state = SystemState::new(
+            Machine::new(machine_spec),
+            specs,
+            make_profiler,
+            cfg.replication,
+            cfg.seed,
+        );
+        state.quantum_active = cfg.quantum_active;
+        SimRunner {
+            state,
+            policy,
+            cfg,
+            series: SeriesSet::new(),
+            cfi: CfiAccumulator::new(n),
+            thr_stats: vec![OnlineStats::new(); n],
+            lat_stats: vec![OnlineStats::new(); n],
+            fthr_stats: vec![OnlineStats::new(); n],
+            hot_stats: vec![OnlineStats::new(); n],
+            rbw_stats: vec![OnlineStats::new(); n],
+            wbw_stats: vec![OnlineStats::new(); n],
+        }
+    }
+
+    /// Run all configured quanta and summarize.
+    pub fn run(mut self) -> RunResult {
+        for _ in 0..self.cfg.n_quanta {
+            self.run_quantum();
+        }
+        self.finish()
+    }
+
+    /// Execute a single quantum (exposed for step-wise tests).
+    pub fn run_quantum(&mut self) {
+        if self.state.quantum_index == 0 {
+            self.policy.on_start(&mut self.state);
+        }
+        let st = &mut self.state;
+
+        // Staggered arrivals (§5.3) and departures.
+        for w in &mut st.workloads {
+            if !w.started && !w.departed && w.spec.start <= st.now {
+                w.started = true;
+            }
+        }
+        for wi in 0..st.workloads.len() {
+            let due = st.workloads[wi]
+                .spec
+                .stop
+                .is_some_and(|t| t <= st.now && st.workloads[wi].started);
+            if due {
+                st.teardown(wi);
+            }
+        }
+
+        // Commit async transactions whose copy window elapsed before this
+        // quantum runs: transactional migration completes in microseconds,
+        // so its placement takes effect in the very next quantum, exactly
+        // like a synchronous promotion (minus the stall).
+        for wi in 0..st.workloads.len() {
+            if st.workloads[wi].started && st.workloads[wi].async_migrator.inflight() > 0 {
+                let mech = st.workloads[wi].async_mech;
+                st.poll_async(wi, &mech);
+            }
+        }
+
+        // Execute every thread of every started workload.
+        let quantum = self.cfg.quantum_active;
+        for wi in 0..st.workloads.len() {
+            if !st.workloads[wi].started {
+                continue;
+            }
+            let n_threads = st.workloads[wi].spec.n_threads;
+            // Charge pending sync-migration stall against this quantum.
+            let stall_per_thread = st.workloads[wi].pending_stall / n_threads as u64;
+            st.workloads[wi].pending_stall = Nanos::ZERO;
+            let budget = quantum.saturating_sub(stall_per_thread);
+            // Split the workload out of the Vec to borrow machine+tlbs
+            // mutably alongside it.
+            let (machine, tlbs) = (&mut st.machine, &mut st.tlbs);
+            let ws = &mut st.workloads[wi];
+            for t in 0..n_threads {
+                run_thread_quantum(machine, tlbs, ws, t, budget);
+            }
+            // Blocked time is wall time: it counts against throughput
+            // (ops / active second) and inflates the quantum's op
+            // latencies — on-critical-path migration is not free.
+            let blocked = stall_per_thread * n_threads as u64;
+            ws.stats.active_q += blocked;
+            ws.stats.op_latency_q += blocked;
+        }
+
+        // Roll bandwidth contention into the next quantum.
+        st.machine.end_quantum(quantum);
+
+        // Profiling epochs (daemon side). Freshly poisoned PTEs must be
+        // flushed from the workload's TLBs so the hint faults fire.
+        for ws in &mut st.workloads {
+            if !ws.started {
+                continue;
+            }
+            let out = ws.profiler.epoch(&mut ws.process.space);
+            ws.stats.daemon_cycles += out.cycles;
+            if !out.poisoned.is_empty() {
+                let cores = st
+                    .machine
+                    .topology
+                    .cores_of(ws.process.sim_threads().iter().copied());
+                for vpn in out.poisoned {
+                    st.tlbs
+                        .invalidate_on(cores.iter().copied(), ws.process.asid, vpn);
+                }
+            }
+        }
+
+        // Policy decisions.
+        self.policy.on_quantum(st);
+        for w in 0..st.workloads.len() {
+            st.recount_fast(w);
+        }
+
+        // Metrics and series.
+        self.record_quantum();
+
+        self.state.now += self.cfg.quantum_wall;
+        self.state.quantum_index += 1;
+    }
+
+    fn record_quantum(&mut self) {
+        let st = &mut self.state;
+        let t = st.now.as_secs_f64();
+        let wall_secs = self.cfg.quantum_wall.as_secs_f64();
+        let started_count = st.workloads.iter().filter(|w| w.started).count().max(1);
+        let gfmc = st.machine.allocator(TierKind::Fast).capacity() as f64 / started_count as f64;
+
+        let mut allocs = Vec::with_capacity(st.workloads.len());
+        let mut fthrs = Vec::with_capacity(st.workloads.len());
+        let all_started = st.workloads.iter().all(|w| w.started);
+
+        for (wi, ws) in st.workloads.iter_mut().enumerate() {
+            if !ws.started {
+                allocs.push(0.0);
+                fthrs.push(0.0);
+                continue;
+            }
+            // Capture this quantum's rates before rolling.
+            let ops_per_sec = ws.stats.ops_per_sec_q();
+            let latency = ws.stats.mean_op_latency_q();
+            let hit = ws.stats.quantum_hit_ratio();
+            let active_s = ws.stats.active_q.as_secs_f64().max(1e-12);
+            let rbw = ws.stats.read_bytes_q as f64 / active_s / 1e9;
+            let wbw = ws.stats.write_bytes_q as f64 / active_s / 1e9;
+            ws.stats.roll_quantum();
+            let fthr = ws.stats.fthr;
+            let fast_pages = ws.stats.fast_used as f64;
+
+            // Hot-page ratio: fraction of the hot set resident in fast.
+            let hot_ratio = hot_page_ratio(ws);
+
+            self.thr_stats[wi].push(ops_per_sec);
+            self.lat_stats[wi].push(latency);
+            self.fthr_stats[wi].push(fthr);
+            self.hot_stats[wi].push(hot_ratio);
+            self.rbw_stats[wi].push(rbw);
+            self.wbw_stats[wi].push(wbw);
+
+            allocs.push(fast_pages);
+            fthrs.push(fthr);
+
+            if self.cfg.record_series {
+                let name = ws.spec.name.clone();
+                let rss = ws.rss_pages() as f64;
+                let gpt = if rss == 0.0 { 1.0 } else { (gfmc / rss).min(1.0) };
+                let slow_pages = rss - fast_pages;
+                for (suffix, v) in [
+                    ("fthr", fthr),
+                    ("hit", hit),
+                    ("gpt", gpt),
+                    ("fast_pages", fast_pages),
+                    ("slow_pages", slow_pages),
+                    ("hot_ratio", hot_ratio),
+                    ("ops_per_sec", ops_per_sec),
+                    ("latency_ns", latency),
+                    ("bw_read_gbps", rbw),
+                    ("bw_write_gbps", wbw),
+                ] {
+                    self.series.entry(&format!("{name}.{suffix}")).push(t, v);
+                }
+            }
+            let _ = wall_secs;
+        }
+        // CFI is accumulated over the full-co-location window: fairness
+        // among N workloads is only defined once all N compete (solo
+        // warm-up phases would otherwise dominate the cumulative X_i).
+        if all_started {
+            self.cfi.record(&allocs, &fthrs);
+        }
+    }
+
+    fn finish(self) -> RunResult {
+        let per_workload = self
+            .state
+            .workloads
+            .iter()
+            .enumerate()
+            .map(|(wi, ws)| WorkloadResult {
+                name: ws.spec.name.clone(),
+                class: ws.spec.class,
+                mean_ops_per_sec: self.thr_stats[wi].mean(),
+                mean_latency_ns: self.lat_stats[wi].mean(),
+                mean_fthr: self.fthr_stats[wi].mean(),
+                mean_hot_ratio: self.hot_stats[wi].mean(),
+                mean_read_gbps: self.rbw_stats[wi].mean(),
+                mean_write_gbps: self.wbw_stats[wi].mean(),
+                ops_total: ws.stats.ops_total,
+                stall_cycles: ws.stats.stall_cycles,
+                replication_overhead_bytes: ws.process.space.replication_overhead_bytes(),
+            })
+            .collect();
+        RunResult {
+            policy: self.policy.name().to_string(),
+            per_workload,
+            cfi: self.cfi.cfi(),
+            series: self.series,
+        }
+    }
+}
+
+/// Figure 1's "hot page ratio": the fraction of a workload's resident
+/// pages the tiering system currently classifies hot. Capacity-based
+/// systems equate "hot" with fast-tier residency, so this is the
+/// fast-resident share of the RSS — the quantity that collapses from
+/// ~75% to <28% for Memcached under co-location (§2.2, Figure 1d).
+pub fn hot_page_ratio(ws: &crate::state::WorkloadState) -> f64 {
+    let rss = ws.rss_pages();
+    if rss == 0 {
+        return 0.0;
+    }
+    ws.stats.fast_used as f64 / rss as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{StaticPlacement, UniformPartition};
+    use vulcan_profile::PebsProfiler;
+    use vulcan_workloads::{microbench, MicroConfig};
+
+    fn quick_cfg(n: u64) -> SimConfig {
+        SimConfig {
+            quantum_active: Nanos::micros(200),
+            n_quanta: n,
+            ..Default::default()
+        }
+    }
+
+    fn micro_spec(name: &str, rss: u64, wss: u64) -> WorkloadSpec {
+        microbench(
+            name,
+            MicroConfig {
+                rss_pages: rss,
+                wss_pages: wss,
+                ..Default::default()
+            },
+            2,
+        )
+    }
+
+    #[test]
+    fn run_completes_and_reports() {
+        let runner = SimRunner::new(
+            MachineSpec::small(256, 2048, 8),
+            vec![micro_spec("a", 512, 128)],
+            &mut |_| Box::new(PebsProfiler::new(4)),
+            Box::new(StaticPlacement),
+            quick_cfg(5),
+        );
+        let res = runner.run();
+        assert_eq!(res.policy, "static");
+        let w = res.workload("a");
+        assert!(w.ops_total > 0);
+        assert!(w.mean_ops_per_sec > 0.0);
+        assert!(w.mean_latency_ns > 0.0);
+        assert!((0.0..=1.0).contains(&w.mean_fthr));
+        assert!((0.0..=1.0).contains(&res.cfi));
+        assert!(res.series.get("a.fthr").is_some());
+        assert_eq!(res.series.get("a.fthr").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn first_touch_fills_fast_tier_first() {
+        let runner = SimRunner::new(
+            MachineSpec::small(64, 2048, 8),
+            vec![micro_spec("a", 512, 512)],
+            &mut |_| Box::new(PebsProfiler::new(4)),
+            Box::new(StaticPlacement),
+            quick_cfg(3),
+        );
+        let res = runner.run();
+        let fast = res.series.get("a.fast_pages").unwrap().last().unwrap();
+        assert_eq!(fast, 64.0, "fast tier fully used before spilling");
+    }
+
+    #[test]
+    fn small_wss_reaches_high_hit_ratio_in_fast() {
+        // WSS (32 pages) fits the 256-page fast tier: nearly all accesses
+        // should land fast even with static placement.
+        let runner = SimRunner::new(
+            MachineSpec::small(256, 2048, 8),
+            vec![micro_spec("a", 128, 32)],
+            &mut |_| Box::new(PebsProfiler::new(4)),
+            Box::new(StaticPlacement),
+            quick_cfg(5),
+        );
+        let res = runner.run();
+        assert!(
+            res.workload("a").mean_fthr > 0.9,
+            "fthr = {}",
+            res.workload("a").mean_fthr
+        );
+    }
+
+    #[test]
+    fn staggered_workload_starts_late() {
+        let specs = vec![
+            micro_spec("early", 128, 32),
+            micro_spec("late", 128, 32).starting_at(Nanos::secs(3)),
+        ];
+        let runner = SimRunner::new(
+            MachineSpec::small(256, 2048, 8),
+            specs,
+            &mut |_| Box::new(PebsProfiler::new(4)),
+            Box::new(StaticPlacement),
+            quick_cfg(6),
+        );
+        let res = runner.run();
+        let early = res.workload("early").ops_total;
+        let late = res.workload("late").ops_total;
+        assert!(late > 0, "late workload eventually runs");
+        assert!(early > late, "early ran more quanta: {early} vs {late}");
+        // Late workload's series shows zero-activity leading quanta.
+        let ops = &res.series.get("late.ops_per_sec").unwrap().points;
+        assert_eq!(ops.len(), 3, "recorded only after start");
+    }
+
+    #[test]
+    fn uniform_quota_limits_fast_usage() {
+        let specs = vec![micro_spec("a", 512, 512), micro_spec("b", 512, 512)];
+        let runner = SimRunner::new(
+            MachineSpec::small(128, 4096, 8),
+            specs,
+            &mut |_| Box::new(PebsProfiler::new(4)),
+            Box::new(UniformPartition),
+            quick_cfg(4),
+        );
+        let res = runner.run();
+        for name in ["a", "b"] {
+            let fast = res.series.get(&format!("{name}.fast_pages")).unwrap();
+            assert!(
+                fast.last().unwrap() <= 64.0 + 1.0,
+                "{name} exceeded quota: {:?}",
+                fast.last()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            SimRunner::new(
+                MachineSpec::small(128, 1024, 8),
+                vec![micro_spec("a", 256, 64)],
+                &mut |_| Box::new(PebsProfiler::new(4)),
+                Box::new(StaticPlacement),
+                quick_cfg(3),
+            )
+            .run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.workload("a").ops_total, b.workload("a").ops_total);
+        assert_eq!(a.cfi, b.cfi);
+    }
+
+    #[test]
+    fn performance_metric_by_class() {
+        let mut w = WorkloadResult {
+            name: "x".into(),
+            class: WorkloadClass::BestEffort,
+            mean_ops_per_sec: 100.0,
+            mean_latency_ns: 1000.0,
+            mean_fthr: 0.5,
+            mean_hot_ratio: 0.5,
+            mean_read_gbps: 0.0,
+            mean_write_gbps: 0.0,
+            ops_total: 1,
+            stall_cycles: Cycles::ZERO,
+            replication_overhead_bytes: 0,
+        };
+        assert_eq!(w.performance(), 100.0);
+        w.class = WorkloadClass::LatencyCritical;
+        assert_eq!(w.performance(), 1e6, "1e9/latency");
+    }
+}

@@ -1,0 +1,621 @@
+//! Live simulation state: the machine plus one [`WorkloadState`] per
+//! co-located application, with the migration helpers policies call.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vulcan_migrate::{migrate_sync, AsyncMigrator, MechanismConfig, ShadowRegistry, SyncOutcome};
+use vulcan_profile::{HeatMap, Profiler};
+use vulcan_sim::{Cycles, Machine, Nanos, SimThreadId, TierKind};
+use vulcan_vm::{Asid, Process, TlbArray, Vpn};
+use vulcan_workloads::{AccessGen, WorkloadClass, WorkloadSpec};
+
+/// Per-quantum and cumulative statistics of one workload.
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadStats {
+    /// Operations completed (cumulative).
+    pub ops_total: u64,
+    /// Operations completed this quantum.
+    pub ops_q: u64,
+    /// Sum of op latencies this quantum.
+    pub op_latency_q: Nanos,
+    /// Demand accesses hitting the fast tier this quantum (`a_fast`, eq 1).
+    pub fast_q: u64,
+    /// Demand accesses hitting the slow tier this quantum (`a_slow`, eq 1).
+    pub slow_q: u64,
+    /// Bytes read this quantum (for Figure 8 bandwidth).
+    pub read_bytes_q: u64,
+    /// Bytes written this quantum.
+    pub write_bytes_q: u64,
+    /// Simulated active time consumed this quantum (Σ over threads).
+    pub active_q: Nanos,
+    /// Time spent waiting on memory this quantum (Σ over threads).
+    pub mem_time_q: Nanos,
+    /// Fast-Tier Hit Ratio, EMA per equation 2 (α = 0.8).
+    pub fthr: f64,
+    /// Previous quantum's raw hit ratio (`H̄_{i,t-1}`).
+    pub prev_h: f64,
+    /// Hint faults taken (cumulative).
+    pub hint_faults: u64,
+    /// Major (allocation) faults taken (cumulative).
+    pub major_faults: u64,
+    /// Per-thread table replication faults taken (cumulative).
+    pub replication_faults: u64,
+    /// Cycles consumed by daemon-side work (profiling epochs, async
+    /// commits) — not charged to the application.
+    pub daemon_cycles: Cycles,
+    /// Cycles of synchronous migration stall charged to the app
+    /// (cumulative).
+    pub stall_cycles: Cycles,
+    /// Pages this workload currently holds in the fast tier.
+    pub fast_used: u64,
+    /// Pages hint-faulted this quantum (consumed by TPP-style policies).
+    pub hint_faulted_pages: Vec<(Vpn, bool)>,
+    /// Pages whose async transactions aborted this quantum after
+    /// exhausting dirty retries. Policies that care (Vulcan) escalate
+    /// them to synchronous copies; others leave them in the slow tier.
+    pub aborted_pages_q: Vec<Vpn>,
+}
+
+/// EMA weight of equation 2 (the paper sets α = 0.8).
+pub const FTHR_ALPHA: f64 = 0.8;
+
+impl WorkloadStats {
+    /// Raw hit ratio of this quantum (`H̄_{i,t}`, equation 1).
+    pub fn quantum_hit_ratio(&self) -> f64 {
+        let total = self.fast_q + self.slow_q;
+        if total == 0 {
+            // No samples: carry the previous estimate forward.
+            self.prev_h
+        } else {
+            self.fast_q as f64 / total as f64
+        }
+    }
+
+    /// Roll the quantum: update the FTHR EMA (equation 2) and clear the
+    /// per-quantum counters.
+    pub fn roll_quantum(&mut self) {
+        let h = self.quantum_hit_ratio();
+        self.fthr = FTHR_ALPHA * h + (1.0 - FTHR_ALPHA) * self.prev_h;
+        self.prev_h = h;
+        self.ops_q = 0;
+        self.op_latency_q = Nanos::ZERO;
+        self.fast_q = 0;
+        self.slow_q = 0;
+        self.read_bytes_q = 0;
+        self.write_bytes_q = 0;
+        self.active_q = Nanos::ZERO;
+        self.mem_time_q = Nanos::ZERO;
+        self.hint_faulted_pages.clear();
+        self.aborted_pages_q.clear();
+    }
+
+    /// Mean op latency this quantum (ns), 0 when idle.
+    pub fn mean_op_latency_q(&self) -> f64 {
+        if self.ops_q == 0 {
+            0.0
+        } else {
+            self.op_latency_q.as_f64() / self.ops_q as f64
+        }
+    }
+
+    /// Throughput this quantum in ops per simulated active second.
+    pub fn ops_per_sec_q(&self) -> f64 {
+        if self.active_q.0 == 0 {
+            0.0
+        } else {
+            self.ops_q as f64 / self.active_q.as_secs_f64()
+        }
+    }
+
+    /// Memory-time share of active time (a duty-cycle signal the LC/BE
+    /// classifier uses).
+    pub fn memory_duty_q(&self) -> f64 {
+        if self.active_q.0 == 0 {
+            0.0
+        } else {
+            self.mem_time_q.as_f64() / self.active_q.as_f64()
+        }
+    }
+}
+
+/// One co-located workload's live state.
+pub struct WorkloadState {
+    /// The workload's specification.
+    pub spec: WorkloadSpec,
+    /// Its process (address space, threads).
+    pub process: Process,
+    /// Its profiler (the daemon decouples the choice per workload, §3.2).
+    pub profiler: Box<dyn Profiler>,
+    /// Shadow frames of its promoted pages.
+    pub shadows: ShadowRegistry,
+    /// Its dedicated asynchronous migration engine (§3.2: per-application
+    /// migration threads).
+    pub async_migrator: AsyncMigrator,
+    /// Fast-tier quota in pages, if a policy partitions capacity.
+    pub quota: Option<u64>,
+    /// Mechanism used to commit this workload's async transactions
+    /// (remembered from the last `poll_async`, so the runtime can drive
+    /// in-flight copies to completion between quanta — real transactional
+    /// migration completes within microseconds, not a whole quantum).
+    pub async_mech: MechanismConfig,
+    /// Statistics.
+    pub stats: WorkloadStats,
+    /// Whether the workload has started (staggered arrivals).
+    pub started: bool,
+    /// Whether the workload has terminated and released its memory.
+    pub departed: bool,
+    pub(crate) gen: Box<dyn AccessGen>,
+    pub(crate) rngs: Vec<SmallRng>,
+    /// Sync-migration stall to distribute over threads next quantum.
+    pub(crate) pending_stall: Nanos,
+}
+
+impl WorkloadState {
+    /// The workload's RSS in mapped pages.
+    pub fn rss_pages(&self) -> u64 {
+        self.process.space.rss_pages()
+    }
+
+    /// The workload's heat map.
+    pub fn heat(&self) -> &HeatMap {
+        self.profiler.heat()
+    }
+
+    /// Ground-truth class (evaluation only; Vulcan classifies itself).
+    pub fn class(&self) -> WorkloadClass {
+        self.spec.class
+    }
+
+    /// Effective fast-tier quota (unlimited when unset).
+    pub fn effective_quota(&self) -> u64 {
+        self.quota.unwrap_or(u64::MAX)
+    }
+}
+
+/// The complete mutable simulation state handed to policies each quantum.
+pub struct SystemState {
+    /// The simulated machine.
+    pub machine: Machine,
+    /// Per-core TLBs.
+    pub tlbs: TlbArray,
+    /// Co-located workloads.
+    pub workloads: Vec<WorkloadState>,
+    /// Current simulated instant (quantum-aligned).
+    pub now: Nanos,
+    /// Quantum counter.
+    pub quantum_index: u64,
+    /// Simulated active window per quantum (set by the runner; used to
+    /// convert per-quantum rates into per-nanosecond rates).
+    pub quantum_active: Nanos,
+}
+
+impl SystemState {
+    /// Build the state: spawn processes and threads, pin each workload to
+    /// its own dedicated core range (§5.3: 8 cores and 8 threads per app).
+    pub fn new(
+        machine: Machine,
+        specs: Vec<WorkloadSpec>,
+        make_profiler: &mut dyn FnMut(&WorkloadSpec) -> Box<dyn Profiler>,
+        replication: bool,
+        seed: u64,
+    ) -> SystemState {
+        let mut machine = machine;
+        let n_cores = machine.topology.n_cores();
+        let tlbs = TlbArray::new(n_cores);
+        let mut workloads = Vec::with_capacity(specs.len());
+        let mut next_sim_tid = 0u32;
+        let mut next_core = 0u16;
+        for (i, spec) in specs.into_iter().enumerate() {
+            let mut process = Process::new(Asid(i as u16 + 1), replication);
+            let mut sim_ids = Vec::new();
+            for _ in 0..spec.n_threads {
+                let sim_id = SimThreadId(next_sim_tid);
+                next_sim_tid += 1;
+                process.spawn_thread(sim_id);
+                sim_ids.push(sim_id);
+            }
+            // Dedicated core range, wrapping if the socket runs out.
+            let span = (spec.n_threads as u16).min(n_cores);
+            let lo = next_core % n_cores;
+            let hi = (lo + span).min(n_cores);
+            machine.topology.pin_range(&sim_ids, lo, hi);
+            next_core = hi % n_cores;
+
+            // Optional pre-allocation of the whole RSS into one tier
+            // (the §5.2 microbenchmarks place data before accessing it).
+            if let Some(tier) = spec.prealloc {
+                for v in 0..spec.rss_pages() {
+                    let frame = machine
+                        .alloc_with_fallback(tier)
+                        .expect("prealloc exceeds machine capacity");
+                    process.space.map(Vpn(v), frame, vulcan_vm::LocalTid(0));
+                }
+            }
+
+            let profiler = make_profiler(&spec);
+            let rngs = (0..spec.n_threads)
+                .map(|t| SmallRng::seed_from_u64(seed ^ ((i as u64) << 32) ^ t as u64))
+                .collect();
+            let gen = spec.build();
+            workloads.push(WorkloadState {
+                process,
+                profiler,
+                shadows: ShadowRegistry::new(),
+                async_migrator: AsyncMigrator::new(),
+                quota: None,
+                async_mech: MechanismConfig::linux_baseline(),
+                stats: WorkloadStats::default(),
+                started: spec.start == Nanos::ZERO,
+                departed: false,
+                gen,
+                rngs,
+                pending_stall: Nanos::ZERO,
+                spec,
+            });
+        }
+        SystemState {
+            machine,
+            tlbs,
+            workloads,
+            now: Nanos::ZERO,
+            quantum_index: 0,
+            quantum_active: Nanos::millis(2),
+        }
+    }
+
+    /// Number of workloads.
+    pub fn n_workloads(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Free pages in the fast tier.
+    pub fn fast_free(&self) -> u64 {
+        self.machine.free_pages(TierKind::Fast)
+    }
+
+    /// Total fast-tier capacity in pages.
+    pub fn fast_capacity(&self) -> u64 {
+        self.machine.allocator(TierKind::Fast).capacity()
+    }
+
+    /// Synchronously migrate pages of workload `w` to `dest`. The phase
+    /// cost stalls the workload's threads (charged next quantum), modeling
+    /// on-critical-path migration.
+    pub fn migrate_sync(
+        &mut self,
+        w: usize,
+        pages: &[Vpn],
+        dest: TierKind,
+        cfg: &MechanismConfig,
+    ) -> SyncOutcome {
+        let ws = &mut self.workloads[w];
+        let out = migrate_sync(
+            &mut ws.process,
+            &mut self.machine,
+            &mut self.tlbs,
+            &mut ws.shadows,
+            pages,
+            dest,
+            cfg,
+        );
+        let stall = out.total_cycles();
+        ws.stats.stall_cycles += stall;
+        ws.pending_stall += stall.to_nanos();
+        self.charge_global_prep(w, cfg);
+        self.recount_fast(w);
+        out
+    }
+
+    /// Global migration preparation (`lru_add_drain_all`) interrupts
+    /// *every* core: co-located workloads pay the per-CPU drain handler
+    /// even though they did not migrate anything — the cross-workload
+    /// disturbance Vulcan's per-workload preparation eliminates (§3.2).
+    fn charge_global_prep(&mut self, initiator: usize, cfg: &MechanismConfig) {
+        if cfg.prep != vulcan_migrate::PrepStrategy::BaselineGlobal {
+            return;
+        }
+        let per_cpu = self
+            .machine
+            .spec()
+            .migration_costs
+            .prep_per_cpu
+            .to_nanos();
+        for (i, ws) in self.workloads.iter_mut().enumerate() {
+            if i == initiator || !ws.started {
+                continue;
+            }
+            // One drain handler per core running this workload's threads.
+            ws.pending_stall += per_cpu * ws.spec.n_threads as u64;
+            ws.stats.stall_cycles += self.machine.spec().migration_costs.prep_per_cpu
+                * ws.spec.n_threads as u64;
+        }
+    }
+
+    /// Migrate pages of workload `w` off the critical path: same
+    /// five-phase mechanism, but the cost is charged to the daemon (e.g.
+    /// kswapd-style demotion, Memtis's background kmigrated) instead of
+    /// stalling the application.
+    pub fn migrate_background(
+        &mut self,
+        w: usize,
+        pages: &[Vpn],
+        dest: TierKind,
+        cfg: &MechanismConfig,
+    ) -> SyncOutcome {
+        let ws = &mut self.workloads[w];
+        let out = migrate_sync(
+            &mut ws.process,
+            &mut self.machine,
+            &mut self.tlbs,
+            &mut ws.shadows,
+            pages,
+            dest,
+            cfg,
+        );
+        ws.stats.daemon_cycles += out.total_cycles();
+        self.charge_global_prep(w, cfg);
+        self.recount_fast(w);
+        out
+    }
+
+    /// Start asynchronous (transactional) migrations for workload `w`.
+    pub fn migrate_async(&mut self, w: usize, pages: &[Vpn], dest: TierKind) -> usize {
+        let ws = &mut self.workloads[w];
+        ws.async_migrator.start(
+            &mut ws.process,
+            &mut self.machine,
+            &mut self.tlbs,
+            pages,
+            dest,
+            self.now,
+        )
+    }
+
+    /// Drive workload `w`'s in-flight async transactions; commits are
+    /// charged to the daemon, not the application.
+    ///
+    /// The dirty-retry decision uses each page's observed write rate to
+    /// estimate the probability a write landed inside one copy window
+    /// (see [`vulcan_migrate::AsyncMigrator`]).
+    pub fn poll_async(&mut self, w: usize, cfg: &MechanismConfig) {
+        self.workloads[w].async_mech = *cfg;
+        // The copy window stretches with memory-bandwidth contention: a
+        // loaded copy takes longer, so more writes land inside it — the
+        // write-intensive pathology of Observation #4.
+        let contention = self
+            .machine
+            .bandwidth
+            .inflation(TierKind::Fast)
+            .max(self.machine.bandwidth.inflation(TierKind::Slow));
+        let window_ns = self
+            .machine
+            .spec()
+            .migration_costs
+            .copy_single
+            .to_nanos()
+            .as_f64()
+            * contention;
+        let active_ns = self.quantum_active.as_f64().max(1.0);
+        let ws = &mut self.workloads[w];
+        let WorkloadState {
+            process,
+            profiler,
+            shadows,
+            async_migrator,
+            stats,
+            ..
+        } = ws;
+        let heat = profiler.heat();
+        let mut dirty_prob = |vpn: vulcan_vm::Vpn| -> f64 {
+            // Decayed sampled writes approximate writes per quantum
+            // (steady state: w_q / (1 - decay)); scale to the window.
+            let writes_per_quantum =
+                heat.get(vpn).writes * (1.0 - vulcan_profile::DEFAULT_DECAY);
+            (writes_per_quantum * window_ns / active_ns).min(1.0)
+        };
+        let poll = async_migrator.poll(
+            process,
+            &mut self.machine,
+            &mut self.tlbs,
+            shadows,
+            self.now,
+            cfg,
+            &mut dirty_prob,
+        );
+        stats.daemon_cycles += poll.background;
+        stats.aborted_pages_q.extend_from_slice(&poll.aborted);
+        if !poll.committed.is_empty() || !poll.aborted.is_empty() {
+            self.recount_fast(w);
+        }
+    }
+
+    /// Recount workload `w`'s fast-tier pages (authoritative).
+    pub fn recount_fast(&mut self, w: usize) {
+        let ws = &mut self.workloads[w];
+        let count = ws
+            .process
+            .space
+            .mapped_vpns()
+            .filter(|&v| ws.process.space.pte(v).tier() == Some(TierKind::Fast))
+            .count() as u64;
+        ws.stats.fast_used = count;
+    }
+
+    /// Set workload `w`'s fast-tier quota in pages.
+    pub fn set_quota(&mut self, w: usize, pages: u64) {
+        self.workloads[w].quota = Some(pages);
+    }
+
+    /// Tear down workload `w`: abort in-flight transactions, unmap and
+    /// free every page and shadow, flush its TLB entries on every core.
+    /// Idempotent; called by the runner when a workload departs.
+    pub fn teardown(&mut self, w: usize) {
+        let ws = &mut self.workloads[w];
+        if ws.departed {
+            return;
+        }
+        ws.started = false;
+        ws.departed = true;
+        ws.async_migrator.abort_all(&mut self.machine);
+        let vpns: Vec<Vpn> = ws.process.space.mapped_vpns().collect();
+        for vpn in vpns {
+            let pte = ws.process.space.unmap(vpn).expect("listed as mapped");
+            self.machine.free(pte.frame().expect("mapped page has a frame"));
+        }
+        for f in ws.shadows.evict(usize::MAX) {
+            self.machine.free(f);
+        }
+        let asid = ws.process.asid;
+        for c in 0..self.tlbs.len() as u16 {
+            self.tlbs.core(vulcan_sim::CoreId(c)).flush_asid(asid);
+        }
+        ws.stats.fast_used = 0;
+    }
+
+    /// Reclaim shadow frames of workload `w` when the slow tier is under
+    /// pressure, freeing up to `n` frames.
+    pub fn reclaim_shadows(&mut self, w: usize, n: usize) -> usize {
+        let ws = &mut self.workloads[w];
+        let evicted = ws.shadows.evict(n);
+        let count = evicted.len();
+        for f in evicted {
+            self.machine.free(f);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulcan_profile::PebsProfiler;
+    use vulcan_sim::MachineSpec;
+    use vulcan_workloads::{microbench, MicroConfig};
+
+    fn mk_state(n_workloads: usize) -> SystemState {
+        let specs: Vec<WorkloadSpec> = (0..n_workloads)
+            .map(|i| {
+                microbench(
+                    &format!("w{i}"),
+                    MicroConfig {
+                        rss_pages: 128,
+                        wss_pages: 64,
+                        ..Default::default()
+                    },
+                    2,
+                )
+            })
+            .collect();
+        SystemState::new(
+            Machine::new(MachineSpec::small(256, 1024, 8)),
+            specs,
+            &mut |_| Box::new(PebsProfiler::new(4)),
+            true,
+            42,
+        )
+    }
+
+    #[test]
+    fn construction_pins_threads_to_disjoint_cores() {
+        let st = mk_state(2);
+        assert_eq!(st.n_workloads(), 2);
+        let c0 = st
+            .machine
+            .topology
+            .cores_of(st.workloads[0].process.sim_threads().iter().copied());
+        let c1 = st
+            .machine
+            .topology
+            .cores_of(st.workloads[1].process.sim_threads().iter().copied());
+        assert!(c0.is_disjoint(&c1), "dedicated core sets per app");
+    }
+
+    #[test]
+    fn distinct_asids() {
+        let st = mk_state(3);
+        let asids: std::collections::BTreeSet<u16> =
+            st.workloads.iter().map(|w| w.process.asid.0).collect();
+        assert_eq!(asids.len(), 3);
+    }
+
+    #[test]
+    fn fthr_ema_follows_equation_two() {
+        let mut s = WorkloadStats::default();
+        s.fast_q = 80;
+        s.slow_q = 20;
+        s.roll_quantum();
+        // H̄_1 = 0.8; prev was 0: FTHR = 0.8·0.8 + 0.2·0 = 0.64.
+        assert!((s.fthr - 0.64).abs() < 1e-12);
+        s.fast_q = 80;
+        s.slow_q = 20;
+        s.roll_quantum();
+        // FTHR = 0.8·0.8 + 0.2·0.8 = 0.8.
+        assert!((s.fthr - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_quantum_carries_hit_ratio_forward() {
+        let mut s = WorkloadStats::default();
+        s.fast_q = 100;
+        s.roll_quantum();
+        let f1 = s.fthr;
+        s.roll_quantum(); // no accesses
+        assert!((s.quantum_hit_ratio() - 1.0).abs() < 1e-12);
+        assert!(s.fthr >= f1);
+    }
+
+    #[test]
+    fn quantum_rates() {
+        let mut s = WorkloadStats::default();
+        s.ops_q = 100;
+        s.active_q = Nanos::millis(1);
+        s.op_latency_q = Nanos(500_000);
+        s.mem_time_q = Nanos(250_000);
+        assert!((s.ops_per_sec_q() - 100_000.0).abs() < 1e-6);
+        assert!((s.mean_op_latency_q() - 5_000.0).abs() < 1e-9);
+        assert!((s.memory_duty_q() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_quota_defaults_to_unlimited() {
+        let mut st = mk_state(1);
+        assert_eq!(st.workloads[0].effective_quota(), u64::MAX);
+        st.set_quota(0, 64);
+        assert_eq!(st.workloads[0].effective_quota(), 64);
+    }
+
+    #[test]
+    fn recount_fast_matches_tables() {
+        use vulcan_vm::LocalTid;
+        let mut st = mk_state(1);
+        // Map two pages in fast, one in slow.
+        for (i, tier) in [TierKind::Fast, TierKind::Fast, TierKind::Slow]
+            .iter()
+            .enumerate()
+        {
+            let f = st.machine.alloc(*tier).unwrap();
+            st.workloads[0].process.space.map(Vpn(i as u64), f, LocalTid(0));
+        }
+        st.recount_fast(0);
+        assert_eq!(st.workloads[0].stats.fast_used, 2);
+    }
+
+    #[test]
+    fn sync_migration_charges_stall() {
+        use vulcan_vm::LocalTid;
+        let mut st = mk_state(1);
+        let f = st.machine.alloc(TierKind::Slow).unwrap();
+        st.workloads[0].process.space.map(Vpn(0), f, LocalTid(0));
+        st.workloads[0]
+            .process
+            .space
+            .touch(Vpn(0), LocalTid(0), false)
+            .unwrap();
+        let cfg = MechanismConfig::vulcan();
+        let out = st.migrate_sync(0, &[Vpn(0)], TierKind::Fast, &cfg);
+        assert_eq!(out.moved.len(), 1);
+        assert!(st.workloads[0].pending_stall > Nanos::ZERO);
+        assert!(st.workloads[0].stats.stall_cycles > Cycles::ZERO);
+        assert_eq!(st.workloads[0].stats.fast_used, 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the simulation runtime: conservation laws
+//! and metric bounds must hold for arbitrary workload mixes.
+
+use proptest::prelude::*;
+use vulcan_profile::PebsProfiler;
+use vulcan_runtime::{SimConfig, SimRunner, StaticPlacement, UniformPartition, TieringPolicy};
+use vulcan_sim::{MachineSpec, Nanos, TierKind};
+use vulcan_workloads::{microbench, MicroConfig, WorkloadSpec};
+
+fn mix(sizes: &[(u64, u64)], prealloc: bool) -> Vec<WorkloadSpec> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &(rss, wss))| {
+            let spec = microbench(
+                &format!("w{i}"),
+                MicroConfig {
+                    rss_pages: rss,
+                    wss_pages: wss,
+                    ..Default::default()
+                },
+                2,
+            );
+            if prealloc {
+                spec.preallocated(TierKind::Slow)
+            } else {
+                spec
+            }
+        })
+        .collect()
+}
+
+fn arb_sizes() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec(
+        (64u64..512).prop_flat_map(|rss| (Just(rss), 8u64..=rss.min(256))),
+        1..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// After any run: frame accounting balances exactly (mapped pages +
+    /// shadows + async reservations = used frames), every FTHR/CFI stays
+    /// in range, and all workloads make progress.
+    #[test]
+    fn conservation_and_bounds(
+        sizes in arb_sizes(),
+        prealloc in any::<bool>(),
+        seed in 0u64..1_000,
+        uniform in any::<bool>(),
+    ) {
+        let policy: Box<dyn TieringPolicy> = if uniform {
+            Box::new(UniformPartition)
+        } else {
+            Box::new(StaticPlacement)
+        };
+        let mut runner = SimRunner::new(
+            MachineSpec::small(256, 4_096, 8),
+            mix(&sizes, prealloc),
+            &mut |_| Box::new(PebsProfiler::new(8)),
+            policy,
+            SimConfig {
+                quantum_active: Nanos::micros(200),
+                n_quanta: 0,
+                seed,
+                ..Default::default()
+            },
+        );
+        for _ in 0..5 {
+            runner.run_quantum();
+        }
+        let st = &runner.state;
+        let used = st.machine.allocator(TierKind::Fast).used_frames()
+            + st.machine.allocator(TierKind::Slow).used_frames();
+        let expected: u64 = st
+            .workloads
+            .iter()
+            .map(|w| {
+                w.rss_pages() + w.shadows.len() as u64 + w.async_migrator.inflight() as u64
+            })
+            .sum();
+        prop_assert_eq!(used, expected, "frame conservation");
+
+        for w in &st.workloads {
+            prop_assert!(w.stats.ops_total > 0);
+            prop_assert!((0.0..=1.0).contains(&w.stats.fthr));
+            // Incremental fast-used counter equals an authoritative scan.
+            let scan = w
+                .process
+                .space
+                .mapped_vpns()
+                .filter(|&v| w.process.space.pte(v).tier() == Some(TierKind::Fast))
+                .count() as u64;
+            prop_assert_eq!(w.stats.fast_used, scan, "fast_used counter drift");
+        }
+
+        let res = runner.run();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&res.cfi));
+    }
+
+    /// Identical (seed, mix, policy) runs agree bit-for-bit on every
+    /// reported metric.
+    #[test]
+    fn full_determinism(sizes in arb_sizes(), seed in 0u64..1_000) {
+        let make = || {
+            SimRunner::new(
+                MachineSpec::small(256, 4_096, 8),
+                mix(&sizes, true),
+                &mut |_| Box::new(PebsProfiler::new(8)),
+                Box::new(UniformPartition),
+                SimConfig {
+                    quantum_active: Nanos::micros(200),
+                    n_quanta: 4,
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .run()
+        };
+        let (a, b) = (make(), make());
+        prop_assert_eq!(a.cfi, b.cfi);
+        for (x, y) in a.per_workload.iter().zip(&b.per_workload) {
+            prop_assert_eq!(x.ops_total, y.ops_total);
+            prop_assert_eq!(x.mean_fthr, y.mean_fthr);
+            prop_assert_eq!(x.mean_latency_ns, y.mean_latency_ns);
+        }
+    }
+
+    /// Different seeds perturb the run (the trials in Figure 10 are
+    /// genuinely independent samples). The working set must exceed the
+    /// fast tier so placement — and therefore cost — depends on the
+    /// seed-driven first-touch order.
+    #[test]
+    fn seeds_actually_vary(seed_a in 0u64..500, offset in 1u64..500) {
+        let make = |seed| {
+            SimRunner::new(
+                MachineSpec::small(128, 4_096, 8),
+                mix(&[(512, 256)], false),
+                &mut |_| Box::new(PebsProfiler::new(8)),
+                Box::new(StaticPlacement),
+                SimConfig {
+                    quantum_active: Nanos::micros(200),
+                    n_quanta: 3,
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .run()
+        };
+        let a = make(seed_a);
+        let b = make(seed_a + offset);
+        let same = a
+            .per_workload
+            .iter()
+            .zip(&b.per_workload)
+            .all(|(x, y)| x.ops_total == y.ops_total);
+        prop_assert!(!same, "different seeds must differ somewhere");
+    }
+}

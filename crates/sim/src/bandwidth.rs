@@ -1,0 +1,136 @@
+//! Bandwidth accounting and contention-induced latency inflation.
+//!
+//! §3.6 notes that co-located workloads "compete for limited system
+//! resources (e.g., memory bandwidth)" and that under contention the fast
+//! tier's latency advantage can shrink (the Colloid observation). We model
+//! this with per-tier, per-quantum byte accounting: the utilization of the
+//! previous quantum inflates access latency in the current one following a
+//! queueing-style `1/(1-ρ)` curve, capped to keep the simulation stable.
+
+use crate::tier::TierKind;
+use crate::time::Nanos;
+
+/// Maximum latency inflation under saturation. Beyond ~4x the real system
+/// would be fully queue-bound; the cap keeps feedback loops stable.
+pub const MAX_INFLATION: f64 = 4.0;
+
+/// Tracks bytes moved per tier within a quantum and derives contention.
+#[derive(Clone, Debug)]
+pub struct BandwidthTracker {
+    /// Peak bandwidth per tier (bytes/ns), indexed by `TierKind::index()`.
+    peak: [f64; 2],
+    /// Bytes transferred in the current quantum.
+    bytes: [u64; 2],
+    /// Latency inflation factor derived from the *previous* quantum.
+    inflation: [f64; 2],
+}
+
+impl BandwidthTracker {
+    /// Create a tracker with the given per-tier peak bandwidths (bytes/ns).
+    pub fn new(fast_peak: f64, slow_peak: f64) -> Self {
+        assert!(fast_peak > 0.0 && slow_peak > 0.0);
+        BandwidthTracker {
+            peak: [fast_peak, slow_peak],
+            bytes: [0, 0],
+            inflation: [1.0, 1.0],
+        }
+    }
+
+    /// Record `bytes` moved to/from `tier` (demand accesses and migration
+    /// copies both count — migration traffic steals workload bandwidth).
+    pub fn record(&mut self, tier: TierKind, bytes: u64) {
+        self.bytes[tier.index()] += bytes;
+    }
+
+    /// Bytes recorded against `tier` so far this quantum.
+    pub fn bytes_this_quantum(&self, tier: TierKind) -> u64 {
+        self.bytes[tier.index()]
+    }
+
+    /// Utilization `ρ` of `tier` if the current quantum lasted `quantum`.
+    pub fn utilization(&self, tier: TierKind, quantum: Nanos) -> f64 {
+        if quantum.0 == 0 {
+            return 0.0;
+        }
+        let offered = self.bytes[tier.index()] as f64 / quantum.0 as f64;
+        offered / self.peak[tier.index()]
+    }
+
+    /// Close the quantum: derive next-quantum inflation from utilization
+    /// and reset byte counters.
+    pub fn end_quantum(&mut self, quantum: Nanos) {
+        for tier in TierKind::ALL {
+            let rho = self.utilization(tier, quantum).min(0.999);
+            // M/M/1-style queueing delay growth, clamped.
+            let f = (1.0 / (1.0 - rho)).min(MAX_INFLATION);
+            self.inflation[tier.index()] = f.max(1.0);
+            self.bytes[tier.index()] = 0;
+        }
+    }
+
+    /// Current latency inflation factor for `tier` (≥ 1).
+    pub fn inflation(&self, tier: TierKind) -> f64 {
+        self.inflation[tier.index()]
+    }
+
+    /// Apply the inflation factor to an unloaded latency.
+    pub fn inflate(&self, tier: TierKind, unloaded: Nanos) -> Nanos {
+        Nanos((unloaded.0 as f64 * self.inflation(tier)).round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_tier_has_no_inflation() {
+        let mut bw = BandwidthTracker::new(205.0, 25.0);
+        bw.end_quantum(Nanos::millis(1));
+        assert_eq!(bw.inflation(TierKind::Fast), 1.0);
+        assert_eq!(bw.inflation(TierKind::Slow), 1.0);
+    }
+
+    #[test]
+    fn utilization_computation() {
+        let mut bw = BandwidthTracker::new(205.0, 25.0);
+        // 25 bytes/ns * 1000 ns = 25_000 bytes saturates the slow tier.
+        bw.record(TierKind::Slow, 12_500);
+        let rho = bw.utilization(TierKind::Slow, Nanos(1000));
+        assert!((rho - 0.5).abs() < 1e-9, "rho={rho}");
+    }
+
+    #[test]
+    fn saturation_inflates_and_caps() {
+        let mut bw = BandwidthTracker::new(205.0, 25.0);
+        bw.record(TierKind::Slow, 10 * 25_000); // 10x oversubscribed
+        bw.end_quantum(Nanos(1000));
+        assert_eq!(bw.inflation(TierKind::Slow), MAX_INFLATION);
+        // Fast tier untouched.
+        assert_eq!(bw.inflation(TierKind::Fast), 1.0);
+    }
+
+    #[test]
+    fn half_load_doubles_latency() {
+        let mut bw = BandwidthTracker::new(205.0, 25.0);
+        bw.record(TierKind::Slow, 12_500);
+        bw.end_quantum(Nanos(1000));
+        let inflated = bw.inflate(TierKind::Slow, Nanos(162));
+        assert_eq!(inflated, Nanos(324));
+    }
+
+    #[test]
+    fn counters_reset_each_quantum() {
+        let mut bw = BandwidthTracker::new(205.0, 25.0);
+        bw.record(TierKind::Fast, 1_000);
+        bw.end_quantum(Nanos(1000));
+        assert_eq!(bw.bytes_this_quantum(TierKind::Fast), 0);
+    }
+
+    #[test]
+    fn migration_traffic_counts() {
+        let mut bw = BandwidthTracker::new(205.0, 25.0);
+        bw.record(TierKind::Slow, 4096); // a page copy read
+        assert_eq!(bw.bytes_this_quantum(TierKind::Slow), 4096);
+    }
+}

@@ -1,0 +1,131 @@
+//! A minimal discrete-event queue for daemon activity.
+//!
+//! The migration daemon (§3.2) wakes periodically to run profiling and
+//! dispatch migration work; async migration threads complete copies at
+//! future instants. Both are modeled as timestamped events.
+
+use crate::time::Nanos;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a simulated instant, carrying a payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Scheduled<E> {
+    at: Nanos,
+    seq: u64,
+    payload: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Ties broken by insertion order for determinism.
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-heap of timestamped events.
+#[derive(Clone, Debug, Default)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    seq: u64,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire at instant `at`.
+    pub fn schedule(&mut self, at: Nanos, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, payload }));
+    }
+
+    /// The instant of the next event, if any.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Pop the next event if it fires at or before `now`.
+    pub fn pop_due(&mut self, now: Nanos) -> Option<(Nanos, E)> {
+        if self.peek_time()? <= now {
+            let Reverse(s) = self.heap.pop().expect("peeked");
+            Some((s.at, s.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Drain every event due at or before `now`, in firing order.
+    pub fn drain_due(&mut self, now: Nanos) -> Vec<(Nanos, E)> {
+        let mut out = Vec::new();
+        while let Some(e) = self.pop_due(now) {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(30), "c");
+        q.schedule(Nanos(10), "a");
+        q.schedule(Nanos(20), "b");
+        let fired: Vec<_> = q.drain_due(Nanos(100)).into_iter().map(|(_, e)| e).collect();
+        assert_eq!(fired, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(10), 1);
+        q.schedule(Nanos(10), 2);
+        q.schedule(Nanos(10), 3);
+        let fired: Vec<_> = q.drain_due(Nanos(10)).into_iter().map(|(_, e)| e).collect();
+        assert_eq!(fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn not_due_stays_queued() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(50), ());
+        assert_eq!(q.pop_due(Nanos(49)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(Nanos(50)), Some((Nanos(50), ())));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Nanos(7), ());
+        assert_eq!(q.peek_time(), Some(Nanos(7)));
+    }
+}

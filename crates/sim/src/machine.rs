@@ -1,0 +1,209 @@
+//! The simulated tiered-memory machine: tiers, allocators, bandwidth,
+//! topology and cost models in one place.
+
+use crate::bandwidth::BandwidthTracker;
+use crate::costs::{AccessCosts, MigrationCosts};
+use crate::frame::{FrameAllocator, FrameId, OutOfFrames};
+use crate::tier::{TierKind, TierSpec, PAGE_SIZE};
+use crate::time::Nanos;
+use crate::topology::Topology;
+
+/// Configuration of a simulated machine.
+#[derive(Clone, Debug)]
+pub struct MachineSpec {
+    /// Fast-tier (local DRAM) description.
+    pub fast: TierSpec,
+    /// Slow-tier (CXL-like) description.
+    pub slow: TierSpec,
+    /// Cores on the socket.
+    pub n_cores: u16,
+    /// Demand-access cost model.
+    pub access_costs: AccessCosts,
+    /// Migration cost model.
+    pub migration_costs: MigrationCosts,
+}
+
+impl MachineSpec {
+    /// The paper's testbed: one 32-core socket, 32 GB fast / 256 GB slow
+    /// (scaled), 70 ns / 162 ns (§5.1).
+    pub fn paper_testbed() -> MachineSpec {
+        MachineSpec {
+            fast: TierSpec::paper_fast(),
+            slow: TierSpec::paper_slow(),
+            n_cores: 32,
+            access_costs: AccessCosts::default(),
+            migration_costs: MigrationCosts::default(),
+        }
+    }
+
+    /// A small machine for tests: `fast_pages` / `slow_pages` capacity.
+    pub fn small(fast_pages: u64, slow_pages: u64, n_cores: u16) -> MachineSpec {
+        MachineSpec {
+            fast: TierSpec::test_tier(TierKind::Fast, fast_pages),
+            slow: TierSpec::test_tier(TierKind::Slow, slow_pages),
+            n_cores,
+            access_costs: AccessCosts::default(),
+            migration_costs: MigrationCosts::default(),
+        }
+    }
+
+    /// Spec of one tier.
+    pub fn tier(&self, kind: TierKind) -> &TierSpec {
+        match kind {
+            TierKind::Fast => &self.fast,
+            TierKind::Slow => &self.slow,
+        }
+    }
+}
+
+/// The live machine state.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    spec: MachineSpec,
+    allocators: [FrameAllocator; 2],
+    /// Per-tier bandwidth accounting and contention.
+    pub bandwidth: BandwidthTracker,
+    /// Cores and thread pinning.
+    pub topology: Topology,
+}
+
+impl Machine {
+    /// Build a machine from a spec.
+    pub fn new(spec: MachineSpec) -> Machine {
+        let allocators = [
+            FrameAllocator::new(TierKind::Fast, spec.fast.capacity_pages),
+            FrameAllocator::new(TierKind::Slow, spec.slow.capacity_pages),
+        ];
+        let bandwidth = BandwidthTracker::new(
+            spec.fast.bandwidth_bytes_per_ns,
+            spec.slow.bandwidth_bytes_per_ns,
+        );
+        let topology = Topology::new(spec.n_cores);
+        Machine {
+            spec,
+            allocators,
+            bandwidth,
+            topology,
+        }
+    }
+
+    /// The machine's static spec.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// The frame allocator for one tier.
+    pub fn allocator(&self, tier: TierKind) -> &FrameAllocator {
+        &self.allocators[tier.index()]
+    }
+
+    /// Mutable access to one tier's allocator.
+    pub fn allocator_mut(&mut self, tier: TierKind) -> &mut FrameAllocator {
+        &mut self.allocators[tier.index()]
+    }
+
+    /// Allocate a frame in `tier`.
+    pub fn alloc(&mut self, tier: TierKind) -> Result<FrameId, OutOfFrames> {
+        self.allocators[tier.index()].alloc()
+    }
+
+    /// Allocate in `tier` if possible, else fall back to the other tier
+    /// (new allocations spill to slow memory when fast is full — the
+    /// standard first-touch behaviour of tiered systems).
+    pub fn alloc_with_fallback(&mut self, tier: TierKind) -> Result<FrameId, OutOfFrames> {
+        self.alloc(tier).or_else(|_| self.alloc(tier.other()))
+    }
+
+    /// Free a frame back to its tier.
+    pub fn free(&mut self, frame: FrameId) {
+        self.allocators[frame.tier.index()].free(frame);
+    }
+
+    /// Loaded latency of a demand access to `tier`, including current
+    /// bandwidth-contention inflation.
+    pub fn access_latency(&self, tier: TierKind) -> Nanos {
+        self.bandwidth
+            .inflate(tier, self.spec.access_costs.tier_latency(tier))
+    }
+
+    /// Record one cache-line demand access against `tier`'s bandwidth.
+    pub fn record_access(&mut self, tier: TierKind) {
+        self.bandwidth.record(tier, 64);
+    }
+
+    /// Record a page copy (reads source tier, writes destination tier).
+    pub fn record_page_copy(&mut self, from: TierKind, to: TierKind) {
+        self.bandwidth.record(from, PAGE_SIZE as u64);
+        self.bandwidth.record(to, PAGE_SIZE as u64);
+    }
+
+    /// Close a quantum of length `quantum`: roll bandwidth contention over.
+    pub fn end_quantum(&mut self, quantum: Nanos) {
+        self.bandwidth.end_quantum(quantum);
+    }
+
+    /// Free pages remaining in `tier`.
+    pub fn free_pages(&self, tier: TierKind) -> u64 {
+        self.allocator(tier).free_frames()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_dimensions() {
+        let m = Machine::new(MachineSpec::paper_testbed());
+        assert_eq!(m.allocator(TierKind::Fast).capacity(), 8192);
+        assert_eq!(m.allocator(TierKind::Slow).capacity(), 65536);
+        assert_eq!(m.topology.n_cores(), 32);
+    }
+
+    #[test]
+    fn fallback_allocation_spills_to_slow() {
+        let mut m = Machine::new(MachineSpec::small(1, 4, 2));
+        let a = m.alloc_with_fallback(TierKind::Fast).unwrap();
+        assert_eq!(a.tier, TierKind::Fast);
+        let b = m.alloc_with_fallback(TierKind::Fast).unwrap();
+        assert_eq!(b.tier, TierKind::Slow);
+    }
+
+    #[test]
+    fn exhausting_both_tiers_errors() {
+        let mut m = Machine::new(MachineSpec::small(1, 1, 2));
+        m.alloc_with_fallback(TierKind::Fast).unwrap();
+        m.alloc_with_fallback(TierKind::Fast).unwrap();
+        assert!(m.alloc_with_fallback(TierKind::Fast).is_err());
+    }
+
+    #[test]
+    fn latency_reflects_contention() {
+        let mut m = Machine::new(MachineSpec::small(64, 64, 2));
+        let unloaded = m.access_latency(TierKind::Slow);
+        assert_eq!(unloaded, Nanos(162));
+        // Saturate the slow tier for one quantum.
+        for _ in 0..100_000 {
+            m.record_access(TierKind::Slow);
+        }
+        m.end_quantum(Nanos::micros(10));
+        assert!(m.access_latency(TierKind::Slow) > unloaded);
+    }
+
+    #[test]
+    fn free_returns_capacity() {
+        let mut m = Machine::new(MachineSpec::small(2, 2, 2));
+        let f = m.alloc(TierKind::Fast).unwrap();
+        assert_eq!(m.free_pages(TierKind::Fast), 1);
+        m.free(f);
+        assert_eq!(m.free_pages(TierKind::Fast), 2);
+    }
+
+    #[test]
+    fn page_copy_charges_both_tiers() {
+        let mut m = Machine::new(MachineSpec::small(2, 2, 2));
+        m.record_page_copy(TierKind::Slow, TierKind::Fast);
+        assert_eq!(m.bandwidth.bytes_this_quantum(TierKind::Slow), 4096);
+        assert_eq!(m.bandwidth.bytes_this_quantum(TierKind::Fast), 4096);
+    }
+}

@@ -1,0 +1,164 @@
+//! Memory tiers: capacity, latency and bandwidth characteristics.
+//!
+//! The paper's testbed (§5.1): locally-attached fast memory, 32 GB,
+//! 70 ns unloaded latency; emulated CXL slow memory, 256 GB, 162 ns
+//! unloaded latency; 205 GB/s local bandwidth, 25 GB/s cross-link
+//! bandwidth per direction.
+//!
+//! Capacities are scaled for simulation: **1 paper-GB = 256 pages of
+//! 4 KiB** (see DESIGN.md §5). The latency *gap* and the capacity *ratio*
+//! are what drive every result in the paper, and both are preserved.
+
+use crate::time::Nanos;
+
+/// Base page size used throughout (4 KiB), matching the paper's focus on
+/// base-page migration (§3.4 splits 2 MiB huge pages into base pages).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Huge page size (2 MiB): 512 base pages.
+pub const HUGE_PAGE_PAGES: usize = 512;
+
+/// Scale factor: number of simulated 4 KiB pages representing one paper-GB.
+pub const PAGES_PER_PAPER_GB: u64 = 256;
+
+/// Which memory tier a frame lives in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TierKind {
+    /// Fast, locally attached DRAM.
+    Fast,
+    /// Slow CXL-like far memory.
+    Slow,
+}
+
+impl TierKind {
+    /// Both tiers, fast first.
+    pub const ALL: [TierKind; 2] = [TierKind::Fast, TierKind::Slow];
+
+    /// The other tier (migration destination/source).
+    pub fn other(self) -> TierKind {
+        match self {
+            TierKind::Fast => TierKind::Slow,
+            TierKind::Slow => TierKind::Fast,
+        }
+    }
+
+    /// Dense index for array-per-tier structures.
+    pub fn index(self) -> usize {
+        match self {
+            TierKind::Fast => 0,
+            TierKind::Slow => 1,
+        }
+    }
+}
+
+/// Static description of one memory tier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TierSpec {
+    /// Which tier this describes.
+    pub kind: TierKind,
+    /// Capacity in 4 KiB pages.
+    pub capacity_pages: u64,
+    /// Unloaded random-read latency for one cache line.
+    pub load_latency: Nanos,
+    /// Unloaded store latency for one cache line.
+    pub store_latency: Nanos,
+    /// Peak bandwidth in bytes per nanosecond (= GB/s).
+    pub bandwidth_bytes_per_ns: f64,
+}
+
+impl TierSpec {
+    /// The paper's fast tier: 32 GB local DDR4, 70 ns, 205 GB/s.
+    pub fn paper_fast() -> TierSpec {
+        TierSpec {
+            kind: TierKind::Fast,
+            capacity_pages: 32 * PAGES_PER_PAPER_GB,
+            load_latency: Nanos(70),
+            store_latency: Nanos(70),
+            bandwidth_bytes_per_ns: 205.0,
+        }
+    }
+
+    /// The paper's slow tier: 256 GB emulated CXL, 162 ns, 25 GB/s per
+    /// direction over the UPI link.
+    pub fn paper_slow() -> TierSpec {
+        TierSpec {
+            kind: TierKind::Slow,
+            capacity_pages: 256 * PAGES_PER_PAPER_GB,
+            load_latency: Nanos(162),
+            store_latency: Nanos(162),
+            bandwidth_bytes_per_ns: 25.0,
+        }
+    }
+
+    /// A tiny tier for unit tests.
+    pub fn test_tier(kind: TierKind, capacity_pages: u64) -> TierSpec {
+        let (lat, bw) = match kind {
+            TierKind::Fast => (Nanos(70), 205.0),
+            TierKind::Slow => (Nanos(162), 25.0),
+        };
+        TierSpec {
+            kind,
+            capacity_pages,
+            load_latency: lat,
+            store_latency: lat,
+            bandwidth_bytes_per_ns: bw,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_pages * PAGE_SIZE as u64
+    }
+
+    /// Time to stream-copy `bytes` at this tier's peak bandwidth.
+    pub fn stream_time(&self, bytes: u64) -> Nanos {
+        Nanos((bytes as f64 / self.bandwidth_bytes_per_ns).ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_specs_match_hardware_table() {
+        let fast = TierSpec::paper_fast();
+        let slow = TierSpec::paper_slow();
+        assert_eq!(fast.load_latency, Nanos(70));
+        assert_eq!(slow.load_latency, Nanos(162));
+        // CXL adds 70–90 ns over local memory (paper cites Pond); 162-70=92.
+        assert!(slow.load_latency.0 - fast.load_latency.0 >= 70);
+        // Capacity ratio 256/32 = 8x is preserved under scaling.
+        assert_eq!(slow.capacity_pages / fast.capacity_pages, 8);
+    }
+
+    #[test]
+    fn other_tier_is_involution() {
+        for t in TierKind::ALL {
+            assert_eq!(t.other().other(), t);
+            assert_ne!(t.other(), t);
+        }
+    }
+
+    #[test]
+    fn stream_time_scales_with_bytes() {
+        let slow = TierSpec::paper_slow();
+        let one = slow.stream_time(PAGE_SIZE as u64);
+        let ten = slow.stream_time(10 * PAGE_SIZE as u64);
+        assert!(ten.0 >= 10 * one.0 - 10); // ceil slack
+                                           // 4096 bytes at 25 GB/s = ~164 ns
+        assert!((160..=170).contains(&one.0), "got {one:?}");
+    }
+
+    #[test]
+    fn indexes_are_dense() {
+        assert_eq!(TierKind::Fast.index(), 0);
+        assert_eq!(TierKind::Slow.index(), 1);
+    }
+
+    #[test]
+    fn capacity_bytes() {
+        let t = TierSpec::test_tier(TierKind::Fast, 2);
+        assert_eq!(t.capacity_bytes(), 8192);
+    }
+}

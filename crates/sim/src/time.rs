@@ -1,0 +1,246 @@
+//! Simulated time: nanoseconds and CPU cycles.
+//!
+//! The simulator accounts costs in **nanoseconds** (the natural unit for
+//! memory latencies) but the paper reports migration costs in **cycles**
+//! (Figure 2: 50K–750K cycles). The evaluation platform is an Intel Xeon
+//! Platinum 8378A, which runs at 3.0 GHz base clock, so we fix the
+//! conversion at 3 cycles per nanosecond.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// CPU frequency used for cycle/nanosecond conversion (Xeon 8378A base clock).
+pub const CYCLES_PER_NANO: u64 = 3;
+
+/// A duration or instant measured in simulated nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+/// A duration measured in simulated CPU cycles.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Nanos {
+    /// Zero nanoseconds.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// One simulated microsecond.
+    pub const fn micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    /// One simulated millisecond.
+    pub const fn millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// One simulated second.
+    pub const fn secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Convert to cycles at the platform clock.
+    pub const fn to_cycles(self) -> Cycles {
+        Cycles(self.0 * CYCLES_PER_NANO)
+    }
+
+    /// Nanoseconds as a float (for metrics/reporting).
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Seconds as a float (for plotting timelines).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Convert to nanoseconds at the platform clock (rounds down).
+    pub const fn to_nanos(self) -> Nanos {
+        Nanos(self.0 / CYCLES_PER_NANO)
+    }
+
+    /// Cycles as a float (for metrics/reporting).
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+macro_rules! impl_arith {
+    ($t:ident) => {
+        impl Add for $t {
+            type Output = $t;
+            fn add(self, rhs: $t) -> $t {
+                $t(self.0 + rhs.0)
+            }
+        }
+        impl AddAssign for $t {
+            fn add_assign(&mut self, rhs: $t) {
+                self.0 += rhs.0;
+            }
+        }
+        impl Sub for $t {
+            type Output = $t;
+            fn sub(self, rhs: $t) -> $t {
+                $t(self.0 - rhs.0)
+            }
+        }
+        impl SubAssign for $t {
+            fn sub_assign(&mut self, rhs: $t) {
+                self.0 -= rhs.0;
+            }
+        }
+        impl Mul<u64> for $t {
+            type Output = $t;
+            fn mul(self, rhs: u64) -> $t {
+                $t(self.0 * rhs)
+            }
+        }
+        impl Div<u64> for $t {
+            type Output = $t;
+            fn div(self, rhs: u64) -> $t {
+                $t(self.0 / rhs)
+            }
+        }
+        impl Sum for $t {
+            fn sum<I: Iterator<Item = $t>>(iter: I) -> $t {
+                $t(iter.map(|v| v.0).sum())
+            }
+        }
+        impl fmt::Debug for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", self.0, stringify!($t))
+            }
+        }
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+impl_arith!(Nanos);
+impl_arith!(Cycles);
+
+/// A monotonically advancing simulated clock.
+///
+/// Each simulated hardware thread owns one `SimClock`; the global timeline of
+/// a run is the maximum over per-thread clocks at quantum boundaries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimClock {
+    now: Nanos,
+}
+
+impl SimClock {
+    /// A clock starting at time zero.
+    pub fn new() -> Self {
+        SimClock { now: Nanos::ZERO }
+    }
+
+    /// A clock starting at a given instant (used for staggered workload starts).
+    pub fn starting_at(start: Nanos) -> Self {
+        SimClock { now: start }
+    }
+
+    /// The current instant.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Advance by a duration, returning the new instant.
+    pub fn advance(&mut self, dt: Nanos) -> Nanos {
+        self.now += dt;
+        self.now
+    }
+
+    /// Move the clock forward to `t` if `t` is later (e.g. after blocking on
+    /// a synchronous migration that completes at `t`).
+    pub fn sync_to(&mut self, t: Nanos) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_roundtrip() {
+        let n = Nanos(1234);
+        assert_eq!(n.to_cycles(), Cycles(1234 * CYCLES_PER_NANO));
+        assert_eq!(n.to_cycles().to_nanos(), n);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Nanos::micros(2), Nanos(2_000));
+        assert_eq!(Nanos::millis(2), Nanos(2_000_000));
+        assert_eq!(Nanos::secs(2), Nanos(2_000_000_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Nanos(5) + Nanos(7), Nanos(12));
+        assert_eq!(Nanos(7) - Nanos(5), Nanos(2));
+        assert_eq!(Nanos(5) * 3, Nanos(15));
+        assert_eq!(Nanos(15) / 3, Nanos(5));
+        let mut a = Cycles(1);
+        a += Cycles(2);
+        assert_eq!(a, Cycles(3));
+        a -= Cycles(1);
+        assert_eq!(a, Cycles(2));
+    }
+
+    #[test]
+    fn saturating() {
+        assert_eq!(Nanos(3).saturating_sub(Nanos(5)), Nanos::ZERO);
+        assert_eq!(Cycles(5).saturating_sub(Cycles(3)), Cycles(2));
+    }
+
+    #[test]
+    fn sum_iter() {
+        let total: Nanos = [Nanos(1), Nanos(2), Nanos(3)].into_iter().sum();
+        assert_eq!(total, Nanos(6));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now(), Nanos::ZERO);
+        c.advance(Nanos(100));
+        assert_eq!(c.now(), Nanos(100));
+        c.sync_to(Nanos(50)); // earlier: no-op
+        assert_eq!(c.now(), Nanos(100));
+        c.sync_to(Nanos(150));
+        assert_eq!(c.now(), Nanos(150));
+    }
+
+    #[test]
+    fn staggered_start() {
+        let c = SimClock::starting_at(Nanos::secs(50));
+        assert_eq!(c.now(), Nanos::secs(50));
+    }
+
+    #[test]
+    fn seconds_float() {
+        assert!((Nanos::secs(2).as_secs_f64() - 2.0).abs() < 1e-12);
+    }
+}

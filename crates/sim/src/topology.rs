@@ -1,0 +1,169 @@
+//! CPU topology: cores and the threads pinned to them.
+//!
+//! The paper's testbed pins each application to a dedicated set of 8 cores
+//! on a single 32-core socket (§5.3). TLB shootdown cost depends on *which*
+//! cores must receive an IPI, so the topology tracks a reverse map from
+//! cores to the simulated software threads currently scheduled on them.
+
+use std::collections::BTreeSet;
+
+/// Identifier of a physical core on the simulated socket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub u16);
+
+/// Identifier of a simulated software thread (unique across all workloads).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimThreadId(pub u32);
+
+/// A single-socket CPU topology with static thread→core pinning.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    n_cores: u16,
+    /// `pin[t]` = core the thread with dense index `t` runs on.
+    pins: Vec<CoreId>,
+    /// Thread ids in dense order (parallel to `pins`).
+    threads: Vec<SimThreadId>,
+}
+
+impl Topology {
+    /// Create a topology with `n_cores` cores and no threads.
+    pub fn new(n_cores: u16) -> Self {
+        assert!(n_cores > 0, "topology needs at least one core");
+        Topology {
+            n_cores,
+            pins: Vec::new(),
+            threads: Vec::new(),
+        }
+    }
+
+    /// Number of cores on the socket.
+    pub fn n_cores(&self) -> u16 {
+        self.n_cores
+    }
+
+    /// Pin a thread to a core. Threads may share cores (oversubscription),
+    /// mirroring how a real scheduler would stack them.
+    pub fn pin(&mut self, thread: SimThreadId, core: CoreId) {
+        assert!(core.0 < self.n_cores, "core {core:?} out of range");
+        if let Some(i) = self.threads.iter().position(|&t| t == thread) {
+            self.pins[i] = core;
+        } else {
+            self.threads.push(thread);
+            self.pins.push(core);
+        }
+    }
+
+    /// Pin `threads` round-robin over the half-open core range `[lo, hi)`.
+    ///
+    /// This mirrors the paper's per-application dedicated core sets
+    /// (8 threads on 8 cores per app).
+    pub fn pin_range(&mut self, threads: &[SimThreadId], lo: u16, hi: u16) {
+        assert!(lo < hi && hi <= self.n_cores, "bad core range [{lo},{hi})");
+        let span = (hi - lo) as usize;
+        for (i, &t) in threads.iter().enumerate() {
+            self.pin(t, CoreId(lo + (i % span) as u16));
+        }
+    }
+
+    /// The core a thread is pinned to, if it has been pinned.
+    pub fn core_of(&self, thread: SimThreadId) -> Option<CoreId> {
+        self.threads
+            .iter()
+            .position(|&t| t == thread)
+            .map(|i| self.pins[i])
+    }
+
+    /// All distinct cores hosting any of the given threads.
+    ///
+    /// This is the IPI target set for an ownership-targeted TLB shootdown:
+    /// only cores actually running threads that share the migrating page.
+    pub fn cores_of(&self, threads: impl IntoIterator<Item = SimThreadId>) -> BTreeSet<CoreId> {
+        threads
+            .into_iter()
+            .filter_map(|t| self.core_of(t))
+            .collect()
+    }
+
+    /// All cores that host at least one pinned thread (the conventional
+    /// process-wide shootdown target set, minus idle cores).
+    pub fn occupied_cores(&self) -> BTreeSet<CoreId> {
+        self.pins.iter().copied().collect()
+    }
+
+    /// All threads currently pinned.
+    pub fn threads(&self) -> &[SimThreadId] {
+        &self.threads
+    }
+
+    /// Threads pinned to a given core.
+    pub fn threads_on(&self, core: CoreId) -> Vec<SimThreadId> {
+        self.threads
+            .iter()
+            .zip(&self.pins)
+            .filter(|&(_, &c)| c == core)
+            .map(|(&t, _)| t)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_and_lookup() {
+        let mut topo = Topology::new(4);
+        topo.pin(SimThreadId(7), CoreId(2));
+        assert_eq!(topo.core_of(SimThreadId(7)), Some(CoreId(2)));
+        assert_eq!(topo.core_of(SimThreadId(8)), None);
+    }
+
+    #[test]
+    fn repin_moves_thread() {
+        let mut topo = Topology::new(4);
+        topo.pin(SimThreadId(1), CoreId(0));
+        topo.pin(SimThreadId(1), CoreId(3));
+        assert_eq!(topo.core_of(SimThreadId(1)), Some(CoreId(3)));
+        assert_eq!(topo.threads().len(), 1);
+    }
+
+    #[test]
+    fn pin_range_round_robin() {
+        let mut topo = Topology::new(32);
+        let ts: Vec<_> = (0..8).map(SimThreadId).collect();
+        topo.pin_range(&ts, 8, 16);
+        assert_eq!(topo.core_of(SimThreadId(0)), Some(CoreId(8)));
+        assert_eq!(topo.core_of(SimThreadId(7)), Some(CoreId(15)));
+        // Oversubscription wraps.
+        let more: Vec<_> = (8..18).map(SimThreadId).collect();
+        topo.pin_range(&more, 0, 4);
+        assert_eq!(topo.core_of(SimThreadId(12)), Some(CoreId(0)));
+    }
+
+    #[test]
+    fn targeted_core_set_smaller_than_occupied() {
+        let mut topo = Topology::new(32);
+        let ts: Vec<_> = (0..16).map(SimThreadId).collect();
+        topo.pin_range(&ts, 0, 16);
+        let private_owner = [SimThreadId(3)];
+        assert_eq!(topo.cores_of(private_owner).len(), 1);
+        assert_eq!(topo.occupied_cores().len(), 16);
+    }
+
+    #[test]
+    fn threads_on_core() {
+        let mut topo = Topology::new(2);
+        topo.pin(SimThreadId(0), CoreId(0));
+        topo.pin(SimThreadId(1), CoreId(0));
+        topo.pin(SimThreadId(2), CoreId(1));
+        assert_eq!(topo.threads_on(CoreId(0)).len(), 2);
+        assert_eq!(topo.threads_on(CoreId(1)), vec![SimThreadId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pin_out_of_range_panics() {
+        let mut topo = Topology::new(2);
+        topo.pin(SimThreadId(0), CoreId(5));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the machine substrate.
+
+use proptest::prelude::*;
+use vulcan_sim::{
+    BandwidthTracker, EventQueue, FrameAllocator, MigrationCosts, Nanos, TierKind,
+};
+
+proptest! {
+    /// The allocator hands out distinct frames, never more than capacity,
+    /// and frees restore exactly the freed capacity — under arbitrary
+    /// interleavings of allocs and frees.
+    #[test]
+    fn allocator_conservation(ops in proptest::collection::vec(any::<bool>(), 1..500)) {
+        let capacity = 64u64;
+        let mut a = FrameAllocator::new(TierKind::Fast, capacity);
+        let mut live = Vec::new();
+        for &alloc in &ops {
+            if alloc {
+                match a.alloc() {
+                    Ok(f) => live.push(f),
+                    Err(_) => prop_assert_eq!(live.len() as u64, capacity),
+                }
+            } else if let Some(f) = live.pop() {
+                a.free(f);
+            }
+            prop_assert_eq!(a.used_frames(), live.len() as u64);
+            prop_assert_eq!(a.free_frames() + a.used_frames(), capacity);
+            let mut seen = std::collections::HashSet::new();
+            for f in &live {
+                prop_assert!(seen.insert(f.index), "duplicate live frame");
+                prop_assert!(a.is_allocated(f.index));
+            }
+        }
+    }
+
+    /// Bandwidth inflation is ≥ 1, capped, and monotone in offered load.
+    #[test]
+    fn bandwidth_inflation_monotone(loads in proptest::collection::vec(0u64..10_000_000, 1..20)) {
+        let mut sorted = loads.clone();
+        sorted.sort();
+        let mut last = 0.0;
+        for &bytes in &sorted {
+            let mut bw = BandwidthTracker::new(205.0, 25.0);
+            bw.record(TierKind::Slow, bytes);
+            bw.end_quantum(Nanos(1_000));
+            let f = bw.inflation(TierKind::Slow);
+            prop_assert!((1.0..=vulcan_sim::bandwidth::MAX_INFLATION).contains(&f));
+            prop_assert!(f >= last - 1e-12, "inflation must be monotone");
+            last = f;
+        }
+    }
+
+    /// Events always fire in timestamp order regardless of insertion order.
+    #[test]
+    fn event_queue_orders(times in proptest::collection::vec(0u64..1_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Nanos(t), i);
+        }
+        let fired = q.drain_due(Nanos(1_000));
+        prop_assert_eq!(fired.len(), times.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "out of order");
+        }
+    }
+
+    /// Migration cost curves are monotone in their scaling arguments.
+    #[test]
+    fn migration_costs_monotone(cpus in 2u16..64, pages in 1u64..2_048, targets in 1u16..64) {
+        let m = MigrationCosts::default();
+        prop_assert!(m.prep_baseline(cpus + 1) > m.prep_baseline(cpus));
+        prop_assert!(m.shootdown_cold(targets + 1) > m.shootdown_cold(targets));
+        prop_assert!(m.shootdown_batched(pages + 1, targets) > m.shootdown_batched(pages, targets));
+        prop_assert!(m.shootdown_batched(pages, targets + 1) > m.shootdown_batched(pages, targets));
+        prop_assert!(m.copy_batched(pages + 1) > m.copy_batched(pages));
+        // The single-page breakdown's prep share grows with CPU count.
+        let s1 = m.single_page_baseline(cpus).prep_share();
+        let s2 = m.single_page_baseline(cpus + 1).prep_share();
+        prop_assert!(s2 > s1);
+    }
+
+    /// Copy contention scaling preserves every non-copy constant.
+    #[test]
+    fn contention_scaling_is_isolated(f in 1.0f64..16.0, cpus in 2u16..33) {
+        let base = MigrationCosts::default();
+        let loaded = MigrationCosts::default().with_copy_contention(f);
+        prop_assert_eq!(loaded.prep_baseline(cpus), base.prep_baseline(cpus));
+        prop_assert_eq!(loaded.shootdown_cold(cpus), base.shootdown_cold(cpus));
+        prop_assert!(loaded.copy_batched(8) >= base.copy_batched(8));
+    }
+}

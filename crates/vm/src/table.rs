@@ -1,0 +1,575 @@
+//! Four-level radix page tables with per-thread replication.
+//!
+//! Implements the structure of Figure 6: one **process-wide** table is
+//! always maintained (the kernel's view, `process_pgd` in §4), and when
+//! per-thread replication is enabled each thread additionally owns its own
+//! upper-level tables (PGD/PUD/PMD) whose last-level entries point at
+//! **shared leaf tables**. Leaf tables constitute the vast majority of
+//! page-table memory, so sharing them keeps the replication overhead to
+//! the (small) upper levels — the memory-efficiency argument of §3.4.
+//!
+//! Tables are arena-allocated inside the [`AddressSpace`]: inner nodes and
+//! leaf tables live in two `Vec`s and reference each other by index, so a
+//! leaf is "shared" simply by being reachable from several trees.
+
+use crate::addr::{Vpn, FANOUT};
+use crate::pte::{merge_owner, LocalTid, PageOwner, Pte};
+use std::collections::BTreeSet;
+use vulcan_sim::FrameId;
+
+/// Reference held in an inner-node slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+enum Slot {
+    /// Nothing mapped below this slot.
+    #[default]
+    Empty,
+    /// A lower inner node (arena index).
+    Node(u32),
+    /// A leaf table (arena index) — only valid in level-1 nodes.
+    Leaf(u32),
+}
+
+/// An inner page-table node (PGD, PUD or PMD).
+#[derive(Clone, Debug)]
+struct Node {
+    slots: Box<[Slot]>,
+}
+
+impl Node {
+    fn new() -> Node {
+        Node {
+            slots: vec![Slot::Empty; FANOUT].into_boxed_slice(),
+        }
+    }
+}
+
+/// A last-level page table holding 512 PTEs; shared across threads.
+#[derive(Clone, Debug)]
+struct Leaf {
+    ptes: Box<[Pte]>,
+    mapped: u32,
+}
+
+impl Leaf {
+    fn new() -> Leaf {
+        Leaf {
+            ptes: vec![Pte::EMPTY; FANOUT].into_boxed_slice(),
+            mapped: 0,
+        }
+    }
+}
+
+/// Outcome of a simulated memory touch through the page tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TouchOutcome {
+    /// The PTE after the touch.
+    pub pte: Pte,
+    /// A per-thread upper-level path had to be created (costs a minor
+    /// "replication fault" the first time a thread reaches a region).
+    pub replication_fault: bool,
+    /// The page transitioned from private to shared on this touch.
+    pub became_shared: bool,
+    /// The PTE was poisoned for hint-fault profiling; the poison has been
+    /// cleared and the access owes a minor-fault latency.
+    pub hint_fault: bool,
+}
+
+/// A process address space: process-wide table plus optional per-thread
+/// replicas, with shared leaf tables.
+///
+/// ```
+/// use vulcan_sim::{FrameId, TierKind};
+/// use vulcan_vm::{AddressSpace, LocalTid, PageOwner, Vpn};
+///
+/// let mut space = AddressSpace::new(true); // per-thread replication on
+/// let frame = FrameId { tier: TierKind::Slow, index: 7 };
+/// space.map(Vpn(42), frame, LocalTid(0));
+///
+/// // First toucher owns the page; a second thread makes it shared.
+/// space.touch(Vpn(42), LocalTid(0), false).unwrap();
+/// assert_eq!(space.owner(Vpn(42)), Some(PageOwner::Private(LocalTid(0))));
+/// space.touch(Vpn(42), LocalTid(1), true).unwrap();
+/// assert_eq!(space.owner(Vpn(42)), Some(PageOwner::Shared));
+/// assert!(space.pte(Vpn(42)).dirty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct AddressSpace {
+    nodes: Vec<Node>,
+    leaves: Vec<Leaf>,
+    process_root: u32,
+    /// `thread_roots[tid]` = arena index of the thread's private PGD.
+    thread_roots: Vec<Option<u32>>,
+    /// Whether per-thread replication is maintained (ablation switch;
+    /// §3.6 suggests enabling/disabling it adaptively).
+    replication: bool,
+    /// All mapped VPNs, for iteration by profilers and policies.
+    mapped: BTreeSet<u64>,
+    /// Bases of ranges currently backed by transparent huge pages.
+    huge_bases: BTreeSet<u64>,
+}
+
+impl AddressSpace {
+    /// Create an address space; `replication` enables per-thread tables.
+    pub fn new(replication: bool) -> AddressSpace {
+        let root = Node::new();
+        AddressSpace {
+            nodes: vec![root],
+            leaves: Vec::new(),
+            process_root: 0,
+            thread_roots: Vec::new(),
+            replication,
+            mapped: BTreeSet::new(),
+            huge_bases: BTreeSet::new(),
+        }
+    }
+
+    /// Whether per-thread replication is enabled.
+    pub fn replication_enabled(&self) -> bool {
+        self.replication
+    }
+
+    /// Register a thread; allocates its private root when replication is on.
+    pub fn register_thread(&mut self, tid: LocalTid) {
+        let idx = tid.0 as usize;
+        if idx >= self.thread_roots.len() {
+            self.thread_roots.resize(idx + 1, None);
+        }
+        if self.replication && self.thread_roots[idx].is_none() {
+            let root = self.alloc_node();
+            self.thread_roots[idx] = Some(root);
+        }
+    }
+
+    fn alloc_node(&mut self) -> u32 {
+        self.nodes.push(Node::new());
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn alloc_leaf(&mut self) -> u32 {
+        self.leaves.push(Leaf::new());
+        (self.leaves.len() - 1) as u32
+    }
+
+    /// Walk (and optionally build) the path from `root` to the leaf table
+    /// covering `vpn`. When building and no shared leaf exists yet, one is
+    /// allocated; when a shared leaf already exists (reachable from another
+    /// tree), it is linked, not duplicated.
+    fn leaf_index(&mut self, root: u32, vpn: Vpn, build: bool, share: Option<u32>) -> Option<u32> {
+        let mut node = root;
+        for level in [3usize, 2] {
+            let idx = vpn.index(level);
+            node = match self.nodes[node as usize].slots[idx] {
+                Slot::Node(n) => n,
+                Slot::Empty if build => {
+                    let n = self.alloc_node();
+                    self.nodes[node as usize].slots[idx] = Slot::Node(n);
+                    n
+                }
+                Slot::Empty => return None,
+                Slot::Leaf(_) => unreachable!("leaf above level 1"),
+            };
+        }
+        let idx = vpn.index(1);
+        match self.nodes[node as usize].slots[idx] {
+            Slot::Leaf(l) => Some(l),
+            Slot::Empty if build => {
+                let l = share.unwrap_or_else(|| self.alloc_leaf());
+                self.nodes[node as usize].slots[idx] = Slot::Leaf(l);
+                Some(l)
+            }
+            Slot::Empty => None,
+            Slot::Node(_) => unreachable!("node at leaf level"),
+        }
+    }
+
+    /// Read-only walk from `root` to the leaf covering `vpn`.
+    fn leaf_index_ro(&self, root: u32, vpn: Vpn) -> Option<u32> {
+        let mut node = root;
+        for level in [3usize, 2] {
+            match self.nodes[node as usize].slots[vpn.index(level)] {
+                Slot::Node(n) => node = n,
+                _ => return None,
+            }
+        }
+        match self.nodes[node as usize].slots[vpn.index(1)] {
+            Slot::Leaf(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Map `vpn` to `frame`, first-touched by `owner`.
+    ///
+    /// # Panics
+    /// Panics if `vpn` is already mapped (the simulator must unmap first).
+    pub fn map(&mut self, vpn: Vpn, frame: FrameId, owner: LocalTid) {
+        let leaf = self
+            .leaf_index(self.process_root, vpn, true, None)
+            .expect("building walk always yields a leaf");
+        let slot = vpn.index(0);
+        let l = &mut self.leaves[leaf as usize];
+        assert!(!l.ptes[slot].present(), "{vpn:?} already mapped");
+        l.ptes[slot] = Pte::new(frame, owner);
+        l.mapped += 1;
+        self.mapped.insert(vpn.0);
+    }
+
+    /// Unmap `vpn`, returning the old PTE (migration step ②).
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
+        let leaf = self.leaf_index_ro(self.process_root, vpn)?;
+        let slot = vpn.index(0);
+        let l = &mut self.leaves[leaf as usize];
+        if !l.ptes[slot].present() {
+            return None;
+        }
+        let old = l.ptes[slot];
+        l.ptes[slot] = Pte::EMPTY;
+        l.mapped -= 1;
+        self.mapped.remove(&vpn.0);
+        Some(old)
+    }
+
+    /// The PTE for `vpn` (EMPTY if unmapped).
+    pub fn pte(&self, vpn: Vpn) -> Pte {
+        self.leaf_index_ro(self.process_root, vpn)
+            .map(|leaf| self.leaves[leaf as usize].ptes[vpn.index(0)])
+            .unwrap_or(Pte::EMPTY)
+    }
+
+    /// Overwrite the PTE for a mapped `vpn` (remap step ⑤, A/D updates).
+    ///
+    /// # Panics
+    /// Panics if `vpn` has no leaf table yet.
+    pub fn set_pte(&mut self, vpn: Vpn, pte: Pte) {
+        let leaf = self
+            .leaf_index_ro(self.process_root, vpn)
+            .expect("set_pte on unmapped region");
+        let slot = vpn.index(0);
+        let l = &mut self.leaves[leaf as usize];
+        let was = l.ptes[slot].present();
+        l.ptes[slot] = pte;
+        match (was, pte.present()) {
+            (false, true) => {
+                l.mapped += 1;
+                self.mapped.insert(vpn.0);
+            }
+            (true, false) => {
+                l.mapped -= 1;
+                self.mapped.remove(&vpn.0);
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether `vpn` is mapped.
+    pub fn is_mapped(&self, vpn: Vpn) -> bool {
+        self.mapped.contains(&vpn.0)
+    }
+
+    /// Simulate thread `tid` touching `vpn`: ensures the thread's private
+    /// path reaches the shared leaf, updates A/D bits and the ownership
+    /// lattice, and reports hint faults.
+    ///
+    /// Returns `None` when the page is unmapped (a major fault the caller
+    /// must handle by allocating + [`map`](Self::map)).
+    pub fn touch(&mut self, vpn: Vpn, tid: LocalTid, write: bool) -> Option<TouchOutcome> {
+        let leaf = self.leaf_index_ro(self.process_root, vpn)?;
+        let slot = vpn.index(0);
+        if !self.leaves[leaf as usize].ptes[slot].present() {
+            return None;
+        }
+
+        // Link the thread's private upper levels to the shared leaf.
+        let mut replication_fault = false;
+        if self.replication {
+            self.register_thread(tid);
+            let troot = self.thread_roots[tid.0 as usize].expect("registered above");
+            let linked = self.leaf_index_ro(troot, vpn);
+            if linked != Some(leaf) {
+                debug_assert!(linked.is_none(), "thread tree must share process leaves");
+                self.leaf_index(troot, vpn, true, Some(leaf));
+                replication_fault = true;
+            }
+        }
+
+        let l = &mut self.leaves[leaf as usize];
+        let mut pte = l.ptes[slot];
+        let hint_fault = pte.poisoned();
+        if hint_fault {
+            pte = pte.with_poisoned(false);
+        }
+        let old_owner = pte.owner();
+        let new_owner = merge_owner(old_owner, tid);
+        let became_shared = old_owner != new_owner && new_owner == PageOwner::Shared;
+        pte = pte.touch(write).with_owner(new_owner);
+        l.ptes[slot] = pte;
+
+        Some(TouchOutcome {
+            pte,
+            replication_fault,
+            became_shared,
+            hint_fault,
+        })
+    }
+
+    /// The owner of a mapped page.
+    pub fn owner(&self, vpn: Vpn) -> Option<PageOwner> {
+        let pte = self.pte(vpn);
+        pte.present().then(|| pte.owner())
+    }
+
+    /// Iterate all mapped VPNs in address order.
+    pub fn mapped_vpns(&self) -> impl Iterator<Item = Vpn> + '_ {
+        self.mapped.iter().map(|&v| Vpn(v))
+    }
+
+    /// Number of mapped pages (the process's RSS in pages).
+    pub fn rss_pages(&self) -> u64 {
+        self.mapped.len() as u64
+    }
+
+    // ---- transparent huge pages -------------------------------------------------
+
+    /// Mark the 2 MiB range at `base` as THP-backed.
+    pub fn mark_huge(&mut self, base: Vpn) {
+        debug_assert_eq!(base.huge_offset(), 0, "huge base must be aligned");
+        self.huge_bases.insert(base.0);
+    }
+
+    /// Whether `vpn` falls in a THP-backed range.
+    pub fn in_huge(&self, vpn: Vpn) -> bool {
+        self.huge_bases.contains(&vpn.huge_base().0)
+    }
+
+    /// Split the huge page covering `vpn` into base pages (Memtis-style
+    /// pre-promotion split, §3.4/§3.5). Returns true if a split occurred.
+    pub fn split_huge(&mut self, vpn: Vpn) -> bool {
+        self.huge_bases.remove(&vpn.huge_base().0)
+    }
+
+    /// Number of THP-backed ranges.
+    pub fn huge_count(&self) -> usize {
+        self.huge_bases.len()
+    }
+
+    // ---- replication overhead accounting (§3.6 limitation) ---------------------
+
+    /// Total inner nodes across all trees.
+    pub fn inner_node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Leaf tables (shared across trees; counted once).
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Bytes of extra page-table memory attributable to per-thread
+    /// replication: every node beyond what a single process-wide tree
+    /// would need. Each node/leaf occupies 4 KiB like a real page table.
+    pub fn replication_overhead_bytes(&self) -> u64 {
+        // Count the nodes reachable from the process tree alone.
+        let mut process_nodes = 1u64; // the root
+        let mut stack = vec![self.process_root];
+        while let Some(n) = stack.pop() {
+            for slot in self.nodes[n as usize].slots.iter() {
+                if let Slot::Node(c) = slot {
+                    process_nodes += 1;
+                    stack.push(*c);
+                }
+            }
+        }
+        let total = self.nodes.len() as u64;
+        (total - process_nodes) * 4096
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulcan_sim::TierKind;
+
+    fn frame(index: u32) -> FrameId {
+        FrameId {
+            tier: TierKind::Slow,
+            index,
+        }
+    }
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(true)
+    }
+
+    #[test]
+    fn map_translate_unmap() {
+        let mut s = space();
+        let vpn = Vpn(0x12345);
+        s.map(vpn, frame(7), LocalTid(0));
+        assert!(s.is_mapped(vpn));
+        assert_eq!(s.pte(vpn).frame(), Some(frame(7)));
+        assert_eq!(s.rss_pages(), 1);
+        let old = s.unmap(vpn).unwrap();
+        assert_eq!(old.frame(), Some(frame(7)));
+        assert!(!s.is_mapped(vpn));
+        assert_eq!(s.pte(vpn), Pte::EMPTY);
+    }
+
+    #[test]
+    fn unmap_unmapped_is_none() {
+        let mut s = space();
+        assert_eq!(s.unmap(Vpn(5)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already mapped")]
+    fn double_map_panics() {
+        let mut s = space();
+        s.map(Vpn(1), frame(1), LocalTid(0));
+        s.map(Vpn(1), frame(2), LocalTid(0));
+    }
+
+    #[test]
+    fn touch_unmapped_is_major_fault() {
+        let mut s = space();
+        assert_eq!(s.touch(Vpn(9), LocalTid(0), false), None);
+    }
+
+    #[test]
+    fn first_touch_sets_private_owner() {
+        let mut s = space();
+        s.map(Vpn(1), frame(1), LocalTid(3));
+        let out = s.touch(Vpn(1), LocalTid(3), false).unwrap();
+        assert_eq!(out.pte.owner(), PageOwner::Private(LocalTid(3)));
+        assert!(!out.became_shared);
+    }
+
+    #[test]
+    fn second_thread_shares_page() {
+        let mut s = space();
+        s.map(Vpn(1), frame(1), LocalTid(0));
+        s.touch(Vpn(1), LocalTid(0), false).unwrap();
+        let out = s.touch(Vpn(1), LocalTid(1), false).unwrap();
+        assert!(out.became_shared);
+        assert_eq!(s.owner(Vpn(1)), Some(PageOwner::Shared));
+        // Further touches keep it shared without re-reporting.
+        let again = s.touch(Vpn(1), LocalTid(0), false).unwrap();
+        assert!(!again.became_shared);
+    }
+
+    #[test]
+    fn replication_fault_once_per_thread_region() {
+        let mut s = space();
+        s.map(Vpn(1), frame(1), LocalTid(0));
+        let first = s.touch(Vpn(1), LocalTid(0), false).unwrap();
+        assert!(first.replication_fault);
+        let second = s.touch(Vpn(1), LocalTid(0), false).unwrap();
+        assert!(!second.replication_fault);
+        // A different thread pays its own replication fault.
+        let other = s.touch(Vpn(1), LocalTid(1), false).unwrap();
+        assert!(other.replication_fault);
+    }
+
+    #[test]
+    fn no_replication_faults_when_disabled() {
+        let mut s = AddressSpace::new(false);
+        s.map(Vpn(1), frame(1), LocalTid(0));
+        let out = s.touch(Vpn(1), LocalTid(0), false).unwrap();
+        assert!(!out.replication_fault);
+        assert_eq!(s.replication_overhead_bytes(), 0);
+    }
+
+    #[test]
+    fn leaf_tables_are_shared_not_duplicated() {
+        let mut s = space();
+        // Two threads touching pages in the same 2 MiB region share a leaf.
+        s.map(Vpn(0), frame(1), LocalTid(0));
+        s.map(Vpn(1), frame(2), LocalTid(1));
+        s.touch(Vpn(0), LocalTid(0), false).unwrap();
+        s.touch(Vpn(1), LocalTid(1), false).unwrap();
+        assert_eq!(s.leaf_count(), 1, "one shared leaf only");
+        // Upper levels are replicated: process + 2 thread trees, 3 nodes
+        // each (root, L3, L2).
+        assert_eq!(s.inner_node_count(), 9);
+        assert_eq!(s.replication_overhead_bytes(), 6 * 4096);
+    }
+
+    #[test]
+    fn dirty_bit_via_write_touch() {
+        let mut s = space();
+        s.map(Vpn(4), frame(4), LocalTid(0));
+        s.touch(Vpn(4), LocalTid(0), false).unwrap();
+        assert!(!s.pte(Vpn(4)).dirty());
+        s.touch(Vpn(4), LocalTid(0), true).unwrap();
+        assert!(s.pte(Vpn(4)).dirty());
+    }
+
+    #[test]
+    fn hint_fault_fires_once() {
+        let mut s = space();
+        s.map(Vpn(2), frame(2), LocalTid(0));
+        let pte = s.pte(Vpn(2)).with_poisoned(true);
+        s.set_pte(Vpn(2), pte);
+        let out = s.touch(Vpn(2), LocalTid(0), false).unwrap();
+        assert!(out.hint_fault);
+        let out2 = s.touch(Vpn(2), LocalTid(0), false).unwrap();
+        assert!(!out2.hint_fault, "poison cleared by first fault");
+    }
+
+    #[test]
+    fn set_pte_maintains_mapped_set() {
+        let mut s = space();
+        s.map(Vpn(3), frame(3), LocalTid(0));
+        let pte = s.pte(Vpn(3));
+        s.set_pte(Vpn(3), Pte::EMPTY);
+        assert!(!s.is_mapped(Vpn(3)));
+        s.set_pte(Vpn(3), pte);
+        assert!(s.is_mapped(Vpn(3)));
+        assert_eq!(s.rss_pages(), 1);
+    }
+
+    #[test]
+    fn mapped_vpns_in_order() {
+        let mut s = space();
+        for v in [5u64, 1, 3] {
+            s.map(Vpn(v), frame(v as u32), LocalTid(0));
+        }
+        let got: Vec<_> = s.mapped_vpns().map(|v| v.0).collect();
+        assert_eq!(got, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn huge_page_bookkeeping() {
+        let mut s = space();
+        s.mark_huge(Vpn(512));
+        assert!(s.in_huge(Vpn(512 + 100)));
+        assert!(!s.in_huge(Vpn(100)));
+        assert_eq!(s.huge_count(), 1);
+        assert!(s.split_huge(Vpn(700)));
+        assert!(!s.in_huge(Vpn(700)));
+        assert!(!s.split_huge(Vpn(700)), "second split is a no-op");
+    }
+
+    #[test]
+    fn distant_vpns_use_distinct_leaves() {
+        let mut s = space();
+        s.map(Vpn(0), frame(1), LocalTid(0));
+        s.map(Vpn(1 << 20), frame(2), LocalTid(0));
+        assert_eq!(s.leaf_count(), 2);
+    }
+
+    #[test]
+    fn remap_preserves_owner_and_flags() {
+        let mut s = space();
+        s.map(Vpn(8), frame(9), LocalTid(2));
+        s.touch(Vpn(8), LocalTid(2), true).unwrap();
+        let new_frame = FrameId {
+            tier: TierKind::Fast,
+            index: 42,
+        };
+        let pte = s.pte(Vpn(8)).with_frame(new_frame);
+        s.set_pte(Vpn(8), pte);
+        let after = s.pte(Vpn(8));
+        assert_eq!(after.frame(), Some(new_frame));
+        assert_eq!(after.owner(), PageOwner::Private(LocalTid(2)));
+        assert!(after.dirty());
+    }
+}

@@ -1,0 +1,426 @@
+//! Per-core set-associative TLBs.
+//!
+//! Each simulated core caches translations in a set-associative TLB keyed
+//! by (ASID, VPN). TLB shootdowns during migration invalidate entries on
+//! remote cores — the coherence traffic §2.2 Observation #3 measures.
+//! Sizing follows a typical server-class second-level TLB (1536 entries,
+//! 12-way is common; we use 128 sets × 12 ways).
+
+use crate::addr::Vpn;
+use vulcan_sim::{CoreId, FrameId};
+
+/// An address-space identifier (one per process).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Asid(pub u16);
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    asid: Asid,
+    vpn: Vpn,
+    frame: FrameId,
+    stamp: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct HugeWay {
+    asid: Asid,
+    /// 2 MiB-aligned base VPN of the covered region.
+    base: u64,
+    stamp: u32,
+}
+
+/// A single core's TLB.
+///
+/// Two structures, as in real cores: a large base-page array and a
+/// smaller 2 MiB-entry array. One huge entry covers 512 base pages —
+/// the TLB-coverage benefit THP buys (§3.5 keeps THP enabled by default
+/// and splits only on promotion).
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    huge_sets: Vec<Vec<HugeWay>>,
+    huge_ways: usize,
+    clock: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// A TLB with `sets` sets of `ways` ways.
+    pub fn new(sets: usize, ways: usize) -> Tlb {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Tlb {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            huge_sets: vec![Vec::with_capacity(8); 16],
+            huge_ways: 8,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Default server-class sizing: 128 sets × 12 ways = 1536 base
+    /// entries plus 128 huge (2 MiB) entries.
+    pub fn server_default() -> Tlb {
+        Tlb::new(128, 12)
+    }
+
+    fn huge_set_of(&self, base: u64) -> usize {
+        ((base >> 9) as usize) & (self.huge_sets.len() - 1)
+    }
+
+    /// Look up a 2 MiB translation covering `vpn` (base = `vpn & !511`).
+    pub fn lookup_huge(&mut self, asid: Asid, vpn: Vpn) -> bool {
+        self.clock = self.clock.wrapping_add(1);
+        let stamp = self.clock;
+        let base = vpn.huge_base().0;
+        let set = self.huge_set_of(base);
+        if let Some(w) = self.huge_sets[set]
+            .iter_mut()
+            .find(|w| w.asid == asid && w.base == base)
+        {
+            w.stamp = stamp;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Install a 2 MiB translation for the region containing `vpn`.
+    pub fn insert_huge(&mut self, asid: Asid, vpn: Vpn) {
+        self.clock = self.clock.wrapping_add(1);
+        let stamp = self.clock;
+        let base = vpn.huge_base().0;
+        let ways = self.huge_ways;
+        let set = self.huge_set_of(base);
+        let set = &mut self.huge_sets[set];
+        if let Some(w) = set.iter_mut().find(|w| w.asid == asid && w.base == base) {
+            w.stamp = stamp;
+            return;
+        }
+        let way = HugeWay { asid, base, stamp };
+        if set.len() < ways {
+            set.push(way);
+        } else {
+            *set.iter_mut().min_by_key(|w| w.stamp).expect("full set") = way;
+        }
+    }
+
+    /// Drop the 2 MiB entry covering `vpn` (after a THP split).
+    pub fn invalidate_huge(&mut self, asid: Asid, vpn: Vpn) -> bool {
+        let base = vpn.huge_base().0;
+        let set = self.huge_set_of(base);
+        let before = self.huge_sets[set].len();
+        self.huge_sets[set].retain(|w| !(w.asid == asid && w.base == base));
+        self.huge_sets[set].len() != before
+    }
+
+    fn set_of(&self, vpn: Vpn) -> usize {
+        (vpn.0 as usize) & (self.sets.len() - 1)
+    }
+
+    /// Look up a translation; records hit/miss statistics.
+    pub fn lookup(&mut self, asid: Asid, vpn: Vpn) -> Option<FrameId> {
+        self.clock = self.clock.wrapping_add(1);
+        let stamp = self.clock;
+        let set = self.set_of(vpn);
+        if let Some(way) = self.sets[set]
+            .iter_mut()
+            .find(|w| w.asid == asid && w.vpn == vpn)
+        {
+            way.stamp = stamp;
+            self.hits += 1;
+            return Some(way.frame);
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Install a translation, evicting LRU within the set if needed.
+    pub fn insert(&mut self, asid: Asid, vpn: Vpn, frame: FrameId) {
+        self.clock = self.clock.wrapping_add(1);
+        let stamp = self.clock;
+        let ways = self.ways;
+        let set_idx = self.set_of(vpn);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|w| w.asid == asid && w.vpn == vpn) {
+            way.frame = frame;
+            way.stamp = stamp;
+            return;
+        }
+        let way = Way {
+            asid,
+            vpn,
+            frame,
+            stamp,
+        };
+        if set.len() < ways {
+            set.push(way);
+        } else {
+            let lru = set
+                .iter_mut()
+                .min_by_key(|w| w.stamp)
+                .expect("non-empty full set");
+            *lru = way;
+        }
+    }
+
+    /// Invalidate one page's translation (remote `invlpg`).
+    /// Returns true if an entry was present.
+    pub fn invalidate(&mut self, asid: Asid, vpn: Vpn) -> bool {
+        let set = self.set_of(vpn);
+        let before = self.sets[set].len();
+        self.sets[set].retain(|w| !(w.asid == asid && w.vpn == vpn));
+        self.sets[set].len() != before
+    }
+
+    /// Flush every entry of one address space (full-ASID shootdown).
+    pub fn flush_asid(&mut self, asid: Asid) {
+        for set in &mut self.sets {
+            set.retain(|w| w.asid != asid);
+        }
+        for set in &mut self.huge_sets {
+            set.retain(|w| w.asid != asid);
+        }
+    }
+
+    /// Flush everything (context switch without PCID).
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        for set in &mut self.huge_sets {
+            set.clear();
+        }
+    }
+
+    /// Base-page entries currently cached.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Huge (2 MiB) entries currently cached.
+    pub fn huge_occupancy(&self) -> usize {
+        self.huge_sets.iter().map(Vec::len).sum()
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One TLB per core of the machine.
+#[derive(Clone, Debug)]
+pub struct TlbArray {
+    tlbs: Vec<Tlb>,
+}
+
+impl TlbArray {
+    /// Build `n_cores` server-default TLBs.
+    pub fn new(n_cores: u16) -> TlbArray {
+        TlbArray {
+            tlbs: (0..n_cores).map(|_| Tlb::server_default()).collect(),
+        }
+    }
+
+    /// The TLB of `core`.
+    pub fn core(&mut self, core: CoreId) -> &mut Tlb {
+        &mut self.tlbs[core.0 as usize]
+    }
+
+    /// Read-only view of one core's TLB.
+    pub fn core_ref(&self, core: CoreId) -> &Tlb {
+        &self.tlbs[core.0 as usize]
+    }
+
+    /// Invalidate `vpn` on every listed core; returns how many cores
+    /// actually held the translation.
+    pub fn invalidate_on(
+        &mut self,
+        cores: impl IntoIterator<Item = CoreId>,
+        asid: Asid,
+        vpn: Vpn,
+    ) -> usize {
+        cores
+            .into_iter()
+            .filter(|&c| self.tlbs[c.0 as usize].invalidate(asid, vpn))
+            .count()
+    }
+
+    /// Drop the huge entry covering `vpn` on every listed core (THP
+    /// split); returns how many cores held it.
+    pub fn invalidate_huge_on(
+        &mut self,
+        cores: impl IntoIterator<Item = CoreId>,
+        asid: Asid,
+        vpn: Vpn,
+    ) -> usize {
+        cores
+            .into_iter()
+            .filter(|&c| self.tlbs[c.0 as usize].invalidate_huge(asid, vpn))
+            .count()
+    }
+
+    /// Number of cores.
+    pub fn len(&self) -> usize {
+        self.tlbs.len()
+    }
+
+    /// Whether there are no cores (never true for a real machine).
+    pub fn is_empty(&self) -> bool {
+        self.tlbs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulcan_sim::TierKind;
+
+    fn frame(index: u32) -> FrameId {
+        FrameId {
+            tier: TierKind::Fast,
+            index,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut tlb = Tlb::server_default();
+        let asid = Asid(1);
+        assert_eq!(tlb.lookup(asid, Vpn(5)), None);
+        tlb.insert(asid, Vpn(5), frame(9));
+        assert_eq!(tlb.lookup(asid, Vpn(5)), Some(frame(9)));
+        assert_eq!(tlb.stats(), (1, 1));
+        assert!((tlb.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asids_do_not_collide() {
+        let mut tlb = Tlb::server_default();
+        tlb.insert(Asid(1), Vpn(5), frame(1));
+        tlb.insert(Asid(2), Vpn(5), frame(2));
+        assert_eq!(tlb.lookup(Asid(1), Vpn(5)), Some(frame(1)));
+        assert_eq!(tlb.lookup(Asid(2), Vpn(5)), Some(frame(2)));
+    }
+
+    #[test]
+    fn reinsert_updates_frame() {
+        let mut tlb = Tlb::server_default();
+        tlb.insert(Asid(1), Vpn(5), frame(1));
+        tlb.insert(Asid(1), Vpn(5), frame(2));
+        assert_eq!(tlb.lookup(Asid(1), Vpn(5)), Some(frame(2)));
+        assert_eq!(tlb.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut tlb = Tlb::new(1, 2); // one set, two ways
+        let asid = Asid(1);
+        tlb.insert(asid, Vpn(1), frame(1));
+        tlb.insert(asid, Vpn(2), frame(2));
+        tlb.lookup(asid, Vpn(1)); // make vpn=2 the LRU
+        tlb.insert(asid, Vpn(3), frame(3));
+        assert_eq!(tlb.lookup(asid, Vpn(2)), None, "LRU way evicted");
+        assert!(tlb.lookup(asid, Vpn(1)).is_some());
+        assert!(tlb.lookup(asid, Vpn(3)).is_some());
+    }
+
+    #[test]
+    fn invalidate_single_page() {
+        let mut tlb = Tlb::server_default();
+        tlb.insert(Asid(1), Vpn(5), frame(1));
+        assert!(tlb.invalidate(Asid(1), Vpn(5)));
+        assert!(!tlb.invalidate(Asid(1), Vpn(5)));
+        assert_eq!(tlb.lookup(Asid(1), Vpn(5)), None);
+    }
+
+    #[test]
+    fn flush_asid_leaves_other_processes() {
+        let mut tlb = Tlb::server_default();
+        tlb.insert(Asid(1), Vpn(5), frame(1));
+        tlb.insert(Asid(2), Vpn(6), frame(2));
+        tlb.flush_asid(Asid(1));
+        assert_eq!(tlb.lookup(Asid(1), Vpn(5)), None);
+        assert!(tlb.lookup(Asid(2), Vpn(6)).is_some());
+    }
+
+    #[test]
+    fn flush_all() {
+        let mut tlb = Tlb::server_default();
+        tlb.insert(Asid(1), Vpn(5), frame(1));
+        tlb.flush_all();
+        assert_eq!(tlb.occupancy(), 0);
+    }
+
+    #[test]
+    fn huge_entries_cover_whole_regions() {
+        let mut tlb = Tlb::server_default();
+        let asid = Asid(1);
+        assert!(!tlb.lookup_huge(asid, Vpn(700)));
+        tlb.insert_huge(asid, Vpn(700)); // region base 512
+        assert!(tlb.lookup_huge(asid, Vpn(512)), "same region");
+        assert!(tlb.lookup_huge(asid, Vpn(1023)), "same region");
+        assert!(!tlb.lookup_huge(asid, Vpn(1024)), "next region");
+        assert_eq!(tlb.huge_occupancy(), 1, "one entry, 512 pages");
+    }
+
+    #[test]
+    fn huge_invalidation_after_split() {
+        let mut tlb = Tlb::server_default();
+        let asid = Asid(1);
+        tlb.insert_huge(asid, Vpn(512));
+        assert!(tlb.invalidate_huge(asid, Vpn(600)));
+        assert!(!tlb.lookup_huge(asid, Vpn(512)));
+        assert!(!tlb.invalidate_huge(asid, Vpn(600)), "idempotent");
+    }
+
+    #[test]
+    fn huge_entries_flushed_with_asid() {
+        let mut tlb = Tlb::server_default();
+        tlb.insert_huge(Asid(1), Vpn(0));
+        tlb.insert_huge(Asid(2), Vpn(0));
+        tlb.flush_asid(Asid(1));
+        assert!(!tlb.lookup_huge(Asid(1), Vpn(0)));
+        assert!(tlb.lookup_huge(Asid(2), Vpn(0)));
+        tlb.flush_all();
+        assert_eq!(tlb.huge_occupancy(), 0);
+    }
+
+    #[test]
+    fn huge_lru_eviction() {
+        let mut tlb = Tlb::new(128, 12);
+        let asid = Asid(1);
+        // 16 sets x 8 ways = 128 huge entries; insert regions mapping to
+        // one set (base>>9 multiples of 16) to force eviction.
+        for i in 0..9u64 {
+            tlb.insert_huge(asid, Vpn(i * 16 * 512));
+        }
+        assert!(!tlb.lookup_huge(asid, Vpn(0)), "LRU way evicted");
+        assert!(tlb.lookup_huge(asid, Vpn(8 * 16 * 512)));
+    }
+
+    #[test]
+    fn array_invalidation_counts_holders() {
+        let mut arr = TlbArray::new(4);
+        arr.core(CoreId(0)).insert(Asid(1), Vpn(9), frame(1));
+        arr.core(CoreId(2)).insert(Asid(1), Vpn(9), frame(1));
+        let held = arr.invalidate_on([CoreId(0), CoreId(1), CoreId(2)], Asid(1), Vpn(9));
+        assert_eq!(held, 2);
+        assert_eq!(arr.core(CoreId(0)).lookup(Asid(1), Vpn(9)), None);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the virtual-memory substrate.
+
+use proptest::prelude::*;
+use vulcan_sim::{CoreId, FrameId, SimThreadId, TierKind, Topology};
+use vulcan_vm::{
+    shootdown, AddressSpace, Asid, LocalTid, PageOwner, Process, Pte, ShootdownScope, Tlb, TlbArray,
+    Vpn,
+};
+
+fn arb_frame() -> impl Strategy<Value = FrameId> {
+    (any::<bool>(), 0u32..1_000_000).prop_map(|(slow, index)| FrameId {
+        tier: if slow { TierKind::Slow } else { TierKind::Fast },
+        index,
+    })
+}
+
+fn arb_vpn() -> impl Strategy<Value = Vpn> {
+    (0u64..(1 << 30)).prop_map(Vpn)
+}
+
+proptest! {
+    /// PTE bit packing is lossless for every frame/owner/flag combination.
+    #[test]
+    fn pte_roundtrip(frame in arb_frame(), tid in 0u8..=0x7E, a in any::<bool>(), d in any::<bool>(), p in any::<bool>()) {
+        let mut pte = Pte::new(frame, LocalTid(tid));
+        if a { pte = pte.touch(false); }
+        if d { pte = pte.touch(true); }
+        pte = pte.with_poisoned(p);
+        prop_assert!(pte.present());
+        prop_assert_eq!(pte.frame(), Some(frame));
+        prop_assert_eq!(pte.owner(), PageOwner::Private(LocalTid(tid)));
+        prop_assert_eq!(pte.accessed(), a || d);
+        prop_assert_eq!(pte.dirty(), d);
+        prop_assert_eq!(pte.poisoned(), p);
+    }
+
+    /// map → pte → unmap roundtrips for arbitrary sparse vpn sets.
+    #[test]
+    fn map_unmap_roundtrip(entries in proptest::collection::btree_map(0u64..(1<<30), arb_frame(), 1..64)) {
+        let mut s = AddressSpace::new(true);
+        for (&v, &f) in &entries {
+            s.map(Vpn(v), f, LocalTid(0));
+        }
+        prop_assert_eq!(s.rss_pages(), entries.len() as u64);
+        for (&v, &f) in &entries {
+            prop_assert_eq!(s.pte(Vpn(v)).frame(), Some(f));
+        }
+        // mapped_vpns agrees with the inserted key set.
+        let listed: Vec<u64> = s.mapped_vpns().map(|v| v.0).collect();
+        let keys: Vec<u64> = entries.keys().copied().collect();
+        prop_assert_eq!(listed, keys);
+        for (&v, &f) in &entries {
+            let old = s.unmap(Vpn(v)).unwrap();
+            prop_assert_eq!(old.frame(), Some(f));
+        }
+        prop_assert_eq!(s.rss_pages(), 0);
+    }
+
+    /// Ownership only moves up the lattice: unowned → private → shared,
+    /// and the final state is private iff exactly one thread touched.
+    #[test]
+    fn ownership_lattice_monotone(touches in proptest::collection::vec(0u8..4, 1..32)) {
+        let mut s = AddressSpace::new(true);
+        s.map(Vpn(7), FrameId { tier: TierKind::Slow, index: 1 }, LocalTid(touches[0]));
+        let mut seen_shared = false;
+        for &t in &touches {
+            let out = s.touch(Vpn(7), LocalTid(t), false).unwrap();
+            if seen_shared {
+                prop_assert_eq!(out.pte.owner(), PageOwner::Shared, "shared is absorbing");
+            }
+            if out.pte.owner() == PageOwner::Shared {
+                seen_shared = true;
+            }
+        }
+        let distinct: std::collections::BTreeSet<u8> = touches.iter().copied().collect();
+        match s.owner(Vpn(7)).unwrap() {
+            PageOwner::Private(t) => {
+                prop_assert_eq!(distinct.len(), 1);
+                prop_assert_eq!(t, LocalTid(touches[0]));
+            }
+            PageOwner::Shared => prop_assert!(distinct.len() >= 2),
+        }
+    }
+
+    /// A TLB never returns a translation that was invalidated and never
+    /// exceeds its capacity.
+    #[test]
+    fn tlb_coherence(ops in proptest::collection::vec((0u64..128, any::<bool>()), 1..200)) {
+        let mut tlb = Tlb::new(4, 2); // tiny: forces eviction
+        let asid = Asid(1);
+        let mut shadow: std::collections::HashMap<u64, u32> = Default::default();
+        for (i, &(v, invalidate)) in ops.iter().enumerate() {
+            if invalidate {
+                tlb.invalidate(asid, Vpn(v));
+                shadow.remove(&v);
+            } else {
+                let f = FrameId { tier: TierKind::Fast, index: i as u32 };
+                tlb.insert(asid, Vpn(v), f);
+                shadow.insert(v, i as u32);
+            }
+            prop_assert!(tlb.occupancy() <= 8);
+        }
+        // Lookups may miss (capacity evictions) but a hit must match the
+        // last inserted frame — stale frames are a coherence violation.
+        for (&v, &idx) in &shadow {
+            if let Some(f) = tlb.lookup(asid, Vpn(v)) {
+                prop_assert_eq!(f.index, idx);
+            }
+        }
+    }
+
+    /// Targeted shootdown targets are always a subset of process-wide
+    /// targets, and shared pages force all-thread coverage.
+    #[test]
+    fn targeted_subset_of_process_wide(
+        n_threads in 1usize..8,
+        page_owners in proptest::collection::vec(0u8..8, 1..16),
+    ) {
+        let mut p = Process::new(Asid(1), true);
+        let mut topo = Topology::new(32);
+        for i in 0..n_threads {
+            let tid = p.spawn_thread(SimThreadId(i as u32));
+            topo.pin(SimThreadId(i as u32), CoreId(i as u16));
+            let _ = tid;
+        }
+        let mut pages = Vec::new();
+        for (i, &o) in page_owners.iter().enumerate() {
+            let vpn = Vpn(i as u64);
+            let owner = LocalTid(o % n_threads as u8);
+            p.space.map(vpn, FrameId { tier: TierKind::Slow, index: i as u32 }, owner);
+            p.space.touch(vpn, owner, false).unwrap();
+            pages.push(vpn);
+        }
+        let wide = shootdown::plan(&p, &topo, &pages, ShootdownScope::ProcessWide);
+        let narrow = shootdown::plan(&p, &topo, &pages, ShootdownScope::Targeted);
+        prop_assert!(narrow.targets.is_subset(&wide.targets));
+        prop_assert!(!narrow.targets.is_empty());
+    }
+
+    /// After executing a shootdown, no target core holds any of the pages.
+    #[test]
+    fn shootdown_clears_targets(pages in proptest::collection::btree_set(0u64..64, 1..16)) {
+        let mut p = Process::new(Asid(3), true);
+        let mut topo = Topology::new(8);
+        for i in 0..4u32 {
+            p.spawn_thread(SimThreadId(i));
+            topo.pin(SimThreadId(i), CoreId(i as u16));
+        }
+        let mut tlbs = TlbArray::new(8);
+        let vpns: Vec<Vpn> = pages.iter().map(|&v| Vpn(v)).collect();
+        for (i, &vpn) in vpns.iter().enumerate() {
+            let owner = LocalTid((i % 4) as u8);
+            p.space.map(vpn, FrameId { tier: TierKind::Slow, index: i as u32 }, owner);
+            p.space.touch(vpn, owner, false).unwrap();
+            // Seed every core's TLB with the page.
+            for c in 0..8u16 {
+                tlbs.core(CoreId(c)).insert(p.asid, vpn, p.space.pte(vpn).frame().unwrap());
+            }
+        }
+        let plan = shootdown::plan(&p, &topo, &vpns, ShootdownScope::ProcessWide);
+        shootdown::execute(&plan, &p, &mut tlbs, &vulcan_sim::MigrationCosts::default(),
+                           vulcan_vm::ShootdownMode::Batched);
+        for &core in &plan.targets {
+            for &vpn in &vpns {
+                prop_assert_eq!(tlbs.core(core).lookup(p.asid, vpn), None);
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # Vulcan — fair and efficient tiered memory management
+//!
+//! A full-system reproduction of *"Leave No One Behind: Towards Fair and
+//! Efficient Tiered Memory Management for Multi-Applications"* (Tang,
+//! Wang, Wang, Wu — ICPP 2025) as a user-space simulation stack.
+//!
+//! The facade re-exports every layer:
+//!
+//! * [`sim`] — the tiered-memory machine (tiers, bandwidth, cost model);
+//! * [`vm`] — page tables with per-thread replication, TLBs, shootdowns;
+//! * [`migrate`] — the five-phase mechanism, sync/async engines, shadows;
+//! * [`profile`] — PEBS / table-scan / hint-fault / hybrid profilers;
+//! * [`workloads`] — Memcached / PageRank / Liblinear-like generators;
+//! * [`runtime`] — the simulation driver and the `TieringPolicy` trait;
+//! * [`policy`] — the TPP / MEMTIS / NOMAD baselines;
+//! * [`core`] — Vulcan itself: QoS model, CBFRP, classifier, biased
+//!   migration queues;
+//! * [`metrics`] — Jain/CFI fairness, statistics, reporting.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vulcan::prelude::*;
+//!
+//! // Co-locate a latency-critical KV store with a best-effort sweep on
+//! // the paper's (scaled) testbed, managed by Vulcan.
+//! let result = SimRunner::new(
+//!     MachineSpec::paper_testbed(),
+//!     vec![memcached(), liblinear()],
+//!     &mut |_| Box::new(HybridProfiler::vulcan_default()),
+//!     Box::new(VulcanPolicy::new()),
+//!     SimConfig { n_quanta: 10, quantum_active: Nanos::micros(200), ..Default::default() },
+//! )
+//! .run();
+//! assert!(result.cfi > 0.0 && result.cfi <= 1.0);
+//! ```
+
+pub use vulcan_core as core;
+pub use vulcan_metrics as metrics;
+pub use vulcan_migrate as migrate;
+pub use vulcan_policy as policy;
+pub use vulcan_profile as profile;
+pub use vulcan_runtime as runtime;
+pub use vulcan_sim as sim;
+pub use vulcan_vm as vm;
+pub use vulcan_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use vulcan_core::{Cbfrp, Classifier, PageClass, ServiceClass, VulcanConfig, VulcanPolicy};
+    pub use vulcan_metrics::{jain_index, CfiAccumulator, Table};
+    pub use vulcan_migrate::{AsyncMigrator, MechanismConfig, PrepStrategy, ShadowRegistry};
+    pub use vulcan_policy::{profiler_for, Memtis, Mtm, Nomad, Tpp};
+    pub use vulcan_profile::{
+        HintFaultProfiler, HybridProfiler, PebsProfiler, Profiler, PtScanProfiler,
+    };
+    pub use vulcan_runtime::{
+        RunResult, SimConfig, SimRunner, StaticPlacement, TieringPolicy, UniformPartition,
+    };
+    pub use vulcan_sim::{Cycles, MachineSpec, Nanos, TierKind};
+    pub use vulcan_vm::{PageOwner, ShootdownScope, Vpn};
+    pub use vulcan_workloads::{
+        liblinear, memcached, microbench, pagerank, replay, MicroConfig, Trace, TraceReplayer,
+        WorkloadClass, WorkloadSpec, WssScenario,
+    };
+}

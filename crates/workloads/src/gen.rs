@@ -1,0 +1,104 @@
+//! The access-generator abstraction.
+//!
+//! Workloads produce *operations* — short sequences of page accesses plus
+//! a fixed off-memory cost (network, compute). The runtime replays these
+//! against the simulated machine. Latency-critical performance is per-op
+//! latency; best-effort performance is op throughput.
+
+use rand::rngs::SmallRng;
+use vulcan_sim::Nanos;
+
+/// One page access within an operation. `offset` is relative to the
+/// workload's region base; the runtime adds the base VPN.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageAccess {
+    /// Page offset within the workload's RSS region.
+    pub offset: u64,
+    /// Whether the access writes.
+    pub write: bool,
+}
+
+impl PageAccess {
+    /// A read of `offset`.
+    pub fn read(offset: u64) -> Self {
+        PageAccess {
+            offset,
+            write: false,
+        }
+    }
+
+    /// A write of `offset`.
+    pub fn write(offset: u64) -> Self {
+        PageAccess {
+            offset,
+            write: true,
+        }
+    }
+}
+
+/// A workload's access generator.
+pub trait AccessGen: Send {
+    /// Append the accesses of thread `tid`'s next operation to `out`
+    /// (which the caller clears).
+    fn next_op(&mut self, tid: usize, rng: &mut SmallRng, out: &mut Vec<PageAccess>);
+
+    /// The workload's resident set size in pages.
+    fn rss_pages(&self) -> u64;
+
+    /// Off-memory time per operation (request parsing, compute, network).
+    /// This is what separates a latency-critical service issuing sparse
+    /// accesses from a best-effort sweep saturating the memory system.
+    fn fixed_op_nanos(&self) -> Nanos;
+}
+
+/// Split a region of `len` pages into `n` contiguous per-thread shards;
+/// returns thread `tid`'s `[start, end)` offsets relative to the region.
+pub fn shard(len: u64, n: usize, tid: usize) -> (u64, u64) {
+    debug_assert!(tid < n);
+    let n = n as u64;
+    let tid = tid as u64;
+    let base = len / n;
+    let rem = len % n;
+    let start = tid * base + tid.min(rem);
+    let extra = if tid < rem { 1 } else { 0 };
+    (start, start + base + extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_partition_the_region() {
+        for len in [1u64, 7, 100, 1000] {
+            for n in [1usize, 3, 8] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for tid in 0..n {
+                    let (s, e) = shard(len, n, tid);
+                    assert_eq!(s, prev_end, "shards are contiguous");
+                    assert!(e >= s);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, len, "len={len} n={n}");
+                assert_eq!(prev_end, len);
+            }
+        }
+    }
+
+    #[test]
+    fn shards_are_balanced() {
+        for tid in 0..8 {
+            let (s, e) = shard(100, 8, tid);
+            assert!((e - s) == 12 || (e - s) == 13);
+        }
+    }
+
+    #[test]
+    fn access_constructors() {
+        assert!(!PageAccess::read(5).write);
+        assert!(PageAccess::write(5).write);
+        assert_eq!(PageAccess::read(5).offset, 5);
+    }
+}

@@ -1,0 +1,23 @@
+//! # vulcan-workloads — synthetic cloud workloads
+//!
+//! Generators reproducing the access signatures of the paper's evaluation
+//! workloads (Table 2, §5.3): a latency-critical Memcached-like KV store,
+//! a PageRank-like graph computation, a Liblinear-like best-effort
+//! training sweep, and the Nomad-style Zipfian microbenchmark of §5.2.
+//! RSS values are scaled 1 paper-GB → 256 pages (DESIGN.md §5).
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod gen;
+pub mod microbench;
+pub mod spec;
+pub mod trace;
+pub mod zipf;
+
+pub use apps::{KvConfig, KvStore, PageRank, PrConfig, Sweep, SweepConfig};
+pub use gen::{shard, AccessGen, PageAccess};
+pub use microbench::{Microbench, MicroConfig, WssScenario};
+pub use spec::{liblinear, memcached, microbench, pagerank, replay, WorkloadClass, WorkloadKind, WorkloadSpec};
+pub use trace::{Trace, TraceOp, TraceReplayer};
+pub use zipf::Zipf;

@@ -1,0 +1,232 @@
+//! Workload specifications and the Table 2 presets.
+
+use crate::apps::{KvConfig, KvStore, PageRank, PrConfig, Sweep, SweepConfig};
+use crate::gen::AccessGen;
+use crate::microbench::{Microbench, MicroConfig};
+use crate::trace::{Trace, TraceReplayer};
+use std::sync::Arc;
+use vulcan_sim::{Nanos, TierKind};
+
+/// Ground-truth service class of a workload.
+///
+/// The runtime reports this for evaluation; Vulcan's daemon does **not**
+/// read it — it classifies black-box workloads from their utilization
+/// patterns (§3.3), and the classifier is tested against this truth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Online service; performance = request latency.
+    LatencyCritical,
+    /// Batch job; performance = throughput.
+    BestEffort,
+}
+
+/// Which generator a workload uses.
+#[derive(Clone, Debug)]
+pub enum WorkloadKind {
+    /// Memcached-like KV store.
+    Kv(KvConfig),
+    /// PageRank-like graph computation.
+    PageRank(PrConfig),
+    /// Liblinear-like training sweep.
+    Sweep(SweepConfig),
+    /// Nomad-style Zipfian microbenchmark.
+    Micro(MicroConfig),
+    /// Replay of a recorded access trace.
+    Replay(Arc<Trace>),
+}
+
+/// A complete workload description the runtime can instantiate.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Display name.
+    pub name: String,
+    /// Ground-truth class (evaluation only).
+    pub class: WorkloadClass,
+    /// Worker threads.
+    pub n_threads: usize,
+    /// Simulated start time (staggered arrivals, §5.3).
+    pub start: Nanos,
+    /// Generator configuration.
+    pub kind: WorkloadKind,
+    /// Pre-map the whole RSS into a tier before the run (the §5.2
+    /// microbenchmarks "allocate data to specific segments of the tiered
+    /// memory"); `None` means demand paging.
+    pub prealloc: Option<TierKind>,
+    /// Back demand-paged memory with transparent huge pages: faults map
+    /// whole 2 MiB regions and the TLB caches one entry per region
+    /// (§3.5 enables THP by default for TLB coverage).
+    pub thp: bool,
+    /// Simulated departure time: the workload terminates, releasing all
+    /// of its memory (GFMC then redistributes over the survivors, §3.3's
+    /// "dynamically adjusting based on n"). `None` = runs forever.
+    pub stop: Option<Nanos>,
+}
+
+impl WorkloadSpec {
+    /// Instantiate the access generator.
+    pub fn build(&self) -> Box<dyn AccessGen> {
+        match &self.kind {
+            WorkloadKind::Kv(c) => Box::new(KvStore::new(c.clone())),
+            WorkloadKind::PageRank(c) => Box::new(PageRank::new(PrConfig {
+                n_threads: self.n_threads,
+                ..c.clone()
+            })),
+            WorkloadKind::Sweep(c) => Box::new(Sweep::new(SweepConfig {
+                n_threads: self.n_threads,
+                ..c.clone()
+            })),
+            WorkloadKind::Micro(c) => Box::new(Microbench::new(c.clone())),
+            WorkloadKind::Replay(t) => {
+                Box::new(TraceReplayer::new(t.clone()).expect("validated trace"))
+            }
+        }
+    }
+
+    /// The workload's RSS in pages.
+    pub fn rss_pages(&self) -> u64 {
+        match &self.kind {
+            WorkloadKind::Kv(c) => c.rss_pages,
+            WorkloadKind::PageRank(c) => c.rss_pages,
+            WorkloadKind::Sweep(c) => c.rss_pages,
+            WorkloadKind::Micro(c) => c.rss_pages,
+            WorkloadKind::Replay(t) => t.rss_pages,
+        }
+    }
+
+    /// Delay the workload's start (the paper starts PageRank at 50 s and
+    /// Liblinear at 110 s, §5.3).
+    pub fn starting_at(mut self, t: Nanos) -> Self {
+        self.start = t;
+        self
+    }
+
+    /// Pre-map the whole RSS into `tier` before the run.
+    pub fn preallocated(mut self, tier: TierKind) -> Self {
+        self.prealloc = Some(tier);
+        self
+    }
+
+    /// Enable transparent huge pages for this workload.
+    pub fn with_thp(mut self) -> Self {
+        self.thp = true;
+        self
+    }
+
+    /// Terminate the workload at `t`, releasing its memory.
+    pub fn stopping_at(mut self, t: Nanos) -> Self {
+        self.stop = Some(t);
+        self
+    }
+}
+
+/// Table 2: Memcached, 51 GB, YCSB-style KV — latency-critical.
+pub fn memcached() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "memcached".into(),
+        class: WorkloadClass::LatencyCritical,
+        n_threads: 8,
+        start: Nanos::ZERO,
+        kind: WorkloadKind::Kv(KvConfig::default()),
+        prealloc: None,
+        thp: false,
+        stop: None,
+    }
+}
+
+/// Table 2: PageRank, 42 GB web-graph scoring — best-effort.
+pub fn pagerank() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "pagerank".into(),
+        class: WorkloadClass::BestEffort,
+        n_threads: 8,
+        start: Nanos::ZERO,
+        kind: WorkloadKind::PageRank(PrConfig::default()),
+        prealloc: None,
+        thp: false,
+        stop: None,
+    }
+}
+
+/// Table 2: Liblinear on KDD12, 69 GB — best-effort.
+pub fn liblinear() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "liblinear".into(),
+        class: WorkloadClass::BestEffort,
+        n_threads: 8,
+        start: Nanos::ZERO,
+        kind: WorkloadKind::Sweep(SweepConfig::default()),
+        prealloc: None,
+        thp: false,
+        stop: None,
+    }
+}
+
+/// A workload replaying a recorded trace.
+pub fn replay(name: &str, trace: Arc<Trace>, class: WorkloadClass) -> WorkloadSpec {
+    let n_threads = trace.n_threads;
+    WorkloadSpec {
+        name: name.into(),
+        class,
+        n_threads,
+        start: Nanos::ZERO,
+        kind: WorkloadKind::Replay(trace),
+        prealloc: None,
+        thp: false,
+        stop: None,
+    }
+}
+
+/// A microbenchmark workload (Figures 4 and 8).
+pub fn microbench(name: &str, cfg: MicroConfig, n_threads: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.into(),
+        class: WorkloadClass::BestEffort,
+        n_threads,
+        start: Nanos::ZERO,
+        kind: WorkloadKind::Micro(cfg),
+        prealloc: None,
+        thp: false,
+        stop: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_presets() {
+        assert_eq!(memcached().rss_pages(), 13_056);
+        assert_eq!(pagerank().rss_pages(), 10_752);
+        assert_eq!(liblinear().rss_pages(), 17_664);
+        assert_eq!(memcached().class, WorkloadClass::LatencyCritical);
+        assert_eq!(liblinear().class, WorkloadClass::BestEffort);
+        for spec in [memcached(), pagerank(), liblinear()] {
+            assert_eq!(spec.n_threads, 8, "8 threads per app (§5.3)");
+        }
+    }
+
+    #[test]
+    fn builders_produce_generators_with_matching_rss() {
+        for spec in [memcached(), pagerank(), liblinear()] {
+            let g = spec.build();
+            assert_eq!(g.rss_pages(), spec.rss_pages());
+        }
+    }
+
+    #[test]
+    fn staggered_start() {
+        let w = pagerank().starting_at(Nanos::secs(50));
+        assert_eq!(w.start, Nanos::secs(50));
+        assert_eq!(w.stop, None);
+        let w = w.stopping_at(Nanos::secs(120));
+        assert_eq!(w.stop, Some(Nanos::secs(120)));
+    }
+
+    #[test]
+    fn micro_spec() {
+        let w = microbench("mb", MicroConfig::default(), 4);
+        assert_eq!(w.n_threads, 4);
+        assert_eq!(w.rss_pages(), 8_192);
+    }
+}

@@ -1,0 +1,245 @@
+//! Access-trace recording and replay.
+//!
+//! Any generator's access stream can be captured into a [`Trace`] —
+//! serializable, diffable, shareable — and replayed deterministically
+//! through the same [`AccessGen`] interface. Replay makes experiments
+//! reproducible across generator changes and lets externally produced
+//! traces (converted to the JSON schema) drive the simulator.
+
+use crate::gen::{AccessGen, PageAccess};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use vulcan_sim::Nanos;
+
+/// One recorded operation: the accesses a thread issued for one op.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceOp {
+    /// Thread that issued the op.
+    pub tid: u32,
+    /// `(page offset, is_write)` pairs, in issue order.
+    pub accesses: Vec<(u64, bool)>,
+}
+
+/// A recorded access trace.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// RSS of the recorded workload, in pages.
+    pub rss_pages: u64,
+    /// Off-memory time per op, in nanoseconds.
+    pub fixed_op_nanos: u64,
+    /// Worker threads of the recorded workload.
+    pub n_threads: usize,
+    /// Operations, in global record order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Record `ops_per_thread` operations per thread from `gen`,
+    /// round-robin across `n_threads`, using a deterministic RNG.
+    pub fn record(
+        gen: &mut dyn AccessGen,
+        n_threads: usize,
+        ops_per_thread: usize,
+        seed: u64,
+    ) -> Trace {
+        assert!(n_threads > 0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut ops = Vec::with_capacity(n_threads * ops_per_thread);
+        let mut buf = Vec::new();
+        for i in 0..n_threads * ops_per_thread {
+            let tid = i % n_threads;
+            buf.clear();
+            gen.next_op(tid, &mut rng, &mut buf);
+            ops.push(TraceOp {
+                tid: tid as u32,
+                accesses: buf.iter().map(|a| (a.offset, a.write)).collect(),
+            });
+        }
+        Trace {
+            rss_pages: gen.rss_pages(),
+            fixed_op_nanos: gen.fixed_op_nanos().0,
+            n_threads,
+            ops,
+        }
+    }
+
+    /// Serialize as JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(text: &str) -> Result<Trace, String> {
+        let t: Trace =
+            serde_json::from_str(text).map_err(|e| format!("trace parse error: {e}"))?;
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Check internal consistency (offsets in range, threads in range).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_threads == 0 {
+            return Err("trace needs at least one thread".into());
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.tid as usize >= self.n_threads {
+                return Err(format!("op {i}: tid {} out of range", op.tid));
+            }
+            for &(offset, _) in &op.accesses {
+                if offset >= self.rss_pages {
+                    return Err(format!("op {i}: offset {offset} outside RSS"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total accesses recorded.
+    pub fn n_accesses(&self) -> usize {
+        self.ops.iter().map(|o| o.accesses.len()).sum()
+    }
+}
+
+/// Replays a [`Trace`] through the [`AccessGen`] interface. Each thread
+/// cycles through its own recorded ops (wrapping when exhausted), so the
+/// replayed stream is stationary and runs for any duration.
+#[derive(Clone, Debug)]
+pub struct TraceReplayer {
+    trace: Arc<Trace>,
+    /// Per-thread indices into `per_thread` op lists.
+    cursors: Vec<usize>,
+    /// Per-thread op index lists.
+    per_thread: Vec<Vec<usize>>,
+}
+
+impl TraceReplayer {
+    /// Build a replayer over a validated trace.
+    pub fn new(trace: Arc<Trace>) -> Result<TraceReplayer, String> {
+        trace.validate()?;
+        let mut per_thread = vec![Vec::new(); trace.n_threads];
+        for (i, op) in trace.ops.iter().enumerate() {
+            per_thread[op.tid as usize].push(i);
+        }
+        if per_thread.iter().any(Vec::is_empty) {
+            return Err("every thread needs at least one recorded op".into());
+        }
+        Ok(TraceReplayer {
+            cursors: vec![0; trace.n_threads],
+            per_thread,
+            trace,
+        })
+    }
+}
+
+impl AccessGen for TraceReplayer {
+    fn next_op(&mut self, tid: usize, _rng: &mut SmallRng, out: &mut Vec<PageAccess>) {
+        let list = &self.per_thread[tid];
+        let op = &self.trace.ops[list[self.cursors[tid] % list.len()]];
+        self.cursors[tid] += 1;
+        out.extend(
+            op.accesses
+                .iter()
+                .map(|&(offset, write)| PageAccess { offset, write }),
+        );
+    }
+
+    fn rss_pages(&self) -> u64 {
+        self.trace.rss_pages
+    }
+
+    fn fixed_op_nanos(&self) -> Nanos {
+        Nanos(self.trace.fixed_op_nanos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{KvConfig, KvStore};
+    use crate::microbench::{MicroConfig, Microbench};
+
+    fn record_micro() -> Trace {
+        let mut g = Microbench::new(MicroConfig {
+            rss_pages: 256,
+            wss_pages: 64,
+            ..Default::default()
+        });
+        Trace::record(&mut g, 2, 50, 7)
+    }
+
+    #[test]
+    fn record_captures_everything() {
+        let t = record_micro();
+        assert_eq!(t.ops.len(), 100);
+        assert_eq!(t.n_accesses(), 100 * 8);
+        assert_eq!(t.rss_pages, 256);
+        assert_eq!(t.n_threads, 2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn replay_reproduces_the_recording() {
+        let t = record_micro();
+        let mut replay = TraceReplayer::new(Arc::new(t.clone())).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut buf = Vec::new();
+        // Thread 0's first recorded op is ops[0], thread 1's is ops[1].
+        replay.next_op(0, &mut rng, &mut buf);
+        let got: Vec<(u64, bool)> = buf.iter().map(|a| (a.offset, a.write)).collect();
+        assert_eq!(got, t.ops[0].accesses);
+        buf.clear();
+        replay.next_op(1, &mut rng, &mut buf);
+        let got: Vec<(u64, bool)> = buf.iter().map(|a| (a.offset, a.write)).collect();
+        assert_eq!(got, t.ops[1].accesses);
+    }
+
+    #[test]
+    fn replay_wraps_around() {
+        let t = record_micro();
+        let mut replay = TraceReplayer::new(Arc::new(t.clone())).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut buf = Vec::new();
+        // Thread 0 recorded 50 ops; the 51st replayed op wraps to the 1st.
+        let mut first = Vec::new();
+        for i in 0..51 {
+            buf.clear();
+            replay.next_op(0, &mut rng, &mut buf);
+            if i == 0 {
+                first = buf.clone();
+            }
+        }
+        assert_eq!(buf, first, "wrapped to the beginning");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = record_micro();
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn validation_rejects_garbage() {
+        let mut t = record_micro();
+        t.ops[0].accesses[0].0 = 99_999;
+        assert!(t.validate().is_err(), "out-of-range offset");
+        let mut t2 = record_micro();
+        t2.ops[3].tid = 9;
+        assert!(TraceReplayer::new(Arc::new(t2)).is_err());
+    }
+
+    #[test]
+    fn kv_trace_records_and_replays() {
+        let mut kv = KvStore::new(KvConfig {
+            rss_pages: 512,
+            ..Default::default()
+        });
+        let t = Trace::record(&mut kv, 4, 25, 3);
+        assert_eq!(t.ops.len(), 100);
+        let replay = TraceReplayer::new(Arc::new(t)).unwrap();
+        assert_eq!(replay.rss_pages(), 512);
+        assert!(replay.fixed_op_nanos().0 > 0, "fixed op time preserved");
+    }
+}

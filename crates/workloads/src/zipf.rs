@@ -1,0 +1,137 @@
+//! Zipfian rank sampling.
+//!
+//! The paper's migration-policy microbenchmarks generate "memory accesses
+//! to the WSS data that mimic real-world memory access patterns with a
+//! Zipfian distribution" (§5.2). This sampler precomputes the CDF of a
+//! Zipf(s) distribution over `n` ranks and samples by binary search —
+//! exact, O(log n) per sample, and deterministic given the RNG.
+
+use rand::Rng;
+
+/// A Zipfian distribution over ranks `0..n` (rank 0 is the hottest).
+///
+/// ```
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// use vulcan_workloads::Zipf;
+///
+/// let zipf = Zipf::new(1000, 0.99);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// assert!(zipf.pmf(0) > zipf.pmf(999)); // the head is hot
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Zipf with exponent `s` over `n` ranks. `s = 0` degenerates to
+    /// uniform; YCSB's default skew is `s ≈ 0.99`.
+    pub fn new(n: u64, s: f64) -> Zipf {
+        assert!(n > 0, "need at least one rank");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        let k = k as usize;
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 0.99);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_is_monotone_decreasing() {
+        let z = Zipf::new(50, 1.2);
+        for k in 1..50 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_within_range_and_skewed() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            let k = z.sample(&mut rng);
+            assert!(k < 1000);
+            counts[k as usize] += 1;
+        }
+        // Rank 0 must dominate rank 500 heavily under s≈1.
+        assert!(counts[0] > 50 * counts[500].max(1));
+        // Head concentration: top 10% of ranks gets well over half the mass.
+        let head: u64 = counts[..100].iter().sum();
+        assert!(head > 60_000, "head={head}");
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let z = Zipf::new(1, 0.99);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let z = Zipf::new(64, 0.8);
+        let a: Vec<u64> = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

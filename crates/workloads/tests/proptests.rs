@@ -1,0 +1,130 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vulcan_workloads::{
+    AccessGen, KvConfig, KvStore, MicroConfig, Microbench, PageRank, PrConfig, Sweep, SweepConfig,
+    Zipf,
+};
+
+fn drive<G: AccessGen>(g: &mut G, threads: usize, ops: usize, seed: u64) -> Vec<(usize, u64, bool)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut buf = Vec::new();
+    for i in 0..ops {
+        let tid = i % threads;
+        buf.clear();
+        g.next_op(tid, &mut rng, &mut buf);
+        for a in &buf {
+            out.push((tid, a.offset, a.write));
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Every generator emits offsets strictly inside its RSS, for any
+    /// thread and seed.
+    #[test]
+    fn generators_stay_in_bounds(seed in any::<u64>(), rss in 256u64..4_096) {
+        let threads = 4;
+        let mut kv = KvStore::new(KvConfig { rss_pages: rss, ..Default::default() });
+        let mut pr = PageRank::new(PrConfig { rss_pages: rss, n_threads: threads, ..Default::default() });
+        let mut sw = Sweep::new(SweepConfig { rss_pages: rss, n_threads: threads, ..Default::default() });
+        for (label, accesses) in [
+            ("kv", drive(&mut kv, threads, 200, seed)),
+            ("pr", drive(&mut pr, threads, 200, seed)),
+            ("sweep", drive(&mut sw, threads, 200, seed)),
+        ] {
+            prop_assert!(!accesses.is_empty());
+            for (_, offset, _) in accesses {
+                prop_assert!(offset < rss, "{label} escaped: {offset} >= {rss}");
+            }
+        }
+    }
+
+    /// The microbench stays inside its RSS even with drift wrapping.
+    #[test]
+    fn microbench_in_bounds_under_drift(
+        seed in any::<u64>(),
+        wss in 8u64..128,
+        drift in 0u64..64,
+    ) {
+        let rss = 512;
+        let mut mb = Microbench::new(MicroConfig {
+            rss_pages: rss,
+            wss_pages: wss,
+            wss_drift: drift,
+            ..Default::default()
+        });
+        for (_, offset, _) in drive(&mut mb, 2, 1_000, seed) {
+            prop_assert!(offset < rss);
+        }
+    }
+
+    /// Zipf sampling respects its support and its head really is heavier
+    /// than its tail for s > 0.
+    #[test]
+    fn zipf_head_heavier(seed in any::<u64>(), n in 16u64..512, s in 0.3f64..1.5) {
+        let z = Zipf::new(n, s);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut head = 0u64;
+        let mut tail = 0u64;
+        for _ in 0..2_000 {
+            let k = z.sample(&mut rng);
+            prop_assert!(k < n);
+            if k < n / 4 {
+                head += 1;
+            } else if k >= 3 * n / 4 {
+                tail += 1;
+            }
+        }
+        prop_assert!(head > tail, "head {head} vs tail {tail}");
+    }
+
+    /// PageRank's write accesses are confined to the writer's own
+    /// next-rank shard — the private-ownership property the biased
+    /// migration policy depends on.
+    #[test]
+    fn pagerank_writes_are_private(seed in any::<u64>()) {
+        let threads = 4;
+        let mut pr = PageRank::new(PrConfig {
+            rss_pages: 2_048,
+            n_threads: threads,
+            ..Default::default()
+        });
+        let mut writer: std::collections::HashMap<u64, usize> = Default::default();
+        for (tid, offset, write) in drive(&mut pr, threads, 2_000, seed) {
+            if write {
+                if let Some(&prev) = writer.get(&offset) {
+                    prop_assert_eq!(prev, tid, "page written by two threads");
+                } else {
+                    writer.insert(offset, tid);
+                }
+            }
+        }
+    }
+
+    /// KV ops have a fixed shape: index reads followed by value accesses
+    /// of one value (uniform write flag).
+    #[test]
+    fn kv_op_shape(seed in any::<u64>()) {
+        let cfg = KvConfig::default();
+        let (ia, va) = (cfg.index_accesses, cfg.value_accesses);
+        let mut kv = KvStore::new(cfg);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut buf = Vec::new();
+        for _ in 0..50 {
+            buf.clear();
+            kv.next_op(0, &mut rng, &mut buf);
+            prop_assert_eq!(buf.len(), ia + va);
+            for a in &buf[..ia] {
+                prop_assert!(!a.write, "index walks never write");
+            }
+            let flags: std::collections::BTreeSet<bool> =
+                buf[ia..].iter().map(|a| a.write).collect();
+            prop_assert_eq!(flags.len(), 1, "one op hits one value one way");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Record a workload's access trace, save it, and replay it through a
+//! different tiering policy — deterministic, shareable experiments.
+//!
+//! Run with: `cargo run --release --example trace_replay`
+
+use std::sync::Arc;
+use vulcan::prelude::*;
+use vulcan::workloads::{replay, Trace};
+
+fn main() {
+    // 1. Record 2000 ops/thread of the Memcached-like generator.
+    let mut gen = memcached().build();
+    let trace = Trace::record(gen.as_mut(), 8, 2_000, 42);
+    println!(
+        "recorded {} ops / {} accesses over {} pages",
+        trace.ops.len(),
+        trace.n_accesses(),
+        trace.rss_pages
+    );
+
+    // 2. Round-trip through JSON (the on-disk interchange format).
+    let json = trace.to_json();
+    println!("trace serializes to {} bytes of JSON", json.len());
+    let trace = Arc::new(Trace::from_json(&json).expect("valid trace"));
+
+    // 3. Replay the identical access stream under two different policies.
+    let mut rows = Vec::new();
+    for (label, policy) in [
+        ("memtis", Box::new(Memtis::new()) as Box<dyn TieringPolicy>),
+        ("vulcan", Box::new(VulcanPolicy::new())),
+    ] {
+        let spec = replay("kv-trace", trace.clone(), WorkloadClass::LatencyCritical);
+        let res = SimRunner::new(
+            MachineSpec::small(4_096, 32_768, 16),
+            vec![spec],
+            &mut |_| profiler_for(label),
+            policy,
+            SimConfig {
+                n_quanta: 30,
+                ..Default::default()
+            },
+        )
+        .run();
+        rows.push((label, res));
+    }
+
+    let mut table = Table::new(
+        "same trace, two policies",
+        &["policy", "ops/s", "latency(ns)", "FTHR"],
+    );
+    for (label, res) in &rows {
+        let w = res.workload("kv-trace");
+        table.row(&[
+            label.to_string(),
+            format!("{:.0}", w.mean_ops_per_sec),
+            format!("{:.0}", w.mean_latency_ns),
+            format!("{:.3}", w.mean_fthr),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nBoth policies saw byte-identical access streams — any difference \
+         is the policy, not workload noise."
+    );
+}

@@ -1,0 +1,134 @@
+//! Integration test: the §5.3 three-application study end-to-end.
+//!
+//! All four tiering systems run the staggered Memcached / PageRank /
+//! Liblinear co-location; the test checks the headline orderings of
+//! Figure 10 and global invariants of the simulation.
+
+use vulcan::prelude::*;
+
+fn specs() -> Vec<WorkloadSpec> {
+    vec![
+        memcached(),
+        pagerank().starting_at(Nanos::secs(15)),
+        liblinear().starting_at(Nanos::secs(35)),
+    ]
+}
+
+fn run(policy_name: &str) -> RunResult {
+    let policy: Box<dyn TieringPolicy> = match policy_name {
+        "tpp" => Box::new(Tpp::new()),
+        "memtis" => Box::new(Memtis::new()),
+        "nomad" => Box::new(Nomad::new()),
+        "vulcan" => Box::new(VulcanPolicy::new()),
+        _ => unreachable!(),
+    };
+    SimRunner::new(
+        MachineSpec::paper_testbed(),
+        specs(),
+        &mut |_| profiler_for(policy_name),
+        policy,
+        SimConfig {
+            quantum_active: Nanos::micros(500),
+            n_quanta: 110,
+            ..Default::default()
+        },
+    )
+    .run()
+}
+
+#[test]
+fn all_policies_complete_with_sane_metrics() {
+    for name in ["tpp", "memtis", "nomad", "vulcan"] {
+        let res = run(name);
+        assert_eq!(res.policy, name);
+        assert!((0.0..=1.0).contains(&res.cfi), "{name}: cfi={}", res.cfi);
+        for w in &res.per_workload {
+            assert!(w.ops_total > 0, "{name}/{}: no progress", w.name);
+            assert!(w.mean_latency_ns > 0.0);
+            assert!((0.0..=1.0).contains(&w.mean_fthr));
+            assert!((0.0..=1.0).contains(&w.mean_hot_ratio));
+        }
+        // Fast-tier occupancy never exceeds capacity.
+        let cap = 8192.0;
+        let total_fast: f64 = res
+            .per_workload
+            .iter()
+            .filter_map(|w| {
+                res.series
+                    .get(&format!("{}.fast_pages", w.name))
+                    .and_then(|s| s.last())
+            })
+            .sum();
+        assert!(total_fast <= cap, "{name}: fast over-committed {total_fast}");
+    }
+}
+
+#[test]
+fn vulcan_is_fairest() {
+    let vulcan = run("vulcan");
+    for baseline in ["memtis", "nomad"] {
+        let other = run(baseline);
+        assert!(
+            vulcan.cfi > other.cfi,
+            "vulcan cfi {:.3} must beat {baseline} {:.3} (Figure 10b)",
+            vulcan.cfi,
+            other.cfi
+        );
+    }
+}
+
+#[test]
+fn vulcan_protects_the_lc_workload() {
+    // Figure 10a compares steady-state co-located performance. At this
+    // abbreviated test scale the latency gap is noise-level, so we
+    // assert the robust underlying signal — the LC workload's fast-tier
+    // hit ratio — and leave the strict performance ordering to the
+    // full-scale `fig10` bench (200 s, multiple trials).
+    let vulcan = run("vulcan");
+    let memtis = run("memtis");
+    let fthr = |r: &RunResult| {
+        r.series
+            .get("memcached.fthr")
+            .expect("series recorded")
+            .mean_after(70.0)
+    };
+    let (v, m) = (fthr(&vulcan), fthr(&memtis));
+    assert!(
+        v > m,
+        "Figure 10a (signal): vulcan fthr {v:.3} vs memtis {m:.3}"
+    );
+}
+
+#[test]
+fn staggered_arrivals_reshape_allocations() {
+    let res = run("vulcan");
+    let mc_fast = res.series.get("memcached.fast_pages").unwrap();
+    // While alone, memcached may hold far more than its eventual share;
+    // after liblinear arrives the partition tightens.
+    let early = mc_fast
+        .points
+        .iter()
+        .filter(|&&(t, _)| (5.0..15.0).contains(&t))
+        .map(|&(_, v)| v)
+        .fold(0.0_f64, f64::max);
+    let late = mc_fast.mean_after(80.0);
+    assert!(
+        late < early,
+        "GFMC shrinks as co-runners arrive: early={early:.0} late={late:.0}"
+    );
+    // GPT series reflects the shrinking entitlement (Figure 9c).
+    let gpt = res.series.get("memcached.gpt").unwrap();
+    let gpt_early = gpt.points[2].1;
+    let gpt_late = gpt.last().unwrap();
+    assert!(gpt_late < gpt_early, "{gpt_early} -> {gpt_late}");
+}
+
+#[test]
+fn be_workloads_are_not_starved_by_vulcan() {
+    // "Leave no one behind": even the greedy BE sweep keeps a nonzero
+    // fast-tier share and makes progress under Vulcan.
+    let res = run("vulcan");
+    let lib_fast = res.series.get("liblinear.fast_pages").unwrap().mean_after(80.0);
+    assert!(lib_fast > 256.0, "liblinear holds fast memory: {lib_fast:.0}");
+    assert!(res.workload("liblinear").ops_total > 0);
+}

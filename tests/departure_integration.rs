@@ -1,0 +1,126 @@
+//! Integration test: workload departure.
+//!
+//! GFMC is "dynamically adjusting based on n" (§3.3) — both directions.
+//! When a workload terminates, every frame it held must return to the
+//! allocators, its TLB entries must vanish, and the survivors' GPT and
+//! allocations must expand into the freed capacity.
+
+use vulcan::prelude::*;
+
+fn specs() -> Vec<WorkloadSpec> {
+    vec![
+        microbench(
+            "stayer",
+            MicroConfig {
+                rss_pages: 2_048,
+                wss_pages: 1_024,
+                ..Default::default()
+            },
+            4,
+        )
+        .preallocated(TierKind::Slow),
+        microbench(
+            "leaver",
+            MicroConfig {
+                rss_pages: 2_048,
+                wss_pages: 1_024,
+                ..Default::default()
+            },
+            4,
+        )
+        .preallocated(TierKind::Slow)
+        .stopping_at(Nanos::secs(12)),
+    ]
+}
+
+fn runner() -> vulcan::runtime::SimRunner {
+    vulcan::runtime::SimRunner::new(
+        MachineSpec::small(1_024, 8_192, 16),
+        specs(),
+        &mut |_| Box::new(HybridProfiler::vulcan_default()),
+        Box::new(VulcanPolicy::new()),
+        SimConfig {
+            quantum_active: Nanos::millis(1),
+            n_quanta: 0,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn departure_frees_every_frame() {
+    let mut r = runner();
+    for _ in 0..25 {
+        r.run_quantum();
+    }
+    let leaver = &r.state.workloads[1];
+    assert!(leaver.departed);
+    assert!(!leaver.started);
+    assert_eq!(leaver.rss_pages(), 0, "all pages unmapped");
+    assert_eq!(leaver.stats.fast_used, 0);
+    assert_eq!(leaver.async_migrator.inflight(), 0);
+    assert!(leaver.shadows.is_empty());
+
+    // Conservation: machine frames = stayer's mapped pages + its shadows
+    // + its in-flight destination reservations.
+    let stayer = &r.state.workloads[0];
+    let used = r.state.machine.allocator(TierKind::Fast).used_frames()
+        + r.state.machine.allocator(TierKind::Slow).used_frames();
+    let expected = stayer.rss_pages()
+        + stayer.shadows.len() as u64
+        + stayer.async_migrator.inflight() as u64;
+    assert_eq!(used, expected, "no leaked frames after departure");
+}
+
+#[test]
+fn survivor_expands_into_freed_capacity() {
+    let mut r = runner();
+    for _ in 0..10 {
+        r.run_quantum();
+    }
+    let before = r.state.workloads[0].stats.fast_used;
+    for _ in 0..20 {
+        r.run_quantum();
+    }
+    let after = r.state.workloads[0].stats.fast_used;
+    assert!(
+        after > before + 128,
+        "GFMC doubled after the departure: {before} -> {after}"
+    );
+}
+
+#[test]
+fn departed_workload_stops_executing() {
+    let mut r = runner();
+    for _ in 0..12 {
+        r.run_quantum();
+    }
+    let ops_at_departure = r.state.workloads[1].stats.ops_total;
+    for _ in 0..10 {
+        r.run_quantum();
+    }
+    assert_eq!(
+        r.state.workloads[1].stats.ops_total, ops_at_departure,
+        "no ops after departure"
+    );
+    assert!(
+        r.state.workloads[0].stats.ops_total > 0,
+        "survivor keeps running"
+    );
+}
+
+#[test]
+fn departure_is_idempotent_and_tlb_clean() {
+    let mut r = runner();
+    for _ in 0..15 {
+        r.run_quantum();
+    }
+    let asid = r.state.workloads[1].process.asid;
+    // Manual second teardown must be a no-op.
+    r.state.teardown(1);
+    for c in 0..16u16 {
+        let tlb = r.state.tlbs.core(vulcan::sim::CoreId(c));
+        assert!(!tlb.lookup_huge(asid, Vpn(0)));
+        assert_eq!(tlb.lookup(asid, Vpn(0)), None, "no stale entries");
+    }
+}

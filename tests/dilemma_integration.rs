@@ -1,0 +1,140 @@
+//! Integration test: the cold page dilemma (§2.2, Figure 1).
+//!
+//! Runs the Memtis baseline on Memcached solo, Liblinear solo, and the
+//! two co-located, then checks the paper's Observation #1 end-to-end:
+//! co-location collapses the LC workload's hot-page ratio and degrades
+//! its performance, while Vulcan's workload-aware partitioning prevents
+//! the collapse.
+
+use vulcan::prelude::*;
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        quantum_active: Nanos::millis(1),
+        n_quanta: 35,
+        record_series: true,
+        ..Default::default()
+    }
+}
+
+fn run(workloads: Vec<WorkloadSpec>, policy: &str) -> RunResult {
+    let p: Box<dyn TieringPolicy> = match policy {
+        "memtis" => Box::new(Memtis::new()),
+        "vulcan" => Box::new(VulcanPolicy::new()),
+        _ => unreachable!(),
+    };
+    SimRunner::new(
+        MachineSpec::paper_testbed(),
+        workloads,
+        &mut |_| profiler_for(policy),
+        p,
+        cfg(),
+    )
+    .run()
+}
+
+/// Mean hot-page ratio over the settled tail of the run.
+fn settled_hot_ratio(res: &RunResult, name: &str) -> f64 {
+    res.series
+        .get(&format!("{name}.hot_ratio"))
+        .expect("series recorded")
+        .mean_after(20.0)
+}
+
+#[test]
+fn memtis_solo_memcached_keeps_hot_pages_fast() {
+    let res = run(vec![memcached()], "memtis");
+    let ratio = settled_hot_ratio(&res, "memcached");
+    // Solo, the fast tier (8192 pages) holds ~63% of memcached's 13056
+    // pages — the paper reports ~75% on its testbed.
+    assert!(
+        ratio > 0.5,
+        "solo: most pages are classified hot / fast-resident: {ratio}"
+    );
+}
+
+#[test]
+fn memtis_colocation_triggers_the_dilemma() {
+    let solo = run(vec![memcached()], "memtis");
+    let co = run(vec![memcached(), liblinear()], "memtis");
+
+    let solo_ratio = settled_hot_ratio(&solo, "memcached");
+    let co_ratio = settled_hot_ratio(&co, "memcached");
+    assert!(
+        co_ratio < 0.5 * solo_ratio && co_ratio < 0.28,
+        "co-location collapses the hot-page ratio (paper: 75% -> <28%): \
+         solo={solo_ratio:.2} co={co_ratio:.2}"
+    );
+
+    let solo_perf = solo.workload("memcached").performance();
+    let co_perf = co.workload("memcached").performance();
+    let norm = co_perf / solo_perf;
+    assert!(
+        norm < 0.93,
+        "LC performance degrades under the dilemma (paper: 0.8x): {norm:.3}"
+    );
+
+    // The BE workload tolerates co-location: it holds most of the fast
+    // tier (Figure 1c) and keeps making solid progress. (On the paper's
+    // testbed its normalized slowdown is milder than the LC's; here the
+    // purely memory-bound sweep is proportionally sensitive to the fast
+    // share it cedes to memcached's index, so we assert tolerance, not
+    // strict ordering.)
+    let lib_solo = run(vec![liblinear()], "memtis");
+    let lib_norm =
+        co.workload("liblinear").performance() / lib_solo.workload("liblinear").performance();
+    assert!(
+        lib_norm > 0.7,
+        "BE keeps making progress under co-location: be={lib_norm:.3}"
+    );
+    let lib_ratio = settled_hot_ratio(&co, "liblinear");
+    assert!(
+        lib_ratio * 17_664.0 > 0.6 * 8_192.0,
+        "BE occupies most of the fast tier (Figure 1c): {lib_ratio:.2}"
+    );
+}
+
+#[test]
+fn vulcan_prevents_the_dilemma() {
+    let memtis = run(vec![memcached(), liblinear()], "memtis");
+    let vulcan = run(vec![memcached(), liblinear()], "vulcan");
+
+    // Vulcan holds fewer-but-hotter LC pages: the protection shows in
+    // the hit ratio, not raw residency.
+    let fthr = |r: &RunResult| r.series.get("memcached.fthr").unwrap().mean_after(20.0);
+    let (v_fthr, m_fthr) = (fthr(&vulcan), fthr(&memtis));
+    assert!(
+        v_fthr > m_fthr + 0.05,
+        "Vulcan protects the LC hot set: vulcan={v_fthr:.2} memtis={m_fthr:.2}"
+    );
+
+    let lat = |r: &RunResult| {
+        r.series
+            .get("memcached.latency_ns")
+            .unwrap()
+            .mean_after(20.0)
+    };
+    assert!(
+        lat(&vulcan) < lat(&memtis),
+        "Vulcan improves LC latency under co-location: \
+         vulcan={:.0} memtis={:.0}",
+        lat(&vulcan),
+        lat(&memtis)
+    );
+}
+
+#[test]
+fn vulcan_keeps_lc_fthr_above_its_gpt() {
+    let res = run(vec![memcached(), liblinear()], "vulcan");
+    // GPT = GFMC / RSS = 4096 / 13056.
+    let gpt = 4096.0 / 13056.0;
+    let fthr = res
+        .series
+        .get("memcached.fthr")
+        .unwrap()
+        .mean_after(20.0);
+    assert!(
+        fthr > gpt,
+        "the QoS guarantee holds in steady state: fthr={fthr:.3} gpt={gpt:.3}"
+    );
+}

@@ -1,0 +1,194 @@
+//! Failure-injection and edge-case integration tests: the simulator must
+//! behave sanely at capacity boundaries, degenerate machine shapes, and
+//! under policy decisions that race with resource exhaustion.
+
+use vulcan::prelude::*;
+use vulcan::runtime::SimRunner;
+
+fn micro(name: &str, rss: u64, wss: u64, threads: usize) -> WorkloadSpec {
+    microbench(
+        name,
+        MicroConfig {
+            rss_pages: rss,
+            wss_pages: wss,
+            ..Default::default()
+        },
+        threads,
+    )
+}
+
+fn run(
+    machine: MachineSpec,
+    specs: Vec<WorkloadSpec>,
+    policy: Box<dyn TieringPolicy>,
+    n_quanta: u64,
+) -> RunResult {
+    SimRunner::new(
+        machine,
+        specs,
+        &mut |_| Box::new(HybridProfiler::vulcan_default()),
+        policy,
+        SimConfig {
+            quantum_active: Nanos::micros(500),
+            n_quanta,
+            ..Default::default()
+        },
+    )
+    .run()
+}
+
+#[test]
+fn tiny_fast_tier_still_works() {
+    // A 16-page fast tier cannot hold anyone's hot set; everything must
+    // still run, and no policy may over-commit.
+    for policy in [
+        Box::new(VulcanPolicy::new()) as Box<dyn TieringPolicy>,
+        Box::new(Memtis::new()),
+        Box::new(Tpp::new()),
+        Box::new(Nomad::new()),
+    ] {
+        let res = run(
+            MachineSpec::small(16, 8_192, 4),
+            vec![micro("a", 1_024, 512, 2), micro("b", 1_024, 512, 2)],
+            policy,
+            10,
+        );
+        for w in &res.per_workload {
+            assert!(w.ops_total > 0, "{}: starved under tiny fast tier", w.name);
+            assert!(w.mean_fthr <= 1.0);
+        }
+    }
+}
+
+#[test]
+fn slow_tier_pressure_evicts_shadows() {
+    // RSS + retained shadows would exceed the slow tier; the demand-fault
+    // path must reclaim shadow frames instead of aborting.
+    let res = run(
+        // 512 fast + 1100 slow; RSS 1400 with shadow retention pressure.
+        MachineSpec::small(512, 1_100, 4),
+        vec![micro("a", 1_400, 600, 2)],
+        Box::new(VulcanPolicy::new()),
+        15,
+    );
+    let w = res.workload("a");
+    assert!(w.ops_total > 0);
+    assert!(w.mean_fthr > 0.0);
+}
+
+#[test]
+fn single_core_single_thread() {
+    let res = run(
+        MachineSpec::small(64, 1_024, 1),
+        vec![micro("solo", 256, 64, 1)],
+        Box::new(VulcanPolicy::new()),
+        8,
+    );
+    assert!(res.workload("solo").ops_total > 0);
+    // One core: targeted and process-wide shootdowns both have at most
+    // one responder; nothing should panic or stall pathologically.
+}
+
+#[test]
+fn more_threads_than_cores_oversubscribes() {
+    let res = run(
+        MachineSpec::small(128, 2_048, 2),
+        vec![micro("packed", 512, 128, 8)], // 8 threads on 2 cores
+        Box::new(VulcanPolicy::new()),
+        8,
+    );
+    assert!(res.workload("packed").ops_total > 0);
+}
+
+#[test]
+fn many_small_workloads() {
+    // Twelve co-located workloads: GFMC shrinks to 1/12th; CBFRP and the
+    // classifier must scale and no allocation may go negative.
+    let specs: Vec<WorkloadSpec> = (0..12).map(|i| micro(&format!("w{i}"), 256, 64, 1)).collect();
+    let res = run(
+        MachineSpec::small(1_024, 8_192, 16),
+        specs,
+        Box::new(VulcanPolicy::new()),
+        12,
+    );
+    for w in &res.per_workload {
+        assert!(w.ops_total > 0, "{} starved", w.name);
+    }
+    assert!((0.0..=1.0).contains(&res.cfi));
+}
+
+#[test]
+fn combined_rss_filling_both_tiers_completely() {
+    // RSS exactly equals total capacity: every allocation path runs at
+    // the boundary. (No shadows can be retained: shadowing yields its
+    // frames back under pressure.)
+    let res = run(
+        MachineSpec::small(256, 768, 4),
+        vec![micro("full", 1_024, 256, 2)],
+        Box::new(VulcanPolicy::new()),
+        10,
+    );
+    assert_eq!(res.workload("full").ops_total > 0, true);
+}
+
+#[test]
+fn policy_requesting_nonsense_pages_is_harmless() {
+    // Drive migration helpers directly with unmapped/foreign pages.
+    struct Chaos;
+    impl TieringPolicy for Chaos {
+        fn name(&self) -> &'static str {
+            "chaos"
+        }
+        fn on_quantum(&mut self, state: &mut vulcan::runtime::SystemState) {
+            let junk: Vec<Vpn> = (100_000..100_064).map(Vpn).collect();
+            let mech = MechanismConfig::vulcan();
+            let out = state.migrate_sync(0, &junk, TierKind::Fast, &mech);
+            assert!(out.moved.is_empty(), "unmapped pages cannot move");
+            state.migrate_async(0, &junk, TierKind::Fast);
+            state.poll_async(0, &mech);
+            // Demoting pages already slow is a no-op, not an error.
+            let slow_pages: Vec<Vpn> = (0..16).map(Vpn).collect();
+            state.migrate_background(0, &slow_pages, TierKind::Slow, &mech);
+        }
+    }
+    let res = run(
+        MachineSpec::small(128, 2_048, 4),
+        vec![micro("victim", 512, 128, 2).preallocated(TierKind::Slow)],
+        Box::new(Chaos),
+        5,
+    );
+    assert!(res.workload("victim").ops_total > 0);
+}
+
+#[test]
+fn zero_quanta_run_is_empty_but_valid() {
+    let res = run(
+        MachineSpec::small(64, 512, 2),
+        vec![micro("idle", 128, 32, 1)],
+        Box::new(StaticPlacement),
+        0,
+    );
+    assert_eq!(res.workload("idle").ops_total, 0);
+    assert!((0.0..=1.0).contains(&res.cfi));
+}
+
+#[test]
+fn determinism_across_policies_with_shared_seed() {
+    // Two identical runs of the same policy + seed must agree exactly,
+    // even with async engines and swaps in play.
+    let make = || {
+        run(
+            MachineSpec::small(512, 4_096, 8),
+            vec![
+                micro("a", 1_024, 256, 2).preallocated(TierKind::Slow),
+                micro("b", 1_024, 256, 2),
+            ],
+            Box::new(VulcanPolicy::new()),
+            12,
+        )
+    };
+    let (r1, r2) = (make(), make());
+    assert_eq!(r1.workload("a").ops_total, r2.workload("a").ops_total);
+    assert_eq!(r1.workload("b").ops_total, r2.workload("b").ops_total);
+    assert_eq!(r1.cfi, r2.cfi);
+}

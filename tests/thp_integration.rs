@@ -1,0 +1,156 @@
+//! Integration test: transparent huge pages end-to-end (§3.4/§3.5).
+//!
+//! THP-backed workloads fault whole 2 MiB regions, translate through
+//! 2 MiB TLB entries (one entry covers 512 pages), and Vulcan splits
+//! regions into base pages before promotion — flushing the huge TLB
+//! entries so no stale 2 MiB translation survives a split.
+
+use vulcan::prelude::*;
+use vulcan::sim::HUGE_PAGE_PAGES;
+
+fn micro(thp: bool) -> WorkloadSpec {
+    let spec = microbench(
+        "mb",
+        MicroConfig {
+            rss_pages: 8 * HUGE_PAGE_PAGES as u64, // 8 regions
+            wss_pages: 8 * HUGE_PAGE_PAGES as u64, // touch everything
+            skew: 0.4,
+            ..Default::default()
+        },
+        4,
+    );
+    if thp {
+        spec.with_thp()
+    } else {
+        spec
+    }
+}
+
+fn runner(thp: bool, fast_pages: u64) -> vulcan::runtime::SimRunner {
+    vulcan::runtime::SimRunner::new(
+        MachineSpec::small(fast_pages, 16_384, 8),
+        vec![micro(thp)],
+        &mut |_| Box::new(HybridProfiler::vulcan_default()),
+        Box::new(StaticPlacement),
+        SimConfig {
+            quantum_active: Nanos::millis(1),
+            n_quanta: 8,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn thp_faults_map_whole_regions() {
+    let mut r = runner(true, 8_192);
+    for _ in 0..8 {
+        r.run_quantum();
+    }
+    let ws = &r.state.workloads[0];
+    assert_eq!(ws.process.space.huge_count(), 8, "all regions THP-backed");
+    assert_eq!(ws.rss_pages(), 8 * HUGE_PAGE_PAGES as u64);
+    // Far fewer major faults than pages: one fault per region.
+    assert!(
+        ws.stats.major_faults <= 16,
+        "region-granular faulting: {}",
+        ws.stats.major_faults
+    );
+    let without = {
+        let mut r = runner(false, 8_192);
+        for _ in 0..8 {
+            r.run_quantum();
+        }
+        r.state.workloads[0].stats.major_faults
+    };
+    assert!(
+        without >= 8 * HUGE_PAGE_PAGES as u64,
+        "4K faulting pays per page: {without}"
+    );
+}
+
+#[test]
+fn thp_regions_do_not_straddle_tiers() {
+    // Fast tier holds only 2.5 regions' worth: THP faults must fall back
+    // rather than split a region across tiers.
+    let mut r = runner(true, (2 * HUGE_PAGE_PAGES + HUGE_PAGE_PAGES / 2) as u64);
+    for _ in 0..8 {
+        r.run_quantum();
+    }
+    let ws = &r.state.workloads[0];
+    for base in (0..8 * HUGE_PAGE_PAGES as u64).step_by(HUGE_PAGE_PAGES) {
+        if !ws.process.space.in_huge(Vpn(base)) {
+            continue;
+        }
+        let tiers: std::collections::BTreeSet<_> = (base..base + HUGE_PAGE_PAGES as u64)
+            .map(|v| ws.process.space.pte(Vpn(v)).tier().expect("mapped"))
+            .collect();
+        assert_eq!(tiers.len(), 1, "region {base} straddles tiers");
+    }
+}
+
+#[test]
+fn promotion_splits_huge_regions_and_flushes_tlbs() {
+    let spec = micro(true).starting_at(Nanos::ZERO);
+    let mut r = vulcan::runtime::SimRunner::new(
+        // Fast tier too small for THP faults: regions land in slow.
+        MachineSpec::small(256, 16_384, 8),
+        vec![spec],
+        &mut |_| Box::new(HybridProfiler::vulcan_default()),
+        Box::new(VulcanPolicy::new()),
+        SimConfig {
+            quantum_active: Nanos::millis(1),
+            n_quanta: 10,
+            ..Default::default()
+        },
+    );
+    for _ in 0..10 {
+        r.run_quantum();
+    }
+    let ws = &r.state.workloads[0];
+    assert!(
+        ws.process.space.huge_count() < 8,
+        "promotion split THP regions (Memtis-style, §3.5): {} remain",
+        ws.process.space.huge_count()
+    );
+    assert!(ws.stats.fast_used > 0, "hot base pages promoted");
+    // No core's TLB may hold a huge entry for a split region.
+    let asid = ws.process.asid;
+    for c in 0..8u16 {
+        for base in (0..8 * HUGE_PAGE_PAGES as u64).step_by(HUGE_PAGE_PAGES) {
+            if !ws.process.space.in_huge(Vpn(base)) {
+                // Split region: a lookup must miss (no stale 2 MiB entry).
+                assert!(
+                    !r.state.tlbs.core(vulcan::sim::CoreId(c)).lookup_huge(asid, Vpn(base)),
+                    "stale huge TLB entry on core {c} for region {base}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn thp_improves_effective_tlb_reach() {
+    // 4096 pages of uniform working set vs 1536-entry base TLBs: 4K
+    // paging thrashes the TLB, 8 huge entries cover everything.
+    let hit_ratio = |thp: bool| {
+        let mut r = runner(thp, 8_192);
+        for _ in 0..8 {
+            r.run_quantum();
+        }
+        // Aggregate hit ratio over the cores that ran the workload.
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for c in 0..8u16 {
+            let (h, m) = r.state.tlbs.core(vulcan::sim::CoreId(c)).stats();
+            hits += h;
+            misses += m;
+        }
+        hits as f64 / (hits + misses).max(1) as f64
+    };
+    let with = hit_ratio(true);
+    let without = hit_ratio(false);
+    assert!(
+        with > without + 0.05,
+        "huge entries extend TLB reach: thp={with:.3} base={without:.3}"
+    );
+}
