@@ -10,27 +10,31 @@ fn bench_quantum(c: &mut Criterion) {
     let mut g = c.benchmark_group("quantum");
     g.sample_size(10);
     for policy in POLICIES {
-        g.bench_with_input(BenchmarkId::new("colocation", policy), &policy, |b, &policy| {
-            // Warm a runner past the arrivals, then time steady quanta.
-            let mut runner = SimRunner::new(
-                MachineSpec::paper_testbed(),
-                colocation_specs()
-                    .into_iter()
-                    .map(|w| w.starting_at(Nanos::ZERO))
-                    .collect(),
-                &mut |_| profiler_for(policy),
-                make_policy(policy),
-                SimConfig {
-                    n_quanta: 0,
-                    record_series: false,
-                    ..Default::default()
-                },
-            );
-            for _ in 0..10 {
-                runner.run_quantum();
-            }
-            b.iter(|| runner.run_quantum());
-        });
+        g.bench_with_input(
+            BenchmarkId::new("colocation", policy),
+            &policy,
+            |b, &policy| {
+                // Warm a runner past the arrivals, then time steady quanta.
+                let mut runner = SimRunner::new(
+                    MachineSpec::paper_testbed(),
+                    colocation_specs()
+                        .into_iter()
+                        .map(|w| w.starting_at(Nanos::ZERO))
+                        .collect(),
+                    &mut |_| profiler_for(policy),
+                    make_policy(policy),
+                    SimConfig {
+                        n_quanta: 0,
+                        record_series: false,
+                        ..Default::default()
+                    },
+                );
+                for _ in 0..10 {
+                    runner.run_quantum();
+                }
+                b.iter(|| runner.run_quantum());
+            },
+        );
     }
     g.finish();
 }

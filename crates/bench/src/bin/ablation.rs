@@ -6,14 +6,14 @@
 //!
 //! * `full`            — Vulcan as shipped;
 //! * `no-cbfrp`        — uniform GFMC quotas instead of Algorithm 1;
-//! * `no-bias`         — one FIFO heat queue, everything async
-//!                       (Table 1 disabled);
-//! * `no-replication`  — process-wide page tables and shootdowns
-//!                       (§3.4 disabled);
+//! * `no-bias`         — one FIFO heat queue, everything async (Table 1
+//!   disabled);
+//! * `no-replication`  — process-wide page tables and shootdowns (§3.4
+//!   disabled);
 //! * `no-shadowing`    — demotions always copy (§3.5's Nomad borrow
-//!                       disabled);
-//! * `linux-mechanism` — Vulcan policy on the vanilla mechanism
-//!                       (global preparation + process-wide shootdowns).
+//!   disabled);
+//! * `linux-mechanism` — Vulcan policy on the vanilla mechanism (global
+//!   preparation + process-wide shootdowns).
 
 use vulcan::core::{VulcanConfig, VulcanPolicy};
 use vulcan::migrate::{MechanismConfig, PrepStrategy};
@@ -133,14 +133,15 @@ fn main() {
             format!("{:.1}", stall as f64 / 1e6),
             format!("{}", pt_overhead / 1024),
         ]);
-        rows.push(serde_json::json!({
-            "variant": v.name,
-            "memcached_latency_ns": lat,
-            "memcached_fthr": res.workload("memcached").mean_fthr,
-            "cfi": res.cfi,
-            "total_stall_cycles": stall,
-            "pagetable_overhead_bytes": pt_overhead,
-        }));
+        rows.push(vulcan_json::Value::Object(
+            vulcan_json::Map::new()
+                .with("variant", v.name)
+                .with("memcached_latency_ns", lat)
+                .with("memcached_fthr", res.workload("memcached").mean_fthr)
+                .with("cfi", res.cfi)
+                .with("total_stall_cycles", stall)
+                .with("pagetable_overhead_bytes", pt_overhead),
+        ));
     }
     table.print();
     println!(

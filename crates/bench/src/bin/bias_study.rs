@@ -79,13 +79,14 @@ fn main() {
                 format!("{:.3}", w.mean_fthr),
                 format!("{:.1}", w.stall_cycles.0 as f64 / 1e6),
             ]);
-            rows.push(serde_json::json!({
-                "workload": which,
-                "variant": label,
-                "ops_per_sec": w.mean_ops_per_sec,
-                "fthr": w.mean_fthr,
-                "stall_cycles": w.stall_cycles.0,
-            }));
+            rows.push(vulcan_json::Value::Object(
+                vulcan_json::Map::new()
+                    .with("workload", which)
+                    .with("variant", label)
+                    .with("ops_per_sec", w.mean_ops_per_sec)
+                    .with("fthr", w.mean_fthr)
+                    .with("stall_cycles", w.stall_cycles.0),
+            ));
         }
     }
     table.print();

@@ -8,7 +8,9 @@ use rayon::prelude::*;
 use vulcan::prelude::*;
 use vulcan_bench::{colocation_specs, save_json};
 
-const SYSTEMS: [&str; 7] = ["static", "uniform", "tpp", "memtis", "nomad", "mtm", "vulcan"];
+const SYSTEMS: [&str; 7] = [
+    "static", "uniform", "tpp", "memtis", "nomad", "mtm", "vulcan",
+];
 
 fn make(name: &str) -> Box<dyn TieringPolicy> {
     match name {
@@ -74,13 +76,14 @@ fn main() {
             format!("{lib:.0}"),
             format!("{:.3}", res.cfi),
         ]);
-        rows.push(serde_json::json!({
-            "system": res.policy,
-            "memcached_latency_ns": lat,
-            "pagerank_ops": pr,
-            "liblinear_ops": lib,
-            "cfi": res.cfi,
-        }));
+        rows.push(vulcan_json::Value::Object(
+            vulcan_json::Map::new()
+                .with("system", &res.policy)
+                .with("memcached_latency_ns", lat)
+                .with("pagerank_ops", pr)
+                .with("liblinear_ops", lib)
+                .with("cfi", res.cfi),
+        ));
     }
     table.print();
     println!(

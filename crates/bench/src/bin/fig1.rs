@@ -8,6 +8,7 @@
 
 use vulcan::prelude::*;
 use vulcan_bench::{run_policy, save_json};
+use vulcan_json::{Map, Value};
 
 fn main() {
     let n_quanta = 60;
@@ -16,23 +17,23 @@ fn main() {
     let co = run_policy("memtis", vec![memcached(), liblinear()], n_quanta, 1);
 
     // Panels (a)-(c): hot (fast-resident) vs cold page counts over time.
-    let mut panels = serde_json::Map::new();
+    let mut panels = Map::new();
     for (label, res, names) in [
         ("a_memcached_solo", &solo_mc, vec!["memcached"]),
         ("b_liblinear_solo", &solo_lib, vec!["liblinear"]),
         ("c_colocated", &co, vec!["memcached", "liblinear"]),
     ] {
-        let mut series = serde_json::Map::new();
+        let mut series = Map::new();
         for name in names {
             for kind in ["fast_pages", "slow_pages"] {
                 let s = res.series.get(&format!("{name}.{kind}")).expect("series");
                 series.insert(
                     format!("{name}.{kind}"),
-                    serde_json::to_value(&s.points).unwrap(),
+                    vulcan_json::pairs_to_value(&s.points),
                 );
             }
         }
-        panels.insert(label.to_string(), serde_json::Value::Object(series));
+        panels.insert(label, Value::Object(series));
     }
 
     // Panel (d): settled hot-page ratio and normalized performance.
@@ -54,7 +55,12 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 1(d): impact of co-location under MEMTIS",
-        &["workload", "hot ratio solo", "hot ratio co-located", "normalized perf"],
+        &[
+            "workload",
+            "hot ratio solo",
+            "hot ratio co-located",
+            "normalized perf",
+        ],
     );
     table.row(&[
         "memcached (LC)".into(),
@@ -75,11 +81,22 @@ fn main() {
     );
 
     panels.insert(
-        "d_summary".into(),
-        serde_json::json!({
-            "memcached": {"solo_ratio": mc_solo_ratio, "co_ratio": mc_co_ratio, "normalized_perf": mc_norm},
-            "liblinear": {"solo_ratio": lib_solo_ratio, "co_ratio": lib_co_ratio, "normalized_perf": lib_norm},
-        }),
+        "d_summary",
+        Map::new()
+            .with(
+                "memcached",
+                Map::new()
+                    .with("solo_ratio", mc_solo_ratio)
+                    .with("co_ratio", mc_co_ratio)
+                    .with("normalized_perf", mc_norm),
+            )
+            .with(
+                "liblinear",
+                Map::new()
+                    .with("solo_ratio", lib_solo_ratio)
+                    .with("co_ratio", lib_co_ratio)
+                    .with("normalized_perf", lib_norm),
+            ),
     );
-    save_json("fig1", &serde_json::Value::Object(panels));
+    save_json("fig1", &Value::Object(panels));
 }

@@ -12,6 +12,7 @@ use rayon::prelude::*;
 use vulcan::metrics::OnlineStats;
 use vulcan::prelude::*;
 use vulcan_bench::{colocation_specs, run_policy, save_json, trials, POLICIES};
+use vulcan_json::{Map, Value};
 
 const APPS: [&str; 3] = ["memcached", "pagerank", "liblinear"];
 
@@ -90,29 +91,34 @@ fn main() {
     let mut rows = Vec::new();
     for (pi, policy) in POLICIES.iter().enumerate() {
         let mut cells_out = vec![policy.to_string()];
-        let mut json_apps = serde_json::Map::new();
+        let mut json_apps = Map::new();
         for (ai, app) in APPS.iter().enumerate() {
             let mean = agg[pi].perf[ai].mean() / mins[ai];
             let ci = agg[pi].perf[ai].ci95() / mins[ai];
             cells_out.push(format!("{mean:.3}±{ci:.3}"));
-            json_apps.insert(
-                app.to_string(),
-                serde_json::json!({"normalized": mean, "ci95": ci}),
-            );
+            json_apps.insert(*app, Map::new().with("normalized", mean).with("ci95", ci));
         }
-        cells_out.push(format!("{:.3}±{:.3}", agg[pi].cfi.mean(), agg[pi].cfi.ci95()));
+        cells_out.push(format!(
+            "{:.3}±{:.3}",
+            agg[pi].cfi.mean(),
+            agg[pi].cfi.ci95()
+        ));
         table.row(&cells_out);
-        rows.push(serde_json::json!({
-            "policy": policy,
-            "apps": json_apps,
-            "cfi": agg[pi].cfi.mean(),
-            "cfi_ci95": agg[pi].cfi.ci95(),
-        }));
+        rows.push(Value::Object(
+            Map::new()
+                .with("policy", *policy)
+                .with("apps", json_apps)
+                .with("cfi", agg[pi].cfi.mean())
+                .with("cfi_ci95", agg[pi].cfi.ci95()),
+        ));
     }
     table.print();
 
     // Headline averages (the paper's 12.4% performance / 75.3% fairness).
-    let vi = POLICIES.iter().position(|&p| p == "vulcan").expect("vulcan");
+    let vi = POLICIES
+        .iter()
+        .position(|&p| p == "vulcan")
+        .expect("vulcan");
     let mut perf_gains = Vec::new();
     let mut fair_gains = Vec::new();
     for (pi, policy) in POLICIES.iter().enumerate() {
@@ -138,8 +144,13 @@ fn main() {
          (paper: +12.4%), average fairness improvement {avg_fair:+.1}% \
          (paper: +75.3%)."
     );
-    rows.push(serde_json::json!({
-        "headline": {"avg_perf_gain_pct": avg_perf, "avg_fairness_gain_pct": avg_fair}
-    }));
+    rows.push(Value::Object(
+        Map::new().with(
+            "headline",
+            Map::new()
+                .with("avg_perf_gain_pct", avg_perf)
+                .with("avg_fairness_gain_pct", avg_fair),
+        ),
+    ));
     save_json("fig10", &rows);
 }

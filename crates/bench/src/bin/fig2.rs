@@ -12,7 +12,15 @@ fn main() {
     let mut table = Table::new(
         "Figure 2: single base-page migration breakdown vs CPU count (cycles)",
         &[
-            "cpus", "prep", "trap", "unmap", "shootdown", "copy", "remap", "total", "prep%",
+            "cpus",
+            "prep",
+            "trap",
+            "unmap",
+            "shootdown",
+            "copy",
+            "remap",
+            "total",
+            "prep%",
         ],
     );
     let mut rows = Vec::new();
@@ -29,17 +37,18 @@ fn main() {
             b.total().to_string(),
             format!("{:.1}", 100.0 * b.prep_share()),
         ]);
-        rows.push(serde_json::json!({
-            "cpus": cpus,
-            "prep": b.prep.0,
-            "trap": b.trap.0,
-            "unmap": b.unmap.0,
-            "shootdown": b.shootdown.0,
-            "copy": b.copy.0,
-            "remap": b.remap.0,
-            "total": b.total().0,
-            "prep_share": b.prep_share(),
-        }));
+        rows.push(vulcan_json::Value::Object(
+            vulcan_json::Map::new()
+                .with("cpus", cpus)
+                .with("prep", b.prep.0)
+                .with("trap", b.trap.0)
+                .with("unmap", b.unmap.0)
+                .with("shootdown", b.shootdown.0)
+                .with("copy", b.copy.0)
+                .with("remap", b.remap.0)
+                .with("total", b.total().0)
+                .with("prep_share", b.prep_share()),
+        ));
     }
     table.print();
     println!(

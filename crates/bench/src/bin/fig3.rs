@@ -26,10 +26,14 @@ fn main() {
             let copy = costs.copy_batched(p).as_f64();
             let share = 100.0 * tlb / (tlb + copy);
             cells.push(format!("{share:.1}"));
-            rows.push(serde_json::json!({
-                "pages": p, "threads": t, "tlb_cycles": tlb, "copy_cycles": copy,
-                "tlb_share": share / 100.0,
-            }));
+            rows.push(vulcan_json::Value::Object(
+                vulcan_json::Map::new()
+                    .with("pages", p)
+                    .with("threads", t)
+                    .with("tlb_cycles", tlb)
+                    .with("copy_cycles", copy)
+                    .with("tlb_share", share / 100.0),
+            ));
         }
         table.row(&cells);
     }

@@ -39,9 +39,7 @@ impl TieringPolicy for Promoter {
                         .process
                         .space
                         .mapped_vpns()
-                        .filter(|&v| {
-                            ws.process.space.pte(v).tier() == Some(TierKind::Fast)
-                        })
+                        .filter(|&v| ws.process.space.pte(v).tier() == Some(TierKind::Fast))
                         .map(|v| (v, ws.heat().get(v).heat))
                         .collect();
                     cold.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
@@ -80,7 +78,7 @@ fn run(read_ratio: f64, sync: bool, seed: u64) -> f64 {
             rss_pages: 2_048,
             wss_pages: 64,
             read_ratio,
-            skew: 1.35, // heavy head: a few pages carry most of the load
+            skew: 1.35,   // heavy head: a few pages carry most of the load
             wss_drift: 1, // the hot set keeps moving: sustained promotion
             ..Default::default()
         },
@@ -126,10 +124,14 @@ fn main() {
             format!("{a:.0}"),
             format!("{:.3}", a / s),
         ]);
-        rows.push(serde_json::json!({
-            "read_ratio": r, "sync_ops": s, "async_ops": a,
-            "sync_ci95": sync_stats.ci95(), "async_ci95": async_stats.ci95(),
-        }));
+        rows.push(vulcan_json::Value::Object(
+            vulcan_json::Map::new()
+                .with("read_ratio", r)
+                .with("sync_ops", s)
+                .with("async_ops", a)
+                .with("sync_ci95", sync_stats.ci95())
+                .with("async_ci95", async_stats.ci95()),
+        ));
     }
     table.print();
     println!(

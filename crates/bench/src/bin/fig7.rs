@@ -61,7 +61,14 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 7: migration speedup over the Linux baseline (32 CPUs)",
-        &["pages", "baseline (cyc)", "+opt prep", "+opt prep & TLB", "speedup prep", "speedup both"],
+        &[
+            "pages",
+            "baseline (cyc)",
+            "+opt prep",
+            "+opt prep & TLB",
+            "speedup prep",
+            "speedup both",
+        ],
     );
     let mut rows = Vec::new();
     for pages in [2u64, 8, 32, 128, 512] {
@@ -76,14 +83,15 @@ fn main() {
             format!("{:.2}x", base / prep),
             format!("{:.2}x", base / both),
         ]);
-        rows.push(serde_json::json!({
-            "pages": pages,
-            "baseline_cycles": base,
-            "opt_prep_cycles": prep,
-            "opt_both_cycles": both,
-            "speedup_prep": base / prep,
-            "speedup_both": base / both,
-        }));
+        rows.push(vulcan_json::Value::Object(
+            vulcan_json::Map::new()
+                .with("pages", pages)
+                .with("baseline_cycles", base)
+                .with("opt_prep_cycles", prep)
+                .with("opt_both_cycles", both)
+                .with("speedup_prep", base / prep)
+                .with("speedup_both", base / both),
+        ));
     }
     table.print();
     println!(

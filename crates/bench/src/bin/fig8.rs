@@ -21,12 +21,8 @@ struct Cell {
 }
 
 fn run(policy: &str, scenario: WssScenario, seed: u64) -> Cell {
-    let spec = microbench(
-        "mb",
-        MicroConfig::fig8_scenario(scenario),
-        8,
-    )
-    .preallocated(TierKind::Slow);
+    let spec =
+        microbench("mb", MicroConfig::fig8_scenario(scenario), 8).preallocated(TierKind::Slow);
     let res = SimRunner::new(
         MachineSpec::paper_testbed(),
         vec![spec],
@@ -60,7 +56,14 @@ fn run(policy: &str, scenario: WssScenario, seed: u64) -> Cell {
 fn main() {
     let mut table = Table::new(
         "Figure 8: microbench bandwidth (GB/s): in-migration vs stable",
-        &["wss", "policy", "read(prog)", "write(prog)", "read(stable)", "write(stable)"],
+        &[
+            "wss",
+            "policy",
+            "read(prog)",
+            "write(prog)",
+            "read(stable)",
+            "write(stable)",
+        ],
     );
     let mut rows = Vec::new();
     for scenario in WssScenario::ALL {
@@ -86,11 +89,15 @@ fn main() {
                 format!("{:.2}", agg[2].mean()),
                 format!("{:.2}", agg[3].mean()),
             ]);
-            rows.push(serde_json::json!({
-                "wss": scenario.label(), "policy": policy,
-                "read_in_progress": agg[0].mean(), "write_in_progress": agg[1].mean(),
-                "read_stable": agg[2].mean(), "write_stable": agg[3].mean(),
-            }));
+            rows.push(vulcan_json::Value::Object(
+                vulcan_json::Map::new()
+                    .with("wss", scenario.label())
+                    .with("policy", policy)
+                    .with("read_in_progress", agg[0].mean())
+                    .with("write_in_progress", agg[1].mean())
+                    .with("read_stable", agg[2].mean())
+                    .with("write_stable", agg[3].mean()),
+            ));
         }
     }
     table.print();

@@ -13,7 +13,7 @@ fn main() {
     let res = run_policy("vulcan", colocation_specs(), 200, 1);
 
     // Dump the three panels as JSON series.
-    let mut out = serde_json::Map::new();
+    let mut out = vulcan_json::Map::new();
     for name in ["memcached", "pagerank", "liblinear"] {
         for (panel, kind) in [
             ("a_allocation", "fast_pages"),
@@ -23,10 +23,10 @@ fn main() {
         ] {
             let key = format!("{panel}.{name}.{kind}");
             let s = res.series.get(&format!("{name}.{kind}")).expect("series");
-            out.insert(key, serde_json::to_value(&s.points).unwrap());
+            out.insert(key, vulcan_json::pairs_to_value(&s.points));
         }
     }
-    save_json("fig9", &serde_json::Value::Object(out));
+    save_json("fig9", &vulcan_json::Value::Object(out));
 
     // Summarize the phase transitions in a table: values at 40 s (solo),
     // 100 s (two apps), 190 s (three apps).
@@ -40,8 +40,7 @@ fn main() {
             .and_then(|s| {
                 s.points
                     .iter()
-                    .filter(|&&(ts, _)| ts <= t)
-                    .next_back()
+                    .rfind(|&&(ts, _)| ts <= t)
                     .map(|&(_, v)| format!("{v:.2}"))
             })
             .unwrap_or_else(|| "-".into())

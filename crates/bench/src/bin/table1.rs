@@ -21,7 +21,12 @@ fn main() {
             ty.into(),
             rw.into(),
             "★".repeat(class.stars() as usize),
-            if class.use_async() { "Async copy" } else { "Sync copy" }.into(),
+            if class.use_async() {
+                "Async copy"
+            } else {
+                "Sync copy"
+            }
+            .into(),
         ]);
     }
     table.print();
@@ -30,9 +35,12 @@ fn main() {
         &PageClass::ALL
             .iter()
             .map(|c| {
-                serde_json::json!({
-                    "class": format!("{c:?}"), "stars": c.stars(), "async": c.use_async(),
-                })
+                vulcan_json::Value::Object(
+                    vulcan_json::Map::new()
+                        .with("class", format!("{c:?}"))
+                        .with("stars", c.stars())
+                        .with("async", c.use_async()),
+                )
             })
             .collect::<Vec<_>>(),
     );

@@ -6,12 +6,30 @@ use vulcan::prelude::*;
 fn main() {
     let mut table = Table::new(
         "Table 2: workloads and RSS in tiered memory (scaled 1 GB -> 256 pages)",
-        &["app", "workload", "class", "paper RSS", "scaled RSS (pages)"],
+        &[
+            "app",
+            "workload",
+            "class",
+            "paper RSS",
+            "scaled RSS (pages)",
+        ],
     );
     let rows = [
-        (memcached(), "In-memory KV engine, YCSB-style 90/10 GET/SET", "51 GB"),
-        (pagerank(), "PageRank scoring of a power-law web graph", "42 GB"),
-        (liblinear(), "Linear classification sweep (KDD12-like)", "69 GB"),
+        (
+            memcached(),
+            "In-memory KV engine, YCSB-style 90/10 GET/SET",
+            "51 GB",
+        ),
+        (
+            pagerank(),
+            "PageRank scoring of a power-law web graph",
+            "42 GB",
+        ),
+        (
+            liblinear(),
+            "Linear classification sweep (KDD12-like)",
+            "69 GB",
+        ),
     ];
     let mut json = Vec::new();
     for (spec, desc, paper_rss) in rows {
@@ -22,11 +40,14 @@ fn main() {
             paper_rss.into(),
             spec.rss_pages().to_string(),
         ]);
-        json.push(serde_json::json!({
-            "app": spec.name, "class": format!("{:?}", spec.class),
-            "paper_rss": paper_rss, "scaled_pages": spec.rss_pages(),
-            "threads": spec.n_threads,
-        }));
+        json.push(vulcan_json::Value::Object(
+            vulcan_json::Map::new()
+                .with("app", &spec.name)
+                .with("class", format!("{:?}", spec.class))
+                .with("paper_rss", paper_rss)
+                .with("scaled_pages", spec.rss_pages())
+                .with("threads", spec.n_threads),
+        ));
     }
     table.print();
     vulcan_bench::save_json("table2", &json);

@@ -56,7 +56,13 @@ fn run(thp: bool, wss_regions: u64, seed: u64) -> (f64, f64, u64) {
 fn main() {
     let mut table = Table::new(
         "THP study: TLB reach and split-on-promotion (Vulcan policy)",
-        &["WSS (2MiB regions)", "paging", "ops/s", "TLB hit ratio", "THP regions left"],
+        &[
+            "WSS (2MiB regions)",
+            "paging",
+            "ops/s",
+            "TLB hit ratio",
+            "THP regions left",
+        ],
     );
     let mut rows = Vec::new();
     for wss_regions in [4u64, 8, 16] {
@@ -69,10 +75,14 @@ fn main() {
                 format!("{tlb:.3}"),
                 huge.to_string(),
             ]);
-            rows.push(serde_json::json!({
-                "wss_regions": wss_regions, "thp": thp,
-                "ops_per_sec": ops, "tlb_hit_ratio": tlb, "huge_regions_left": huge,
-            }));
+            rows.push(vulcan_json::Value::Object(
+                vulcan_json::Map::new()
+                    .with("wss_regions", wss_regions)
+                    .with("thp", thp)
+                    .with("ops_per_sec", ops)
+                    .with("tlb_hit_ratio", tlb)
+                    .with("huge_regions_left", huge),
+            ));
         }
     }
     table.print();

@@ -32,11 +32,11 @@ pub fn experiments_dir() -> PathBuf {
     dir
 }
 
-/// Persist a serializable artifact as pretty JSON.
-pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+/// Persist a JSON artifact, pretty-printed.
+pub fn save_json<T: Clone + Into<vulcan_json::Value>>(name: &str, value: &T) {
     let path = experiments_dir().join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .expect("write artifact");
+    let rendered: vulcan_json::Value = value.clone().into();
+    std::fs::write(&path, rendered.to_json_pretty()).expect("write artifact");
     println!("[wrote {}]", path.display());
 }
 
@@ -64,12 +64,7 @@ pub fn colocation_specs() -> Vec<WorkloadSpec> {
 }
 
 /// Run one policy on a workload mix on the paper testbed.
-pub fn run_policy(
-    name: &str,
-    specs: Vec<WorkloadSpec>,
-    n_quanta: u64,
-    seed: u64,
-) -> RunResult {
+pub fn run_policy(name: &str, specs: Vec<WorkloadSpec>, n_quanta: u64, seed: u64) -> RunResult {
     SimRunner::new(
         MachineSpec::paper_testbed(),
         specs,

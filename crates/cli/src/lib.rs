@@ -12,21 +12,18 @@
 
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
 use vulcan::prelude::*;
 use vulcan::sim::{MachineSpec, PAGES_PER_PAPER_GB};
+use vulcan_json::Value;
 
 /// Machine description (paper-scaled units).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MachineConfig {
     /// Fast-tier capacity in paper-GB (scaled 1 GB → 256 pages).
-    #[serde(default = "default_fast_gb")]
     pub fast_gb: u64,
     /// Slow-tier capacity in paper-GB.
-    #[serde(default = "default_slow_gb")]
     pub slow_gb: u64,
     /// Cores on the socket.
-    #[serde(default = "default_cores")]
     pub cores: u16,
 }
 
@@ -51,6 +48,14 @@ impl Default for MachineConfig {
 }
 
 impl MachineConfig {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(MachineConfig {
+            fast_gb: opt_u64(v, "fast_gb")?.unwrap_or_else(default_fast_gb),
+            slow_gb: opt_u64(v, "slow_gb")?.unwrap_or_else(default_slow_gb),
+            cores: opt_u64(v, "cores")?.unwrap_or(default_cores() as u64) as u16,
+        })
+    }
+
     /// Build the machine spec.
     pub fn to_spec(&self) -> MachineSpec {
         let mut spec = MachineSpec::paper_testbed();
@@ -62,16 +67,15 @@ impl MachineConfig {
 }
 
 /// One workload in the mix: either a Table 2 preset or a custom
-/// microbenchmark.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+/// microbenchmark. The JSON form is tagged by a `"kind"` field
+/// (`"preset"` or `"micro"`).
+#[derive(Clone, Debug)]
 pub enum WorkloadConfig {
     /// A Table 2 preset: `memcached`, `pagerank` or `liblinear`.
     Preset {
         /// Preset name.
         preset: String,
         /// Start time in simulated seconds.
-        #[serde(default)]
         start_sec: u64,
     },
     /// A Zipfian microbenchmark.
@@ -83,22 +87,16 @@ pub enum WorkloadConfig {
         /// Working-set pages.
         wss_pages: u64,
         /// Read fraction (default 0.8).
-        #[serde(default = "default_read_ratio")]
         read_ratio: f64,
         /// Zipf skew (default 0.99).
-        #[serde(default = "default_skew")]
         skew: f64,
         /// Worker threads (default 8).
-        #[serde(default = "default_threads")]
         threads: usize,
         /// Pre-place all pages in the slow tier.
-        #[serde(default)]
         prealloc_slow: bool,
         /// Back with transparent huge pages.
-        #[serde(default)]
         thp: bool,
         /// Start time in simulated seconds.
-        #[serde(default)]
         start_sec: u64,
     },
 }
@@ -113,7 +111,81 @@ fn default_threads() -> usize {
     8
 }
 
+/// Field accessors with config-friendly error messages. Missing keys and
+/// explicit `null` both read as `None`; present-but-mistyped values are
+/// errors.
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field \"{key}\" must be a non-negative integer")),
+    }
+}
+
+fn opt_f64(v: &Value, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field \"{key}\" must be a number")),
+    }
+}
+
+fn opt_bool(v: &Value, key: &str) -> Result<Option<bool>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| format!("field \"{key}\" must be a boolean")),
+    }
+}
+
+fn opt_str(v: &Value, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("field \"{key}\" must be a string")),
+    }
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
+    opt_u64(v, key)?.ok_or_else(|| format!("missing required field \"{key}\""))
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, String> {
+    opt_str(v, key)?.ok_or_else(|| format!("missing required field \"{key}\""))
+}
+
 impl WorkloadConfig {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match req_str(v, "kind")?.as_str() {
+            "preset" => Ok(WorkloadConfig::Preset {
+                preset: req_str(v, "preset")?,
+                start_sec: opt_u64(v, "start_sec")?.unwrap_or(0),
+            }),
+            "micro" => Ok(WorkloadConfig::Micro {
+                name: req_str(v, "name")?,
+                rss_pages: req_u64(v, "rss_pages")?,
+                wss_pages: req_u64(v, "wss_pages")?,
+                read_ratio: opt_f64(v, "read_ratio")?.unwrap_or_else(default_read_ratio),
+                skew: opt_f64(v, "skew")?.unwrap_or_else(default_skew),
+                threads: opt_u64(v, "threads")?.unwrap_or(default_threads() as u64) as usize,
+                prealloc_slow: opt_bool(v, "prealloc_slow")?.unwrap_or(false),
+                thp: opt_bool(v, "thp")?.unwrap_or(false),
+                start_sec: opt_u64(v, "start_sec")?.unwrap_or(0),
+            }),
+            other => Err(format!(
+                "workload \"kind\" must be \"preset\" or \"micro\", got \"{other}\""
+            )),
+        }
+    }
+
     /// Build the workload spec.
     pub fn to_spec(&self) -> Result<WorkloadSpec, String> {
         match self {
@@ -162,25 +234,20 @@ impl WorkloadConfig {
 }
 
 /// A complete experiment description.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentConfig {
     /// The simulated machine.
-    #[serde(default)]
     pub machine: MachineConfig,
     /// Simulated seconds to run.
-    #[serde(default = "default_seconds")]
     pub seconds: u64,
     /// RNG seed.
-    #[serde(default = "default_seed")]
     pub seed: u64,
     /// Policy: `vulcan`, `tpp`, `memtis`, `nomad`, `mtm`, `static`,
     /// `uniform`.
-    #[serde(default = "default_policy")]
     pub policy: String,
     /// The co-located workloads.
     pub workloads: Vec<WorkloadConfig>,
     /// Optional path to dump the full series JSON.
-    #[serde(default)]
     pub series_out: Option<String>,
 }
 
@@ -211,11 +278,44 @@ pub fn make_policy(name: &str) -> Result<Box<dyn TieringPolicy>, String> {
 impl ExperimentConfig {
     /// Parse a config from JSON text.
     pub fn from_json(text: &str) -> Result<Self, String> {
-        serde_json::from_str(text).map_err(|e| format!("config parse error: {e}"))
+        let v = vulcan_json::parse(text).map_err(|e| format!("config parse error: {e}"))?;
+        if v.as_object().is_none() {
+            return Err("config parse error: top level must be an object".into());
+        }
+        let machine = match v.get("machine") {
+            None | Some(Value::Null) => MachineConfig::default(),
+            Some(m) => MachineConfig::from_value(m)?,
+        };
+        let workloads = v
+            .get("workloads")
+            .and_then(Value::as_array)
+            .ok_or("config needs a \"workloads\" array")?
+            .iter()
+            .map(WorkloadConfig::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ExperimentConfig {
+            machine,
+            seconds: opt_u64(&v, "seconds")?.unwrap_or_else(default_seconds),
+            seed: opt_u64(&v, "seed")?.unwrap_or_else(default_seed),
+            policy: opt_str(&v, "policy")?.unwrap_or_else(default_policy),
+            workloads,
+            series_out: opt_str(&v, "series_out")?,
+        })
     }
 
     /// Run the experiment with `policy_override` (or the config's policy).
     pub fn run(&self, policy_override: Option<&str>) -> Result<RunResult, String> {
+        self.run_with_telemetry(policy_override, Telemetry::disabled())
+    }
+
+    /// Run the experiment recording into `telemetry`. Pass an enabled
+    /// handle to capture counters, phase spans and the event trace;
+    /// results are identical either way (same seed → same run).
+    pub fn run_with_telemetry(
+        &self,
+        policy_override: Option<&str>,
+        telemetry: Telemetry,
+    ) -> Result<RunResult, String> {
         if self.workloads.is_empty() {
             return Err("config needs at least one workload".into());
         }
@@ -239,6 +339,7 @@ impl ExperimentConfig {
             SimConfig {
                 n_quanta: self.seconds,
                 seed: self.seed,
+                telemetry,
                 ..Default::default()
             },
         );
@@ -268,7 +369,14 @@ impl ExperimentConfig {
 pub fn report(res: &RunResult) -> String {
     let mut table = Table::new(
         format!("{} — per-workload results", res.policy),
-        &["workload", "class", "perf", "latency(ns)", "FTHR", "hot ratio"],
+        &[
+            "workload",
+            "class",
+            "perf",
+            "latency(ns)",
+            "FTHR",
+            "hot ratio",
+        ],
     );
     for w in &res.per_workload {
         table.row(&[
@@ -316,7 +424,9 @@ mod tests {
         };
         assert!(w.to_spec().is_err());
         assert!(make_policy("firefly").is_err());
-        for p in ["vulcan", "tpp", "memtis", "nomad", "mtm", "static", "uniform"] {
+        for p in [
+            "vulcan", "tpp", "memtis", "nomad", "mtm", "static", "uniform",
+        ] {
             assert!(make_policy(p).is_ok());
         }
     }

@@ -1,28 +1,129 @@
 //! `vulcan-sim` — run tiered-memory experiments from a JSON config.
 
+use vulcan::prelude::Telemetry;
 use vulcan_cli::{report, ExperimentConfig};
 
 const USAGE: &str = "\
 vulcan-sim — tiered-memory simulation runner (Vulcan reproduction)
 
 USAGE:
-    vulcan-sim run <config.json>       run the config's policy
-    vulcan-sim compare <config.json>   run tpp, memtis, nomad and vulcan
-    vulcan-sim example                 print an example config
-    vulcan-sim help                    this text
+    vulcan-sim run [OPTIONS] <config.json>   run the config's policy
+    vulcan-sim compare <config.json>         run tpp, memtis, nomad and vulcan
+    vulcan-sim example                       print an example config
+    vulcan-sim help                          this text
+
+OPTIONS (run):
+    --trace <out.jsonl>   write the structured event trace as JSON lines
+    --metrics             print the telemetry summary after the run
 ";
 
-fn load(path: &str) -> Result<ExperimentConfig, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    ExperimentConfig::from_json(&text)
+/// A usage or configuration error (exit status 2), as opposed to a
+/// runtime failure such as an unwritable output file (exit status 1).
+enum CliError {
+    Usage(String),
+    Runtime(String),
 }
 
-fn dump_series(cfg: &ExperimentConfig, res: &vulcan::prelude::RunResult) -> Result<(), String> {
+impl CliError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Runtime(_) => 1,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => m,
+        }
+    }
+}
+
+fn load(path: &str) -> Result<ExperimentConfig, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+    ExperimentConfig::from_json(&text).map_err(CliError::Usage)
+}
+
+fn dump_series(cfg: &ExperimentConfig, res: &vulcan::prelude::RunResult) -> Result<(), CliError> {
     if let Some(path) = &cfg.series_out {
         std::fs::write(path, res.series.to_json())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+            .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
         println!("[series written to {path}]");
+    }
+    Ok(())
+}
+
+struct RunArgs {
+    config: String,
+    trace: Option<String>,
+    metrics: bool,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
+    let mut config = None;
+    let mut trace = None;
+    let mut metrics = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => {
+                trace = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--trace needs an output path".into()))?
+                        .clone(),
+                );
+            }
+            "--metrics" => metrics = true,
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option '{flag}'")));
+            }
+            path if config.is_none() => config = Some(path.to_string()),
+            extra => {
+                return Err(CliError::Usage(format!("unexpected argument '{extra}'")));
+            }
+        }
+    }
+    Ok(RunArgs {
+        config: config.ok_or_else(|| CliError::Usage("run needs a config path".into()))?,
+        trace,
+        metrics,
+    })
+}
+
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let run = parse_run_args(args)?;
+    let cfg = load(&run.config)?;
+    let telemetry = if run.trace.is_some() || run.metrics {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let res = cfg
+        .run_with_telemetry(None, telemetry.clone())
+        .map_err(CliError::Usage)?;
+    print!("{}", report(&res));
+    if let Some(path) = &run.trace {
+        std::fs::write(path, telemetry.events_jsonl())
+            .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+        println!("[trace written to {path}]");
+    }
+    if run.metrics {
+        println!();
+        print!("{}", telemetry.summary());
+    }
+    dump_series(&cfg, &res)
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::Usage("compare needs a config path".into()))?;
+    let cfg = load(path)?;
+    for policy in ["tpp", "memtis", "nomad", "vulcan"] {
+        let res = cfg.run(Some(policy)).map_err(CliError::Usage)?;
+        print!("{}", report(&res));
+        println!();
     }
     Ok(())
 }
@@ -30,39 +131,24 @@ fn dump_series(cfg: &ExperimentConfig, res: &vulcan::prelude::RunResult) -> Resu
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("run") => args
-            .get(1)
-            .ok_or_else(|| "run needs a config path".to_string())
-            .and_then(|p| load(p))
-            .and_then(|cfg| {
-                let res = cfg.run(None)?;
-                print!("{}", report(&res));
-                dump_series(&cfg, &res)
-            }),
-        Some("compare") => args
-            .get(1)
-            .ok_or_else(|| "compare needs a config path".to_string())
-            .and_then(|p| load(p))
-            .and_then(|cfg| {
-                for policy in ["tpp", "memtis", "nomad", "vulcan"] {
-                    let res = cfg.run(Some(policy))?;
-                    print!("{}", report(&res));
-                    println!();
-                }
-                Ok(())
-            }),
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
         Some("example") => {
             println!("{}", ExperimentConfig::example());
             Ok(())
         }
-        Some("help") | None => {
+        Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+        None => Err(CliError::Usage("missing subcommand".into())),
+        Some(other) => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
     };
     if let Err(e) = result {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+        eprintln!("error: {}", e.message());
+        if matches!(e, CliError::Usage(_)) {
+            eprint!("\n{USAGE}");
+        }
+        std::process::exit(e.exit_code());
     }
 }

@@ -114,10 +114,10 @@ impl Cbfrp {
         // Consume one unit of surplus from the minimum-credit donor
         // (Karma: the poorest donor earns first), crediting it.
         let draw = |surplus: &mut Vec<u64>,
-                        credits: &mut Vec<i64>,
-                        pool: &mut u64,
-                        except: usize,
-                        want: u64|
+                    credits: &mut Vec<i64>,
+                    pool: &mut u64,
+                    except: usize,
+                    want: u64|
          -> u64 {
             let want = want.min(*pool);
             if want == 0 {
@@ -296,12 +296,7 @@ mod tests {
     fn total_never_exceeds_capacity() {
         let mut c = Cbfrp::new(4, 8);
         for round in 0..6 {
-            let d = [
-                5000,
-                4000 - 500 * round,
-                500 * round,
-                3000,
-            ];
+            let d = [5000, 4000 - 500 * round, 500 * round, 3000];
             let p = c.partition(&d, &[LC, BE, LC, BE], &[true; 4], 1000);
             assert!(total(&p) <= 4000, "round {round}: {:?}", p.alloc);
         }

@@ -29,4 +29,6 @@ pub use cbfrp::{Cbfrp, Partition, ServiceClass};
 pub use classify::Classifier;
 pub use policy::{VulcanConfig, VulcanPolicy};
 pub use qos::{demand, gfmc, gpt};
-pub use queues::{classify as classify_page, DrainPlan, PageClass, PromotionQueues, WRITE_INTENSIVE_RATIO};
+pub use queues::{
+    classify as classify_page, DrainPlan, PageClass, PromotionQueues, WRITE_INTENSIVE_RATIO,
+};

@@ -24,6 +24,7 @@ use crate::queues::{classify, PromotionQueues};
 use vulcan_migrate::MechanismConfig;
 use vulcan_runtime::{SystemState, TieringPolicy};
 use vulcan_sim::TierKind;
+use vulcan_telemetry::EventKind;
 use vulcan_vm::Vpn;
 
 /// Vulcan policy configuration.
@@ -93,6 +94,8 @@ pub struct VulcanPolicy {
     queues: Vec<PromotionQueues>,
     /// Quanta in which the Colloid guard suspended promotion.
     guard_engaged: u64,
+    /// Last published classifier verdicts (reclassification events).
+    last_classes: Vec<ServiceClass>,
 }
 
 impl VulcanPolicy {
@@ -127,8 +130,14 @@ impl VulcanPolicy {
     /// Whether the fast tier's *loaded* latency still beats the slow
     /// tier's by the configured margin.
     fn fast_tier_worth_it(&self, state: &SystemState) -> bool {
-        let fast = state.machine.access_latency(vulcan_sim::TierKind::Fast).as_f64();
-        let slow = state.machine.access_latency(vulcan_sim::TierKind::Slow).as_f64();
+        let fast = state
+            .machine
+            .access_latency(vulcan_sim::TierKind::Fast)
+            .as_f64();
+        let slow = state
+            .machine
+            .access_latency(vulcan_sim::TierKind::Slow)
+            .as_f64();
         fast < slow * self.cfg.colloid_margin
     }
 
@@ -137,6 +146,8 @@ impl VulcanPolicy {
             self.cbfrp = Some(Cbfrp::new(n, self.cfg.unit_pages));
             self.classifier = Some(Classifier::new(n));
             self.queues = (0..n).map(|_| PromotionQueues::new()).collect();
+            // Everyone starts as BE (the classifier's safe default).
+            self.last_classes = vec![ServiceClass::BestEffort; n];
         }
     }
 
@@ -175,7 +186,10 @@ impl VulcanPolicy {
                         && !ws.async_migrator.is_inflight(*vpn)
                 })
                 .filter_map(|(vpn, s)| {
-                    ws.process.space.owner(vpn).map(|o| (vpn, classify(o, s), s.heat))
+                    ws.process
+                        .space
+                        .owner(vpn)
+                        .map(|o| (vpn, classify(o, s), s.heat))
                 })
                 .collect()
         };
@@ -208,7 +222,8 @@ impl VulcanPolicy {
             let swaps = self.plan_swaps(state, w);
             if !swaps.is_empty() {
                 let victims: Vec<Vpn> = swaps.iter().map(|&(cold, _)| cold).collect();
-                let out = state.migrate_background(w, &victims, TierKind::Slow, &self.cfg.mechanism);
+                let out =
+                    state.migrate_background(w, &victims, TierKind::Slow, &self.cfg.mechanism);
                 let freed = out.moved.len();
                 let plan = self.queues[w].drain(freed);
                 if !plan.async_pages.is_empty() {
@@ -231,7 +246,10 @@ impl VulcanPolicy {
             .flat_map(|l| self.queues[w].level(l))
             .map(|v| (v, ws.heat().get(v).heat))
             .collect();
-        hot.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        hot.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("heat values are finite (decayed EMA of sample counts)")
+        });
         let mut swaps = Vec::new();
         for (hv, hh) in hot.into_iter().take(self.cfg.swap_budget) {
             let Some(&(cv, ch)) = cold.last() else { break };
@@ -263,7 +281,11 @@ fn coldest_fast_pages_with_heat(state: &SystemState, w: usize, n: usize) -> Vec<
         .filter(|&v| ws.process.space.pte(v).tier() == Some(TierKind::Fast))
         .map(|v| (v, ws.heat().get(v).heat))
         .collect();
-    pages.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+    pages.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("heat values are finite (decayed EMA of sample counts)")
+            .then(a.0 .0.cmp(&b.0 .0))
+    });
     pages.truncate(n);
     pages
 }
@@ -298,6 +320,13 @@ impl TieringPolicy for VulcanPolicy {
                     .collect()
             };
             if !aborted.is_empty() && state.fast_free() > aborted.len() as u64 {
+                state.telemetry.emit(
+                    state.now,
+                    Some(&state.workloads[w].spec.name),
+                    EventKind::AsyncEscalated {
+                        pages: aborted.len() as u64,
+                    },
+                );
                 state.migrate_sync(w, &aborted, TierKind::Fast, &mech);
             }
         }
@@ -307,6 +336,21 @@ impl TieringPolicy for VulcanPolicy {
         for (w, ws) in state.workloads.iter().enumerate() {
             if ws.started && ws.stats.active_q.0 > 0 {
                 classifier.observe(w, ws.stats.memory_duty_q().min(1.0));
+            }
+        }
+        for (w, &class) in classifier.classes().iter().enumerate() {
+            if class != self.last_classes[w] {
+                self.last_classes[w] = class;
+                state.telemetry.emit(
+                    state.now,
+                    Some(&state.workloads[w].spec.name),
+                    EventKind::Reclassified {
+                        class: match class {
+                            ServiceClass::LatencyCritical => "latency_critical".into(),
+                            ServiceClass::BestEffort => "best_effort".into(),
+                        },
+                    },
+                );
             }
         }
 
@@ -334,7 +378,23 @@ impl TieringPolicy for VulcanPolicy {
                 d.max(ws.stats.fast_used.min(gfmc))
             })
             .collect();
-        let classes = self.classifier.as_ref().expect("initialized").classes().to_vec();
+        let classes = self
+            .classifier
+            .as_ref()
+            .expect("initialized")
+            .classes()
+            .to_vec();
+        state.telemetry.emit(
+            state.now,
+            None,
+            EventKind::CbfrpRound {
+                gfmc_pages: gfmc,
+                active: n_started as u64,
+            },
+        );
+        state
+            .telemetry
+            .record_global_phase("cbfrp.round", vulcan_sim::Cycles::ZERO);
         let partition = if self.cfg.cbfrp {
             self.cbfrp
                 .as_mut()
@@ -343,10 +403,7 @@ impl TieringPolicy for VulcanPolicy {
         } else {
             // Ablation: static uniform split, no credits, no reclaim.
             crate::cbfrp::Partition {
-                alloc: started
-                    .iter()
-                    .map(|&s| if s { gfmc } else { 0 })
-                    .collect(),
+                alloc: started.iter().map(|&s| if s { gfmc } else { 0 }).collect(),
             }
         };
 
@@ -365,8 +422,8 @@ impl TieringPolicy for VulcanPolicy {
         }
 
         // 4-5. Enforce each workload's partition.
-        for w in 0..n {
-            if !started[w] {
+        for (w, &on) in started.iter().enumerate() {
+            if !on {
                 continue;
             }
             state.set_quota(w, partition.alloc[w]);
@@ -377,12 +434,12 @@ impl TieringPolicy for VulcanPolicy {
         //    serves queued hot candidates (round-robin) — an idle fast
         //    tier helps no one.
         let reserve = state.fast_capacity() / 50;
-        for w in 0..n {
+        for (w, &on) in started.iter().enumerate() {
             let slack = state.fast_free().saturating_sub(reserve) as usize;
             if slack == 0 {
                 break;
             }
-            if !started[w] || self.queues[w].is_empty() {
+            if !on || self.queues[w].is_empty() {
                 continue;
             }
             let mut plan = self.queues[w].drain(slack.min(self.cfg.promotion_budget));
@@ -477,7 +534,11 @@ mod tests {
             let fast = res.series.get(&format!("{name}.fast_pages")).unwrap();
             assert!(fast.last().unwrap() <= 160.0, "{name}: {:?}", fast.last());
         }
-        assert!(res.cfi > 0.8, "near-equal effective allocations: {}", res.cfi);
+        assert!(
+            res.cfi > 0.8,
+            "near-equal effective allocations: {}",
+            res.cfi
+        );
     }
 
     #[test]

@@ -146,7 +146,12 @@ impl PromotionQueues {
             });
         }
         for q in &mut self.queues {
-            q.sort_by(|a, b| b.heat.partial_cmp(&a.heat).unwrap().then(a.vpn.0.cmp(&b.vpn.0)));
+            q.sort_by(|a, b| {
+                b.heat
+                    .partial_cmp(&a.heat)
+                    .unwrap()
+                    .then(a.vpn.0.cmp(&b.vpn.0))
+            });
         }
     }
 

@@ -32,8 +32,8 @@ proptest! {
             let p = cbfrp.partition(demands, &classes, &[true; 4], gfmc_pages);
             let total: u64 = p.alloc.iter().sum();
             prop_assert!(total <= 4 * gfmc_pages, "over-committed: {total}");
-            for i in 0..4 {
-                prop_assert!(p.alloc[i] <= demands[i], "granted beyond demand");
+            for (granted, demand) in p.alloc.iter().zip(demands) {
+                prop_assert!(granted <= demand, "granted beyond demand");
             }
             let credit_sum: i64 = cbfrp.credits().iter().sum();
             prop_assert_eq!(credit_sum, 0, "ledger must be zero-sum");

@@ -1,0 +1,431 @@
+//! # vulcan-json — minimal JSON for the Vulcan workspace
+//!
+//! A small, dependency-free JSON implementation: an ordered [`Value`]
+//! tree, a strict recursive-descent [`parse`], and compact/pretty
+//! writers. It exists because the build environment is fully offline —
+//! no crates.io — so `serde`/`serde_json` cannot be used; every config,
+//! trace and telemetry artifact in the workspace goes through this crate
+//! instead.
+//!
+//! Design points:
+//! * objects preserve insertion order ([`Map`] is a flat `Vec` of pairs),
+//!   so serialized artifacts are stable and diffable across runs;
+//! * integers are kept exact (`i64`) where possible; floats render with
+//!   Rust's shortest round-trip formatting;
+//! * non-finite floats serialize as `null` (JSON has no NaN/Infinity).
+
+#![warn(missing_docs)]
+
+mod parse;
+
+pub use parse::{parse, ParseError};
+
+/// An ordered JSON object: a flat list of `(key, value)` pairs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty object.
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Insert or replace `key`.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Builder-style [`insert`](Map::insert).
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<Value>) -> Map {
+        self.insert(key, value);
+        self
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = &'a (String, Value);
+    type IntoIter = std::slice::Iter<'a, (String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An exact integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An ordered object.
+    Object(Map),
+}
+
+impl Value {
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` (exact integers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e15 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` (non-negative exact integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|i| u64::try_from(i).ok())
+    }
+
+    /// The value as an `f64` (any number).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup (`None` on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Render compactly (no whitespace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Render with two-space indentation.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(f) => write_f64(out, *f),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    if f.fract() == 0.0 && f.abs() < 1.0e16 {
+        // Keep whole floats readable and round-trippable as numbers.
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        // `{:?}` is Rust's shortest round-trip float formatting.
+        out.push_str(&format!("{f:?}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Float(f)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(f: f32) -> Value {
+        Value::Float(f as f64)
+    }
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(i: $t) -> Value {
+                Value::Int(i as i64)
+            }
+        }
+    )*};
+}
+impl_from_int!(i8, i16, i32, i64, u8, u16, u32, isize);
+
+impl From<u64> for Value {
+    fn from(i: u64) -> Value {
+        match i64::try_from(i) {
+            Ok(v) => Value::Int(v),
+            Err(_) => Value::Float(i as f64),
+        }
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Value {
+        Value::from(i as u64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Value {
+        Value::Str(s.clone())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Value {
+        Value::Object(m)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(opt: Option<T>) -> Value {
+        match opt {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<A: Into<Value> + Copy, B: Into<Value> + Copy> From<&(A, B)> for Value {
+    fn from(&(a, b): &(A, B)) -> Value {
+        Value::Array(vec![a.into(), b.into()])
+    }
+}
+
+/// Serialize a slice of pairs as an array of two-element arrays —
+/// the layout `serde_json` used for tuples, kept for artifact
+/// compatibility (time-series points, trace accesses).
+pub fn pairs_to_value<A: Into<Value> + Copy, B: Into<Value> + Copy>(pairs: &[(A, B)]) -> Value {
+    Value::Array(pairs.iter().map(Value::from).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_object_roundtrip() {
+        let v = Value::Object(
+            Map::new()
+                .with("b", 1)
+                .with("a", 2.5)
+                .with("s", "x\"y")
+                .with("n", Value::Null)
+                .with("arr", vec![1, 2, 3]),
+        );
+        let text = v.to_json();
+        assert_eq!(text, r#"{"b":1,"a":2.5,"s":"x\"y","n":null,"arr":[1,2,3]}"#);
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_renders_indented() {
+        let v = Value::Object(Map::new().with("k", vec![1]));
+        assert_eq!(v.to_json_pretty(), "{\n  \"k\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut m = Map::new();
+        m.insert("k", 1);
+        m.insert("k", 2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("k").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn numeric_accessors() {
+        assert_eq!(Value::Int(7).as_u64(), Some(7));
+        assert_eq!(Value::Int(-7).as_u64(), None);
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(1.5).as_i64(), None);
+        assert_eq!(Value::Float(2.0).as_i64(), Some(2));
+        assert_eq!(Value::from(u64::MAX), Value::Float(u64::MAX as f64));
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        for f in [0.1, 1.0 / 3.0, 1e-9, 123456.75, -0.25] {
+            let text = Value::Float(f).to_json();
+            let back = parse(&text).unwrap();
+            assert_eq!(back.as_f64(), Some(f), "{text}");
+        }
+        assert_eq!(Value::Float(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Float(3.0).to_json(), "3.0");
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        let text = Value::Str("a\u{1}\nb".into()).to_json();
+        assert_eq!(text, "\"a\\u0001\\nb\"");
+        assert_eq!(parse(&text).unwrap().as_str(), Some("a\u{1}\nb"));
+    }
+
+    #[test]
+    fn pairs_layout_matches_serde_tuples() {
+        let v = pairs_to_value(&[(0.5f64, 1.5f64)]);
+        assert_eq!(v.to_json(), "[[0.5,1.5]]");
+    }
+}

@@ -6,8 +6,6 @@
 //! `X_i = Σ_t x_i(t) · FTHR_i(t)`, giving
 //! `CFI = (Σ X_i)² / (N · Σ X_i²)`   (equation 4).
 
-use serde::{Deserialize, Serialize};
-
 /// Jain's fairness index over non-negative allocations.
 ///
 /// Ranges from `1/n` (one workload gets everything) to `1` (perfectly
@@ -33,7 +31,7 @@ pub fn jain_index(xs: &[f64]) -> f64 {
 }
 
 /// Accumulator for the FTHR-weighted Cumulative Fairness Index.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct CfiAccumulator {
     /// `X_i` per workload.
     x: Vec<f64>,

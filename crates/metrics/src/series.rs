@@ -1,9 +1,9 @@
 //! Named time series for the timeline figures (Figures 1 and 9).
 
-use serde::{Deserialize, Serialize};
+use vulcan_json::{Map, Value};
 
 /// A named series of `(time_seconds, value)` points.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TimeSeries {
     /// Series label (e.g. `"memcached.fthr"`).
     pub name: String,
@@ -65,10 +65,42 @@ impl TimeSeries {
     pub fn last(&self) -> Option<f64> {
         self.points.last().map(|&(_, v)| v)
     }
+
+    /// JSON form: `{"name": ..., "points": [[t, v], ...]}`.
+    pub fn to_value(&self) -> Value {
+        Value::Object(
+            Map::new()
+                .with("name", &self.name)
+                .with("points", vulcan_json::pairs_to_value(&self.points)),
+        )
+    }
+
+    fn from_value(v: &Value) -> Result<TimeSeries, String> {
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("series missing \"name\"")?
+            .to_string();
+        let mut points = Vec::new();
+        for p in v
+            .get("points")
+            .and_then(Value::as_array)
+            .ok_or("series missing \"points\"")?
+        {
+            match p.as_array() {
+                Some([t, v]) => points.push((
+                    t.as_f64().ok_or("non-numeric point")?,
+                    v.as_f64().ok_or("non-numeric point")?,
+                )),
+                _ => return Err("point is not a [t, v] pair".into()),
+            }
+        }
+        Ok(TimeSeries { name, points })
+    }
 }
 
 /// A collection of series keyed by name, dumped as JSON for EXPERIMENTS.md.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SeriesSet {
     /// All series, in creation order.
     pub series: Vec<TimeSeries>,
@@ -97,7 +129,35 @@ impl SeriesSet {
 
     /// Serialize the whole set as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("series serialize")
+        self.to_value().to_json_pretty()
+    }
+
+    /// JSON form: `{"series": [...]}` (the layout serde produced before
+    /// the workspace went dependency-free).
+    pub fn to_value(&self) -> Value {
+        Value::Object(
+            Map::new().with(
+                "series",
+                self.series
+                    .iter()
+                    .map(TimeSeries::to_value)
+                    .collect::<Vec<_>>(),
+            ),
+        )
+    }
+
+    /// Parse the [`to_json`](SeriesSet::to_json) layout back.
+    pub fn from_json(text: &str) -> Result<SeriesSet, String> {
+        let v = vulcan_json::parse(text).map_err(|e| e.to_string())?;
+        let mut set = SeriesSet::new();
+        for s in v
+            .get("series")
+            .and_then(Value::as_array)
+            .ok_or("series set missing \"series\"")?
+        {
+            set.series.push(TimeSeries::from_value(s)?);
+        }
+        Ok(set)
     }
 }
 
@@ -150,7 +210,7 @@ mod tests {
         let mut set = SeriesSet::new();
         set.entry("a").push(0.5, 1.5);
         let json = set.to_json();
-        let back: SeriesSet = serde_json::from_str(&json).unwrap();
+        let back = SeriesSet::from_json(&json).unwrap();
         assert_eq!(back.get("a").unwrap().points, vec![(0.5, 1.5)]);
     }
 }

@@ -1,10 +1,8 @@
 //! Summary statistics: online mean/variance, percentiles, and the
 //! mean ± 95% confidence intervals the paper plots over 10 trials.
 
-use serde::{Deserialize, Serialize};
-
 /// Welford online mean/variance accumulator.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,

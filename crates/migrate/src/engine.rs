@@ -165,7 +165,9 @@ pub fn migrate_sync(
 
         // Content is in sync after the copy: clear the dirty bit so the
         // shadow stays valid until the next write.
-        process.space.set_pte(vpn, old.with_frame(new_frame).clear_dirty());
+        process
+            .space
+            .set_pte(vpn, old.with_frame(new_frame).clear_dirty());
         out.moved.push(vpn);
     }
 
@@ -537,10 +539,26 @@ mod tests {
         let cfg_b = MechanismConfig::linux_baseline();
         let (mut p1, mut m1, mut t1, mut s1) = setup(64, 64);
         let pages1 = map_slow(&mut p1, &mut m1, 16);
-        let v = migrate_sync(&mut p1, &mut m1, &mut t1, &mut s1, &pages1, TierKind::Fast, &cfg_v);
+        let v = migrate_sync(
+            &mut p1,
+            &mut m1,
+            &mut t1,
+            &mut s1,
+            &pages1,
+            TierKind::Fast,
+            &cfg_v,
+        );
         let (mut p2, mut m2, mut t2, mut s2) = setup(64, 64);
         let pages2 = map_slow(&mut p2, &mut m2, 16);
-        let b = migrate_sync(&mut p2, &mut m2, &mut t2, &mut s2, &pages2, TierKind::Fast, &cfg_b);
+        let b = migrate_sync(
+            &mut p2,
+            &mut m2,
+            &mut t2,
+            &mut s2,
+            &pages2,
+            TierKind::Fast,
+            &cfg_b,
+        );
         // On this 8-core test machine the preparation gap is modest; the
         // 32-core benches show the full 3-4x of Figure 7.
         assert!(
@@ -565,7 +583,15 @@ mod tests {
         // Not yet due.
         let early = am.poll(&mut p, &mut m, &mut t, &mut s, Nanos(1), &cfg, &mut |_| 0.0);
         assert!(early.committed.is_empty());
-        let done = am.poll(&mut p, &mut m, &mut t, &mut s, Nanos::millis(1), &cfg, &mut |_| 0.0);
+        let done = am.poll(
+            &mut p,
+            &mut m,
+            &mut t,
+            &mut s,
+            Nanos::millis(1),
+            &cfg,
+            &mut |_| 0.0,
+        );
         assert_eq!(done.committed, pages);
         assert_eq!(p.space.pte(pages[0]).tier(), Some(TierKind::Fast));
         assert_eq!(am.stats.committed, 1);
@@ -606,8 +632,14 @@ mod tests {
         let (mut p, mut m, mut t, _s) = setup(16, 16);
         let pages = map_slow(&mut p, &mut m, 1);
         let mut am = AsyncMigrator::new();
-        assert_eq!(am.start(&mut p, &mut m, &mut t, &pages, TierKind::Fast, Nanos(0)), 1);
-        assert_eq!(am.start(&mut p, &mut m, &mut t, &pages, TierKind::Fast, Nanos(0)), 0);
+        assert_eq!(
+            am.start(&mut p, &mut m, &mut t, &pages, TierKind::Fast, Nanos(0)),
+            1
+        );
+        assert_eq!(
+            am.start(&mut p, &mut m, &mut t, &pages, TierKind::Fast, Nanos(0)),
+            0
+        );
         assert_eq!(am.inflight(), 1);
     }
 
@@ -628,6 +660,9 @@ mod tests {
         let (mut p, mut m, mut t, _s) = setup(2, 16);
         let pages = map_slow(&mut p, &mut m, 4);
         let mut am = AsyncMigrator::new();
-        assert_eq!(am.start(&mut p, &mut m, &mut t, &pages, TierKind::Fast, Nanos(0)), 2);
+        assert_eq!(
+            am.start(&mut p, &mut m, &mut t, &pages, TierKind::Fast, Nanos(0)),
+            2
+        );
     }
 }

@@ -26,13 +26,15 @@ fn check_consistency(p: &Process, m: &Machine, s: &ShadowRegistry, am: Option<&A
     let mut seen = std::collections::HashSet::new();
     for vpn in p.space.mapped_vpns() {
         let f = p.space.pte(vpn).frame().expect("mapped");
-        assert!(m.allocator(f.tier).is_allocated(f.index), "{vpn:?} -> freed frame");
+        assert!(
+            m.allocator(f.tier).is_allocated(f.index),
+            "{vpn:?} -> freed frame"
+        );
         assert!(seen.insert((f.tier, f.index)), "frame aliased");
     }
     let used =
         m.allocator(TierKind::Fast).used_frames() + m.allocator(TierKind::Slow).used_frames();
-    let expected =
-        p.space.rss_pages() + s.len() as u64 + am.map_or(0, |a| a.inflight() as u64);
+    let expected = p.space.rss_pages() + s.len() as u64 + am.map_or(0, |a| a.inflight() as u64);
     assert_eq!(used, expected, "frame conservation");
 }
 

@@ -121,20 +121,19 @@ impl TieringPolicy for Memtis {
         // Demote first to make room, then promote — both in background.
         let wanted: usize = promote.iter().map(Vec::len).sum();
         let mut freed = state.fast_free() as usize;
-        for w in 0..state.n_workloads() {
+        for (w, cold) in demote.iter().enumerate() {
             if freed >= wanted {
                 break;
             }
-            let take = (wanted - freed).min(demote[w].len());
+            let take = (wanted - freed).min(cold.len());
             if take > 0 {
-                let out =
-                    state.migrate_background(w, &demote[w][..take], TierKind::Slow, &mech);
+                let out = state.migrate_background(w, &cold[..take], TierKind::Slow, &mech);
                 freed += out.moved.len();
             }
         }
-        for w in 0..state.n_workloads() {
-            if !promote[w].is_empty() {
-                state.migrate_background(w, &promote[w], TierKind::Fast, &mech);
+        for (w, hot) in promote.iter().enumerate() {
+            if !hot.is_empty() {
+                state.migrate_background(w, hot, TierKind::Fast, &mech);
             }
         }
     }

@@ -87,7 +87,11 @@ impl TieringPolicy for Mtm {
                             && !ws.async_migrator.is_inflight(*vpn)
                     })
                     .map(|(vpn, s)| {
-                        (vpn, s.heat, s.write_intensive(self.cfg.write_intensive_ratio))
+                        (
+                            vpn,
+                            s.heat,
+                            s.write_intensive(self.cfg.write_intensive_ratio),
+                        )
                     })
                     .collect();
                 hot.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));

@@ -262,7 +262,10 @@ impl Profiler for HintFaultProfiler {
             cost += Cycles(150); // PTE write + local flush
         }
         self.cursor = self.cursor.wrapping_add(n as u64);
-        EpochOutcome { cycles: cost, poisoned }
+        EpochOutcome {
+            cycles: cost,
+            poisoned,
+        }
     }
 
     fn heat(&self) -> &HeatMap {
@@ -403,10 +406,7 @@ mod tests {
         let mut p = HintFaultProfiler::new(0.1);
         let out = p.epoch(&mut s);
         assert_eq!(out.poisoned.len(), 10, "epoch reports poisoned pages");
-        let poisoned: Vec<Vpn> = s
-            .mapped_vpns()
-            .filter(|&v| s.pte(v).poisoned())
-            .collect();
+        let poisoned: Vec<Vpn> = s.mapped_vpns().filter(|&v| s.pte(v).poisoned()).collect();
         assert_eq!(poisoned.len(), 10);
         // Next epoch poisons a different window.
         p.epoch(&mut s);

@@ -71,8 +71,24 @@ mod tests {
 
     fn mk_state() -> SystemState {
         let specs = vec![
-            microbench("a", MicroConfig { rss_pages: 128, wss_pages: 64, ..Default::default() }, 2),
-            microbench("b", MicroConfig { rss_pages: 128, wss_pages: 64, ..Default::default() }, 2),
+            microbench(
+                "a",
+                MicroConfig {
+                    rss_pages: 128,
+                    wss_pages: 64,
+                    ..Default::default()
+                },
+                2,
+            ),
+            microbench(
+                "b",
+                MicroConfig {
+                    rss_pages: 128,
+                    wss_pages: 64,
+                    ..Default::default()
+                },
+                2,
+            ),
         ];
         SystemState::new(
             Machine::new(MachineSpec::small(100, 1024, 8)),

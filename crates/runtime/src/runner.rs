@@ -14,6 +14,7 @@ use crate::state::SystemState;
 use vulcan_metrics::{CfiAccumulator, OnlineStats, SeriesSet};
 use vulcan_profile::Profiler;
 use vulcan_sim::{Cycles, Machine, MachineSpec, Nanos, TierKind};
+use vulcan_telemetry::{Counter, EventKind, Telemetry};
 use vulcan_workloads::{WorkloadClass, WorkloadSpec};
 
 /// Configuration of a simulation run.
@@ -31,6 +32,10 @@ pub struct SimConfig {
     pub replication: bool,
     /// Record full time series (disable for throughput-only sweeps).
     pub record_series: bool,
+    /// Telemetry sink. Disabled by default; an enabled handle records
+    /// metrics, phase spans and a structured event trace without
+    /// changing any simulation result.
+    pub telemetry: Telemetry,
 }
 
 impl Default for SimConfig {
@@ -42,6 +47,7 @@ impl Default for SimConfig {
             seed: 42,
             replication: true,
             record_series: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -128,6 +134,12 @@ pub struct SimRunner {
     hot_stats: Vec<OnlineStats>,
     rbw_stats: Vec<OnlineStats>,
     wbw_stats: Vec<OnlineStats>,
+    // Telemetry handles held across quanta (cheap no-ops when disabled).
+    ops_counter: Counter,
+    fast_hits_counter: Counter,
+    slow_hits_counter: Counter,
+    quanta_counter: Counter,
+    lat_hist: vulcan_telemetry::Histogram,
 }
 
 impl SimRunner {
@@ -149,6 +161,19 @@ impl SimRunner {
             cfg.seed,
         );
         state.quantum_active = cfg.quantum_active;
+        state.telemetry = cfg.telemetry.clone();
+        let tel = &cfg.telemetry;
+        let (ops_counter, fast_hits_counter, slow_hits_counter, quanta_counter) = (
+            tel.counter("sim.ops"),
+            tel.counter("sim.accesses.fast"),
+            tel.counter("sim.accesses.slow"),
+            tel.counter("sim.quanta"),
+        );
+        // Per-quantum mean op latency distribution (ns).
+        let lat_hist = tel.histogram(
+            "quantum.mean_latency_ns",
+            &[100, 300, 1_000, 3_000, 10_000, 30_000, 100_000],
+        );
         SimRunner {
             state,
             policy,
@@ -161,6 +186,11 @@ impl SimRunner {
             hot_stats: vec![OnlineStats::new(); n],
             rbw_stats: vec![OnlineStats::new(); n],
             wbw_stats: vec![OnlineStats::new(); n],
+            ops_counter,
+            fast_hits_counter,
+            slow_hits_counter,
+            quanta_counter,
+            lat_hist,
         }
     }
 
@@ -179,10 +209,22 @@ impl SimRunner {
         }
         let st = &mut self.state;
 
-        // Staggered arrivals (§5.3) and departures.
+        // Staggered arrivals (§5.3) and departures. Workloads whose start
+        // time is zero were started at construction; their arrival event
+        // is emitted on the first quantum.
         for w in &mut st.workloads {
-            if !w.started && !w.departed && w.spec.start <= st.now {
+            let arrives_now = !w.started && !w.departed && w.spec.start <= st.now;
+            if arrives_now {
                 w.started = true;
+            }
+            if arrives_now || (st.quantum_index == 0 && w.started) {
+                st.telemetry.emit(
+                    st.now,
+                    Some(&w.spec.name),
+                    EventKind::WorkloadArrival {
+                        rss_pages: w.spec.rss_pages(),
+                    },
+                );
             }
         }
         for wi in 0..st.workloads.len() {
@@ -243,6 +285,17 @@ impl SimRunner {
             }
             let out = ws.profiler.epoch(&mut ws.process.space);
             ws.stats.daemon_cycles += out.cycles;
+            if st.telemetry.is_enabled() {
+                st.telemetry
+                    .record_phase(&ws.spec.name, "profiler.epoch", out.cycles);
+                st.telemetry.emit(
+                    st.now,
+                    Some(&ws.spec.name),
+                    EventKind::ProfilerScan {
+                        pages_poisoned: out.poisoned.len() as u64,
+                    },
+                );
+            }
             if !out.poisoned.is_empty() {
                 let cores = st
                     .machine
@@ -263,6 +316,7 @@ impl SimRunner {
 
         // Metrics and series.
         self.record_quantum();
+        self.quanta_counter.inc();
 
         self.state.now += self.cfg.quantum_wall;
         self.state.quantum_index += 1;
@@ -292,6 +346,12 @@ impl SimRunner {
             let active_s = ws.stats.active_q.as_secs_f64().max(1e-12);
             let rbw = ws.stats.read_bytes_q as f64 / active_s / 1e9;
             let wbw = ws.stats.write_bytes_q as f64 / active_s / 1e9;
+            self.ops_counter.add(ws.stats.ops_q);
+            self.fast_hits_counter.add(ws.stats.fast_q);
+            self.slow_hits_counter.add(ws.stats.slow_q);
+            if ws.stats.ops_q > 0 {
+                self.lat_hist.record(latency as u64);
+            }
             ws.stats.roll_quantum();
             let fthr = ws.stats.fthr;
             let fast_pages = ws.stats.fast_used as f64;
@@ -312,7 +372,11 @@ impl SimRunner {
             if self.cfg.record_series {
                 let name = ws.spec.name.clone();
                 let rss = ws.rss_pages() as f64;
-                let gpt = if rss == 0.0 { 1.0 } else { (gfmc / rss).min(1.0) };
+                let gpt = if rss == 0.0 {
+                    1.0
+                } else {
+                    (gfmc / rss).min(1.0)
+                };
                 let slow_pages = rss - fast_pages;
                 for (suffix, v) in [
                     ("fthr", fthr),

@@ -6,6 +6,7 @@ use rand::SeedableRng;
 use vulcan_migrate::{migrate_sync, AsyncMigrator, MechanismConfig, ShadowRegistry, SyncOutcome};
 use vulcan_profile::{HeatMap, Profiler};
 use vulcan_sim::{Cycles, Machine, Nanos, SimThreadId, TierKind};
+use vulcan_telemetry::{EventKind, Telemetry};
 use vulcan_vm::{Asid, Process, TlbArray, Vpn};
 use vulcan_workloads::{AccessGen, WorkloadClass, WorkloadSpec};
 
@@ -187,6 +188,9 @@ pub struct SystemState {
     /// Simulated active window per quantum (set by the runner; used to
     /// convert per-quantum rates into per-nanosecond rates).
     pub quantum_active: Nanos,
+    /// Telemetry sink (disabled by default; the runner installs the
+    /// configured handle). Recording never affects simulation results.
+    pub telemetry: Telemetry,
 }
 
 impl SystemState {
@@ -260,6 +264,7 @@ impl SystemState {
             now: Nanos::ZERO,
             quantum_index: 0,
             quantum_active: Nanos::millis(2),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -301,9 +306,48 @@ impl SystemState {
         let stall = out.total_cycles();
         ws.stats.stall_cycles += stall;
         ws.pending_stall += stall.to_nanos();
+        self.record_migration(w, dest, &out, true);
         self.charge_global_prep(w, cfg);
         self.recount_fast(w);
         out
+    }
+
+    /// Record a batch migration's events and per-phase spans. Purely
+    /// observational; no-op when telemetry is disabled.
+    fn record_migration(
+        &self,
+        w: usize,
+        dest: TierKind,
+        out: &SyncOutcome,
+        on_critical_path: bool,
+    ) {
+        if !self.telemetry.is_enabled() || out.moved.is_empty() {
+            return;
+        }
+        let name = &self.workloads[w].spec.name;
+        let kind = match dest {
+            TierKind::Fast => EventKind::PagesPromoted {
+                pages: out.moved.len() as u64,
+                sync: on_critical_path,
+            },
+            TierKind::Slow => EventKind::PagesDemoted {
+                pages: out.moved.len() as u64,
+                remap_only: out.remap_only,
+            },
+        };
+        self.telemetry.emit(self.now, Some(name), kind);
+        for (phase, cycles) in [
+            ("migrate.prep", out.phases.prep),
+            ("migrate.trap", out.phases.trap),
+            ("migrate.unmap", out.phases.unmap),
+            ("migrate.shootdown", out.phases.shootdown),
+            ("migrate.copy", out.phases.copy),
+            ("migrate.remap", out.phases.remap),
+        ] {
+            if cycles > Cycles::ZERO {
+                self.telemetry.record_phase(name, phase, cycles);
+            }
+        }
     }
 
     /// Global migration preparation (`lru_add_drain_all`) interrupts
@@ -314,20 +358,15 @@ impl SystemState {
         if cfg.prep != vulcan_migrate::PrepStrategy::BaselineGlobal {
             return;
         }
-        let per_cpu = self
-            .machine
-            .spec()
-            .migration_costs
-            .prep_per_cpu
-            .to_nanos();
+        let per_cpu = self.machine.spec().migration_costs.prep_per_cpu.to_nanos();
         for (i, ws) in self.workloads.iter_mut().enumerate() {
             if i == initiator || !ws.started {
                 continue;
             }
             // One drain handler per core running this workload's threads.
             ws.pending_stall += per_cpu * ws.spec.n_threads as u64;
-            ws.stats.stall_cycles += self.machine.spec().migration_costs.prep_per_cpu
-                * ws.spec.n_threads as u64;
+            ws.stats.stall_cycles +=
+                self.machine.spec().migration_costs.prep_per_cpu * ws.spec.n_threads as u64;
         }
     }
 
@@ -353,6 +392,7 @@ impl SystemState {
             cfg,
         );
         ws.stats.daemon_cycles += out.total_cycles();
+        self.record_migration(w, dest, &out, false);
         self.charge_global_prep(w, cfg);
         self.recount_fast(w);
         out
@@ -361,14 +401,24 @@ impl SystemState {
     /// Start asynchronous (transactional) migrations for workload `w`.
     pub fn migrate_async(&mut self, w: usize, pages: &[Vpn], dest: TierKind) -> usize {
         let ws = &mut self.workloads[w];
-        ws.async_migrator.start(
+        let started = ws.async_migrator.start(
             &mut ws.process,
             &mut self.machine,
             &mut self.tlbs,
             pages,
             dest,
             self.now,
-        )
+        );
+        if started > 0 {
+            self.telemetry.emit(
+                self.now,
+                Some(&self.workloads[w].spec.name),
+                EventKind::AsyncStarted {
+                    pages: started as u64,
+                },
+            );
+        }
+        started
     }
 
     /// Drive workload `w`'s in-flight async transactions; commits are
@@ -396,6 +446,7 @@ impl SystemState {
             .as_f64()
             * contention;
         let active_ns = self.quantum_active.as_f64().max(1.0);
+        let retried_before = self.workloads[w].async_migrator.stats.retried;
         let ws = &mut self.workloads[w];
         let WorkloadState {
             process,
@@ -409,8 +460,7 @@ impl SystemState {
         let mut dirty_prob = |vpn: vulcan_vm::Vpn| -> f64 {
             // Decayed sampled writes approximate writes per quantum
             // (steady state: w_q / (1 - decay)); scale to the window.
-            let writes_per_quantum =
-                heat.get(vpn).writes * (1.0 - vulcan_profile::DEFAULT_DECAY);
+            let writes_per_quantum = heat.get(vpn).writes * (1.0 - vulcan_profile::DEFAULT_DECAY);
             (writes_per_quantum * window_ns / active_ns).min(1.0)
         };
         let poll = async_migrator.poll(
@@ -426,6 +476,36 @@ impl SystemState {
         stats.aborted_pages_q.extend_from_slice(&poll.aborted);
         if !poll.committed.is_empty() || !poll.aborted.is_empty() {
             self.recount_fast(w);
+        }
+        if self.telemetry.is_enabled() {
+            let ws = &self.workloads[w];
+            let name = &ws.spec.name;
+            let retried = ws.async_migrator.stats.retried - retried_before;
+            if retried > 0 {
+                self.telemetry.emit(
+                    self.now,
+                    Some(name),
+                    EventKind::AsyncRetried { pages: retried },
+                );
+            }
+            if !poll.committed.is_empty() {
+                self.telemetry.emit(
+                    self.now,
+                    Some(name),
+                    EventKind::AsyncCommitted {
+                        pages: poll.committed.len() as u64,
+                    },
+                );
+            }
+            if !poll.aborted.is_empty() {
+                self.telemetry.emit(
+                    self.now,
+                    Some(name),
+                    EventKind::AsyncAborted {
+                        pages: poll.aborted.len() as u64,
+                    },
+                );
+            }
         }
     }
 
@@ -443,6 +523,13 @@ impl SystemState {
 
     /// Set workload `w`'s fast-tier quota in pages.
     pub fn set_quota(&mut self, w: usize, pages: u64) {
+        if self.workloads[w].quota != Some(pages) {
+            self.telemetry.emit(
+                self.now,
+                Some(&self.workloads[w].spec.name),
+                EventKind::QuotaChanged { fast_pages: pages },
+            );
+        }
         self.workloads[w].quota = Some(pages);
     }
 
@@ -456,11 +543,18 @@ impl SystemState {
         }
         ws.started = false;
         ws.departed = true;
+        self.telemetry.emit(
+            self.now,
+            Some(&self.workloads[w].spec.name),
+            EventKind::WorkloadDeparture,
+        );
+        let ws = &mut self.workloads[w];
         ws.async_migrator.abort_all(&mut self.machine);
         let vpns: Vec<Vpn> = ws.process.space.mapped_vpns().collect();
         for vpn in vpns {
             let pte = ws.process.space.unmap(vpn).expect("listed as mapped");
-            self.machine.free(pte.frame().expect("mapped page has a frame"));
+            self.machine
+                .free(pte.frame().expect("mapped page has a frame"));
         }
         for f in ws.shadows.evict(usize::MAX) {
             self.machine.free(f);
@@ -540,9 +634,11 @@ mod tests {
 
     #[test]
     fn fthr_ema_follows_equation_two() {
-        let mut s = WorkloadStats::default();
-        s.fast_q = 80;
-        s.slow_q = 20;
+        let mut s = WorkloadStats {
+            fast_q: 80,
+            slow_q: 20,
+            ..Default::default()
+        };
         s.roll_quantum();
         // H̄_1 = 0.8; prev was 0: FTHR = 0.8·0.8 + 0.2·0 = 0.64.
         assert!((s.fthr - 0.64).abs() < 1e-12);
@@ -555,8 +651,10 @@ mod tests {
 
     #[test]
     fn idle_quantum_carries_hit_ratio_forward() {
-        let mut s = WorkloadStats::default();
-        s.fast_q = 100;
+        let mut s = WorkloadStats {
+            fast_q: 100,
+            ..Default::default()
+        };
         s.roll_quantum();
         let f1 = s.fthr;
         s.roll_quantum(); // no accesses
@@ -566,11 +664,13 @@ mod tests {
 
     #[test]
     fn quantum_rates() {
-        let mut s = WorkloadStats::default();
-        s.ops_q = 100;
-        s.active_q = Nanos::millis(1);
-        s.op_latency_q = Nanos(500_000);
-        s.mem_time_q = Nanos(250_000);
+        let s = WorkloadStats {
+            ops_q: 100,
+            active_q: Nanos::millis(1),
+            op_latency_q: Nanos(500_000),
+            mem_time_q: Nanos(250_000),
+            ..Default::default()
+        };
         assert!((s.ops_per_sec_q() - 100_000.0).abs() < 1e-6);
         assert!((s.mean_op_latency_q() - 5_000.0).abs() < 1e-9);
         assert!((s.memory_duty_q() - 0.25).abs() < 1e-12);
@@ -594,7 +694,10 @@ mod tests {
             .enumerate()
         {
             let f = st.machine.alloc(*tier).unwrap();
-            st.workloads[0].process.space.map(Vpn(i as u64), f, LocalTid(0));
+            st.workloads[0]
+                .process
+                .space
+                .map(Vpn(i as u64), f, LocalTid(0));
         }
         st.recount_fast(0);
         assert_eq!(st.workloads[0].stats.fast_used, 2);

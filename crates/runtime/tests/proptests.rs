@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use vulcan_profile::PebsProfiler;
-use vulcan_runtime::{SimConfig, SimRunner, StaticPlacement, UniformPartition, TieringPolicy};
+use vulcan_runtime::{SimConfig, SimRunner, StaticPlacement, TieringPolicy, UniformPartition};
 use vulcan_sim::{MachineSpec, Nanos, TierKind};
 use vulcan_workloads::{microbench, MicroConfig, WorkloadSpec};
 

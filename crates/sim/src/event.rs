@@ -97,7 +97,11 @@ mod tests {
         q.schedule(Nanos(30), "c");
         q.schedule(Nanos(10), "a");
         q.schedule(Nanos(20), "b");
-        let fired: Vec<_> = q.drain_due(Nanos(100)).into_iter().map(|(_, e)| e).collect();
+        let fired: Vec<_> = q
+            .drain_due(Nanos(100))
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect();
         assert_eq!(fired, vec!["a", "b", "c"]);
     }
 

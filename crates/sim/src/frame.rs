@@ -98,7 +98,9 @@ impl FrameAllocator {
     /// Allocate up to `n` frames, returning fewer if the tier fills up.
     pub fn alloc_many(&mut self, n: u64) -> Vec<FrameId> {
         let n = n.min(self.free_frames());
-        (0..n).map(|_| self.alloc().expect("reserved above")).collect()
+        (0..n)
+            .map(|_| self.alloc().expect("reserved above"))
+            .collect()
     }
 
     /// Return a frame to the free list.
@@ -148,7 +150,12 @@ mod tests {
         let mut a = FrameAllocator::new(TierKind::Slow, 2);
         a.alloc().unwrap();
         a.alloc().unwrap();
-        assert_eq!(a.alloc(), Err(OutOfFrames { tier: TierKind::Slow }));
+        assert_eq!(
+            a.alloc(),
+            Err(OutOfFrames {
+                tier: TierKind::Slow
+            })
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Property-based tests for the machine substrate.
 
 use proptest::prelude::*;
-use vulcan_sim::{
-    BandwidthTracker, EventQueue, FrameAllocator, MigrationCosts, Nanos, TierKind,
-};
+use vulcan_sim::{BandwidthTracker, EventQueue, FrameAllocator, MigrationCosts, Nanos, TierKind};
 
 proptest! {
     /// The allocator hands out distinct frames, never more than capacity,

@@ -1,0 +1,206 @@
+//! Structured trace events.
+//!
+//! Every event records the simulated time at which it happened and a
+//! monotonically increasing sequence number assigned by the ring, so a
+//! trace is totally ordered and reproducible run-to-run.
+
+use vulcan_json::{Map, Value};
+use vulcan_sim::Nanos;
+
+/// One structured trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number (assigned at emission, never reused).
+    pub seq: u64,
+    /// Simulated time of the event.
+    pub at: Nanos,
+    /// Workload the event concerns, if any.
+    pub workload: Option<String>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The kinds of events the simulator emits.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A workload entered the system.
+    WorkloadArrival {
+        /// Resident set size of the arriving workload, in pages.
+        rss_pages: u64,
+    },
+    /// A workload left the system.
+    WorkloadDeparture,
+    /// Pages moved slow → fast.
+    PagesPromoted {
+        /// Number of pages promoted.
+        pages: u64,
+        /// True if via the synchronous engine, false if asynchronous.
+        sync: bool,
+    },
+    /// Pages moved fast → slow.
+    PagesDemoted {
+        /// Number of pages demoted.
+        pages: u64,
+        /// How many of them were pure remaps to an existing shadow copy.
+        remap_only: u64,
+    },
+    /// An asynchronous migration transaction started.
+    AsyncStarted {
+        /// Pages in the transaction.
+        pages: u64,
+    },
+    /// An asynchronous migration transaction committed.
+    AsyncCommitted {
+        /// Pages committed.
+        pages: u64,
+    },
+    /// An asynchronous migration transaction retried after conflict.
+    AsyncRetried {
+        /// Pages in the retried transaction.
+        pages: u64,
+    },
+    /// An asynchronous migration transaction aborted.
+    AsyncAborted {
+        /// Pages abandoned.
+        pages: u64,
+    },
+    /// A stalled async transaction was escalated to the sync engine.
+    AsyncEscalated {
+        /// Pages escalated.
+        pages: u64,
+    },
+    /// A workload's fast-tier quota changed.
+    QuotaChanged {
+        /// New fast-tier quota, in pages.
+        fast_pages: u64,
+    },
+    /// A workload was reclassified (latency-critical ↔ best-effort).
+    Reclassified {
+        /// New class, e.g. "latency_critical" or "best_effort".
+        class: String,
+    },
+    /// One CBFRP partitioning round completed.
+    CbfrpRound {
+        /// Per-workload entitlement (GFMC) this round, in pages.
+        gfmc_pages: u64,
+        /// Number of active workloads partitioned over.
+        active: u64,
+    },
+    /// The profiler completed a scan epoch.
+    ProfilerScan {
+        /// Pages freshly poisoned for hinting faults this epoch.
+        pages_poisoned: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case name of this event kind (the `event` field of
+    /// the JSON-lines encoding).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::WorkloadArrival { .. } => "workload_arrival",
+            EventKind::WorkloadDeparture => "workload_departure",
+            EventKind::PagesPromoted { .. } => "pages_promoted",
+            EventKind::PagesDemoted { .. } => "pages_demoted",
+            EventKind::AsyncStarted { .. } => "async_started",
+            EventKind::AsyncCommitted { .. } => "async_committed",
+            EventKind::AsyncRetried { .. } => "async_retried",
+            EventKind::AsyncAborted { .. } => "async_aborted",
+            EventKind::AsyncEscalated { .. } => "async_escalated",
+            EventKind::QuotaChanged { .. } => "quota_changed",
+            EventKind::Reclassified { .. } => "reclassified",
+            EventKind::CbfrpRound { .. } => "cbfrp_round",
+            EventKind::ProfilerScan { .. } => "profiler_scan",
+        }
+    }
+
+    fn append_fields(&self, m: Map) -> Map {
+        match self {
+            EventKind::WorkloadArrival { rss_pages } => m.with("rss_pages", *rss_pages),
+            EventKind::WorkloadDeparture => m,
+            EventKind::PagesPromoted { pages, sync } => m.with("pages", *pages).with("sync", *sync),
+            EventKind::PagesDemoted { pages, remap_only } => {
+                m.with("pages", *pages).with("remap_only", *remap_only)
+            }
+            EventKind::AsyncStarted { pages }
+            | EventKind::AsyncCommitted { pages }
+            | EventKind::AsyncRetried { pages }
+            | EventKind::AsyncAborted { pages }
+            | EventKind::AsyncEscalated { pages } => m.with("pages", *pages),
+            EventKind::QuotaChanged { fast_pages } => m.with("fast_pages", *fast_pages),
+            EventKind::Reclassified { class } => m.with("class", class.clone()),
+            EventKind::CbfrpRound { gfmc_pages, active } => {
+                m.with("gfmc_pages", *gfmc_pages).with("active", *active)
+            }
+            EventKind::ProfilerScan { pages_poisoned } => m.with("pages_poisoned", *pages_poisoned),
+        }
+    }
+}
+
+impl Event {
+    /// JSON form: `{"seq":…,"t_ns":…,"workload":…,"event":…,<fields>}`.
+    /// The `workload` key is omitted for system-wide events.
+    pub fn to_value(&self) -> Value {
+        let mut m = Map::new().with("seq", self.seq).with("t_ns", self.at.0);
+        if let Some(w) = &self.workload {
+            m = m.with("workload", w.clone());
+        }
+        m = m.with("event", self.kind.name());
+        Value::Object(self.kind.append_fields(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let kinds = [
+            EventKind::WorkloadArrival { rss_pages: 1 },
+            EventKind::WorkloadDeparture,
+            EventKind::PagesPromoted {
+                pages: 1,
+                sync: true,
+            },
+            EventKind::PagesDemoted {
+                pages: 1,
+                remap_only: 0,
+            },
+            EventKind::AsyncStarted { pages: 1 },
+            EventKind::AsyncCommitted { pages: 1 },
+            EventKind::AsyncRetried { pages: 1 },
+            EventKind::AsyncAborted { pages: 1 },
+            EventKind::AsyncEscalated { pages: 1 },
+            EventKind::QuotaChanged { fast_pages: 1 },
+            EventKind::Reclassified {
+                class: "best_effort".into(),
+            },
+            EventKind::CbfrpRound {
+                gfmc_pages: 1,
+                active: 1,
+            },
+            EventKind::ProfilerScan { pages_poisoned: 1 },
+        ];
+        let names: std::collections::BTreeSet<&str> = kinds.iter().map(EventKind::name).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn to_value_omits_workload_when_none() {
+        let e = Event {
+            seq: 7,
+            at: Nanos(123),
+            workload: None,
+            kind: EventKind::CbfrpRound {
+                gfmc_pages: 10,
+                active: 3,
+            },
+        };
+        let v = e.to_value();
+        assert!(v.get("workload").is_none());
+        assert_eq!(v.get("seq").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("t_ns").and_then(Value::as_u64), Some(123));
+        assert_eq!(v.get("gfmc_pages").and_then(Value::as_u64), Some(10));
+    }
+}

@@ -1,0 +1,763 @@
+//! Telemetry and tracing for the Vulcan simulator.
+//!
+//! The subsystem has four parts:
+//!
+//! 1. a typed metrics registry — monotonic [`Counter`]s, gauges and
+//!    fixed-bucket [`Histogram`]s keyed by static names, cheap enough
+//!    for hot paths (a counter increment is one relaxed atomic add);
+//! 2. span-style phase accounting ([`Telemetry::record_phase`]) for
+//!    migration phases, CBFRP rounds and profiler scans, accumulated
+//!    per-workload and globally;
+//! 3. a bounded, deterministic structured [`Event`] ring: every event
+//!    carries a monotonic sequence number and the *simulated* timestamp
+//!    at which it occurred — no wall-clock anywhere, so two runs with
+//!    the same seed produce byte-identical traces;
+//! 4. sinks: an in-memory [`Snapshot`], a JSON-lines exporter
+//!    ([`Telemetry::events_jsonl`]) and a human-readable summary
+//!    ([`Telemetry::summary`]) built on [`vulcan_metrics::report::Table`].
+//!
+//! The handle is an `Option<Arc<_>>` internally: [`Telemetry::disabled`]
+//! (the [`Default`]) carries `None`, so every recording call is a branch
+//! on a null pointer and the simulator's results are identical whether
+//! tracing is on or off. Telemetry never consumes randomness and never
+//! influences control flow.
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use vulcan_json::{Map, Value};
+use vulcan_metrics::report::Table;
+use vulcan_sim::{Cycles, Nanos};
+
+pub mod event;
+
+pub use event::{Event, EventKind};
+
+/// Default capacity of the structured event ring.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+/// A monotonic counter handle.
+///
+/// Obtain once via [`Telemetry::counter`] and keep it next to the hot
+/// path; incrementing is a single relaxed atomic add (or a no-op when
+/// telemetry is disabled).
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram handle.
+///
+/// Bucket `i` counts samples `<= bounds[i]`; one extra overflow bucket
+/// counts the rest. Sum and count are tracked exactly.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistInner>>);
+
+#[derive(Debug)]
+struct HistInner {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(h) = &self.0 {
+            let idx = h
+                .bounds
+                .iter()
+                .position(|&b| value <= b)
+                .unwrap_or(h.bounds.len());
+            h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(value, Ordering::Relaxed);
+            h.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total number of samples recorded (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+}
+
+/// Snapshot of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Inclusive upper bounds of the finite buckets.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one longer than `bounds` (last is overflow).
+    pub buckets: Vec<u64>,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Number of samples.
+    pub count: u64,
+}
+
+impl HistSnapshot {
+    /// Mean sample value (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Accumulated statistics for one (scope, phase) span.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of spans recorded.
+    pub count: u64,
+    /// Total simulated cycles across all spans.
+    pub total_cycles: u64,
+    /// Longest single span, in cycles.
+    pub max_cycles: u64,
+}
+
+impl SpanStats {
+    fn record(&mut self, cycles: u64) {
+        self.count += 1;
+        self.total_cycles += cycles;
+        self.max_cycles = self.max_cycles.max(cycles);
+    }
+}
+
+/// Scope name used for system-wide (non-workload) spans.
+pub const GLOBAL_SCOPE: &str = "*";
+
+// ---------------------------------------------------------------------------
+// The Telemetry handle
+// ---------------------------------------------------------------------------
+
+struct Inner {
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<HistInner>>>,
+    // Keyed (scope, phase); scope is a workload name or GLOBAL_SCOPE.
+    spans: Mutex<BTreeMap<(String, &'static str), SpanStats>>,
+    ring: Mutex<Ring>,
+}
+
+struct Ring {
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<Event>,
+}
+
+impl Ring {
+    fn emit(&mut self, at: Nanos, workload: Option<&str>, kind: EventKind) {
+        let event = Event {
+            seq: self.next_seq,
+            at,
+            workload: workload.map(str::to_string),
+            kind,
+        };
+        self.next_seq += 1;
+        self.events.push_back(event);
+        if self.events.len() > self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+    }
+}
+
+/// The telemetry handle threaded through the simulator.
+///
+/// Cloning is cheap (an `Arc` bump); all clones share one registry and
+/// one event ring. The [`Default`] is [`Telemetry::disabled`], under
+/// which every method is a no-op.
+#[derive(Clone, Default)]
+pub struct Telemetry(Option<Arc<Inner>>);
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A disabled handle: every recording call is a no-op.
+    pub fn disabled() -> Telemetry {
+        Telemetry(None)
+    }
+
+    /// An enabled handle with the default ring capacity.
+    pub fn enabled() -> Telemetry {
+        Telemetry::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// An enabled handle keeping at most `ring_capacity` events (older
+    /// events are evicted in order; the count of evictions is kept).
+    pub fn with_capacity(ring_capacity: usize) -> Telemetry {
+        Telemetry(Some(Arc::new(Inner {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            ring: Mutex::new(Ring {
+                capacity: ring_capacity.max(1),
+                next_seq: 0,
+                dropped: 0,
+                events: VecDeque::new(),
+            }),
+        })))
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Look up (registering on first use) the counter named `name`.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        Counter(self.0.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .counters
+                    .lock()
+                    .expect("telemetry counter registry poisoned")
+                    .entry(name)
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Look up (registering on first use) the histogram named `name`.
+    ///
+    /// `bounds` are inclusive upper bucket bounds, strictly increasing;
+    /// they are fixed at first registration and later calls with the
+    /// same name reuse the original buckets.
+    pub fn histogram(&self, name: &'static str, bounds: &[u64]) -> Histogram {
+        Histogram(self.0.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .histograms
+                    .lock()
+                    .expect("telemetry histogram registry poisoned")
+                    .entry(name)
+                    .or_insert_with(|| {
+                        debug_assert!(
+                            bounds.windows(2).all(|w| w[0] < w[1]),
+                            "histogram bounds must be strictly increasing"
+                        );
+                        Arc::new(HistInner {
+                            bounds: bounds.to_vec(),
+                            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                            sum: AtomicU64::new(0),
+                            count: AtomicU64::new(0),
+                        })
+                    }),
+            )
+        }))
+    }
+
+    /// Set the gauge named `name` to `value` (last write wins).
+    pub fn set_gauge(&self, name: &'static str, value: f64) {
+        if let Some(inner) = &self.0 {
+            inner
+                .gauges
+                .lock()
+                .expect("telemetry gauge registry poisoned")
+                .insert(name, value);
+        }
+    }
+
+    /// Record one span of `cycles` for `phase`, attributed to `scope`
+    /// (a workload name, or [`GLOBAL_SCOPE`] via [`Telemetry::record_global_phase`]).
+    pub fn record_phase(&self, scope: &str, phase: &'static str, cycles: Cycles) {
+        if let Some(inner) = &self.0 {
+            inner
+                .spans
+                .lock()
+                .expect("telemetry span registry poisoned")
+                .entry((scope.to_string(), phase))
+                .or_default()
+                .record(cycles.0);
+        }
+    }
+
+    /// Record a system-wide span (not attributable to one workload).
+    pub fn record_global_phase(&self, phase: &'static str, cycles: Cycles) {
+        self.record_phase(GLOBAL_SCOPE, phase, cycles);
+    }
+
+    /// Append a structured event to the ring at simulated time `at`.
+    pub fn emit(&self, at: Nanos, workload: Option<&str>, kind: EventKind) {
+        if let Some(inner) = &self.0 {
+            inner
+                .ring
+                .lock()
+                .expect("telemetry event ring poisoned")
+                .emit(at, workload, kind);
+        }
+    }
+
+    /// Take a consistent snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.0 else {
+            return Snapshot::default();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .expect("telemetry counter registry poisoned")
+            .iter()
+            .map(|(name, c)| (name.to_string(), c.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .expect("telemetry gauge registry poisoned")
+            .iter()
+            .map(|(name, v)| (name.to_string(), *v))
+            .collect();
+        let histograms = inner
+            .histograms
+            .lock()
+            .expect("telemetry histogram registry poisoned")
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.to_string(),
+                    HistSnapshot {
+                        bounds: h.bounds.clone(),
+                        buckets: h
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                        sum: h.sum.load(Ordering::Relaxed),
+                        count: h.count.load(Ordering::Relaxed),
+                    },
+                )
+            })
+            .collect();
+        let spans: BTreeMap<(String, String), SpanStats> = inner
+            .spans
+            .lock()
+            .expect("telemetry span registry poisoned")
+            .iter()
+            .map(|((scope, phase), s)| ((scope.clone(), phase.to_string()), *s))
+            .collect();
+        let ring = inner.ring.lock().expect("telemetry event ring poisoned");
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+            events: ring.events.iter().cloned().collect(),
+            dropped_events: ring.dropped,
+            total_events: ring.next_seq,
+        }
+    }
+
+    /// Render the retained events as JSON lines (one object per line,
+    /// in sequence order). Empty string when disabled.
+    pub fn events_jsonl(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for e in &snap.events {
+            out.push_str(&e.to_value().to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render a human-readable summary of counters, gauges, phase spans
+    /// and event counts.
+    pub fn summary(&self) -> String {
+        self.snapshot().summary()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// In-memory snapshot of a [`Telemetry`] handle. All maps are ordered
+/// (BTree), so rendering is deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+    /// Span statistics keyed by (scope, phase).
+    pub spans: BTreeMap<(String, String), SpanStats>,
+    /// Retained events, oldest first (sequence order).
+    pub events: Vec<Event>,
+    /// Events evicted from the ring because it was full.
+    pub dropped_events: u64,
+    /// Total events ever emitted (retained + dropped).
+    pub total_events: u64,
+}
+
+impl Snapshot {
+    /// Per-phase span totals summed over every scope.
+    pub fn global_spans(&self) -> BTreeMap<String, SpanStats> {
+        let mut out: BTreeMap<String, SpanStats> = BTreeMap::new();
+        for ((_, phase), s) in &self.spans {
+            let g = out.entry(phase.clone()).or_default();
+            g.count += s.count;
+            g.total_cycles += s.total_cycles;
+            g.max_cycles = g.max_cycles.max(s.max_cycles);
+        }
+        out
+    }
+
+    /// Count of retained events per kind name.
+    pub fn event_counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut out = BTreeMap::new();
+        for e in &self.events {
+            *out.entry(e.kind.name()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Structured JSON form of the whole snapshot.
+    pub fn to_value(&self) -> Value {
+        let mut counters = Map::new();
+        for (k, v) in &self.counters {
+            counters.insert(k.clone(), *v);
+        }
+        let mut gauges = Map::new();
+        for (k, v) in &self.gauges {
+            gauges.insert(k.clone(), *v);
+        }
+        let mut hists = Map::new();
+        for (k, h) in &self.histograms {
+            hists.insert(
+                k.clone(),
+                Map::new()
+                    .with("bounds", h.bounds.clone())
+                    .with("buckets", h.buckets.clone())
+                    .with("sum", h.sum)
+                    .with("count", h.count),
+            );
+        }
+        let spans: Vec<Value> = self
+            .spans
+            .iter()
+            .map(|((scope, phase), s)| {
+                Value::Object(
+                    Map::new()
+                        .with("scope", scope.clone())
+                        .with("phase", phase.clone())
+                        .with("count", s.count)
+                        .with("total_cycles", s.total_cycles)
+                        .with("max_cycles", s.max_cycles),
+                )
+            })
+            .collect();
+        let events: Vec<Value> = self.events.iter().map(Event::to_value).collect();
+        Value::Object(
+            Map::new()
+                .with("counters", counters)
+                .with("gauges", gauges)
+                .with("histograms", hists)
+                .with("spans", spans)
+                .with("events", events)
+                .with("dropped_events", self.dropped_events)
+                .with("total_events", self.total_events),
+        )
+    }
+
+    /// Human-readable multi-table summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+
+        if !self.counters.is_empty() || !self.gauges.is_empty() {
+            let mut t = Table::new("telemetry: counters & gauges", &["metric", "value"]);
+            for (k, v) in &self.counters {
+                t.row(&[k.clone(), v.to_string()]);
+            }
+            for (k, v) in &self.gauges {
+                t.row(&[k.clone(), format!("{v:.3}")]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+
+        if !self.histograms.is_empty() {
+            let mut t = Table::new(
+                "telemetry: histograms",
+                &["histogram", "count", "mean", "buckets (<=bound: n)"],
+            );
+            for (k, h) in &self.histograms {
+                let mut cells = Vec::new();
+                for (i, n) in h.buckets.iter().enumerate() {
+                    if *n == 0 {
+                        continue;
+                    }
+                    match h.bounds.get(i) {
+                        Some(b) => cells.push(format!("<={b}: {n}")),
+                        None => cells.push(format!(">: {n}")),
+                    }
+                }
+                t.row(&[
+                    k.clone(),
+                    h.count.to_string(),
+                    format!("{:.1}", h.mean()),
+                    cells.join("  "),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+
+        if !self.spans.is_empty() {
+            let mut t = Table::new(
+                "telemetry: phase spans (simulated cycles)",
+                &[
+                    "scope",
+                    "phase",
+                    "count",
+                    "total (Mcyc)",
+                    "mean (cyc)",
+                    "max (cyc)",
+                ],
+            );
+            for ((scope, phase), s) in &self.spans {
+                let mean = if s.count == 0 {
+                    0.0
+                } else {
+                    s.total_cycles as f64 / s.count as f64
+                };
+                t.row(&[
+                    scope.clone(),
+                    phase.clone(),
+                    s.count.to_string(),
+                    format!("{:.2}", s.total_cycles as f64 / 1e6),
+                    format!("{mean:.0}"),
+                    s.max_cycles.to_string(),
+                ]);
+            }
+            for (phase, s) in self.global_spans() {
+                t.row(&[
+                    "(all)".into(),
+                    phase,
+                    s.count.to_string(),
+                    format!("{:.2}", s.total_cycles as f64 / 1e6),
+                    format!(
+                        "{:.0}",
+                        if s.count == 0 {
+                            0.0
+                        } else {
+                            s.total_cycles as f64 / s.count as f64
+                        }
+                    ),
+                    s.max_cycles.to_string(),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+
+        let mut t = Table::new("telemetry: events", &["kind", "retained"]);
+        for (kind, n) in self.event_counts() {
+            t.row(&[kind.to_string(), n.to_string()]);
+        }
+        t.row(&["(dropped)".into(), self.dropped_events.to_string()]);
+        t.row(&["(total emitted)".into(), self.total_events.to_string()]);
+        out.push_str(&t.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_noop() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        let c = t.counter("x");
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let h = t.histogram("h", &[1, 2]);
+        h.record(1);
+        assert_eq!(h.count(), 0);
+        t.set_gauge("g", 1.0);
+        t.record_phase("w", "copy", Cycles(100));
+        t.emit(
+            Nanos(0),
+            None,
+            EventKind::ProfilerScan { pages_poisoned: 1 },
+        );
+        let snap = t.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.events.is_empty());
+        assert_eq!(t.events_jsonl(), "");
+    }
+
+    #[test]
+    fn counters_shared_across_clones() {
+        let t = Telemetry::enabled();
+        let c1 = t.counter("pages.promoted");
+        let c2 = t.clone().counter("pages.promoted");
+        c1.add(3);
+        c2.add(4);
+        assert_eq!(c1.get(), 7);
+        assert_eq!(t.snapshot().counters["pages.promoted"], 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let t = Telemetry::enabled();
+        let h = t.histogram("lat", &[10, 100, 1000]);
+        for v in [1, 10, 11, 500, 5000] {
+            h.record(v);
+        }
+        let snap = t.snapshot();
+        let hs = &snap.histograms["lat"];
+        assert_eq!(hs.buckets, vec![2, 1, 1, 1]);
+        assert_eq!(hs.count, 5);
+        assert_eq!(hs.sum, 5522);
+        assert!((hs.mean() - 5522.0 / 5.0).abs() < 1e-9);
+        // Re-registering with different bounds keeps the original.
+        let h2 = t.histogram("lat", &[1]);
+        h2.record(5000);
+        assert_eq!(t.snapshot().histograms["lat"].buckets, vec![2, 1, 1, 2]);
+    }
+
+    #[test]
+    fn spans_accumulate_per_scope_and_globally() {
+        let t = Telemetry::enabled();
+        t.record_phase("memcached", "copy", Cycles(100));
+        t.record_phase("memcached", "copy", Cycles(300));
+        t.record_phase("pagerank", "copy", Cycles(50));
+        t.record_global_phase("cbfrp_round", Cycles(42));
+        let snap = t.snapshot();
+        let mc = snap.spans[&("memcached".to_string(), "copy".to_string())];
+        assert_eq!(mc.count, 2);
+        assert_eq!(mc.total_cycles, 400);
+        assert_eq!(mc.max_cycles, 300);
+        let global = snap.global_spans();
+        assert_eq!(global["copy"].count, 3);
+        assert_eq!(global["copy"].total_cycles, 450);
+        assert_eq!(global["cbfrp_round"].total_cycles, 42);
+        assert!(snap.summary().contains("cbfrp_round"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_in_order() {
+        let t = Telemetry::with_capacity(3);
+        for i in 0..5u64 {
+            t.emit(
+                Nanos(i * 10),
+                Some("w"),
+                EventKind::PagesPromoted {
+                    pages: i,
+                    sync: false,
+                },
+            );
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 3);
+        assert_eq!(snap.dropped_events, 2);
+        assert_eq!(snap.total_events, 5);
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert!(snap.events.windows(2).all(|w| w[0].at.0 < w[1].at.0));
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back() {
+        let t = Telemetry::enabled();
+        t.emit(
+            Nanos(5),
+            Some("mc"),
+            EventKind::WorkloadArrival { rss_pages: 64 },
+        );
+        t.emit(
+            Nanos(9),
+            Some("mc"),
+            EventKind::PagesDemoted {
+                pages: 3,
+                remap_only: 3,
+            },
+        );
+        t.emit(
+            Nanos(12),
+            None,
+            EventKind::CbfrpRound {
+                gfmc_pages: 7,
+                active: 2,
+            },
+        );
+        let jsonl = t.events_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v = vulcan_json::parse(line).expect("valid JSON line");
+            assert!(v.get("seq").is_some());
+            assert!(v.get("t_ns").is_some());
+            assert!(v.get("event").and_then(Value::as_str).is_some());
+        }
+        let v0 = vulcan_json::parse(lines[0]).unwrap();
+        assert_eq!(
+            v0.get("event").and_then(Value::as_str),
+            Some("workload_arrival")
+        );
+        assert_eq!(v0.get("workload").and_then(Value::as_str), Some("mc"));
+        assert_eq!(v0.get("rss_pages").and_then(Value::as_u64), Some(64));
+    }
+
+    #[test]
+    fn snapshot_to_value_is_valid_json() {
+        let t = Telemetry::enabled();
+        t.counter("a").add(2);
+        t.set_gauge("g", 0.5);
+        t.histogram("h", &[8]).record(3);
+        t.record_phase("w", "unmap", Cycles(9));
+        t.emit(Nanos(1), Some("w"), EventKind::WorkloadDeparture);
+        let text = t.snapshot().to_value().to_json_pretty();
+        let v = vulcan_json::parse(&text).expect("snapshot JSON parses");
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("a"))
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(v.get("total_events").and_then(Value::as_u64), Some(1));
+    }
+}

@@ -58,7 +58,10 @@ impl Pte {
 
     /// Build a present, writable entry mapping `frame` owned by `owner`.
     pub fn new(frame: FrameId, owner: LocalTid) -> Pte {
-        assert!(owner.0 <= MAX_LOCAL_TID, "tid {owner:?} exceeds 7-bit field");
+        assert!(
+            owner.0 <= MAX_LOCAL_TID,
+            "tid {owner:?} exceeds 7-bit field"
+        );
         let mut bits = PRESENT | WRITABLE;
         bits |= (frame.index as u64) << FRAME_SHIFT;
         if frame.tier == TierKind::Slow {

@@ -127,7 +127,9 @@ mod tests {
                 },
                 crate::pte::LocalTid(0),
             );
-            p.space.touch(Vpn(v), crate::pte::LocalTid(0), false).unwrap();
+            p.space
+                .touch(Vpn(v), crate::pte::LocalTid(0), false)
+                .unwrap();
         }
         p.space.map(
             Vpn(10),
@@ -137,8 +139,12 @@ mod tests {
             },
             crate::pte::LocalTid(0),
         );
-        p.space.touch(Vpn(10), crate::pte::LocalTid(0), false).unwrap();
-        p.space.touch(Vpn(10), crate::pte::LocalTid(3), false).unwrap();
+        p.space
+            .touch(Vpn(10), crate::pte::LocalTid(0), false)
+            .unwrap();
+        p.space
+            .touch(Vpn(10), crate::pte::LocalTid(3), false)
+            .unwrap();
         let tlbs = TlbArray::new(32);
         (p, topo, tlbs)
     }
@@ -213,7 +219,10 @@ mod tests {
         let narrow = plan(&p, &topo, &pages, ShootdownScope::Targeted);
         let wide_cost = cost_of(&wide, &costs, ShootdownMode::Batched);
         let narrow_cost = cost_of(&narrow, &costs, ShootdownMode::Batched);
-        assert!(narrow_cost.0 * 4 < wide_cost.0, "{narrow_cost} vs {wide_cost}");
+        assert!(
+            narrow_cost.0 * 4 < wide_cost.0,
+            "{narrow_cost} vs {wide_cost}"
+        );
     }
 
     #[test]

@@ -51,9 +51,9 @@ impl Tlb {
     pub fn new(sets: usize, ways: usize) -> Tlb {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Tlb {
-            sets: vec![Vec::with_capacity(ways); sets],
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
             ways,
-            huge_sets: vec![Vec::with_capacity(8); 16],
+            huge_sets: (0..16).map(|_| Vec::with_capacity(8)).collect(),
             huge_ways: 8,
             clock: 0,
             hits: 0,

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use vulcan_sim::{CoreId, FrameId, SimThreadId, TierKind, Topology};
 use vulcan_vm::{
-    shootdown, AddressSpace, Asid, LocalTid, PageOwner, Process, Pte, ShootdownScope, Tlb, TlbArray,
-    Vpn,
+    shootdown, AddressSpace, Asid, LocalTid, PageOwner, Process, Pte, ShootdownScope, Tlb,
+    TlbArray, Vpn,
 };
 
 fn arb_frame() -> impl Strategy<Value = FrameId> {
@@ -12,10 +12,6 @@ fn arb_frame() -> impl Strategy<Value = FrameId> {
         tier: if slow { TierKind::Slow } else { TierKind::Fast },
         index,
     })
-}
-
-fn arb_vpn() -> impl Strategy<Value = Vpn> {
-    (0u64..(1 << 30)).prop_map(Vpn)
 }
 
 proptest! {

@@ -15,7 +15,9 @@
 //! * [`policy`] — the TPP / MEMTIS / NOMAD baselines;
 //! * [`core`] — Vulcan itself: QoS model, CBFRP, classifier, biased
 //!   migration queues;
-//! * [`metrics`] — Jain/CFI fairness, statistics, reporting.
+//! * [`metrics`] — Jain/CFI fairness, statistics, reporting;
+//! * [`telemetry`] — counters, phase spans and the deterministic
+//!   structured event trace (off by default, zero-cost when disabled).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@ pub use vulcan_policy as policy;
 pub use vulcan_profile as profile;
 pub use vulcan_runtime as runtime;
 pub use vulcan_sim as sim;
+pub use vulcan_telemetry as telemetry;
 pub use vulcan_vm as vm;
 pub use vulcan_workloads as workloads;
 
@@ -58,6 +61,7 @@ pub mod prelude {
         RunResult, SimConfig, SimRunner, StaticPlacement, TieringPolicy, UniformPartition,
     };
     pub use vulcan_sim::{Cycles, MachineSpec, Nanos, TierKind};
+    pub use vulcan_telemetry::{EventKind, Telemetry};
     pub use vulcan_vm::{PageOwner, ShootdownScope, Vpn};
     pub use vulcan_workloads::{
         liblinear, memcached, microbench, pagerank, replay, MicroConfig, Trace, TraceReplayer,

@@ -227,7 +227,7 @@ impl AccessGen for PageRank {
         let nspan = (ne - ns).max(1);
         let off = self.next_base + ns + self.next_cursor[tid] % nspan;
         out.push(PageAccess::write(off));
-        if self.edge_cursor[tid] % 8 == 0 {
+        if self.edge_cursor[tid].is_multiple_of(8) {
             self.next_cursor[tid] += 1;
         }
     }
@@ -358,7 +358,10 @@ mod tests {
         let mut kv = KvStore::new(KvConfig::default());
         let index_pages = ((13_056f64 * 0.02) as u64).max(1);
         let accesses = run_ops(&mut kv, 0, 10_000);
-        let data: Vec<&PageAccess> = accesses.iter().filter(|a| a.offset >= index_pages).collect();
+        let data: Vec<&PageAccess> = accesses
+            .iter()
+            .filter(|a| a.offset >= index_pages)
+            .collect();
         let hot = data
             .iter()
             .filter(|a| a.offset - index_pages < kv.hot_pages())
@@ -383,8 +386,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let mut op = Vec::new();
         kv.next_op(0, &mut rng, &mut op);
-        let value: std::collections::BTreeSet<u64> =
-            op[3..].iter().map(|a| a.offset).collect();
+        let value: std::collections::BTreeSet<u64> = op[3..].iter().map(|a| a.offset).collect();
         assert_eq!(value.len(), 2, "value accesses over a 2-page value");
     }
 
@@ -452,8 +454,10 @@ mod tests {
     fn sweep_is_memory_bound() {
         let sw = Sweep::new(SweepConfig::default());
         let kv = KvStore::new(KvConfig::default());
-        assert!(sw.fixed_op_nanos().0 * 10 < kv.fixed_op_nanos().0,
-            "BE sweep has far less off-memory time per op than the LC service");
+        assert!(
+            sw.fixed_op_nanos().0 * 10 < kv.fixed_op_nanos().0,
+            "BE sweep has far less off-memory time per op than the LC service"
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@ pub mod zipf;
 
 pub use apps::{KvConfig, KvStore, PageRank, PrConfig, Sweep, SweepConfig};
 pub use gen::{shard, AccessGen, PageAccess};
-pub use microbench::{Microbench, MicroConfig, WssScenario};
-pub use spec::{liblinear, memcached, microbench, pagerank, replay, WorkloadClass, WorkloadKind, WorkloadSpec};
+pub use microbench::{MicroConfig, Microbench, WssScenario};
+pub use spec::{
+    liblinear, memcached, microbench, pagerank, replay, WorkloadClass, WorkloadKind, WorkloadSpec,
+};
 pub use trace::{Trace, TraceOp, TraceReplayer};
 pub use zipf::Zipf;

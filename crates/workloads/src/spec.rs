@@ -2,7 +2,7 @@
 
 use crate::apps::{KvConfig, KvStore, PageRank, PrConfig, Sweep, SweepConfig};
 use crate::gen::AccessGen;
-use crate::microbench::{Microbench, MicroConfig};
+use crate::microbench::{MicroConfig, Microbench};
 use crate::trace::{Trace, TraceReplayer};
 use std::sync::Arc;
 use vulcan_sim::{Nanos, TierKind};

@@ -9,12 +9,12 @@
 use crate::gen::{AccessGen, PageAccess};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use vulcan_json::{Map, Value};
 use vulcan_sim::Nanos;
 
 /// One recorded operation: the accesses a thread issued for one op.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceOp {
     /// Thread that issued the op.
     pub tid: u32,
@@ -23,7 +23,7 @@ pub struct TraceOp {
 }
 
 /// A recorded access trace.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Trace {
     /// RSS of the recorded workload, in pages.
     pub rss_pages: u64,
@@ -65,15 +65,77 @@ impl Trace {
         }
     }
 
-    /// Serialize as JSON.
+    /// Serialize as JSON:
+    /// `{"rss_pages": N, "fixed_op_nanos": N, "n_threads": N,
+    ///   "ops": [{"tid": N, "accesses": [[offset, write], ...]}, ...]}`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("trace serialization")
+        let ops: Vec<Value> = self
+            .ops
+            .iter()
+            .map(|op| {
+                Value::Object(
+                    Map::new()
+                        .with("tid", op.tid)
+                        .with("accesses", vulcan_json::pairs_to_value(&op.accesses)),
+                )
+            })
+            .collect();
+        Value::Object(
+            Map::new()
+                .with("rss_pages", self.rss_pages)
+                .with("fixed_op_nanos", self.fixed_op_nanos)
+                .with("n_threads", self.n_threads)
+                .with("ops", ops),
+        )
+        .to_json()
     }
 
     /// Parse from JSON.
     pub fn from_json(text: &str) -> Result<Trace, String> {
-        let t: Trace =
-            serde_json::from_str(text).map_err(|e| format!("trace parse error: {e}"))?;
+        let v = vulcan_json::parse(text).map_err(|e| format!("trace parse error: {e}"))?;
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("trace missing numeric \"{name}\""))
+        };
+        let mut ops = Vec::new();
+        for (i, op) in v
+            .get("ops")
+            .and_then(Value::as_array)
+            .ok_or("trace missing \"ops\"")?
+            .iter()
+            .enumerate()
+        {
+            let tid = op
+                .get("tid")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("op {i}: missing \"tid\""))? as u32;
+            let mut accesses = Vec::new();
+            for a in op
+                .get("accesses")
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("op {i}: missing \"accesses\""))?
+            {
+                match a.as_array() {
+                    Some([offset, write]) => accesses.push((
+                        offset
+                            .as_u64()
+                            .ok_or_else(|| format!("op {i}: non-numeric offset"))?,
+                        write
+                            .as_bool()
+                            .ok_or_else(|| format!("op {i}: non-boolean write flag"))?,
+                    )),
+                    _ => return Err(format!("op {i}: access is not an [offset, write] pair")),
+                }
+            }
+            ops.push(TraceOp { tid, accesses });
+        }
+        let t = Trace {
+            rss_pages: field("rss_pages")?,
+            fixed_op_nanos: field("fixed_op_nanos")?,
+            n_threads: field("n_threads")? as usize,
+            ops,
+        };
         t.validate()?;
         Ok(t)
     }

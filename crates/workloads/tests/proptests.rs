@@ -8,7 +8,12 @@ use vulcan_workloads::{
     Zipf,
 };
 
-fn drive<G: AccessGen>(g: &mut G, threads: usize, ops: usize, seed: u64) -> Vec<(usize, u64, bool)> {
+fn drive<G: AccessGen>(
+    g: &mut G,
+    threads: usize,
+    ops: usize,
+    seed: u64,
+) -> Vec<(usize, u64, bool)> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut out = Vec::new();
     let mut buf = Vec::new();

@@ -46,7 +46,13 @@ fn main() {
 
     let mut table = Table::new(
         "three-app co-location, 200 s (staggered starts at 0 / 50 / 110 s)",
-        &["policy", "memcached perf", "pagerank perf", "liblinear perf", "CFI"],
+        &[
+            "policy",
+            "memcached perf",
+            "pagerank perf",
+            "liblinear perf",
+            "CFI",
+        ],
     );
     for r in &rows {
         table.row(&[

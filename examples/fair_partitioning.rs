@@ -20,19 +20,26 @@ fn main() {
     let gfmc = 1000;
 
     let scripted_demands: Vec<[u64; 3]> = vec![
-        [200, 2600, 200],  // BE#1 hoards the idle pool
+        [200, 2600, 200], // BE#1 hoards the idle pool
         [200, 2600, 200],
         [200, 2600, 400],
         [200, 2600, 400],
         [1800, 2600, 400], // LC spike: must be served immediately
         [1800, 2600, 400],
-        [600, 2600, 400],  // LC relaxes: surplus flows back
+        [600, 2600, 400], // LC relaxes: surplus flows back
         [600, 2600, 800],
     ];
 
     let mut table = Table::new(
         "CBFRP over 8 rounds (capacity 3000, GFMC 1000)",
-        &["round", "demands", "alloc LC", "alloc BE1", "alloc BE2", "credits"],
+        &[
+            "round",
+            "demands",
+            "alloc LC",
+            "alloc BE1",
+            "alloc BE2",
+            "credits",
+        ],
     );
     for (round, d) in scripted_demands.iter().enumerate() {
         let p = cbfrp.partition(d, &classes, &[true; 3], gfmc);

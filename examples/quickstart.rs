@@ -29,7 +29,14 @@ fn main() {
 
     let mut table = Table::new(
         format!("{} after 60 s", result.policy),
-        &["workload", "class", "perf", "latency(ns)", "FTHR", "fast pages held"],
+        &[
+            "workload",
+            "class",
+            "perf",
+            "latency(ns)",
+            "FTHR",
+            "fast pages held",
+        ],
     );
     for w in &result.per_workload {
         table.row(&[
@@ -49,7 +56,10 @@ fn main() {
         ]);
     }
     table.print();
-    println!("\nFTHR-weighted Cumulative Fairness Index (CFI): {:.3}", result.cfi);
+    println!(
+        "\nFTHR-weighted Cumulative Fairness Index (CFI): {:.3}",
+        result.cfi
+    );
     println!(
         "The LC workload keeps its hot set in fast memory (high FTHR) even \
          though the BE sweep issues vastly more accesses — no cold page dilemma."

@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this shim keeps
+//! the workspace's `[[bench]]` targets compiling and runnable. It is a
+//! measurement sketch, not a statistics engine: each benchmark warms up
+//! briefly, runs for a small time budget, and prints the mean iteration
+//! time. There is no outlier analysis, plotting, or baseline comparison.
+//!
+//! Under `cargo test` (which builds and runs `harness = false` bench
+//! binaries) each benchmark executes a single iteration so the suite
+//! stays fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration time budget control (accepted, largely ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Larger per-iteration inputs.
+    LargeInput,
+}
+
+/// Units for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    single_shot: bool,
+    reported_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.single_shot {
+            black_box(routine());
+            return;
+        }
+        // Warm-up, then measure in growing batches until the budget is
+        // spent.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let budget = Duration::from_millis(40);
+        let started = Instant::now();
+        let mut iters = 0u64;
+        let mut batch = 1u64;
+        while started.elapsed() < budget && iters < 1_000_000 {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+            batch = (batch * 2).min(4_096);
+        }
+        self.reported_ns = Some(started.elapsed().as_nanos() as f64 / iters as f64);
+    }
+
+    /// Time `routine` on fresh inputs built by `setup` (setup time is
+    /// excluded from the per-iteration figure only approximately).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.single_shot {
+            black_box(routine(setup()));
+            return;
+        }
+        let budget = Duration::from_millis(40);
+        let started = Instant::now();
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        while started.elapsed() < budget && iters < 100_000 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+            iters += 1;
+        }
+        self.reported_ns = Some(spent.as_nanos() as f64 / iters.max(1) as f64);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Attach throughput units to subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            single_shot: self.criterion.single_shot,
+            reported_ns: None,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.reported_ns);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            single_shot: self.criterion.single_shot,
+            reported_ns: None,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.reported_ns);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, ns: Option<f64>) {
+        match ns {
+            Some(ns) => {
+                let rate = match self.throughput {
+                    Some(Throughput::Elements(n)) => {
+                        format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        format!("  ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1 << 20) as f64)
+                    }
+                    None => String::new(),
+                };
+                println!("{}/{id}: {ns:.1} ns/iter{rate}", self.name);
+            }
+            None => println!("{}/{id}: ok (single iteration)", self.name),
+        }
+    }
+}
+
+/// Benchmark configuration and entry point.
+pub struct Criterion {
+    single_shot: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo test` runs harness=false bench binaries to smoke-test
+        // them; keep that fast by running one iteration per benchmark
+        // unless the binary was invoked via `cargo bench`.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            single_shot: !bench_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the sample count (accepted for API compatibility).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+}
+
+/// Define a benchmark group function, in either the plain list or the
+/// `name`/`config`/`targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

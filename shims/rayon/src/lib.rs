@@ -1,0 +1,59 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this shim maps
+//! the `par_iter` / `into_par_iter` entry points onto ordinary
+//! sequential iterators. Callers keep their code shape (and gain real
+//! parallelism again the moment the genuine crate is available); the
+//! semantics are identical because the workspace only uses rayon for
+//! independent, order-insensitive work items.
+
+pub mod prelude {
+    //! The usual glob import, mirroring `rayon::prelude`.
+
+    /// `into_par_iter()` for owned collections and ranges — sequential
+    /// in this shim.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Iterate the items (sequentially).
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {}
+
+    /// `par_iter()` for borrowed slices — sequential in this shim.
+    pub trait IntoParallelRefIterator {
+        /// The element type.
+        type Item;
+        /// Iterate shared references to the items (sequentially).
+        fn par_iter(&self) -> std::slice::Iter<'_, Self::Item>;
+    }
+
+    impl<T> IntoParallelRefIterator for [T] {
+        type Item = T;
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    impl<T> IntoParallelRefIterator for Vec<T> {
+        type Item = T;
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let xs = [1, 2, 3, 4];
+        let doubled: Vec<i32> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+}

@@ -59,7 +59,10 @@ fn all_policies_complete_with_sane_metrics() {
                     .and_then(|s| s.last())
             })
             .sum();
-        assert!(total_fast <= cap, "{name}: fast over-committed {total_fast}");
+        assert!(
+            total_fast <= cap,
+            "{name}: fast over-committed {total_fast}"
+        );
     }
 }
 
@@ -128,7 +131,14 @@ fn be_workloads_are_not_starved_by_vulcan() {
     // "Leave no one behind": even the greedy BE sweep keeps a nonzero
     // fast-tier share and makes progress under Vulcan.
     let res = run("vulcan");
-    let lib_fast = res.series.get("liblinear.fast_pages").unwrap().mean_after(80.0);
-    assert!(lib_fast > 256.0, "liblinear holds fast memory: {lib_fast:.0}");
+    let lib_fast = res
+        .series
+        .get("liblinear.fast_pages")
+        .unwrap()
+        .mean_after(80.0);
+    assert!(
+        lib_fast > 256.0,
+        "liblinear holds fast memory: {lib_fast:.0}"
+    );
     assert!(res.workload("liblinear").ops_total > 0);
 }

@@ -66,9 +66,8 @@ fn departure_frees_every_frame() {
     let stayer = &r.state.workloads[0];
     let used = r.state.machine.allocator(TierKind::Fast).used_frames()
         + r.state.machine.allocator(TierKind::Slow).used_frames();
-    let expected = stayer.rss_pages()
-        + stayer.shadows.len() as u64
-        + stayer.async_migrator.inflight() as u64;
+    let expected =
+        stayer.rss_pages() + stayer.shadows.len() as u64 + stayer.async_migrator.inflight() as u64;
     assert_eq!(used, expected, "no leaked frames after departure");
 }
 

@@ -128,11 +128,7 @@ fn vulcan_keeps_lc_fthr_above_its_gpt() {
     let res = run(vec![memcached(), liblinear()], "vulcan");
     // GPT = GFMC / RSS = 4096 / 13056.
     let gpt = 4096.0 / 13056.0;
-    let fthr = res
-        .series
-        .get("memcached.fthr")
-        .unwrap()
-        .mean_after(20.0);
+    let fthr = res.series.get("memcached.fthr").unwrap().mean_after(20.0);
     assert!(
         fthr > gpt,
         "the QoS guarantee holds in steady state: fthr={fthr:.3} gpt={gpt:.3}"

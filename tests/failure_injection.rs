@@ -104,7 +104,9 @@ fn more_threads_than_cores_oversubscribes() {
 fn many_small_workloads() {
     // Twelve co-located workloads: GFMC shrinks to 1/12th; CBFRP and the
     // classifier must scale and no allocation may go negative.
-    let specs: Vec<WorkloadSpec> = (0..12).map(|i| micro(&format!("w{i}"), 256, 64, 1)).collect();
+    let specs: Vec<WorkloadSpec> = (0..12)
+        .map(|i| micro(&format!("w{i}"), 256, 64, 1))
+        .collect();
     let res = run(
         MachineSpec::small(1_024, 8_192, 16),
         specs,
@@ -128,7 +130,7 @@ fn combined_rss_filling_both_tiers_completely() {
         Box::new(VulcanPolicy::new()),
         10,
     );
-    assert_eq!(res.workload("full").ops_total > 0, true);
+    assert!(res.workload("full").ops_total > 0);
 }
 
 #[test]

@@ -50,7 +50,11 @@ fn replication_costs_memory_but_only_when_enabled() {
     // Both converge: replication is a mechanism optimization, not a
     // correctness requirement.
     for r in [&with, &without] {
-        assert!(r.workload("mb").mean_fthr > 0.3, "{}", r.workload("mb").mean_fthr);
+        assert!(
+            r.workload("mb").mean_fthr > 0.3,
+            "{}",
+            r.workload("mb").mean_fthr
+        );
     }
 }
 
@@ -97,7 +101,7 @@ fn shadowed_demotions_avoid_copies() {
     let shadows = &r.state.workloads[0].shadows;
     let (remap_hits, _invalidations) = shadows.stats();
     assert!(
-        shadows.len() > 0 || remap_hits > 0,
+        !shadows.is_empty() || remap_hits > 0,
         "promotions retain slow-tier shadows"
     );
 }
@@ -118,10 +122,16 @@ fn page_tables_and_frame_accounting_stay_consistent() {
     for vpn in ws.process.space.mapped_vpns() {
         let frame = ws.process.space.pte(vpn).frame().expect("mapped");
         assert!(
-            state.machine.allocator(frame.tier).is_allocated(frame.index),
+            state
+                .machine
+                .allocator(frame.tier)
+                .is_allocated(frame.index),
             "{vpn:?} maps a free frame"
         );
-        assert!(seen.insert((frame.tier, frame.index)), "frame shared: {frame:?}");
+        assert!(
+            seen.insert((frame.tier, frame.index)),
+            "frame shared: {frame:?}"
+        );
         if frame.tier == TierKind::Fast {
             fast += 1;
         }

@@ -1,0 +1,130 @@
+//! Integration test: the telemetry subsystem end to end.
+//!
+//! A co-located run with tracing enabled must emit the full workload
+//! lifecycle — arrival, promotion, demotion, CBFRP rounds, departure —
+//! as a deterministic event stream, and enabling telemetry must not
+//! perturb the simulation itself: the same seed yields byte-identical
+//! results with tracing on or off.
+
+use vulcan::prelude::*;
+
+fn specs() -> Vec<WorkloadSpec> {
+    vec![
+        microbench(
+            "stayer",
+            MicroConfig {
+                rss_pages: 2_048,
+                wss_pages: 1_024,
+                ..Default::default()
+            },
+            4,
+        )
+        .preallocated(TierKind::Slow),
+        microbench(
+            "leaver",
+            MicroConfig {
+                rss_pages: 2_048,
+                wss_pages: 1_024,
+                ..Default::default()
+            },
+            4,
+        )
+        .preallocated(TierKind::Slow)
+        .stopping_at(Nanos::secs(12)),
+    ]
+}
+
+fn run_with(telemetry: Telemetry) -> RunResult {
+    vulcan::runtime::SimRunner::new(
+        MachineSpec::small(1_024, 8_192, 16),
+        specs(),
+        &mut |_| Box::new(HybridProfiler::vulcan_default()),
+        Box::new(VulcanPolicy::new()),
+        SimConfig {
+            quantum_active: Nanos::millis(1),
+            n_quanta: 25,
+            telemetry,
+            ..Default::default()
+        },
+    )
+    .run()
+}
+
+#[test]
+fn trace_covers_the_workload_lifecycle() {
+    let tel = Telemetry::enabled();
+    run_with(tel.clone());
+    let snap = tel.snapshot();
+    let counts = snap.event_counts();
+
+    for kind in [
+        "workload_arrival",
+        "pages_promoted",
+        "pages_demoted",
+        "cbfrp_round",
+        "workload_departure",
+    ] {
+        assert!(
+            counts.get(kind).copied().unwrap_or(0) > 0,
+            "expected at least one {kind} event, got {counts:?}"
+        );
+    }
+    assert!(counts.len() >= 5, "fewer than 5 distinct kinds: {counts:?}");
+    assert_eq!(
+        counts["workload_arrival"], 2,
+        "both workloads announce themselves"
+    );
+    assert_eq!(counts["workload_departure"], 1, "only the leaver departs");
+
+    // Sequence numbers are dense and increasing; the ring never dropped.
+    assert_eq!(snap.dropped_events, 0);
+    for (i, e) in snap.events.iter().enumerate() {
+        assert_eq!(e.seq, i as u64, "dense sequence numbers");
+    }
+
+    // The access-path counters and migration phase spans filled in.
+    assert!(snap.counters["sim.ops"] > 0);
+    assert!(snap.counters["sim.quanta"] >= 25);
+    let globals = snap.global_spans();
+    assert!(globals.contains_key("migrate.copy"), "spans: {globals:?}");
+    assert!(globals["migrate.copy"].count > 0);
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    let plain = run_with(Telemetry::disabled());
+    let traced = run_with(Telemetry::enabled());
+
+    assert_eq!(plain.cfi, traced.cfi, "CFI must match bit-for-bit");
+    assert_eq!(plain.per_workload.len(), traced.per_workload.len());
+    for (a, b) in plain.per_workload.iter().zip(&traced.per_workload) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.ops_total, b.ops_total, "{}: ops diverged", a.name);
+        assert_eq!(a.mean_fthr, b.mean_fthr, "{}: FTHR diverged", a.name);
+        assert_eq!(
+            a.stall_cycles, b.stall_cycles,
+            "{}: stalls diverged",
+            a.name
+        );
+    }
+}
+
+#[test]
+fn traces_are_deterministic_across_runs() {
+    let t1 = Telemetry::enabled();
+    run_with(t1.clone());
+    let t2 = Telemetry::enabled();
+    run_with(t2.clone());
+    let j1 = t1.events_jsonl();
+    assert_eq!(j1, t2.events_jsonl(), "same seed, same trace");
+    assert!(!j1.is_empty());
+
+    // Every line is a standalone JSON object with the envelope fields.
+    for line in j1.lines() {
+        let v = vulcan_json::parse(line).expect("valid JSON line");
+        let obj = v.as_object().expect("object per line");
+        assert!(obj.get("seq").is_some());
+        assert!(obj.get("t_ns").is_some());
+        assert!(obj.get("event").is_some());
+    }
+}

@@ -120,7 +120,10 @@ fn promotion_splits_huge_regions_and_flushes_tlbs() {
             if !ws.process.space.in_huge(Vpn(base)) {
                 // Split region: a lookup must miss (no stale 2 MiB entry).
                 assert!(
-                    !r.state.tlbs.core(vulcan::sim::CoreId(c)).lookup_huge(asid, Vpn(base)),
+                    !r.state
+                        .tlbs
+                        .core(vulcan::sim::CoreId(c))
+                        .lookup_huge(asid, Vpn(base)),
                     "stale huge TLB entry on core {c} for region {base}"
                 );
             }
