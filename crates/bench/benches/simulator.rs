@@ -4,31 +4,33 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vulcan::prelude::*;
-use vulcan_bench::{colocation_specs, make_policy, POLICIES};
+use vulcan_bench::colocation_specs;
 
 fn bench_quantum(c: &mut Criterion) {
     let mut g = c.benchmark_group("quantum");
     g.sample_size(10);
-    for policy in POLICIES {
+    for kind in PolicyKind::PAPER {
         g.bench_with_input(
-            BenchmarkId::new("colocation", policy),
-            &policy,
-            |b, &policy| {
+            BenchmarkId::new("colocation", kind.name()),
+            &kind,
+            |b, &kind| {
                 // Warm a runner past the arrivals, then time steady quanta.
-                let mut runner = SimRunner::new(
-                    MachineSpec::paper_testbed(),
-                    colocation_specs()
-                        .into_iter()
-                        .map(|w| w.starting_at(Nanos::ZERO))
-                        .collect(),
-                    &mut |_| profiler_for(policy),
-                    make_policy(policy),
-                    SimConfig {
+                let mut runner = SimRunner::builder()
+                    .machine(MachineSpec::paper_testbed())
+                    .workloads(
+                        colocation_specs()
+                            .into_iter()
+                            .map(|w| w.starting_at(Nanos::ZERO))
+                            .collect(),
+                    )
+                    .profiler_factory(move |_| kind.profiler())
+                    .policy(kind.make())
+                    .config(SimConfig {
                         n_quanta: 0,
                         record_series: false,
                         ..Default::default()
-                    },
-                );
+                    })
+                    .build();
                 for _ in 0..10 {
                     runner.run_quantum();
                 }

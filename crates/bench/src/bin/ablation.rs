@@ -2,7 +2,8 @@
 //!
 //! §3.6 discusses the trade-offs of each mechanism (e.g. automatically
 //! enabling/disabling per-thread replication). This harness re-runs the
-//! three-application co-location with one component disabled at a time:
+//! three-application co-location with one component disabled at a time
+//! (the variant grid lives in [`vulcan_bench::suite::ablation_grid`]):
 //!
 //! * `full`            — Vulcan as shipped;
 //! * `no-cbfrp`        — uniform GFMC quotas instead of Algorithm 1;
@@ -15,80 +16,15 @@
 //! * `linux-mechanism` — Vulcan policy on the vanilla mechanism (global
 //!   preparation + process-wide shootdowns).
 
-use vulcan::core::{VulcanConfig, VulcanPolicy};
-use vulcan::migrate::{MechanismConfig, PrepStrategy};
 use vulcan::prelude::*;
-use vulcan_bench::{colocation_specs, save_json};
-
-struct Variant {
-    name: &'static str,
-    cfg: VulcanConfig,
-    replication: bool,
-}
-
-fn variants() -> Vec<Variant> {
-    let base = VulcanConfig::default();
-    vec![
-        Variant {
-            name: "full",
-            cfg: base.clone(),
-            replication: true,
-        },
-        Variant {
-            name: "no-cbfrp",
-            cfg: VulcanConfig {
-                cbfrp: false,
-                ..base.clone()
-            },
-            replication: true,
-        },
-        Variant {
-            name: "no-bias",
-            cfg: VulcanConfig {
-                biased_queues: false,
-                ..base.clone()
-            },
-            replication: true,
-        },
-        Variant {
-            name: "no-replication",
-            cfg: VulcanConfig {
-                mechanism: MechanismConfig {
-                    scope: ShootdownScope::ProcessWide,
-                    ..MechanismConfig::vulcan()
-                },
-                ..base.clone()
-            },
-            replication: false,
-        },
-        Variant {
-            name: "no-shadowing",
-            cfg: VulcanConfig {
-                mechanism: MechanismConfig {
-                    shadowing: false,
-                    ..MechanismConfig::vulcan()
-                },
-                ..base.clone()
-            },
-            replication: true,
-        },
-        Variant {
-            name: "linux-mechanism",
-            cfg: VulcanConfig {
-                mechanism: MechanismConfig {
-                    prep: PrepStrategy::BaselineGlobal,
-                    scope: ShootdownScope::ProcessWide,
-                    shadowing: false,
-                    ..MechanismConfig::vulcan()
-                },
-                ..base
-            },
-            replication: false,
-        },
-    ]
-}
+use vulcan_bench::suite::{ablation_grid, SuiteOpts};
+use vulcan_bench::{init_threads, save_json_or_exit};
 
 fn main() {
+    init_threads();
+    let grid = ablation_grid(&SuiteOpts::full());
+    let results = grid.run();
+
     let mut table = Table::new(
         "Vulcan component ablation (3-app co-location, 200 s)",
         &[
@@ -101,19 +37,7 @@ fn main() {
         ],
     );
     let mut rows = Vec::new();
-    for v in variants() {
-        let res = SimRunner::new(
-            MachineSpec::paper_testbed(),
-            colocation_specs(),
-            &mut |_| Box::new(HybridProfiler::vulcan_default()),
-            Box::new(VulcanPolicy::with_config(v.cfg)),
-            SimConfig {
-                n_quanta: 200,
-                replication: v.replication,
-                ..Default::default()
-            },
-        )
-        .run();
+    for (cell, res) in grid.cells.iter().zip(&results) {
         let lat = res
             .series
             .get("memcached.latency_ns")
@@ -126,7 +50,7 @@ fn main() {
             .map(|w| w.replication_overhead_bytes)
             .sum();
         table.row(&[
-            v.name.into(),
+            cell.label.clone(),
             format!("{lat:.0}"),
             format!("{:.3}", res.workload("memcached").mean_fthr),
             format!("{:.3}", res.cfi),
@@ -135,7 +59,7 @@ fn main() {
         ]);
         rows.push(vulcan_json::Value::Object(
             vulcan_json::Map::new()
-                .with("variant", v.name)
+                .with("variant", cell.label.as_str())
                 .with("memcached_latency_ns", lat)
                 .with("memcached_fthr", res.workload("memcached").mean_fthr)
                 .with("cfi", res.cfi)
@@ -154,5 +78,5 @@ fn main() {
          the LC must reclaim from an over-entitled BE (see the \
          fair_partitioning example and cbfrp unit tests)."
     );
-    save_json("ablation", &rows);
+    save_json_or_exit("ablation", &rows);
 }

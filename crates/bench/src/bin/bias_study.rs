@@ -3,74 +3,26 @@
 //! shootdowns, private-first priority) and fairness on top. This bench
 //! runs the lineage on one workload with controllable sharing structure:
 //! PageRank's mix of private edge shards, private next-rank writes and a
-//! shared rank array exercises every one of Table 1's four classes.
+//! shared rank array exercises every one of Table 1's four classes. The
+//! workload × variant grid lives in [`vulcan_bench::suite::bias_grid`].
 
-use vulcan::core::{VulcanConfig, VulcanPolicy};
-use vulcan::prelude::*;
-use vulcan_bench::save_json;
-
-fn workload(which: &str) -> WorkloadSpec {
-    match which {
-        "pagerank" => pagerank(),
-        // Write-heavy drifting hot set: the worst case for async-only
-        // promotion (every transaction lands in the dirty window).
-        "write-heavy" => microbench(
-            "write-heavy",
-            MicroConfig {
-                rss_pages: 8_192,
-                wss_pages: 128,
-                read_ratio: 0.1,
-                skew: 1.2,
-                wss_drift: 1,
-                ..Default::default()
-            },
-            8,
-        )
-        .preallocated(TierKind::Slow),
-        _ => unreachable!(),
-    }
-}
-
-fn run(policy: Box<dyn TieringPolicy>, which: &str, replication: bool) -> RunResult {
-    SimRunner::new(
-        MachineSpec::small(4_096, 32_768, 16),
-        vec![workload(which)],
-        // Same profiler for every variant: isolate the *policy*.
-        &mut |_| Box::new(vulcan::profile::PebsProfiler::new(16)),
-        policy,
-        SimConfig {
-            n_quanta: 40,
-            replication,
-            ..Default::default()
-        },
-    )
-    .run()
-}
-
-fn variants() -> Vec<(&'static str, Box<dyn TieringPolicy>, bool)> {
-    vec![
-        ("mtm (r/w split only)", Box::new(Mtm::new()), false),
-        (
-            "vulcan no-bias (all async)",
-            Box::new(VulcanPolicy::with_config(VulcanConfig {
-                biased_queues: false,
-                ..Default::default()
-            })),
-            true,
-        ),
-        ("vulcan (table 1)", Box::new(VulcanPolicy::new()), true),
-    ]
-}
+use vulcan::prelude::Table;
+use vulcan_bench::suite::{bias_grid, SuiteOpts, BIAS_VARIANTS, BIAS_WORKLOADS};
+use vulcan_bench::{init_threads, save_json_or_exit};
 
 fn main() {
+    init_threads();
+    let results = bias_grid(&SuiteOpts::full()).run();
+
     let mut table = Table::new(
         "biased-policy lineage (same PEBS profiler for every variant)",
         &["workload", "variant", "ops/s", "FTHR", "app stall (Mcyc)"],
     );
     let mut rows = Vec::new();
-    for which in ["pagerank", "write-heavy"] {
-        for (label, policy, replication) in variants() {
-            let res = run(policy, which, replication);
+    for (wi, which) in BIAS_WORKLOADS.into_iter().enumerate() {
+        for (vi, label) in BIAS_VARIANTS.into_iter().enumerate() {
+            // Grid order: workload-major, variant-minor.
+            let res = &results[wi * BIAS_VARIANTS.len() + vi];
             let w = &res.per_workload[0];
             table.row(&[
                 which.into(),
@@ -96,5 +48,5 @@ fn main() {
          Table 1's priorities put the cheap (private, read-intensive) pages \
          first. The no-bias variant shows what the queues themselves add."
     );
-    save_json("bias_study", &rows);
+    save_json_or_exit("bias_study", &rows);
 }

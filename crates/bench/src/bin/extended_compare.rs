@@ -4,56 +4,22 @@
 //! co-location. This situates Vulcan in the wider design space the paper
 //! surveys in §2.1/§6.
 
-use rayon::prelude::*;
 use vulcan::prelude::*;
-use vulcan_bench::{colocation_specs, save_json};
-
-const SYSTEMS: [&str; 7] = [
-    "static", "uniform", "tpp", "memtis", "nomad", "mtm", "vulcan",
-];
-
-fn make(name: &str) -> Box<dyn TieringPolicy> {
-    match name {
-        "static" => Box::new(StaticPlacement),
-        "uniform" => Box::new(UniformPartition),
-        "tpp" => Box::new(Tpp::new()),
-        "memtis" => Box::new(Memtis::new()),
-        "nomad" => Box::new(Nomad::new()),
-        "mtm" => Box::new(Mtm::new()),
-        "vulcan" => Box::new(VulcanPolicy::new()),
-        _ => unreachable!(),
-    }
-}
+use vulcan_bench::suite::{extended_grid, SuiteOpts};
+use vulcan_bench::{init_threads, save_json_or_exit};
 
 fn main() {
-    let results: Vec<(usize, RunResult)> = SYSTEMS
-        .par_iter()
-        .enumerate()
-        .map(|(i, &name)| {
-            let res = SimRunner::new(
-                MachineSpec::paper_testbed(),
-                colocation_specs(),
-                &mut |_| profiler_for(name),
-                make(name),
-                SimConfig {
-                    n_quanta: 200,
-                    ..Default::default()
-                },
-            )
-            .run();
-            (i, res)
-        })
-        .collect();
-
-    let mut ordered = results;
-    ordered.sort_by_key(|(i, _)| *i);
+    init_threads();
+    // One cell per registered system ([`PolicyKind::ALL`]), run on the
+    // thread pool; results come back in registry order.
+    let ordered = extended_grid(&SuiteOpts::full()).run();
 
     let mut table = Table::new(
         "extended comparison: 7 systems, 3-app co-location, 200 s",
         &["system", "mc latency(ns)", "pr ops/s", "lib ops/s", "CFI"],
     );
     let mut rows = Vec::new();
-    for (_, res) in &ordered {
+    for res in &ordered {
         let lat = res
             .series
             .get("memcached.latency_ns")
@@ -92,5 +58,5 @@ fn main() {
          hotness-ranked systems (TPP/Memtis/Nomad/MTM) trade the LC workload \
          away; Vulcan holds both ends."
     );
-    save_json("extended_compare", &rows);
+    save_json_or_exit("extended_compare", &rows);
 }

@@ -7,14 +7,17 @@
 //! Liblinear's fast-tier occupancy dominates (Observation #1).
 
 use vulcan::prelude::*;
-use vulcan_bench::{run_policy, save_json};
+use vulcan_bench::suite::{fig1_grid, SuiteOpts};
+use vulcan_bench::{init_threads, save_json_or_exit};
 use vulcan_json::{Map, Value};
 
 fn main() {
-    let n_quanta = 60;
-    let solo_mc = run_policy("memtis", vec![memcached()], n_quanta, 1);
-    let solo_lib = run_policy("memtis", vec![liblinear()], n_quanta, 1);
-    let co = run_policy("memtis", vec![memcached(), liblinear()], n_quanta, 1);
+    init_threads();
+    // Grid order: [solo_mc, solo_lib, co] (see `fig1_grid`).
+    let mut results = fig1_grid(&SuiteOpts::full()).run();
+    let co = results.pop().expect("co cell");
+    let solo_lib = results.pop().expect("solo_lib cell");
+    let solo_mc = results.pop().expect("solo_mc cell");
 
     // Panels (a)-(c): hot (fast-resident) vs cold page counts over time.
     let mut panels = Map::new();
@@ -98,5 +101,5 @@ fn main() {
                     .with("normalized_perf", lib_norm),
             ),
     );
-    save_json("fig1", &Value::Object(panels));
+    save_json_or_exit("fig1", &Value::Object(panels));
 }

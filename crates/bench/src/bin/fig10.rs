@@ -8,10 +8,10 @@
 //! Memtis and +86% over Nomad; averages: +12.4% performance, +75.3%
 //! fairness.
 
-use rayon::prelude::*;
 use vulcan::metrics::OnlineStats;
 use vulcan::prelude::*;
-use vulcan_bench::{colocation_specs, run_policy, save_json, trials, POLICIES};
+use vulcan_bench::suite::{fig10_grid, SuiteOpts};
+use vulcan_bench::{init_threads, save_json_or_exit, trials};
 use vulcan_json::{Map, Value};
 
 const APPS: [&str; 3] = ["memcached", "pagerank", "liblinear"];
@@ -48,30 +48,26 @@ fn perf(res: &RunResult, name: &str) -> f64 {
 }
 
 fn main() {
+    init_threads();
     let n_trials = trials();
-    // Independent cells (policy x trial) run in parallel via rayon.
-    let cells: Vec<(usize, RunResult)> = POLICIES
-        .par_iter()
-        .enumerate()
-        .flat_map(|(pi, &policy)| {
-            (0..n_trials)
-                .into_par_iter()
-                .map(move |seed| (pi, run_policy(policy, colocation_specs(), 200, seed)))
-                .collect::<Vec<_>>()
-        })
-        .collect();
+    // Independent (policy × trial) cells run on the thread pool; the
+    // grid comes back in declaration order (policy-major, trial-minor).
+    let grid = fig10_grid(&SuiteOpts::full());
+    let results = grid.run();
 
-    let mut agg: Vec<PolicyAgg> = (0..POLICIES.len())
+    let policies = PolicyKind::PAPER;
+    let mut agg: Vec<PolicyAgg> = (0..policies.len())
         .map(|_| PolicyAgg {
             perf: [OnlineStats::new(), OnlineStats::new(), OnlineStats::new()],
             cfi: OnlineStats::new(),
         })
         .collect();
-    for (pi, res) in &cells {
+    for (i, res) in results.iter().enumerate() {
+        let pi = i / n_trials as usize;
         for (ai, app) in APPS.iter().enumerate() {
-            agg[*pi].perf[ai].push(perf(res, app));
+            agg[pi].perf[ai].push(perf(res, app));
         }
-        agg[*pi].cfi.push(res.cfi);
+        agg[pi].cfi.push(res.cfi);
     }
 
     // Normalize each app's performance to the lowest-performing policy
@@ -89,7 +85,7 @@ fn main() {
         &["policy", "memcached", "pagerank", "liblinear", "CFI"],
     );
     let mut rows = Vec::new();
-    for (pi, policy) in POLICIES.iter().enumerate() {
+    for (pi, policy) in policies.iter().enumerate() {
         let mut cells_out = vec![policy.to_string()];
         let mut json_apps = Map::new();
         for (ai, app) in APPS.iter().enumerate() {
@@ -106,7 +102,7 @@ fn main() {
         table.row(&cells_out);
         rows.push(Value::Object(
             Map::new()
-                .with("policy", *policy)
+                .with("policy", policy.name())
                 .with("apps", json_apps)
                 .with("cfi", agg[pi].cfi.mean())
                 .with("cfi_ci95", agg[pi].cfi.ci95()),
@@ -115,13 +111,13 @@ fn main() {
     table.print();
 
     // Headline averages (the paper's 12.4% performance / 75.3% fairness).
-    let vi = POLICIES
+    let vi = policies
         .iter()
-        .position(|&p| p == "vulcan")
+        .position(|&p| p == PolicyKind::Vulcan)
         .expect("vulcan");
     let mut perf_gains = Vec::new();
     let mut fair_gains = Vec::new();
-    for (pi, policy) in POLICIES.iter().enumerate() {
+    for (pi, policy) in policies.iter().enumerate() {
         if pi == vi {
             continue;
         }
@@ -152,5 +148,5 @@ fn main() {
                 .with("avg_fairness_gain_pct", avg_fair),
         ),
     ));
-    save_json("fig10", &rows);
+    save_json_or_exit("fig10", &rows);
 }

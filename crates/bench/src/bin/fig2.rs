@@ -55,5 +55,5 @@ fn main() {
         "\nPaper: 50K -> 750K cycles and 38.3% -> 76.9% preparation share \
          from 2 to 32 CPUs; the model is calibrated to those anchors."
     );
-    vulcan_bench::save_json("fig2", &rows);
+    vulcan_bench::save_json_or_exit("fig2", &rows);
 }

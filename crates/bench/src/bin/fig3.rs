@@ -42,5 +42,5 @@ fn main() {
         "\nPaper: copy-dominated at few pages; TLB operations reach ~65% \
          at 512 pages with 32 threads."
     );
-    vulcan_bench::save_json("fig3", &rows);
+    vulcan_bench::save_json_or_exit("fig3", &rows);
 }

@@ -7,115 +7,33 @@
 //! (transactional) copying excels for read-intensive patterns — no
 //! stalls — but write-intensive patterns dirty the copy window, forcing
 //! retries/aborts; synchronous copying stalls the accessors but always
-//! lands the page.
+//! lands the page. The sweep itself lives in
+//! [`vulcan_bench::suite::fig4_grid`] (ratio × trial × engine).
 
-use vulcan::prelude::*;
-use vulcan::runtime::SystemState;
-
-/// Promote every sufficiently hot slow page, one engine or the other.
-struct Promoter {
-    sync: bool,
-}
-
-impl TieringPolicy for Promoter {
-    fn name(&self) -> &'static str {
-        if self.sync {
-            "sync"
-        } else {
-            "async"
-        }
-    }
-
-    fn on_quantum(&mut self, state: &mut SystemState) {
-        let mech = MechanismConfig::linux_baseline();
-        for w in 0..state.n_workloads() {
-            state.poll_async(w, &mech);
-            // Watermark demotion keeps room for the drifting hot set
-            // (off the critical path for both variants).
-            if state.fast_free() < 128 {
-                let victims: Vec<Vpn> = {
-                    let ws = &state.workloads[w];
-                    let mut cold: Vec<(Vpn, f64)> = ws
-                        .process
-                        .space
-                        .mapped_vpns()
-                        .filter(|&v| ws.process.space.pte(v).tier() == Some(TierKind::Fast))
-                        .map(|v| (v, ws.heat().get(v).heat))
-                        .collect();
-                    cold.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-                    cold.into_iter().take(256).map(|(v, _)| v).collect()
-                };
-                state.migrate_background(w, &victims, TierKind::Slow, &mech);
-            }
-            let hot: Vec<Vpn> = {
-                let ws = &state.workloads[w];
-                ws.heat()
-                    .iter()
-                    .filter(|(vpn, s)| {
-                        s.heat >= 1.0
-                            && ws.process.space.pte(*vpn).tier() == Some(TierKind::Slow)
-                            && !ws.async_migrator.is_inflight(*vpn)
-                    })
-                    .map(|(v, _)| v)
-                    .collect()
-            };
-            if hot.is_empty() {
-                continue;
-            }
-            if self.sync {
-                state.migrate_sync(w, &hot, TierKind::Fast, &mech);
-            } else {
-                state.migrate_async(w, &hot, TierKind::Fast);
-            }
-        }
-    }
-}
-
-fn run(read_ratio: f64, sync: bool, seed: u64) -> f64 {
-    let spec = microbench(
-        "mb",
-        MicroConfig {
-            rss_pages: 2_048,
-            wss_pages: 64,
-            read_ratio,
-            skew: 1.35,   // heavy head: a few pages carry most of the load
-            wss_drift: 1, // the hot set keeps moving: sustained promotion
-            ..Default::default()
-        },
-        2,
-    )
-    .preallocated(TierKind::Slow);
-    let res = SimRunner::new(
-        MachineSpec::small(1024, 4096, 32),
-        vec![spec],
-        &mut |_| Box::new(PebsProfiler::new(4)),
-        Box::new(Promoter { sync }),
-        SimConfig {
-            quantum_active: Nanos::millis(1),
-            n_quanta: 20,
-            seed,
-            ..Default::default()
-        },
-    )
-    .run();
-    res.workload("mb").mean_ops_per_sec
-}
+use vulcan::prelude::Table;
+use vulcan_bench::suite::{fig4_grid, SuiteOpts, FIG4_RATIOS};
+use vulcan_bench::{init_threads, save_json_or_exit, trials};
 
 fn main() {
-    let ratios = [0.0, 0.25, 0.5, 0.75, 0.9, 1.0];
+    init_threads();
+    let n_trials = trials() as usize;
+    let results = fig4_grid(&SuiteOpts::full()).run();
+
     let mut table = Table::new(
         "Figure 4: hot-page promotion throughput (ops/s) vs read ratio",
         &["read ratio", "sync copy", "async copy", "async/sync"],
     );
     let mut rows = Vec::new();
-    for &r in &ratios {
+    for (ri, &r) in FIG4_RATIOS.iter().enumerate() {
         let (mut sync_stats, mut async_stats) = (
             vulcan::metrics::OnlineStats::new(),
             vulcan::metrics::OnlineStats::new(),
         );
-        for seed in 0..vulcan_bench::trials() {
-            sync_stats.push(run(r, true, seed));
-            async_stats.push(run(r, false, seed));
+        for trial in 0..n_trials {
+            // Grid order: ratio-major, then trial, then [sync, async].
+            let base = (ri * n_trials + trial) * 2;
+            sync_stats.push(results[base].workload("mb").mean_ops_per_sec);
+            async_stats.push(results[base + 1].workload("mb").mean_ops_per_sec);
         }
         let (s, a) = (sync_stats.mean(), async_stats.mean());
         table.row(&[
@@ -138,5 +56,5 @@ fn main() {
         "\nPaper: async wins for read-intensive access (no copy stalls); \
          sync wins for write-intensive access (no dirty retries/aborts)."
     );
-    vulcan_bench::save_json("fig4", &rows);
+    save_json_or_exit("fig4", &rows);
 }

@@ -99,5 +99,5 @@ fn main() {
          targeted shootdowns) at 2 pages; benefits shrink for larger \
          batches as page copying dominates."
     );
-    vulcan_bench::save_json("fig7", &rows);
+    vulcan_bench::save_json_or_exit("fig7", &rows);
 }

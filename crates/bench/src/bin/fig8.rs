@@ -5,13 +5,15 @@
 //! then a Zipfian reader/writer runs over the WSS; read and write
 //! bandwidth is reported for the *migration-in-progress* phase (first
 //! quanta after start, while hot pages move up) and the *migration
-//! stable* phase (after placement converges).
+//! stable* phase (after placement converges). The sweep lives in
+//! [`vulcan_bench::suite::fig8_grid`] (scenario × policy × trial).
 //!
 //! Paper anchor: Vulcan sustains the highest bandwidth, especially once
 //! migration is stable.
 
 use vulcan::prelude::*;
-use vulcan_bench::{make_policy, save_json, POLICIES};
+use vulcan_bench::suite::{fig8_grid, SuiteOpts};
+use vulcan_bench::{init_threads, save_json_or_exit, trials};
 
 struct Cell {
     read_prog: f64,
@@ -20,21 +22,7 @@ struct Cell {
     write_stable: f64,
 }
 
-fn run(policy: &str, scenario: WssScenario, seed: u64) -> Cell {
-    let spec =
-        microbench("mb", MicroConfig::fig8_scenario(scenario), 8).preallocated(TierKind::Slow);
-    let res = SimRunner::new(
-        MachineSpec::paper_testbed(),
-        vec![spec],
-        &mut |_| profiler_for(policy),
-        make_policy(policy),
-        SimConfig {
-            n_quanta: 40,
-            seed,
-            ..Default::default()
-        },
-    )
-    .run();
+fn extract(res: &RunResult) -> Cell {
     let phase = |name: &str, lo: f64, hi: f64| {
         let s = res.series.get(name).expect("series");
         let vals: Vec<f64> = s
@@ -54,6 +42,10 @@ fn run(policy: &str, scenario: WssScenario, seed: u64) -> Cell {
 }
 
 fn main() {
+    init_threads();
+    let n_trials = trials() as usize;
+    let results = fig8_grid(&SuiteOpts::full()).run();
+
     let mut table = Table::new(
         "Figure 8: microbench bandwidth (GB/s): in-migration vs stable",
         &[
@@ -66,16 +58,18 @@ fn main() {
         ],
     );
     let mut rows = Vec::new();
-    for scenario in WssScenario::ALL {
-        for policy in POLICIES {
+    for (si, scenario) in WssScenario::ALL.into_iter().enumerate() {
+        for (pi, policy) in PolicyKind::PAPER.into_iter().enumerate() {
             let mut agg = [
                 vulcan::metrics::OnlineStats::new(),
                 vulcan::metrics::OnlineStats::new(),
                 vulcan::metrics::OnlineStats::new(),
                 vulcan::metrics::OnlineStats::new(),
             ];
-            for seed in 0..vulcan_bench::trials() {
-                let c = run(policy, scenario, seed);
+            for trial in 0..n_trials {
+                // Grid order: scenario-major, then policy, then trial.
+                let idx = (si * PolicyKind::PAPER.len() + pi) * n_trials + trial;
+                let c = extract(&results[idx]);
                 agg[0].push(c.read_prog);
                 agg[1].push(c.write_prog);
                 agg[2].push(c.read_stable);
@@ -83,7 +77,7 @@ fn main() {
             }
             table.row(&[
                 scenario.label().into(),
-                policy.into(),
+                policy.name().into(),
                 format!("{:.2}", agg[0].mean()),
                 format!("{:.2}", agg[1].mean()),
                 format!("{:.2}", agg[2].mean()),
@@ -92,7 +86,7 @@ fn main() {
             rows.push(vulcan_json::Value::Object(
                 vulcan_json::Map::new()
                     .with("wss", scenario.label())
-                    .with("policy", policy)
+                    .with("policy", policy.name())
                     .with("read_in_progress", agg[0].mean())
                     .with("write_in_progress", agg[1].mean())
                     .with("read_stable", agg[2].mean())
@@ -105,5 +99,5 @@ fn main() {
         "\nPaper: Vulcan shows superior read/write bandwidth, particularly \
          in the migration-stable phase, across all working-set sizes."
     );
-    save_json("fig8", &rows);
+    save_json_or_exit("fig8", &rows);
 }

@@ -7,10 +7,15 @@
 //! the GFMC shrinks with each arrival.
 
 use vulcan::prelude::Table;
-use vulcan_bench::{colocation_specs, run_policy, save_json};
+use vulcan_bench::suite::{fig9_grid, SuiteOpts};
+use vulcan_bench::{init_threads, save_json_or_exit};
 
 fn main() {
-    let res = run_policy("vulcan", colocation_specs(), 200, 1);
+    init_threads();
+    let res = fig9_grid(&SuiteOpts::full())
+        .run()
+        .pop()
+        .expect("fig9 cell");
 
     // Dump the three panels as JSON series.
     let mut out = vulcan_json::Map::new();
@@ -26,7 +31,7 @@ fn main() {
             out.insert(key, vulcan_json::pairs_to_value(&s.points));
         }
     }
-    save_json("fig9", &vulcan_json::Value::Object(out));
+    save_json_or_exit("fig9", &vulcan_json::Value::Object(out));
 
     // Summarize the phase transitions in a table: values at 40 s (solo),
     // 100 s (two apps), 190 s (three apps).

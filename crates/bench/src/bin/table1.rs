@@ -30,7 +30,7 @@ fn main() {
         ]);
     }
     table.print();
-    vulcan_bench::save_json(
+    vulcan_bench::save_json_or_exit(
         "table1",
         &PageClass::ALL
             .iter()

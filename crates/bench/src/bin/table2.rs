@@ -50,5 +50,5 @@ fn main() {
         ));
     }
     table.print();
-    vulcan_bench::save_json("table2", &json);
+    vulcan_bench::save_json_or_exit("table2", &json);
 }

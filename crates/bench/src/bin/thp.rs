@@ -2,58 +2,19 @@
 //! maximize TLB coverage by default, despite proactively splitting them
 //! into base pages during promotion". This bench quantifies both halves:
 //! the TLB-reach benefit of 2 MiB entries, and the migration-granularity
-//! benefit of splitting before promotion.
+//! benefit of splitting before promotion. The WSS × paging grid lives in
+//! [`vulcan_bench::suite::thp_grid`]; each cell is stepped manually so
+//! mid-run TLB state can be inspected.
 
 use vulcan::prelude::*;
-use vulcan::sim::{CoreId, HUGE_PAGE_PAGES};
-use vulcan_bench::save_json;
-
-fn run(thp: bool, wss_regions: u64, seed: u64) -> (f64, f64, u64) {
-    let spec = {
-        let s = microbench(
-            "mb",
-            MicroConfig {
-                rss_pages: 16 * HUGE_PAGE_PAGES as u64,
-                wss_pages: wss_regions * HUGE_PAGE_PAGES as u64,
-                skew: 0.6,
-                ..Default::default()
-            },
-            8,
-        );
-        if thp {
-            s.with_thp()
-        } else {
-            s
-        }
-    };
-    let mut runner = vulcan::runtime::SimRunner::new(
-        MachineSpec::paper_testbed(),
-        vec![spec],
-        &mut |_| Box::new(HybridProfiler::vulcan_default()),
-        Box::new(VulcanPolicy::new()),
-        SimConfig {
-            n_quanta: 0,
-            seed,
-            ..Default::default()
-        },
-    );
-    for _ in 0..15 {
-        runner.run_quantum();
-    }
-    let mut hits = 0u64;
-    let mut misses = 0u64;
-    for c in 0..8u16 {
-        let (h, m) = runner.state.tlbs.core(CoreId(c)).stats();
-        hits += h;
-        misses += m;
-    }
-    let tlb_hit = hits as f64 / (hits + misses).max(1) as f64;
-    let huge_left = runner.state.workloads[0].process.space.huge_count() as u64;
-    let res = runner.run();
-    (res.workload("mb").mean_ops_per_sec, tlb_hit, huge_left)
-}
+use vulcan::sim::CoreId;
+use vulcan_bench::suite::{thp_grid, SuiteOpts, THP_WSS_REGIONS};
+use vulcan_bench::{init_threads, save_json_or_exit};
 
 fn main() {
+    init_threads();
+    let grid = thp_grid(&SuiteOpts::full());
+
     let mut table = Table::new(
         "THP study: TLB reach and split-on-promotion (Vulcan policy)",
         &[
@@ -65,9 +26,25 @@ fn main() {
         ],
     );
     let mut rows = Vec::new();
-    for wss_regions in [4u64, 8, 16] {
-        for thp in [false, true] {
-            let (ops, tlb, huge) = run(thp, wss_regions, 1);
+    for (i, &wss_regions) in THP_WSS_REGIONS.iter().enumerate() {
+        for (j, thp) in [false, true].into_iter().enumerate() {
+            // Grid order: WSS-major, then [4 KiB, THP].
+            let cell = &grid.cells[i * 2 + j];
+            let mut runner = cell.paused_runner();
+            for _ in 0..cell.quanta {
+                runner.run_quantum();
+            }
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            for c in 0..8u16 {
+                let (h, m) = runner.state.tlbs.core(CoreId(c)).stats();
+                hits += h;
+                misses += m;
+            }
+            let tlb = hits as f64 / (hits + misses).max(1) as f64;
+            let huge = runner.state.workloads[0].process.space.huge_count() as u64;
+            let res = runner.into_result();
+            let ops = res.workload("mb").mean_ops_per_sec;
             table.row(&[
                 wss_regions.to_string(),
                 if thp { "2MiB (THP)" } else { "4KiB" }.into(),
@@ -92,5 +69,5 @@ fn main() {
          migration granularity is preserved (fewer THP regions remain when \
          tiering pressure is high)."
     );
-    save_json("thp", &rows);
+    save_json_or_exit("thp", &rows);
 }

@@ -1,7 +1,8 @@
 //! # vulcan-bench — the paper's evaluation harness
 //!
 //! One binary per table and figure of the paper (see DESIGN.md §4 for the
-//! full index):
+//! full index), plus the `vulcan-bench` driver that can replay any subset
+//! of the simulation grids through one code path (`vulcan-bench suite`):
 //!
 //! | binary   | reproduces |
 //! |----------|------------|
@@ -20,38 +21,73 @@
 //! | `bias_study` | MTM → no-bias → Table 1 policy lineage (§3.5) |
 //!
 //! Every binary prints its rows and writes the underlying series/values
-//! as JSON under `target/experiments/`.
+//! as JSON under `target/experiments/`. Simulation sweeps are declared as
+//! [`suite::Experiment`] grids of independent [`suite::ExperimentCell`]s
+//! and executed on the workspace thread pool (sized by
+//! `--threads`/`RAYON_NUM_THREADS`, see [`init_threads`]); every cell is
+//! seeded deterministically, so artifacts are byte-identical regardless
+//! of the thread count.
 
+pub mod suite;
+
+use std::io;
 use std::path::PathBuf;
 use vulcan::prelude::*;
 
 /// Where experiment JSON artifacts are written.
-pub fn experiments_dir() -> PathBuf {
+pub fn experiments_dir() -> io::Result<PathBuf> {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
-    std::fs::create_dir_all(&dir).expect("create experiments dir");
-    dir
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
 }
 
-/// Persist a JSON artifact, pretty-printed.
-pub fn save_json<T: Clone + Into<vulcan_json::Value>>(name: &str, value: &T) {
-    let path = experiments_dir().join(format!("{name}.json"));
+/// Persist a JSON artifact, pretty-printed. Returns the path written.
+pub fn save_json<T: Clone + Into<vulcan_json::Value>>(
+    name: &str,
+    value: &T,
+) -> io::Result<PathBuf> {
+    let path = experiments_dir()?.join(format!("{name}.json"));
     let rendered: vulcan_json::Value = value.clone().into();
-    std::fs::write(&path, rendered.to_json_pretty()).expect("write artifact");
-    println!("[wrote {}]", path.display());
+    std::fs::write(&path, rendered.to_json_pretty())?;
+    Ok(path)
 }
 
-/// The four evaluated systems, in the paper's presentation order.
-pub const POLICIES: [&str; 4] = ["tpp", "memtis", "nomad", "vulcan"];
-
-/// Instantiate a policy by name.
-pub fn make_policy(name: &str) -> Box<dyn TieringPolicy> {
-    match name {
-        "tpp" => Box::new(Tpp::new()),
-        "memtis" => Box::new(Memtis::new()),
-        "nomad" => Box::new(Nomad::new()),
-        "vulcan" => Box::new(VulcanPolicy::new()),
-        other => panic!("unknown policy {other}"),
+/// Persist a JSON artifact; on failure report to stderr and exit with
+/// status 1 (the workspace convention: 2 = usage error, 1 = runtime
+/// failure such as an unwritable artifact directory).
+pub fn save_json_or_exit<T: Clone + Into<vulcan_json::Value>>(name: &str, value: &T) {
+    match save_json(name, value) {
+        Ok(path) => println!("[wrote {}]", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write artifact '{name}': {e}");
+            std::process::exit(1);
+        }
     }
+}
+
+/// Honor a `--threads N` (or `--threads=N`) argument by sizing the
+/// workspace thread pool; `RAYON_NUM_THREADS` is the environment
+/// fallback and `available_parallelism` the default. Call at the top of
+/// every binary `main`.
+pub fn init_threads() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(n) = parse_threads(&args) {
+        rayon::pool::set_num_threads(n);
+    }
+}
+
+/// Extract the value of a `--threads N` / `--threads=N` flag.
+pub fn parse_threads(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threads" {
+            return it.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            return v.parse().ok();
+        }
+    }
+    None
 }
 
 /// The §5.3 staggered three-application co-location.
@@ -64,19 +100,13 @@ pub fn colocation_specs() -> Vec<WorkloadSpec> {
 }
 
 /// Run one policy on a workload mix on the paper testbed.
-pub fn run_policy(name: &str, specs: Vec<WorkloadSpec>, n_quanta: u64, seed: u64) -> RunResult {
-    SimRunner::new(
-        MachineSpec::paper_testbed(),
-        specs,
-        &mut |_| profiler_for(name),
-        make_policy(name),
-        SimConfig {
-            n_quanta,
-            seed,
-            ..Default::default()
-        },
-    )
-    .run()
+pub fn run_policy(
+    kind: PolicyKind,
+    specs: Vec<WorkloadSpec>,
+    n_quanta: u64,
+    seed: u64,
+) -> RunResult {
+    suite::ExperimentCell::new(kind, specs, n_quanta, seed).run()
 }
 
 /// Number of trials, overridable with `VULCAN_TRIALS` (paper uses 10).
@@ -93,8 +123,8 @@ mod tests {
 
     #[test]
     fn policies_instantiate() {
-        for p in POLICIES {
-            assert_eq!(make_policy(p).name(), p);
+        for kind in PolicyKind::PAPER {
+            assert_eq!(kind.make().name(), kind.name());
         }
     }
 
@@ -108,6 +138,15 @@ mod tests {
 
     #[test]
     fn experiments_dir_exists() {
-        assert!(experiments_dir().is_dir());
+        assert!(experiments_dir().unwrap().is_dir());
+    }
+
+    #[test]
+    fn threads_flag_parses_both_forms() {
+        let args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_threads(&args(&["--threads", "4"])), Some(4));
+        assert_eq!(parse_threads(&args(&["--threads=2"])), Some(2));
+        assert_eq!(parse_threads(&args(&["--quick"])), None);
+        assert_eq!(parse_threads(&args(&["--threads"])), None);
     }
 }

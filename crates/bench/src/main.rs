@@ -1,0 +1,150 @@
+//! `vulcan-bench` — drive the evaluation's simulation grids through one
+//! code path.
+//!
+//! ```text
+//! vulcan-bench suite                      run every simulation grid
+//! vulcan-bench suite fig10 ablation       run a subset
+//! vulcan-bench suite --quick --threads 2  CI-scale run on two threads
+//! vulcan-bench suite --list               index of all 14 targets
+//! ```
+//!
+//! The figure binaries (`fig10`, `ablation`, …) render full tables and
+//! figure artifacts; this driver replays their grids (same cells, same
+//! seeds) and writes a per-cell summary to
+//! `target/experiments/suite.json`. Wall-clock timings are deliberately
+//! excluded from the artifact so it is deterministic across machines and
+//! thread counts.
+
+use vulcan_bench::suite::{SuiteOpts, SUITE};
+
+const USAGE: &str = "\
+vulcan-bench — evaluation suite driver (Vulcan reproduction)
+
+USAGE:
+    vulcan-bench suite [TARGETS...] [OPTIONS]   run simulation grids
+    vulcan-bench help                           this text
+
+OPTIONS (suite):
+    --quick        CI scale: 1 trial per point, quanta capped at 20
+    --threads <N>  thread-pool size (RAYON_NUM_THREADS is the env knob)
+    --list         list all 14 targets and exit
+
+Targets default to every simulation grid; analytic targets (fig2, fig3,
+fig7, table1, table2) have no grid and are skipped with a note.
+";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn cmd_suite(args: &[String]) {
+    let mut quick = false;
+    let mut list = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--list" => list = true,
+            "--threads" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage_error("--threads needs a positive integer"));
+                rayon::pool::set_num_threads(n);
+            }
+            flag if flag.starts_with("--threads=") => {
+                let n = flag["--threads=".len()..]
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage_error("--threads needs a positive integer"));
+                rayon::pool::set_num_threads(n);
+            }
+            flag if flag.starts_with("--") => usage_error(&format!("unknown option '{flag}'")),
+            name => names.push(name.to_string()),
+        }
+    }
+
+    if list {
+        for entry in SUITE.iter() {
+            let kind = if entry.build.is_some() {
+                "simulation grid"
+            } else {
+                "analytic (no grid)"
+            };
+            println!("{:<18} {kind}", entry.name);
+        }
+        return;
+    }
+
+    for name in &names {
+        if !SUITE.iter().any(|e| e.name == name.as_str()) {
+            let all: Vec<&str> = SUITE.iter().map(|e| e.name).collect();
+            usage_error(&format!(
+                "unknown target '{name}' (expected one of: {})",
+                all.join(", ")
+            ));
+        }
+    }
+
+    let opts = if quick {
+        SuiteOpts::quick()
+    } else {
+        SuiteOpts::full()
+    };
+    let selected: Vec<_> = SUITE
+        .iter()
+        .filter(|e| names.is_empty() || names.iter().any(|n| n == e.name))
+        .collect();
+
+    let mut table = vulcan::metrics::Table::new(
+        format!(
+            "suite: per-cell results ({} threads)",
+            rayon::pool::current_num_threads()
+        ),
+        &["experiment", "cell", "policy", "seed", "quanta", "CFI"],
+    );
+    let mut rows = Vec::new();
+    for entry in selected {
+        let Some(build) = entry.build else {
+            eprintln!(
+                "[suite] {}: analytic target, no simulation grid (run its binary)",
+                entry.name
+            );
+            continue;
+        };
+        let exp = build(&opts);
+        let results = exp.run();
+        for (cell, res) in exp.cells.iter().zip(&results) {
+            table.row(&[
+                exp.name.clone(),
+                cell.label.clone(),
+                res.policy.clone(),
+                cell.seed.to_string(),
+                cell.quanta.to_string(),
+                format!("{:.3}", res.cfi),
+            ]);
+            rows.push(vulcan_json::Value::Object(
+                vulcan_json::Map::new()
+                    .with("experiment", exp.name.as_str())
+                    .with("cell", cell.label.as_str())
+                    .with("policy", res.policy.as_str())
+                    .with("seed", cell.seed)
+                    .with("quanta", cell.quanta)
+                    .with("cfi", res.cfi),
+            ));
+        }
+    }
+    table.print();
+    vulcan_bench::save_json_or_exit("suite", &rows);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("suite") => cmd_suite(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => print!("{USAGE}"),
+        None => usage_error("missing subcommand"),
+        Some(other) => usage_error(&format!("unknown subcommand '{other}'")),
+    }
+}

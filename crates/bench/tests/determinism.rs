@@ -1,0 +1,89 @@
+//! The parallel sweep contract: thread count is a throughput knob, never
+//! a results knob. A fig10-style (policy × trial) grid must produce
+//! byte-identical JSON artifacts and identical per-cell results whether
+//! it runs on one thread or four.
+
+use rayon::pool;
+use vulcan::prelude::*;
+use vulcan_bench::save_json;
+use vulcan_bench::suite::{fig10_grid, SuiteOpts};
+use vulcan_json::{Map, Value};
+
+/// Render a grid's results the way the figure binaries do: one JSON row
+/// per cell with every scalar the artifacts derive from (policy, seed,
+/// CFI, per-workload totals) plus the full time series.
+fn artifact_rows(results: &[RunResult], seeds: &[u64]) -> Vec<Value> {
+    results
+        .iter()
+        .zip(seeds)
+        .map(|(res, &seed)| {
+            let mut workloads = Map::new();
+            for w in &res.per_workload {
+                workloads.insert(
+                    w.name.clone(),
+                    Map::new()
+                        .with("ops_total", w.ops_total)
+                        .with("mean_ops_per_sec", w.mean_ops_per_sec)
+                        .with("mean_latency_ns", w.mean_latency_ns)
+                        .with("mean_fthr", w.mean_fthr),
+                );
+            }
+            Value::Object(
+                Map::new()
+                    .with("policy", res.policy.as_str())
+                    .with("seed", seed)
+                    .with("cfi", res.cfi)
+                    .with("workloads", workloads)
+                    .with("series", res.series.to_json()),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn sweep_artifacts_are_byte_identical_across_thread_counts() {
+    // A scaled-down figure-10 grid: 4 policies × 2 trials of the §5.3
+    // co-location, 10 quanta per cell.
+    let opts = SuiteOpts {
+        trials: 2,
+        quanta_cap: Some(10),
+    };
+
+    pool::set_num_threads(1);
+    let grid = fig10_grid(&opts);
+    let seeds: Vec<u64> = grid.cells.iter().map(|c| c.seed).collect();
+    let sequential = grid.run();
+
+    pool::set_num_threads(4);
+    let parallel = fig10_grid(&opts).run();
+
+    assert_eq!(sequential.len(), 8);
+    assert_eq!(parallel.len(), 8);
+
+    // Identical RunResults, cell by cell, in declaration order.
+    for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.policy, p.policy, "cell {i}: policy order diverged");
+        assert_eq!(s.cfi, p.cfi, "cell {i} ({}): CFI diverged", s.policy);
+        for (sw, pw) in s.per_workload.iter().zip(&p.per_workload) {
+            assert_eq!(sw.ops_total, pw.ops_total, "cell {i}/{}", sw.name);
+            assert_eq!(sw.mean_ops_per_sec, pw.mean_ops_per_sec);
+            assert_eq!(sw.mean_latency_ns, pw.mean_latency_ns);
+        }
+        assert_eq!(
+            s.series.to_json(),
+            p.series.to_json(),
+            "cell {i} ({}): series diverged",
+            s.policy
+        );
+    }
+
+    // Byte-identical JSON artifacts through the real save path.
+    let p1 = save_json("determinism_threads1", &artifact_rows(&sequential, &seeds))
+        .expect("write t1 artifact");
+    let p4 = save_json("determinism_threads4", &artifact_rows(&parallel, &seeds))
+        .expect("write t4 artifact");
+    let b1 = std::fs::read(&p1).expect("read t1 artifact");
+    let b4 = std::fs::read(&p4).expect("read t4 artifact");
+    assert!(!b1.is_empty());
+    assert_eq!(b1, b4, "artifacts differ between --threads 1 and 4");
+}

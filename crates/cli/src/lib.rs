@@ -242,9 +242,9 @@ pub struct ExperimentConfig {
     pub seconds: u64,
     /// RNG seed.
     pub seed: u64,
-    /// Policy: `vulcan`, `tpp`, `memtis`, `nomad`, `mtm`, `static`,
-    /// `uniform`.
-    pub policy: String,
+    /// The tiering policy. Parsed from the config's `"policy"` string at
+    /// load time, so an unknown name fails once, before anything runs.
+    pub policy: PolicyKind,
     /// The co-located workloads.
     pub workloads: Vec<WorkloadConfig>,
     /// Optional path to dump the full series JSON.
@@ -257,22 +257,8 @@ fn default_seconds() -> u64 {
 fn default_seed() -> u64 {
     42
 }
-fn default_policy() -> String {
-    "vulcan".into()
-}
-
-/// Instantiate a policy by name.
-pub fn make_policy(name: &str) -> Result<Box<dyn TieringPolicy>, String> {
-    Ok(match name {
-        "vulcan" => Box::new(VulcanPolicy::new()),
-        "tpp" => Box::new(Tpp::new()),
-        "memtis" => Box::new(Memtis::new()),
-        "nomad" => Box::new(Nomad::new()),
-        "mtm" => Box::new(vulcan::policy::Mtm::new()),
-        "static" => Box::new(StaticPlacement),
-        "uniform" => Box::new(UniformPartition),
-        other => return Err(format!("unknown policy '{other}'")),
-    })
+fn default_policy() -> PolicyKind {
+    PolicyKind::Vulcan
 }
 
 impl ExperimentConfig {
@@ -293,18 +279,22 @@ impl ExperimentConfig {
             .iter()
             .map(WorkloadConfig::from_value)
             .collect::<Result<Vec<_>, _>>()?;
+        let policy = match opt_str(&v, "policy")? {
+            None => default_policy(),
+            Some(name) => name.parse::<PolicyKind>().map_err(|e| e.to_string())?,
+        };
         Ok(ExperimentConfig {
             machine,
             seconds: opt_u64(&v, "seconds")?.unwrap_or_else(default_seconds),
             seed: opt_u64(&v, "seed")?.unwrap_or_else(default_seed),
-            policy: opt_str(&v, "policy")?.unwrap_or_else(default_policy),
+            policy,
             workloads,
             series_out: opt_str(&v, "series_out")?,
         })
     }
 
     /// Run the experiment with `policy_override` (or the config's policy).
-    pub fn run(&self, policy_override: Option<&str>) -> Result<RunResult, String> {
+    pub fn run(&self, policy_override: Option<PolicyKind>) -> Result<RunResult, String> {
         self.run_with_telemetry(policy_override, Telemetry::disabled())
     }
 
@@ -313,14 +303,13 @@ impl ExperimentConfig {
     /// results are identical either way (same seed → same run).
     pub fn run_with_telemetry(
         &self,
-        policy_override: Option<&str>,
+        policy_override: Option<PolicyKind>,
         telemetry: Telemetry,
     ) -> Result<RunResult, String> {
         if self.workloads.is_empty() {
             return Err("config needs at least one workload".into());
         }
-        let policy_name = policy_override.unwrap_or(&self.policy);
-        let policy = make_policy(policy_name)?;
+        let kind = policy_override.unwrap_or(self.policy);
         let specs: Result<Vec<WorkloadSpec>, String> =
             self.workloads.iter().map(|w| w.to_spec()).collect();
         let specs = specs?;
@@ -331,18 +320,18 @@ impl ExperimentConfig {
                 "combined RSS ({total_rss} pages) exceeds machine capacity ({capacity} pages)"
             ));
         }
-        let runner = SimRunner::new(
-            self.machine.to_spec(),
-            specs,
-            &mut |_| profiler_for(policy_name),
-            policy,
-            SimConfig {
+        let runner = SimRunner::builder()
+            .machine(self.machine.to_spec())
+            .workloads(specs)
+            .profiler_factory(move |_| kind.profiler())
+            .policy(kind.make())
+            .config(SimConfig {
                 n_quanta: self.seconds,
                 seed: self.seed,
                 telemetry,
                 ..Default::default()
-            },
-        );
+            })
+            .build();
         Ok(runner.run())
     }
 
@@ -399,7 +388,7 @@ mod tests {
     fn example_config_parses_and_validates() {
         let cfg = ExperimentConfig::from_json(ExperimentConfig::example()).unwrap();
         assert_eq!(cfg.workloads.len(), 3);
-        assert_eq!(cfg.policy, "vulcan");
+        assert_eq!(cfg.policy, PolicyKind::Vulcan);
         for w in &cfg.workloads {
             w.to_spec().unwrap();
         }
@@ -413,7 +402,7 @@ mod tests {
         .unwrap();
         assert_eq!(cfg.machine.fast_gb, 32);
         assert_eq!(cfg.seconds, 60);
-        assert_eq!(cfg.policy, "vulcan");
+        assert_eq!(cfg.policy, PolicyKind::Vulcan);
     }
 
     #[test]
@@ -423,11 +412,20 @@ mod tests {
             start_sec: 0,
         };
         assert!(w.to_spec().is_err());
-        assert!(make_policy("firefly").is_err());
-        for p in [
-            "vulcan", "tpp", "memtis", "nomad", "mtm", "static", "uniform",
-        ] {
-            assert!(make_policy(p).is_ok());
+        // An unknown policy fails at config-parse time, not at run time.
+        let err = ExperimentConfig::from_json(
+            r#"{"policy": "firefly",
+                "workloads": [{"kind": "preset", "preset": "memcached"}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown policy 'firefly'"), "{err}");
+        for kind in PolicyKind::ALL {
+            let cfg = ExperimentConfig::from_json(&format!(
+                r#"{{"policy": "{kind}",
+                     "workloads": [{{"kind": "preset", "preset": "memcached"}}]}}"#
+            ))
+            .unwrap();
+            assert_eq!(cfg.policy, kind);
         }
     }
 
@@ -463,7 +461,7 @@ mod tests {
         let text = report(&res);
         assert!(text.contains("CFI fairness"));
         // Policy override works too.
-        let res2 = cfg.run(Some("memtis")).unwrap();
+        let res2 = cfg.run(Some(PolicyKind::Memtis)).unwrap();
         assert_eq!(res2.policy, "memtis");
     }
 

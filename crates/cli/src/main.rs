@@ -1,6 +1,6 @@
 //! `vulcan-sim` — run tiered-memory experiments from a JSON config.
 
-use vulcan::prelude::Telemetry;
+use vulcan::prelude::{PolicyKind, Telemetry};
 use vulcan_cli::{report, ExperimentConfig};
 
 const USAGE: &str = "\
@@ -120,7 +120,7 @@ fn cmd_compare(args: &[String]) -> Result<(), CliError> {
         .first()
         .ok_or_else(|| CliError::Usage("compare needs a config path".into()))?;
     let cfg = load(path)?;
-    for policy in ["tpp", "memtis", "nomad", "vulcan"] {
+    for policy in PolicyKind::PAPER {
         let res = cfg.run(Some(policy)).map_err(CliError::Usage)?;
         print!("{}", report(&res));
         println!();

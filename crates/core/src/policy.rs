@@ -465,18 +465,18 @@ mod tests {
     use vulcan_workloads::{microbench, MicroConfig, WorkloadSpec};
 
     fn run_micro(specs: Vec<WorkloadSpec>, fast: u64, n_quanta: u64) -> RunResult {
-        SimRunner::new(
-            MachineSpec::small(fast, 8192, 16),
-            specs,
-            &mut |_| Box::new(HybridProfiler::vulcan_default()),
-            Box::new(VulcanPolicy::new()),
-            SimConfig {
+        SimRunner::builder()
+            .machine(MachineSpec::small(fast, 8192, 16))
+            .workloads(specs)
+            .profiler_factory(|_| Box::new(HybridProfiler::vulcan_default()))
+            .policy(Box::new(VulcanPolicy::new()))
+            .config(SimConfig {
                 quantum_active: Nanos::micros(500),
                 n_quanta,
                 ..Default::default()
-            },
-        )
-        .run()
+            })
+            .build()
+            .run()
     }
 
     fn mb(name: &str, rss: u64, wss: u64, fixed_op: Nanos) -> WorkloadSpec {
@@ -600,17 +600,17 @@ mod colloid_tests {
             ..Default::default()
         });
         let engaged = std::cell::Cell::new(0);
-        let mut runner = SimRunner::new(
-            contended_machine(),
-            vec![workload()],
-            &mut |_| Box::new(HybridProfiler::vulcan_default()),
-            Box::new(policy),
-            SimConfig {
+        let mut runner = SimRunner::builder()
+            .machine(contended_machine())
+            .workloads(vec![workload()])
+            .profiler_factory(|_| Box::new(HybridProfiler::vulcan_default()))
+            .policy(Box::new(policy))
+            .config(SimConfig {
                 quantum_active: Nanos::micros(500),
                 n_quanta: 0,
                 ..Default::default()
-            },
-        );
+            })
+            .build();
         for _ in 0..15 {
             runner.run_quantum();
         }
@@ -638,17 +638,17 @@ mod colloid_tests {
             ..Default::default()
         });
         assert_eq!(policy.guard_engagements(), 0);
-        let mut runner = SimRunner::new(
-            contended_machine(),
-            vec![workload()],
-            &mut |_| Box::new(HybridProfiler::vulcan_default()),
-            Box::new(StaticNoop),
-            SimConfig {
+        let mut runner = SimRunner::builder()
+            .machine(contended_machine())
+            .workloads(vec![workload()])
+            .profiler_factory(|_| Box::new(HybridProfiler::vulcan_default()))
+            .policy(Box::new(StaticNoop))
+            .config(SimConfig {
                 quantum_active: Nanos::micros(500),
                 n_quanta: 0,
                 ..Default::default()
-            },
-        );
+            })
+            .build();
         // Saturate the fast tier by hand, then drive the policy directly.
         for _ in 0..3 {
             runner.run_quantum();
@@ -674,17 +674,17 @@ mod colloid_tests {
     fn guard_disengaged_on_healthy_machine() {
         // On the paper testbed the guard should essentially never fire.
         let mut policy = VulcanPolicy::new();
-        let mut runner = SimRunner::new(
-            MachineSpec::small(512, 4096, 8),
-            vec![workload()],
-            &mut |_| Box::new(HybridProfiler::vulcan_default()),
-            Box::new(StaticNoop),
-            SimConfig {
+        let mut runner = SimRunner::builder()
+            .machine(MachineSpec::small(512, 4096, 8))
+            .workloads(vec![workload()])
+            .profiler_factory(|_| Box::new(HybridProfiler::vulcan_default()))
+            .policy(Box::new(StaticNoop))
+            .config(SimConfig {
                 quantum_active: Nanos::micros(500),
                 n_quanta: 0,
                 ..Default::default()
-            },
-        );
+            })
+            .build();
         for _ in 0..5 {
             runner.run_quantum();
             policy.on_quantum(&mut runner.state);

@@ -149,9 +149,9 @@ mod tests {
 
     #[test]
     fn promotes_hot_wss_into_fast() {
-        let res = SimRunner::new(
-            MachineSpec::small(128, 4096, 8),
-            vec![microbench(
+        let res = SimRunner::builder()
+            .machine(MachineSpec::small(128, 4096, 8))
+            .workloads(vec![microbench(
                 "mb",
                 MicroConfig {
                     rss_pages: 512,
@@ -160,16 +160,16 @@ mod tests {
                     ..Default::default()
                 },
                 2,
-            )],
-            &mut |_| Box::new(PebsProfiler::new(4)),
-            Box::new(Memtis::new()),
-            SimConfig {
+            )])
+            .profiler_factory(|_| Box::new(PebsProfiler::new(4)))
+            .policy(Box::new(Memtis::new()))
+            .config(SimConfig {
                 quantum_active: Nanos::micros(500),
                 n_quanta: 25,
                 ..Default::default()
-            },
-        )
-        .run();
+            })
+            .build()
+            .run();
         let fthr = res.series.get("mb.fthr").unwrap().last().unwrap();
         assert!(fthr > 0.85, "hot WSS should end up fast: fthr={fthr}");
         // Off the critical path: no sync stall charged to the app.
@@ -201,18 +201,18 @@ mod tests {
             },
             2,
         );
-        let res = SimRunner::new(
-            MachineSpec::small(128, 4096, 8),
-            vec![lc, be],
-            &mut |_| Box::new(PebsProfiler::new(4)),
-            Box::new(Memtis::new()),
-            SimConfig {
+        let res = SimRunner::builder()
+            .machine(MachineSpec::small(128, 4096, 8))
+            .workloads(vec![lc, be])
+            .profiler_factory(|_| Box::new(PebsProfiler::new(4)))
+            .policy(Box::new(Memtis::new()))
+            .config(SimConfig {
                 quantum_active: Nanos::micros(500),
                 n_quanta: 25,
                 ..Default::default()
-            },
-        )
-        .run();
+            })
+            .build()
+            .run();
         let lc_fast = res.series.get("lc.fast_pages").unwrap().last().unwrap();
         let be_fast = res.series.get("be.fast_pages").unwrap().last().unwrap();
         assert!(

@@ -165,9 +165,9 @@ mod tests {
     use vulcan_workloads::{microbench, MicroConfig};
 
     fn run(read_ratio: f64) -> vulcan_runtime::SimRunner {
-        let mut r = SimRunner::new(
-            MachineSpec::small(256, 4096, 8),
-            vec![microbench(
+        let mut r = SimRunner::builder()
+            .machine(MachineSpec::small(256, 4096, 8))
+            .workloads(vec![microbench(
                 "mb",
                 MicroConfig {
                     rss_pages: 1024,
@@ -177,15 +177,15 @@ mod tests {
                 },
                 2,
             )
-            .preallocated(vulcan_sim::TierKind::Slow)],
-            &mut |_| Box::new(PebsProfiler::new(8)),
-            Box::new(Mtm::new()),
-            SimConfig {
+            .preallocated(vulcan_sim::TierKind::Slow)])
+            .profiler_factory(|_| Box::new(PebsProfiler::new(8)))
+            .policy(Box::new(Mtm::new()))
+            .config(SimConfig {
                 quantum_active: Nanos::micros(500),
                 n_quanta: 0,
                 ..Default::default()
-            },
-        );
+            })
+            .build();
         for _ in 0..20 {
             r.run_quantum();
         }

@@ -157,9 +157,9 @@ mod tests {
     use vulcan_workloads::{microbench, MicroConfig};
 
     fn run(read_ratio: f64, n_quanta: u64) -> vulcan_runtime::RunResult {
-        SimRunner::new(
-            MachineSpec::small(128, 4096, 8),
-            vec![microbench(
+        SimRunner::builder()
+            .machine(MachineSpec::small(128, 4096, 8))
+            .workloads(vec![microbench(
                 "mb",
                 MicroConfig {
                     rss_pages: 512,
@@ -169,16 +169,16 @@ mod tests {
                 },
                 2,
             )
-            .preallocated(vulcan_sim::TierKind::Slow)],
-            &mut |_| Box::new(HybridProfiler::vulcan_default()),
-            Box::new(Nomad::new()),
-            SimConfig {
+            .preallocated(vulcan_sim::TierKind::Slow)])
+            .profiler_factory(|_| Box::new(HybridProfiler::vulcan_default()))
+            .policy(Box::new(Nomad::new()))
+            .config(SimConfig {
                 quantum_active: Nanos::micros(500),
                 n_quanta,
                 ..Default::default()
-            },
-        )
-        .run()
+            })
+            .build()
+            .run()
     }
 
     #[test]

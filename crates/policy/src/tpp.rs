@@ -136,9 +136,9 @@ mod tests {
     use vulcan_workloads::{microbench, MicroConfig};
 
     fn quick(n_quanta: u64, fast: u64, wss: u64) -> SimRunner {
-        SimRunner::new(
-            MachineSpec::small(fast, 4096, 8),
-            vec![microbench(
+        SimRunner::builder()
+            .machine(MachineSpec::small(fast, 4096, 8))
+            .workloads(vec![microbench(
                 "mb",
                 MicroConfig {
                     rss_pages: 512,
@@ -147,15 +147,15 @@ mod tests {
                 },
                 2,
             )
-            .preallocated(vulcan_sim::TierKind::Slow)],
-            &mut |_| Box::new(HintFaultProfiler::new(0.25)),
-            Box::new(Tpp::new()),
-            SimConfig {
+            .preallocated(vulcan_sim::TierKind::Slow)])
+            .profiler_factory(|_| Box::new(HintFaultProfiler::new(0.25)))
+            .policy(Box::new(Tpp::new()))
+            .config(SimConfig {
                 quantum_active: Nanos::micros(500),
                 n_quanta,
                 ..Default::default()
-            },
-        )
+            })
+            .build()
     }
 
     #[test]

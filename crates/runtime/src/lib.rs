@@ -14,5 +14,7 @@ pub mod runner;
 pub mod state;
 
 pub use policy::{StaticPlacement, TieringPolicy, UniformPartition};
-pub use runner::{hot_page_ratio, RunResult, SimConfig, SimRunner, WorkloadResult};
+pub use runner::{
+    hot_page_ratio, RunResult, SimConfig, SimRunner, SimRunnerBuilder, WorkloadResult,
+};
 pub use state::{SystemState, WorkloadState, WorkloadStats, FTHR_ALPHA};

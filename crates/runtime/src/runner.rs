@@ -142,10 +142,125 @@ pub struct SimRunner {
     lat_hist: vulcan_telemetry::Histogram,
 }
 
+/// Marker type for a [`SimRunnerBuilder`] field that has been provided.
+pub struct Set;
+/// Marker type for a required [`SimRunnerBuilder`] field not yet provided.
+pub struct Unset;
+
+/// A boxed per-workload profiler constructor, as stored by the builder.
+type BoxedProfilerFactory = Box<dyn FnMut(&WorkloadSpec) -> Box<dyn Profiler>>;
+
+/// Builder for [`SimRunner`] with compile-checked required fields.
+///
+/// The three type parameters track whether the machine, the workloads
+/// and the policy have been supplied; [`SimRunnerBuilder::build`] only
+/// exists once all three are [`Set`], so forgetting one is a compile
+/// error, not a panic:
+///
+/// ```compile_fail
+/// # use vulcan_runtime::SimRunner;
+/// // error[E0599]: no method `build` — the policy was never provided.
+/// SimRunner::builder()
+///     .machine(vulcan_sim::MachineSpec::small(64, 512, 4))
+///     .workloads(vec![])
+///     .build();
+/// ```
+///
+/// The profiler factory defaults to [`HybridProfiler::vulcan_default`]
+/// and the configuration to [`SimConfig::default`]; both are optional.
+///
+/// [`HybridProfiler::vulcan_default`]: vulcan_profile::HybridProfiler::vulcan_default
+pub struct SimRunnerBuilder<M = Unset, W = Unset, P = Unset> {
+    machine: Option<MachineSpec>,
+    specs: Vec<WorkloadSpec>,
+    profiler_factory: BoxedProfilerFactory,
+    policy: Option<Box<dyn TieringPolicy>>,
+    cfg: SimConfig,
+    _state: std::marker::PhantomData<(M, W, P)>,
+}
+
+impl<M, W, P> SimRunnerBuilder<M, W, P> {
+    fn transition<M2, W2, P2>(self) -> SimRunnerBuilder<M2, W2, P2> {
+        SimRunnerBuilder {
+            machine: self.machine,
+            specs: self.specs,
+            profiler_factory: self.profiler_factory,
+            policy: self.policy,
+            cfg: self.cfg,
+            _state: std::marker::PhantomData,
+        }
+    }
+
+    /// The simulated machine to run on (required).
+    pub fn machine(mut self, spec: MachineSpec) -> SimRunnerBuilder<Set, W, P> {
+        self.machine = Some(spec);
+        self.transition()
+    }
+
+    /// The co-located workload mix (required; may be empty for
+    /// machine-only tests).
+    pub fn workloads(mut self, specs: Vec<WorkloadSpec>) -> SimRunnerBuilder<M, Set, P> {
+        self.specs = specs;
+        self.transition()
+    }
+
+    /// The tiering policy driving migration decisions (required).
+    pub fn policy(mut self, policy: Box<dyn TieringPolicy>) -> SimRunnerBuilder<M, W, Set> {
+        self.policy = Some(policy);
+        self.transition()
+    }
+
+    /// Override the per-workload profiler factory (optional; defaults to
+    /// Vulcan's hybrid profiler for every workload).
+    pub fn profiler_factory(
+        mut self,
+        f: impl FnMut(&WorkloadSpec) -> Box<dyn Profiler> + 'static,
+    ) -> SimRunnerBuilder<M, W, P> {
+        self.profiler_factory = Box::new(f);
+        self
+    }
+
+    /// Override the run configuration (optional; defaults to
+    /// [`SimConfig::default`]).
+    pub fn config(mut self, cfg: SimConfig) -> SimRunnerBuilder<M, W, P> {
+        self.cfg = cfg;
+        self
+    }
+}
+
+impl SimRunnerBuilder<Set, Set, Set> {
+    /// Construct the runner. Only callable once machine, workloads and
+    /// policy have all been provided.
+    pub fn build(mut self) -> SimRunner {
+        SimRunner::construct(
+            self.machine.expect("machine is Set"),
+            self.specs,
+            &mut self.profiler_factory,
+            self.policy.expect("policy is Set"),
+            self.cfg,
+        )
+    }
+}
+
 impl SimRunner {
+    /// Start building a runner: machine, workloads and policy are
+    /// required; profiler factory and config are optional.
+    pub fn builder() -> SimRunnerBuilder {
+        SimRunnerBuilder {
+            machine: None,
+            specs: Vec::new(),
+            profiler_factory: Box::new(|_| {
+                Box::new(vulcan_profile::HybridProfiler::vulcan_default())
+            }),
+            policy: None,
+            cfg: SimConfig::default(),
+            _state: std::marker::PhantomData,
+        }
+    }
+
     /// Build a runner with the given machine, workloads, profiler factory
     /// and policy.
-    pub fn new(
+    fn construct(
         machine_spec: MachineSpec,
         specs: Vec<WorkloadSpec>,
         make_profiler: &mut dyn FnMut(&WorkloadSpec) -> Box<dyn Profiler>,
@@ -199,7 +314,7 @@ impl SimRunner {
         for _ in 0..self.cfg.n_quanta {
             self.run_quantum();
         }
-        self.finish()
+        self.into_result()
     }
 
     /// Execute a single quantum (exposed for step-wise tests).
@@ -403,7 +518,9 @@ impl SimRunner {
         }
     }
 
-    fn finish(self) -> RunResult {
+    /// Summarize without running further quanta (for step-wise drivers
+    /// that interleave [`SimRunner::run_quantum`] with inspection).
+    pub fn into_result(self) -> RunResult {
         let per_workload = self
             .state
             .workloads
@@ -472,12 +589,26 @@ mod tests {
         )
     }
 
+    fn pebs_runner(
+        machine: MachineSpec,
+        specs: Vec<WorkloadSpec>,
+        policy: Box<dyn TieringPolicy>,
+        cfg: SimConfig,
+    ) -> SimRunner {
+        SimRunner::builder()
+            .machine(machine)
+            .workloads(specs)
+            .profiler_factory(|_| Box::new(PebsProfiler::new(4)))
+            .policy(policy)
+            .config(cfg)
+            .build()
+    }
+
     #[test]
     fn run_completes_and_reports() {
-        let runner = SimRunner::new(
+        let runner = pebs_runner(
             MachineSpec::small(256, 2048, 8),
             vec![micro_spec("a", 512, 128)],
-            &mut |_| Box::new(PebsProfiler::new(4)),
             Box::new(StaticPlacement),
             quick_cfg(5),
         );
@@ -495,10 +626,9 @@ mod tests {
 
     #[test]
     fn first_touch_fills_fast_tier_first() {
-        let runner = SimRunner::new(
+        let runner = pebs_runner(
             MachineSpec::small(64, 2048, 8),
             vec![micro_spec("a", 512, 512)],
-            &mut |_| Box::new(PebsProfiler::new(4)),
             Box::new(StaticPlacement),
             quick_cfg(3),
         );
@@ -511,10 +641,9 @@ mod tests {
     fn small_wss_reaches_high_hit_ratio_in_fast() {
         // WSS (32 pages) fits the 256-page fast tier: nearly all accesses
         // should land fast even with static placement.
-        let runner = SimRunner::new(
+        let runner = pebs_runner(
             MachineSpec::small(256, 2048, 8),
             vec![micro_spec("a", 128, 32)],
-            &mut |_| Box::new(PebsProfiler::new(4)),
             Box::new(StaticPlacement),
             quick_cfg(5),
         );
@@ -532,10 +661,9 @@ mod tests {
             micro_spec("early", 128, 32),
             micro_spec("late", 128, 32).starting_at(Nanos::secs(3)),
         ];
-        let runner = SimRunner::new(
+        let runner = pebs_runner(
             MachineSpec::small(256, 2048, 8),
             specs,
-            &mut |_| Box::new(PebsProfiler::new(4)),
             Box::new(StaticPlacement),
             quick_cfg(6),
         );
@@ -552,10 +680,9 @@ mod tests {
     #[test]
     fn uniform_quota_limits_fast_usage() {
         let specs = vec![micro_spec("a", 512, 512), micro_spec("b", 512, 512)];
-        let runner = SimRunner::new(
+        let runner = pebs_runner(
             MachineSpec::small(128, 4096, 8),
             specs,
-            &mut |_| Box::new(PebsProfiler::new(4)),
             Box::new(UniformPartition),
             quick_cfg(4),
         );
@@ -573,10 +700,9 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let mk = || {
-            SimRunner::new(
+            pebs_runner(
                 MachineSpec::small(128, 1024, 8),
                 vec![micro_spec("a", 256, 64)],
-                &mut |_| Box::new(PebsProfiler::new(4)),
                 Box::new(StaticPlacement),
                 quick_cfg(3),
             )

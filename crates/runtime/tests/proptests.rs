@@ -55,18 +55,18 @@ proptest! {
         } else {
             Box::new(StaticPlacement)
         };
-        let mut runner = SimRunner::new(
-            MachineSpec::small(256, 4_096, 8),
-            mix(&sizes, prealloc),
-            &mut |_| Box::new(PebsProfiler::new(8)),
-            policy,
-            SimConfig {
+        let mut runner = SimRunner::builder()
+            .machine(MachineSpec::small(256, 4_096, 8))
+            .workloads(mix(&sizes, prealloc))
+            .profiler_factory(|_| Box::new(PebsProfiler::new(8)))
+            .policy(policy)
+            .config(SimConfig {
                 quantum_active: Nanos::micros(200),
                 n_quanta: 0,
                 seed,
                 ..Default::default()
-            },
-        );
+            })
+            .build();
         for _ in 0..5 {
             runner.run_quantum();
         }
@@ -104,19 +104,19 @@ proptest! {
     #[test]
     fn full_determinism(sizes in arb_sizes(), seed in 0u64..1_000) {
         let make = || {
-            SimRunner::new(
-                MachineSpec::small(256, 4_096, 8),
-                mix(&sizes, true),
-                &mut |_| Box::new(PebsProfiler::new(8)),
-                Box::new(UniformPartition),
-                SimConfig {
+            SimRunner::builder()
+                .machine(MachineSpec::small(256, 4_096, 8))
+                .workloads(mix(&sizes, true))
+                .profiler_factory(|_| Box::new(PebsProfiler::new(8)))
+                .policy(Box::new(UniformPartition))
+                .config(SimConfig {
                     quantum_active: Nanos::micros(200),
                     n_quanta: 4,
                     seed,
                     ..Default::default()
-                },
-            )
-            .run()
+                })
+                .build()
+                .run()
         };
         let (a, b) = (make(), make());
         prop_assert_eq!(a.cfi, b.cfi);
@@ -134,19 +134,19 @@ proptest! {
     #[test]
     fn seeds_actually_vary(seed_a in 0u64..500, offset in 1u64..500) {
         let make = |seed| {
-            SimRunner::new(
-                MachineSpec::small(128, 4_096, 8),
-                mix(&[(512, 256)], false),
-                &mut |_| Box::new(PebsProfiler::new(8)),
-                Box::new(StaticPlacement),
-                SimConfig {
+            SimRunner::builder()
+                .machine(MachineSpec::small(128, 4_096, 8))
+                .workloads(mix(&[(512, 256)], false))
+                .profiler_factory(|_| Box::new(PebsProfiler::new(8)))
+                .policy(Box::new(StaticPlacement))
+                .config(SimConfig {
                     quantum_active: Nanos::micros(200),
                     n_quanta: 3,
                     seed,
                     ..Default::default()
-                },
-            )
-            .run()
+                })
+                .build()
+                .run()
         };
         let a = make(seed_a);
         let b = make(seed_a + offset);

@@ -26,16 +26,21 @@
 //!
 //! // Co-locate a latency-critical KV store with a best-effort sweep on
 //! // the paper's (scaled) testbed, managed by Vulcan.
-//! let result = SimRunner::new(
-//!     MachineSpec::paper_testbed(),
-//!     vec![memcached(), liblinear()],
-//!     &mut |_| Box::new(HybridProfiler::vulcan_default()),
-//!     Box::new(VulcanPolicy::new()),
-//!     SimConfig { n_quanta: 10, quantum_active: Nanos::micros(200), ..Default::default() },
-//! )
-//! .run();
+//! let result = SimRunner::builder()
+//!     .machine(MachineSpec::paper_testbed())
+//!     .workloads(vec![memcached(), liblinear()])
+//!     .policy(PolicyKind::Vulcan.make())
+//!     .config(SimConfig {
+//!         n_quanta: 10,
+//!         quantum_active: Nanos::micros(200),
+//!         ..Default::default()
+//!     })
+//!     .build()
+//!     .run();
 //! assert!(result.cfi > 0.0 && result.cfi <= 1.0);
 //! ```
+
+pub mod registry;
 
 pub use vulcan_core as core;
 pub use vulcan_metrics as metrics;
@@ -50,6 +55,7 @@ pub use vulcan_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::registry::{make_policy, PolicyKind, UnknownPolicy};
     pub use vulcan_core::{Cbfrp, Classifier, PageClass, ServiceClass, VulcanConfig, VulcanPolicy};
     pub use vulcan_metrics::{jain_index, CfiAccumulator, Table};
     pub use vulcan_migrate::{AsyncMigrator, MechanismConfig, PrepStrategy, ShadowRegistry};
@@ -58,7 +64,8 @@ pub mod prelude {
         HintFaultProfiler, HybridProfiler, PebsProfiler, Profiler, PtScanProfiler,
     };
     pub use vulcan_runtime::{
-        RunResult, SimConfig, SimRunner, StaticPlacement, TieringPolicy, UniformPartition,
+        RunResult, SimConfig, SimRunner, SimRunnerBuilder, StaticPlacement, TieringPolicy,
+        UniformPartition,
     };
     pub use vulcan_sim::{Cycles, MachineSpec, Nanos, TierKind};
     pub use vulcan_telemetry::{EventKind, Telemetry};

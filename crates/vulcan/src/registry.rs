@@ -1,0 +1,171 @@
+//! The policy registry: every tiering policy the workspace can run,
+//! as a closed enum instead of bare strings.
+//!
+//! Binaries and the CLI used to pass policy names around as `&str` and
+//! panic (or error) deep inside a run when a name was misspelled. With
+//! [`PolicyKind`] an unknown name fails exactly once — at parse time —
+//! and each kind knows how to build both its policy object and the
+//! profiler its original system uses.
+
+use std::fmt;
+use std::str::FromStr;
+
+use vulcan_core::VulcanPolicy;
+use vulcan_policy::{profiler_for, Memtis, Mtm, Nomad, Tpp};
+use vulcan_profile::Profiler;
+use vulcan_runtime::{StaticPlacement, TieringPolicy, UniformPartition};
+
+/// Every policy the workspace can instantiate.
+///
+/// The paper evaluates [`Tpp`], [`Memtis`], [`Nomad`] and Vulcan;
+/// `Static`, `Uniform` and `Mtm` are the no-migration floor, the
+/// fairness straw man (§3.3) and the biased-migration ancestor (§3.5)
+/// used by the extended comparison and the CLI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// First-touch placement, no migration (the floor).
+    Static,
+    /// Uniform fast-tier partition, no hotness ranking.
+    Uniform,
+    /// TPP (Transparent Page Placement).
+    Tpp,
+    /// MEMTIS (PEBS-driven hotness tiering).
+    Memtis,
+    /// NOMAD (transactional page migration).
+    Nomad,
+    /// MTM (read/write-biased migration, Vulcan's ancestor).
+    Mtm,
+    /// Vulcan — the paper's system.
+    Vulcan,
+}
+
+impl PolicyKind {
+    /// Every policy, in the extended comparison's presentation order.
+    pub const ALL: [PolicyKind; 7] = [
+        PolicyKind::Static,
+        PolicyKind::Uniform,
+        PolicyKind::Tpp,
+        PolicyKind::Memtis,
+        PolicyKind::Nomad,
+        PolicyKind::Mtm,
+        PolicyKind::Vulcan,
+    ];
+
+    /// The four evaluated systems, in the paper's presentation order.
+    pub const PAPER: [PolicyKind; 4] = [
+        PolicyKind::Tpp,
+        PolicyKind::Memtis,
+        PolicyKind::Nomad,
+        PolicyKind::Vulcan,
+    ];
+
+    /// The canonical (lowercase) name, matching each policy's
+    /// `TieringPolicy::name`.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Static => "static",
+            PolicyKind::Uniform => "uniform",
+            PolicyKind::Tpp => "tpp",
+            PolicyKind::Memtis => "memtis",
+            PolicyKind::Nomad => "nomad",
+            PolicyKind::Mtm => "mtm",
+            PolicyKind::Vulcan => "vulcan",
+        }
+    }
+
+    /// Instantiate the policy with its default configuration.
+    pub fn make(self) -> Box<dyn TieringPolicy> {
+        match self {
+            PolicyKind::Static => Box::new(StaticPlacement),
+            PolicyKind::Uniform => Box::new(UniformPartition),
+            PolicyKind::Tpp => Box::new(Tpp::new()),
+            PolicyKind::Memtis => Box::new(Memtis::new()),
+            PolicyKind::Nomad => Box::new(Nomad::new()),
+            PolicyKind::Mtm => Box::new(Mtm::new()),
+            PolicyKind::Vulcan => Box::new(VulcanPolicy::new()),
+        }
+    }
+
+    /// Instantiate the profiling mechanism the policy's original system
+    /// uses (§5.1): hint faults for TPP, PEBS for Memtis/MTM, hybrid
+    /// sampling for Nomad and Vulcan.
+    pub fn profiler(self) -> Box<dyn Profiler> {
+        profiler_for(self.name())
+    }
+}
+
+/// Instantiate a policy by kind (the registry entry point; equivalent to
+/// [`PolicyKind::make`], kept as a free function for call-site symmetry
+/// with the old stringly-typed `make_policy`).
+pub fn make_policy(kind: PolicyKind) -> Box<dyn TieringPolicy> {
+    kind.make()
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for an unrecognized policy name, listing the valid ones.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownPolicy(pub String);
+
+impl fmt::Display for UnknownPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown policy '{}' (expected one of: ", self.0)?;
+        for (i, kind) in PolicyKind::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(kind.name())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for UnknownPolicy {}
+
+impl FromStr for PolicyKind {
+    type Err = UnknownPolicy;
+
+    fn from_str(s: &str) -> Result<PolicyKind, UnknownPolicy> {
+        PolicyKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| UnknownPolicy(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_fromstr_and_display() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.to_string().parse::<PolicyKind>(), Ok(kind));
+        }
+    }
+
+    #[test]
+    fn make_matches_policy_self_reported_name() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.make().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn unknown_name_fails_at_parse_time_with_catalog() {
+        let err = "firefly".parse::<PolicyKind>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown policy 'firefly'"), "{msg}");
+        assert!(msg.contains("vulcan") && msg.contains("tpp"), "{msg}");
+    }
+
+    #[test]
+    fn paper_subset_is_presentation_ordered() {
+        let names: Vec<&str> = PolicyKind::PAPER.iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["tpp", "memtis", "nomad", "vulcan"]);
+    }
+}

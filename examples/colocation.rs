@@ -30,17 +30,17 @@ fn main() {
     let mut rows = Vec::new();
 
     for name in policies {
-        let result = SimRunner::new(
-            MachineSpec::paper_testbed(),
-            specs(),
-            &mut |_| profiler_for(name),
-            policy_by_name(name),
-            SimConfig {
+        let result = SimRunner::builder()
+            .machine(MachineSpec::paper_testbed())
+            .workloads(specs())
+            .profiler_factory(|_| profiler_for(name))
+            .policy(policy_by_name(name))
+            .config(SimConfig {
                 n_quanta: 200,
                 ..Default::default()
-            },
-        )
-        .run();
+            })
+            .build()
+            .run();
         rows.push(result);
     }
 

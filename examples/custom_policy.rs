@@ -46,17 +46,17 @@ impl TieringPolicy for GreedyHotness {
 }
 
 fn run(policy: Box<dyn TieringPolicy>) -> RunResult {
-    SimRunner::new(
-        MachineSpec::paper_testbed(),
-        vec![memcached(), liblinear()],
-        &mut |_| Box::new(HybridProfiler::vulcan_default()),
-        policy,
-        SimConfig {
+    SimRunner::builder()
+        .machine(MachineSpec::paper_testbed())
+        .workloads(vec![memcached(), liblinear()])
+        .profiler_factory(|_| Box::new(HybridProfiler::vulcan_default()))
+        .policy(policy)
+        .config(SimConfig {
             n_quanta: 60,
             ..Default::default()
-        },
-    )
-    .run()
+        })
+        .build()
+        .run()
 }
 
 fn main() {

@@ -14,18 +14,20 @@ fn main() {
     // Table 2 workloads: memcached (LC) and liblinear (BE).
     let workloads = vec![memcached(), liblinear()];
 
-    let result = SimRunner::new(
-        machine,
-        workloads,
-        // Vulcan's default hybrid profiler (PEBS + hinting faults, §3.2).
-        &mut |_| Box::new(HybridProfiler::vulcan_default()),
-        Box::new(VulcanPolicy::new()),
-        SimConfig {
+    let result = SimRunner::builder()
+        .machine(machine)
+        .workloads(workloads)
+        .profiler_factory(
+            // Vulcan's default hybrid profiler (PEBS + hinting faults, §3.2).
+            |_| Box::new(HybridProfiler::vulcan_default()),
+        )
+        .policy(Box::new(VulcanPolicy::new()))
+        .config(SimConfig {
             n_quanta: 60, // one simulated minute
             ..Default::default()
-        },
-    )
-    .run();
+        })
+        .build()
+        .run();
 
     let mut table = Table::new(
         format!("{} after 60 s", result.policy),

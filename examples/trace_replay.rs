@@ -30,17 +30,17 @@ fn main() {
         ("vulcan", Box::new(VulcanPolicy::new())),
     ] {
         let spec = replay("kv-trace", trace.clone(), WorkloadClass::LatencyCritical);
-        let res = SimRunner::new(
-            MachineSpec::small(4_096, 32_768, 16),
-            vec![spec],
-            &mut |_| profiler_for(label),
-            policy,
-            SimConfig {
+        let res = SimRunner::builder()
+            .machine(MachineSpec::small(4_096, 32_768, 16))
+            .workloads(vec![spec])
+            .profiler_factory(|_| profiler_for(label))
+            .policy(policy)
+            .config(SimConfig {
                 n_quanta: 30,
                 ..Default::default()
-            },
-        )
-        .run();
+            })
+            .build()
+            .run();
         rows.push((label, res));
     }
 

@@ -1,52 +1,334 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate, backed by a real thread pool.
 //!
-//! The build environment has no access to crates.io, so this shim maps
-//! the `par_iter` / `into_par_iter` entry points onto ordinary
-//! sequential iterators. Callers keep their code shape (and gain real
-//! parallelism again the moment the genuine crate is available); the
-//! semantics are identical because the workspace only uses rayon for
-//! independent, order-insensitive work items.
+//! The build environment has no access to crates.io, so this shim keeps
+//! the upstream package name and an API subset — but unlike the original
+//! sequential placeholder it now executes work items on a scoped thread
+//! pool (`std::thread::scope`):
+//!
+//! * the pool is sized from [`std::thread::available_parallelism`],
+//!   overridable with the `RAYON_NUM_THREADS` environment variable or
+//!   programmatically via [`pool::set_num_threads`] (the `--threads`
+//!   flag of the benchmark binaries);
+//! * work is distributed in chunks claimed from an atomic cursor, so
+//!   threads that finish early pick up the remaining chunks;
+//! * results are collected **index-ordered**: `map`/`flat_map`/`collect`
+//!   produce exactly the sequence a sequential iterator would, so every
+//!   artifact derived from a parallel sweep is byte-identical no matter
+//!   how many threads ran it;
+//! * a panicking work item is caught, the remaining items still run to
+//!   completion on the surviving workers, and the first panic payload is
+//!   re-raised on the caller's thread once the scope joins.
+//!
+//! Nested parallel calls (a parallel iterator inside a pool worker) run
+//! sequentially on the worker that spawned them instead of growing the
+//! thread count multiplicatively.
+
+pub mod pool {
+    //! The scoped worker pool executing parallel-iterator work.
+
+    use std::cell::Cell;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Programmatic thread-count override; 0 means "not set".
+    static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+    thread_local! {
+        /// Set while the current thread is a pool worker: nested
+        /// parallel calls fall back to sequential execution.
+        static IN_POOL: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Force the pool size for subsequent parallel calls (`--threads`).
+    /// Takes precedence over `RAYON_NUM_THREADS`; 0 clears the override.
+    pub fn set_num_threads(n: usize) {
+        THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+    }
+
+    /// The number of worker threads a parallel call will use: the
+    /// [`set_num_threads`] override, else `RAYON_NUM_THREADS`, else
+    /// [`std::thread::available_parallelism`].
+    pub fn current_num_threads() -> usize {
+        match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+            0 => {}
+            n => return n,
+        }
+        if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Apply `f` to every item on the current pool, returning results in
+    /// input order. Panics from `f` are re-raised after all other items
+    /// finished.
+    pub fn run<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        run_on(current_num_threads(), items, f)
+    }
+
+    /// [`run`] with an explicit thread count (used by the pool's own
+    /// tests; prefer `run` + [`set_num_threads`] elsewhere).
+    pub fn run_on<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = threads.min(n);
+        if workers <= 1 || IN_POOL.with(Cell::get) {
+            return items.into_iter().map(f).collect();
+        }
+
+        // Work slots and result slots share the item index, so output
+        // order never depends on scheduling. Chunks amortize the cursor
+        // contention while staying small enough to balance uneven items.
+        let chunk = (n / (workers * 4)).max(1);
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<R>>> = std::iter::repeat_with(|| Mutex::new(None))
+            .take(n)
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    IN_POOL.with(|c| c.set(true));
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(n) {
+                            let item = slots[i]
+                                .lock()
+                                .expect("work slot lock")
+                                .take()
+                                .expect("each slot is claimed exactly once");
+                            match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                                Ok(r) => *results[i].lock().expect("result slot lock") = Some(r),
+                                Err(payload) => {
+                                    let mut p = first_panic.lock().expect("panic slot lock");
+                                    if p.is_none() {
+                                        *p = Some(payload);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(payload) = first_panic.into_inner().expect("panic slot") {
+            resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot")
+                    .expect("every index produced a result")
+            })
+            .collect()
+    }
+}
 
 pub mod prelude {
     //! The usual glob import, mirroring `rayon::prelude`.
 
-    /// `into_par_iter()` for owned collections and ranges — sequential
-    /// in this shim.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Iterate the items (sequentially).
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+    use crate::pool;
+
+    /// A parallel iterator: a chain of adapters over a materialized item
+    /// list, executed on the pool with index-ordered results.
+    pub trait ParallelIterator: Sized + Send {
+        /// The element type produced by this stage.
+        type Item: Send;
+
+        /// Execute the chain, returning the items in sequential order.
+        fn run(self) -> Vec<Self::Item>;
+
+        /// Apply `f` to every item in parallel.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync + Send,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Apply `f` in parallel and flatten the per-item sequences in
+        /// input order.
+        fn flat_map<PI, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            PI: IntoIterator + Send,
+            PI::Item: Send,
+            F: Fn(Self::Item) -> PI + Sync + Send,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Pair every item with its sequential index.
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate { inner: self }
+        }
+
+        /// Run the chain for its side effects.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync + Send,
+        {
+            self.map(f).run();
+        }
+
+        /// Execute and collect into any `FromIterator` container, in
+        /// sequential order.
+        fn collect<C>(self) -> C
+        where
+            C: FromIterator<Self::Item>,
+        {
+            self.run().into_iter().collect()
+        }
+
+        /// Execute and sum the results.
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item>,
+        {
+            self.run().into_iter().sum()
+        }
+
+        /// Execute and count the results.
+        fn count(self) -> usize {
+            self.run().len()
         }
     }
 
-    impl<T: IntoIterator> IntoParallelIterator for T {}
-
-    /// `par_iter()` for borrowed slices — sequential in this shim.
-    pub trait IntoParallelRefIterator {
-        /// The element type.
-        type Item;
-        /// Iterate shared references to the items (sequentially).
-        fn par_iter(&self) -> std::slice::Iter<'_, Self::Item>;
+    /// The source stage: a materialized list of items.
+    pub struct IntoParIter<T> {
+        items: Vec<T>,
     }
 
-    impl<T> IntoParallelRefIterator for [T] {
+    impl<T: Send> ParallelIterator for IntoParIter<T> {
         type Item = T;
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
+        fn run(self) -> Vec<T> {
+            self.items
         }
     }
 
-    impl<T> IntoParallelRefIterator for Vec<T> {
-        type Item = T;
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
+    /// Parallel `map` stage.
+    pub struct Map<I, F> {
+        inner: I,
+        f: F,
+    }
+
+    impl<I, R, F> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync + Send,
+    {
+        type Item = R;
+        fn run(self) -> Vec<R> {
+            pool::run(self.inner.run(), self.f)
+        }
+    }
+
+    /// Parallel `flat_map` stage.
+    pub struct FlatMap<I, F> {
+        inner: I,
+        f: F,
+    }
+
+    impl<I, PI, F> ParallelIterator for FlatMap<I, F>
+    where
+        I: ParallelIterator,
+        PI: IntoIterator + Send,
+        PI::Item: Send,
+        F: Fn(I::Item) -> PI + Sync + Send,
+    {
+        type Item = PI::Item;
+        fn run(self) -> Vec<PI::Item> {
+            pool::run(self.inner.run(), self.f)
+                .into_iter()
+                .flatten()
+                .collect()
+        }
+    }
+
+    /// Index-pairing stage (cheap, sequential).
+    pub struct Enumerate<I> {
+        inner: I,
+    }
+
+    impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+        type Item = (usize, I::Item);
+        fn run(self) -> Vec<(usize, I::Item)> {
+            self.inner.run().into_iter().enumerate().collect()
+        }
+    }
+
+    /// `into_par_iter()` for owned collections and ranges.
+    pub trait IntoParallelIterator: IntoIterator + Sized
+    where
+        Self::Item: Send,
+    {
+        /// Convert into a parallel iterator over the owned items.
+        fn into_par_iter(self) -> IntoParIter<Self::Item> {
+            IntoParIter {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T where T::Item: Send {}
+
+    /// `par_iter()` for borrowed slices and `Vec`s.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The borrowed element type.
+        type Item: Send + 'a;
+        /// Iterate shared references to the items in parallel.
+        fn par_iter(&'a self) -> IntoParIter<Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> IntoParIter<&'a T> {
+            IntoParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> IntoParIter<&'a T> {
+            IntoParIter {
+                items: self.iter().collect(),
+            }
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::pool;
     use super::prelude::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
     #[test]
     fn par_iter_matches_iter() {
@@ -55,5 +337,88 @@ mod tests {
         assert_eq!(doubled, vec![2, 4, 6, 8]);
         let sum: i32 = (0..5).into_par_iter().sum();
         assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn order_is_sequential_regardless_of_threads() {
+        let expected: Vec<u64> = (0..257u64).map(|x| x * x).collect();
+        for threads in [1, 2, 4, 13] {
+            let got = pool::run_on(threads, (0..257u64).collect(), |x| x * x);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn flat_map_enumerate_chain_preserves_order() {
+        let grid: Vec<(usize, u64)> = [10u64, 20, 30]
+            .par_iter()
+            .enumerate()
+            .flat_map(|(i, &base)| (0..4u64).map(|t| (i, base + t)).collect::<Vec<_>>())
+            .collect();
+        let expected: Vec<(usize, u64)> = [10u64, 20, 30]
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &base)| (0..4u64).map(move |t| (i, base + t)))
+            .collect();
+        assert_eq!(grid, expected);
+    }
+
+    #[test]
+    fn nested_parallelism_runs_and_stays_ordered() {
+        let out: Vec<Vec<u64>> = pool::run_on(4, (0..8u64).collect(), |i| {
+            // Inner parallel call from a worker: must degrade to
+            // sequential execution, not deadlock or nest scopes.
+            (0..4u64).into_par_iter().map(|j| i * 10 + j).collect()
+        });
+        assert_eq!(out[3], vec![30, 31, 32, 33]);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn panic_propagates_without_poisoning_other_results() {
+        const N: usize = 16;
+        let completed = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool::run_on(4, (0..N as u64).collect(), |i| {
+                if i == 3 {
+                    panic!("cell 3 exploded");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+                sum.fetch_add(i, Ordering::SeqCst);
+                i
+            })
+        }));
+        let payload = err.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("panic payload is preserved");
+        assert_eq!(msg, "cell 3 exploded");
+        // Every other cell still ran exactly once and produced its value.
+        assert_eq!(completed.load(Ordering::SeqCst), (N - 1) as u64);
+        let expected: u64 = (0..N as u64).filter(|&i| i != 3).sum();
+        assert_eq!(sum.load(Ordering::SeqCst), expected);
+    }
+
+    #[test]
+    fn chunking_covers_every_item_exactly_once() {
+        for n in [0usize, 1, 2, 7, 64, 100] {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let out = pool::run_on(3, (0..n).collect(), |i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+                i
+            });
+            assert_eq!(out, (0..n).collect::<Vec<_>>());
+            assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        }
+    }
+
+    #[test]
+    fn thread_count_override_wins() {
+        pool::set_num_threads(3);
+        assert_eq!(pool::current_num_threads(), 3);
+        pool::set_num_threads(0);
+        assert!(pool::current_num_threads() >= 1);
     }
 }

@@ -14,32 +14,26 @@ fn specs() -> Vec<WorkloadSpec> {
     ]
 }
 
-fn run(policy_name: &str) -> RunResult {
-    let policy: Box<dyn TieringPolicy> = match policy_name {
-        "tpp" => Box::new(Tpp::new()),
-        "memtis" => Box::new(Memtis::new()),
-        "nomad" => Box::new(Nomad::new()),
-        "vulcan" => Box::new(VulcanPolicy::new()),
-        _ => unreachable!(),
-    };
-    SimRunner::new(
-        MachineSpec::paper_testbed(),
-        specs(),
-        &mut |_| profiler_for(policy_name),
-        policy,
-        SimConfig {
+fn run(kind: PolicyKind) -> RunResult {
+    SimRunner::builder()
+        .machine(MachineSpec::paper_testbed())
+        .workloads(specs())
+        .profiler_factory(move |_| kind.profiler())
+        .policy(kind.make())
+        .config(SimConfig {
             quantum_active: Nanos::micros(500),
             n_quanta: 110,
             ..Default::default()
-        },
-    )
-    .run()
+        })
+        .build()
+        .run()
 }
 
 #[test]
 fn all_policies_complete_with_sane_metrics() {
-    for name in ["tpp", "memtis", "nomad", "vulcan"] {
-        let res = run(name);
+    for kind in PolicyKind::PAPER {
+        let name = kind.name();
+        let res = run(kind);
         assert_eq!(res.policy, name);
         assert!((0.0..=1.0).contains(&res.cfi), "{name}: cfi={}", res.cfi);
         for w in &res.per_workload {
@@ -68,8 +62,8 @@ fn all_policies_complete_with_sane_metrics() {
 
 #[test]
 fn vulcan_is_fairest() {
-    let vulcan = run("vulcan");
-    for baseline in ["memtis", "nomad"] {
+    let vulcan = run(PolicyKind::Vulcan);
+    for baseline in [PolicyKind::Memtis, PolicyKind::Nomad] {
         let other = run(baseline);
         assert!(
             vulcan.cfi > other.cfi,
@@ -87,8 +81,8 @@ fn vulcan_protects_the_lc_workload() {
     // assert the robust underlying signal — the LC workload's fast-tier
     // hit ratio — and leave the strict performance ordering to the
     // full-scale `fig10` bench (200 s, multiple trials).
-    let vulcan = run("vulcan");
-    let memtis = run("memtis");
+    let vulcan = run(PolicyKind::Vulcan);
+    let memtis = run(PolicyKind::Memtis);
     let fthr = |r: &RunResult| {
         r.series
             .get("memcached.fthr")
@@ -104,7 +98,7 @@ fn vulcan_protects_the_lc_workload() {
 
 #[test]
 fn staggered_arrivals_reshape_allocations() {
-    let res = run("vulcan");
+    let res = run(PolicyKind::Vulcan);
     let mc_fast = res.series.get("memcached.fast_pages").unwrap();
     // While alone, memcached may hold far more than its eventual share;
     // after liblinear arrives the partition tightens.
@@ -130,7 +124,7 @@ fn staggered_arrivals_reshape_allocations() {
 fn be_workloads_are_not_starved_by_vulcan() {
     // "Leave no one behind": even the greedy BE sweep keeps a nonzero
     // fast-tier share and makes progress under Vulcan.
-    let res = run("vulcan");
+    let res = run(PolicyKind::Vulcan);
     let lib_fast = res
         .series
         .get("liblinear.fast_pages")

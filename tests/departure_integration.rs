@@ -34,17 +34,17 @@ fn specs() -> Vec<WorkloadSpec> {
 }
 
 fn runner() -> vulcan::runtime::SimRunner {
-    vulcan::runtime::SimRunner::new(
-        MachineSpec::small(1_024, 8_192, 16),
-        specs(),
-        &mut |_| Box::new(HybridProfiler::vulcan_default()),
-        Box::new(VulcanPolicy::new()),
-        SimConfig {
+    vulcan::runtime::SimRunner::builder()
+        .machine(MachineSpec::small(1_024, 8_192, 16))
+        .workloads(specs())
+        .profiler_factory(|_| Box::new(HybridProfiler::vulcan_default()))
+        .policy(Box::new(VulcanPolicy::new()))
+        .config(SimConfig {
             quantum_active: Nanos::millis(1),
             n_quanta: 0,
             ..Default::default()
-        },
-    )
+        })
+        .build()
 }
 
 #[test]

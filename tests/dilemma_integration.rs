@@ -17,20 +17,15 @@ fn cfg() -> SimConfig {
     }
 }
 
-fn run(workloads: Vec<WorkloadSpec>, policy: &str) -> RunResult {
-    let p: Box<dyn TieringPolicy> = match policy {
-        "memtis" => Box::new(Memtis::new()),
-        "vulcan" => Box::new(VulcanPolicy::new()),
-        _ => unreachable!(),
-    };
-    SimRunner::new(
-        MachineSpec::paper_testbed(),
-        workloads,
-        &mut |_| profiler_for(policy),
-        p,
-        cfg(),
-    )
-    .run()
+fn run(workloads: Vec<WorkloadSpec>, kind: PolicyKind) -> RunResult {
+    SimRunner::builder()
+        .machine(MachineSpec::paper_testbed())
+        .workloads(workloads)
+        .profiler_factory(move |_| kind.profiler())
+        .policy(kind.make())
+        .config(cfg())
+        .build()
+        .run()
 }
 
 /// Mean hot-page ratio over the settled tail of the run.
@@ -43,7 +38,7 @@ fn settled_hot_ratio(res: &RunResult, name: &str) -> f64 {
 
 #[test]
 fn memtis_solo_memcached_keeps_hot_pages_fast() {
-    let res = run(vec![memcached()], "memtis");
+    let res = run(vec![memcached()], PolicyKind::Memtis);
     let ratio = settled_hot_ratio(&res, "memcached");
     // Solo, the fast tier (8192 pages) holds ~63% of memcached's 13056
     // pages — the paper reports ~75% on its testbed.
@@ -55,8 +50,8 @@ fn memtis_solo_memcached_keeps_hot_pages_fast() {
 
 #[test]
 fn memtis_colocation_triggers_the_dilemma() {
-    let solo = run(vec![memcached()], "memtis");
-    let co = run(vec![memcached(), liblinear()], "memtis");
+    let solo = run(vec![memcached()], PolicyKind::Memtis);
+    let co = run(vec![memcached(), liblinear()], PolicyKind::Memtis);
 
     let solo_ratio = settled_hot_ratio(&solo, "memcached");
     let co_ratio = settled_hot_ratio(&co, "memcached");
@@ -80,7 +75,7 @@ fn memtis_colocation_triggers_the_dilemma() {
     // purely memory-bound sweep is proportionally sensitive to the fast
     // share it cedes to memcached's index, so we assert tolerance, not
     // strict ordering.)
-    let lib_solo = run(vec![liblinear()], "memtis");
+    let lib_solo = run(vec![liblinear()], PolicyKind::Memtis);
     let lib_norm =
         co.workload("liblinear").performance() / lib_solo.workload("liblinear").performance();
     assert!(
@@ -96,8 +91,8 @@ fn memtis_colocation_triggers_the_dilemma() {
 
 #[test]
 fn vulcan_prevents_the_dilemma() {
-    let memtis = run(vec![memcached(), liblinear()], "memtis");
-    let vulcan = run(vec![memcached(), liblinear()], "vulcan");
+    let memtis = run(vec![memcached(), liblinear()], PolicyKind::Memtis);
+    let vulcan = run(vec![memcached(), liblinear()], PolicyKind::Vulcan);
 
     // Vulcan holds fewer-but-hotter LC pages: the protection shows in
     // the hit ratio, not raw residency.
@@ -125,7 +120,7 @@ fn vulcan_prevents_the_dilemma() {
 
 #[test]
 fn vulcan_keeps_lc_fthr_above_its_gpt() {
-    let res = run(vec![memcached(), liblinear()], "vulcan");
+    let res = run(vec![memcached(), liblinear()], PolicyKind::Vulcan);
     // GPT = GFMC / RSS = 4096 / 13056.
     let gpt = 4096.0 / 13056.0;
     let fthr = res.series.get("memcached.fthr").unwrap().mean_after(20.0);

@@ -23,18 +23,18 @@ fn run(
     policy: Box<dyn TieringPolicy>,
     n_quanta: u64,
 ) -> RunResult {
-    SimRunner::new(
-        machine,
-        specs,
-        &mut |_| Box::new(HybridProfiler::vulcan_default()),
-        policy,
-        SimConfig {
+    SimRunner::builder()
+        .machine(machine)
+        .workloads(specs)
+        .profiler_factory(|_| Box::new(HybridProfiler::vulcan_default()))
+        .policy(policy)
+        .config(SimConfig {
             quantum_active: Nanos::micros(500),
             n_quanta,
             ..Default::default()
-        },
-    )
-    .run()
+        })
+        .build()
+        .run()
 }
 
 #[test]

@@ -20,18 +20,18 @@ fn micro(name: &str, rss: u64, wss: u64, read_ratio: f64) -> WorkloadSpec {
 }
 
 fn runner(replication: bool, read_ratio: f64) -> vulcan::runtime::SimRunner {
-    vulcan::runtime::SimRunner::new(
-        MachineSpec::small(1024, 8192, 16),
-        vec![micro("mb", 2048, 512, read_ratio)],
-        &mut |_| Box::new(HybridProfiler::vulcan_default()),
-        Box::new(VulcanPolicy::new()),
-        SimConfig {
+    vulcan::runtime::SimRunner::builder()
+        .machine(MachineSpec::small(1024, 8192, 16))
+        .workloads(vec![micro("mb", 2048, 512, read_ratio)])
+        .profiler_factory(|_| Box::new(HybridProfiler::vulcan_default()))
+        .policy(Box::new(VulcanPolicy::new()))
+        .config(SimConfig {
             quantum_active: Nanos::millis(1),
             n_quanta: 20,
             replication,
             ..Default::default()
-        },
-    )
+        })
+        .build()
 }
 
 #[test]
@@ -148,18 +148,18 @@ fn vulcan_mechanism_stalls_less_than_linux_baseline() {
     // the optimized mechanism, TPP synchronously on hinting faults with
     // the vanilla one — the application-visible stall gap is the point
     // of §3.2/§3.4/§3.5 combined.
-    let tpp = vulcan::runtime::SimRunner::new(
-        MachineSpec::small(1024, 8192, 16),
-        vec![micro("mb", 2048, 512, 0.95)],
-        &mut |_| profiler_for("tpp"),
-        Box::new(Tpp::new()),
-        SimConfig {
+    let tpp = vulcan::runtime::SimRunner::builder()
+        .machine(MachineSpec::small(1024, 8192, 16))
+        .workloads(vec![micro("mb", 2048, 512, 0.95)])
+        .profiler_factory(|_| profiler_for("tpp"))
+        .policy(Box::new(Tpp::new()))
+        .config(SimConfig {
             quantum_active: Nanos::millis(1),
             n_quanta: 20,
             ..Default::default()
-        },
-    )
-    .run();
+        })
+        .build()
+        .run();
     let vulcan_run = runner(true, 0.95).run();
     let t = tpp.workload("mb").stall_cycles.0;
     let v = vulcan_run.workload("mb").stall_cycles.0;

@@ -27,17 +27,17 @@ fn micro(thp: bool) -> WorkloadSpec {
 }
 
 fn runner(thp: bool, fast_pages: u64) -> vulcan::runtime::SimRunner {
-    vulcan::runtime::SimRunner::new(
-        MachineSpec::small(fast_pages, 16_384, 8),
-        vec![micro(thp)],
-        &mut |_| Box::new(HybridProfiler::vulcan_default()),
-        Box::new(StaticPlacement),
-        SimConfig {
+    vulcan::runtime::SimRunner::builder()
+        .machine(MachineSpec::small(fast_pages, 16_384, 8))
+        .workloads(vec![micro(thp)])
+        .profiler_factory(|_| Box::new(HybridProfiler::vulcan_default()))
+        .policy(Box::new(StaticPlacement))
+        .config(SimConfig {
             quantum_active: Nanos::millis(1),
             n_quanta: 8,
             ..Default::default()
-        },
-    )
+        })
+        .build()
 }
 
 #[test]
@@ -91,18 +91,20 @@ fn thp_regions_do_not_straddle_tiers() {
 #[test]
 fn promotion_splits_huge_regions_and_flushes_tlbs() {
     let spec = micro(true).starting_at(Nanos::ZERO);
-    let mut r = vulcan::runtime::SimRunner::new(
-        // Fast tier too small for THP faults: regions land in slow.
-        MachineSpec::small(256, 16_384, 8),
-        vec![spec],
-        &mut |_| Box::new(HybridProfiler::vulcan_default()),
-        Box::new(VulcanPolicy::new()),
-        SimConfig {
+    let mut r = vulcan::runtime::SimRunner::builder()
+        .machine(
+            // Fast tier too small for THP faults: regions land in slow.
+            MachineSpec::small(256, 16_384, 8),
+        )
+        .workloads(vec![spec])
+        .profiler_factory(|_| Box::new(HybridProfiler::vulcan_default()))
+        .policy(Box::new(VulcanPolicy::new()))
+        .config(SimConfig {
             quantum_active: Nanos::millis(1),
             n_quanta: 10,
             ..Default::default()
-        },
-    );
+        })
+        .build();
     for _ in 0..10 {
         r.run_quantum();
     }
