@@ -32,8 +32,10 @@ use vulcan::runtime::SystemState;
 /// Builds a fresh policy instance for one cell.
 pub type PolicyFactory = Arc<dyn Fn() -> Box<dyn TieringPolicy> + Send + Sync>;
 
-/// Builds a fresh profiler for one workload of one cell.
-pub type ProfilerFactory = Arc<dyn Fn(&WorkloadSpec) -> Box<dyn Profiler> + Send + Sync>;
+/// Builds a fresh profiler for one workload of one cell. Returning
+/// [`AnyProfiler`] keeps the runtime's enum-dispatch fast path; custom
+/// profilers ride along as `AnyProfiler::Custom`.
+pub type ProfilerFactory = Arc<dyn Fn(&WorkloadSpec) -> AnyProfiler + Send + Sync>;
 
 /// Derive the seed of trial `trial` in a sweep with base seed `base`.
 ///
@@ -355,7 +357,7 @@ pub fn fig4_grid(o: &SuiteOpts) -> Experiment {
                     ExperimentCell::custom(
                         format!("r{ratio:.2}/{engine}/s{seed}"),
                         Arc::new(move || Box::new(Promoter { sync })),
-                        Arc::new(|_| Box::new(PebsProfiler::new(4))),
+                        Arc::new(|_| PebsProfiler::new(4).into()),
                         vec![spec],
                         quanta,
                         seed,
@@ -501,7 +503,7 @@ pub fn ablation_grid(o: &SuiteOpts) -> Experiment {
             ExperimentCell::custom(
                 name,
                 Arc::new(move || Box::new(VulcanPolicy::with_config(cfg.clone()))),
-                Arc::new(|_| Box::new(HybridProfiler::vulcan_default())),
+                Arc::new(|_| HybridProfiler::vulcan_default().into()),
                 crate::colocation_specs(),
                 quanta,
                 42,
@@ -569,7 +571,7 @@ pub fn bias_grid(o: &SuiteOpts) -> Experiment {
                 ExperimentCell::custom(
                     format!("{which}/{variant}"),
                     Arc::new(move || bias_policy(variant)),
-                    Arc::new(|_| Box::new(PebsProfiler::new(16))),
+                    Arc::new(|_| PebsProfiler::new(16).into()),
                     vec![bias_workload(which)],
                     quanta,
                     42,

@@ -6,7 +6,7 @@
 use rayon::pool;
 use vulcan::prelude::*;
 use vulcan_bench::save_json;
-use vulcan_bench::suite::{fig10_grid, SuiteOpts};
+use vulcan_bench::suite::{fig10_grid, thp_grid, SuiteOpts};
 use vulcan_json::{Map, Value};
 
 /// Render a grid's results the way the figure binaries do: one JSON row
@@ -86,4 +86,35 @@ fn sweep_artifacts_are_byte_identical_across_thread_counts() {
     let b4 = std::fs::read(&p4).expect("read t4 artifact");
     assert!(!b1.is_empty());
     assert_eq!(b1, b4, "artifacts differ between --threads 1 and 4");
+}
+
+#[test]
+fn hot_path_grids_are_run_to_run_deterministic() {
+    // The hot-path engine (flat heat table with open-addressed spillover,
+    // per-thread walk caches, branchless Zipf sampling) must stay free of
+    // address- or hash-order-dependent behaviour: two fresh runs of the
+    // same quick-scale grids render byte-identical artifact JSON. The THP
+    // grid keeps the huge-page walk/split path on the line; fig10 covers
+    // the 4K demand-paging and hint-fault paths across all policies.
+    let opts = SuiteOpts {
+        trials: 1,
+        quanta_cap: Some(10),
+    };
+    pool::set_num_threads(2);
+    for (name, grid) in [
+        ("thp", thp_grid as fn(&SuiteOpts) -> _),
+        ("fig10", fig10_grid),
+    ] {
+        let first = grid(&opts);
+        let seeds: Vec<u64> = first.cells.iter().map(|c| c.seed).collect();
+        let a = artifact_rows(&first.run(), &seeds);
+        let b = artifact_rows(&grid(&opts).run(), &seeds);
+        let ja = Value::Array(a).to_json_pretty();
+        let jb = Value::Array(b).to_json_pretty();
+        assert!(!ja.is_empty());
+        assert_eq!(
+            ja, jb,
+            "grid {name}: rerun produced different artifact bytes"
+        );
+    }
 }

@@ -18,17 +18,18 @@ pub use mtm::{Mtm, MtmConfig};
 pub use nomad::{Nomad, NomadConfig};
 pub use tpp::{Tpp, TppConfig};
 
-use vulcan_profile::{HintFaultProfiler, HybridProfiler, PebsProfiler, Profiler};
+use vulcan_profile::{AnyProfiler, HintFaultProfiler, HybridProfiler, PebsProfiler};
 
 /// The profiling mechanism each baseline uses in its original system:
 /// TPP → NUMA hinting faults, Memtis → PEBS, Nomad → hint faults plus
-/// sampling (hybrid).
-pub fn profiler_for(policy: &str) -> Box<dyn Profiler> {
+/// sampling (hybrid). Returned as [`AnyProfiler`] so the runtime keeps
+/// enum dispatch on the access path.
+pub fn profiler_for(policy: &str) -> AnyProfiler {
     match policy {
-        "tpp" => Box::new(HintFaultProfiler::new(0.06)),
-        "memtis" => Box::new(PebsProfiler::new(16)),
-        "mtm" => Box::new(PebsProfiler::new(16)),
-        "nomad" => Box::new(HybridProfiler::new(16, 0.05)),
-        _ => Box::new(HybridProfiler::vulcan_default()),
+        "tpp" => HintFaultProfiler::new(0.06).into(),
+        "memtis" => PebsProfiler::new(16).into(),
+        "mtm" => PebsProfiler::new(16).into(),
+        "nomad" => HybridProfiler::new(16, 0.05).into(),
+        _ => HybridProfiler::vulcan_default().into(),
     }
 }

@@ -107,6 +107,10 @@ pub struct TelescopeProfiler {
     regions_skipped: u64,
     /// Statistics: regions fully scanned.
     regions_scanned: u64,
+    /// Scratch buffer of mapped VPNs, reused across epochs.
+    scratch: Vec<Vpn>,
+    /// Scratch buffer of per-region `[start, end)` runs into `scratch`.
+    region_scratch: Vec<(usize, usize)>,
 }
 
 impl TelescopeProfiler {
@@ -118,6 +122,8 @@ impl TelescopeProfiler {
             probes_per_region: 8,
             regions_skipped: 0,
             regions_scanned: 0,
+            scratch: Vec::new(),
+            region_scratch: Vec::new(),
         }
     }
 
@@ -140,22 +146,31 @@ impl Profiler for TelescopeProfiler {
 
     fn epoch(&mut self, space: &mut AddressSpace) -> EpochOutcome {
         self.heat.decay_epoch();
-        // Group the RSS into leaf-table regions (512 contiguous pages).
-        let mut regions: Vec<(u64, Vec<Vpn>)> = Vec::new();
-        for vpn in space.mapped_vpns() {
-            let region = vpn.0 / FANOUT as u64;
-            match regions.last_mut() {
-                Some((r, pages)) if *r == region => pages.push(vpn),
-                _ => regions.push((region, vec![vpn])),
+        // Group the RSS into leaf-table regions (512 contiguous pages):
+        // one flat reused VPN buffer plus `[start, end)` runs per region,
+        // instead of a fresh Vec-of-Vecs every epoch.
+        let mut pages = std::mem::take(&mut self.scratch);
+        pages.clear();
+        pages.extend(space.mapped_vpns());
+        let mut regions = std::mem::take(&mut self.region_scratch);
+        regions.clear();
+        let mut i = 0;
+        while i < pages.len() {
+            let region = pages[i].0 / FANOUT as u64;
+            let start = i;
+            while i < pages.len() && pages[i].0 / FANOUT as u64 == region {
+                i += 1;
             }
+            regions.push((start, i));
         }
 
         let mut cost = Cycles::ZERO;
-        for (_region, pages) in regions {
+        for &(start, end) in &regions {
+            let run = &pages[start..end];
             // Stage 1: probe a sparse sample of the region.
-            let stride = (pages.len() / self.probes_per_region).max(1);
+            let stride = (run.len() / self.probes_per_region).max(1);
             let mut active = false;
-            for vpn in pages.iter().step_by(stride) {
+            for vpn in run.iter().step_by(stride) {
                 cost += self.per_pte;
                 if space.pte(*vpn).accessed() {
                     active = true;
@@ -168,7 +183,7 @@ impl Profiler for TelescopeProfiler {
             }
             // Stage 2: full scan of the active region, clearing A/D bits.
             self.regions_scanned += 1;
-            for vpn in &pages {
+            for vpn in run {
                 cost += self.per_pte;
                 let pte = space.pte(*vpn);
                 if pte.accessed() {
@@ -177,6 +192,8 @@ impl Profiler for TelescopeProfiler {
                 }
             }
         }
+        self.scratch = pages;
+        self.region_scratch = regions;
         EpochOutcome::cost(cost)
     }
 

@@ -1,0 +1,257 @@
+//! Enum-dispatch profiler engine for the per-access hot path.
+//!
+//! `Box<dyn Profiler>` costs a virtual call per simulated access — by far
+//! the most frequent call in the simulator. [`AnyProfiler`] closes that
+//! hole: the runtime stores the concrete profiler in an enum and the
+//! access path dispatches through a `match`, which the compiler inlines
+//! into the access loop. `dyn Profiler` stays the extension point at the
+//! policy boundary: anything not in the closed set rides along in the
+//! [`AnyProfiler::Custom`] variant with the old virtual-call cost, and
+//! `AnyProfiler` itself implements [`Profiler`], so policy-side code that
+//! wants a trait object just coerces it.
+
+use crate::advanced::{ChronoProfiler, TelescopeProfiler};
+use crate::heat::HeatMap;
+use crate::sampler::{
+    EpochOutcome, HintFaultProfiler, HybridProfiler, PebsProfiler, Profiler, PtScanProfiler,
+};
+use vulcan_sim::Nanos;
+use vulcan_vm::{AddressSpace, Vpn};
+
+/// A profiler held by value, dispatched by `match` on the access path.
+///
+/// Every concrete profiler in this crate has a variant; out-of-tree
+/// implementations use [`AnyProfiler::Custom`] (and keep dyn-dispatch
+/// cost). All `From` conversions are provided, including from
+/// `Box<ConcreteProfiler>` and `Box<dyn Profiler>`, so existing factory
+/// closures keep working unchanged via `.into()`.
+pub enum AnyProfiler {
+    /// PEBS-style event sampling ([`PebsProfiler`]).
+    Pebs(PebsProfiler),
+    /// Full page-table scanning ([`PtScanProfiler`]).
+    PtScan(PtScanProfiler),
+    /// NUMA hinting faults ([`HintFaultProfiler`]).
+    HintFault(HintFaultProfiler),
+    /// Vulcan's PEBS + hint-fault hybrid ([`HybridProfiler`]).
+    Hybrid(HybridProfiler),
+    /// Idle-time (timer) profiling ([`ChronoProfiler`]).
+    Chrono(ChronoProfiler),
+    /// Hierarchical page-table profiling ([`TelescopeProfiler`]).
+    Telescope(TelescopeProfiler),
+    /// Any other [`Profiler`] implementation, dyn-dispatched.
+    Custom(Box<dyn Profiler>),
+}
+
+/// Statically dispatch a method over every variant.
+macro_rules! dispatch {
+    ($self:expr, $p:ident => $body:expr) => {
+        match $self {
+            AnyProfiler::Pebs($p) => $body,
+            AnyProfiler::PtScan($p) => $body,
+            AnyProfiler::HintFault($p) => $body,
+            AnyProfiler::Hybrid($p) => $body,
+            AnyProfiler::Chrono($p) => $body,
+            AnyProfiler::Telescope($p) => $body,
+            AnyProfiler::Custom($p) => {
+                let $p: &mut dyn Profiler = &mut **$p;
+                $body
+            }
+        }
+    };
+}
+
+/// Shared-reference version of [`dispatch!`].
+macro_rules! dispatch_ref {
+    ($self:expr, $p:ident => $body:expr) => {
+        match $self {
+            AnyProfiler::Pebs($p) => $body,
+            AnyProfiler::PtScan($p) => $body,
+            AnyProfiler::HintFault($p) => $body,
+            AnyProfiler::Hybrid($p) => $body,
+            AnyProfiler::Chrono($p) => $body,
+            AnyProfiler::Telescope($p) => $body,
+            AnyProfiler::Custom($p) => {
+                let $p: &dyn Profiler = &**$p;
+                $body
+            }
+        }
+    };
+}
+
+impl AnyProfiler {
+    /// Observe one demand access (hot path — inlined enum dispatch).
+    #[inline]
+    pub fn on_access(&mut self, vpn: Vpn, is_write: bool) {
+        dispatch!(self, p => p.on_access(vpn, is_write))
+    }
+
+    /// Observe a hinting fault taken on a poisoned PTE.
+    #[inline]
+    pub fn on_hint_fault(&mut self, vpn: Vpn, is_write: bool) {
+        dispatch!(self, p => p.on_hint_fault(vpn, is_write))
+    }
+
+    /// Per-epoch maintenance (scanning, poisoning, decay).
+    pub fn epoch(&mut self, space: &mut AddressSpace) -> EpochOutcome {
+        dispatch!(self, p => p.epoch(space))
+    }
+
+    /// Latency this mechanism adds to every (non-faulting) access.
+    pub fn sampling_overhead(&self) -> Nanos {
+        dispatch_ref!(self, p => p.sampling_overhead())
+    }
+
+    /// The accumulated heat map.
+    #[inline]
+    pub fn heat(&self) -> &HeatMap {
+        dispatch_ref!(self, p => p.heat())
+    }
+
+    /// Mutable access to the heat map (policies forget migrated pages).
+    #[inline]
+    pub fn heat_mut(&mut self) -> &mut HeatMap {
+        dispatch!(self, p => p.heat_mut())
+    }
+
+    /// The profiler as a trait object — the policy-boundary view.
+    pub fn as_dyn(&self) -> &dyn Profiler {
+        self
+    }
+
+    /// Mutable trait-object view for the policy boundary.
+    pub fn as_dyn_mut(&mut self) -> &mut dyn Profiler {
+        self
+    }
+}
+
+/// `AnyProfiler` is itself a [`Profiler`], so the policy boundary keeps
+/// its `dyn Profiler` surface.
+impl Profiler for AnyProfiler {
+    fn on_access(&mut self, vpn: Vpn, is_write: bool) {
+        AnyProfiler::on_access(self, vpn, is_write)
+    }
+
+    fn on_hint_fault(&mut self, vpn: Vpn, is_write: bool) {
+        AnyProfiler::on_hint_fault(self, vpn, is_write)
+    }
+
+    fn epoch(&mut self, space: &mut AddressSpace) -> EpochOutcome {
+        AnyProfiler::epoch(self, space)
+    }
+
+    fn sampling_overhead(&self) -> Nanos {
+        AnyProfiler::sampling_overhead(self)
+    }
+
+    fn heat(&self) -> &HeatMap {
+        AnyProfiler::heat(self)
+    }
+
+    fn heat_mut(&mut self) -> &mut HeatMap {
+        AnyProfiler::heat_mut(self)
+    }
+}
+
+macro_rules! impl_from {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for AnyProfiler {
+            fn from(p: $ty) -> AnyProfiler {
+                AnyProfiler::$variant(p)
+            }
+        }
+        impl From<Box<$ty>> for AnyProfiler {
+            fn from(p: Box<$ty>) -> AnyProfiler {
+                AnyProfiler::$variant(*p)
+            }
+        }
+    };
+}
+
+impl_from!(Pebs, PebsProfiler);
+impl_from!(PtScan, PtScanProfiler);
+impl_from!(HintFault, HintFaultProfiler);
+impl_from!(Hybrid, HybridProfiler);
+impl_from!(Chrono, ChronoProfiler);
+impl_from!(Telescope, TelescopeProfiler);
+
+impl From<Box<dyn Profiler>> for AnyProfiler {
+    fn from(p: Box<dyn Profiler>) -> AnyProfiler {
+        AnyProfiler::Custom(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulcan_sim::{FrameId, TierKind};
+    use vulcan_vm::LocalTid;
+
+    fn space_with_pages(n: u64) -> AddressSpace {
+        let mut s = AddressSpace::new(false);
+        for v in 0..n {
+            s.map(
+                Vpn(v),
+                FrameId {
+                    tier: TierKind::Slow,
+                    index: v as u32,
+                },
+                LocalTid(0),
+            );
+        }
+        s
+    }
+
+    /// The enum fast path and the boxed dyn path must be observationally
+    /// identical for the same underlying profiler and input stream.
+    #[test]
+    fn enum_and_dyn_dispatch_agree() {
+        let mut fast: AnyProfiler = HybridProfiler::vulcan_default().into();
+        let boxed: Box<dyn Profiler> = Box::new(HybridProfiler::vulcan_default());
+        let mut slow: AnyProfiler = boxed.into();
+        assert!(matches!(fast, AnyProfiler::Hybrid(_)));
+        assert!(matches!(slow, AnyProfiler::Custom(_)));
+
+        let mut s1 = space_with_pages(64);
+        let mut s2 = space_with_pages(64);
+        for i in 0..1_000u64 {
+            let vpn = Vpn(i % 64);
+            let w = i % 5 == 0;
+            fast.on_access(vpn, w);
+            slow.on_access(vpn, w);
+        }
+        fast.on_hint_fault(Vpn(3), true);
+        slow.on_hint_fault(Vpn(3), true);
+        let o1 = fast.epoch(&mut s1);
+        let o2 = slow.epoch(&mut s2);
+        assert_eq!(o1.cycles, o2.cycles);
+        assert_eq!(o1.poisoned, o2.poisoned);
+        for v in 0..64u64 {
+            assert_eq!(fast.heat().get(Vpn(v)), slow.heat().get(Vpn(v)));
+        }
+    }
+
+    #[test]
+    fn boxed_concrete_profilers_unbox_to_fast_variants() {
+        let p: AnyProfiler = Box::new(PebsProfiler::new(4)).into();
+        assert!(matches!(p, AnyProfiler::Pebs(_)));
+        let p: AnyProfiler = Box::new(PtScanProfiler::new()).into();
+        assert!(matches!(p, AnyProfiler::PtScan(_)));
+        let p: AnyProfiler = Box::new(HintFaultProfiler::new(0.1)).into();
+        assert!(matches!(p, AnyProfiler::HintFault(_)));
+        let p: AnyProfiler = Box::new(ChronoProfiler::new(8)).into();
+        assert!(matches!(p, AnyProfiler::Chrono(_)));
+        let p: AnyProfiler = Box::new(TelescopeProfiler::new()).into();
+        assert!(matches!(p, AnyProfiler::Telescope(_)));
+    }
+
+    #[test]
+    fn trait_object_view_works() {
+        let mut p: AnyProfiler = PebsProfiler::new(1).into();
+        p.on_access(Vpn(7), false);
+        let dyn_view: &dyn Profiler = p.as_dyn();
+        assert_eq!(dyn_view.heat().get(Vpn(7)).heat, 1.0);
+        let dyn_mut: &mut dyn Profiler = p.as_dyn_mut();
+        dyn_mut.heat_mut().forget(Vpn(7));
+        assert!(p.heat().is_empty());
+    }
+}

@@ -5,9 +5,33 @@
 //! recency weighting that systems like Memtis apply to their access
 //! histograms (§2.1: strategies based on "frequency, recency, or a
 //! combination of both").
+//!
+//! # Representation
+//!
+//! `record` sits on the per-access simulation hot path (every PEBS
+//! sample and every hint fault lands here), so the map is *not* a
+//! `HashMap`: it is a dense, epoch-versioned flat table indexed
+//! directly by VPN. Workload VPNs are footprint-relative offsets
+//! starting at zero, so the dense part covers essentially every page;
+//! a small open-addressed spill table absorbs sparse outliers above
+//! [`DENSE_LIMIT`]. Liveness is an epoch stamp per slot: `decay_epoch`
+//! bumps the map epoch and re-stamps survivors, so a pruned page's slot
+//! is retired without being written at all, and a later `record`
+//! resurrects it from zero exactly like a fresh `HashMap` entry.
+//! A `live` key list (first-record order) makes decay sweeps and
+//! iteration proportional to the number of tracked pages, not table
+//! capacity, and gives the map a deterministic iteration order.
 
-use std::collections::HashMap;
 use vulcan_vm::Vpn;
+
+/// VPNs below this go in the dense direct-indexed table (2 Mi pages =
+/// 8 GiB of 4 KiB-page footprint); anything above spills to the
+/// open-addressed side table.
+const DENSE_LIMIT: u64 = 1 << 21;
+
+/// Pages whose decayed heat drops below this are pruned, matching the
+/// prior `HashMap::retain` semantics.
+const PRUNE_THRESHOLD: f64 = 1e-3;
 
 /// Accumulated statistics for one page.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -38,7 +62,103 @@ impl PageStats {
     }
 }
 
-/// Decayed per-page heat map.
+/// One flat-table entry: page statistics plus the liveness epoch stamp.
+/// The slot is live iff `stamp` equals the map's current epoch.
+#[derive(Clone, Copy, Debug, Default)]
+struct Slot {
+    stats: PageStats,
+    stamp: u64,
+}
+
+/// Open-addressed (linear probe) spill table for VPNs above the dense
+/// range. Entries are never physically removed — death and `forget` are
+/// epoch-stamp transitions — so probing needs no tombstones; the table
+/// grows at 70% occupancy of *distinct keys ever inserted*.
+#[derive(Clone, Debug)]
+struct Spill {
+    keys: Vec<u64>,
+    slots: Vec<Slot>,
+    used: usize,
+}
+
+impl Spill {
+    const EMPTY: u64 = u64::MAX;
+
+    fn new() -> Spill {
+        Spill {
+            keys: Vec::new(),
+            slots: Vec::new(),
+            used: 0,
+        }
+    }
+
+    /// SplitMix64 finalizer: cheap, deterministic, well-mixed.
+    fn hash(key: u64) -> usize {
+        let mut x = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        x as usize
+    }
+
+    fn find(&self, key: u64) -> Option<usize> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = Self::hash(key) & mask;
+        loop {
+            match self.keys[i] {
+                k if k == key => return Some(i),
+                Self::EMPTY => return None,
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// The slot for `key`, inserting an empty one if absent.
+    fn slot_mut(&mut self, key: u64) -> &mut Slot {
+        debug_assert_ne!(key, Self::EMPTY, "sentinel VPN is unrepresentable");
+        if self.keys.is_empty() || (self.used + 1) * 10 > self.keys.len() * 7 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = Self::hash(key) & mask;
+        loop {
+            match self.keys[i] {
+                k if k == key => return &mut self.slots[i],
+                Self::EMPTY => {
+                    self.keys[i] = key;
+                    self.used += 1;
+                    return &mut self.slots[i];
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.keys.len() * 2).max(64);
+        let old_keys = std::mem::replace(&mut self.keys, vec![Self::EMPTY; cap]);
+        let old_slots = std::mem::replace(&mut self.slots, vec![Slot::default(); cap]);
+        let mask = cap - 1;
+        for (key, slot) in old_keys.into_iter().zip(old_slots) {
+            if key == Self::EMPTY {
+                continue;
+            }
+            let mut i = Self::hash(key) & mask;
+            while self.keys[i] != Self::EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = key;
+            self.slots[i] = slot;
+        }
+    }
+}
+
+/// Decayed per-page heat map over a dense epoch-versioned flat table.
 ///
 /// ```
 /// use vulcan_profile::HeatMap;
@@ -53,10 +173,17 @@ impl PageStats {
 /// ```
 #[derive(Clone, Debug)]
 pub struct HeatMap {
-    pages: HashMap<u64, PageStats>,
     /// Multiplier applied at each epoch (0 = pure frequency of last epoch,
     /// 1 = pure cumulative frequency).
     decay: f64,
+    /// Current liveness epoch; bumped by [`HeatMap::decay_epoch`].
+    epoch: u64,
+    /// Dense slots indexed directly by VPN (grown on demand).
+    dense: Vec<Slot>,
+    /// Spill table for VPNs at or above [`DENSE_LIMIT`].
+    spill: Spill,
+    /// Keys of currently-live pages in first-record order.
+    live: Vec<u64>,
 }
 
 impl HeatMap {
@@ -64,77 +191,186 @@ impl HeatMap {
     pub fn new(decay: f64) -> HeatMap {
         assert!((0.0..=1.0).contains(&decay), "decay must be in [0,1]");
         HeatMap {
-            pages: HashMap::new(),
             decay,
+            epoch: 1,
+            dense: Vec::new(),
+            spill: Spill::new(),
+            live: Vec::new(),
+        }
+    }
+
+    /// Pre-size the dense table for a footprint of `pages` pages, so the
+    /// first touches of a workload don't pay incremental regrowth.
+    pub fn reserve(&mut self, pages: u64) {
+        let want = pages.min(DENSE_LIMIT) as usize;
+        if want > self.dense.len() {
+            self.dense.resize(want.next_power_of_two(), Slot::default());
         }
     }
 
     /// Record `weight` sampled accesses to `vpn`.
+    #[inline]
     pub fn record(&mut self, vpn: Vpn, is_write: bool, weight: f64) {
-        let s = self.pages.entry(vpn.0).or_default();
-        s.heat += weight;
-        if is_write {
-            s.writes += weight;
+        let HeatMap {
+            epoch,
+            dense,
+            spill,
+            live,
+            ..
+        } = self;
+        let slot = if vpn.0 < DENSE_LIMIT {
+            let i = vpn.0 as usize;
+            if i >= dense.len() {
+                let cap = (i + 1).next_power_of_two().max(1024);
+                dense.resize(cap, Slot::default());
+            }
+            &mut dense[i]
         } else {
-            s.reads += weight;
+            spill.slot_mut(vpn.0)
+        };
+        if slot.stamp != *epoch {
+            // Dead or never-seen slot: resurrect from zero, exactly like
+            // a fresh map entry.
+            slot.stats = PageStats::default();
+            slot.stamp = *epoch;
+            live.push(vpn.0);
+        }
+        slot.stats.heat += weight;
+        if is_write {
+            slot.stats.writes += weight;
+        } else {
+            slot.stats.reads += weight;
         }
     }
 
     /// Apply one epoch of exponential decay, dropping negligible pages.
+    ///
+    /// Bumping the epoch retires every slot at once; survivors are
+    /// re-stamped during the sweep, so pruned pages cost no writes.
     pub fn decay_epoch(&mut self) {
+        self.epoch += 1;
         let d = self.decay;
-        self.pages.retain(|_, s| {
-            s.heat *= d;
-            s.reads *= d;
-            s.writes *= d;
-            s.heat >= 1e-3
+        let HeatMap {
+            epoch,
+            dense,
+            spill,
+            live,
+            ..
+        } = self;
+        live.retain(|&key| {
+            let slot = if key < DENSE_LIMIT {
+                &mut dense[key as usize]
+            } else {
+                let i = spill.find(key).expect("live key is in the spill table");
+                &mut spill.slots[i]
+            };
+            slot.stats.heat *= d;
+            slot.stats.reads *= d;
+            slot.stats.writes *= d;
+            if slot.stats.heat >= PRUNE_THRESHOLD {
+                slot.stamp = *epoch;
+                true
+            } else {
+                false
+            }
         });
     }
 
+    fn slot(&self, key: u64) -> Option<&Slot> {
+        if key < DENSE_LIMIT {
+            self.dense.get(key as usize)
+        } else {
+            self.spill.find(key).map(|i| &self.spill.slots[i])
+        }
+    }
+
     /// Statistics for one page (zero if never sampled).
+    #[inline]
     pub fn get(&self, vpn: Vpn) -> PageStats {
-        self.pages.get(&vpn.0).copied().unwrap_or_default()
+        match self.slot(vpn.0) {
+            Some(s) if s.stamp == self.epoch => s.stats,
+            _ => PageStats::default(),
+        }
     }
 
     /// Remove a page's statistics (e.g. after unmap).
     pub fn forget(&mut self, vpn: Vpn) {
-        self.pages.remove(&vpn.0);
+        let epoch = self.epoch;
+        let live = match self.slot(vpn.0) {
+            Some(s) => s.stamp == epoch,
+            None => false,
+        };
+        if !live {
+            return;
+        }
+        let slot = if vpn.0 < DENSE_LIMIT {
+            &mut self.dense[vpn.0 as usize]
+        } else {
+            let i = self.spill.find(vpn.0).expect("checked above");
+            &mut self.spill.slots[i]
+        };
+        slot.stamp = 0; // 0 is never a current epoch
+        self.live.retain(|&k| k != vpn.0);
     }
 
     /// Number of tracked pages.
     pub fn len(&self) -> usize {
-        self.pages.len()
+        self.live.len()
     }
 
     /// Whether no pages are tracked.
     pub fn is_empty(&self) -> bool {
-        self.pages.is_empty()
+        self.live.is_empty()
     }
 
-    /// Iterate `(vpn, stats)` in unspecified order.
+    /// Iterate `(vpn, stats)` over live pages in first-record order.
     pub fn iter(&self) -> impl Iterator<Item = (Vpn, &PageStats)> {
-        self.pages.iter().map(|(&v, s)| (Vpn(v), s))
+        self.live
+            .iter()
+            .map(move |&k| (Vpn(k), &self.slot(k).expect("live page has a slot").stats))
+    }
+
+    /// The `n` extreme pages under `cmp` (a total order), best first:
+    /// select the prefix, then sort only that prefix. Identical output
+    /// to sorting everything and truncating, without the full sort.
+    fn top_by(
+        &self,
+        n: usize,
+        cmp: impl Fn(&(Vpn, f64), &(Vpn, f64)) -> std::cmp::Ordering,
+    ) -> Vec<(Vpn, f64)> {
+        let mut v: Vec<(Vpn, f64)> = self.iter().map(|(vpn, s)| (vpn, s.heat)).collect();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n < v.len() {
+            v.select_nth_unstable_by(n - 1, &cmp);
+            v.truncate(n);
+        }
+        v.sort_by(cmp);
+        v
     }
 
     /// The `n` hottest pages, hottest first (ties by VPN for determinism).
     pub fn hottest(&self, n: usize) -> Vec<(Vpn, f64)> {
-        let mut v: Vec<(Vpn, f64)> = self.iter().map(|(vpn, s)| (vpn, s.heat)).collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
-        v.truncate(n);
-        v
+        self.top_by(n, |a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("heat is never NaN")
+                .then(a.0 .0.cmp(&b.0 .0))
+        })
     }
 
     /// The `n` coldest pages among those tracked, coldest first.
     pub fn coldest(&self, n: usize) -> Vec<(Vpn, f64)> {
-        let mut v: Vec<(Vpn, f64)> = self.iter().map(|(vpn, s)| (vpn, s.heat)).collect();
-        v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
-        v.truncate(n);
-        v
+        self.top_by(n, |a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("heat is never NaN")
+                .then(a.0 .0.cmp(&b.0 .0))
+        })
     }
 
     /// Total heat across all pages.
     pub fn total_heat(&self) -> f64 {
-        self.pages.values().map(|s| s.heat).sum()
+        self.iter().map(|(_, s)| s.heat).sum()
     }
 
     /// The hot set under a capacity budget: hottest pages whose count fits
@@ -232,6 +468,7 @@ mod tests {
         h.record(Vpn(1), false, 1.0);
         h.forget(Vpn(1));
         assert!(h.is_empty());
+        assert_eq!(h.get(Vpn(1)), PageStats::default());
     }
 
     #[test]
@@ -240,5 +477,132 @@ mod tests {
         h.record(Vpn(1), false, 2.0);
         h.record(Vpn(2), true, 3.0);
         assert!((h.total_heat() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spill_pages_behave_like_dense_pages() {
+        let mut h = HeatMap::new(0.5);
+        let far = Vpn(DENSE_LIMIT + 12_345);
+        let farther = Vpn(DENSE_LIMIT * 3 + 7);
+        h.record(far, false, 8.0);
+        h.record(farther, true, 2.0);
+        h.record(Vpn(3), false, 4.0);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.get(far).heat, 8.0);
+        assert_eq!(h.get(farther).writes, 2.0);
+        h.decay_epoch();
+        assert_eq!(h.get(far).heat, 4.0);
+        h.forget(far);
+        assert_eq!(h.get(far), PageStats::default());
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn spill_survives_regrowth() {
+        let mut h = HeatMap::new(1.0);
+        // Enough distinct spill keys to force several table regrowths.
+        for i in 0..500u64 {
+            h.record(Vpn(DENSE_LIMIT + i * 97), false, i as f64 + 1.0);
+        }
+        assert_eq!(h.len(), 500);
+        for i in 0..500u64 {
+            assert_eq!(h.get(Vpn(DENSE_LIMIT + i * 97)).heat, i as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn pruned_page_resurrects_from_zero() {
+        let mut h = HeatMap::new(0.5);
+        h.record(Vpn(9), true, 0.001);
+        h.decay_epoch(); // 0.0005 < threshold: pruned
+        assert!(h.is_empty());
+        h.record(Vpn(9), false, 1.0);
+        let s = h.get(Vpn(9));
+        assert_eq!(s.heat, 1.0, "no stale heat from the retired slot");
+        assert_eq!(s.writes, 0.0, "no stale writes from the retired slot");
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn iteration_order_is_first_record_order() {
+        let mut h = HeatMap::new(1.0);
+        for v in [5u64, 2, 9, DENSE_LIMIT + 1, 3] {
+            h.record(Vpn(v), false, 1.0);
+        }
+        let order: Vec<u64> = h.iter().map(|(v, _)| v.0).collect();
+        assert_eq!(order, vec![5, 2, 9, DENSE_LIMIT + 1, 3]);
+    }
+
+    /// The flat table must be observationally identical to the reference
+    /// `HashMap` semantics: same survivors, same values, same selections.
+    #[test]
+    fn matches_reference_hashmap_semantics() {
+        use std::collections::HashMap;
+        let mut flat = HeatMap::new(0.7);
+        let mut reference: HashMap<u64, PageStats> = HashMap::new();
+        // Deterministic pseudo-random op stream (LCG).
+        let mut x: u64 = 0x1234_5678;
+        let mut step = || {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            x >> 33
+        };
+        for round in 0..50 {
+            for _ in 0..200 {
+                let r = step();
+                let vpn = match r % 10 {
+                    0..=7 => r % 512,            // dense
+                    8 => DENSE_LIMIT + (r % 64), // spill
+                    _ => 1024 + (r % 97),        // dense, sparser
+                };
+                let write = r % 3 == 0;
+                let weight = ((r % 7) + 1) as f64;
+                flat.record(Vpn(vpn), write, weight);
+                let s = reference.entry(vpn).or_default();
+                s.heat += weight;
+                if write {
+                    s.writes += weight;
+                } else {
+                    s.reads += weight;
+                }
+            }
+            if round % 3 == 0 {
+                flat.decay_epoch();
+                reference.retain(|_, s| {
+                    s.heat *= 0.7;
+                    s.reads *= 0.7;
+                    s.writes *= 0.7;
+                    s.heat >= 1e-3
+                });
+            }
+            if round % 7 == 0 {
+                let victim = step() % 512;
+                flat.forget(Vpn(victim));
+                reference.remove(&victim);
+            }
+        }
+        assert_eq!(flat.len(), reference.len());
+        for (&vpn, s) in &reference {
+            assert_eq!(flat.get(Vpn(vpn)), *s, "vpn {vpn}");
+        }
+        // Selection agrees with a full sort of the reference.
+        let mut all: Vec<(u64, f64)> = reference.iter().map(|(&v, s)| (v, s.heat)).collect();
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let want: Vec<(Vpn, f64)> = all.iter().take(10).map(|&(v, h)| (Vpn(v), h)).collect();
+        assert_eq!(flat.hottest(10), want);
+        all.reverse();
+        let want: Vec<(Vpn, f64)> = all.iter().take(10).map(|&(v, h)| (Vpn(v), h)).collect();
+        assert_eq!(flat.coldest(10), want);
+    }
+
+    #[test]
+    fn reserve_presizes_without_changing_semantics() {
+        let mut h = HeatMap::new(1.0);
+        h.reserve(4_096);
+        assert!(h.is_empty());
+        h.record(Vpn(4_000), false, 2.0);
+        assert_eq!(h.get(Vpn(4_000)).heat, 2.0);
+        assert_eq!(h.len(), 1);
     }
 }

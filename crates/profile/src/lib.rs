@@ -9,10 +9,12 @@
 #![warn(missing_docs)]
 
 pub mod advanced;
+pub mod engine;
 pub mod heat;
 pub mod sampler;
 
 pub use advanced::{ChronoProfiler, TelescopeProfiler};
+pub use engine::AnyProfiler;
 pub use heat::{HeatMap, PageStats};
 pub use sampler::{
     EpochOutcome, HintFaultProfiler, HybridProfiler, PebsProfiler, Profiler, PtScanProfiler,

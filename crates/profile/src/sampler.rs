@@ -142,6 +142,9 @@ pub struct PtScanProfiler {
     /// Cycles to test-and-clear one PTE during the scan.
     per_pte: Cycles,
     scans: u64,
+    /// Scratch buffer of mapped VPNs, reused across epochs so each scan
+    /// does not re-allocate a footprint-sized vector.
+    scratch: Vec<Vpn>,
 }
 
 impl PtScanProfiler {
@@ -151,6 +154,7 @@ impl PtScanProfiler {
             heat: HeatMap::new(DEFAULT_DECAY),
             per_pte: Cycles(30),
             scans: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -173,7 +177,9 @@ impl Profiler for PtScanProfiler {
 
     fn epoch(&mut self, space: &mut AddressSpace) -> EpochOutcome {
         self.heat.decay_epoch();
-        let vpns: Vec<Vpn> = space.mapped_vpns().collect();
+        let mut vpns = std::mem::take(&mut self.scratch);
+        vpns.clear();
+        vpns.extend(space.mapped_vpns());
         let mut cost = Cycles::ZERO;
         for vpn in &vpns {
             let pte = space.pte(*vpn);
@@ -186,6 +192,7 @@ impl Profiler for PtScanProfiler {
                 space.set_pte(*vpn, pte.clear_accessed().clear_dirty());
             }
         }
+        self.scratch = vpns;
         self.scans += 1;
         EpochOutcome::cost(cost)
     }
@@ -214,6 +221,9 @@ pub struct HintFaultProfiler {
     /// Rotating start offset so successive epochs cover different pages.
     cursor: u64,
     faults: u64,
+    /// Scratch buffer of mapped VPNs, reused across epochs so each
+    /// poisoning pass does not re-allocate a footprint-sized vector.
+    scratch: Vec<Vpn>,
 }
 
 impl HintFaultProfiler {
@@ -225,6 +235,7 @@ impl HintFaultProfiler {
             poison_fraction,
             cursor: 0,
             faults: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -246,8 +257,11 @@ impl Profiler for HintFaultProfiler {
 
     fn epoch(&mut self, space: &mut AddressSpace) -> EpochOutcome {
         self.heat.decay_epoch();
-        let vpns: Vec<Vpn> = space.mapped_vpns().collect();
+        let mut vpns = std::mem::take(&mut self.scratch);
+        vpns.clear();
+        vpns.extend(space.mapped_vpns());
         if vpns.is_empty() {
+            self.scratch = vpns;
             return EpochOutcome::default();
         }
         let n = ((vpns.len() as f64 * self.poison_fraction).ceil() as usize).max(1);
@@ -262,6 +276,7 @@ impl Profiler for HintFaultProfiler {
             cost += Cycles(150); // PTE write + local flush
         }
         self.cursor = self.cursor.wrapping_add(n as u64);
+        self.scratch = vpns;
         EpochOutcome {
             cycles: cost,
             poisoned,

@@ -3,8 +3,8 @@
 
 use crate::state::{WorkloadState, WorkloadStats};
 use vulcan_migrate::ShadowRegistry;
-use vulcan_profile::Profiler;
-use vulcan_sim::{Machine, Nanos, TierKind};
+use vulcan_profile::AnyProfiler;
+use vulcan_sim::{CoreId, Machine, Nanos, TierKind};
 use vulcan_vm::{LocalTid, Process, TlbArray, Vpn};
 
 /// Cost of linking a thread's private upper-level tables to a shared leaf
@@ -27,19 +27,16 @@ pub(crate) fn simulate_access(
     machine: &mut Machine,
     tlbs: &mut TlbArray,
     process: &mut Process,
-    profiler: &mut dyn Profiler,
+    profiler: &mut AnyProfiler,
     shadows: &mut ShadowRegistry,
     stats: &mut WorkloadStats,
     quota: u64,
     thp: bool,
+    core: CoreId,
     tid: LocalTid,
     vpn: Vpn,
     write: bool,
 ) -> Nanos {
-    let core = machine
-        .topology
-        .core_of(process.sim_thread(tid))
-        .expect("threads are pinned at construction");
     let ac = &machine.spec().access_costs;
     let (tlb_hit, walk, minor_fault) = (ac.tlb_hit, ac.walk, ac.minor_fault);
     let mut t = tlb_hit;
@@ -246,6 +243,13 @@ pub(crate) fn run_thread_quantum(
         stats,
         ..
     } = ws;
+    // Threads are pinned at construction and never migrate between
+    // cores, so the (linear-scan) topology lookup is hoisted out of the
+    // per-access loop.
+    let core = machine
+        .topology
+        .core_of(process.sim_thread(tid))
+        .expect("threads are pinned at construction");
     let rng = &mut rngs[thread_idx];
     let mut buf: Vec<vulcan_workloads::PageAccess> = Vec::with_capacity(16);
     let mut used = Nanos::ZERO;
@@ -258,11 +262,12 @@ pub(crate) fn run_thread_quantum(
                 machine,
                 tlbs,
                 process,
-                profiler.as_mut(),
+                profiler,
                 shadows,
                 stats,
                 quota,
                 thp,
+                core,
                 tid,
                 Vpn(a.offset),
                 a.write,

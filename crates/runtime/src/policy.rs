@@ -93,7 +93,7 @@ mod tests {
         SystemState::new(
             Machine::new(MachineSpec::small(100, 1024, 8)),
             specs,
-            &mut |_| Box::new(PebsProfiler::new(4)),
+            &mut |_| PebsProfiler::new(4).into(),
             true,
             1,
         )

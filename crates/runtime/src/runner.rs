@@ -12,7 +12,7 @@ use crate::access::run_thread_quantum;
 use crate::policy::TieringPolicy;
 use crate::state::SystemState;
 use vulcan_metrics::{CfiAccumulator, OnlineStats, SeriesSet};
-use vulcan_profile::Profiler;
+use vulcan_profile::AnyProfiler;
 use vulcan_sim::{Cycles, Machine, MachineSpec, Nanos, TierKind};
 use vulcan_telemetry::{Counter, EventKind, Telemetry};
 use vulcan_workloads::{WorkloadClass, WorkloadSpec};
@@ -148,7 +148,7 @@ pub struct Set;
 pub struct Unset;
 
 /// A boxed per-workload profiler constructor, as stored by the builder.
-type BoxedProfilerFactory = Box<dyn FnMut(&WorkloadSpec) -> Box<dyn Profiler>>;
+type BoxedProfilerFactory = Box<dyn FnMut(&WorkloadSpec) -> AnyProfiler>;
 
 /// Builder for [`SimRunner`] with compile-checked required fields.
 ///
@@ -212,11 +212,16 @@ impl<M, W, P> SimRunnerBuilder<M, W, P> {
 
     /// Override the per-workload profiler factory (optional; defaults to
     /// Vulcan's hybrid profiler for every workload).
-    pub fn profiler_factory(
+    ///
+    /// Accepts any return type convertible into [`AnyProfiler`]: a
+    /// concrete profiler, a `Box` of one (unboxed onto the enum fast
+    /// path), or a `Box<dyn Profiler>` (kept dyn-dispatched), so
+    /// pre-existing boxed factories work unchanged.
+    pub fn profiler_factory<R: Into<AnyProfiler>>(
         mut self,
-        f: impl FnMut(&WorkloadSpec) -> Box<dyn Profiler> + 'static,
+        mut f: impl FnMut(&WorkloadSpec) -> R + 'static,
     ) -> SimRunnerBuilder<M, W, P> {
-        self.profiler_factory = Box::new(f);
+        self.profiler_factory = Box::new(move |spec| f(spec).into());
         self
     }
 
@@ -249,9 +254,7 @@ impl SimRunner {
         SimRunnerBuilder {
             machine: None,
             specs: Vec::new(),
-            profiler_factory: Box::new(|_| {
-                Box::new(vulcan_profile::HybridProfiler::vulcan_default())
-            }),
+            profiler_factory: Box::new(|_| vulcan_profile::HybridProfiler::vulcan_default().into()),
             policy: None,
             cfg: SimConfig::default(),
             _state: std::marker::PhantomData,
@@ -263,7 +266,7 @@ impl SimRunner {
     fn construct(
         machine_spec: MachineSpec,
         specs: Vec<WorkloadSpec>,
-        make_profiler: &mut dyn FnMut(&WorkloadSpec) -> Box<dyn Profiler>,
+        make_profiler: &mut dyn FnMut(&WorkloadSpec) -> AnyProfiler,
         policy: Box<dyn TieringPolicy>,
         cfg: SimConfig,
     ) -> SimRunner {
@@ -432,6 +435,16 @@ impl SimRunner {
         // Metrics and series.
         self.record_quantum();
         self.quanta_counter.inc();
+
+        // The per-quantum page queues must be drained by the roll above:
+        // policies consume them within the quantum they were filled, and
+        // anything left over would accumulate without bound.
+        debug_assert!(
+            self.state.workloads.iter().all(
+                |w| w.stats.hint_faulted_pages.is_empty() && w.stats.aborted_pages_q.is_empty()
+            ),
+            "per-quantum page queues not drained"
+        );
 
         self.state.now += self.cfg.quantum_wall;
         self.state.quantum_index += 1;
@@ -712,6 +725,42 @@ mod tests {
         let b = mk();
         assert_eq!(a.workload("a").ops_total, b.workload("a").ops_total);
         assert_eq!(a.cfi, b.cfi);
+    }
+
+    #[test]
+    fn per_quantum_page_queues_stay_bounded() {
+        // Hint-fault-heavy profiler fills `hint_faulted_pages` every
+        // quantum; the roll must drain it so its length never grows with
+        // the quantum count (capacity stays bounded by one quantum's
+        // worth of faults).
+        let mut runner = SimRunner::builder()
+            .machine(MachineSpec::small(128, 2048, 8))
+            .workloads(vec![micro_spec("a", 512, 256)])
+            .profiler_factory(|_| vulcan_profile::HintFaultProfiler::new(0.5))
+            .policy(Box::new(StaticPlacement))
+            .config(quick_cfg(0))
+            .build();
+        for q in 0..12 {
+            runner.run_quantum();
+            let stats = &runner.state.workloads[0].stats;
+            assert!(
+                stats.hint_faulted_pages.is_empty(),
+                "hint queue drained after quantum {q}"
+            );
+            assert!(
+                stats.aborted_pages_q.is_empty(),
+                "abort queue drained after quantum {q}"
+            );
+            // Capacity is bounded by one quantum's fault volume (at most
+            // every resident page, doubled by Vec growth) — were the
+            // queue not drained, 12 quanta of faults would blow past it.
+            assert!(
+                stats.hint_faulted_pages.capacity() <= 2 * 512,
+                "queue capacity {} grew beyond one quantum's faults",
+                stats.hint_faulted_pages.capacity()
+            );
+        }
+        assert!(runner.state.workloads[0].stats.hint_faults > 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use vulcan_migrate::{migrate_sync, AsyncMigrator, MechanismConfig, ShadowRegistry, SyncOutcome};
-use vulcan_profile::{HeatMap, Profiler};
+use vulcan_profile::{AnyProfiler, HeatMap};
 use vulcan_sim::{Cycles, Machine, Nanos, SimThreadId, TierKind};
 use vulcan_telemetry::{EventKind, Telemetry};
 use vulcan_vm::{Asid, Process, TlbArray, Vpn};
@@ -126,7 +126,10 @@ pub struct WorkloadState {
     /// Its process (address space, threads).
     pub process: Process,
     /// Its profiler (the daemon decouples the choice per workload, §3.2).
-    pub profiler: Box<dyn Profiler>,
+    /// Held as [`AnyProfiler`] so the per-access path dispatches through
+    /// an inlined `match` instead of a virtual call; policies that need a
+    /// trait object use [`AnyProfiler::as_dyn_mut`].
+    pub profiler: AnyProfiler,
     /// Shadow frames of its promoted pages.
     pub shadows: ShadowRegistry,
     /// Its dedicated asynchronous migration engine (§3.2: per-application
@@ -199,7 +202,7 @@ impl SystemState {
     pub fn new(
         machine: Machine,
         specs: Vec<WorkloadSpec>,
-        make_profiler: &mut dyn FnMut(&WorkloadSpec) -> Box<dyn Profiler>,
+        make_profiler: &mut dyn FnMut(&WorkloadSpec) -> AnyProfiler,
         replication: bool,
         seed: u64,
     ) -> SystemState {
@@ -236,7 +239,10 @@ impl SystemState {
                 }
             }
 
-            let profiler = make_profiler(&spec);
+            let mut profiler = make_profiler(&spec);
+            // Pre-size the flat heat table to the footprint so the access
+            // path never pays an incremental resize.
+            profiler.heat_mut().reserve(spec.rss_pages());
             let rngs = (0..spec.n_threads)
                 .map(|t| SmallRng::seed_from_u64(seed ^ ((i as u64) << 32) ^ t as u64))
                 .collect();
@@ -603,7 +609,7 @@ mod tests {
         SystemState::new(
             Machine::new(MachineSpec::small(256, 1024, 8)),
             specs,
-            &mut |_| Box::new(PebsProfiler::new(4)),
+            &mut |_| PebsProfiler::new(4).into(),
             true,
             42,
         )

@@ -65,6 +65,10 @@ pub struct Machine {
     pub bandwidth: BandwidthTracker,
     /// Cores and thread pinning.
     pub topology: Topology,
+    /// Per-tier inflated demand latency, recomputed once per quantum —
+    /// inflation only changes at [`Machine::end_quantum`], so the f64
+    /// multiply-and-round is hoisted off the per-access path.
+    loaded_latency: [Nanos; 2],
 }
 
 impl Machine {
@@ -79,11 +83,18 @@ impl Machine {
             spec.slow.bandwidth_bytes_per_ns,
         );
         let topology = Topology::new(spec.n_cores);
+        // Inflation starts at 1.0, so the loaded latency is the unloaded
+        // one (inflate(x, 1.0) rounds back to x exactly).
+        let loaded_latency = [
+            spec.access_costs.tier_latency(TierKind::Fast),
+            spec.access_costs.tier_latency(TierKind::Slow),
+        ];
         Machine {
             spec,
             allocators,
             bandwidth,
             topology,
+            loaded_latency,
         }
     }
 
@@ -120,13 +131,14 @@ impl Machine {
     }
 
     /// Loaded latency of a demand access to `tier`, including current
-    /// bandwidth-contention inflation.
+    /// bandwidth-contention inflation (recomputed once per quantum).
+    #[inline]
     pub fn access_latency(&self, tier: TierKind) -> Nanos {
-        self.bandwidth
-            .inflate(tier, self.spec.access_costs.tier_latency(tier))
+        self.loaded_latency[tier.index()]
     }
 
     /// Record one cache-line demand access against `tier`'s bandwidth.
+    #[inline]
     pub fn record_access(&mut self, tier: TierKind) {
         self.bandwidth.record(tier, 64);
     }
@@ -137,9 +149,15 @@ impl Machine {
         self.bandwidth.record(to, PAGE_SIZE as u64);
     }
 
-    /// Close a quantum of length `quantum`: roll bandwidth contention over.
+    /// Close a quantum of length `quantum`: roll bandwidth contention
+    /// over and refresh the cached loaded latencies.
     pub fn end_quantum(&mut self, quantum: Nanos) {
         self.bandwidth.end_quantum(quantum);
+        for tier in TierKind::ALL {
+            self.loaded_latency[tier.index()] = self
+                .bandwidth
+                .inflate(tier, self.spec.access_costs.tier_latency(tier));
+        }
     }
 
     /// Free pages remaining in `tier`.

@@ -12,10 +12,62 @@
 //! leaf tables live in two `Vec`s and reference each other by index, so a
 //! leaf is "shared" simply by being reachable from several trees.
 
-use crate::addr::{Vpn, FANOUT};
+use crate::addr::{Vpn, FANOUT, LEVEL_BITS};
 use crate::pte::{merge_owner, LocalTid, PageOwner, Pte};
 use std::collections::BTreeSet;
 use vulcan_sim::FrameId;
+
+/// Slots in each software walk cache (power of two, direct-mapped).
+const WALK_CACHE_SLOTS: usize = 128;
+
+/// Tag marking an empty walk-cache slot. `u64::MAX >> LEVEL_BITS` regions
+/// would need a 2^64-page address space, so the tag is unreachable.
+const WALK_TAG_EMPTY: u64 = u64::MAX;
+
+/// A direct-mapped software walk cache: memoizes the leaf-table arena
+/// index per 2 MiB region (`vpn >> 9`), so repeated touches in the same
+/// region skip the three-level radix descent. This mirrors hardware
+/// paging-structure caches (and Virtuoso-style simulator walk caches):
+/// it accelerates *translation to the leaf*, while PTE bits are always
+/// read from and written to the leaf itself, keeping PTE state exact.
+#[derive(Clone, Debug)]
+struct WalkCache {
+    tags: Box<[u64]>,
+    leaves: Box<[u32]>,
+}
+
+impl WalkCache {
+    fn new() -> WalkCache {
+        WalkCache {
+            tags: vec![WALK_TAG_EMPTY; WALK_CACHE_SLOTS].into_boxed_slice(),
+            leaves: vec![0; WALK_CACHE_SLOTS].into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, region: u64) -> Option<u32> {
+        let i = (region as usize) & (WALK_CACHE_SLOTS - 1);
+        (self.tags[i] == region).then(|| self.leaves[i])
+    }
+
+    #[inline]
+    fn put(&mut self, region: u64, leaf: u32) {
+        let i = (region as usize) & (WALK_CACHE_SLOTS - 1);
+        self.tags[i] = region;
+        self.leaves[i] = leaf;
+    }
+
+    fn invalidate(&mut self, region: u64) {
+        let i = (region as usize) & (WALK_CACHE_SLOTS - 1);
+        if self.tags[i] == region {
+            self.tags[i] = WALK_TAG_EMPTY;
+        }
+    }
+
+    fn flush(&mut self) {
+        self.tags.fill(WALK_TAG_EMPTY);
+    }
+}
 
 /// Reference held in an inner-node slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -106,6 +158,14 @@ pub struct AddressSpace {
     mapped: BTreeSet<u64>,
     /// Bases of ranges currently backed by transparent huge pages.
     huge_bases: BTreeSet<u64>,
+    /// Walk cache over the process tree (region → leaf index).
+    walk: WalkCache,
+    /// Per-thread walk caches, parallel to `thread_roots`: a hit proves
+    /// the thread's private upper levels already link the shared leaf,
+    /// so the replication check skips its radix descent too.
+    thread_walks: Vec<WalkCache>,
+    /// Ablation/determinism switch: disable to force full radix walks.
+    walk_enabled: bool,
 }
 
 impl AddressSpace {
@@ -120,6 +180,45 @@ impl AddressSpace {
             replication,
             mapped: BTreeSet::new(),
             huge_bases: BTreeSet::new(),
+            walk: WalkCache::new(),
+            thread_walks: Vec::new(),
+            walk_enabled: true,
+        }
+    }
+
+    /// Enable or disable the software walk caches (ablation switch for
+    /// determinism tests). Disabling flushes them.
+    pub fn set_walk_cache_enabled(&mut self, enabled: bool) {
+        self.walk_enabled = enabled;
+        if !enabled {
+            self.flush_walk_caches();
+        }
+    }
+
+    /// Whether the software walk caches are active.
+    pub fn walk_cache_enabled(&self) -> bool {
+        self.walk_enabled
+    }
+
+    /// Flush every walk cache — the software analogue of a full TLB
+    /// shootdown of paging-structure caches. Subsequent touches re-walk
+    /// the radix trees and re-fill.
+    pub fn flush_walk_caches(&mut self) {
+        self.walk.flush();
+        for wc in &mut self.thread_walks {
+            wc.flush();
+        }
+    }
+
+    /// Drop any cached walk for the region covering `vpn` from the
+    /// process cache and every thread cache. Called on unmap and on
+    /// migration's unmap-equivalent PTE transitions so cached structure
+    /// never outlives the mapping it translated.
+    fn invalidate_walk(&mut self, vpn: Vpn) {
+        let region = vpn.0 >> LEVEL_BITS;
+        self.walk.invalidate(region);
+        for wc in &mut self.thread_walks {
+            wc.invalidate(region);
         }
     }
 
@@ -134,9 +233,14 @@ impl AddressSpace {
         if idx >= self.thread_roots.len() {
             self.thread_roots.resize(idx + 1, None);
         }
-        if self.replication && self.thread_roots[idx].is_none() {
-            let root = self.alloc_node();
-            self.thread_roots[idx] = Some(root);
+        if self.replication {
+            if idx >= self.thread_walks.len() {
+                self.thread_walks.resize_with(idx + 1, WalkCache::new);
+            }
+            if self.thread_roots[idx].is_none() {
+                let root = self.alloc_node();
+                self.thread_roots[idx] = Some(root);
+            }
         }
     }
 
@@ -199,6 +303,10 @@ impl AddressSpace {
 
     /// Map `vpn` to `frame`, first-touched by `owner`.
     ///
+    /// Walk caches need no invalidation here: misses are never cached,
+    /// and a region's leaf table is stable once created, so any cached
+    /// entry for this region already points at the leaf being filled.
+    ///
     /// # Panics
     /// Panics if `vpn` is already mapped (the simulator must unmap first).
     pub fn map(&mut self, vpn: Vpn, frame: FrameId, owner: LocalTid) {
@@ -225,12 +333,18 @@ impl AddressSpace {
         l.ptes[slot] = Pte::EMPTY;
         l.mapped -= 1;
         self.mapped.remove(&vpn.0);
+        self.invalidate_walk(vpn);
         Some(old)
     }
 
     /// The PTE for `vpn` (EMPTY if unmapped).
     pub fn pte(&self, vpn: Vpn) -> Pte {
-        self.leaf_index_ro(self.process_root, vpn)
+        let cached = self
+            .walk_enabled
+            .then(|| self.walk.get(vpn.0 >> LEVEL_BITS))
+            .flatten();
+        cached
+            .or_else(|| self.leaf_index_ro(self.process_root, vpn))
             .map(|leaf| self.leaves[leaf as usize].ptes[vpn.index(0)])
             .unwrap_or(Pte::EMPTY)
     }
@@ -255,6 +369,9 @@ impl AddressSpace {
             (true, false) => {
                 l.mapped -= 1;
                 self.mapped.remove(&vpn.0);
+                // Unmap-equivalent transition (migration step ②): cached
+                // walks for the region must not outlive the mapping.
+                self.invalidate_walk(vpn);
             }
             _ => {}
         }
@@ -272,22 +389,44 @@ impl AddressSpace {
     /// Returns `None` when the page is unmapped (a major fault the caller
     /// must handle by allocating + [`map`](Self::map)).
     pub fn touch(&mut self, vpn: Vpn, tid: LocalTid, write: bool) -> Option<TouchOutcome> {
-        let leaf = self.leaf_index_ro(self.process_root, vpn)?;
+        let region = vpn.0 >> LEVEL_BITS;
+        // Process-tree translation, via the walk cache when possible.
+        // Misses (including unmapped regions) are never cached, so a
+        // later `map` needs no invalidation to become visible.
+        let leaf = match self.walk_enabled.then(|| self.walk.get(region)).flatten() {
+            Some(l) => l,
+            None => {
+                let l = self.leaf_index_ro(self.process_root, vpn)?;
+                if self.walk_enabled {
+                    self.walk.put(region, l);
+                }
+                l
+            }
+        };
         let slot = vpn.index(0);
         if !self.leaves[leaf as usize].ptes[slot].present() {
             return None;
         }
 
-        // Link the thread's private upper levels to the shared leaf.
+        // Link the thread's private upper levels to the shared leaf. A
+        // thread-walk-cache hit on the same leaf proves the link already
+        // exists, skipping the private-tree descent entirely.
         let mut replication_fault = false;
         if self.replication {
             self.register_thread(tid);
-            let troot = self.thread_roots[tid.0 as usize].expect("registered above");
-            let linked = self.leaf_index_ro(troot, vpn);
-            if linked != Some(leaf) {
-                debug_assert!(linked.is_none(), "thread tree must share process leaves");
-                self.leaf_index(troot, vpn, true, Some(leaf));
-                replication_fault = true;
+            let ti = tid.0 as usize;
+            let cached = self.walk_enabled && self.thread_walks[ti].get(region) == Some(leaf);
+            if !cached {
+                let troot = self.thread_roots[ti].expect("registered above");
+                let linked = self.leaf_index_ro(troot, vpn);
+                if linked != Some(leaf) {
+                    debug_assert!(linked.is_none(), "thread tree must share process leaves");
+                    self.leaf_index(troot, vpn, true, Some(leaf));
+                    replication_fault = true;
+                }
+                if self.walk_enabled {
+                    self.thread_walks[ti].put(region, leaf);
+                }
             }
         }
 
@@ -336,8 +475,11 @@ impl AddressSpace {
     }
 
     /// Whether `vpn` falls in a THP-backed range.
+    #[inline]
     pub fn in_huge(&self, vpn: Vpn) -> bool {
-        self.huge_bases.contains(&vpn.huge_base().0)
+        // Non-THP workloads ask this on every access; skip the hash when
+        // no range was ever marked huge.
+        !self.huge_bases.is_empty() && self.huge_bases.contains(&vpn.huge_base().0)
     }
 
     /// Split the huge page covering `vpn` into base pages (Memtis-style
@@ -554,6 +696,125 @@ mod tests {
         s.map(Vpn(0), frame(1), LocalTid(0));
         s.map(Vpn(1 << 20), frame(2), LocalTid(0));
         assert_eq!(s.leaf_count(), 2);
+    }
+
+    #[test]
+    fn walk_cache_hit_returns_same_translation() {
+        let mut s = space();
+        s.map(Vpn(10), frame(1), LocalTid(0));
+        let cold = s.touch(Vpn(10), LocalTid(0), false).unwrap();
+        // Second touch is a process- and thread-cache hit.
+        let warm = s.touch(Vpn(10), LocalTid(0), false).unwrap();
+        assert_eq!(cold.pte.frame(), warm.pte.frame());
+        assert!(!warm.replication_fault, "cached link, no fault");
+        // Same region, different page: still served by the cached leaf.
+        s.map(Vpn(11), frame(2), LocalTid(0));
+        let sibling = s.touch(Vpn(11), LocalTid(0), false).unwrap();
+        assert_eq!(sibling.pte.frame(), Some(frame(2)));
+    }
+
+    #[test]
+    fn walk_cache_sees_new_pte_after_unmap() {
+        let mut s = space();
+        s.map(Vpn(7), frame(1), LocalTid(0));
+        s.touch(Vpn(7), LocalTid(0), false).unwrap(); // cache the region
+        s.unmap(Vpn(7)).unwrap();
+        assert_eq!(s.touch(Vpn(7), LocalTid(0), false), None, "major fault");
+        assert_eq!(s.pte(Vpn(7)), Pte::EMPTY);
+        // Remap to a different frame: the touch must see the new PTE.
+        s.map(Vpn(7), frame(9), LocalTid(0));
+        let out = s.touch(Vpn(7), LocalTid(0), false).unwrap();
+        assert_eq!(out.pte.frame(), Some(frame(9)));
+    }
+
+    #[test]
+    fn walk_cache_sees_new_pte_after_migration_remap() {
+        // Migration's unmap-equivalent transition goes through set_pte:
+        // present → EMPTY (step ②), then EMPTY → new frame (step ⑤).
+        let mut s = space();
+        s.map(Vpn(20), frame(3), LocalTid(0));
+        s.touch(Vpn(20), LocalTid(0), true).unwrap(); // cache + dirty
+        let old = s.pte(Vpn(20));
+        s.set_pte(Vpn(20), Pte::EMPTY);
+        assert_eq!(s.touch(Vpn(20), LocalTid(0), false), None);
+        let new_frame = FrameId {
+            tier: TierKind::Fast,
+            index: 77,
+        };
+        s.set_pte(Vpn(20), old.with_frame(new_frame).clear_dirty());
+        let out = s.touch(Vpn(20), LocalTid(0), false).unwrap();
+        assert_eq!(
+            out.pte.frame(),
+            Some(new_frame),
+            "stale walk would miss this"
+        );
+        assert_eq!(s.pte(Vpn(20)).frame(), Some(new_frame));
+    }
+
+    #[test]
+    fn walk_cache_flush_is_transparent() {
+        let mut s = space();
+        s.map(Vpn(30), frame(4), LocalTid(1));
+        s.touch(Vpn(30), LocalTid(1), false).unwrap();
+        s.flush_walk_caches(); // software shootdown
+        let out = s.touch(Vpn(30), LocalTid(1), true).unwrap();
+        assert_eq!(out.pte.frame(), Some(frame(4)));
+        assert!(out.pte.dirty());
+        assert!(
+            !out.replication_fault,
+            "private path still linked after flush"
+        );
+    }
+
+    #[test]
+    fn walk_cache_disabled_matches_enabled() {
+        // The cache is a wall-clock optimization only: a cached and an
+        // uncached space driven by the same op sequence must agree on
+        // every outcome and every PTE.
+        let mut cached = space();
+        let mut plain = space();
+        plain.set_walk_cache_enabled(false);
+        assert!(!plain.walk_cache_enabled());
+        let ops: Vec<(u64, u8, bool)> = (0..600)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(2_654_435_761) >> 7;
+                (x % 1_500, (x % 3) as u8, x.is_multiple_of(5))
+            })
+            .collect();
+        for &(v, t, w) in &ops {
+            if !cached.is_mapped(Vpn(v)) {
+                cached.map(Vpn(v), frame(v as u32), LocalTid(t));
+                plain.map(Vpn(v), frame(v as u32), LocalTid(t));
+            }
+            let a = cached.touch(Vpn(v), LocalTid(t), w);
+            let b = plain.touch(Vpn(v), LocalTid(t), w);
+            assert_eq!(a, b, "vpn {v} tid {t} write {w}");
+        }
+        for &(v, _, _) in &ops {
+            assert_eq!(cached.pte(Vpn(v)), plain.pte(Vpn(v)));
+        }
+    }
+
+    #[test]
+    fn walk_cache_collision_eviction_is_safe() {
+        // Two regions that collide in the direct-mapped cache (same slot
+        // modulo WALK_CACHE_SLOTS) keep evicting each other; translations
+        // must stay exact throughout.
+        let mut s = space();
+        let a = Vpn(5);
+        let b = Vpn(5 + (WALK_CACHE_SLOTS as u64) * FANOUT as u64);
+        s.map(a, frame(1), LocalTid(0));
+        s.map(b, frame(2), LocalTid(0));
+        for _ in 0..4 {
+            assert_eq!(
+                s.touch(a, LocalTid(0), false).unwrap().pte.frame(),
+                Some(frame(1))
+            );
+            assert_eq!(
+                s.touch(b, LocalTid(0), false).unwrap().pte.frame(),
+                Some(frame(2))
+            );
+        }
     }
 
     #[test]

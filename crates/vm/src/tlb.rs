@@ -72,6 +72,7 @@ impl Tlb {
     }
 
     /// Look up a 2 MiB translation covering `vpn` (base = `vpn & !511`).
+    #[inline]
     pub fn lookup_huge(&mut self, asid: Asid, vpn: Vpn) -> bool {
         self.clock = self.clock.wrapping_add(1);
         let stamp = self.clock;
@@ -123,13 +124,16 @@ impl Tlb {
     }
 
     /// Look up a translation; records hit/miss statistics.
+    #[inline]
     pub fn lookup(&mut self, asid: Asid, vpn: Vpn) -> Option<FrameId> {
         self.clock = self.clock.wrapping_add(1);
         let stamp = self.clock;
         let set = self.set_of(vpn);
+        // VPN first: it discriminates more than the ASID, so mismatching
+        // ways fail on the first compare.
         if let Some(way) = self.sets[set]
             .iter_mut()
-            .find(|w| w.asid == asid && w.vpn == vpn)
+            .find(|w| w.vpn == vpn && w.asid == asid)
         {
             way.stamp = stamp;
             self.hits += 1;
@@ -238,6 +242,7 @@ impl TlbArray {
     }
 
     /// The TLB of `core`.
+    #[inline]
     pub fn core(&mut self, core: CoreId) -> &mut Tlb {
         &mut self.tlbs[core.0 as usize]
     }

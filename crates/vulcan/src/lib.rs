@@ -61,7 +61,7 @@ pub mod prelude {
     pub use vulcan_migrate::{AsyncMigrator, MechanismConfig, PrepStrategy, ShadowRegistry};
     pub use vulcan_policy::{profiler_for, Memtis, Mtm, Nomad, Tpp};
     pub use vulcan_profile::{
-        HintFaultProfiler, HybridProfiler, PebsProfiler, Profiler, PtScanProfiler,
+        AnyProfiler, HintFaultProfiler, HybridProfiler, PebsProfiler, Profiler, PtScanProfiler,
     };
     pub use vulcan_runtime::{
         RunResult, SimConfig, SimRunner, SimRunnerBuilder, StaticPlacement, TieringPolicy,

@@ -12,7 +12,7 @@ use std::str::FromStr;
 
 use vulcan_core::VulcanPolicy;
 use vulcan_policy::{profiler_for, Memtis, Mtm, Nomad, Tpp};
-use vulcan_profile::Profiler;
+use vulcan_profile::AnyProfiler;
 use vulcan_runtime::{StaticPlacement, TieringPolicy, UniformPartition};
 
 /// Every policy the workspace can instantiate.
@@ -89,7 +89,7 @@ impl PolicyKind {
     /// Instantiate the profiling mechanism the policy's original system
     /// uses (§5.1): hint faults for TPP, PEBS for Memtis/MTM, hybrid
     /// sampling for Nomad and Vulcan.
-    pub fn profiler(self) -> Box<dyn Profiler> {
+    pub fn profiler(self) -> AnyProfiler {
         profiler_for(self.name())
     }
 }

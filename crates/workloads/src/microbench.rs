@@ -119,13 +119,26 @@ impl AccessGen for Microbench {
     fn next_op(&mut self, _tid: usize, rng: &mut SmallRng, out: &mut Vec<PageAccess>) {
         let window = (self.ops / 256) * self.cfg.wss_drift;
         self.ops += 1;
+        // Reduce the window once per op so the per-access offset needs a
+        // compare-and-subtract instead of a 64-bit division: with
+        // `rank < wss ≤ rss`, `(base - rank) mod rss` has exactly the two
+        // cases below. (A WSS wider than the RSS keeps the modulo path.)
+        let rss = self.cfg.rss_pages;
+        let base = (window + self.cfg.wss_pages - 1) % rss;
+        let wide = self.cfg.wss_pages > rss;
         for _ in 0..self.cfg.accesses_per_op {
             // Fresh pages enter the working set at the *hot* end (rank 0)
             // and cool as the window slides past them — newly trending
             // data must be promoted while it is being hammered, the
             // scenario Figure 4's copy-strategy comparison probes.
             let rank = self.zipf.sample(rng);
-            let offset = (window + self.cfg.wss_pages - 1 - rank) % self.cfg.rss_pages;
+            let offset = if wide {
+                (window + self.cfg.wss_pages - 1 - rank) % rss
+            } else if rank <= base {
+                base - rank
+            } else {
+                base + rss - rank
+            };
             let write = rng.gen::<f64>() >= self.cfg.read_ratio;
             out.push(PageAccess { offset, write });
         }
