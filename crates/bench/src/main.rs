@@ -22,15 +22,23 @@ vulcan-bench — evaluation suite driver (Vulcan reproduction)
 
 USAGE:
     vulcan-bench suite [TARGETS...] [OPTIONS]   run simulation grids
+    vulcan-bench oracle [TARGETS...] [OPTIONS]  run grids in lockstep with
+                                                reference models (requires
+                                                a --features oracle build)
     vulcan-bench help                           this text
 
-OPTIONS (suite):
+OPTIONS (suite, oracle):
     --quick        CI scale: 1 trial per point, quanta capped at 20
     --threads <N>  thread-pool size (RAYON_NUM_THREADS is the env knob)
     --list         list all 14 targets and exit
 
 Targets default to every simulation grid; analytic targets (fig2, fig3,
 fig7, table1, table2) have no grid and are skipped with a note.
+
+The oracle subcommand replays the same grids with every optimized hot-path
+structure (heat map, walk caches, Zipf sampler, loaded-latency cache)
+diffed against a naive reference model at each step; the first divergence
+aborts the run with the structure, VPN and simulated time identified.
 ";
 
 fn usage_error(msg: &str) -> ! {
@@ -38,15 +46,24 @@ fn usage_error(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-fn cmd_suite(args: &[String]) {
-    let mut quick = false;
-    let mut list = false;
-    let mut names: Vec<String> = Vec::new();
+/// Options shared by the `suite` and `oracle` grid drivers.
+struct GridArgs {
+    quick: bool,
+    list: bool,
+    names: Vec<String>,
+}
+
+fn parse_grid_args(args: &[String]) -> GridArgs {
+    let mut parsed = GridArgs {
+        quick: false,
+        list: false,
+        names: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--quick" => quick = true,
-            "--list" => list = true,
+            "--quick" => parsed.quick = true,
+            "--list" => parsed.list = true,
             "--threads" => {
                 let n = it
                     .next()
@@ -61,23 +78,25 @@ fn cmd_suite(args: &[String]) {
                 rayon::pool::set_num_threads(n);
             }
             flag if flag.starts_with("--") => usage_error(&format!("unknown option '{flag}'")),
-            name => names.push(name.to_string()),
+            name => parsed.names.push(name.to_string()),
         }
     }
+    parsed
+}
 
-    if list {
-        for entry in SUITE.iter() {
-            let kind = if entry.build.is_some() {
-                "simulation grid"
-            } else {
-                "analytic (no grid)"
-            };
-            println!("{:<18} {kind}", entry.name);
-        }
-        return;
+fn print_target_list() {
+    for entry in SUITE.iter() {
+        let kind = if entry.build.is_some() {
+            "simulation grid"
+        } else {
+            "analytic (no grid)"
+        };
+        println!("{:<18} {kind}", entry.name);
     }
+}
 
-    for name in &names {
+fn selected_entries(names: &[String]) -> Vec<&'static vulcan_bench::suite::SuiteEntry> {
+    for name in names {
         if !SUITE.iter().any(|e| e.name == name.as_str()) {
             let all: Vec<&str> = SUITE.iter().map(|e| e.name).collect();
             usage_error(&format!(
@@ -86,16 +105,24 @@ fn cmd_suite(args: &[String]) {
             ));
         }
     }
+    SUITE
+        .iter()
+        .filter(|e| names.is_empty() || names.iter().any(|n| n == e.name))
+        .collect()
+}
 
+fn cmd_suite(args: &[String]) {
+    let GridArgs { quick, list, names } = parse_grid_args(args);
+    if list {
+        print_target_list();
+        return;
+    }
     let opts = if quick {
         SuiteOpts::quick()
     } else {
         SuiteOpts::full()
     };
-    let selected: Vec<_> = SUITE
-        .iter()
-        .filter(|e| names.is_empty() || names.iter().any(|n| n == e.name))
-        .collect();
+    let selected = selected_entries(&names);
 
     let mut table = vulcan::metrics::Table::new(
         format!(
@@ -139,10 +166,80 @@ fn cmd_suite(args: &[String]) {
     vulcan_bench::save_json_or_exit("suite", &rows);
 }
 
+/// Lockstep differential run: replay the suite grids with the reference
+/// models checking every hot-path structure at every step. Only does
+/// anything in a `--features oracle` build — the checks are compiled
+/// out otherwise, so running the plain binary would silently verify
+/// nothing; refuse instead of pretending.
+#[cfg(not(feature = "oracle"))]
+fn cmd_oracle(_args: &[String]) {
+    eprintln!(
+        "error: this binary was built without the `oracle` feature, so the \
+         lockstep checks are compiled out and an oracle run would verify \
+         nothing.\n\nRebuild with:\n    cargo run --release -p vulcan-bench \
+         --features oracle -- oracle --quick"
+    );
+    std::process::exit(2);
+}
+
+#[cfg(feature = "oracle")]
+fn cmd_oracle(args: &[String]) {
+    let GridArgs { quick, list, names } = parse_grid_args(args);
+    if list {
+        print_target_list();
+        return;
+    }
+    let opts = if quick {
+        SuiteOpts::quick()
+    } else {
+        SuiteOpts::full()
+    };
+    let selected = selected_entries(&names);
+
+    vulcan_oracle::reset_checks();
+    let mut cells = 0usize;
+    for entry in selected {
+        let Some(build) = entry.build else {
+            eprintln!(
+                "[oracle] {}: analytic target, no simulation grid to verify",
+                entry.name
+            );
+            continue;
+        };
+        let exp = build(&opts);
+        cells += exp.cells.len();
+        // A divergence panics inside the grid run with the structure,
+        // VPN and simulated time identified; completion means every
+        // lockstep comparison in every cell agreed.
+        let _ = exp.run();
+    }
+
+    let mut table = vulcan::metrics::Table::new(
+        format!("oracle: lockstep checks performed across {cells} cells"),
+        &["structure", "checks"],
+    );
+    let mut rows = Vec::new();
+    for s in vulcan_oracle::Structure::ALL {
+        table.row(&[s.name().to_string(), vulcan_oracle::checks(s).to_string()]);
+        rows.push(vulcan_json::Value::Object(
+            vulcan_json::Map::new()
+                .with("structure", s.name())
+                .with("checks", vulcan_oracle::checks(s)),
+        ));
+    }
+    table.print();
+    println!(
+        "oracle: {} lockstep checks, zero divergences",
+        vulcan_oracle::total_checks()
+    );
+    vulcan_bench::save_json_or_exit("oracle", &rows);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("suite") => cmd_suite(&args[1..]),
+        Some("oracle") => cmd_oracle(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => print!("{USAGE}"),
         None => usage_error("missing subcommand"),
         Some(other) => usage_error(&format!("unknown subcommand '{other}'")),

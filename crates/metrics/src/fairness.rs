@@ -17,7 +17,15 @@
 /// assert_eq!(jain_index(&[9.0, 0.0, 0.0]), 1.0 / 3.0);  // monopoly
 /// ```
 pub fn jain_index(xs: &[f64]) -> f64 {
-    debug_assert!(xs.iter().all(|&x| x >= 0.0), "allocations must be >= 0");
+    // Checked in release too: the index is computed once per sampling
+    // interval, and a NaN or negative allocation would otherwise poison
+    // the result silently (NaN compares false, so the sums go NaN).
+    for (i, &x) in xs.iter().enumerate() {
+        assert!(
+            x.is_finite() && x >= 0.0,
+            "jain_index: allocation[{i}] = {x}, must be finite and >= 0"
+        );
+    }
     let n = xs.len();
     if n == 0 {
         return 1.0;
@@ -50,11 +58,25 @@ impl CfiAccumulator {
 
     /// Fold in one sampling interval: `alloc[i]` is workload *i*'s fast
     /// memory allocation `x_i(t)` and `fthr[i]` its fast-tier hit ratio.
+    ///
+    /// # Panics
+    /// Panics (in release builds too) on NaN, infinite or negative
+    /// allocations and on hit ratios outside `[0, 1]`: one bad sample
+    /// would silently corrupt every CFI reported after it.
     pub fn record(&mut self, alloc: &[f64], fthr: &[f64]) {
         assert_eq!(alloc.len(), self.x.len());
         assert_eq!(fthr.len(), self.x.len());
         for i in 0..self.x.len() {
-            debug_assert!((0.0..=1.0).contains(&fthr[i]), "FTHR out of range");
+            assert!(
+                alloc[i].is_finite() && alloc[i] >= 0.0,
+                "CFI sample: alloc[{i}] = {}, must be finite and >= 0",
+                alloc[i]
+            );
+            assert!(
+                fthr[i].is_finite() && (0.0..=1.0).contains(&fthr[i]),
+                "CFI sample: fthr[{i}] = {}, must be in [0, 1]",
+                fthr[i]
+            );
             self.x[i] += alloc[i] * fthr[i];
         }
         self.samples += 1;
@@ -142,5 +164,59 @@ mod tests {
     fn mismatched_lengths_panic() {
         let mut acc = CfiAccumulator::new(2);
         acc.record(&[1.0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation[1] = NaN, must be finite")]
+    fn jain_rejects_nan_allocation() {
+        jain_index(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation[0] = -3, must be finite and >= 0")]
+    fn jain_rejects_negative_allocation() {
+        jain_index(&[-3.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation[0] = inf")]
+    fn jain_rejects_infinite_allocation() {
+        jain_index(&[f64::INFINITY]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alloc[0] = NaN, must be finite and >= 0")]
+    fn record_rejects_nan_alloc() {
+        let mut acc = CfiAccumulator::new(2);
+        acc.record(&[f64::NAN, 1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alloc[1] = -1, must be finite and >= 0")]
+    fn record_rejects_negative_alloc() {
+        let mut acc = CfiAccumulator::new(2);
+        acc.record(&[1.0, -1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fthr[1] = 1.5, must be in [0, 1]")]
+    fn record_rejects_out_of_range_fthr() {
+        let mut acc = CfiAccumulator::new(2);
+        acc.record(&[1.0, 1.0], &[0.5, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fthr[0] = NaN, must be in [0, 1]")]
+    fn record_rejects_nan_fthr() {
+        let mut acc = CfiAccumulator::new(1);
+        acc.record(&[1.0], &[f64::NAN]);
+    }
+
+    #[test]
+    fn record_accepts_boundary_hit_ratios() {
+        let mut acc = CfiAccumulator::new(2);
+        acc.record(&[4.0, 4.0], &[0.0, 1.0]);
+        assert_eq!(acc.cumulative(), &[0.0, 4.0]);
+        assert!(acc.cfi().is_finite());
     }
 }

@@ -156,6 +156,41 @@ impl Spill {
             self.slots[i] = slot;
         }
     }
+
+    /// Rebuild the table around the slots live at `epoch`, reclaiming
+    /// the capacity held by dead keys. `used` counts distinct keys ever
+    /// inserted (death is an epoch-stamp transition, not a removal), so
+    /// without this a workload churning through sparse VPNs grows the
+    /// table with its *history* rather than its live set. Live slots
+    /// move verbatim — stats stay byte-identical — and iteration order
+    /// lives in `HeatMap::live`, so nothing observable changes.
+    fn compact(&mut self, epoch: u64) {
+        let live: Vec<(u64, Slot)> = self
+            .keys
+            .iter()
+            .zip(&self.slots)
+            .filter(|&(&key, slot)| key != Self::EMPTY && slot.stamp == epoch)
+            .map(|(&key, &slot)| (key, slot))
+            .collect();
+        // Smallest power-of-two capacity keeping the live set under the
+        // same 70% bound `slot_mut` grows at.
+        let mut cap = 64;
+        while (live.len() + 1) * 10 > cap * 7 {
+            cap *= 2;
+        }
+        self.keys = vec![Self::EMPTY; cap];
+        self.slots = vec![Slot::default(); cap];
+        self.used = live.len();
+        let mask = cap - 1;
+        for (key, slot) in live {
+            let mut i = Self::hash(key) & mask;
+            while self.keys[i] != Self::EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = key;
+            self.slots[i] = slot;
+        }
+    }
 }
 
 /// Decayed per-page heat map over a dense epoch-versioned flat table.
@@ -184,6 +219,11 @@ pub struct HeatMap {
     spill: Spill,
     /// Keys of currently-live pages in first-record order.
     live: Vec<u64>,
+    /// Lockstep reference model (oracle builds only): the exact
+    /// `HashMap` semantics this flat table replaced. Every mutation is
+    /// mirrored into it and the affected state diffed immediately.
+    #[cfg(feature = "oracle")]
+    shadow: vulcan_oracle::RefHeat,
 }
 
 impl HeatMap {
@@ -196,6 +236,8 @@ impl HeatMap {
             dense: Vec::new(),
             spill: Spill::new(),
             live: Vec::new(),
+            #[cfg(feature = "oracle")]
+            shadow: vulcan_oracle::RefHeat::new(),
         }
     }
 
@@ -241,6 +283,11 @@ impl HeatMap {
         } else {
             slot.stats.reads += weight;
         }
+        #[cfg(feature = "oracle")]
+        {
+            self.shadow.record(vpn.0, is_write, weight);
+            self.oracle_check_key(vpn.0);
+        }
     }
 
     /// Apply one epoch of exponential decay, dropping negligible pages.
@@ -257,6 +304,7 @@ impl HeatMap {
             live,
             ..
         } = self;
+        let mut live_spill = 0usize;
         live.retain(|&key| {
             let slot = if key < DENSE_LIMIT {
                 &mut dense[key as usize]
@@ -269,11 +317,24 @@ impl HeatMap {
             slot.stats.writes *= d;
             if slot.stats.heat >= PRUNE_THRESHOLD {
                 slot.stamp = *epoch;
+                live_spill += (key >= DENSE_LIMIT) as usize;
                 true
             } else {
                 false
             }
         });
+        // Reclaim spill capacity once dead keys dominate: `used` counts
+        // distinct keys ever inserted, so sparse-VPN churn would grow
+        // the table forever. The 2× hysteresis (compaction resets
+        // `used` to the live count) keeps this amortized O(1).
+        if spill.used > (2 * live_spill).max(64) {
+            spill.compact(*epoch);
+        }
+        #[cfg(feature = "oracle")]
+        {
+            self.shadow.decay(d, PRUNE_THRESHOLD);
+            self.oracle_check_live_set();
+        }
     }
 
     fn slot(&self, key: u64) -> Option<&Slot> {
@@ -311,6 +372,23 @@ impl HeatMap {
         };
         slot.stamp = 0; // 0 is never a current epoch
         self.live.retain(|&k| k != vpn.0);
+        #[cfg(feature = "oracle")]
+        {
+            self.shadow.forget(vpn.0);
+            self.oracle_check_key(vpn.0);
+            vulcan_oracle::check(
+                vulcan_oracle::Structure::Heat,
+                self.live.len() == self.shadow.len(),
+                Some(vpn.0),
+                || {
+                    format!(
+                        "after forget: flat live count {} != reference {}",
+                        self.live.len(),
+                        self.shadow.len()
+                    )
+                },
+            );
+        }
     }
 
     /// Number of tracked pages.
@@ -352,20 +430,89 @@ impl HeatMap {
 
     /// The `n` hottest pages, hottest first (ties by VPN for determinism).
     pub fn hottest(&self, n: usize) -> Vec<(Vpn, f64)> {
-        self.top_by(n, |a, b| {
+        let got = self.top_by(n, |a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("heat is never NaN")
                 .then(a.0 .0.cmp(&b.0 .0))
-        })
+        });
+        #[cfg(feature = "oracle")]
+        self.oracle_check_selection(&got, n, true);
+        got
     }
 
     /// The `n` coldest pages among those tracked, coldest first.
     pub fn coldest(&self, n: usize) -> Vec<(Vpn, f64)> {
-        self.top_by(n, |a, b| {
+        let got = self.top_by(n, |a, b| {
             a.1.partial_cmp(&b.1)
                 .expect("heat is never NaN")
                 .then(a.0 .0.cmp(&b.0 .0))
-        })
+        });
+        #[cfg(feature = "oracle")]
+        self.oracle_check_selection(&got, n, false);
+        got
+    }
+
+    /// Oracle builds: diff one key's flat-table view against the shadow
+    /// `HashMap` model — bitwise, since both sides apply the identical
+    /// arithmetic in the identical order.
+    #[cfg(feature = "oracle")]
+    fn oracle_check_key(&self, key: u64) {
+        let got = self.get(Vpn(key));
+        let want = self.shadow.get(key);
+        vulcan_oracle::check(
+            vulcan_oracle::Structure::Heat,
+            got.heat == want.heat && got.reads == want.reads && got.writes == want.writes,
+            Some(key),
+            || format!("flat {got:?} != reference {want:?}"),
+        );
+    }
+
+    /// Oracle builds: after `decay_epoch`, the surviving live set (and
+    /// every survivor's stats) must equal the reference's retained set.
+    #[cfg(feature = "oracle")]
+    fn oracle_check_live_set(&self) {
+        vulcan_oracle::check(
+            vulcan_oracle::Structure::Heat,
+            self.live.len() == self.shadow.len(),
+            None,
+            || {
+                format!(
+                    "after decay: flat live count {} != reference {}",
+                    self.live.len(),
+                    self.shadow.len()
+                )
+            },
+        );
+        for &key in &self.live {
+            vulcan_oracle::check(
+                vulcan_oracle::Structure::Heat,
+                self.shadow.contains(key),
+                Some(key),
+                || "flat live key not tracked by reference".to_string(),
+            );
+            self.oracle_check_key(key);
+        }
+    }
+
+    /// Oracle builds: the `select_nth_unstable_by` selection must equal
+    /// a full sort of the reference model.
+    #[cfg(feature = "oracle")]
+    fn oracle_check_selection(&self, got: &[(Vpn, f64)], n: usize, hottest: bool) {
+        let want = self.shadow.top_heat(n, hottest);
+        let ok = got.len() == want.len()
+            && got
+                .iter()
+                .zip(&want)
+                .all(|(g, w)| g.0 .0 == w.0 && g.1 == w.1);
+        vulcan_oracle::check(vulcan_oracle::Structure::Heat, ok, None, || {
+            format!("selection (n={n}, hottest={hottest}): flat {got:?} != reference {want:?}")
+        });
+    }
+
+    /// Capacity of the spill table, in slots (diagnostics; bounded-growth
+    /// tests assert churned-through sparse VPNs don't grow it forever).
+    pub fn spill_capacity(&self) -> usize {
+        self.spill.keys.len()
     }
 
     /// Total heat across all pages.
@@ -594,6 +741,79 @@ mod tests {
         all.reverse();
         let want: Vec<(Vpn, f64)> = all.iter().take(10).map(|&(v, h)| (Vpn(v), h)).collect();
         assert_eq!(flat.coldest(10), want);
+    }
+
+    #[test]
+    fn spill_capacity_stays_bounded_under_churning_sparse_vpns() {
+        // Long-run resource regression: `Spill::used` counts distinct
+        // keys ever inserted. A workload churning through sparse VPNs
+        // (mmap/munmap cycles, drifting footprints) inserts a stream of
+        // distinct spill keys that all die at the next decay; without
+        // dead-slot reclamation the table grows with *history*, not
+        // with the live set.
+        let mut h = HeatMap::new(0.0); // decay 0: everything pruned each epoch
+        for round in 0..200u64 {
+            for i in 0..100u64 {
+                h.record(Vpn(DENSE_LIMIT + round * 1_000 + i * 7), false, 1.0);
+            }
+            h.decay_epoch();
+            assert!(h.is_empty(), "decay 0 prunes every page");
+        }
+        // 20_000 distinct keys ever, zero live. The capacity must track
+        // the live set (here: empty), not the insertion history, which
+        // would need ≥ 32_768 slots at 70% occupancy.
+        assert!(
+            h.spill_capacity() <= 1_024,
+            "spill capacity {} grew with history, not live set",
+            h.spill_capacity()
+        );
+    }
+
+    #[test]
+    fn spill_compaction_preserves_live_stats_bitwise() {
+        // Hot spill pages must survive compaction with bit-identical
+        // stats while churned-through cold neighbours are reclaimed.
+        use std::collections::HashMap;
+        let mut h = HeatMap::new(0.5);
+        let mut reference: HashMap<u64, PageStats> = HashMap::new();
+        let hot: Vec<u64> = (0..40).map(|i| DENSE_LIMIT + 13 + i * 101).collect();
+        for round in 0..120u64 {
+            for (j, &key) in hot.iter().enumerate() {
+                let w = (j + 1) as f64;
+                h.record(Vpn(key), j % 3 == 0, w);
+                let s = reference.entry(key).or_default();
+                s.heat += w;
+                if j % 3 == 0 {
+                    s.writes += w;
+                } else {
+                    s.reads += w;
+                }
+            }
+            // Transient sparse keys that die immediately.
+            for i in 0..50u64 {
+                h.record(
+                    Vpn(DENSE_LIMIT + 1_000_000 + round * 500 + i * 9),
+                    false,
+                    0.001,
+                );
+            }
+            h.decay_epoch();
+            reference.retain(|_, s| {
+                s.heat *= 0.5;
+                s.reads *= 0.5;
+                s.writes *= 0.5;
+                s.heat >= 1e-3
+            });
+        }
+        assert_eq!(h.len(), reference.len());
+        for (&key, want) in &reference {
+            assert_eq!(h.get(Vpn(key)), *want, "key {key}");
+        }
+        assert!(
+            h.spill_capacity() <= 2_048,
+            "capacity {} tracks history",
+            h.spill_capacity()
+        );
     }
 
     #[test]

@@ -233,7 +233,7 @@ pub(crate) fn run_thread_quantum(
     }
     let quota = ws.effective_quota();
     let thp = ws.spec.thp;
-    let tid = LocalTid(thread_idx as u8);
+    let tid = LocalTid(u8::try_from(thread_idx).expect("thread index fits the 7-bit PTE field"));
     let WorkloadState {
         gen,
         rngs,

@@ -322,6 +322,10 @@ impl SimRunner {
 
     /// Execute a single quantum (exposed for step-wise tests).
     pub fn run_quantum(&mut self) {
+        // Oracle builds: stamp divergence reports from anywhere below
+        // this quantum with the simulated time it executed at.
+        #[cfg(feature = "oracle")]
+        vulcan_oracle::set_now(self.state.now.0);
         if self.state.quantum_index == 0 {
             self.policy.on_start(&mut self.state);
         }
@@ -430,6 +434,14 @@ impl SimRunner {
         self.policy.on_quantum(st);
         for w in 0..st.workloads.len() {
             st.recount_fast(w);
+        }
+
+        // Oracle builds: after the quantum's migrations and unmaps have
+        // landed, every surviving walk-cache entry must still agree with
+        // an uncached radix walk.
+        #[cfg(feature = "oracle")]
+        for ws in &st.workloads {
+            ws.process.space.verify_walk_caches();
         }
 
         // Metrics and series.

@@ -213,7 +213,8 @@ impl SystemState {
         let mut next_sim_tid = 0u32;
         let mut next_core = 0u16;
         for (i, spec) in specs.into_iter().enumerate() {
-            let mut process = Process::new(Asid(i as u16 + 1), replication);
+            let asid = u16::try_from(i + 1).expect("more workloads than TLB ASID tags");
+            let mut process = Process::new(Asid(asid), replication);
             let mut sim_ids = Vec::new();
             for _ in 0..spec.n_threads {
                 let sim_id = SimThreadId(next_sim_tid);
@@ -222,7 +223,9 @@ impl SystemState {
                 sim_ids.push(sim_id);
             }
             // Dedicated core range, wrapping if the socket runs out.
-            let span = (spec.n_threads as u16).min(n_cores);
+            let span = u16::try_from(spec.n_threads)
+                .unwrap_or(u16::MAX)
+                .min(n_cores);
             let lo = next_core % n_cores;
             let hi = (lo + span).min(n_cores);
             machine.topology.pin_range(&sim_ids, lo, hi);
@@ -566,7 +569,8 @@ impl SystemState {
             self.machine.free(f);
         }
         let asid = ws.process.asid;
-        for c in 0..self.tlbs.len() as u16 {
+        let n_cores = u16::try_from(self.tlbs.len()).expect("one TLB per core, cores are u16");
+        for c in 0..n_cores {
             self.tlbs.core(vulcan_sim::CoreId(c)).flush_asid(asid);
         }
         ws.stats.fast_used = 0;

@@ -134,6 +134,25 @@ impl Machine {
     /// bandwidth-contention inflation (recomputed once per quantum).
     #[inline]
     pub fn access_latency(&self, tier: TierKind) -> Nanos {
+        // Inflation only changes at `end_quantum`, so recomputing from
+        // scratch mid-quantum must reproduce the cache exactly.
+        #[cfg(feature = "oracle")]
+        {
+            let want = self
+                .bandwidth
+                .inflate(tier, self.spec.access_costs.tier_latency(tier));
+            vulcan_oracle::check(
+                vulcan_oracle::Structure::Latency,
+                self.loaded_latency[tier.index()] == want,
+                None,
+                || {
+                    format!(
+                        "cached loaded latency {:?} != recomputed {want:?} for {tier:?}",
+                        self.loaded_latency[tier.index()]
+                    )
+                },
+            );
+        }
         self.loaded_latency[tier.index()]
     }
 

@@ -38,7 +38,7 @@ impl Process {
             self.threads.len() <= MAX_LOCAL_TID as usize,
             "per-process thread limit is {MAX_LOCAL_TID}"
         );
-        let tid = LocalTid(self.threads.len() as u8);
+        let tid = LocalTid(u8::try_from(self.threads.len()).expect("bounded by MAX_LOCAL_TID"));
         self.threads.push(sim_id);
         self.space.register_thread(tid);
         tid

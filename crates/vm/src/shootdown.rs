@@ -42,7 +42,8 @@ pub struct ShootdownPlan {
 impl ShootdownPlan {
     /// Number of IPI targets.
     pub fn n_targets(&self) -> u16 {
-        self.targets.len() as u16
+        u16::try_from(self.targets.len())
+            .expect("IPI targets are distinct cores, and core IDs are u16")
     }
 }
 

@@ -227,6 +227,44 @@ impl AddressSpace {
         self.replication
     }
 
+    /// Oracle builds: prove every live walk-cache entry still agrees
+    /// with an uncached radix walk — the staleness detector the runtime
+    /// runs once per quantum, catching invalidations that should have
+    /// happened (unmap, THP split, shootdown, teardown) but didn't.
+    #[cfg(feature = "oracle")]
+    pub fn verify_walk_caches(&self) {
+        let check_one = |cache: &WalkCache, root: u32, who: &dyn Fn() -> String| {
+            for (i, &tag) in cache.tags.iter().enumerate() {
+                if tag == WALK_TAG_EMPTY {
+                    continue;
+                }
+                let vpn = Vpn(tag << LEVEL_BITS);
+                let want = self.leaf_index_ro(root, vpn);
+                vulcan_oracle::check(
+                    vulcan_oracle::Structure::Walk,
+                    want == Some(cache.leaves[i]),
+                    Some(vpn.0),
+                    || {
+                        format!(
+                            "{} slot {i}: cached leaf {} for region {tag:#x} != \
+                             uncached walk {want:?}",
+                            who(),
+                            cache.leaves[i]
+                        )
+                    },
+                );
+            }
+        };
+        check_one(&self.walk, self.process_root, &|| {
+            "process walk cache".to_string()
+        });
+        for (ti, wc) in self.thread_walks.iter().enumerate() {
+            if let Some(Some(root)) = self.thread_roots.get(ti) {
+                check_one(wc, *root, &|| format!("thread {ti} walk cache"));
+            }
+        }
+    }
+
     /// Register a thread; allocates its private root when replication is on.
     pub fn register_thread(&mut self, tid: LocalTid) {
         let idx = tid.0 as usize;
@@ -246,12 +284,14 @@ impl AddressSpace {
 
     fn alloc_node(&mut self) -> u32 {
         self.nodes.push(Node::new());
-        (self.nodes.len() - 1) as u32
+        u32::try_from(self.nodes.len() - 1)
+            .expect("u32::MAX inner nodes would need a 16 TiB page-table arena")
     }
 
     fn alloc_leaf(&mut self) -> u32 {
         self.leaves.push(Leaf::new());
-        (self.leaves.len() - 1) as u32
+        u32::try_from(self.leaves.len() - 1)
+            .expect("u32::MAX leaf tables would map a 2^50-page address space")
     }
 
     /// Walk (and optionally build) the path from `root` to the leaf table
@@ -343,6 +383,20 @@ impl AddressSpace {
             .walk_enabled
             .then(|| self.walk.get(vpn.0 >> LEVEL_BITS))
             .flatten();
+        #[cfg(feature = "oracle")]
+        if let Some(l) = cached {
+            vulcan_oracle::check(
+                vulcan_oracle::Structure::Walk,
+                self.leaf_index_ro(self.process_root, vpn) == Some(l),
+                Some(vpn.0),
+                || {
+                    format!(
+                        "pte: process walk-cache hit leaf {l} != uncached walk {:?}",
+                        self.leaf_index_ro(self.process_root, vpn)
+                    )
+                },
+            );
+        }
         cached
             .or_else(|| self.leaf_index_ro(self.process_root, vpn))
             .map(|leaf| self.leaves[leaf as usize].ptes[vpn.index(0)])
@@ -394,7 +448,23 @@ impl AddressSpace {
         // Misses (including unmapped regions) are never cached, so a
         // later `map` needs no invalidation to become visible.
         let leaf = match self.walk_enabled.then(|| self.walk.get(region)).flatten() {
-            Some(l) => l,
+            Some(l) => {
+                // The hit claims to reproduce the uncached descent; in
+                // oracle builds, prove it on every hit.
+                #[cfg(feature = "oracle")]
+                vulcan_oracle::check(
+                    vulcan_oracle::Structure::Walk,
+                    self.leaf_index_ro(self.process_root, vpn) == Some(l),
+                    Some(vpn.0),
+                    || {
+                        format!(
+                            "touch: process walk-cache hit leaf {l} != uncached walk {:?}",
+                            self.leaf_index_ro(self.process_root, vpn)
+                        )
+                    },
+                );
+                l
+            }
             None => {
                 let l = self.leaf_index_ro(self.process_root, vpn)?;
                 if self.walk_enabled {
@@ -416,6 +486,22 @@ impl AddressSpace {
             self.register_thread(tid);
             let ti = tid.0 as usize;
             let cached = self.walk_enabled && self.thread_walks[ti].get(region) == Some(leaf);
+            #[cfg(feature = "oracle")]
+            if cached {
+                let troot = self.thread_roots[ti].expect("cached entry implies registration");
+                vulcan_oracle::check(
+                    vulcan_oracle::Structure::Walk,
+                    self.leaf_index_ro(troot, vpn) == Some(leaf),
+                    Some(vpn.0),
+                    || {
+                        format!(
+                            "touch: thread {ti} walk-cache hit leaf {leaf} != \
+                             uncached private walk {:?}",
+                            self.leaf_index_ro(troot, vpn)
+                        )
+                    },
+                );
+            }
             if !cached {
                 let troot = self.thread_roots[ti].expect("registered above");
                 let linked = self.leaf_index_ro(troot, vpn);

@@ -105,6 +105,85 @@ proptest! {
         }
     }
 
+    /// The walk-cached address space agrees with a flat shadow model
+    /// under arbitrary map/unmap/touch interleavings whose VPNs share
+    /// and cross leaf regions (a leaf covers 512 pages) — the access
+    /// pattern that would expose a stale cached leaf after unmap/remap.
+    #[test]
+    fn walk_cache_agrees_with_shadow_model(
+        replication in any::<bool>(),
+        ops in proptest::collection::vec(
+            (0usize..12, 0u8..3, 0u8..4, any::<bool>()),
+            1..250,
+        ),
+    ) {
+        // Three leaf regions: two adjacent, one far (distinct L1/L2/L3
+        // paths), with VPNs inside each sharing a leaf.
+        let universe: [u64; 12] = [
+            0, 1, 7, 511,            // region 0
+            512, 513, 1023,          // region 1
+            1 << 30, (1 << 30) + 1,  // far region
+            (1 << 30) + 511, 2 << 30, (2 << 30) + 256,
+        ];
+        let mut s = AddressSpace::new(replication);
+        for t in 0..4 {
+            s.register_thread(LocalTid(t));
+        }
+        // Shadow: vpn -> (frame, owner-model, dirty).
+        let mut shadow: std::collections::HashMap<u64, (FrameId, PageOwner, bool)> =
+            Default::default();
+        for (i, &(vi, kind, tid, write)) in ops.iter().enumerate() {
+            let v = universe[vi];
+            let tid = LocalTid(tid);
+            match kind {
+                // map (fresh vpns only: remapping a live page is not a
+                // supported transition)
+                0 => {
+                    if let std::collections::hash_map::Entry::Vacant(e) = shadow.entry(v) {
+                        let f = FrameId { tier: TierKind::Fast, index: i as u32 };
+                        s.map(Vpn(v), f, tid);
+                        e.insert((f, PageOwner::Private(tid), false));
+                    }
+                }
+                // unmap
+                1 => {
+                    let got = s.unmap(Vpn(v));
+                    let want = shadow.remove(&v);
+                    prop_assert_eq!(got.map(|p| p.frame()), want.map(|(f, _, _)| Some(f)));
+                }
+                // touch
+                _ => {
+                    let got = s.touch(Vpn(v), tid, write);
+                    match shadow.get_mut(&v) {
+                        None => prop_assert!(got.is_none(), "touch of unmapped {v:#x} hit"),
+                        Some(entry) => {
+                            let out = got.unwrap();
+                            prop_assert_eq!(out.pte.frame(), Some(entry.0));
+                            if entry.1 != PageOwner::Private(tid) {
+                                entry.1 = PageOwner::Shared;
+                            }
+                            entry.2 |= write;
+                            prop_assert_eq!(out.pte.owner(), entry.1);
+                        }
+                    }
+                }
+            }
+            // Every probe goes through the caches; any stale leaf shows
+            // up as a wrong frame or a phantom mapping.
+            prop_assert_eq!(s.rss_pages(), shadow.len() as u64);
+            for &u in &universe {
+                let pte = s.pte(Vpn(u));
+                match shadow.get(&u) {
+                    Some(&(f, _, dirty)) => {
+                        prop_assert_eq!(pte.frame(), Some(f), "vpn {:#x}", u);
+                        prop_assert_eq!(pte.dirty(), dirty, "vpn {:#x}", u);
+                    }
+                    None => prop_assert_eq!(pte.frame(), None, "vpn {:#x}", u),
+                }
+            }
+        }
+    }
+
     /// Targeted shootdown targets are always a subset of process-wide
     /// targets, and shared pages force all-thread coverage.
     #[test]

@@ -67,7 +67,8 @@ impl Zipf {
         let index: Vec<u32> = (0..=INDEX_BUCKETS)
             .map(|b| {
                 let u = b as f64 / INDEX_BUCKETS as f64;
-                cdf.partition_point(|&c| c < u) as u32
+                u32::try_from(cdf.partition_point(|&c| c < u))
+                    .expect("more Zipf ranks than the u32 index can address")
             })
             .collect();
         let narrow = index.windows(2).all(|w| (w[1] - w[0]) as usize <= WINDOW);
@@ -94,7 +95,7 @@ impl Zipf {
         // against any rounding at the top end.
         let b = ((u * INDEX_BUCKETS as f64) as usize).min(INDEX_BUCKETS - 1);
         let lo = self.index[b] as usize;
-        if self.narrow {
+        let rank = if self.narrow {
             // Branchless, and exactly `partition_point(|&c| c < u)`:
             // ranks before `lo` all have cdf < u (the bucket's lower
             // bound), ranks at/past the bucket's upper bound all have
@@ -110,7 +111,19 @@ impl Zipf {
         } else {
             let hi = self.index[b + 1] as usize;
             (lo + self.cdf[lo..hi].partition_point(|&c| c < u)) as u64
+        };
+        #[cfg(feature = "oracle")]
+        {
+            let full = self.cdf[..self.n].partition_point(|&c| c < u) as u64;
+            vulcan_oracle::check(vulcan_oracle::Structure::Zipf, rank == full, None, || {
+                format!(
+                    "indexed rank {rank} != full partition_point {full} \
+                     (u={u}, n={}, narrow={})",
+                    self.n, self.narrow
+                )
+            });
         }
+        rank
     }
 
     /// Probability mass of rank `k`.

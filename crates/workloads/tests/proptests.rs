@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use vulcan_workloads::{
     AccessGen, KvConfig, KvStore, MicroConfig, Microbench, PageRank, PrConfig, Sweep, SweepConfig,
     Zipf,
@@ -86,6 +86,39 @@ proptest! {
             }
         }
         prop_assert!(head > tail, "head {head} vs tail {tail}");
+    }
+
+    /// The indexed/branchless sampler is exactly `partition_point` over
+    /// the normalized CDF — not approximately: both paths must pick the
+    /// same rank for every draw, across skews that exercise the narrow
+    /// (branchless window scan) and wide (binary search) paths.
+    #[test]
+    fn zipf_sample_equals_partition_point(
+        seed in any::<u64>(),
+        n in 1u64..2_000,
+        s in 0.0f64..2.0,
+    ) {
+        // Rebuild the CDF exactly as `Zipf::new` does: identical
+        // operations in identical order give bit-identical floats.
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        let z = Zipf::new(n, s);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            // Peek the next uniform draw with a cloned RNG so the
+            // reference sees exactly the `u` that `sample` consumes.
+            let u: f64 = rng.clone().gen();
+            let want = cdf.partition_point(|&c| c < u) as u64;
+            let got = z.sample(&mut rng);
+            prop_assert_eq!(got, want, "u = {}, n = {}, s = {}", u, n, s);
+        }
     }
 
     /// PageRank's write accesses are confined to the writer's own
