@@ -28,6 +28,7 @@
 //! seeded deterministically, so artifacts are byte-identical regardless
 //! of the thread count.
 
+pub mod chaos;
 pub mod suite;
 
 use std::io;

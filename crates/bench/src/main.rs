@@ -22,6 +22,10 @@ vulcan-bench — evaluation suite driver (Vulcan reproduction)
 
 USAGE:
     vulcan-bench suite [TARGETS...] [OPTIONS]   run simulation grids
+    vulcan-bench chaos [OPTIONS]                fault-injection sweep: every
+                                                fault site × rates × the four
+                                                policies, asserting the
+                                                degradation contract
     vulcan-bench oracle [TARGETS...] [OPTIONS]  run grids in lockstep with
                                                 reference models (requires
                                                 a --features oracle build)
@@ -31,6 +35,15 @@ OPTIONS (suite, oracle):
     --quick        CI scale: 1 trial per point, quanta capped at 20
     --threads <N>  thread-pool size (RAYON_NUM_THREADS is the env knob)
     --list         list all 14 targets and exit
+
+OPTIONS (chaos):
+    --quick        CI scale: 2 fault rates, 12 quanta per cell
+    --threads <N>  thread-pool size
+
+The chaos sweep exits non-zero if any cell panics, leaks a frame at
+teardown, lets Vulcan's FTHR drop below GPT, or produces rate-0 output
+that differs from a run with no fault plan installed. Results land in
+target/experiments/chaos.json.
 
 Targets default to every simulation grid; analytic targets (fig2, fig3,
 fig7, table1, table2) have no grid and are skipped with a note.
@@ -166,6 +179,35 @@ fn cmd_suite(args: &[String]) {
     vulcan_bench::save_json_or_exit("suite", &rows);
 }
 
+fn cmd_chaos(args: &[String]) {
+    let GridArgs { quick, list, names } = parse_grid_args(args);
+    if list || !names.is_empty() {
+        usage_error("chaos takes no targets (it runs one fixed grid)");
+    }
+    let opts = if quick {
+        vulcan_bench::chaos::ChaosOpts::quick()
+    } else {
+        vulcan_bench::chaos::ChaosOpts::full()
+    };
+    let report = vulcan_bench::chaos::run_chaos(&opts);
+    vulcan_bench::chaos::chaos_table(&report.rows).print();
+    if !report.violations.is_empty() {
+        for v in &report.violations {
+            eprintln!("chaos: VIOLATION: {v}");
+        }
+        eprintln!(
+            "chaos: {} degradation-contract violation(s)",
+            report.violations.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "chaos: {} cells, zero panics, frames conserved, rate-0 identical",
+        report.rows.len()
+    );
+    vulcan_bench::save_json_or_exit("chaos", &report.rows);
+}
+
 /// Lockstep differential run: replay the suite grids with the reference
 /// models checking every hot-path structure at every step. Only does
 /// anything in a `--features oracle` build — the checks are compiled
@@ -239,6 +281,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("suite") => cmd_suite(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("oracle") => cmd_oracle(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => print!("{USAGE}"),
         None => usage_error("missing subcommand"),

@@ -72,6 +72,8 @@ pub struct ExperimentCell {
     pub quantum_active: Option<Nanos>,
     /// Per-thread page-table replication (ablation switch).
     pub replication: bool,
+    /// Fault-injection rates (ISSUE 5; all-zero = disabled, exact no-op).
+    pub faults: vulcan::sim::FaultConfig,
 }
 
 impl ExperimentCell {
@@ -108,6 +110,7 @@ impl ExperimentCell {
             seed,
             quantum_active: None,
             replication: true,
+            faults: vulcan::sim::FaultConfig::default(),
         }
     }
 
@@ -129,11 +132,18 @@ impl ExperimentCell {
         self
     }
 
+    /// Inject faults from `cfg`'s seeded schedule (the chaos sweeps).
+    pub fn with_faults(mut self, faults: vulcan::sim::FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
     fn config(&self, n_quanta: u64) -> SimConfig {
         let mut cfg = SimConfig {
             n_quanta,
             seed: self.seed,
             replication: self.replication,
+            faults: self.faults.clone(),
             ..Default::default()
         };
         if let Some(q) = self.quantum_active {

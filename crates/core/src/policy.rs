@@ -20,10 +20,10 @@
 use crate::cbfrp::{Cbfrp, ServiceClass};
 use crate::classify::Classifier;
 use crate::qos;
-use crate::queues::{classify, PromotionQueues};
-use vulcan_migrate::MechanismConfig;
+use crate::queues::{classify, PageClass, PromotionQueues};
+use vulcan_migrate::{MechanismConfig, SyncOutcome};
 use vulcan_runtime::{SystemState, TieringPolicy};
-use vulcan_sim::TierKind;
+use vulcan_sim::{FaultSite, TierKind};
 use vulcan_telemetry::EventKind;
 use vulcan_vm::Vpn;
 
@@ -86,7 +86,7 @@ impl Default for VulcanConfig {
 }
 
 /// The Vulcan tiering policy (the paper's contribution).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct VulcanPolicy {
     cfg: VulcanConfig,
     cbfrp: Option<Cbfrp>,
@@ -96,6 +96,30 @@ pub struct VulcanPolicy {
     guard_engaged: u64,
     /// Last published classifier verdicts (reclassification events).
     last_classes: Vec<ServiceClass>,
+    /// Trust in the nominal fast-tier capacity, in (0, 1]. Sustained
+    /// fast-allocation faults (ISSUE 5) decay it ×0.9 per faulty quantum
+    /// (floor 0.5); clean quanta recover it by +0.02. While below 1 the
+    /// GFMC entitlement is scaled down, so CBFRP hands out quotas the
+    /// degraded allocator can actually honor. Exactly 1.0 in fault-free
+    /// runs, where it never perturbs the partition.
+    capacity_confidence: f64,
+    /// Fast-tier alloc-fault injections seen as of the last quantum.
+    seen_alloc_faults: u64,
+}
+
+impl Default for VulcanPolicy {
+    fn default() -> Self {
+        VulcanPolicy {
+            cfg: VulcanConfig::default(),
+            cbfrp: None,
+            classifier: None,
+            queues: Vec::new(),
+            guard_engaged: 0,
+            last_classes: Vec::new(),
+            capacity_confidence: 1.0,
+            seen_alloc_faults: 0,
+        }
+    }
 }
 
 impl VulcanPolicy {
@@ -125,6 +149,51 @@ impl VulcanPolicy {
     /// Quanta in which the Colloid contention guard paused promotion.
     pub fn guard_engagements(&self) -> u64 {
         self.guard_engaged
+    }
+
+    /// Current trust in the nominal fast-tier capacity (1.0 fault-free).
+    pub fn capacity_confidence(&self) -> f64 {
+        self.capacity_confidence
+    }
+
+    /// Decay or recover [`Self::capacity_confidence`] from this
+    /// quantum's fast-allocation fault activity, and return the GFMC
+    /// entitlement scaled by it. A fault-free run keeps confidence at
+    /// exactly 1.0 and returns `gfmc` unchanged (byte-identity).
+    fn degrade_gfmc(&mut self, state: &SystemState, gfmc: u64) -> u64 {
+        let seen = state.machine.faults.stats().injected[FaultSite::AllocFast.index()];
+        let faulted = seen > self.seen_alloc_faults;
+        self.seen_alloc_faults = seen;
+        if faulted {
+            self.capacity_confidence = (self.capacity_confidence * 0.9).max(0.5);
+        } else if self.capacity_confidence < 1.0 {
+            self.capacity_confidence = (self.capacity_confidence + 0.02).min(1.0);
+        }
+        if self.capacity_confidence < 1.0 {
+            (gfmc as f64 * self.capacity_confidence).floor() as u64
+        } else {
+            gfmc
+        }
+    }
+
+    /// Requeue pages whose synchronous migration failed transiently
+    /// (destination full, injected copy fault) with an MLFQ age bump —
+    /// the degradation contract's "requeue into the MLFQ" arm.
+    fn requeue_transient_failures(&mut self, state: &SystemState, w: usize, out: &SyncOutcome) {
+        if out.failed.is_empty() {
+            return;
+        }
+        let ws = &state.workloads[w];
+        let entries: Vec<(Vpn, PageClass, f64)> = out
+            .transient_failures()
+            .filter_map(|v| {
+                ws.process.space.owner(v).map(|o| {
+                    let s = ws.heat().get(v);
+                    (v, classify(o, &s), s.heat)
+                })
+            })
+            .collect();
+        self.queues[w].note_failed(entries);
     }
 
     /// Whether the fast tier's *loaded* latency still beats the slow
@@ -213,7 +282,8 @@ impl VulcanPolicy {
             if !plan.sync_pages.is_empty() {
                 // Write-intensive pages: synchronous copy (Table 1) on
                 // Vulcan's cheap mechanism.
-                state.migrate_sync(w, &plan.sync_pages, TierKind::Fast, &mech);
+                let out = state.migrate_sync(w, &plan.sync_pages, TierKind::Fast, &mech);
+                self.requeue_transient_failures(state, w, &out);
             }
         }
 
@@ -230,7 +300,13 @@ impl VulcanPolicy {
                     state.migrate_async(w, &plan.async_pages, TierKind::Fast);
                 }
                 if !plan.sync_pages.is_empty() {
-                    state.migrate_sync(w, &plan.sync_pages, TierKind::Fast, &self.cfg.mechanism);
+                    let out = state.migrate_sync(
+                        w,
+                        &plan.sync_pages,
+                        TierKind::Fast,
+                        &self.cfg.mechanism,
+                    );
+                    self.requeue_transient_failures(state, w, &out);
                 }
             }
         }
@@ -327,7 +403,8 @@ impl TieringPolicy for VulcanPolicy {
                         pages: aborted.len() as u64,
                     },
                 );
-                state.migrate_sync(w, &aborted, TierKind::Fast, &mech);
+                let out = state.migrate_sync(w, &aborted, TierKind::Fast, &mech);
+                self.requeue_transient_failures(state, w, &out);
             }
         }
 
@@ -360,7 +437,10 @@ impl TieringPolicy for VulcanPolicy {
         if n_started == 0 {
             return;
         }
-        let gfmc = qos::gfmc(state.fast_capacity(), n_started);
+        // ISSUE 5: under sustained (injected) fast-allocation faults the
+        // effective capacity is smaller than nominal — shrink the
+        // entitlement CBFRP partitions so quotas stay honorable.
+        let gfmc = self.degrade_gfmc(state, qos::gfmc(state.fast_capacity(), n_started));
         let demands: Vec<u64> = state
             .workloads
             .iter()
@@ -450,7 +530,9 @@ impl TieringPolicy for VulcanPolicy {
                 state.migrate_async(w, &plan.async_pages, TierKind::Fast);
             }
             if !plan.sync_pages.is_empty() {
-                state.migrate_sync(w, &plan.sync_pages, TierKind::Fast, &self.cfg.mechanism);
+                let out =
+                    state.migrate_sync(w, &plan.sync_pages, TierKind::Fast, &self.cfg.mechanism);
+                self.requeue_transient_failures(state, w, &out);
             }
         }
     }

@@ -170,6 +170,41 @@ impl PromotionQueues {
         self.len() == 0
     }
 
+    /// Re-enqueue pages whose migration failed transiently (destination
+    /// full, injected copy fault), with an MLFQ age bump: a page that
+    /// already earned a migration slot should not start over at the
+    /// bottom when the mechanism — not the page — failed. The bump is
+    /// one full aging interval, so the page sits one level above its
+    /// class until it drains, and the carried age keeps the boost across
+    /// subsequent refills.
+    pub fn note_failed(&mut self, pages: impl IntoIterator<Item = (Vpn, PageClass, f64)>) {
+        let mut touched = [false; 4];
+        for (vpn, class, heat) in pages {
+            let age = self.aging_quanta.max(1);
+            let level = class.index().saturating_sub(1);
+            // Drop a duplicate still queued at this level (refill dedups
+            // naturally; a mid-quantum requeue must not).
+            self.queues[level].retain(|e| e.vpn != vpn);
+            self.queues[level].push(Entry {
+                vpn,
+                heat,
+                age,
+                class,
+            });
+            touched[level] = true;
+        }
+        for (level, q) in self.queues.iter_mut().enumerate() {
+            if touched[level] {
+                q.sort_by(|a, b| {
+                    b.heat
+                        .partial_cmp(&a.heat)
+                        .unwrap()
+                        .then(a.vpn.0.cmp(&b.vpn.0))
+                });
+            }
+        }
+    }
+
     /// Drain up to `budget` pages in strict priority order, splitting
     /// them by Table 1's strategy. Drained pages leave the queues.
     pub fn drain(&mut self, budget: usize) -> DrainPlan {
@@ -294,6 +329,28 @@ mod tests {
         q.refill([(Vpn(2), PageClass::PrivateRead, 1.0)]);
         assert_eq!(q.len(), 1);
         assert_eq!(q.level(0), vec![Vpn(2)]);
+    }
+
+    #[test]
+    fn note_failed_requeues_with_age_bump() {
+        let mut q = PromotionQueues::new();
+        q.refill([(Vpn(1), PageClass::SharedWrite, 5.0)]);
+        let plan = q.drain(1);
+        assert_eq!(plan.sync_pages, vec![Vpn(1)]);
+        assert!(q.is_empty());
+        // Transient failure: the page returns one level above its class.
+        q.note_failed([(Vpn(1), PageClass::SharedWrite, 5.0)]);
+        assert_eq!(q.level(PageClass::SharedWrite.index() - 1), vec![Vpn(1)]);
+        // The bump persists across the next refill (carried age ≥ one
+        // aging interval) instead of resetting to the bottom queue.
+        q.refill([(Vpn(1), PageClass::SharedWrite, 5.0)]);
+        assert!(
+            q.level(PageClass::SharedWrite.index()).is_empty(),
+            "failed page does not start over at the bottom"
+        );
+        // Requeueing a page already queued does not duplicate it.
+        q.note_failed([(Vpn(1), PageClass::SharedWrite, 5.0)]);
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

@@ -90,13 +90,18 @@ pub fn mean_ci95(samples: &[f64]) -> (f64, f64) {
     (s.mean(), s.ci95())
 }
 
-/// Exact percentile (nearest-rank) of a sample set.
-pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
+/// Exact percentile (nearest-rank) of a sample set, or `None` when the
+/// window is empty — callers emit a JSON `null` / skip the row instead
+/// of panicking (ISSUE 5: chaos sweeps legitimately produce empty
+/// windows, e.g. a fault class that never fired).
+pub fn percentile(samples: &mut [f64], p: f64) -> Option<f64> {
     assert!((0.0..=100.0).contains(&p));
-    assert!(!samples.is_empty(), "percentile of empty sample set");
+    if samples.is_empty() {
+        return None;
+    }
     samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
     let rank = ((p / 100.0) * (samples.len() as f64 - 1.0)).round() as usize;
-    samples[rank]
+    Some(samples[rank])
 }
 
 #[cfg(test)]
@@ -147,15 +152,17 @@ mod tests {
     #[test]
     fn percentiles() {
         let mut v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
-        assert_eq!(percentile(&mut v, 50.0), 51.0); // rank 49.5 rounds up
-        assert_eq!(percentile(&mut v, 0.0), 1.0);
-        assert_eq!(percentile(&mut v, 100.0), 100.0);
-        assert_eq!(percentile(&mut v, 99.0), 99.0);
+        assert_eq!(percentile(&mut v, 50.0), Some(51.0)); // rank 49.5 rounds up
+        assert_eq!(percentile(&mut v, 0.0), Some(1.0));
+        assert_eq!(percentile(&mut v, 100.0), Some(100.0));
+        assert_eq!(percentile(&mut v, 99.0), Some(99.0));
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn percentile_empty_panics() {
-        percentile(&mut [], 50.0);
+    fn percentile_of_empty_window_is_none() {
+        // Regression (ISSUE 5): this used to assert, killing whole chaos
+        // sweeps when a fault class produced no samples.
+        assert_eq!(percentile(&mut [], 50.0), None);
+        assert_eq!(percentile(&mut [], 99.0), None);
     }
 }

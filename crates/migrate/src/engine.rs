@@ -10,11 +10,12 @@
 //!   `max_async_retries` failures it aborts (Observation #4's
 //!   write-intensive pathology).
 
+use crate::error::MigrateError;
 use crate::phases::{batch_phases_without_shootdown, PhaseCycles, PrepStrategy};
 use crate::shadow::ShadowRegistry;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use vulcan_sim::{Cycles, FrameId, Machine, Nanos, TierKind};
+use vulcan_sim::{Cycles, FaultSite, FrameId, Machine, Nanos, TierKind};
 use vulcan_vm::{shootdown, Process, ShootdownMode, ShootdownScope, TlbArray, Vpn};
 
 /// Configuration of the migration mechanism.
@@ -63,10 +64,20 @@ impl MechanismConfig {
 pub struct SyncOutcome {
     /// Pages successfully moved to the destination tier.
     pub moved: Vec<Vpn>,
-    /// Pages skipped (unmapped, already in destination, or out of frames).
+    /// Pages skipped up front (unmapped or already in the destination).
     pub skipped: Vec<Vpn>,
+    /// Pages that failed mid-batch with a typed error; their mappings
+    /// were restored (unless the error says otherwise) and no frame
+    /// leaked. Transient failures are requeue candidates.
+    pub failed: Vec<(Vpn, MigrateError)>,
     /// Demotions served by a shadow remap (no copy performed).
     pub remap_only: u64,
+    /// Ack-timeout retries the batch shootdown performed (fault
+    /// injection; 0 on a clean run).
+    pub sd_retries: u32,
+    /// Whether the shootdown exhausted its retry budget and escalated
+    /// to a final full re-broadcast.
+    pub sd_escalated: bool,
     /// Cycle cost by phase, charged to the caller.
     pub phases: PhaseCycles,
 }
@@ -75,6 +86,14 @@ impl SyncOutcome {
     /// Total cycles of the batch.
     pub fn total_cycles(&self) -> Cycles {
         self.phases.total()
+    }
+
+    /// Pages that failed transiently and are worth requeueing.
+    pub fn transient_failures(&self) -> impl Iterator<Item = Vpn> + '_ {
+        self.failed
+            .iter()
+            .filter(|(_, e)| e.is_transient())
+            .map(|&(v, _)| v)
     }
 }
 
@@ -119,12 +138,32 @@ pub fn migrate_sync(
     // ownership bits of the live PTEs.
     let plan = shootdown::plan(process, &machine.topology, &eligible, cfg.scope);
     let costs = machine.spec().migration_costs.clone();
-    let sd_cost = shootdown::execute(&plan, process, tlbs, &costs, cfg.sd_mode);
+    let sd = shootdown::execute_faulty(
+        &plan,
+        process,
+        tlbs,
+        &costs,
+        cfg.sd_mode,
+        &mut machine.faults,
+    );
+    let sd_cost = sd.cycles;
+    out.sd_retries = sd.retries;
+    out.sd_escalated = sd.escalated;
 
     let mut copied = 0u64;
     for &vpn in &eligible {
-        let old = process.space.unmap(vpn).expect("eligibility checked");
-        let old_frame = old.frame().expect("present PTE has a frame");
+        // Eligibility was checked above, but it can be invalidated
+        // between check and unmap (e.g. a racing teardown): degrade to a
+        // typed error instead of panicking.
+        let Some(old) = process.space.unmap(vpn) else {
+            out.failed.push((vpn, MigrateError::Unmapped(vpn)));
+            continue;
+        };
+        let Some(old_frame) = old.frame() else {
+            process.space.set_pte(vpn, old);
+            out.failed.push((vpn, MigrateError::NoFrame(vpn)));
+            continue;
+        };
 
         // Shadow fast path: demoting a clean page that still has its
         // slow-tier shadow is a pure remap.
@@ -139,11 +178,28 @@ pub fn migrate_sync(
         }
 
         let Ok(new_frame) = machine.alloc(dest) else {
-            // Destination full: restore the original mapping.
+            // Destination full (genuine or injected): restore the
+            // original mapping and report a transient error.
             process.space.set_pte(vpn, old);
-            out.skipped.push(vpn);
+            if machine.last_alloc_injected() {
+                machine.faults.note_recovery(match dest {
+                    TierKind::Fast => FaultSite::AllocFast,
+                    TierKind::Slow => FaultSite::AllocSlow,
+                });
+            }
+            out.failed.push((vpn, MigrateError::DestFull { vpn, dest }));
             continue;
         };
+
+        if machine.faults.copy_fails() {
+            // The copy itself failed: release the destination frame,
+            // restore the source mapping — never leak a frame.
+            machine.free(new_frame);
+            process.space.set_pte(vpn, old);
+            machine.faults.note_recovery(FaultSite::CopyFail);
+            out.failed.push((vpn, MigrateError::CopyFailed(vpn)));
+            continue;
+        }
 
         machine.record_page_copy(old_frame.tier, dest);
         copied += 1;
@@ -218,6 +274,9 @@ pub struct AsyncStats {
     pub retried: u64,
     /// Transactions aborted after exhausting retries.
     pub aborted: u64,
+    /// Transactions that never started because the initial page copy
+    /// failed (injected fault); the destination frame was released.
+    pub copy_faulted: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -310,13 +369,35 @@ impl AsyncMigrator {
             if !pte.present() || pte.tier() == Some(dest) || self.is_inflight(vpn) {
                 continue;
             }
+            // `pte.present()` was checked above, so a missing tier means
+            // a corrupt PTE; skip the page rather than panic.
+            let Some(src_tier) = pte.tier() else {
+                continue;
+            };
             let Ok(dest_frame) = machine.alloc(dest) else {
+                if machine.last_alloc_injected() {
+                    // Injected exhaustion: absorb the fault and move on
+                    // to the next page — real capacity may remain.
+                    machine.faults.note_recovery(match dest {
+                        TierKind::Fast => FaultSite::AllocFast,
+                        TierKind::Slow => FaultSite::AllocSlow,
+                    });
+                    continue;
+                }
                 break; // destination full; later pages will not fit either
             };
+            if machine.faults.copy_fails() {
+                // Initial copy failed: release the reservation; the page
+                // stays put and can be retried on a later quantum.
+                machine.free(dest_frame);
+                machine.faults.note_recovery(FaultSite::CopyFail);
+                self.stats.copy_faulted += 1;
+                continue;
+            }
             split_and_flush_huge(process, machine, tlbs, &[vpn]);
             // Snapshot: clear D so a write during the window is detectable.
             process.space.set_pte(vpn, pte.clear_dirty());
-            machine.record_page_copy(pte.tier().expect("present"), dest);
+            machine.record_page_copy(src_tier, dest);
             self.inflight.push(Txn {
                 vpn,
                 dest,
@@ -377,16 +458,41 @@ impl AsyncMigrator {
                 txn.completes = now + copy_time;
                 self.stats.retried += 1;
                 process.space.set_pte(txn.vpn, pte.clear_dirty());
-                machine.record_page_copy(pte.tier().expect("present"), txn.dest);
+                if let Some(src_tier) = pte.tier() {
+                    machine.record_page_copy(src_tier, txn.dest);
+                }
                 remaining.push(txn);
                 continue;
             }
 
             // Commit: short unmap → targeted shootdown → remap window.
             let plan = shootdown::plan(process, &machine.topology, &[txn.vpn], cfg.scope);
-            let sd = shootdown::execute(&plan, process, tlbs, &costs, cfg.sd_mode);
-            let old = process.space.unmap(txn.vpn).expect("present above");
-            let old_frame = old.frame().expect("present PTE has a frame");
+            let sd_out = shootdown::execute_faulty(
+                &plan,
+                process,
+                tlbs,
+                &costs,
+                cfg.sd_mode,
+                &mut machine.faults,
+            );
+            let sd = sd_out.cycles;
+            // Presence was checked above, but treat a lost mapping or
+            // frame as a raced abort rather than panicking.
+            let Some(old) = process.space.unmap(txn.vpn) else {
+                machine.free(txn.dest_frame);
+                self.stats.aborted += 1;
+                out.aborted.push(txn.vpn);
+                out.background += sd;
+                continue;
+            };
+            let Some(old_frame) = old.frame() else {
+                process.space.set_pte(txn.vpn, old);
+                machine.free(txn.dest_frame);
+                self.stats.aborted += 1;
+                out.aborted.push(txn.vpn);
+                out.background += sd;
+                continue;
+            };
             if txn.dest == TierKind::Fast && cfg.shadowing && old_frame.tier == TierKind::Slow {
                 if let Some(stale) = shadows.retain(txn.vpn, old_frame) {
                     machine.free(stale);
@@ -495,9 +601,119 @@ mod tests {
         let cfg = MechanismConfig::vulcan();
         let out = migrate_sync(&mut p, &mut m, &mut t, &mut s, &pages, TierKind::Fast, &cfg);
         assert_eq!(out.moved.len(), 2);
-        assert_eq!(out.skipped.len(), 2);
-        for &vpn in &out.skipped {
+        assert_eq!(out.failed.len(), 2);
+        for &(vpn, err) in &out.failed {
             assert_eq!(p.space.pte(vpn).tier(), Some(TierKind::Slow), "restored");
+            assert_eq!(
+                err,
+                MigrateError::DestFull {
+                    vpn,
+                    dest: TierKind::Fast
+                }
+            );
+            assert!(err.is_transient(), "worth requeueing");
+        }
+        assert_eq!(out.transient_failures().count(), 2);
+    }
+
+    /// Regression (ISSUE 5): injected destination-alloc exhaustion used
+    /// to be indistinguishable from genuine capacity pressure and the
+    /// engine's unwrap-style paths panicked downstream; now it degrades
+    /// to a typed transient error with the mapping restored and zero
+    /// frames leaked.
+    #[test]
+    fn sync_injected_alloc_fault_degrades_without_leaking() {
+        use vulcan_sim::{FaultConfig, FaultPlan, FaultSite};
+        let (mut p, mut m, mut t, mut s) = setup(16, 16);
+        let pages = map_slow(&mut p, &mut m, 4);
+        m.faults = FaultPlan::new(11, FaultConfig::single(FaultSite::AllocFast, 1.0));
+        let fast_before = m.free_pages(TierKind::Fast);
+        let slow_before = m.free_pages(TierKind::Slow);
+        let cfg = MechanismConfig::vulcan();
+        let out = migrate_sync(&mut p, &mut m, &mut t, &mut s, &pages, TierKind::Fast, &cfg);
+        assert!(out.moved.is_empty());
+        assert_eq!(out.failed.len(), 4, "every promotion failed transiently");
+        for &vpn in &pages {
+            assert_eq!(p.space.pte(vpn).tier(), Some(TierKind::Slow), "restored");
+        }
+        assert_eq!(m.free_pages(TierKind::Fast), fast_before, "no fast leak");
+        assert_eq!(m.free_pages(TierKind::Slow), slow_before, "no slow leak");
+        assert_eq!(
+            m.faults.stats().recovered[FaultSite::AllocFast.index()],
+            4,
+            "recoveries attributed"
+        );
+    }
+
+    /// Regression (ISSUE 5): a failing page copy mid-batch must release
+    /// the already-allocated destination frame and restore the source
+    /// mapping — the pre-fix engine had no failure path between alloc
+    /// and remap.
+    #[test]
+    fn sync_copy_fault_restores_mapping_and_frees_dest() {
+        use vulcan_sim::{FaultConfig, FaultPlan, FaultSite};
+        let (mut p, mut m, mut t, mut s) = setup(16, 16);
+        let pages = map_slow(&mut p, &mut m, 4);
+        m.faults = FaultPlan::new(11, FaultConfig::single(FaultSite::CopyFail, 1.0));
+        let cfg = MechanismConfig::vulcan();
+        let out = migrate_sync(&mut p, &mut m, &mut t, &mut s, &pages, TierKind::Fast, &cfg);
+        assert!(out.moved.is_empty());
+        assert_eq!(out.failed.len(), 4);
+        for &(vpn, err) in &out.failed {
+            assert_eq!(err, MigrateError::CopyFailed(vpn));
+            assert_eq!(p.space.pte(vpn).tier(), Some(TierKind::Slow));
+        }
+        assert_eq!(m.free_pages(TierKind::Fast), 16, "dest frames released");
+        assert_eq!(out.phases.copy, Cycles::ZERO, "no successful copy charged");
+    }
+
+    /// Injected ack timeouts surface through the sync outcome so the
+    /// runtime can feed retry histograms.
+    #[test]
+    fn sync_shootdown_timeouts_reported_and_charged() {
+        use vulcan_sim::{FaultConfig, FaultPlan, FaultSite};
+        let (mut p, mut m, mut t, mut s) = setup(16, 16);
+        let pages = map_slow(&mut p, &mut m, 2);
+        let cfg = MechanismConfig::vulcan();
+        let clean = {
+            let (mut p2, mut m2, mut t2, mut s2) = setup(16, 16);
+            let pages2 = map_slow(&mut p2, &mut m2, 2);
+            migrate_sync(
+                &mut p2,
+                &mut m2,
+                &mut t2,
+                &mut s2,
+                &pages2,
+                TierKind::Fast,
+                &cfg,
+            )
+        };
+        m.faults = FaultPlan::new(5, FaultConfig::single(FaultSite::ShootdownTimeout, 1.0));
+        let out = migrate_sync(&mut p, &mut m, &mut t, &mut s, &pages, TierKind::Fast, &cfg);
+        assert_eq!(out.moved.len(), 2, "migration still succeeds");
+        assert_eq!(out.sd_retries, m.faults.config().max_shootdown_retries);
+        assert!(out.sd_escalated);
+        assert!(
+            out.phases.shootdown > clean.phases.shootdown,
+            "retries + backoff charged to the cost model"
+        );
+    }
+
+    /// Async transactions under injected copy faults release their
+    /// reserved frames and never start a doomed transaction.
+    #[test]
+    fn async_copy_fault_releases_reservation() {
+        use vulcan_sim::{FaultConfig, FaultPlan, FaultSite};
+        let (mut p, mut m, mut t, _s) = setup(16, 16);
+        let pages = map_slow(&mut p, &mut m, 3);
+        m.faults = FaultPlan::new(2, FaultConfig::single(FaultSite::CopyFail, 1.0));
+        let mut am = AsyncMigrator::new();
+        let started = am.start(&mut p, &mut m, &mut t, &pages, TierKind::Fast, Nanos(0));
+        assert_eq!(started, 0);
+        assert_eq!(am.stats.copy_faulted, 3);
+        assert_eq!(m.free_pages(TierKind::Fast), 16, "reservations released");
+        for &vpn in &pages {
+            assert_eq!(p.space.pte(vpn).tier(), Some(TierKind::Slow));
         }
     }
 

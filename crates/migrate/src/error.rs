@@ -1,0 +1,95 @@
+//! Typed migration failures.
+//!
+//! Every abnormal condition on the migration path is reported as a
+//! [`MigrateError`] instead of panicking; the engine guarantees that by
+//! the time an error is returned the page mapping is restored (or the
+//! page was already unmapped by a racing teardown) and no frame has
+//! leaked. Transient errors are requeue candidates for the policy's
+//! MLFQ; permanent ones mean the page is gone and must be dropped.
+
+use vulcan_sim::TierKind;
+use vulcan_vm::Vpn;
+
+/// Why a page failed to migrate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MigrateError {
+    /// The page was unmapped between the eligibility check and the
+    /// unmap (raced with teardown or another migration). Permanent —
+    /// there is nothing left to migrate.
+    Unmapped(Vpn),
+    /// The PTE lost its frame between check and unmap (racing remap).
+    /// The original PTE was restored. Permanent for this batch.
+    NoFrame(Vpn),
+    /// The destination tier had no free frame; the source mapping was
+    /// restored. Transient — retry when capacity frees up.
+    DestFull {
+        /// The page whose migration was rolled back.
+        vpn: Vpn,
+        /// The exhausted destination tier.
+        dest: TierKind,
+    },
+    /// The page copy failed (injected or transient hardware fault); the
+    /// destination frame was released and the source mapping restored.
+    /// Transient — safe to retry.
+    CopyFailed(Vpn),
+}
+
+impl MigrateError {
+    /// The page the error is about.
+    pub fn vpn(&self) -> Vpn {
+        match *self {
+            MigrateError::Unmapped(v) | MigrateError::NoFrame(v) | MigrateError::CopyFailed(v) => v,
+            MigrateError::DestFull { vpn, .. } => vpn,
+        }
+    }
+
+    /// Whether retrying the same migration later can succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            MigrateError::DestFull { .. } | MigrateError::CopyFailed(_)
+        )
+    }
+}
+
+impl std::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            MigrateError::Unmapped(v) => write!(f, "page {v:?} unmapped before migration"),
+            MigrateError::NoFrame(v) => write!(f, "page {v:?} lost its frame before migration"),
+            MigrateError::DestFull { vpn, dest } => {
+                write!(f, "no free {dest:?} frame for {vpn:?} (mapping restored)")
+            }
+            MigrateError::CopyFailed(v) => write!(f, "copy of {v:?} failed (mapping restored)"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_classification() {
+        assert!(!MigrateError::Unmapped(Vpn(1)).is_transient());
+        assert!(!MigrateError::NoFrame(Vpn(1)).is_transient());
+        assert!(MigrateError::DestFull {
+            vpn: Vpn(1),
+            dest: TierKind::Fast
+        }
+        .is_transient());
+        assert!(MigrateError::CopyFailed(Vpn(1)).is_transient());
+        assert_eq!(MigrateError::CopyFailed(Vpn(7)).vpn(), Vpn(7));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = MigrateError::DestFull {
+            vpn: Vpn(3),
+            dest: TierKind::Fast,
+        };
+        assert!(e.to_string().contains("mapping restored"));
+    }
+}

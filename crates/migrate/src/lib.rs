@@ -10,13 +10,19 @@
 //! ownership-targeted shootdowns ([`vulcan_vm::ShootdownScope::Targeted`]).
 
 #![warn(missing_docs)]
+// Abnormal conditions on the migration path must degrade to typed
+// errors, never panic: unwrap/expect are denied outside tests, with
+// narrowly allow-listed invariant sites only (ISSUE 5 lint gate).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod engine;
+pub mod error;
 pub mod phases;
 pub mod shadow;
 
 pub use engine::{
     migrate_sync, AsyncMigrator, AsyncPoll, AsyncStats, MechanismConfig, SyncOutcome,
 };
+pub use error::MigrateError;
 pub use phases::{batch_phases_without_shootdown, prep_cost, PhaseCycles, PrepStrategy};
 pub use shadow::ShadowRegistry;

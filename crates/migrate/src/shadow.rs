@@ -60,7 +60,10 @@ impl ShadowRegistry {
     pub fn evict(&mut self, n: usize) -> Vec<FrameId> {
         let keys: Vec<u64> = self.shadows.keys().take(n).copied().collect();
         keys.into_iter()
-            .map(|k| self.shadows.remove(&k).expect("key just listed"))
+            .map(|k| {
+                #[allow(clippy::expect_used)] // invariant: key collected from this map above
+                self.shadows.remove(&k).expect("key just listed")
+            })
             .collect()
     }
 

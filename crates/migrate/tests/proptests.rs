@@ -69,6 +69,13 @@ proptest! {
             for &vpn in &out.skipped {
                 prop_assert!(p.space.is_mapped(vpn));
             }
+            // Failed pages (e.g. destination full) had their mappings
+            // restored; nothing ran with fault injection here so only
+            // transient capacity failures can appear.
+            for &(vpn, err) in &out.failed {
+                prop_assert!(err.is_transient());
+                prop_assert!(p.space.is_mapped(vpn));
+            }
             check_consistency(&p, &m, &s, None);
         }
         prop_assert_eq!(p.space.rss_pages(), 64, "no page lost");

@@ -4,7 +4,7 @@
 use crate::state::{WorkloadState, WorkloadStats};
 use vulcan_migrate::ShadowRegistry;
 use vulcan_profile::AnyProfiler;
-use vulcan_sim::{CoreId, Machine, Nanos, TierKind};
+use vulcan_sim::{CoreId, FaultSite, Machine, Nanos, TierKind};
 use vulcan_vm::{LocalTid, Process, TlbArray, Vpn};
 
 /// Cost of linking a thread's private upper-level tables to a shared leaf
@@ -21,8 +21,29 @@ const THP_FAULT: Nanos = Nanos(8_000);
 /// Extra cost of the locked walk that sets the dirty bit on a write hit.
 const DIRTY_WALK: Nanos = Nanos(5);
 
+/// Modeled direct-reclaim stall charged when a demand allocation hits an
+/// injected exhaustion and the fault path retries (ISSUE 5 degradation
+/// contract: alloc faults degrade to a stall, never a panic).
+const ALLOC_RETRY_STALL: Nanos = Nanos(10_000);
+
+/// Feed an access to the profiler unless the fault plan drops the
+/// sample. A drop is self-recovering — the page's heat simply decays as
+/// if it were cold — so the recovery is tallied at the injection point.
+#[inline]
+fn profile_access(machine: &mut Machine, profiler: &mut AnyProfiler, vpn: Vpn, write: bool) {
+    if machine.faults.sample_dropped() {
+        machine.faults.note_recovery(FaultSite::SampleDrop);
+    } else {
+        profiler.on_access(vpn, write);
+    }
+}
+
 /// Simulate one memory access of `tid` to `vpn`; returns its latency.
 #[allow(clippy::too_many_arguments)]
+// Allow-listed for the ISSUE 5 lint gate: every expect below guards a
+// mapping invariant established earlier on the same path (a page just
+// mapped, touched or capacity-checked), not an external condition.
+#[allow(clippy::expect_used)]
 pub(crate) fn simulate_access(
     machine: &mut Machine,
     tlbs: &mut TlbArray,
@@ -64,7 +85,7 @@ pub(crate) fn simulate_access(
         let lat = machine.access_latency(tier);
         t += lat;
         machine.record_access(tier);
-        profiler.on_access(vpn, write);
+        profile_access(machine, profiler, vpn, write);
         match tier {
             TierKind::Fast => stats.fast_q += 1,
             TierKind::Slow => stats.slow_q += 1,
@@ -119,7 +140,7 @@ pub(crate) fn simulate_access(
                         let tier = pte.tier().expect("mapped");
                         let lat = machine.access_latency(tier);
                         machine.record_access(tier);
-                        profiler.on_access(vpn, write);
+                        profile_access(machine, profiler, vpn, write);
                         match tier {
                             TierKind::Fast => stats.fast_q += 1,
                             TierKind::Slow => stats.slow_q += 1,
@@ -136,13 +157,31 @@ pub(crate) fn simulate_access(
                     let frame = match machine.alloc_with_fallback(pref) {
                         Ok(f) => f,
                         Err(_) => {
-                            // Both tiers full: reclaim shadow frames.
-                            for f in shadows.evict(64) {
-                                machine.free(f);
+                            if machine.last_alloc_injected() {
+                                // Injected exhaustion: charge the modeled
+                                // direct-reclaim stall the kernel would
+                                // take, then retry without injection.
+                                t += ALLOC_RETRY_STALL;
+                                machine.faults.note_recovery(match pref.other() {
+                                    TierKind::Fast => FaultSite::AllocFast,
+                                    TierKind::Slow => FaultSite::AllocSlow,
+                                });
                             }
-                            machine
-                                .alloc_with_fallback(pref)
-                                .expect("tiers sized below combined RSS")
+                            match machine.alloc_with_fallback_uninjected(pref) {
+                                Ok(f) => f,
+                                Err(_) => {
+                                    // Both tiers genuinely full: reclaim
+                                    // shadow frames and retry once more.
+                                    for f in shadows.evict(64) {
+                                        machine.free(f);
+                                    }
+                                    #[allow(clippy::expect_used)]
+                                    // invariant: specs size tiers below combined RSS
+                                    machine
+                                        .alloc_with_fallback_uninjected(pref)
+                                        .expect("tiers sized below combined RSS")
+                                }
+                            }
                         }
                     };
                     if frame.tier == TierKind::Fast {
@@ -172,7 +211,7 @@ pub(crate) fn simulate_access(
     let lat = machine.access_latency(tier);
     t += lat;
     machine.record_access(tier);
-    profiler.on_access(vpn, write);
+    profile_access(machine, profiler, vpn, write);
     match tier {
         TierKind::Fast => stats.fast_q += 1,
         TierKind::Slow => stats.slow_q += 1,
@@ -208,7 +247,28 @@ fn try_thp_fault(
         }
     }
     for v in base.0..base.0 + span {
-        let frame = machine.alloc(pref).expect("checked capacity");
+        // The capacity check above makes genuine exhaustion impossible,
+        // but an injected allocation fault can still fail mid-region:
+        // unwind the partial mapping and fall back to the 4K path (the
+        // kernel's THP fallback), leaking nothing.
+        let frame = match machine.alloc(pref) {
+            Ok(f) => f,
+            Err(_) => {
+                debug_assert!(machine.last_alloc_injected(), "capacity was checked");
+                for u in base.0..v {
+                    if let Some(pte) = process.space.unmap(Vpn(u)) {
+                        if let Some(f) = pte.frame() {
+                            machine.free(f);
+                        }
+                    }
+                }
+                machine.faults.note_recovery(match pref {
+                    TierKind::Fast => FaultSite::AllocFast,
+                    TierKind::Slow => FaultSite::AllocSlow,
+                });
+                return false;
+            }
+        };
         process.space.map(Vpn(v), frame, tid);
     }
     if pref == TierKind::Fast {
@@ -220,6 +280,9 @@ fn try_thp_fault(
 
 /// Run one thread of a workload for (at least) `budget` of simulated time,
 /// completing whole operations.
+// Allow-listed for the ISSUE 5 lint gate: thread indices and core
+// pinning are construction-time invariants, not runtime conditions.
+#[allow(clippy::expect_used)]
 pub(crate) fn run_thread_quantum(
     machine: &mut Machine,
     tlbs: &mut TlbArray,

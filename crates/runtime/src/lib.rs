@@ -7,6 +7,11 @@
 //! (`vulcan-policy`) and Vulcan itself (`vulcan-core`) implement.
 
 #![warn(missing_docs)]
+// Abnormal conditions on the runtime path must degrade gracefully
+// (modeled stalls, typed errors), never panic: unwrap/expect are denied
+// outside tests, with narrowly allow-listed invariant sites only
+// (ISSUE 5 lint gate).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod access;
 pub mod policy;

@@ -13,7 +13,10 @@ use crate::policy::TieringPolicy;
 use crate::state::SystemState;
 use vulcan_metrics::{CfiAccumulator, OnlineStats, SeriesSet};
 use vulcan_profile::AnyProfiler;
-use vulcan_sim::{Cycles, Machine, MachineSpec, Nanos, TierKind};
+use vulcan_sim::{
+    Cycles, FaultConfig, FaultPlan, FaultSite, FaultStats, Machine, MachineSpec, Nanos, TierKind,
+    N_FAULT_SITES,
+};
 use vulcan_telemetry::{Counter, EventKind, Telemetry};
 use vulcan_workloads::{WorkloadClass, WorkloadSpec};
 
@@ -36,6 +39,12 @@ pub struct SimConfig {
     /// metrics, phase spans and a structured event trace without
     /// changing any simulation result.
     pub telemetry: Telemetry,
+    /// Fault-injection rates (ISSUE 5). All-zero by default, in which
+    /// case the plan is an exact no-op and output stays byte-identical
+    /// to a build without the subsystem. The schedule derives from
+    /// `seed`, so reruns and different `--threads` values see the same
+    /// fault sequence.
+    pub faults: FaultConfig,
 }
 
 impl Default for SimConfig {
@@ -48,6 +57,7 @@ impl Default for SimConfig {
             replication: true,
             record_series: true,
             telemetry: Telemetry::disabled(),
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -140,7 +150,32 @@ pub struct SimRunner {
     slow_hits_counter: Counter,
     quanta_counter: Counter,
     lat_hist: vulcan_telemetry::Histogram,
+    // Fault-injection counters, indexed by `FaultSite::index()`, plus
+    // the last published tallies (counters receive per-quantum deltas).
+    fault_injected: [Counter; N_FAULT_SITES],
+    fault_recovered: [Counter; N_FAULT_SITES],
+    published_faults: FaultStats,
 }
+
+/// Telemetry counter names per fault site, in [`FaultSite::ALL`] order
+/// (counter names must be `&'static str`, so the `faults.injected.` /
+/// `faults.recovered.` prefixes cannot be concatenated at runtime).
+const FAULT_INJECTED_NAMES: [&str; N_FAULT_SITES] = [
+    "faults.injected.alloc_fast",
+    "faults.injected.alloc_slow",
+    "faults.injected.copy_fail",
+    "faults.injected.shootdown_timeout",
+    "faults.injected.throttle",
+    "faults.injected.sample_drop",
+];
+const FAULT_RECOVERED_NAMES: [&str; N_FAULT_SITES] = [
+    "faults.recovered.alloc_fast",
+    "faults.recovered.alloc_slow",
+    "faults.recovered.copy_fail",
+    "faults.recovered.shootdown_timeout",
+    "faults.recovered.throttle",
+    "faults.recovered.sample_drop",
+];
 
 /// Marker type for a [`SimRunnerBuilder`] field that has been provided.
 pub struct Set;
@@ -236,6 +271,10 @@ impl<M, W, P> SimRunnerBuilder<M, W, P> {
 impl SimRunnerBuilder<Set, Set, Set> {
     /// Construct the runner. Only callable once machine, workloads and
     /// policy have all been provided.
+    // Allow-listed for the ISSUE 5 lint gate: the typestate parameters
+    // prove both options are Some — this method only exists on
+    // `SimRunnerBuilder<Set, Set, Set>`.
+    #[allow(clippy::expect_used)]
     pub fn build(mut self) -> SimRunner {
         SimRunner::construct(
             self.machine.expect("machine is Set"),
@@ -280,6 +319,13 @@ impl SimRunner {
         );
         state.quantum_active = cfg.quantum_active;
         state.telemetry = cfg.telemetry.clone();
+        // Install the fault schedule after construction so workload
+        // prealloc (placement before the run starts) is never injected.
+        // With all rates zero the plan is disabled and every hook is an
+        // exact no-op, preserving byte-identical output.
+        if cfg.faults.any_enabled() {
+            state.machine.faults = FaultPlan::new(cfg.seed, cfg.faults.clone());
+        }
         let tel = &cfg.telemetry;
         let (ops_counter, fast_hits_counter, slow_hits_counter, quanta_counter) = (
             tel.counter("sim.ops"),
@@ -292,6 +338,8 @@ impl SimRunner {
             "quantum.mean_latency_ns",
             &[100, 300, 1_000, 3_000, 10_000, 30_000, 100_000],
         );
+        let fault_injected = FAULT_INJECTED_NAMES.map(|n| tel.counter(n));
+        let fault_recovered = FAULT_RECOVERED_NAMES.map(|n| tel.counter(n));
         SimRunner {
             state,
             policy,
@@ -309,6 +357,9 @@ impl SimRunner {
             slow_hits_counter,
             quanta_counter,
             lat_hist,
+            fault_injected,
+            fault_recovered,
+            published_faults: FaultStats::default(),
         }
     }
 
@@ -447,6 +498,7 @@ impl SimRunner {
         // Metrics and series.
         self.record_quantum();
         self.quanta_counter.inc();
+        self.publish_fault_stats();
 
         // The per-quantum page queues must be drained by the roll above:
         // policies consume them within the quantum they were filled, and
@@ -460,6 +512,23 @@ impl SimRunner {
 
         self.state.now += self.cfg.quantum_wall;
         self.state.quantum_index += 1;
+    }
+
+    /// Push this quantum's fault-injection and recovery deltas into the
+    /// telemetry counters. Observational only; a disabled plan never
+    /// accumulates, so this is a no-op in fault-free runs.
+    fn publish_fault_stats(&mut self) {
+        let plan = &self.state.machine.faults;
+        if !plan.is_enabled() || !self.state.telemetry.is_enabled() {
+            return;
+        }
+        let stats = plan.stats().clone();
+        for site in FaultSite::ALL {
+            let i = site.index();
+            self.fault_injected[i].add(stats.injected[i] - self.published_faults.injected[i]);
+            self.fault_recovered[i].add(stats.recovered[i] - self.published_faults.recovered[i]);
+        }
+        self.published_faults = stats;
     }
 
     fn record_quantum(&mut self) {

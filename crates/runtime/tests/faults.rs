@@ -1,0 +1,228 @@
+//! Fault-injection and departure regression tests (ISSUE 5): the
+//! degradation contract of the runtime layer, exercised through the
+//! public crate API.
+//!
+//! * Allocation exhaustion — injected or genuine — degrades to a
+//!   modeled stall plus retry (4 KiB) or an unwound fallback (THP),
+//!   never a panic, and never leaks a frame.
+//! * A workload departing with async transactions in flight has those
+//!   transactions aborted and *attributed to itself*: survivors' abort
+//!   statistics are untouched and their frames conserved.
+
+use vulcan_profile::PebsProfiler;
+use vulcan_runtime::{SimConfig, SimRunner, StaticPlacement, SystemState, TieringPolicy};
+use vulcan_sim::{FaultConfig, FaultSite, MachineSpec, Nanos, TierKind};
+use vulcan_vm::Vpn;
+use vulcan_workloads::{microbench, MicroConfig, WorkloadSpec};
+
+fn runner(
+    machine: MachineSpec,
+    specs: Vec<WorkloadSpec>,
+    policy: Box<dyn TieringPolicy>,
+    cfg: SimConfig,
+) -> SimRunner {
+    SimRunner::builder()
+        .machine(machine)
+        .workloads(specs)
+        .profiler_factory(|_| Box::new(PebsProfiler::new(4)))
+        .policy(policy)
+        .config(cfg)
+        .build()
+}
+
+fn micro_spec(name: &str, rss: u64, wss: u64) -> WorkloadSpec {
+    microbench(
+        name,
+        MicroConfig {
+            rss_pages: rss,
+            wss_pages: wss,
+            ..Default::default()
+        },
+        2,
+    )
+}
+
+fn faulty_cfg(site: FaultSite, rate: f64, n_quanta: u64) -> SimConfig {
+    SimConfig {
+        quantum_active: Nanos::micros(200),
+        n_quanta,
+        faults: FaultConfig::single(site, rate),
+        ..Default::default()
+    }
+}
+
+/// Tear down every workload and assert both allocators drained to zero.
+fn assert_frames_conserved(state: &mut SystemState) {
+    for w in 0..state.workloads.len() {
+        state.teardown(w);
+    }
+    for tier in [TierKind::Fast, TierKind::Slow] {
+        assert_eq!(
+            state.machine.allocator(tier).used_frames(),
+            0,
+            "{tier:?} frames leaked after teardown"
+        );
+    }
+}
+
+/// Regression (ISSUE 5): before the typed-error rework, an injected
+/// fast-tier exhaustion on the major-fault path hit an `expect` deep in
+/// the allocator plumbing and killed the run. It now stalls, retries
+/// uninjected, and completes.
+#[test]
+fn injected_alloc_exhaustion_degrades_to_stall_and_retry() {
+    let mut r = runner(
+        MachineSpec::small(256, 4_096, 8),
+        vec![micro_spec("a", 512, 128), micro_spec("b", 512, 128)],
+        Box::new(StaticPlacement),
+        faulty_cfg(FaultSite::AllocFast, 0.8, 8),
+    );
+    for _ in 0..8 {
+        r.run_quantum();
+    }
+    let stats = r.state.machine.faults.stats().clone();
+    let idx = FaultSite::AllocFast.index();
+    assert!(stats.injected[idx] > 0, "faults were scheduled");
+    assert!(stats.recovered[idx] > 0, "every exhaustion was recovered");
+    assert_frames_conserved(&mut r.state);
+    let res = r.into_result();
+    assert!(res.workload("a").ops_total > 0);
+    assert!(res.workload("b").ops_total > 0);
+}
+
+/// A THP allocation that faults mid-region unwinds the partially built
+/// huge mapping (regression: the unwind used to leak the already-mapped
+/// base frames) and falls back to 4 KiB pages.
+#[test]
+fn thp_fault_unwinds_and_falls_back_to_base_pages() {
+    use vulcan_sim::HUGE_PAGE_PAGES;
+    let spec = microbench(
+        "thp",
+        MicroConfig {
+            rss_pages: 8 * HUGE_PAGE_PAGES as u64,
+            wss_pages: 4 * HUGE_PAGE_PAGES as u64,
+            skew: 0.6,
+            ..Default::default()
+        },
+        2,
+    )
+    .with_thp();
+    let mut r = runner(
+        MachineSpec::small(4 * HUGE_PAGE_PAGES as u64, 32 * HUGE_PAGE_PAGES as u64, 8),
+        vec![spec],
+        Box::new(StaticPlacement),
+        faulty_cfg(FaultSite::AllocFast, 0.5, 6),
+    );
+    for _ in 0..6 {
+        r.run_quantum();
+    }
+    let stats = r.state.machine.faults.stats().clone();
+    let idx = FaultSite::AllocFast.index();
+    assert!(stats.injected[idx] > 0);
+    assert!(stats.recovered[idx] > 0);
+    assert_frames_conserved(&mut r.state);
+    assert!(r.into_result().workload("thp").ops_total > 0);
+}
+
+/// Promotes a batch of slow-resident pages asynchronously every quantum
+/// — enough to keep transactions in flight across quantum boundaries.
+struct AsyncPromoter;
+
+impl TieringPolicy for AsyncPromoter {
+    fn name(&self) -> &'static str {
+        "async-promoter"
+    }
+
+    fn on_quantum(&mut self, state: &mut SystemState) {
+        for w in 0..state.n_workloads() {
+            let pages: Vec<Vpn> = {
+                let ws = &state.workloads[w];
+                ws.process
+                    .space
+                    .mapped_vpns()
+                    .filter(|&v| {
+                        ws.process.space.pte(v).tier() == Some(TierKind::Slow)
+                            && !ws.async_migrator.is_inflight(v)
+                    })
+                    .take(32)
+                    .collect()
+            };
+            if !pages.is_empty() {
+                state.migrate_async(w, &pages, TierKind::Fast);
+            }
+        }
+    }
+}
+
+/// Satellite 3: tearing a workload down while its async transactions are
+/// in flight aborts them, charges the aborts to the *departing*
+/// workload's statistics, and conserves every frame.
+#[test]
+fn departure_with_inflight_async_attributes_aborts_to_departing_workload() {
+    let specs = vec![
+        micro_spec("dep", 512, 64).preallocated(TierKind::Slow),
+        micro_spec("stay", 512, 64).preallocated(TierKind::Slow),
+    ];
+    let mut r = runner(
+        MachineSpec::small(2_048, 4_096, 8),
+        specs,
+        Box::new(AsyncPromoter),
+        SimConfig {
+            quantum_active: Nanos::micros(200),
+            n_quanta: 0,
+            ..Default::default()
+        },
+    );
+    r.run_quantum();
+    assert!(
+        r.state.workloads[0].async_migrator.inflight() > 0,
+        "promoter keeps transactions in flight across the boundary"
+    );
+    let survivor_aborts = r.state.workloads[1].async_migrator.stats.aborted;
+
+    r.state.teardown(0);
+
+    let dep = &r.state.workloads[0];
+    assert!(dep.departed);
+    assert!(
+        dep.async_migrator.stats.aborted > 0,
+        "in-flight transactions abort on departure"
+    );
+    assert_eq!(dep.async_migrator.inflight(), 0);
+    assert_eq!(
+        r.state.workloads[1].async_migrator.stats.aborted, survivor_aborts,
+        "survivor is not charged for the departing workload's aborts"
+    );
+
+    // The survivor keeps running normally after the departure.
+    let before = r.state.workloads[1].stats.ops_total;
+    r.run_quantum();
+    assert!(r.state.workloads[1].stats.ops_total > before);
+    assert_frames_conserved(&mut r.state);
+}
+
+/// The same departure driven by the runner itself (`stopping_at`), under
+/// fault injection for good measure: the run completes, the departed
+/// workload stays down, and teardown conserves frames.
+#[test]
+fn runner_driven_departure_with_faults_conserves_frames() {
+    let specs = vec![
+        micro_spec("dep", 512, 64)
+            .preallocated(TierKind::Slow)
+            .stopping_at(Nanos::micros(600)),
+        micro_spec("stay", 512, 64).preallocated(TierKind::Slow),
+    ];
+    let mut r = runner(
+        MachineSpec::small(2_048, 4_096, 8),
+        specs,
+        Box::new(AsyncPromoter),
+        faulty_cfg(FaultSite::CopyFail, 0.3, 6),
+    );
+    for _ in 0..6 {
+        r.run_quantum();
+    }
+    assert!(r.state.workloads[0].departed, "stop time passed mid-run");
+    assert!(!r.state.workloads[1].departed);
+    assert!(r.state.workloads[1].stats.ops_total > 0);
+    assert_frames_conserved(&mut r.state);
+}

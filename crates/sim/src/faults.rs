@@ -1,0 +1,430 @@
+//! Seeded, deterministic fault injection for the simulated substrate.
+//!
+//! A [`FaultPlan`] is derived from the run seed and draws per-site
+//! decision streams from a stateless counter hash (splitmix64), so the
+//! same seed yields the same fault schedule regardless of thread count,
+//! and adding a new injection site never perturbs the streams of the
+//! existing ones. With all rates at zero (the default) every hook is an
+//! exact no-op — simulation output stays byte-identical to a run without
+//! the subsystem.
+//!
+//! The five injectable fault classes (ISSUE 5):
+//!
+//! | site | consumer degradation contract |
+//! |------|-------------------------------|
+//! | [`FaultSite::AllocFast`] / [`FaultSite::AllocSlow`] | runtime charges a modeled stall, reclaims shadows / demotes for space, then retries uninjected |
+//! | [`FaultSite::CopyFail`] | migration engine frees the destination frame, restores the source PTE and reports a typed error (requeue / abort) |
+//! | [`FaultSite::ShootdownTimeout`] | bounded IPI retry with exponential backoff, every round charged to the cost model |
+//! | [`FaultSite::Throttle`] | per-quantum loaded-latency inflation of both tiers |
+//! | [`FaultSite::SampleDrop`] | profiler misses the access; heat decays as if the page were cold |
+
+use crate::tier::TierKind;
+
+/// Number of distinct injection sites.
+pub const N_FAULT_SITES: usize = 6;
+
+/// An injection site: each owns an independent decision stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Fast-tier frame allocation reports exhaustion.
+    AllocFast,
+    /// Slow-tier frame allocation reports exhaustion.
+    AllocSlow,
+    /// A migration page copy fails mid-flight.
+    CopyFail,
+    /// A TLB-shootdown IPI acknowledgment times out.
+    ShootdownTimeout,
+    /// One quantum of transient tier-bandwidth throttling.
+    Throttle,
+    /// The profiler drops an access sample.
+    SampleDrop,
+}
+
+impl FaultSite {
+    /// All sites, in stream order.
+    pub const ALL: [FaultSite; N_FAULT_SITES] = [
+        FaultSite::AllocFast,
+        FaultSite::AllocSlow,
+        FaultSite::CopyFail,
+        FaultSite::ShootdownTimeout,
+        FaultSite::Throttle,
+        FaultSite::SampleDrop,
+    ];
+
+    /// Dense index of the site (stream/counter slot).
+    pub fn index(self) -> usize {
+        match self {
+            FaultSite::AllocFast => 0,
+            FaultSite::AllocSlow => 1,
+            FaultSite::CopyFail => 2,
+            FaultSite::ShootdownTimeout => 3,
+            FaultSite::Throttle => 4,
+            FaultSite::SampleDrop => 5,
+        }
+    }
+
+    /// Stable snake_case name (telemetry counters, chaos artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::AllocFast => "alloc_fast",
+            FaultSite::AllocSlow => "alloc_slow",
+            FaultSite::CopyFail => "copy_fail",
+            FaultSite::ShootdownTimeout => "shootdown_timeout",
+            FaultSite::Throttle => "throttle",
+            FaultSite::SampleDrop => "sample_drop",
+        }
+    }
+}
+
+/// Per-site fault rates and degradation knobs. The default is fully
+/// disabled (every rate zero), which the plan treats as an exact no-op.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a fast-tier allocation reports exhaustion.
+    pub alloc_fast_rate: f64,
+    /// Probability a slow-tier allocation reports exhaustion.
+    pub alloc_slow_rate: f64,
+    /// Probability a migration page copy fails.
+    pub copy_fail_rate: f64,
+    /// Probability one shootdown round times out (rolled per attempt).
+    pub shootdown_timeout_rate: f64,
+    /// Probability a quantum is bandwidth-throttled.
+    pub throttle_rate: f64,
+    /// Loaded-latency multiplier while a quantum is throttled (≥ 1).
+    pub throttle_factor: f64,
+    /// Probability the profiler drops an access sample.
+    pub sample_drop_rate: f64,
+    /// Retry budget for timed-out shootdown acks before escalation.
+    pub max_shootdown_retries: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            alloc_fast_rate: 0.0,
+            alloc_slow_rate: 0.0,
+            copy_fail_rate: 0.0,
+            shootdown_timeout_rate: 0.0,
+            throttle_rate: 0.0,
+            throttle_factor: 2.0,
+            sample_drop_rate: 0.0,
+            max_shootdown_retries: 3,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A config injecting a single site at `rate`, defaults elsewhere.
+    pub fn single(site: FaultSite, rate: f64) -> FaultConfig {
+        let mut cfg = FaultConfig::default();
+        match site {
+            FaultSite::AllocFast => cfg.alloc_fast_rate = rate,
+            FaultSite::AllocSlow => cfg.alloc_slow_rate = rate,
+            FaultSite::CopyFail => cfg.copy_fail_rate = rate,
+            FaultSite::ShootdownTimeout => cfg.shootdown_timeout_rate = rate,
+            FaultSite::Throttle => cfg.throttle_rate = rate,
+            FaultSite::SampleDrop => cfg.sample_drop_rate = rate,
+        }
+        cfg
+    }
+
+    /// The configured rate of one site.
+    pub fn rate(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::AllocFast => self.alloc_fast_rate,
+            FaultSite::AllocSlow => self.alloc_slow_rate,
+            FaultSite::CopyFail => self.copy_fail_rate,
+            FaultSite::ShootdownTimeout => self.shootdown_timeout_rate,
+            FaultSite::Throttle => self.throttle_rate,
+            FaultSite::SampleDrop => self.sample_drop_rate,
+        }
+    }
+
+    /// True if any site has a non-zero rate.
+    pub fn any_enabled(&self) -> bool {
+        FaultSite::ALL.iter().any(|&s| self.rate(s) > 0.0)
+    }
+
+    fn validate(&self) {
+        for site in FaultSite::ALL {
+            let r = self.rate(site);
+            assert!(
+                (0.0..=1.0).contains(&r),
+                "fault rate for {} out of [0,1]: {r}",
+                site.name()
+            );
+        }
+        assert!(
+            self.throttle_factor >= 1.0,
+            "throttle_factor must be ≥ 1, got {}",
+            self.throttle_factor
+        );
+    }
+}
+
+/// Running injection/recovery tallies, per site.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faults injected (decisions that returned "fail"), per site.
+    pub injected: [u64; N_FAULT_SITES],
+    /// Graceful recoveries noted by consumers, per site.
+    pub recovered: [u64; N_FAULT_SITES],
+}
+
+impl FaultStats {
+    /// Total faults injected across all sites.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Total recoveries across all sites.
+    pub fn total_recovered(&self) -> u64 {
+        self.recovered.iter().sum()
+    }
+}
+
+/// splitmix64: the standard 64-bit finalizer-based mixer.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded, deterministic fault schedule.
+///
+/// Each decision hashes `(stream_key(seed, site), counter)` — no shared
+/// RNG state, so site streams are mutually independent and the schedule
+/// is a pure function of `(seed, site, nth-decision-at-site)`.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    /// Per-site stream keys, pre-mixed from the seed.
+    streams: [u64; N_FAULT_SITES],
+    /// Per-site decision counters.
+    counters: [u64; N_FAULT_SITES],
+    stats: FaultStats,
+    enabled: bool,
+}
+
+impl FaultPlan {
+    /// A fully disabled plan: every decision is "no fault", for free.
+    pub fn disabled() -> FaultPlan {
+        FaultPlan {
+            cfg: FaultConfig::default(),
+            streams: [0; N_FAULT_SITES],
+            counters: [0; N_FAULT_SITES],
+            stats: FaultStats::default(),
+            enabled: false,
+        }
+    }
+
+    /// Derive a plan from the run seed.
+    pub fn new(seed: u64, cfg: FaultConfig) -> FaultPlan {
+        cfg.validate();
+        let enabled = cfg.any_enabled();
+        let mut streams = [0u64; N_FAULT_SITES];
+        for (i, s) in streams.iter_mut().enumerate() {
+            // Distinct stream keys per site; double-mix decorrelates
+            // nearby seeds.
+            *s = splitmix64(splitmix64(seed) ^ ((i as u64 + 1) << 56));
+        }
+        FaultPlan {
+            cfg,
+            streams,
+            counters: [0; N_FAULT_SITES],
+            stats: FaultStats::default(),
+            enabled,
+        }
+    }
+
+    /// Whether any fault site is active.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Injection/recovery tallies so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Record that a consumer degraded gracefully after an injection.
+    pub fn note_recovery(&mut self, site: FaultSite) {
+        self.stats.recovered[site.index()] += 1;
+    }
+
+    /// Draw the next decision for `site`: true means "inject the fault".
+    #[inline]
+    pub fn roll(&mut self, site: FaultSite) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let rate = self.cfg.rate(site);
+        if rate <= 0.0 {
+            return false;
+        }
+        let i = site.index();
+        let n = self.counters[i];
+        self.counters[i] += 1;
+        // 53 uniform mantissa bits → u in [0, 1).
+        let u = (splitmix64(self.streams[i] ^ n) >> 11) as f64 * 2f64.powi(-53);
+        let inject = u < rate;
+        if inject {
+            self.stats.injected[i] += 1;
+        }
+        inject
+    }
+
+    /// Decision: does this allocation in `tier` report exhaustion?
+    #[inline]
+    pub fn alloc_fails(&mut self, tier: TierKind) -> bool {
+        let site = match tier {
+            TierKind::Fast => FaultSite::AllocFast,
+            TierKind::Slow => FaultSite::AllocSlow,
+        };
+        self.roll(site)
+    }
+
+    /// Decision: does this migration page copy fail?
+    #[inline]
+    pub fn copy_fails(&mut self) -> bool {
+        self.roll(FaultSite::CopyFail)
+    }
+
+    /// Decision: does this shootdown round's ack time out?
+    #[inline]
+    pub fn shootdown_times_out(&mut self) -> bool {
+        self.roll(FaultSite::ShootdownTimeout)
+    }
+
+    /// Decision: is this quantum bandwidth-throttled?
+    #[inline]
+    pub fn quantum_throttled(&mut self) -> bool {
+        self.roll(FaultSite::Throttle)
+    }
+
+    /// Decision: is this profiler sample dropped?
+    #[inline]
+    pub fn sample_dropped(&mut self) -> bool {
+        self.roll(FaultSite::SampleDrop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_injects_and_keeps_counters_idle() {
+        let mut p = FaultPlan::disabled();
+        for _ in 0..1000 {
+            assert!(!p.alloc_fails(TierKind::Fast));
+            assert!(!p.copy_fails());
+            assert!(!p.sample_dropped());
+        }
+        assert_eq!(p.stats().total_injected(), 0);
+        assert_eq!(p.counters, [0; N_FAULT_SITES]);
+    }
+
+    #[test]
+    fn zero_rate_config_is_noop_even_when_constructed() {
+        let mut p = FaultPlan::new(42, FaultConfig::default());
+        assert!(!p.is_enabled());
+        for _ in 0..1000 {
+            assert!(!p.roll(FaultSite::CopyFail));
+        }
+        assert_eq!(p.counters, [0; N_FAULT_SITES]);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = FaultConfig::single(FaultSite::CopyFail, 0.3);
+        let mut a = FaultPlan::new(7, cfg.clone());
+        let mut b = FaultPlan::new(7, cfg);
+        let sa: Vec<bool> = (0..500).map(|_| a.copy_fails()).collect();
+        let sb: Vec<bool> = (0..500).map(|_| b.copy_fails()).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.iter().any(|&x| x), "rate 0.3 over 500 draws injects");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = FaultConfig::single(FaultSite::Throttle, 0.5);
+        let mut a = FaultPlan::new(1, cfg.clone());
+        let mut b = FaultPlan::new(2, cfg);
+        let sa: Vec<bool> = (0..256).map(|_| a.quantum_throttled()).collect();
+        let sb: Vec<bool> = (0..256).map(|_| b.quantum_throttled()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn site_streams_are_independent() {
+        // Interleaving draws at another site must not change a site's
+        // stream (the property that makes schedules thread-count and
+        // call-order invariant across unrelated subsystems).
+        let mut cfg = FaultConfig::single(FaultSite::CopyFail, 0.4);
+        cfg.alloc_fast_rate = 0.4;
+        let mut solo = FaultPlan::new(99, cfg.clone());
+        let expect: Vec<bool> = (0..200).map(|_| solo.copy_fails()).collect();
+        let mut mixed = FaultPlan::new(99, cfg);
+        let got: Vec<bool> = (0..200)
+            .map(|_| {
+                mixed.alloc_fails(TierKind::Fast);
+                mixed.copy_fails()
+            })
+            .collect();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn empirical_rate_tracks_configured_rate() {
+        let mut p = FaultPlan::new(5, FaultConfig::single(FaultSite::SampleDrop, 0.1));
+        let n = 20_000;
+        let hits = (0..n).filter(|_| p.sample_dropped()).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "empirical rate {rate}");
+        assert_eq!(
+            p.stats().injected[FaultSite::SampleDrop.index()],
+            hits as u64
+        );
+    }
+
+    #[test]
+    fn rate_one_always_injects() {
+        let mut p = FaultPlan::new(3, FaultConfig::single(FaultSite::AllocSlow, 1.0));
+        assert!((0..100).all(|_| p.alloc_fails(TierKind::Slow)));
+        assert!(!p.alloc_fails(TierKind::Fast), "other site untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn invalid_rate_rejected() {
+        let _ = FaultPlan::new(0, FaultConfig::single(FaultSite::CopyFail, 1.5));
+    }
+
+    #[test]
+    fn recovery_accounting() {
+        let mut p = FaultPlan::new(1, FaultConfig::single(FaultSite::CopyFail, 1.0));
+        assert!(p.copy_fails());
+        p.note_recovery(FaultSite::CopyFail);
+        assert_eq!(p.stats().total_injected(), 1);
+        assert_eq!(p.stats().total_recovered(), 1);
+    }
+
+    #[test]
+    fn site_names_stable_and_distinct() {
+        let names: Vec<&str> = FaultSite::ALL.iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), N_FAULT_SITES);
+        assert_eq!(names[0], "alloc_fast");
+        assert_eq!(names[3], "shootdown_timeout");
+    }
+}

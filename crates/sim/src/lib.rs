@@ -15,6 +15,7 @@
 pub mod bandwidth;
 pub mod costs;
 pub mod event;
+pub mod faults;
 pub mod frame;
 pub mod machine;
 pub mod tier;
@@ -24,6 +25,7 @@ pub mod topology;
 pub use bandwidth::BandwidthTracker;
 pub use costs::{AccessCosts, MigrationCosts, SinglePageBreakdown};
 pub use event::EventQueue;
+pub use faults::{FaultConfig, FaultPlan, FaultSite, FaultStats, N_FAULT_SITES};
 pub use frame::{FrameAllocator, FrameId, OutOfFrames};
 pub use machine::{Machine, MachineSpec};
 pub use tier::{TierKind, TierSpec, HUGE_PAGE_PAGES, PAGES_PER_PAPER_GB, PAGE_SIZE};

@@ -3,6 +3,7 @@
 
 use crate::bandwidth::BandwidthTracker;
 use crate::costs::{AccessCosts, MigrationCosts};
+use crate::faults::{FaultPlan, FaultSite};
 use crate::frame::{FrameAllocator, FrameId, OutOfFrames};
 use crate::tier::{TierKind, TierSpec, PAGE_SIZE};
 use crate::time::Nanos;
@@ -69,6 +70,15 @@ pub struct Machine {
     /// inflation only changes at [`Machine::end_quantum`], so the f64
     /// multiply-and-round is hoisted off the per-access path.
     loaded_latency: [Nanos; 2],
+    /// Seeded fault-injection schedule (disabled by default; installed by
+    /// the runtime after construction so preallocation is unaffected).
+    pub faults: FaultPlan,
+    /// Extra loaded-latency multiplier while a transient throttle fault
+    /// is active this quantum; exactly 1.0 otherwise.
+    throttle_now: f64,
+    /// Whether the most recent [`Machine::alloc`] failure was injected
+    /// by the fault plan (consumers use this to attribute recoveries).
+    last_alloc_injected: bool,
 }
 
 impl Machine {
@@ -95,6 +105,9 @@ impl Machine {
             bandwidth,
             topology,
             loaded_latency,
+            faults: FaultPlan::disabled(),
+            throttle_now: 1.0,
+            last_alloc_injected: false,
         }
     }
 
@@ -114,15 +127,66 @@ impl Machine {
     }
 
     /// Allocate a frame in `tier`.
+    ///
+    /// Subject to fault injection: an active [`FaultPlan`] may report
+    /// exhaustion even while frames remain. Recovery paths that have
+    /// already absorbed the fault (modeled a stall, reclaimed space)
+    /// should retry through [`Machine::alloc_uninjected`].
     pub fn alloc(&mut self, tier: TierKind) -> Result<FrameId, OutOfFrames> {
+        self.last_alloc_injected = false;
+        if self.faults.alloc_fails(tier) {
+            self.last_alloc_injected = true;
+            return Err(OutOfFrames { tier });
+        }
+        self.allocators[tier.index()].alloc()
+    }
+
+    /// Whether the most recent [`Machine::alloc`] failure was an injected
+    /// fault rather than genuine exhaustion. (For `alloc_with_fallback`
+    /// this reports on the final attempt.)
+    pub fn last_alloc_injected(&self) -> bool {
+        self.last_alloc_injected
+    }
+
+    /// Allocate a frame in `tier`, bypassing fault injection — the
+    /// degraded-path retry after a consumer has handled an injected
+    /// exhaustion fault.
+    pub fn alloc_uninjected(&mut self, tier: TierKind) -> Result<FrameId, OutOfFrames> {
         self.allocators[tier.index()].alloc()
     }
 
     /// Allocate in `tier` if possible, else fall back to the other tier
     /// (new allocations spill to slow memory when fast is full — the
     /// standard first-touch behaviour of tiered systems).
+    ///
+    /// A successful spill after an *injected* exhaustion of the
+    /// preferred tier is itself the degraded path, so it is tallied as
+    /// a recovery; callers only handle the case where both tiers fail.
     pub fn alloc_with_fallback(&mut self, tier: TierKind) -> Result<FrameId, OutOfFrames> {
-        self.alloc(tier).or_else(|_| self.alloc(tier.other()))
+        match self.alloc(tier) {
+            Ok(f) => Ok(f),
+            Err(_) => {
+                let preferred_injected = self.last_alloc_injected;
+                let res = self.alloc(tier.other());
+                if preferred_injected && res.is_ok() {
+                    self.faults.note_recovery(match tier {
+                        TierKind::Fast => FaultSite::AllocFast,
+                        TierKind::Slow => FaultSite::AllocSlow,
+                    });
+                }
+                res
+            }
+        }
+    }
+
+    /// Fallback allocation bypassing fault injection (degraded-path
+    /// retry; see [`Machine::alloc_uninjected`]).
+    pub fn alloc_with_fallback_uninjected(
+        &mut self,
+        tier: TierKind,
+    ) -> Result<FrameId, OutOfFrames> {
+        self.alloc_uninjected(tier)
+            .or_else(|_| self.alloc_uninjected(tier.other()))
     }
 
     /// Free a frame back to its tier.
@@ -138,9 +202,11 @@ impl Machine {
         // scratch mid-quantum must reproduce the cache exactly.
         #[cfg(feature = "oracle")]
         {
-            let want = self
-                .bandwidth
-                .inflate(tier, self.spec.access_costs.tier_latency(tier));
+            let want = Self::apply_throttle(
+                self.bandwidth
+                    .inflate(tier, self.spec.access_costs.tier_latency(tier)),
+                self.throttle_now,
+            );
             vulcan_oracle::check(
                 vulcan_oracle::Structure::Latency,
                 self.loaded_latency[tier.index()] == want,
@@ -169,14 +235,40 @@ impl Machine {
     }
 
     /// Close a quantum of length `quantum`: roll bandwidth contention
-    /// over and refresh the cached loaded latencies.
+    /// over, draw the next transient-throttle fault decision, and refresh
+    /// the cached loaded latencies.
     pub fn end_quantum(&mut self, quantum: Nanos) {
         self.bandwidth.end_quantum(quantum);
+        // One throttle decision per quantum; with faults disabled this is
+        // a no-op and the factor stays exactly 1.0 (byte-identity).
+        self.throttle_now = if self.faults.quantum_throttled() {
+            self.faults.config().throttle_factor
+        } else {
+            1.0
+        };
         for tier in TierKind::ALL {
-            self.loaded_latency[tier.index()] = self
-                .bandwidth
-                .inflate(tier, self.spec.access_costs.tier_latency(tier));
+            self.loaded_latency[tier.index()] = Self::apply_throttle(
+                self.bandwidth
+                    .inflate(tier, self.spec.access_costs.tier_latency(tier)),
+                self.throttle_now,
+            );
         }
+    }
+
+    /// Whether a transient bandwidth-throttle fault is active this
+    /// quantum.
+    pub fn throttled(&self) -> bool {
+        self.throttle_now > 1.0
+    }
+
+    /// Scale a loaded latency by the active throttle factor. Exact
+    /// identity when the factor is 1.0 so the disabled path never
+    /// perturbs latencies through f64 rounding.
+    fn apply_throttle(base: Nanos, factor: f64) -> Nanos {
+        if factor == 1.0 {
+            return base;
+        }
+        Nanos((base.0 as f64 * factor).round() as u64)
     }
 
     /// Free pages remaining in `tier`.
@@ -234,6 +326,43 @@ mod tests {
         assert_eq!(m.free_pages(TierKind::Fast), 1);
         m.free(f);
         assert_eq!(m.free_pages(TierKind::Fast), 2);
+    }
+
+    #[test]
+    fn injected_alloc_fault_reports_exhaustion_with_frames_free() {
+        use crate::faults::{FaultConfig, FaultPlan, FaultSite};
+        let mut m = Machine::new(MachineSpec::small(4, 4, 2));
+        m.faults = FaultPlan::new(1, FaultConfig::single(FaultSite::AllocFast, 1.0));
+        assert!(m.alloc(TierKind::Fast).is_err(), "injected exhaustion");
+        assert_eq!(m.free_pages(TierKind::Fast), 4, "no frame consumed");
+        assert!(m.alloc_uninjected(TierKind::Fast).is_ok(), "bypass works");
+        // Fallback rolls per tier: fast injected, slow clean.
+        assert_eq!(
+            m.alloc_with_fallback(TierKind::Fast).map(|f| f.tier),
+            Ok(TierKind::Slow)
+        );
+    }
+
+    #[test]
+    fn throttle_fault_scales_loaded_latency() {
+        use crate::faults::{FaultConfig, FaultPlan, FaultSite};
+        let mut m = Machine::new(MachineSpec::small(64, 64, 2));
+        let base = m.access_latency(TierKind::Slow);
+        let mut cfg = FaultConfig::single(FaultSite::Throttle, 1.0);
+        cfg.throttle_factor = 3.0;
+        m.faults = FaultPlan::new(9, cfg);
+        m.end_quantum(Nanos::micros(10));
+        assert!(m.throttled());
+        assert_eq!(m.access_latency(TierKind::Slow), Nanos(base.0 * 3));
+    }
+
+    #[test]
+    fn disabled_faults_leave_end_quantum_latency_exact() {
+        let mut m = Machine::new(MachineSpec::small(64, 64, 2));
+        let base = m.access_latency(TierKind::Fast);
+        m.end_quantum(Nanos::micros(10));
+        assert!(!m.throttled());
+        assert_eq!(m.access_latency(TierKind::Fast), base);
     }
 
     #[test]

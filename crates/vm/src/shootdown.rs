@@ -10,7 +10,7 @@ use crate::addr::Vpn;
 use crate::process::Process;
 use crate::tlb::TlbArray;
 use std::collections::BTreeSet;
-use vulcan_sim::{CoreId, Cycles, MigrationCosts, Topology};
+use vulcan_sim::{CoreId, Cycles, FaultPlan, FaultSite, MigrationCosts, Topology};
 
 /// How IPI targets are chosen.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +75,24 @@ pub fn plan(
     }
 }
 
+/// Outcome of a shootdown under fault injection: total modeled cycles
+/// (base IPI round plus every retry and its backoff) and how the round
+/// degraded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShootdownOutcome {
+    /// Total cycles charged to the cost model.
+    pub cycles: Cycles,
+    /// Ack-timeout retries performed (0 when no fault fired).
+    pub retries: u32,
+    /// True when the retry budget was exhausted and the initiator fell
+    /// back to a final full re-broadcast.
+    pub escalated: bool,
+}
+
+/// Base spin-wait charged for the first ack-timeout backoff; doubles per
+/// retry (bounded by the plan's retry budget).
+const ACK_BACKOFF_BASE: u64 = 1 << 12;
+
 /// Execute a planned shootdown: invalidate TLB entries on the target cores
 /// and return the modeled cycle cost.
 pub fn execute(
@@ -84,10 +102,53 @@ pub fn execute(
     costs: &MigrationCosts,
     mode: ShootdownMode,
 ) -> Cycles {
+    let mut no_faults = FaultPlan::disabled();
+    execute_faulty(plan, process, tlbs, costs, mode, &mut no_faults).cycles
+}
+
+/// Execute a planned shootdown under a fault plan. Injected ack timeouts
+/// cost bounded retries with exponential backoff, all charged to the
+/// returned cycle total; when the retry budget runs out the initiator
+/// escalates to one final re-broadcast (correctness is preserved — the
+/// invalidations themselves always complete).
+pub fn execute_faulty(
+    plan: &ShootdownPlan,
+    process: &Process,
+    tlbs: &mut TlbArray,
+    costs: &MigrationCosts,
+    mode: ShootdownMode,
+    faults: &mut FaultPlan,
+) -> ShootdownOutcome {
     for &vpn in &plan.pages {
         tlbs.invalidate_on(plan.targets.iter().copied(), process.asid, vpn);
     }
-    cost_of(plan, costs, mode)
+    let base = cost_of(plan, costs, mode);
+    let mut out = ShootdownOutcome {
+        cycles: base,
+        retries: 0,
+        escalated: false,
+    };
+    if plan.n_targets() == 0 {
+        // No remote acks to wait on; nothing to time out.
+        return out;
+    }
+    let budget = faults.config().max_shootdown_retries;
+    while faults.shootdown_times_out() {
+        if out.retries >= budget {
+            // Budget exhausted: one final full re-broadcast, no more
+            // timeout draws (the escalated round is modeled as reliable).
+            out.escalated = true;
+            out.cycles += base;
+            break;
+        }
+        out.retries += 1;
+        // Re-send the IPI round and spin an exponentially growing
+        // backoff before sampling the acks again.
+        let backoff = ACK_BACKOFF_BASE << (out.retries - 1).min(16);
+        out.cycles += base + Cycles(backoff);
+        faults.note_recovery(FaultSite::ShootdownTimeout);
+    }
+    out
 }
 
 /// The modeled cost of a shootdown without executing it (used by
@@ -224,6 +285,80 @@ mod tests {
             narrow_cost.0 * 4 < wide_cost.0,
             "{narrow_cost} vs {wide_cost}"
         );
+    }
+
+    #[test]
+    fn faulty_ack_timeouts_charge_bounded_retries() {
+        use vulcan_sim::{FaultConfig, FaultSite};
+        let (p, topo, mut tlbs) = setup();
+        let costs = MigrationCosts::default();
+        let sd = plan(&p, &topo, &[Vpn(0)], ShootdownScope::Targeted);
+        let clean = cost_of(&sd, &costs, ShootdownMode::Cold);
+        // Every ack round times out: retries must stop at the budget and
+        // escalate, charging every round to the cost model.
+        let mut faults = FaultPlan::new(3, FaultConfig::single(FaultSite::ShootdownTimeout, 1.0));
+        let out = execute_faulty(&sd, &p, &mut tlbs, &costs, ShootdownMode::Cold, &mut faults);
+        let budget = faults.config().max_shootdown_retries;
+        assert_eq!(out.retries, budget);
+        assert!(out.escalated);
+        // base + budget retries + final escalation broadcast + backoffs.
+        assert!(out.cycles.0 > clean.0 * (budget as u64 + 2));
+        assert!(faults.stats().injected[FaultSite::ShootdownTimeout.index()] > 0);
+    }
+
+    #[test]
+    fn faulty_zero_rate_matches_clean_execute() {
+        let (p, topo, mut tlbs) = setup();
+        let costs = MigrationCosts::default();
+        let sd = plan(&p, &topo, &[Vpn(0), Vpn(1)], ShootdownScope::Targeted);
+        let mut faults = FaultPlan::disabled();
+        let out = execute_faulty(
+            &sd,
+            &p,
+            &mut tlbs,
+            &costs,
+            ShootdownMode::Batched,
+            &mut faults,
+        );
+        assert_eq!(out.cycles, cost_of(&sd, &costs, ShootdownMode::Batched));
+        assert_eq!(out.retries, 0);
+        assert!(!out.escalated);
+    }
+
+    #[test]
+    fn zero_target_shootdown_never_times_out() {
+        use vulcan_sim::{FaultConfig, FaultSite};
+        let (p, topo, mut tlbs) = setup();
+        let sd = plan(&p, &topo, &[Vpn(999)], ShootdownScope::Targeted);
+        let mut faults = FaultPlan::new(1, FaultConfig::single(FaultSite::ShootdownTimeout, 1.0));
+        let out = execute_faulty(
+            &sd,
+            &p,
+            &mut tlbs,
+            &MigrationCosts::default(),
+            ShootdownMode::Cold,
+            &mut faults,
+        );
+        assert_eq!(out.retries, 0, "no remote acks to wait on");
+    }
+
+    /// Pins the Fig 7 responder-accounting convention audited in DESIGN
+    /// §8: a process-wide plan counts every core running a thread of the
+    /// process — including the initiating core — while the paper's
+    /// Figure 2/3 sweeps report *responders* (n − 1). The +1 shrinks the
+    /// relative benefit of targeted shootdowns in the Fig 7 comparison
+    /// (the "TLB-opt increment understated" deviation in EXPERIMENTS.md).
+    #[test]
+    fn process_wide_plan_counts_initiator_as_target() {
+        let (p, topo, _) = setup();
+        let wide = plan(&p, &topo, &[Vpn(0)], ShootdownScope::ProcessWide);
+        // 8 threads on 8 cores: all 8 are targets, not 7 responders.
+        assert_eq!(wide.n_targets(), 8);
+        let narrow = plan(&p, &topo, &[Vpn(0)], ShootdownScope::Targeted);
+        // The private page is owned by thread 0 — which runs on the
+        // initiating core in the Fig 7 workloads, so the targeted set
+        // still contains the initiator rather than dropping to zero.
+        assert_eq!(narrow.n_targets(), 1);
     }
 
     #[test]
