@@ -29,6 +29,7 @@
 //! of the thread count.
 
 pub mod chaos;
+pub mod churn;
 pub mod suite;
 
 use std::io;

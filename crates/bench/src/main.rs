@@ -26,6 +26,10 @@ USAGE:
                                                 fault site × rates × the four
                                                 policies, asserting the
                                                 degradation contract
+    vulcan-bench churn [OPTIONS]                open-loop tenancy sweep:
+                                                arrival rates × the four
+                                                policies, hundreds of tenant
+                                                lifetimes per cell
     vulcan-bench oracle [TARGETS...] [OPTIONS]  run grids in lockstep with
                                                 reference models (requires
                                                 a --features oracle build)
@@ -40,10 +44,21 @@ OPTIONS (chaos):
     --quick        CI scale: 2 fault rates, 12 quanta per cell
     --threads <N>  thread-pool size
 
+OPTIONS (churn):
+    --quick        CI scale: 1 arrival rate, 16 quanta per cell
+    --threads <N>  thread-pool size
+
 The chaos sweep exits non-zero if any cell panics, leaks a frame at
 teardown, lets Vulcan's FTHR drop below GPT, or produces rate-0 output
 that differs from a run with no fault plan installed. Results land in
 target/experiments/chaos.json.
+
+The churn sweep drives Poisson arrivals with Pareto lifetimes through
+capacity-gated admission against every paper policy, and exits non-zero
+if any cell panics, leaks a frame after the final teardown sweep, falls
+short of the tenant floor (full scale), or produces a rate-0 control
+that differs from the plain static run. Results land in
+target/experiments/churn.json.
 
 Targets default to every simulation grid; analytic targets (fig2, fig3,
 fig7, table1, table2) have no grid and are skipped with a note.
@@ -208,6 +223,32 @@ fn cmd_chaos(args: &[String]) {
     vulcan_bench::save_json_or_exit("chaos", &report.rows);
 }
 
+fn cmd_churn(args: &[String]) {
+    let GridArgs { quick, list, names } = parse_grid_args(args);
+    if list || !names.is_empty() {
+        usage_error("churn takes no targets (it runs one fixed grid)");
+    }
+    let opts = if quick {
+        vulcan_bench::churn::ChurnOpts::quick()
+    } else {
+        vulcan_bench::churn::ChurnOpts::full()
+    };
+    let report = vulcan_bench::churn::run_churn(&opts);
+    vulcan_bench::churn::churn_table(&report.rows).print();
+    if !report.violations.is_empty() {
+        for v in &report.violations {
+            eprintln!("churn: VIOLATION: {v}");
+        }
+        eprintln!("churn: {} contract violation(s)", report.violations.len());
+        std::process::exit(1);
+    }
+    println!(
+        "churn: {} cells, zero panics, frames conserved, rate-0 identical to static",
+        report.rows.len()
+    );
+    vulcan_bench::save_json_or_exit("churn", &report.rows);
+}
+
 /// Lockstep differential run: replay the suite grids with the reference
 /// models checking every hot-path structure at every step. Only does
 /// anything in a `--features oracle` build — the checks are compiled
@@ -282,6 +323,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("suite") => cmd_suite(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("churn") => cmd_churn(&args[1..]),
         Some("oracle") => cmd_oracle(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => print!("{USAGE}"),
         None => usage_error("missing subcommand"),

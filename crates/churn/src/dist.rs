@@ -1,0 +1,187 @@
+//! Seeded, stateless distributions for the churn engine.
+//!
+//! Same discipline as `vulcan_sim::faults`: every random decision is a
+//! counter hash — `splitmix64(stream_key ^ counter)` — so the schedule
+//! of arrivals, lifetimes and template picks depends only on the run
+//! seed and the decision index, never on thread count, call order of
+//! unrelated streams, or how many decisions another stream has made.
+//! Reruns and `--threads 1` vs `--threads 4` sweeps are byte-identical.
+
+/// splitmix64: the standard 64-bit finalizer-based mixer (identical to
+/// the private copy in `vulcan_sim::faults`; the constants are the
+/// published splitmix64 ones, so both streams stay interchangeable).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The engine's independent decision streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stream {
+    /// Exponential interarrival gaps (Poisson arrival process).
+    Interarrival,
+    /// Pareto tenant lifetimes.
+    Lifetime,
+    /// Weighted template pick from the catalog.
+    Template,
+}
+
+/// Number of streams.
+pub const N_STREAMS: usize = 3;
+
+impl Stream {
+    fn index(self) -> usize {
+        match self {
+            Stream::Interarrival => 0,
+            Stream::Lifetime => 1,
+            Stream::Template => 2,
+        }
+    }
+}
+
+/// Per-run stream keys plus per-stream decision counters.
+#[derive(Clone, Debug)]
+pub struct ChurnStreams {
+    streams: [u64; N_STREAMS],
+    counters: [u64; N_STREAMS],
+}
+
+impl ChurnStreams {
+    /// Derive the streams from the run seed. Keys are offset from the
+    /// fault plan's site keys (`(i + 1) << 56` there) so enabling fault
+    /// injection and churn in the same run never correlates decisions.
+    pub fn new(seed: u64) -> ChurnStreams {
+        let mut streams = [0u64; N_STREAMS];
+        for (i, s) in streams.iter_mut().enumerate() {
+            *s = splitmix64(splitmix64(seed) ^ ((i as u64 + 0x10) << 56));
+        }
+        ChurnStreams {
+            streams,
+            counters: [0; N_STREAMS],
+        }
+    }
+
+    /// Next uniform draw in `[0, 1)` from `stream`.
+    pub fn uniform(&mut self, stream: Stream) -> f64 {
+        let i = stream.index();
+        let n = self.counters[i];
+        self.counters[i] += 1;
+        // Top 53 bits → [0, 1) at full double precision.
+        (splitmix64(self.streams[i] ^ n) >> 11) as f64 * 2f64.powi(-53)
+    }
+
+    /// Exponential interarrival gap in nanoseconds for a Poisson process
+    /// of `rate_per_sec` arrivals per displayed second.
+    ///
+    /// # Panics
+    /// `rate_per_sec` must be positive and finite; a rate-0 engine never
+    /// schedules arrivals, so it never draws.
+    pub fn exp_interarrival_ns(&mut self, rate_per_sec: f64) -> u64 {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "interarrival draw at rate {rate_per_sec}"
+        );
+        let u = self.uniform(Stream::Interarrival);
+        // Inverse CDF; u < 1 always, so ln(1-u) is finite.
+        let secs = -(1.0 - u).ln() / rate_per_sec;
+        (secs * 1e9).round() as u64
+    }
+
+    /// Heavy-tailed Pareto lifetime in nanoseconds: scale (= minimum
+    /// lifetime) `xm_ns`, shape `alpha`. Small `alpha` (≤ 2) gives the
+    /// long-lived-tenant tail that makes churn hard on admission.
+    pub fn pareto_lifetime_ns(&mut self, xm_ns: u64, alpha: f64) -> u64 {
+        assert!(alpha.is_finite() && alpha > 0.0, "pareto shape {alpha}");
+        let u = self.uniform(Stream::Lifetime);
+        let factor = (1.0 - u).powf(-1.0 / alpha);
+        // Cap the tail at 2^62 ns (~146 years): keeps the arithmetic in
+        // u64 range without changing any realistic draw.
+        let ns = xm_ns as f64 * factor;
+        ns.min(4.6e18) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = ChurnStreams::new(42);
+        let mut b = ChurnStreams::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.exp_interarrival_ns(2.0), b.exp_interarrival_ns(2.0));
+            assert_eq!(
+                a.pareto_lifetime_ns(1_000_000_000, 1.5),
+                b.pareto_lifetime_ns(1_000_000_000, 1.5)
+            );
+        }
+    }
+
+    #[test]
+    fn streams_are_mutually_independent() {
+        // Draining one stream must not shift another: counter-hash, not
+        // shared RNG state.
+        let mut a = ChurnStreams::new(7);
+        let mut b = ChurnStreams::new(7);
+        for _ in 0..50 {
+            a.uniform(Stream::Template);
+        }
+        assert_eq!(
+            a.exp_interarrival_ns(1.0),
+            b.exp_interarrival_ns(1.0),
+            "template draws shifted the interarrival stream"
+        );
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let mut a = ChurnStreams::new(1);
+        let mut b = ChurnStreams::new(2);
+        let same = (0..64)
+            .filter(|_| a.uniform(Stream::Lifetime) == b.uniform(Stream::Lifetime))
+            .count();
+        assert_eq!(same, 0, "nearby seeds must diverge immediately");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut s = ChurnStreams::new(42);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| s.exp_interarrival_ns(4.0)).sum();
+        let mean_secs = sum as f64 / n as f64 / 1e9;
+        // Mean of Exp(4/s) is 0.25 s; 20k samples pin it within 5%.
+        assert!(
+            (mean_secs - 0.25).abs() < 0.0125,
+            "mean interarrival {mean_secs}s, expected 0.25s"
+        );
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let mut s = ChurnStreams::new(42);
+        let xm = 2_000_000_000u64; // 2 s
+        let draws: Vec<u64> = (0..10_000).map(|_| s.pareto_lifetime_ns(xm, 2.0)).collect();
+        assert!(draws.iter().all(|&d| d >= xm), "xm is the minimum");
+        // Heavy tail: some lifetimes far beyond the scale.
+        assert!(draws.iter().any(|&d| d > 5 * xm));
+        // Mean of Pareto(xm, 2) is 2·xm = 4 s; loose 15% band.
+        let mean = draws.iter().sum::<u64>() as f64 / draws.len() as f64;
+        assert!(
+            (mean / 1e9 - 4.0).abs() < 0.6,
+            "mean lifetime {}s, expected 4s",
+            mean / 1e9
+        );
+    }
+
+    #[test]
+    fn uniform_is_half_open() {
+        let mut s = ChurnStreams::new(9);
+        for _ in 0..10_000 {
+            let u = s.uniform(Stream::Template);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

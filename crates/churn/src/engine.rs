@@ -1,0 +1,541 @@
+//! The open-loop tenancy engine.
+//!
+//! Drives hundreds of workload lifetimes against one [`SimRunner`]:
+//! arrivals are a Poisson process (exponential interarrival gaps),
+//! lifetimes are heavy-tailed Pareto, and every lifecycle transition is
+//! a timestamped event on the deterministic [`EventQueue`] — `Arrival`,
+//! `Departure`, `AdmissionReview`, `PeriodicCompaction`. Before each
+//! quantum the engine drains every due event (events scheduled *during*
+//! the drain at the same tick fire in the same drain, in FIFO order —
+//! the queue's same-timestamp guarantee), then steps the runner one
+//! quantum and samples a fairness window over the live tenants.
+//!
+//! **Admission.** A tenant is admitted when its whole RSS fits in the
+//! free frames of both tiers combined; otherwise it waits in a bounded
+//! FIFO queue (head-of-line blocking is deliberate: admitting around a
+//! stuck head would starve large tenants forever) or is rejected when
+//! the queue is full. Departures and compaction rounds schedule an
+//! `AdmissionReview` at the same instant, which drops entries older
+//! than the queue timeout and admits from the head while capacity lasts.
+//!
+//! **Determinism.** All randomness is counter-hashed from the run seed
+//! ([`ChurnStreams`]); the engine itself is single-threaded. A run is
+//! byte-identical across reruns and across however many OS threads a
+//! sweep harness uses for *other* cells. With `arrival_rate_per_sec = 0`
+//! and compaction disabled no event is ever scheduled and the engine is
+//! exactly `SimRunner::run` — the rate-0 control cell of the churn bench
+//! reproduces static-suite results bit for bit.
+
+use std::collections::VecDeque;
+
+use crate::catalog::Catalog;
+use crate::dist::{ChurnStreams, Stream};
+use vulcan_metrics::{jain_index_checked, percentile};
+use vulcan_runtime::{RunResult, SimRunner};
+use vulcan_sim::{EventQueue, Nanos, TierKind};
+use vulcan_telemetry::EventKind;
+use vulcan_vm::Vpn;
+use vulcan_workloads::WorkloadSpec;
+
+/// Churn-engine knobs, layered on top of the runner's `SimConfig`.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Open-loop arrival rate in tenants per displayed second; 0 turns
+    /// the engine into a plain static run (no events at all).
+    pub arrival_rate_per_sec: f64,
+    /// Pareto lifetime scale (the minimum lifetime).
+    pub lifetime_xm: Nanos,
+    /// Pareto lifetime shape; ≤ 2 gives a heavy long-lived tail.
+    pub lifetime_alpha: f64,
+    /// Quanta to run.
+    pub n_quanta: u64,
+    /// Admission queue bound; 0 means reject immediately on exhaustion.
+    pub max_queue: usize,
+    /// Queued tenants older than this are dropped at the next review.
+    pub queue_timeout: Nanos,
+    /// Period of tier compaction rounds; [`Nanos::ZERO`] disables them.
+    pub compaction_period: Nanos,
+    /// Max hot slow pages promoted into freed fast headroom per round.
+    pub compaction_budget: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            arrival_rate_per_sec: 2.0,
+            lifetime_xm: Nanos::secs(2),
+            lifetime_alpha: 2.0,
+            n_quanta: 60,
+            max_queue: 8,
+            queue_timeout: Nanos::secs(10),
+            compaction_period: Nanos::secs(5),
+            compaction_budget: 256,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// The rate-0 control: no arrivals, no compaction — the engine is
+    /// provably a plain static run (no event is ever scheduled).
+    pub fn control(n_quanta: u64) -> ChurnConfig {
+        ChurnConfig {
+            arrival_rate_per_sec: 0.0,
+            compaction_period: Nanos::ZERO,
+            n_quanta,
+            ..ChurnConfig::default()
+        }
+    }
+}
+
+/// Lifecycle events on the engine's queue.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ChurnEvent {
+    /// The next open-loop tenant arrives (reschedules itself).
+    Arrival,
+    /// Tenant in `slot` reaches the end of its lifetime.
+    Departure {
+        /// Runner workload slot (slots are never reused).
+        slot: usize,
+    },
+    /// Re-examine the admission queue (after departures/compaction).
+    AdmissionReview,
+    /// Periodic tier compaction (reschedules itself).
+    PeriodicCompaction,
+}
+
+/// A tenant waiting for admission.
+#[derive(Debug)]
+struct Pending {
+    spec: WorkloadSpec,
+    enqueued: Nanos,
+}
+
+/// Lifecycle and admission tallies of one engine run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChurnStats {
+    /// Open-loop arrivals drawn.
+    pub arrivals: u64,
+    /// Admitted straight from the arrival event.
+    pub admitted: u64,
+    /// Admitted later, from the queue.
+    pub admitted_from_queue: u64,
+    /// Sent to the admission queue on fast/slow exhaustion.
+    pub queued: u64,
+    /// Rejected because the queue was full.
+    pub rejected: u64,
+    /// Dropped from the queue after the admission timeout.
+    pub timed_out: u64,
+    /// Lifetime departures (engine-scheduled teardowns).
+    pub departed: u64,
+    /// Live tenants retired by the end-of-run teardown sweep.
+    pub retired_at_end: u64,
+    /// Compaction rounds executed.
+    pub compaction_rounds: u64,
+    /// Shadow frames reclaimed by compaction.
+    pub shadows_reclaimed: u64,
+    /// Hot slow pages promoted by compaction.
+    pub compaction_promoted: u64,
+    /// Peak number of concurrently live tenants.
+    pub peak_active: u64,
+}
+
+impl ChurnStats {
+    /// Total tenants that ever ran (admitted by either path).
+    pub fn spawned(&self) -> u64 {
+        self.admitted + self.admitted_from_queue
+    }
+
+    /// Total tenants that were torn down (lifetime + end-of-run).
+    pub fn retired(&self) -> u64 {
+        self.departed + self.retired_at_end
+    }
+}
+
+/// One per-quantum fairness window over the live tenants.
+#[derive(Clone, Debug)]
+pub struct WindowSample {
+    /// End-of-quantum instant, displayed seconds.
+    pub t_secs: f64,
+    /// Live tenants in the window.
+    pub active: u64,
+    /// Jain's index over the live tenants' FTHRs; `None` when the
+    /// window is empty (fairness undefined, not vacuously 1.0).
+    pub jain_fthr: Option<f64>,
+    /// Mean FTHR over the live tenants; `None` on an empty window.
+    pub mean_fthr: Option<f64>,
+    /// Fast-tier utilization (used / capacity).
+    pub fast_util: f64,
+}
+
+/// Summary of a finished churn run.
+#[derive(Clone, Debug)]
+pub struct ChurnReport {
+    /// Lifecycle/admission tallies.
+    pub stats: ChurnStats,
+    /// Per-quantum fairness windows, in time order.
+    pub windows: Vec<WindowSample>,
+    /// Fast frames still allocated after the final teardown sweep
+    /// (frame-conservation violation when nonzero).
+    pub leaked_fast: u64,
+    /// Slow frames still allocated after the final teardown sweep.
+    pub leaked_slow: u64,
+    /// The underlying runner summary (per-tenant means, series).
+    pub run: RunResult,
+}
+
+impl ChurnReport {
+    /// Mean of the defined per-window Jain indices (`None` if every
+    /// window was empty).
+    pub fn mean_windowed_jain(&self) -> Option<f64> {
+        let defined: Vec<f64> = self.windows.iter().filter_map(|w| w.jain_fthr).collect();
+        if defined.is_empty() {
+            None
+        } else {
+            Some(defined.iter().sum::<f64>() / defined.len() as f64)
+        }
+    }
+
+    /// Mean of the defined per-window mean FTHRs.
+    pub fn mean_windowed_fthr(&self) -> Option<f64> {
+        let defined: Vec<f64> = self.windows.iter().filter_map(|w| w.mean_fthr).collect();
+        if defined.is_empty() {
+            None
+        } else {
+            Some(defined.iter().sum::<f64>() / defined.len() as f64)
+        }
+    }
+
+    /// p99 tail of per-quantum mean op latency across every tenant and
+    /// quantum in which it completed operations (`None` if nothing ran).
+    pub fn p99_latency_ns(&self) -> Option<f64> {
+        let mut samples: Vec<f64> = Vec::new();
+        for w in &self.run.per_workload {
+            if let Some(series) = self.run.series.get(&format!("{}.latency_ns", w.name)) {
+                samples.extend(series.points.iter().map(|&(_, v)| v).filter(|&v| v > 0.0));
+            }
+        }
+        percentile(&mut samples, 99.0)
+    }
+}
+
+/// The open-loop churn engine: a [`SimRunner`] plus the event queue,
+/// seeded distributions, tenant catalog and admission state.
+pub struct ChurnEngine {
+    runner: SimRunner,
+    cfg: ChurnConfig,
+    catalog: Catalog,
+    events: EventQueue<ChurnEvent>,
+    streams: ChurnStreams,
+    pending: VecDeque<Pending>,
+    next_tenant: u64,
+    stats: ChurnStats,
+    windows: Vec<WindowSample>,
+}
+
+impl ChurnEngine {
+    /// Wrap an already-built (paused: `n_quanta` unconsumed) runner.
+    /// The engine schedules the first arrival and compaction round and
+    /// then owns the stepping; the runner's own `n_quanta` is ignored in
+    /// favor of `cfg.n_quanta`. Randomness derives from `seed` — pass
+    /// the runner's `SimConfig::seed` so one seed governs the whole run.
+    pub fn new(runner: SimRunner, seed: u64, cfg: ChurnConfig, catalog: Catalog) -> ChurnEngine {
+        let mut streams = ChurnStreams::new(seed);
+        let mut events = EventQueue::new();
+        if cfg.arrival_rate_per_sec > 0.0 {
+            let gap = streams.exp_interarrival_ns(cfg.arrival_rate_per_sec);
+            events.schedule(Nanos(gap), ChurnEvent::Arrival);
+        }
+        if cfg.compaction_period > Nanos::ZERO {
+            events.schedule(cfg.compaction_period, ChurnEvent::PeriodicCompaction);
+        }
+        ChurnEngine {
+            runner,
+            cfg,
+            catalog,
+            events,
+            streams,
+            pending: VecDeque::new(),
+            next_tenant: 0,
+            stats: ChurnStats::default(),
+            windows: Vec::new(),
+        }
+    }
+
+    /// Tallies so far (tests and live drivers).
+    pub fn stats(&self) -> &ChurnStats {
+        &self.stats
+    }
+
+    /// The wrapped runner (read access for step-wise inspection).
+    pub fn runner(&self) -> &SimRunner {
+        &self.runner
+    }
+
+    /// Run one quantum: drain due events (including same-tick cascades
+    /// like departure → admission review), step the runner, sample a
+    /// fairness window.
+    pub fn step(&mut self) {
+        let now = self.runner.state.now;
+        while let Some((at, ev)) = self.events.pop_due(now) {
+            self.handle(at, ev);
+        }
+        self.runner.run_quantum();
+        self.record_window();
+    }
+
+    /// Run the configured quanta, retire every surviving tenant, audit
+    /// frame conservation and summarize.
+    pub fn run(mut self) -> ChurnReport {
+        for _ in 0..self.cfg.n_quanta {
+            self.step();
+        }
+        self.finish()
+    }
+
+    fn handle(&mut self, at: Nanos, ev: ChurnEvent) {
+        match ev {
+            ChurnEvent::Arrival => {
+                self.stats.arrivals += 1;
+                // Open loop: the next arrival is scheduled from this
+                // one's instant, regardless of admission outcome.
+                let gap = self
+                    .streams
+                    .exp_interarrival_ns(self.cfg.arrival_rate_per_sec);
+                self.events.schedule(at + Nanos(gap), ChurnEvent::Arrival);
+
+                let u = self.streams.uniform(Stream::Template);
+                let spec = self.catalog.pick(u).instantiate(self.next_tenant, at);
+                self.next_tenant += 1;
+                if self.try_admit(&spec, at) {
+                    self.stats.admitted += 1;
+                } else {
+                    self.queue_or_reject(spec, at);
+                }
+            }
+            ChurnEvent::Departure { slot } => {
+                if !self.runner.state.workloads[slot].departed {
+                    self.runner.state.teardown(slot);
+                    self.stats.departed += 1;
+                    // Freed frames may admit a queued tenant: review at
+                    // the same tick (fires later in this same drain, by
+                    // the queue's FIFO same-timestamp guarantee).
+                    self.events.schedule(at, ChurnEvent::AdmissionReview);
+                }
+            }
+            ChurnEvent::AdmissionReview => self.review_admissions(at),
+            ChurnEvent::PeriodicCompaction => {
+                self.compact(at);
+                self.events.schedule(
+                    at + self.cfg.compaction_period,
+                    ChurnEvent::PeriodicCompaction,
+                );
+                self.events.schedule(at, ChurnEvent::AdmissionReview);
+            }
+        }
+    }
+
+    /// Admit `spec` if its whole RSS fits in free frames (both tiers);
+    /// spawns it and schedules its departure. Returns false when it
+    /// does not fit — the caller queues or rejects.
+    fn try_admit(&mut self, spec: &WorkloadSpec, at: Nanos) -> bool {
+        let rss = spec.rss_pages();
+        let free = self.runner.state.machine.free_pages(TierKind::Fast)
+            + self.runner.state.machine.free_pages(TierKind::Slow);
+        if free < rss {
+            return false;
+        }
+        match self.runner.spawn_workload(spec.clone()) {
+            Ok(slot) => {
+                let life = self
+                    .streams
+                    .pareto_lifetime_ns(self.cfg.lifetime_xm.0, self.cfg.lifetime_alpha);
+                self.events
+                    .schedule(at + Nanos(life), ChurnEvent::Departure { slot });
+                true
+            }
+            // The capacity check above makes exhaustion unreachable
+            // (single-threaded engine, no allocation between check and
+            // spawn), and ASID exhaustion needs 65k tenants; degrade to
+            // the queue rather than assert.
+            Err(_) => false,
+        }
+    }
+
+    fn queue_or_reject(&mut self, spec: WorkloadSpec, at: Nanos) {
+        let rss = spec.rss_pages();
+        if self.pending.len() < self.cfg.max_queue {
+            self.runner.state.telemetry.emit(
+                at,
+                Some(&spec.name),
+                EventKind::AdmissionQueued {
+                    rss_pages: rss,
+                    queue_depth: self.pending.len() as u64 + 1,
+                },
+            );
+            self.pending.push_back(Pending { spec, enqueued: at });
+            self.stats.queued += 1;
+        } else {
+            self.runner.state.telemetry.emit(
+                at,
+                Some(&spec.name),
+                EventKind::AdmissionRejected { rss_pages: rss },
+            );
+            self.stats.rejected += 1;
+        }
+    }
+
+    /// Drop timed-out entries, then admit from the head while capacity
+    /// lasts (FIFO: a head that still does not fit blocks the tail).
+    fn review_admissions(&mut self, at: Nanos) {
+        let timeout = self.cfg.queue_timeout;
+        while let Some(front) = self.pending.front() {
+            if at.saturating_sub(front.enqueued) <= timeout {
+                break;
+            }
+            let Pending { spec, .. } = self.pending.pop_front().unwrap_or_else(|| {
+                // front() just returned Some; the queue is engine-local.
+                unreachable!("admission queue emptied between front and pop")
+            });
+            self.runner.state.telemetry.emit(
+                at,
+                Some(&spec.name),
+                EventKind::AdmissionTimedOut {
+                    rss_pages: spec.rss_pages(),
+                },
+            );
+            self.stats.timed_out += 1;
+        }
+        while let Some(front) = self.pending.front() {
+            let spec = front.spec.clone();
+            if !self.try_admit(&spec, at) {
+                break;
+            }
+            self.pending.pop_front();
+            self.stats.admitted_from_queue += 1;
+            // Count the earlier `queued` tally as resolved; `admitted`
+            // stays the direct-admission count.
+        }
+    }
+
+    /// One defragmentation round: evict every live tenant's shadow
+    /// frames (departures leave the slow tier littered with stale
+    /// copies), then refill the fast tier's holes with the globally
+    /// hottest slow-resident pages, daemon-charged.
+    fn compact(&mut self, at: Nanos) {
+        self.stats.compaction_rounds += 1;
+        let live: Vec<usize> = (0..self.runner.state.n_workloads())
+            .filter(|&w| {
+                self.runner.state.workloads[w].started && !self.runner.state.workloads[w].departed
+            })
+            .collect();
+        let mut reclaimed = 0u64;
+        for &w in &live {
+            reclaimed += self.runner.state.reclaim_shadows(w, usize::MAX) as u64;
+        }
+        self.stats.shadows_reclaimed += reclaimed;
+
+        // Globally hottest slow pages, bounded by budget and headroom.
+        let headroom = self.runner.state.fast_free() as usize;
+        let budget = self.cfg.compaction_budget.min(headroom);
+        let mut promoted = 0u64;
+        if budget > 0 {
+            let mut candidates: Vec<(usize, Vpn, f64)> = Vec::new();
+            for &w in &live {
+                let ws = &self.runner.state.workloads[w];
+                for (vpn, s) in ws.heat().iter() {
+                    if ws.process.space.pte(vpn).tier() == Some(TierKind::Slow)
+                        && !ws.async_migrator.is_inflight(vpn)
+                        && s.heat > 0.0
+                    {
+                        candidates.push((w, vpn, s.heat));
+                    }
+                }
+            }
+            candidates.sort_by(|a, b| {
+                b.2.partial_cmp(&a.2)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+                    .then(a.1 .0.cmp(&b.1 .0))
+            });
+            candidates.truncate(budget);
+            // Batch per workload, preserving slot order for determinism.
+            let mut batches: Vec<(usize, Vec<Vpn>)> = Vec::new();
+            for (w, vpn, _) in candidates {
+                match batches.iter_mut().find(|(slot, _)| *slot == w) {
+                    Some((_, pages)) => pages.push(vpn),
+                    None => batches.push((w, vec![vpn])),
+                }
+            }
+            for (w, pages) in batches {
+                let mech = self.runner.state.workloads[w].async_mech;
+                let out = self
+                    .runner
+                    .state
+                    .migrate_background(w, &pages, TierKind::Fast, &mech);
+                promoted += out.moved.len() as u64;
+            }
+        }
+        self.stats.compaction_promoted += promoted;
+        self.runner.state.telemetry.emit(
+            at,
+            None,
+            EventKind::CompactionRound {
+                shadows_reclaimed: reclaimed,
+                pages_promoted: promoted,
+            },
+        );
+    }
+
+    fn record_window(&mut self) {
+        let st = &self.runner.state;
+        let fthrs: Vec<f64> = st
+            .workloads
+            .iter()
+            .filter(|w| w.started && !w.departed)
+            .map(|w| w.stats.fthr)
+            .collect();
+        let active = fthrs.len() as u64;
+        self.stats.peak_active = self.stats.peak_active.max(active);
+        let capacity = st.fast_capacity().max(1) as f64;
+        self.windows.push(WindowSample {
+            t_secs: st.now.as_secs_f64(),
+            active,
+            jain_fthr: jain_index_checked(&fthrs),
+            mean_fthr: if fthrs.is_empty() {
+                None
+            } else {
+                Some(fthrs.iter().sum::<f64>() / fthrs.len() as f64)
+            },
+            fast_util: (capacity - st.fast_free() as f64) / capacity,
+        });
+    }
+
+    /// Retire survivors, audit frame conservation, summarize.
+    pub fn finish(mut self) -> ChurnReport {
+        for w in 0..self.runner.state.n_workloads() {
+            if !self.runner.state.workloads[w].departed {
+                self.runner.state.teardown(w);
+                self.stats.retired_at_end += 1;
+            }
+        }
+        let leaked_fast = self
+            .runner
+            .state
+            .machine
+            .allocator(TierKind::Fast)
+            .used_frames();
+        let leaked_slow = self
+            .runner
+            .state
+            .machine
+            .allocator(TierKind::Slow)
+            .used_frames();
+        ChurnReport {
+            stats: self.stats,
+            windows: self.windows,
+            leaked_fast,
+            leaked_slow,
+            run: self.runner.into_result(),
+        }
+    }
+}

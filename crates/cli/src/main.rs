@@ -9,12 +9,25 @@ vulcan-sim — tiered-memory simulation runner (Vulcan reproduction)
 USAGE:
     vulcan-sim run [OPTIONS] <config.json>   run the config's policy
     vulcan-sim compare <config.json>         run tpp, memtis, nomad and vulcan
+    vulcan-sim churn [OPTIONS]               open-loop tenancy churn run:
+                                             Poisson arrivals, Pareto
+                                             lifetimes, admission control
     vulcan-sim example                       print an example config
     vulcan-sim help                          this text
 
 OPTIONS (run):
     --trace <out.jsonl>   write the structured event trace as JSON lines
     --metrics             print the telemetry summary after the run
+
+OPTIONS (churn):
+    --rate <r>            arrivals per simulated second (default 2.0;
+                          0 degenerates to a static anchor-only run)
+    --duration <ns>       simulated nanoseconds to run, rounded up to
+                          whole 1-second quanta (default 60000000000)
+    --seed <s>            RNG seed for arrivals/lifetimes/templates
+                          (default 42; same seed, same run, bit for bit)
+    --policy <name>       tiering policy (default vulcan)
+    --trace <out.jsonl>   write the structured event trace as JSON lines
 ";
 
 /// A usage or configuration error (exit status 2), as opposed to a
@@ -115,6 +128,175 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     dump_series(&cfg, &res)
 }
 
+struct ChurnArgs {
+    rate: f64,
+    duration_ns: u64,
+    seed: u64,
+    policy: PolicyKind,
+    trace: Option<String>,
+}
+
+fn parse_churn_args(args: &[String]) -> Result<ChurnArgs, CliError> {
+    let mut parsed = ChurnArgs {
+        rate: 2.0,
+        duration_ns: 60_000_000_000,
+        seed: 42,
+        policy: PolicyKind::Vulcan,
+        trace: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--rate" => {
+                parsed.rate = value("--rate")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| r.is_finite() && *r >= 0.0)
+                    .ok_or_else(|| {
+                        CliError::Usage("--rate needs a finite non-negative number".into())
+                    })?;
+            }
+            "--duration" => {
+                parsed.duration_ns = value("--duration")?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|d| *d > 0)
+                    .ok_or_else(|| {
+                        CliError::Usage("--duration needs a positive nanosecond count".into())
+                    })?;
+            }
+            "--seed" => {
+                parsed.seed = value("--seed")?
+                    .parse::<u64>()
+                    .map_err(|_| CliError::Usage("--seed needs an unsigned integer".into()))?;
+            }
+            "--policy" => {
+                parsed.policy = value("--policy")?
+                    .parse::<PolicyKind>()
+                    .map_err(|e| CliError::Usage(e.to_string()))?;
+            }
+            "--trace" => parsed.trace = Some(value("--trace")?),
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option '{flag}'")));
+            }
+            extra => {
+                return Err(CliError::Usage(format!("unexpected argument '{extra}'")));
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+/// The churn anchors: one latency-critical and one best-effort tenant
+/// that never depart, so every window has live residents to be fair to
+/// while the open-loop tenants arrive and leave around them.
+fn churn_anchors() -> Vec<vulcan::prelude::WorkloadSpec> {
+    use vulcan::prelude::*;
+    let mut lc = microbench(
+        "anchor-lc",
+        MicroConfig {
+            rss_pages: 512,
+            wss_pages: 128,
+            read_ratio: 0.9,
+            ..Default::default()
+        },
+        2,
+    )
+    .preallocated(TierKind::Slow);
+    lc.class = WorkloadClass::LatencyCritical;
+    let be = microbench(
+        "anchor-be",
+        MicroConfig {
+            rss_pages: 512,
+            wss_pages: 256,
+            ..Default::default()
+        },
+        2,
+    )
+    .preallocated(TierKind::Slow);
+    vec![lc, be]
+}
+
+fn cmd_churn(args: &[String]) -> Result<(), CliError> {
+    use vulcan::prelude::*;
+    let a = parse_churn_args(args)?;
+    let telemetry = if a.trace.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let n_quanta = a.duration_ns.div_ceil(1_000_000_000);
+    let kind = a.policy;
+    let runner = SimRunner::builder()
+        .machine(MachineSpec::small(2_048, 32_768, 8))
+        .workloads(churn_anchors())
+        .profiler_factory(move |_| kind.profiler())
+        .policy(kind.make())
+        .config(SimConfig {
+            n_quanta: 0, // the engine owns stepping
+            seed: a.seed,
+            quantum_active: Nanos::millis(1),
+            telemetry: telemetry.clone(),
+            ..Default::default()
+        })
+        .build();
+    let cfg = vulcan_churn::ChurnConfig {
+        arrival_rate_per_sec: a.rate,
+        n_quanta,
+        ..vulcan_churn::ChurnConfig::default()
+    };
+    let engine =
+        vulcan_churn::ChurnEngine::new(runner, a.seed, cfg, vulcan_churn::Catalog::default_mix());
+    let rep = engine.run();
+
+    let s = &rep.stats;
+    println!(
+        "churn: policy={} rate={}/s duration={}s seed={}",
+        rep.run.policy, a.rate, n_quanta, a.seed
+    );
+    println!(
+        "  arrivals={} admitted={} (+{} from queue) queued={} rejected={} timed_out={}",
+        s.arrivals, s.admitted, s.admitted_from_queue, s.queued, s.rejected, s.timed_out
+    );
+    println!(
+        "  departed={} retired_at_end={} peak_active={} compaction_rounds={} promoted={}",
+        s.departed, s.retired_at_end, s.peak_active, s.compaction_rounds, s.compaction_promoted
+    );
+    println!(
+        "  windowed_jain={} windowed_fthr={} p99_latency_ns={}",
+        rep.mean_windowed_jain()
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|| "-".into()),
+        rep.mean_windowed_fthr()
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|| "-".into()),
+        rep.p99_latency_ns()
+            .map(|v| format!("{v:.0}"))
+            .unwrap_or_else(|| "-".into()),
+    );
+    if rep.leaked_fast != 0 || rep.leaked_slow != 0 {
+        return Err(CliError::Runtime(format!(
+            "frame-conservation violation: fast={} slow={} frames leaked",
+            rep.leaked_fast, rep.leaked_slow
+        )));
+    }
+    println!(
+        "  frames conserved: fast=0 slow=0 after {} teardowns",
+        s.retired()
+    );
+    if let Some(path) = &a.trace {
+        std::fs::write(path, telemetry.events_jsonl())
+            .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+        println!("[trace written to {path}]");
+    }
+    Ok(())
+}
+
 fn cmd_compare(args: &[String]) -> Result<(), CliError> {
     let path = args
         .first()
@@ -133,6 +315,7 @@ fn main() {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("churn") => cmd_churn(&args[1..]),
         Some("example") => {
             println!("{}", ExperimentConfig::example());
             Ok(())

@@ -80,6 +80,19 @@ impl Cbfrp {
         &self.credits
     }
 
+    /// Extend the ledger to `n` workloads (no-op if it already covers
+    /// them). Newcomers start at zero credits and zero prior allocation
+    /// — the same state a fresh [`Cbfrp::new`] would give them — so the
+    /// zero-sum credit invariant is preserved and existing balances are
+    /// untouched. Departed workloads keep their slots: indices must stay
+    /// stable for the runtime's slot-addressed bookkeeping.
+    pub fn grow_to(&mut self, n: usize) {
+        if n > self.credits.len() {
+            self.credits.resize(n, 0);
+            self.prev_alloc.resize(n, 0);
+        }
+    }
+
     /// Run one round of Algorithm 1.
     ///
     /// `demands` are the equation-3 demands in pages; `classes` the
@@ -345,6 +358,29 @@ mod tests {
             let sum: i64 = c.credits().iter().sum();
             assert_eq!(sum, 0, "credit transfers are zero-sum");
         }
+    }
+
+    #[test]
+    fn grow_to_preserves_ledger_and_zero_sum() {
+        let mut c = Cbfrp::new(2, 8);
+        c.partition(&[1500, 200], &[LC, BE], &[true, true], 1000);
+        let before = c.credits().to_vec();
+        c.grow_to(4);
+        assert_eq!(&c.credits()[..2], &before[..], "old balances intact");
+        assert_eq!(&c.credits()[2..], &[0, 0], "newcomers start at zero");
+        assert_eq!(c.credits().iter().sum::<i64>(), 0, "still zero-sum");
+        // The grown ledger partitions over all four without panicking.
+        let p = c.partition(
+            &[1500, 200, 800, 0],
+            &[LC, BE, BE, BE],
+            &[true, true, true, false],
+            1000,
+        );
+        assert_eq!(p.alloc.len(), 4);
+        assert_eq!(p.alloc[3], 0, "inactive newcomer gets nothing");
+        // Shrinking is refused: slots are never reused.
+        c.grow_to(1);
+        assert_eq!(c.credits().len(), 4);
     }
 
     #[test]

@@ -41,6 +41,18 @@ impl Classifier {
         }
     }
 
+    /// Extend to `n` workloads (no-op if already covering them). A
+    /// tenant admitted mid-run starts exactly like a fresh slot: zero
+    /// duty history, the safe BE default, and a full warm-up before its
+    /// verdict can flip.
+    pub fn grow_to(&mut self, n: usize) {
+        if n > self.verdict.len() {
+            self.duty_ema.resize(n, 0.0);
+            self.verdict.resize(n, ServiceClass::BestEffort);
+            self.warm.resize(n, 0);
+        }
+    }
+
     /// Feed one quantum's duty cycle for workload `i`.
     pub fn observe(&mut self, i: usize, memory_duty: f64) {
         debug_assert!((0.0..=1.0 + 1e-9).contains(&memory_duty));
@@ -126,6 +138,24 @@ mod tests {
             c.observe(0, 0.95);
         }
         assert_eq!(c.class(0), BE);
+    }
+
+    #[test]
+    fn grow_to_gives_newcomers_a_fresh_warmup() {
+        let mut c = Classifier::new(1);
+        for _ in 0..10 {
+            c.observe(0, 0.15);
+        }
+        assert_eq!(c.class(0), LC);
+        c.grow_to(2);
+        assert_eq!(c.class(0), LC, "existing verdict untouched");
+        assert_eq!(c.class(1), BE, "newcomer starts at the safe default");
+        c.observe(1, 0.1);
+        assert_eq!(c.class(1), BE, "newcomer warms up from scratch");
+        for _ in 0..10 {
+            c.observe(1, 0.1);
+        }
+        assert_eq!(c.class(1), LC);
     }
 
     #[test]

@@ -217,6 +217,21 @@ impl VulcanPolicy {
             self.queues = (0..n).map(|_| PromotionQueues::new()).collect();
             // Everyone starts as BE (the classifier's safe default).
             self.last_classes = vec![ServiceClass::BestEffort; n];
+            return;
+        }
+        // Workloads admitted mid-run (churn): extend every per-workload
+        // structure in place. Existing ledgers, verdicts and queues are
+        // untouched — a late tenant joins with zero credits, the BE
+        // default and empty promotion queues, exactly as at a fresh init.
+        if n > self.queues.len() {
+            if let Some(cbfrp) = &mut self.cbfrp {
+                cbfrp.grow_to(n);
+            }
+            if let Some(classifier) = &mut self.classifier {
+                classifier.grow_to(n);
+            }
+            self.queues.resize_with(n, PromotionQueues::new);
+            self.last_classes.resize(n, ServiceClass::BestEffort);
         }
     }
 

@@ -38,6 +38,27 @@ pub fn jain_index(xs: &[f64]) -> f64 {
     (sum * sum) / (n as f64 * sumsq)
 }
 
+/// [`jain_index`] that distinguishes "fairness is undefined" from
+/// "perfectly fair": returns `None` for an empty slice instead of the
+/// vacuous 1.0.
+///
+/// Windowed fairness under churn needs the distinction — a quantum with
+/// zero active tenants has no fairness to report, and folding a 1.0 into
+/// a per-window mean would bias every churny cell toward "fair". Same
+/// release-mode input validation as [`jain_index`].
+///
+/// ```
+/// use vulcan_metrics::jain_index_checked;
+/// assert_eq!(jain_index_checked(&[]), None);
+/// assert_eq!(jain_index_checked(&[5.0, 5.0]), Some(1.0));
+/// ```
+pub fn jain_index_checked(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(jain_index(xs))
+}
+
 /// Accumulator for the FTHR-weighted Cumulative Fairness Index.
 #[derive(Clone, Debug, Default)]
 pub struct CfiAccumulator {
@@ -49,10 +70,24 @@ pub struct CfiAccumulator {
 
 impl CfiAccumulator {
     /// Accumulator for `n` workloads.
+    ///
+    /// `n = 0` is a valid (empty) window: with no workloads there is no
+    /// unfairness to measure, so [`CfiAccumulator::cfi`] reports the same
+    /// vacuous 1.0 as [`jain_index`] on an empty slice.
     pub fn new(n: usize) -> Self {
         CfiAccumulator {
             x: vec![0.0; n],
             samples: 0,
+        }
+    }
+
+    /// Grow the accumulator to track `n` workloads (no-op if it already
+    /// does). Late arrivals join with zero cumulative allocation `X_i` —
+    /// the paper's equation 4 sums from each workload's own arrival, so a
+    /// tenant admitted mid-run starts its ledger at the moment it exists.
+    pub fn grow_to(&mut self, n: usize) {
+        if n > self.x.len() {
+            self.x.resize(n, 0.0);
         }
     }
 
@@ -125,6 +160,44 @@ mod tests {
         assert_eq!(jain_index(&[]), 1.0);
         assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
         assert_eq!(jain_index(&[7.0]), 1.0);
+    }
+
+    #[test]
+    fn checked_variant_refuses_empty_windows() {
+        assert_eq!(jain_index_checked(&[]), None);
+        assert_eq!(jain_index_checked(&[0.0, 0.0]), Some(1.0));
+        assert_eq!(jain_index_checked(&[9.0, 0.0, 0.0]), Some(1.0 / 3.0));
+        // Never NaN: the empty window that would be 0/0 is None instead.
+        assert!(jain_index_checked(&[]).is_none_or(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation[0] = NaN, must be finite and >= 0")]
+    fn checked_variant_pins_the_validation_message() {
+        jain_index_checked(&[f64::NAN]);
+    }
+
+    #[test]
+    fn empty_window_accumulator_is_vacuously_fair() {
+        let mut acc = CfiAccumulator::new(0);
+        assert_eq!(acc.cfi(), 1.0, "no workloads: nothing can be unfair");
+        acc.record(&[], &[]);
+        assert_eq!(acc.samples(), 1);
+        assert_eq!(acc.cfi(), 1.0);
+        assert!(acc.cumulative().is_empty());
+    }
+
+    #[test]
+    fn grow_to_adds_late_arrivals_with_zero_ledger() {
+        let mut acc = CfiAccumulator::new(1);
+        acc.record(&[10.0], &[1.0]);
+        acc.grow_to(2);
+        assert_eq!(acc.cumulative(), &[10.0, 0.0]);
+        acc.record(&[10.0, 10.0], &[1.0, 1.0]);
+        assert_eq!(acc.cumulative(), &[20.0, 10.0]);
+        // Shrinking is refused silently: indices must stay stable.
+        acc.grow_to(1);
+        assert_eq!(acc.cumulative().len(), 2);
     }
 
     #[test]

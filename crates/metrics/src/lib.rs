@@ -12,7 +12,7 @@ pub mod report;
 pub mod series;
 pub mod stats;
 
-pub use fairness::{jain_index, CfiAccumulator};
+pub use fairness::{jain_index, jain_index_checked, CfiAccumulator};
 pub use report::{f1, f3, pm, Table};
 pub use series::{SeriesSet, TimeSeries};
 pub use stats::{mean_ci95, percentile, OnlineStats};

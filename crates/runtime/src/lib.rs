@@ -22,4 +22,4 @@ pub use policy::{StaticPlacement, TieringPolicy, UniformPartition};
 pub use runner::{
     hot_page_ratio, RunResult, SimConfig, SimRunner, SimRunnerBuilder, WorkloadResult,
 };
-pub use state::{SystemState, WorkloadState, WorkloadStats, FTHR_ALPHA};
+pub use state::{SpawnError, SystemState, WorkloadState, WorkloadStats, FTHR_ALPHA};

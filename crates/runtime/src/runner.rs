@@ -136,6 +136,9 @@ pub struct SimRunner {
     pub state: SystemState,
     policy: Box<dyn TieringPolicy>,
     cfg: SimConfig,
+    // Kept past construction so workloads admitted mid-run (churn) get
+    // profilers from the same factory as construction-time specs.
+    profiler_factory: BoxedProfilerFactory,
     series: SeriesSet,
     cfi: CfiAccumulator,
     thr_stats: Vec<OnlineStats>,
@@ -275,11 +278,11 @@ impl SimRunnerBuilder<Set, Set, Set> {
     // prove both options are Some — this method only exists on
     // `SimRunnerBuilder<Set, Set, Set>`.
     #[allow(clippy::expect_used)]
-    pub fn build(mut self) -> SimRunner {
+    pub fn build(self) -> SimRunner {
         SimRunner::construct(
             self.machine.expect("machine is Set"),
             self.specs,
-            &mut self.profiler_factory,
+            self.profiler_factory,
             self.policy.expect("policy is Set"),
             self.cfg,
         )
@@ -305,7 +308,7 @@ impl SimRunner {
     fn construct(
         machine_spec: MachineSpec,
         specs: Vec<WorkloadSpec>,
-        make_profiler: &mut dyn FnMut(&WorkloadSpec) -> AnyProfiler,
+        mut make_profiler: BoxedProfilerFactory,
         policy: Box<dyn TieringPolicy>,
         cfg: SimConfig,
     ) -> SimRunner {
@@ -313,7 +316,7 @@ impl SimRunner {
         let mut state = SystemState::new(
             Machine::new(machine_spec),
             specs,
-            make_profiler,
+            &mut make_profiler,
             cfg.replication,
             cfg.seed,
         );
@@ -344,6 +347,7 @@ impl SimRunner {
             state,
             policy,
             cfg,
+            profiler_factory: make_profiler,
             series: SeriesSet::new(),
             cfi: CfiAccumulator::new(n),
             thr_stats: vec![OnlineStats::new(); n],
@@ -361,6 +365,29 @@ impl SimRunner {
             fault_recovered,
             published_faults: FaultStats::default(),
         }
+    }
+
+    /// Admit a workload mid-run (open-loop churn): builds its profiler
+    /// from the configured factory, spawns it via
+    /// [`SystemState::spawn_workload`], and extends every per-workload
+    /// accumulator so summaries stay index-aligned. Static runs never
+    /// call this, so their results are byte-identical to before the
+    /// churn subsystem existed.
+    pub fn spawn_workload(&mut self, spec: WorkloadSpec) -> Result<usize, crate::SpawnError> {
+        let profiler = (self.profiler_factory)(&spec);
+        let i = self.state.spawn_workload(spec, profiler)?;
+        for stats in [
+            &mut self.thr_stats,
+            &mut self.lat_stats,
+            &mut self.fthr_stats,
+            &mut self.hot_stats,
+            &mut self.rbw_stats,
+            &mut self.wbw_stats,
+        ] {
+            stats.push(OnlineStats::new());
+        }
+        self.cfi.grow_to(self.state.n_workloads());
+        Ok(i)
     }
 
     /// Run all configured quanta and summarize.

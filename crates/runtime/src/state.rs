@@ -5,7 +5,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use vulcan_migrate::{migrate_sync, AsyncMigrator, MechanismConfig, ShadowRegistry, SyncOutcome};
 use vulcan_profile::{AnyProfiler, HeatMap};
-use vulcan_sim::{Cycles, Machine, Nanos, SimThreadId, TierKind};
+use vulcan_sim::{Cycles, FrameId, Machine, Nanos, SimThreadId, TierKind};
 use vulcan_telemetry::{EventKind, Telemetry};
 use vulcan_vm::{Asid, Process, TlbArray, Vpn};
 use vulcan_workloads::{AccessGen, WorkloadClass, WorkloadSpec};
@@ -176,6 +176,33 @@ impl WorkloadState {
     }
 }
 
+/// Why a mid-run [`SystemState::spawn_workload`] was refused. The caller
+/// (an admission controller, a test) decides whether to queue, reject or
+/// retry; nothing in the existing state is modified on failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpawnError {
+    /// Every 16-bit ASID is in use (workload slots are never reused).
+    AsidExhausted,
+    /// Preallocation could not find frames in either tier.
+    OutOfMemory {
+        /// Pages still unplaced when both tiers ran dry.
+        missing_pages: u64,
+    },
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::AsidExhausted => write!(f, "no free ASID for new workload"),
+            SpawnError::OutOfMemory { missing_pages } => {
+                write!(f, "prealloc failed: {missing_pages} pages short of RSS")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
 /// The complete mutable simulation state handed to policies each quantum.
 pub struct SystemState {
     /// The simulated machine.
@@ -194,6 +221,13 @@ pub struct SystemState {
     /// Telemetry sink (disabled by default; the runner installs the
     /// configured handle). Recording never affects simulation results.
     pub telemetry: Telemetry,
+    // Spawn bookkeeping, carried past construction so workloads admitted
+    // mid-run (the churn engine) follow the exact same thread-numbering,
+    // core-rotation and RNG-seeding recipe as construction-time specs.
+    pub(crate) replication: bool,
+    pub(crate) base_seed: u64,
+    pub(crate) next_sim_tid: u32,
+    pub(crate) next_core: u16,
 }
 
 impl SystemState {
@@ -278,7 +312,114 @@ impl SystemState {
             quantum_index: 0,
             quantum_active: Nanos::millis(2),
             telemetry: Telemetry::disabled(),
+            replication,
+            base_seed: seed,
+            next_sim_tid,
+            next_core,
         }
+    }
+
+    /// Admit a new workload mid-run (open-loop churn). Follows the exact
+    /// construction recipe — next ASID, sequential sim-thread IDs, the
+    /// rotating core range, per-thread RNG seeds derived from the run
+    /// seed and the workload's slot index — so a tenant admitted at
+    /// quantum *q* is indistinguishable from one constructed with
+    /// `start = q`'s instant. Returns the new workload's slot index.
+    ///
+    /// Preallocation (when `spec.prealloc` is set) is performed *before*
+    /// any other state mutates and is never subject to fault injection,
+    /// matching construction-time placement; on failure every frame
+    /// taken so far is returned and the state is untouched.
+    ///
+    /// The workload starts immediately if `spec.start <= now`; otherwise
+    /// the runner's staggered-arrival path starts it on time.
+    pub fn spawn_workload(
+        &mut self,
+        spec: WorkloadSpec,
+        profiler: AnyProfiler,
+    ) -> Result<usize, SpawnError> {
+        let i = self.workloads.len();
+        let Ok(asid) = u16::try_from(i + 1) else {
+            return Err(SpawnError::AsidExhausted);
+        };
+
+        // Phase 1 (fallible): place the RSS. Collect frames first so a
+        // mid-prealloc exhaustion unwinds cleanly.
+        let mut prealloc_frames: Vec<FrameId> = Vec::new();
+        if let Some(tier) = spec.prealloc {
+            let rss = spec.rss_pages();
+            for done in 0..rss {
+                match self.machine.alloc_with_fallback_uninjected(tier) {
+                    Ok(f) => prealloc_frames.push(f),
+                    Err(_) => {
+                        for f in prealloc_frames {
+                            self.machine.free(f);
+                        }
+                        return Err(SpawnError::OutOfMemory {
+                            missing_pages: rss - done,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Phase 2 (infallible): threads, cores, page tables, profiler.
+        let mut process = Process::new(Asid(asid), self.replication);
+        let mut sim_ids = Vec::new();
+        for _ in 0..spec.n_threads {
+            let sim_id = SimThreadId(self.next_sim_tid);
+            self.next_sim_tid += 1;
+            process.spawn_thread(sim_id);
+            sim_ids.push(sim_id);
+        }
+        let n_cores = self.machine.topology.n_cores();
+        let span = u16::try_from(spec.n_threads)
+            .unwrap_or(u16::MAX)
+            .min(n_cores);
+        let lo = self.next_core % n_cores;
+        let hi = (lo + span).min(n_cores);
+        self.machine.topology.pin_range(&sim_ids, lo, hi);
+        self.next_core = hi % n_cores;
+
+        for (v, frame) in prealloc_frames.into_iter().enumerate() {
+            process
+                .space
+                .map(Vpn(v as u64), frame, vulcan_vm::LocalTid(0));
+        }
+
+        let mut profiler = profiler;
+        profiler.heat_mut().reserve(spec.rss_pages());
+        let rngs = (0..spec.n_threads)
+            .map(|t| SmallRng::seed_from_u64(self.base_seed ^ ((i as u64) << 32) ^ t as u64))
+            .collect();
+        let gen = spec.build();
+        let started = spec.start <= self.now;
+        if started {
+            self.telemetry.emit(
+                self.now,
+                Some(&spec.name),
+                EventKind::WorkloadArrival {
+                    rss_pages: spec.rss_pages(),
+                },
+            );
+        }
+        self.workloads.push(WorkloadState {
+            process,
+            profiler,
+            shadows: ShadowRegistry::new(),
+            async_migrator: AsyncMigrator::new(),
+            quota: None,
+            async_mech: MechanismConfig::linux_baseline(),
+            stats: WorkloadStats::default(),
+            started,
+            departed: false,
+            gen,
+            rngs,
+            pending_stall: Nanos::ZERO,
+            spec,
+        });
+        self.recount_fast(i);
+        Ok(i)
     }
 
     /// Number of workloads.

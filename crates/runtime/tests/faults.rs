@@ -226,3 +226,131 @@ fn runner_driven_departure_with_faults_conserves_frames() {
     assert!(r.state.workloads[1].stats.ops_total > 0);
     assert_frames_conserved(&mut r.state);
 }
+
+/// ISSUE 6 satellite: a tenant arriving in the same quantum another
+/// departs (the churn engine's departure → same-tick admission path).
+/// The spawn must reuse the freed capacity, leave the survivor's
+/// statistics untouched at the spawn instant, and conserve frames.
+#[test]
+fn arrival_during_departure_quantum_conserves_frames_and_survivor_stats() {
+    let specs = vec![
+        micro_spec("dep", 1_024, 128).preallocated(TierKind::Slow),
+        micro_spec("stay", 1_024, 128).preallocated(TierKind::Slow),
+    ];
+    let mut r = runner(
+        MachineSpec::small(1_024, 2_048, 8),
+        specs,
+        Box::new(AsyncPromoter),
+        SimConfig {
+            quantum_active: Nanos::micros(200),
+            n_quanta: 0,
+            ..Default::default()
+        },
+    );
+    for _ in 0..2 {
+        r.run_quantum();
+    }
+
+    // Departure and arrival inside one quantum boundary, like the churn
+    // engine's event drain: teardown frees 1024 slow frames, and the
+    // arriving tenant's prealloc takes them back.
+    let free_before =
+        r.state.machine.free_pages(TierKind::Fast) + r.state.machine.free_pages(TierKind::Slow);
+    r.state.teardown(0);
+    let survivor_ops = r.state.workloads[1].stats.ops_total;
+    let survivor_stalls = r.state.workloads[1].stats.stall_cycles;
+    let slot = r
+        .spawn_workload(micro_spec("newcomer", 1_024, 128).preallocated(TierKind::Slow))
+        .expect("freed capacity admits the newcomer");
+    assert_eq!(slot, 2, "slots are append-only, never reused");
+    assert_eq!(
+        r.state.workloads[1].stats.ops_total, survivor_ops,
+        "spawning does not execute the survivor"
+    );
+    assert_eq!(
+        r.state.workloads[1].stats.stall_cycles, survivor_stalls,
+        "spawning charges the survivor nothing"
+    );
+    let free_after =
+        r.state.machine.free_pages(TierKind::Fast) + r.state.machine.free_pages(TierKind::Slow);
+    // Not exactly frame-neutral: the departing tenant also frees the
+    // shadow frames its async promotions left behind, so the machine
+    // can only come out ahead.
+    assert!(
+        free_after >= free_before,
+        "departure + equal-RSS arrival must not consume extra frames \
+         ({free_before} free before, {free_after} after)"
+    );
+
+    // Everyone alive makes progress; the departed slot stays down.
+    r.run_quantum();
+    assert!(r.state.workloads[1].stats.ops_total > survivor_ops);
+    assert!(r.state.workloads[2].stats.ops_total > 0);
+    assert!(r.state.workloads[0].departed);
+    assert_frames_conserved(&mut r.state);
+}
+
+/// ISSUE 6 satellite: an admission that must *wait* for a departure
+/// (the churn engine's bounded queue). The spawn fails cleanly while the
+/// machine is full — leaking nothing, touching no survivor state — and
+/// succeeds after the departure frees capacity.
+#[test]
+fn departure_with_queued_admission_spawns_cleanly_after_capacity_frees() {
+    let specs = vec![
+        micro_spec("dep", 1_024, 128).preallocated(TierKind::Slow),
+        micro_spec("stay", 1_024, 128).preallocated(TierKind::Slow),
+    ];
+    let mut r = runner(
+        MachineSpec::small(1_024, 1_536, 8),
+        specs,
+        Box::new(StaticPlacement),
+        SimConfig {
+            quantum_active: Nanos::micros(200),
+            n_quanta: 0,
+            ..Default::default()
+        },
+    );
+    r.run_quantum();
+
+    // 2048 of 2560 frames preallocated: a 1024-page newcomer cannot be
+    // admitted yet. The failed spawn must be a clean no-op.
+    let used_fast = r.state.machine.allocator(TierKind::Fast).used_frames();
+    let used_slow = r.state.machine.allocator(TierKind::Slow).used_frames();
+    let survivor_ops = r.state.workloads[1].stats.ops_total;
+    let err = r
+        .spawn_workload(micro_spec("queued", 1_024, 128).preallocated(TierKind::Slow))
+        .expect_err("machine is full");
+    assert!(matches!(
+        err,
+        vulcan_runtime::SpawnError::OutOfMemory { missing_pages } if missing_pages > 0
+    ));
+    assert_eq!(r.state.n_workloads(), 2, "failed spawn leaves no slot");
+    assert_eq!(
+        r.state.machine.allocator(TierKind::Fast).used_frames(),
+        used_fast,
+        "failed spawn leaks no fast frame"
+    );
+    assert_eq!(
+        r.state.machine.allocator(TierKind::Slow).used_frames(),
+        used_slow,
+        "failed spawn leaks no slow frame"
+    );
+    assert_eq!(r.state.workloads[1].stats.ops_total, survivor_ops);
+
+    // The departure frees capacity; the queued admission now lands.
+    r.state.teardown(0);
+    let slot = r
+        .spawn_workload(micro_spec("queued", 1_024, 128).preallocated(TierKind::Slow))
+        .expect("departure freed enough frames");
+    assert_eq!(slot, 2);
+    r.run_quantum();
+    assert!(
+        r.state.workloads[2].stats.ops_total > 0,
+        "admitted tenant runs"
+    );
+    assert!(
+        r.state.workloads[1].stats.ops_total > survivor_ops,
+        "survivor statistics advance untouched by the churn around it"
+    );
+    assert_frames_conserved(&mut r.state);
+}

@@ -30,6 +30,18 @@ impl<E: Eq> PartialOrd for Scheduled<E> {
 }
 
 /// A deterministic min-heap of timestamped events.
+///
+/// **Same-timestamp guarantee:** events scheduled at the same instant
+/// fire in insertion order (FIFO), not in `BinaryHeap` sibling order.
+/// Every entry carries a monotonically increasing sequence number that
+/// breaks timestamp ties, and the counter survives pops, so the
+/// guarantee holds across arbitrary interleavings of [`schedule`] and
+/// [`pop_due`]. Consumers like the churn engine schedule many events at
+/// identical nanosecond ticks (a departure and the admission review it
+/// triggers) and rely on this ordering being stable run-to-run.
+///
+/// [`schedule`]: EventQueue::schedule
+/// [`pop_due`]: EventQueue::pop_due
 #[derive(Clone, Debug, Default)]
 pub struct EventQueue<E: Eq> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
@@ -45,7 +57,8 @@ impl<E: Eq> EventQueue<E> {
         }
     }
 
-    /// Schedule `payload` to fire at instant `at`.
+    /// Schedule `payload` to fire at instant `at`. Events scheduled at
+    /// the same instant fire in the order they were scheduled.
     pub fn schedule(&mut self, at: Nanos, payload: E) {
         let seq = self.seq;
         self.seq += 1;
@@ -113,6 +126,38 @@ mod tests {
         q.schedule(Nanos(10), 3);
         let fired: Vec<_> = q.drain_due(Nanos(10)).into_iter().map(|(_, e)| e).collect();
         assert_eq!(fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn large_tie_batches_preserve_insertion_order() {
+        // Enough ties that any heap-internal ordering (sibling order,
+        // sift-up paths) would scramble a naive implementation.
+        let mut q = EventQueue::new();
+        for i in 0..1000 {
+            q.schedule(Nanos(42), i);
+        }
+        let fired: Vec<u64> = q.drain_due(Nanos(42)).into_iter().map(|(_, e)| e).collect();
+        assert_eq!(fired, (0..1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn ties_survive_interleaved_schedule_and_pop() {
+        // The sequence counter must not reset or collide after pops:
+        // a churn departure popped at tick T schedules its admission
+        // review back at the same tick T, and the review must fire after
+        // every event that was already queued for T.
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(10), "departure");
+        q.schedule(Nanos(10), "compaction");
+        assert_eq!(q.pop_due(Nanos(10)), Some((Nanos(10), "departure")));
+        q.schedule(Nanos(10), "admission-review");
+        q.schedule(Nanos(5), "late-but-earlier");
+        let fired: Vec<&str> = q.drain_due(Nanos(10)).into_iter().map(|(_, e)| e).collect();
+        assert_eq!(
+            fired,
+            vec!["late-but-earlier", "compaction", "admission-review"],
+            "time first, then FIFO among same-tick events, across pops"
+        );
     }
 
     #[test]

@@ -91,6 +91,30 @@ pub enum EventKind {
         /// Pages freshly poisoned for hinting faults this epoch.
         pages_poisoned: u64,
     },
+    /// An arriving tenant could not be admitted and was queued.
+    AdmissionQueued {
+        /// Resident set size of the waiting tenant, in pages.
+        rss_pages: u64,
+        /// Depth of the admission queue after enqueueing.
+        queue_depth: u64,
+    },
+    /// An arriving tenant was rejected (queue full or RSS unplaceable).
+    AdmissionRejected {
+        /// Resident set size of the rejected tenant, in pages.
+        rss_pages: u64,
+    },
+    /// A queued tenant waited past the admission timeout and was dropped.
+    AdmissionTimedOut {
+        /// Resident set size of the dropped tenant, in pages.
+        rss_pages: u64,
+    },
+    /// One periodic compaction round completed (churn engine).
+    CompactionRound {
+        /// Shadow frames reclaimed across all live tenants.
+        shadows_reclaimed: u64,
+        /// Hot slow pages promoted into the freed fast headroom.
+        pages_promoted: u64,
+    },
 }
 
 impl EventKind {
@@ -111,6 +135,10 @@ impl EventKind {
             EventKind::Reclassified { .. } => "reclassified",
             EventKind::CbfrpRound { .. } => "cbfrp_round",
             EventKind::ProfilerScan { .. } => "profiler_scan",
+            EventKind::AdmissionQueued { .. } => "admission_queued",
+            EventKind::AdmissionRejected { .. } => "admission_rejected",
+            EventKind::AdmissionTimedOut { .. } => "admission_timed_out",
+            EventKind::CompactionRound { .. } => "compaction_round",
         }
     }
 
@@ -133,6 +161,20 @@ impl EventKind {
                 m.with("gfmc_pages", *gfmc_pages).with("active", *active)
             }
             EventKind::ProfilerScan { pages_poisoned } => m.with("pages_poisoned", *pages_poisoned),
+            EventKind::AdmissionQueued {
+                rss_pages,
+                queue_depth,
+            } => m
+                .with("rss_pages", *rss_pages)
+                .with("queue_depth", *queue_depth),
+            EventKind::AdmissionRejected { rss_pages }
+            | EventKind::AdmissionTimedOut { rss_pages } => m.with("rss_pages", *rss_pages),
+            EventKind::CompactionRound {
+                shadows_reclaimed,
+                pages_promoted,
+            } => m
+                .with("shadows_reclaimed", *shadows_reclaimed)
+                .with("pages_promoted", *pages_promoted),
         }
     }
 }
@@ -181,6 +223,16 @@ mod tests {
                 active: 1,
             },
             EventKind::ProfilerScan { pages_poisoned: 1 },
+            EventKind::AdmissionQueued {
+                rss_pages: 1,
+                queue_depth: 1,
+            },
+            EventKind::AdmissionRejected { rss_pages: 1 },
+            EventKind::AdmissionTimedOut { rss_pages: 1 },
+            EventKind::CompactionRound {
+                shadows_reclaimed: 1,
+                pages_promoted: 1,
+            },
         ];
         let names: std::collections::BTreeSet<&str> = kinds.iter().map(EventKind::name).collect();
         assert_eq!(names.len(), kinds.len());
