@@ -118,3 +118,55 @@ fn hot_path_grids_are_run_to_run_deterministic() {
         );
     }
 }
+
+#[test]
+fn suite_artifacts_are_byte_identical_across_shard_counts() {
+    // The intra-cell analogue of the thread-count contract (ISSUE 7):
+    // `--shards` splits one cell's sweep across core-disjoint worker
+    // threads with a deterministic quantum-boundary merge, so a quick
+    // fig10 grid must render byte-identical artifact JSON at 1 and 4
+    // shards.
+    let opts = SuiteOpts {
+        trials: 1,
+        quanta_cap: Some(10),
+    };
+    pool::set_num_threads(1);
+    let baseline = fig10_grid(&opts);
+    let seeds: Vec<u64> = baseline.cells.iter().map(|c| c.seed).collect();
+    let a = artifact_rows(&baseline.run(), &seeds);
+
+    let mut sharded = fig10_grid(&opts);
+    for cell in &mut sharded.cells {
+        cell.shards = 4;
+    }
+    let b = artifact_rows(&sharded.run(), &seeds);
+
+    let ja = Value::Array(a).to_json_pretty();
+    let jb = Value::Array(b).to_json_pretty();
+    assert!(!ja.is_empty());
+    assert_eq!(ja, jb, "artifacts differ between --shards 1 and 4");
+}
+
+#[test]
+fn churn_rows_are_identical_across_shard_counts() {
+    // The churn sweep steps cells through the typed QuantumOutcome API;
+    // its windowed fairness rows must not move when the quantum sweep
+    // is sharded.
+    use vulcan_bench::churn::{run_churn, ChurnOpts};
+    pool::set_num_threads(2);
+    let base = run_churn(&ChurnOpts::quick());
+    assert!(
+        base.violations.is_empty(),
+        "baseline churn sweep violated its contract: {:?}",
+        base.violations
+    );
+    let sharded = run_churn(&ChurnOpts::quick().with_shards(4));
+    assert!(
+        sharded.violations.is_empty(),
+        "sharded churn sweep violated its contract: {:?}",
+        sharded.violations
+    );
+    let ja = Value::Array(base.rows).to_json_pretty();
+    let jb = Value::Array(sharded.rows).to_json_pretty();
+    assert_eq!(ja, jb, "churn rows differ between --shards 1 and 4");
+}

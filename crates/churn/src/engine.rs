@@ -31,7 +31,7 @@ use std::collections::VecDeque;
 use crate::catalog::Catalog;
 use crate::dist::{ChurnStreams, Stream};
 use vulcan_metrics::{jain_index_checked, percentile};
-use vulcan_runtime::{RunResult, SimRunner};
+use vulcan_runtime::{QuantumOutcome, RunResult, SimRunner};
 use vulcan_sim::{EventQueue, Nanos, TierKind};
 use vulcan_telemetry::EventKind;
 use vulcan_vm::Vpn;
@@ -273,14 +273,14 @@ impl ChurnEngine {
 
     /// Run one quantum: drain due events (including same-tick cascades
     /// like departure → admission review), step the runner, sample a
-    /// fairness window.
+    /// fairness window from the quantum's typed outcome.
     pub fn step(&mut self) {
         let now = self.runner.state.now;
         while let Some((at, ev)) = self.events.pop_due(now) {
             self.handle(at, ev);
         }
-        self.runner.run_quantum();
-        self.record_window();
+        let outcome = self.runner.run_quantum();
+        self.record_window(&outcome);
     }
 
     /// Run the configured quanta, retire every surviving tenant, audit
@@ -486,19 +486,18 @@ impl ChurnEngine {
         );
     }
 
-    fn record_window(&mut self) {
-        let st = &self.runner.state;
-        let fthrs: Vec<f64> = st
+    fn record_window(&mut self, outcome: &QuantumOutcome) {
+        let fthrs: Vec<f64> = outcome
             .workloads
             .iter()
-            .filter(|w| w.started && !w.departed)
-            .map(|w| w.stats.fthr)
+            .filter(|w| w.live)
+            .map(|w| w.fthr)
             .collect();
         let active = fthrs.len() as u64;
         self.stats.peak_active = self.stats.peak_active.max(active);
-        let capacity = st.fast_capacity().max(1) as f64;
+        let capacity = outcome.fast_capacity.max(1) as f64;
         self.windows.push(WindowSample {
-            t_secs: st.now.as_secs_f64(),
+            t_secs: outcome.ended_at.as_secs_f64(),
             active,
             jain_fthr: jain_index_checked(&fthrs),
             mean_fthr: if fthrs.is_empty() {
@@ -506,7 +505,7 @@ impl ChurnEngine {
             } else {
                 Some(fthrs.iter().sum::<f64>() / fthrs.len() as f64)
             },
-            fast_util: (capacity - st.fast_free() as f64) / capacity,
+            fast_util: (capacity - outcome.fast_free as f64) / capacity,
         });
     }
 

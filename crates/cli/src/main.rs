@@ -18,6 +18,11 @@ USAGE:
 OPTIONS (run):
     --trace <out.jsonl>   write the structured event trace as JSON lines
     --metrics             print the telemetry summary after the run
+    --shards <n>          shard the quantum sweep across n worker threads
+                          within the cell (default 1 = sequential; results
+                          are byte-identical for any n). Conflicts with
+                          --trace/--metrics: telemetry forces the
+                          sequential path, so combining them is an error.
 
 OPTIONS (churn):
     --rate <r>            arrivals per simulated second (default 2.0;
@@ -28,7 +33,18 @@ OPTIONS (churn):
                           (default 42; same seed, same run, bit for bit)
     --policy <name>       tiering policy (default vulcan)
     --trace <out.jsonl>   write the structured event trace as JSON lines
+    --shards <n>          shard the quantum sweep within the cell
+                          (default 1; conflicts with --trace)
 ";
+
+/// Parse a `--shards` value: a positive integer, 0 and garbage rejected
+/// at config load (exit 2) rather than at run time.
+fn parse_shards_value(v: &str) -> Result<usize, CliError> {
+    v.parse::<usize>()
+        .ok()
+        .filter(|n| *n >= 1)
+        .ok_or_else(|| CliError::Usage("--shards needs an integer >= 1".into()))
+}
 
 /// A usage or configuration error (exit status 2), as opposed to a
 /// runtime failure such as an unwritable output file (exit status 1).
@@ -71,12 +87,14 @@ struct RunArgs {
     config: String,
     trace: Option<String>,
     metrics: bool,
+    shards: Option<usize>,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
     let mut config = None;
     let mut trace = None;
     let mut metrics = false;
+    let mut shards = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -88,6 +106,12 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
                 );
             }
             "--metrics" => metrics = true,
+            "--shards" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--shards needs a value".into()))?;
+                shards = Some(parse_shards_value(v)?);
+            }
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown option '{flag}'")));
             }
@@ -101,12 +125,24 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, CliError> {
         config: config.ok_or_else(|| CliError::Usage("run needs a config path".into()))?,
         trace,
         metrics,
+        shards,
     })
 }
 
 fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let run = parse_run_args(args)?;
-    let cfg = load(&run.config)?;
+    let mut cfg = load(&run.config)?;
+    if let Some(n) = run.shards {
+        cfg.shards = n;
+    }
+    if cfg.shards > 1 && (run.trace.is_some() || run.metrics) {
+        return Err(CliError::Usage(
+            "--shards > 1 conflicts with --trace/--metrics: telemetry \
+             forces the sequential sweep, so the flag would be silently \
+             ignored; drop one of them"
+                .into(),
+        ));
+    }
     let telemetry = if run.trace.is_some() || run.metrics {
         Telemetry::enabled()
     } else {
@@ -134,6 +170,7 @@ struct ChurnArgs {
     seed: u64,
     policy: PolicyKind,
     trace: Option<String>,
+    shards: usize,
 }
 
 fn parse_churn_args(args: &[String]) -> Result<ChurnArgs, CliError> {
@@ -143,6 +180,7 @@ fn parse_churn_args(args: &[String]) -> Result<ChurnArgs, CliError> {
         seed: 42,
         policy: PolicyKind::Vulcan,
         trace: None,
+        shards: 1,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -181,6 +219,7 @@ fn parse_churn_args(args: &[String]) -> Result<ChurnArgs, CliError> {
                     .map_err(|e| CliError::Usage(e.to_string()))?;
             }
             "--trace" => parsed.trace = Some(value("--trace")?),
+            "--shards" => parsed.shards = parse_shards_value(&value("--shards")?)?,
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown option '{flag}'")));
             }
@@ -188,6 +227,14 @@ fn parse_churn_args(args: &[String]) -> Result<ChurnArgs, CliError> {
                 return Err(CliError::Usage(format!("unexpected argument '{extra}'")));
             }
         }
+    }
+    if parsed.shards > 1 && parsed.trace.is_some() {
+        return Err(CliError::Usage(
+            "--shards > 1 conflicts with --trace: telemetry forces the \
+             sequential sweep, so the flag would be silently ignored; \
+             drop one of them"
+                .into(),
+        ));
     }
     Ok(parsed)
 }
@@ -242,6 +289,7 @@ fn cmd_churn(args: &[String]) -> Result<(), CliError> {
             seed: a.seed,
             quantum_active: Nanos::millis(1),
             telemetry: telemetry.clone(),
+            shards: a.shards,
             ..Default::default()
         })
         .build();

@@ -8,11 +8,13 @@
 #![warn(missing_docs)]
 
 pub mod fairness;
+pub mod planes;
 pub mod report;
 pub mod series;
 pub mod stats;
 
 pub use fairness::{jain_index, jain_index_checked, CfiAccumulator};
+pub use planes::{PlaneSample, StatPlanes};
 pub use report::{f1, f3, pm, Table};
 pub use series::{SeriesSet, TimeSeries};
 pub use stats::{mean_ci95, percentile, OnlineStats};

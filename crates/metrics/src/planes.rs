@@ -1,0 +1,155 @@
+//! Per-workload metric planes: the six per-quantum rates every run
+//! accumulates (throughput, latency, FTHR, hot-page ratio, read/write
+//! bandwidth), kept as one structure with a single `grow_to`/`push`
+//! surface instead of six parallel `Vec<OnlineStats>` fields.
+
+use crate::stats::OnlineStats;
+
+/// One quantum's sample across every plane of one workload.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PlaneSample {
+    /// Operations per simulated active second.
+    pub ops_per_sec: f64,
+    /// Mean operation latency (ns).
+    pub latency_ns: f64,
+    /// Fast-tier hit ratio (post-EMA).
+    pub fthr: f64,
+    /// Hot-page ratio (fast-resident share of the RSS).
+    pub hot_ratio: f64,
+    /// Read bandwidth (GB/s).
+    pub read_gbps: f64,
+    /// Write bandwidth (GB/s).
+    pub write_gbps: f64,
+}
+
+/// Online statistics over every plane of every workload, index-aligned
+/// with the workload list. Pushing one [`PlaneSample`] per started
+/// workload per quantum replaces six separate per-plane pushes.
+#[derive(Clone, Debug, Default)]
+pub struct StatPlanes {
+    workloads: Vec<WorkloadPlanes>,
+}
+
+/// The six accumulators of one workload.
+#[derive(Clone, Debug, Default)]
+struct WorkloadPlanes {
+    ops_per_sec: OnlineStats,
+    latency_ns: OnlineStats,
+    fthr: OnlineStats,
+    hot_ratio: OnlineStats,
+    read_gbps: OnlineStats,
+    write_gbps: OnlineStats,
+}
+
+impl StatPlanes {
+    /// Planes for `n` workloads.
+    pub fn new(n: usize) -> StatPlanes {
+        StatPlanes {
+            workloads: vec![WorkloadPlanes::default(); n],
+        }
+    }
+
+    /// Extend to at least `n` workloads (mid-run admission); existing
+    /// accumulators are untouched.
+    pub fn grow_to(&mut self, n: usize) {
+        if self.workloads.len() < n {
+            self.workloads.resize(n, WorkloadPlanes::default());
+        }
+    }
+
+    /// Number of workloads tracked.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Whether no workload is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+
+    /// Record one quantum's sample for workload `w`.
+    ///
+    /// # Panics
+    /// Panics if `w` was never grown to — keeping the planes
+    /// index-aligned with the workload list is the caller's contract.
+    pub fn push(&mut self, w: usize, s: PlaneSample) {
+        let p = &mut self.workloads[w];
+        p.ops_per_sec.push(s.ops_per_sec);
+        p.latency_ns.push(s.latency_ns);
+        p.fthr.push(s.fthr);
+        p.hot_ratio.push(s.hot_ratio);
+        p.read_gbps.push(s.read_gbps);
+        p.write_gbps.push(s.write_gbps);
+    }
+
+    /// Per-plane means for workload `w` (zeros when nothing was pushed).
+    pub fn means(&self, w: usize) -> PlaneSample {
+        let p = &self.workloads[w];
+        PlaneSample {
+            ops_per_sec: p.ops_per_sec.mean(),
+            latency_ns: p.latency_ns.mean(),
+            fthr: p.fthr.mean(),
+            hot_ratio: p.hot_ratio.mean(),
+            read_gbps: p.read_gbps.mean(),
+            write_gbps: p.write_gbps.mean(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_means_roundtrip() {
+        let mut planes = StatPlanes::new(2);
+        planes.push(
+            1,
+            PlaneSample {
+                ops_per_sec: 10.0,
+                latency_ns: 100.0,
+                fthr: 0.5,
+                hot_ratio: 0.25,
+                read_gbps: 1.0,
+                write_gbps: 2.0,
+            },
+        );
+        planes.push(
+            1,
+            PlaneSample {
+                ops_per_sec: 20.0,
+                latency_ns: 300.0,
+                fthr: 1.0,
+                hot_ratio: 0.75,
+                read_gbps: 3.0,
+                write_gbps: 4.0,
+            },
+        );
+        let m = planes.means(1);
+        assert_eq!(m.ops_per_sec, 15.0);
+        assert_eq!(m.latency_ns, 200.0);
+        assert_eq!(m.fthr, 0.75);
+        assert_eq!(m.hot_ratio, 0.5);
+        assert_eq!(m.read_gbps, 2.0);
+        assert_eq!(m.write_gbps, 3.0);
+        // Untouched workload reports zeros.
+        assert_eq!(planes.means(0), PlaneSample::default());
+    }
+
+    #[test]
+    fn grow_to_preserves_existing() {
+        let mut planes = StatPlanes::new(1);
+        planes.push(
+            0,
+            PlaneSample {
+                ops_per_sec: 7.0,
+                ..Default::default()
+            },
+        );
+        planes.grow_to(3);
+        assert_eq!(planes.len(), 3);
+        assert_eq!(planes.means(0).ops_per_sec, 7.0);
+        planes.grow_to(2); // never shrinks
+        assert_eq!(planes.len(), 3);
+    }
+}

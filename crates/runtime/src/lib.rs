@@ -16,10 +16,15 @@
 mod access;
 pub mod policy;
 pub mod runner;
+pub mod shard;
 pub mod state;
 
 pub use policy::{StaticPlacement, TieringPolicy, UniformPartition};
 pub use runner::{
-    hot_page_ratio, RunResult, SimConfig, SimRunner, SimRunnerBuilder, WorkloadResult,
+    hot_page_ratio, QuantumOutcome, RunResult, SimConfig, SimRunner, SimRunnerBuilder,
+    WorkloadQuantum, WorkloadResult,
 };
-pub use state::{SpawnError, SystemState, WorkloadState, WorkloadStats, FTHR_ALPHA};
+pub use shard::{plan_shards, ExecuteMode, ShardPlan};
+pub use state::{
+    MigrationCounts, SpawnError, SystemState, WorkloadState, WorkloadStats, FTHR_ALPHA,
+};

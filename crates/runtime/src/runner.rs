@@ -8,10 +8,10 @@
 //! Throughput and bandwidth are normalized to simulated *active* time, so
 //! the scaling does not distort any reported rate.
 
-use crate::access::run_thread_quantum;
 use crate::policy::TieringPolicy;
-use crate::state::SystemState;
-use vulcan_metrics::{CfiAccumulator, OnlineStats, SeriesSet};
+use crate::shard::{self, ExecuteMode};
+use crate::state::{MigrationCounts, SystemState};
+use vulcan_metrics::{CfiAccumulator, PlaneSample, SeriesSet, StatPlanes};
 use vulcan_profile::AnyProfiler;
 use vulcan_sim::{
     Cycles, FaultConfig, FaultPlan, FaultSite, FaultStats, Machine, MachineSpec, Nanos, TierKind,
@@ -45,6 +45,15 @@ pub struct SimConfig {
     /// `seed`, so reruns and different `--threads` values see the same
     /// fault sequence.
     pub faults: FaultConfig,
+    /// Intra-cell shard count for the quantum's execute phase (ISSUE 7).
+    /// `1` (the default) is the monolithic sequential sweep; larger
+    /// values sweep core-disjoint workload groups on parallel OS
+    /// threads with a deterministic quantum-boundary merge, so every
+    /// reported number is byte-identical for any value. Quanta where
+    /// the determinism contract cannot be met (telemetry or fault
+    /// injection enabled, fewer than two core-disjoint groups, a tier
+    /// too full for the plenty guard) silently run sequentially.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -58,6 +67,7 @@ impl Default for SimConfig {
             record_series: true,
             telemetry: Telemetry::disabled(),
             faults: FaultConfig::default(),
+            shards: 1,
         }
     }
 }
@@ -130,6 +140,55 @@ impl RunResult {
     }
 }
 
+/// One workload's slice of a [`QuantumOutcome`], index-aligned with the
+/// runner's workload list. Non-live slots (not yet arrived, departed)
+/// report the all-zero default.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorkloadQuantum {
+    /// Whether the workload executed this quantum.
+    pub live: bool,
+    /// Operations completed this quantum.
+    pub ops: u64,
+    /// Demand accesses served by the fast tier.
+    pub fast_hits: u64,
+    /// Demand accesses served by the slow tier.
+    pub slow_hits: u64,
+    /// Mean operation latency this quantum (ns).
+    pub mean_latency_ns: f64,
+    /// Throughput this quantum (ops per simulated active second).
+    pub ops_per_sec: f64,
+    /// Fast-tier hit ratio after this quantum's EMA update (equation 2).
+    pub fthr: f64,
+    /// Fast-resident share of the RSS after this quantum's decisions.
+    pub hot_ratio: f64,
+    /// Synchronous migration stall charged this quantum.
+    pub stall: Cycles,
+}
+
+/// The typed result of one [`SimRunner::run_quantum`] step: everything
+/// step-wise drivers (the churn engine, tests) previously scraped out
+/// of `SystemState` internals.
+///
+/// Outcomes are byte-identical for any [`SimConfig::shards`] value —
+/// which is why the execute mode is *not* a field here; use
+/// [`SimRunner::last_execute_mode`] to observe it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QuantumOutcome {
+    /// Index of the quantum that ran (pre-increment).
+    pub quantum_index: u64,
+    /// Simulated instant after the quantum's wall time elapsed — the
+    /// timestamp timeline consumers should stamp this quantum with.
+    pub ended_at: Nanos,
+    /// Pages moved this quantum, by mechanism and direction.
+    pub migrations: MigrationCounts,
+    /// Free fast-tier pages after the quantum's decisions.
+    pub fast_free: u64,
+    /// Total fast-tier capacity in pages.
+    pub fast_capacity: u64,
+    /// Per-workload slices, index-aligned with the workload list.
+    pub workloads: Vec<WorkloadQuantum>,
+}
+
 /// The simulation driver: workloads + machine + policy.
 pub struct SimRunner {
     /// The live system state (public for policy unit tests).
@@ -141,12 +200,12 @@ pub struct SimRunner {
     profiler_factory: BoxedProfilerFactory,
     series: SeriesSet,
     cfi: CfiAccumulator,
-    thr_stats: Vec<OnlineStats>,
-    lat_stats: Vec<OnlineStats>,
-    fthr_stats: Vec<OnlineStats>,
-    hot_stats: Vec<OnlineStats>,
-    rbw_stats: Vec<OnlineStats>,
-    wbw_stats: Vec<OnlineStats>,
+    planes: StatPlanes,
+    // How the last quantum's execute phase ran, plus how many quanta
+    // took the sharded path (observability for shard-equivalence tests;
+    // never part of any artifact).
+    last_execute_mode: ExecuteMode,
+    sharded_quanta: u64,
     // Telemetry handles held across quanta (cheap no-ops when disabled).
     ops_counter: Counter,
     fast_hits_counter: Counter,
@@ -350,12 +409,9 @@ impl SimRunner {
             profiler_factory: make_profiler,
             series: SeriesSet::new(),
             cfi: CfiAccumulator::new(n),
-            thr_stats: vec![OnlineStats::new(); n],
-            lat_stats: vec![OnlineStats::new(); n],
-            fthr_stats: vec![OnlineStats::new(); n],
-            hot_stats: vec![OnlineStats::new(); n],
-            rbw_stats: vec![OnlineStats::new(); n],
-            wbw_stats: vec![OnlineStats::new(); n],
+            planes: StatPlanes::new(n),
+            last_execute_mode: ExecuteMode::Sequential,
+            sharded_quanta: 0,
             ops_counter,
             fast_hits_counter,
             slow_hits_counter,
@@ -376,16 +432,7 @@ impl SimRunner {
     pub fn spawn_workload(&mut self, spec: WorkloadSpec) -> Result<usize, crate::SpawnError> {
         let profiler = (self.profiler_factory)(&spec);
         let i = self.state.spawn_workload(spec, profiler)?;
-        for stats in [
-            &mut self.thr_stats,
-            &mut self.lat_stats,
-            &mut self.fthr_stats,
-            &mut self.hot_stats,
-            &mut self.rbw_stats,
-            &mut self.wbw_stats,
-        ] {
-            stats.push(OnlineStats::new());
-        }
+        self.planes.grow_to(self.state.n_workloads());
         self.cfi.grow_to(self.state.n_workloads());
         Ok(i)
     }
@@ -398,8 +445,22 @@ impl SimRunner {
         self.into_result()
     }
 
-    /// Execute a single quantum (exposed for step-wise tests).
-    pub fn run_quantum(&mut self) {
+    /// Execute a single quantum and return its typed outcome (exposed
+    /// for step-wise drivers like the churn engine).
+    ///
+    /// The quantum is a fixed phase protocol:
+    ///
+    /// 1. **admit** — staggered arrivals, departures, and commits of
+    ///    async transactions whose copy window elapsed;
+    /// 2. **execute** — every thread of every started workload sweeps
+    ///    its active window (sequentially, or sharded across
+    ///    core-disjoint groups per [`SimConfig::shards`]), the
+    ///    bandwidth contention rolls, and profiling epochs run;
+    /// 3. **decide + migrate** — the policy observes the state and
+    ///    issues migrations;
+    /// 4. **account** — per-quantum stats roll into the planes, the
+    ///    series, the CFI and the returned [`QuantumOutcome`].
+    pub fn run_quantum(&mut self) -> QuantumOutcome {
         // Oracle builds: stamp divergence reports from anywhere below
         // this quantum with the simulated time it executed at.
         #[cfg(feature = "oracle")]
@@ -407,11 +468,73 @@ impl SimRunner {
         if self.state.quantum_index == 0 {
             self.policy.on_start(&mut self.state);
         }
+
+        self.phase_admit();
+
+        // Execute + profile (sharded when the determinism contract
+        // holds; see `crate::shard`).
+        let mode =
+            shard::execute_quantum(&mut self.state, self.cfg.quantum_active, self.cfg.shards);
+        if let ExecuteMode::Sharded { .. } = mode {
+            self.sharded_quanta += 1;
+        }
+        self.last_execute_mode = mode;
+
+        // Policy decisions.
+        let st = &mut self.state;
+        self.policy.on_quantum(st);
+        for w in 0..st.workloads.len() {
+            st.recount_fast(w);
+        }
+
+        // Oracle builds: after the quantum's migrations and unmaps have
+        // landed, every surviving walk-cache entry must still agree with
+        // an uncached radix walk.
+        #[cfg(feature = "oracle")]
+        for ws in &st.workloads {
+            ws.process.space.verify_walk_caches();
+        }
+
+        // Metrics and series.
+        let mut outcome = self.record_quantum();
+        self.quanta_counter.inc();
+        self.publish_fault_stats();
+
+        // The per-quantum page queues must be drained by the roll above:
+        // policies consume them within the quantum they were filled, and
+        // anything left over would accumulate without bound.
+        debug_assert!(
+            self.state.workloads.iter().all(
+                |w| w.stats.hint_faulted_pages.is_empty() && w.stats.aborted_pages_q.is_empty()
+            ),
+            "per-quantum page queues not drained"
+        );
+
+        self.state.now += self.cfg.quantum_wall;
+        self.state.quantum_index += 1;
+        outcome.ended_at = self.state.now;
+        outcome
+    }
+
+    /// How the most recent quantum's execute phase ran. Stays
+    /// [`ExecuteMode::Sequential`] until the first quantum completes.
+    pub fn last_execute_mode(&self) -> ExecuteMode {
+        self.last_execute_mode
+    }
+
+    /// How many quanta so far took the sharded execute path.
+    pub fn sharded_quanta(&self) -> u64 {
+        self.sharded_quanta
+    }
+
+    /// Phase 1: staggered arrivals (§5.3), departures, and async-copy
+    /// commits, all before any thread executes.
+    fn phase_admit(&mut self) {
         let st = &mut self.state;
 
-        // Staggered arrivals (§5.3) and departures. Workloads whose start
-        // time is zero were started at construction; their arrival event
-        // is emitted on the first quantum.
+        // Workloads whose start time is zero were started at
+        // construction; their arrival event is emitted on the first
+        // quantum.
         for w in &mut st.workloads {
             let arrives_now = !w.started && !w.departed && w.spec.start <= st.now;
             if arrives_now {
@@ -447,98 +570,6 @@ impl SimRunner {
                 st.poll_async(wi, &mech);
             }
         }
-
-        // Execute every thread of every started workload.
-        let quantum = self.cfg.quantum_active;
-        for wi in 0..st.workloads.len() {
-            if !st.workloads[wi].started {
-                continue;
-            }
-            let n_threads = st.workloads[wi].spec.n_threads;
-            // Charge pending sync-migration stall against this quantum.
-            let stall_per_thread = st.workloads[wi].pending_stall / n_threads as u64;
-            st.workloads[wi].pending_stall = Nanos::ZERO;
-            let budget = quantum.saturating_sub(stall_per_thread);
-            // Split the workload out of the Vec to borrow machine+tlbs
-            // mutably alongside it.
-            let (machine, tlbs) = (&mut st.machine, &mut st.tlbs);
-            let ws = &mut st.workloads[wi];
-            for t in 0..n_threads {
-                run_thread_quantum(machine, tlbs, ws, t, budget);
-            }
-            // Blocked time is wall time: it counts against throughput
-            // (ops / active second) and inflates the quantum's op
-            // latencies — on-critical-path migration is not free.
-            let blocked = stall_per_thread * n_threads as u64;
-            ws.stats.active_q += blocked;
-            ws.stats.op_latency_q += blocked;
-        }
-
-        // Roll bandwidth contention into the next quantum.
-        st.machine.end_quantum(quantum);
-
-        // Profiling epochs (daemon side). Freshly poisoned PTEs must be
-        // flushed from the workload's TLBs so the hint faults fire.
-        for ws in &mut st.workloads {
-            if !ws.started {
-                continue;
-            }
-            let out = ws.profiler.epoch(&mut ws.process.space);
-            ws.stats.daemon_cycles += out.cycles;
-            if st.telemetry.is_enabled() {
-                st.telemetry
-                    .record_phase(&ws.spec.name, "profiler.epoch", out.cycles);
-                st.telemetry.emit(
-                    st.now,
-                    Some(&ws.spec.name),
-                    EventKind::ProfilerScan {
-                        pages_poisoned: out.poisoned.len() as u64,
-                    },
-                );
-            }
-            if !out.poisoned.is_empty() {
-                let cores = st
-                    .machine
-                    .topology
-                    .cores_of(ws.process.sim_threads().iter().copied());
-                for vpn in out.poisoned {
-                    st.tlbs
-                        .invalidate_on(cores.iter().copied(), ws.process.asid, vpn);
-                }
-            }
-        }
-
-        // Policy decisions.
-        self.policy.on_quantum(st);
-        for w in 0..st.workloads.len() {
-            st.recount_fast(w);
-        }
-
-        // Oracle builds: after the quantum's migrations and unmaps have
-        // landed, every surviving walk-cache entry must still agree with
-        // an uncached radix walk.
-        #[cfg(feature = "oracle")]
-        for ws in &st.workloads {
-            ws.process.space.verify_walk_caches();
-        }
-
-        // Metrics and series.
-        self.record_quantum();
-        self.quanta_counter.inc();
-        self.publish_fault_stats();
-
-        // The per-quantum page queues must be drained by the roll above:
-        // policies consume them within the quantum they were filled, and
-        // anything left over would accumulate without bound.
-        debug_assert!(
-            self.state.workloads.iter().all(
-                |w| w.stats.hint_faulted_pages.is_empty() && w.stats.aborted_pages_q.is_empty()
-            ),
-            "per-quantum page queues not drained"
-        );
-
-        self.state.now += self.cfg.quantum_wall;
-        self.state.quantum_index += 1;
     }
 
     /// Push this quantum's fault-injection and recovery deltas into the
@@ -558,7 +589,7 @@ impl SimRunner {
         self.published_faults = stats;
     }
 
-    fn record_quantum(&mut self) {
+    fn record_quantum(&mut self) -> QuantumOutcome {
         let st = &mut self.state;
         let t = st.now.as_secs_f64();
         let wall_secs = self.cfg.quantum_wall.as_secs_f64();
@@ -567,12 +598,14 @@ impl SimRunner {
 
         let mut allocs = Vec::with_capacity(st.workloads.len());
         let mut fthrs = Vec::with_capacity(st.workloads.len());
+        let mut slices = Vec::with_capacity(st.workloads.len());
         let all_started = st.workloads.iter().all(|w| w.started);
 
         for (wi, ws) in st.workloads.iter_mut().enumerate() {
             if !ws.started {
                 allocs.push(0.0);
                 fthrs.push(0.0);
+                slices.push(WorkloadQuantum::default());
                 continue;
             }
             // Capture this quantum's rates before rolling.
@@ -582,6 +615,8 @@ impl SimRunner {
             let active_s = ws.stats.active_q.as_secs_f64().max(1e-12);
             let rbw = ws.stats.read_bytes_q as f64 / active_s / 1e9;
             let wbw = ws.stats.write_bytes_q as f64 / active_s / 1e9;
+            let (ops, fast_hits, slow_hits) = (ws.stats.ops_q, ws.stats.fast_q, ws.stats.slow_q);
+            let stall = ws.stats.stall_q;
             self.ops_counter.add(ws.stats.ops_q);
             self.fast_hits_counter.add(ws.stats.fast_q);
             self.slow_hits_counter.add(ws.stats.slow_q);
@@ -595,15 +630,31 @@ impl SimRunner {
             // Hot-page ratio: fraction of the hot set resident in fast.
             let hot_ratio = hot_page_ratio(ws);
 
-            self.thr_stats[wi].push(ops_per_sec);
-            self.lat_stats[wi].push(latency);
-            self.fthr_stats[wi].push(fthr);
-            self.hot_stats[wi].push(hot_ratio);
-            self.rbw_stats[wi].push(rbw);
-            self.wbw_stats[wi].push(wbw);
+            self.planes.push(
+                wi,
+                PlaneSample {
+                    ops_per_sec,
+                    latency_ns: latency,
+                    fthr,
+                    hot_ratio,
+                    read_gbps: rbw,
+                    write_gbps: wbw,
+                },
+            );
 
             allocs.push(fast_pages);
             fthrs.push(fthr);
+            slices.push(WorkloadQuantum {
+                live: true,
+                ops,
+                fast_hits,
+                slow_hits,
+                mean_latency_ns: latency,
+                ops_per_sec,
+                fthr,
+                hot_ratio,
+                stall,
+            });
 
             if self.cfg.record_series {
                 let name = ws.spec.name.clone();
@@ -637,6 +688,16 @@ impl SimRunner {
         if all_started {
             self.cfi.record(&allocs, &fthrs);
         }
+
+        QuantumOutcome {
+            quantum_index: st.quantum_index,
+            // Stamped by `run_quantum` once the wall clock advances.
+            ended_at: st.now,
+            migrations: std::mem::take(&mut st.migrations_q),
+            fast_free: st.fast_free(),
+            fast_capacity: st.fast_capacity(),
+            workloads: slices,
+        }
     }
 
     /// Summarize without running further quanta (for step-wise drivers
@@ -647,18 +708,21 @@ impl SimRunner {
             .workloads
             .iter()
             .enumerate()
-            .map(|(wi, ws)| WorkloadResult {
-                name: ws.spec.name.clone(),
-                class: ws.spec.class,
-                mean_ops_per_sec: self.thr_stats[wi].mean(),
-                mean_latency_ns: self.lat_stats[wi].mean(),
-                mean_fthr: self.fthr_stats[wi].mean(),
-                mean_hot_ratio: self.hot_stats[wi].mean(),
-                mean_read_gbps: self.rbw_stats[wi].mean(),
-                mean_write_gbps: self.wbw_stats[wi].mean(),
-                ops_total: ws.stats.ops_total,
-                stall_cycles: ws.stats.stall_cycles,
-                replication_overhead_bytes: ws.process.space.replication_overhead_bytes(),
+            .map(|(wi, ws)| {
+                let means = self.planes.means(wi);
+                WorkloadResult {
+                    name: ws.spec.name.clone(),
+                    class: ws.spec.class,
+                    mean_ops_per_sec: means.ops_per_sec,
+                    mean_latency_ns: means.latency_ns,
+                    mean_fthr: means.fthr,
+                    mean_hot_ratio: means.hot_ratio,
+                    mean_read_gbps: means.read_gbps,
+                    mean_write_gbps: means.write_gbps,
+                    ops_total: ws.stats.ops_total,
+                    stall_cycles: ws.stats.stall_cycles,
+                    replication_overhead_bytes: ws.process.space.replication_overhead_bytes(),
+                }
             })
             .collect();
         RunResult {

@@ -47,6 +47,11 @@ pub struct WorkloadStats {
     /// Cycles of synchronous migration stall charged to the app
     /// (cumulative).
     pub stall_cycles: Cycles,
+    /// Stall charged this quantum (cleared by [`roll_quantum`]); the
+    /// per-quantum slice of `stall_cycles` surfaced in `QuantumOutcome`.
+    ///
+    /// [`roll_quantum`]: WorkloadStats::roll_quantum
+    pub stall_q: Cycles,
     /// Pages this workload currently holds in the fast tier.
     pub fast_used: u64,
     /// Pages hint-faulted this quantum (consumed by TPP-style policies).
@@ -86,6 +91,7 @@ impl WorkloadStats {
         self.write_bytes_q = 0;
         self.active_q = Nanos::ZERO;
         self.mem_time_q = Nanos::ZERO;
+        self.stall_q = Cycles::ZERO;
         self.hint_faulted_pages.clear();
         self.aborted_pages_q.clear();
     }
@@ -203,6 +209,27 @@ impl std::fmt::Display for SpawnError {
 
 impl std::error::Error for SpawnError {}
 
+/// Per-quantum migration tallies, drained by the runner into each
+/// [`QuantumOutcome`](crate::runner::QuantumOutcome).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MigrationCounts {
+    /// Pages moved into the fast tier by sync/background migration.
+    pub promoted: u64,
+    /// Pages moved into the slow tier by sync/background migration.
+    pub demoted: u64,
+    /// Pages committed by asynchronous (transactional) migration.
+    pub async_committed: u64,
+    /// Async transactions aborted after exhausting dirty retries.
+    pub async_aborted: u64,
+}
+
+impl MigrationCounts {
+    /// Whether any migration activity was recorded.
+    pub fn any(&self) -> bool {
+        *self != MigrationCounts::default()
+    }
+}
+
 /// The complete mutable simulation state handed to policies each quantum.
 pub struct SystemState {
     /// The simulated machine.
@@ -221,6 +248,9 @@ pub struct SystemState {
     /// Telemetry sink (disabled by default; the runner installs the
     /// configured handle). Recording never affects simulation results.
     pub telemetry: Telemetry,
+    /// Migration tallies of the current quantum (the runner drains them
+    /// into the quantum's [`QuantumOutcome`](crate::runner::QuantumOutcome)).
+    pub migrations_q: MigrationCounts,
     // Spawn bookkeeping, carried past construction so workloads admitted
     // mid-run (the churn engine) follow the exact same thread-numbering,
     // core-rotation and RNG-seeding recipe as construction-time specs.
@@ -312,6 +342,7 @@ impl SystemState {
             quantum_index: 0,
             quantum_active: Nanos::millis(2),
             telemetry: Telemetry::disabled(),
+            migrations_q: MigrationCounts::default(),
             replication,
             base_seed: seed,
             next_sim_tid,
@@ -459,11 +490,25 @@ impl SystemState {
         );
         let stall = out.total_cycles();
         ws.stats.stall_cycles += stall;
+        ws.stats.stall_q += stall;
         ws.pending_stall += stall.to_nanos();
+        self.tally_migration(dest, out.moved.len() as u64);
         self.record_migration(w, dest, &out, true);
         self.charge_global_prep(w, cfg);
         self.recount_fast(w);
         out
+    }
+
+    /// Tally moved pages into the per-quantum migration counters
+    /// surfaced by [`QuantumOutcome`](crate::QuantumOutcome).
+    fn tally_migration(&mut self, dest: TierKind, pages: u64) {
+        if pages == 0 {
+            return;
+        }
+        match dest {
+            TierKind::Fast => self.migrations_q.promoted += pages,
+            TierKind::Slow => self.migrations_q.demoted += pages,
+        }
     }
 
     /// Record a batch migration's events and per-phase spans. Purely
@@ -529,8 +574,10 @@ impl SystemState {
             }
             // One drain handler per core running this workload's threads.
             ws.pending_stall += per_cpu * ws.spec.n_threads as u64;
-            ws.stats.stall_cycles +=
+            let charge =
                 self.machine.spec().migration_costs.prep_per_cpu * ws.spec.n_threads as u64;
+            ws.stats.stall_cycles += charge;
+            ws.stats.stall_q += charge;
         }
     }
 
@@ -556,6 +603,7 @@ impl SystemState {
             cfg,
         );
         ws.stats.daemon_cycles += out.total_cycles();
+        self.tally_migration(dest, out.moved.len() as u64);
         self.record_migration(w, dest, &out, false);
         self.charge_global_prep(w, cfg);
         self.recount_fast(w);
@@ -638,6 +686,8 @@ impl SystemState {
         );
         stats.daemon_cycles += poll.background;
         stats.aborted_pages_q.extend_from_slice(&poll.aborted);
+        self.migrations_q.async_committed += poll.committed.len() as u64;
+        self.migrations_q.async_aborted += poll.aborted.len() as u64;
         if !poll.committed.is_empty() || !poll.aborted.is_empty() {
             self.recount_fast(w);
         }

@@ -1,0 +1,250 @@
+//! The sharded-sweep contract (ISSUE 7): shard count is a throughput
+//! knob, never a results knob.
+//!
+//! * `plan_shards` partitions started workloads into core-disjoint
+//!   groups (core-sharing workloads co-shard — per-core TLBs couple
+//!   them) and round-robins the groups onto the requested shards.
+//! * Stepping a cell through `run_quantum` yields equal
+//!   [`QuantumOutcome`]s — including migration tallies and stall
+//!   charges — at 1, 2 and 4 shards, while `sharded_quanta` proves the
+//!   parallel path actually ran.
+
+use vulcan_migrate::MechanismConfig;
+use vulcan_profile::PebsProfiler;
+use vulcan_runtime::{
+    plan_shards, ExecuteMode, QuantumOutcome, SimConfig, SimRunner, SystemState, TieringPolicy,
+};
+use vulcan_sim::{Machine, MachineSpec, Nanos, TierKind};
+use vulcan_vm::Vpn;
+use vulcan_workloads::{microbench, MicroConfig, WorkloadSpec};
+
+fn micro_spec(name: &str, rss: u64, wss: u64, threads: usize) -> WorkloadSpec {
+    microbench(
+        name,
+        MicroConfig {
+            rss_pages: rss,
+            wss_pages: wss,
+            ..Default::default()
+        },
+        threads,
+    )
+}
+
+fn state(specs: Vec<WorkloadSpec>, machine: MachineSpec) -> SystemState {
+    SystemState::new(
+        Machine::new(machine),
+        specs,
+        &mut |_| PebsProfiler::new(4).into(),
+        true,
+        1,
+    )
+}
+
+#[test]
+fn core_sharing_workloads_co_shard() {
+    // Two 2-thread workloads on a 2-core machine: both pin cores {0,1},
+    // so they must sweep on the same shard no matter how many were
+    // requested.
+    let st = state(
+        vec![micro_spec("a", 128, 64, 2), micro_spec("b", 128, 64, 2)],
+        MachineSpec::small(512, 1_024, 2),
+    );
+    let plan = plan_shards(&st, 4);
+    assert_eq!(plan.groups, vec![vec![0, 1]]);
+    assert_eq!(plan.shards, vec![vec![0, 1]]);
+}
+
+#[test]
+fn disjoint_groups_round_robin_onto_shards() {
+    // Four 2-thread workloads on 8 cores pin disjoint ranges, so each
+    // is its own group; two shards take the groups alternately.
+    let st = state(
+        vec![
+            micro_spec("a", 128, 64, 2),
+            micro_spec("b", 128, 64, 2),
+            micro_spec("c", 128, 64, 2),
+            micro_spec("d", 128, 64, 2),
+        ],
+        MachineSpec::small(2_048, 4_096, 8),
+    );
+    let plan = plan_shards(&st, 2);
+    assert_eq!(plan.groups, vec![vec![0], vec![1], vec![2], vec![3]]);
+    assert_eq!(plan.shards, vec![vec![0, 2], vec![1, 3]]);
+    // More shards than groups degenerate to one group per shard.
+    assert_eq!(plan_shards(&st, 8).shards.len(), 4);
+}
+
+#[test]
+fn unstarted_workloads_are_not_planned() {
+    let mut st = state(
+        vec![
+            micro_spec("a", 128, 64, 2),
+            micro_spec("b", 128, 64, 2),
+            micro_spec("c", 128, 64, 2),
+        ],
+        MachineSpec::small(2_048, 4_096, 8),
+    );
+    st.workloads[1].started = false;
+    let plan = plan_shards(&st, 4);
+    assert_eq!(plan.groups, vec![vec![0], vec![2]]);
+}
+
+/// A deterministic policy that actually migrates every quantum: promote
+/// up to 8 slow-resident pages per workload synchronously and demote up
+/// to 4 fast-resident pages in the background, lowest VPNs first. Runs
+/// in the (sequential) decide phase, so if execute left identical state
+/// it issues identical migrations at any shard count.
+struct Shuttle {
+    mech: MechanismConfig,
+}
+
+impl Shuttle {
+    fn resident(st: &SystemState, w: usize, tier: TierKind, cap: usize) -> Vec<Vpn> {
+        let space = &st.workloads[w].process.space;
+        space
+            .mapped_vpns()
+            .filter(|&v| space.pte(v).tier() == Some(tier))
+            .take(cap)
+            .collect()
+    }
+}
+
+impl TieringPolicy for Shuttle {
+    fn name(&self) -> &'static str {
+        "shuttle"
+    }
+
+    fn on_quantum(&mut self, st: &mut SystemState) {
+        for w in 0..st.n_workloads() {
+            if !st.workloads[w].started {
+                continue;
+            }
+            let up = Self::resident(st, w, TierKind::Slow, 8);
+            if !up.is_empty() {
+                st.migrate_sync(w, &up, TierKind::Fast, &self.mech);
+            }
+            let down = Self::resident(st, w, TierKind::Fast, 4);
+            if !down.is_empty() {
+                st.migrate_background(w, &down, TierKind::Slow, &self.mech);
+            }
+        }
+    }
+}
+
+/// Four core-disjoint 2-thread tenants; nothing preallocated, so the
+/// first quantum demand-faults through the shard leases, and `Shuttle`
+/// keeps sync + background migrations flowing every quantum after.
+fn cell(shards: usize) -> SimRunner {
+    let specs = vec![
+        micro_spec("a", 256, 96, 2),
+        micro_spec("b", 256, 96, 2),
+        micro_spec("c", 256, 96, 2),
+        micro_spec("d", 256, 96, 2),
+    ];
+    SimRunner::builder()
+        .machine(MachineSpec::small(4_096, 8_192, 8))
+        .workloads(specs)
+        .profiler_factory(|_| Box::new(PebsProfiler::new(4)))
+        .policy(Box::new(Shuttle {
+            mech: MechanismConfig::linux_baseline(),
+        }))
+        .config(SimConfig {
+            n_quanta: 0,
+            quantum_active: Nanos::micros(200),
+            seed: 7,
+            shards,
+            ..Default::default()
+        })
+        .build()
+}
+
+fn step(runner: &mut SimRunner, quanta: u64) -> Vec<QuantumOutcome> {
+    (0..quanta).map(|_| runner.run_quantum()).collect()
+}
+
+#[test]
+fn quantum_outcomes_identical_across_shard_counts() {
+    const QUANTA: u64 = 12;
+    let mut seq = cell(1);
+    let baseline = step(&mut seq, QUANTA);
+    assert_eq!(seq.sharded_quanta(), 0, "shards=1 must stay sequential");
+    assert_eq!(seq.last_execute_mode(), ExecuteMode::Sequential);
+
+    // The baseline must exercise what the merge has to preserve:
+    // migrations in both directions and sync-migration stall.
+    assert!(
+        baseline.iter().any(|o| o.migrations.promoted > 0),
+        "test cell never promoted"
+    );
+    assert!(
+        baseline.iter().any(|o| o.migrations.demoted > 0),
+        "test cell never demoted"
+    );
+    assert!(
+        baseline
+            .iter()
+            .any(|o| o.workloads.iter().any(|w| w.stall > vulcan_sim::Cycles(0))),
+        "test cell never charged migration stall"
+    );
+
+    for shards in [2, 4] {
+        let mut par = cell(shards);
+        let outcomes = step(&mut par, QUANTA);
+        assert_eq!(
+            par.sharded_quanta(),
+            QUANTA,
+            "every quantum should take the sharded path at {shards} shards"
+        );
+        assert_eq!(par.last_execute_mode(), ExecuteMode::Sharded { shards });
+        for (q, (s, p)) in baseline.iter().zip(&outcomes).enumerate() {
+            assert_eq!(s, p, "quantum {q} diverged at {shards} shards");
+        }
+    }
+}
+
+#[test]
+fn run_results_identical_across_shard_counts() {
+    const QUANTA: u64 = 10;
+    let mut seq = cell(1);
+    step(&mut seq, QUANTA);
+    let base = seq.into_result();
+    for shards in [2, 4] {
+        let mut par = cell(shards);
+        step(&mut par, QUANTA);
+        let res = par.into_result();
+        assert_eq!(base.cfi, res.cfi, "CFI diverged at {shards} shards");
+        for (b, r) in base.per_workload.iter().zip(&res.per_workload) {
+            assert_eq!(b.ops_total, r.ops_total, "{}: ops diverged", b.name);
+            assert_eq!(b.mean_ops_per_sec, r.mean_ops_per_sec, "{}", b.name);
+            assert_eq!(b.mean_latency_ns, r.mean_latency_ns, "{}", b.name);
+            assert_eq!(b.mean_fthr, r.mean_fthr, "{}", b.name);
+        }
+        assert_eq!(
+            base.series.to_json(),
+            res.series.to_json(),
+            "series diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn telemetry_forces_the_sequential_path() {
+    use vulcan_telemetry::Telemetry;
+    let specs = vec![micro_spec("a", 128, 64, 2), micro_spec("b", 128, 64, 2)];
+    let mut runner = SimRunner::builder()
+        .machine(MachineSpec::small(2_048, 4_096, 8))
+        .workloads(specs)
+        .profiler_factory(|_| Box::new(PebsProfiler::new(4)))
+        .policy(Box::new(vulcan_runtime::StaticPlacement))
+        .config(SimConfig {
+            n_quanta: 0,
+            quantum_active: Nanos::micros(200),
+            telemetry: Telemetry::enabled(),
+            shards: 4,
+            ..Default::default()
+        })
+        .build();
+    runner.run_quantum();
+    assert_eq!(runner.sharded_quanta(), 0);
+    assert_eq!(runner.last_execute_mode(), ExecuteMode::Sequential);
+}

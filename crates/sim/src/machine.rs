@@ -275,6 +275,65 @@ impl Machine {
     pub fn free_pages(&self, tier: TierKind) -> u64 {
         self.allocator(tier).free_frames()
     }
+
+    /// Build a shard-local view of this machine backed by pre-reserved
+    /// frame leases: same spec, topology, cost model and *cached loaded
+    /// latencies* (so per-access latency inside the shard is identical to
+    /// the sequential schedule), but
+    ///
+    /// - each tier's allocator hands out only the leased frames, and
+    /// - the bandwidth tracker's byte counters start at zero, so the
+    ///   view's end-of-quantum counts are directly the deltas to merge.
+    ///
+    /// Fault injection is never active on a view (the sharded execute
+    /// path is only taken with faults disabled — per-site fault counters
+    /// are schedule-order-sensitive).
+    pub fn shard_view(&self, fast_lease: &[FrameId], slow_lease: &[FrameId]) -> Machine {
+        debug_assert!(
+            !self.faults.is_enabled(),
+            "shard views require fault injection disabled"
+        );
+        let mut bandwidth = self.bandwidth.clone();
+        bandwidth.reset_bytes();
+        Machine {
+            spec: self.spec.clone(),
+            allocators: [
+                FrameAllocator::lease_view(
+                    TierKind::Fast,
+                    self.spec.fast.capacity_pages,
+                    fast_lease,
+                ),
+                FrameAllocator::lease_view(
+                    TierKind::Slow,
+                    self.spec.slow.capacity_pages,
+                    slow_lease,
+                ),
+            ],
+            bandwidth,
+            topology: self.topology.clone(),
+            loaded_latency: self.loaded_latency,
+            faults: FaultPlan::disabled(),
+            throttle_now: self.throttle_now,
+            last_alloc_injected: false,
+        }
+    }
+
+    /// Merge a finished shard view back: add its bandwidth byte deltas
+    /// to this machine's in-quantum counters and return every unused
+    /// lease frame to the shared allocators. Called in fixed shard order
+    /// so the merged state is independent of shard execution timing.
+    pub fn absorb_shard_view(&mut self, mut view: Machine) {
+        for tier in TierKind::ALL {
+            let bytes = view.bandwidth.bytes_this_quantum(tier);
+            if bytes > 0 {
+                self.bandwidth.record(tier, bytes);
+            }
+            // Drain the view's remaining lease back to the shared pool.
+            while let Ok(f) = view.alloc_uninjected(tier) {
+                self.free(f);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -201,6 +201,22 @@ impl Tlb {
         }
     }
 
+    /// A minimal do-nothing stand-in left behind when a core's real TLB
+    /// is leased out to a shard. Never looked up by construction (shards
+    /// only touch their own cores); sized to satisfy the power-of-two
+    /// invariants without allocating way storage.
+    fn placeholder() -> Tlb {
+        Tlb {
+            sets: vec![Vec::new()],
+            ways: 1,
+            huge_sets: vec![Vec::new(); 16],
+            huge_ways: 8,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
     /// Base-page entries currently cached.
     pub fn occupancy(&self) -> usize {
         self.sets.iter().map(Vec::len).sum()
@@ -278,6 +294,20 @@ impl TlbArray {
             .into_iter()
             .filter(|&c| self.tlbs[c.0 as usize].invalidate_huge(asid, vpn))
             .count()
+    }
+
+    /// Move the listed cores' TLBs into a new same-sized array, leaving
+    /// cheap placeholders behind. The caller swaps the (updated) TLBs
+    /// back per core when the shard finishes — the same `mem::swap` both
+    /// directions, so no TLB state is ever copied.
+    pub fn lease_cores(&mut self, cores: &[CoreId]) -> TlbArray {
+        let mut out = TlbArray {
+            tlbs: (0..self.tlbs.len()).map(|_| Tlb::placeholder()).collect(),
+        };
+        for &c in cores {
+            std::mem::swap(&mut self.tlbs[c.0 as usize], &mut out.tlbs[c.0 as usize]);
+        }
+        out
     }
 
     /// Number of cores.
