@@ -273,7 +273,7 @@ impl VulcanPolicy {
                     ws.process
                         .space
                         .owner(vpn)
-                        .map(|o| (vpn, classify(o, s), s.heat))
+                        .map(|o| (vpn, classify(o, &s), s.heat))
                 })
                 .collect()
         };

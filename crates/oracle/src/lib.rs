@@ -57,15 +57,20 @@ pub enum Structure {
     /// `sim::machine`'s per-quantum loaded-latency cache vs a
     /// recomputed-from-scratch inflation.
     Latency,
+    /// `profile::engine`'s specialized per-profiler batch sweep
+    /// (`on_access_batch`) vs a scalar replay of the same access plane
+    /// through `on_access`/`on_hint_fault` on a cloned profiler.
+    Batch,
 }
 
 impl Structure {
     /// All structures, in display order.
-    pub const ALL: [Structure; 4] = [
+    pub const ALL: [Structure; 5] = [
         Structure::Heat,
         Structure::Walk,
         Structure::Zipf,
         Structure::Latency,
+        Structure::Batch,
     ];
 
     /// Human-readable structure name used in reports.
@@ -75,6 +80,7 @@ impl Structure {
             Structure::Walk => "walk-cache",
             Structure::Zipf => "zipf-sampler",
             Structure::Latency => "loaded-latency",
+            Structure::Batch => "access-batch",
         }
     }
 
@@ -84,6 +90,7 @@ impl Structure {
             Structure::Walk => 1,
             Structure::Zipf => 2,
             Structure::Latency => 3,
+            Structure::Batch => 4,
         }
     }
 }
@@ -91,7 +98,8 @@ impl Structure {
 /// Lockstep comparisons performed, per structure. Global (not
 /// thread-local): experiment grids run cells on a thread pool and the
 /// driver wants one total.
-static CHECKS: [AtomicU64; 4] = [
+static CHECKS: [AtomicU64; 5] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

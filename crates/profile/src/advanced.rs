@@ -77,6 +77,30 @@ impl Profiler for ChronoProfiler {
             .record(vpn, is_write, self.period as f64 * Self::idle_weight(idle));
     }
 
+    fn on_access_batch(&mut self, batch: &crate::sampler::AccessBatch) {
+        // Hint faults are a no-op for Chrono; the idle-time bookkeeping
+        // only runs at sampled accesses, so the countdown skips ahead.
+        let n = batch.offsets.len() as u64;
+        let mut pos = 0u64;
+        while self.countdown <= n - pos {
+            pos += self.countdown;
+            let i = (pos - 1) as usize;
+            self.countdown = self.period;
+            self.samples += 1;
+            let vpn = Vpn(batch.offsets[i]);
+            let idle = self
+                .last_seen
+                .insert(vpn.0, self.epoch)
+                .map_or(0, |last| self.epoch - last);
+            self.heat.record(
+                vpn,
+                batch.writes[i],
+                self.period as f64 * Self::idle_weight(idle),
+            );
+        }
+        self.countdown -= n - pos;
+    }
+
     fn epoch(&mut self, _space: &mut AddressSpace) -> EpochOutcome {
         self.epoch += 1;
         self.heat.decay_epoch();
@@ -142,6 +166,10 @@ impl Default for TelescopeProfiler {
 impl Profiler for TelescopeProfiler {
     fn on_access(&mut self, _vpn: Vpn, _is_write: bool) {
         // Like plain scanning, activity is read from PTE accessed bits.
+    }
+
+    fn on_access_batch(&mut self, _batch: &crate::sampler::AccessBatch) {
+        // Activity is read from PTE bits at epoch time; planes are free.
     }
 
     fn epoch(&mut self, space: &mut AddressSpace) -> EpochOutcome {

@@ -13,7 +13,8 @@
 use crate::advanced::{ChronoProfiler, TelescopeProfiler};
 use crate::heat::HeatMap;
 use crate::sampler::{
-    EpochOutcome, HintFaultProfiler, HybridProfiler, PebsProfiler, Profiler, PtScanProfiler,
+    AccessBatch, EpochOutcome, HintFaultProfiler, HybridProfiler, PebsProfiler, Profiler,
+    PtScanProfiler,
 };
 use vulcan_sim::Nanos;
 use vulcan_vm::{AddressSpace, Vpn};
@@ -91,6 +92,31 @@ impl AnyProfiler {
         dispatch!(self, p => p.on_hint_fault(vpn, is_write))
     }
 
+    /// Observe one quantum chunk's access plane (the batch boundary —
+    /// enum dispatch runs once per plane, not once per access).
+    ///
+    /// Under the `oracle` feature every concrete-variant batch runs in
+    /// lockstep with a scalar replay of the same plane on a clone of the
+    /// profiler, and the touched heat entries are compared bitwise.
+    /// [`AnyProfiler::Custom`] always takes the scalar replay (a boxed
+    /// `dyn Profiler` cannot be cloned, and its default batch method is
+    /// the replay itself, so there is nothing to diff).
+    #[inline]
+    pub fn on_access_batch(&mut self, batch: &AccessBatch) {
+        #[cfg(not(feature = "oracle"))]
+        dispatch!(self, p => p.on_access_batch(batch));
+        #[cfg(feature = "oracle")]
+        match self {
+            AnyProfiler::Pebs(p) => lockstep_batch(p, batch),
+            AnyProfiler::PtScan(p) => lockstep_batch(p, batch),
+            AnyProfiler::HintFault(p) => lockstep_batch(p, batch),
+            AnyProfiler::Hybrid(p) => lockstep_batch(p, batch),
+            AnyProfiler::Chrono(p) => lockstep_batch(p, batch),
+            AnyProfiler::Telescope(p) => lockstep_batch(p, batch),
+            AnyProfiler::Custom(p) => batch.replay_scalar(&mut **p),
+        }
+    }
+
     /// Per-epoch maintenance (scanning, poisoning, decay).
     pub fn epoch(&mut self, space: &mut AddressSpace) -> EpochOutcome {
         dispatch!(self, p => p.epoch(space))
@@ -135,6 +161,10 @@ impl Profiler for AnyProfiler {
         AnyProfiler::on_hint_fault(self, vpn, is_write)
     }
 
+    fn on_access_batch(&mut self, batch: &AccessBatch) {
+        AnyProfiler::on_access_batch(self, batch)
+    }
+
     fn epoch(&mut self, space: &mut AddressSpace) -> EpochOutcome {
         AnyProfiler::epoch(self, space)
     }
@@ -150,6 +180,42 @@ impl Profiler for AnyProfiler {
     fn heat_mut(&mut self) -> &mut HeatMap {
         AnyProfiler::heat_mut(self)
     }
+}
+
+/// Run `batch` through the specialized `on_access_batch` while a clone
+/// replays it access-by-access through the scalar `on_access` /
+/// `on_hint_fault` path, then diff every heat entry the plane touched —
+/// the batched sweep's byte-identity contract, checked per chunk.
+#[cfg(feature = "oracle")]
+fn lockstep_batch<P: Profiler + Clone>(p: &mut P, batch: &AccessBatch) {
+    use vulcan_oracle::{check, Structure};
+    let mut reference = p.clone();
+    batch.replay_scalar(&mut reference);
+    p.on_access_batch(batch);
+    for (i, &off) in batch.offsets.iter().enumerate() {
+        let got = p.heat().get(Vpn(off));
+        let want = reference.heat().get(Vpn(off));
+        check(
+            Structure::Batch,
+            got.heat.to_bits() == want.heat.to_bits()
+                && got.reads.to_bits() == want.reads.to_bits()
+                && got.writes.to_bits() == want.writes.to_bits(),
+            Some(off),
+            || format!("plane index {i}: batched {got:?} vs scalar {want:?}"),
+        );
+    }
+    check(
+        Structure::Batch,
+        p.heat().len() == reference.heat().len(),
+        None,
+        || {
+            format!(
+                "tracked pages: batched {} vs scalar {}",
+                p.heat().len(),
+                reference.heat().len()
+            )
+        },
+    );
 }
 
 macro_rules! impl_from {

@@ -21,7 +21,41 @@
 //! A `live` key list (first-record order) makes decay sweeps and
 //! iteration proportional to the number of tracked pages, not table
 //! capacity, and gives the map a deterministic iteration order.
+//!
+//! # Sharding and the lock-free read side
+//!
+//! The dense table is split into [`N_SHARDS`] power-of-two shards keyed
+//! by the VPN's low bits (`shard = vpn & (N_SHARDS - 1)`, `slot = vpn >>
+//! SHARD_BITS`), so consecutive VPNs stripe across shards and each shard
+//! grows independently. Every dense slot is a bundle of atomics guarded
+//! by a per-slot seqlock:
+//!
+//! - **Who writes:** exactly one writer — whoever holds `&mut HeatMap`.
+//!   `record`/`decay_epoch`/`forget` wrap each slot update in a seqlock
+//!   section (`seq` goes odd, fields stored, `seq` goes even). There is
+//!   never writer/writer contention, so writes are plain atomic stores,
+//!   no RMWs, no locks.
+//! - **Who reads:** the same-thread policy/profiler side reads through
+//!   `&HeatMap` with relaxed loads (it *is* the writer thread, so no
+//!   protocol is needed and reads stay exact). Concurrent observers take
+//!   a [`HeatReader`] — an `Arc` snapshot of the shard arrays plus the
+//!   shared epoch counter — and read through the seqlock: retry while
+//!   `seq` is odd or changed across the read, so a snapshot never tears
+//!   and never blocks the writer.
+//! - **Epoch rules:** a slot is live iff its `stamp` equals the map
+//!   epoch (an `Arc<AtomicU64>` both sides share). Readers that race a
+//!   `decay_epoch` may transiently see a survivor as dead (stamp not yet
+//!   re-bumped) — staleness, never a torn value. A shard that grows
+//!   swaps in a fresh slot array; existing `HeatReader`s keep the old
+//!   one and read pages recorded after their snapshot as cold.
+//!
+//! Spill VPNs (at or above [`DENSE_LIMIT`]) stay on a writer-private
+//! non-atomic table: they are sparse outliers that no lock-free reader
+//! needs, and [`HeatReader::get`] reports them as cold.
 
+use std::fmt;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
 use vulcan_vm::Vpn;
 
 /// VPNs below this go in the dense direct-indexed table (2 Mi pages =
@@ -32,6 +66,12 @@ const DENSE_LIMIT: u64 = 1 << 21;
 /// Pages whose decayed heat drops below this are pruned, matching the
 /// prior `HashMap::retain` semantics.
 const PRUNE_THRESHOLD: f64 = 1e-3;
+
+/// log2 of the dense shard count.
+const SHARD_BITS: u32 = 3;
+
+/// Power-of-two dense shard count; a VPN's shard is its low bits.
+const N_SHARDS: usize = 1 << SHARD_BITS;
 
 /// Accumulated statistics for one page.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -62,12 +102,84 @@ impl PageStats {
     }
 }
 
-/// One flat-table entry: page statistics plus the liveness epoch stamp.
+/// One spill-table entry: page statistics plus the liveness epoch stamp.
 /// The slot is live iff `stamp` equals the map's current epoch.
 #[derive(Clone, Copy, Debug, Default)]
 struct Slot {
     stats: PageStats,
     stamp: u64,
+}
+
+/// One dense-table entry: the same statistics and epoch stamp as
+/// [`Slot`], but held in atomics behind a per-slot seqlock so a
+/// [`HeatReader`] on another thread can read it lock-free while the
+/// single writer updates it.
+#[derive(Debug, Default)]
+struct AtomicSlot {
+    /// Seqlock word: odd while the writer is mid-update; bumped to the
+    /// next even value when the update completes.
+    seq: AtomicU64,
+    /// Liveness epoch stamp (0 is never a current epoch).
+    stamp: AtomicU64,
+    /// `f64` bits of [`PageStats::heat`].
+    heat: AtomicU64,
+    /// `f64` bits of [`PageStats::reads`].
+    reads: AtomicU64,
+    /// `f64` bits of [`PageStats::writes`].
+    writes: AtomicU64,
+}
+
+impl AtomicSlot {
+    /// Plain loads — exact on the writer thread, and safe inside a
+    /// validated seqlock read section.
+    #[inline]
+    fn stats_relaxed(&self) -> PageStats {
+        PageStats {
+            heat: f64::from_bits(self.heat.load(Ordering::Relaxed)),
+            reads: f64::from_bits(self.reads.load(Ordering::Relaxed)),
+            writes: f64::from_bits(self.writes.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Single-writer seqlock update: take `seq` odd, store the fields,
+    /// release it even. Concurrent [`HeatReader`]s that overlap this
+    /// window retry; the writer never waits.
+    #[inline]
+    fn write(&self, stamp: u64, stats: PageStats) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.stamp.store(stamp, Ordering::Relaxed);
+        self.heat.store(stats.heat.to_bits(), Ordering::Relaxed);
+        self.reads.store(stats.reads.to_bits(), Ordering::Relaxed);
+        self.writes.store(stats.writes.to_bits(), Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    /// A value-copy with a fresh (even) seqlock word.
+    fn copy_of(&self) -> AtomicSlot {
+        AtomicSlot {
+            seq: AtomicU64::new(0),
+            stamp: AtomicU64::new(self.stamp.load(Ordering::Relaxed)),
+            heat: AtomicU64::new(self.heat.load(Ordering::Relaxed)),
+            reads: AtomicU64::new(self.reads.load(Ordering::Relaxed)),
+            writes: AtomicU64::new(self.writes.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// One dense shard: a shared, immutable-length slot array. Growth swaps
+/// in a bigger array; readers holding the old `Arc` keep a consistent
+/// (if stale) view.
+type DenseShard = Arc<[AtomicSlot]>;
+
+/// `(shard, slot index)` of a dense VPN.
+#[inline]
+fn dense_pos(key: u64) -> (usize, usize) {
+    (
+        (key as usize) & (N_SHARDS - 1),
+        (key >> SHARD_BITS) as usize,
+    )
 }
 
 /// Open-addressed (linear probe) spill table for VPNs above the dense
@@ -193,7 +305,9 @@ impl Spill {
     }
 }
 
-/// Decayed per-page heat map over a dense epoch-versioned flat table.
+/// Decayed per-page heat map over a sharded, epoch-versioned flat table
+/// whose dense slots are lock-free-readable (see the module docs for the
+/// memory model).
 ///
 /// ```
 /// use vulcan_profile::HeatMap;
@@ -206,16 +320,16 @@ impl Spill {
 /// heat.decay_epoch();
 /// assert_eq!(heat.get(Vpn(1)).heat, 7.0); // decayed by 0.7
 /// ```
-#[derive(Clone, Debug)]
 pub struct HeatMap {
     /// Multiplier applied at each epoch (0 = pure frequency of last epoch,
     /// 1 = pure cumulative frequency).
     decay: f64,
     /// Current liveness epoch; bumped by [`HeatMap::decay_epoch`].
-    epoch: u64,
-    /// Dense slots indexed directly by VPN (grown on demand).
-    dense: Vec<Slot>,
-    /// Spill table for VPNs at or above [`DENSE_LIMIT`].
+    /// Shared with [`HeatReader`]s so their stamp checks track decay.
+    epoch: Arc<AtomicU64>,
+    /// Dense slot shards, striped by VPN low bits (grown on demand).
+    shards: Box<[DenseShard]>,
+    /// Spill table for VPNs at or above [`DENSE_LIMIT`] (writer-private).
     spill: Spill,
     /// Keys of currently-live pages in first-record order.
     live: Vec<u64>,
@@ -232,8 +346,11 @@ impl HeatMap {
         assert!((0.0..=1.0).contains(&decay), "decay must be in [0,1]");
         HeatMap {
             decay,
-            epoch: 1,
-            dense: Vec::new(),
+            epoch: Arc::new(AtomicU64::new(1)),
+            shards: (0..N_SHARDS)
+                .map(|_| Arc::from(Vec::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             spill: Spill::new(),
             live: Vec::new(),
             #[cfg(feature = "oracle")]
@@ -241,47 +358,72 @@ impl HeatMap {
         }
     }
 
+    #[inline]
+    fn epoch_now(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Swap shard `sh`'s array for one that covers slot `idx`, copying
+    /// existing values. Readers holding the old array keep a consistent
+    /// pre-growth view.
+    fn grow_shard(&mut self, sh: usize, idx: usize) {
+        let cap = (idx + 1).next_power_of_two().max(128);
+        let old = &self.shards[sh];
+        let mut slots: Vec<AtomicSlot> = Vec::with_capacity(cap);
+        slots.extend(old.iter().map(AtomicSlot::copy_of));
+        slots.resize_with(cap, AtomicSlot::default);
+        self.shards[sh] = Arc::from(slots);
+    }
+
     /// Pre-size the dense table for a footprint of `pages` pages, so the
     /// first touches of a workload don't pay incremental regrowth.
     pub fn reserve(&mut self, pages: u64) {
-        let want = pages.min(DENSE_LIMIT) as usize;
-        if want > self.dense.len() {
-            self.dense.resize(want.next_power_of_two(), Slot::default());
+        let per_shard = (pages.min(DENSE_LIMIT) as usize).div_ceil(N_SHARDS);
+        for sh in 0..N_SHARDS {
+            if per_shard > self.shards[sh].len() {
+                self.grow_shard(sh, per_shard - 1);
+            }
         }
     }
 
     /// Record `weight` sampled accesses to `vpn`.
     #[inline]
     pub fn record(&mut self, vpn: Vpn, is_write: bool, weight: f64) {
-        let HeatMap {
-            epoch,
-            dense,
-            spill,
-            live,
-            ..
-        } = self;
-        let slot = if vpn.0 < DENSE_LIMIT {
-            let i = vpn.0 as usize;
-            if i >= dense.len() {
-                let cap = (i + 1).next_power_of_two().max(1024);
-                dense.resize(cap, Slot::default());
+        let epoch = self.epoch_now();
+        if vpn.0 < DENSE_LIMIT {
+            let (sh, idx) = dense_pos(vpn.0);
+            if idx >= self.shards[sh].len() {
+                self.grow_shard(sh, idx);
             }
-            &mut dense[i]
+            let slot = &self.shards[sh][idx];
+            let mut stats = if slot.stamp.load(Ordering::Relaxed) == epoch {
+                slot.stats_relaxed()
+            } else {
+                // Dead or never-seen slot: resurrect from zero, exactly
+                // like a fresh map entry.
+                self.live.push(vpn.0);
+                PageStats::default()
+            };
+            stats.heat += weight;
+            if is_write {
+                stats.writes += weight;
+            } else {
+                stats.reads += weight;
+            }
+            slot.write(epoch, stats);
         } else {
-            spill.slot_mut(vpn.0)
-        };
-        if slot.stamp != *epoch {
-            // Dead or never-seen slot: resurrect from zero, exactly like
-            // a fresh map entry.
-            slot.stats = PageStats::default();
-            slot.stamp = *epoch;
-            live.push(vpn.0);
-        }
-        slot.stats.heat += weight;
-        if is_write {
-            slot.stats.writes += weight;
-        } else {
-            slot.stats.reads += weight;
+            let slot = self.spill.slot_mut(vpn.0);
+            if slot.stamp != epoch {
+                slot.stats = PageStats::default();
+                slot.stamp = epoch;
+                self.live.push(vpn.0);
+            }
+            slot.stats.heat += weight;
+            if is_write {
+                slot.stats.writes += weight;
+            } else {
+                slot.stats.reads += weight;
+            }
         }
         #[cfg(feature = "oracle")]
         {
@@ -295,32 +437,43 @@ impl HeatMap {
     /// Bumping the epoch retires every slot at once; survivors are
     /// re-stamped during the sweep, so pruned pages cost no writes.
     pub fn decay_epoch(&mut self) {
-        self.epoch += 1;
+        let epoch = self.epoch_now() + 1;
+        self.epoch.store(epoch, Ordering::Relaxed);
         let d = self.decay;
         let HeatMap {
-            epoch,
-            dense,
+            shards,
             spill,
             live,
             ..
         } = self;
         let mut live_spill = 0usize;
         live.retain(|&key| {
-            let slot = if key < DENSE_LIMIT {
-                &mut dense[key as usize]
+            if key < DENSE_LIMIT {
+                let (sh, idx) = dense_pos(key);
+                let slot = &shards[sh][idx];
+                let mut stats = slot.stats_relaxed();
+                stats.heat *= d;
+                stats.reads *= d;
+                stats.writes *= d;
+                if stats.heat >= PRUNE_THRESHOLD {
+                    slot.write(epoch, stats);
+                    true
+                } else {
+                    false
+                }
             } else {
                 let i = spill.find(key).expect("live key is in the spill table");
-                &mut spill.slots[i]
-            };
-            slot.stats.heat *= d;
-            slot.stats.reads *= d;
-            slot.stats.writes *= d;
-            if slot.stats.heat >= PRUNE_THRESHOLD {
-                slot.stamp = *epoch;
-                live_spill += (key >= DENSE_LIMIT) as usize;
-                true
-            } else {
-                false
+                let slot = &mut spill.slots[i];
+                slot.stats.heat *= d;
+                slot.stats.reads *= d;
+                slot.stats.writes *= d;
+                if slot.stats.heat >= PRUNE_THRESHOLD {
+                    slot.stamp = epoch;
+                    live_spill += 1;
+                    true
+                } else {
+                    false
+                }
             }
         });
         // Reclaim spill capacity once dead keys dominate: `used` counts
@@ -328,7 +481,7 @@ impl HeatMap {
         // the table forever. The 2× hysteresis (compaction resets
         // `used` to the live count) keeps this amortized O(1).
         if spill.used > (2 * live_spill).max(64) {
-            spill.compact(*epoch);
+            spill.compact(epoch);
         }
         #[cfg(feature = "oracle")]
         {
@@ -337,40 +490,41 @@ impl HeatMap {
         }
     }
 
-    fn slot(&self, key: u64) -> Option<&Slot> {
-        if key < DENSE_LIMIT {
-            self.dense.get(key as usize)
-        } else {
-            self.spill.find(key).map(|i| &self.spill.slots[i])
-        }
-    }
-
     /// Statistics for one page (zero if never sampled).
     #[inline]
     pub fn get(&self, vpn: Vpn) -> PageStats {
-        match self.slot(vpn.0) {
-            Some(s) if s.stamp == self.epoch => s.stats,
-            _ => PageStats::default(),
+        let epoch = self.epoch_now();
+        if vpn.0 < DENSE_LIMIT {
+            let (sh, idx) = dense_pos(vpn.0);
+            match self.shards[sh].get(idx) {
+                Some(s) if s.stamp.load(Ordering::Relaxed) == epoch => s.stats_relaxed(),
+                _ => PageStats::default(),
+            }
+        } else {
+            match self.spill.find(vpn.0) {
+                Some(i) if self.spill.slots[i].stamp == epoch => self.spill.slots[i].stats,
+                _ => PageStats::default(),
+            }
         }
     }
 
     /// Remove a page's statistics (e.g. after unmap).
     pub fn forget(&mut self, vpn: Vpn) {
-        let epoch = self.epoch;
-        let live = match self.slot(vpn.0) {
-            Some(s) => s.stamp == epoch,
-            None => false,
-        };
-        if !live {
-            return;
-        }
-        let slot = if vpn.0 < DENSE_LIMIT {
-            &mut self.dense[vpn.0 as usize]
+        let epoch = self.epoch_now();
+        if vpn.0 < DENSE_LIMIT {
+            let (sh, idx) = dense_pos(vpn.0);
+            match self.shards[sh].get(idx) {
+                Some(s) if s.stamp.load(Ordering::Relaxed) == epoch => {
+                    s.write(0, PageStats::default()) // 0 is never a current epoch
+                }
+                _ => return,
+            }
         } else {
-            let i = self.spill.find(vpn.0).expect("checked above");
-            &mut self.spill.slots[i]
-        };
-        slot.stamp = 0; // 0 is never a current epoch
+            match self.spill.find(vpn.0) {
+                Some(i) if self.spill.slots[i].stamp == epoch => self.spill.slots[i].stamp = 0,
+                _ => return,
+            }
+        }
         self.live.retain(|&k| k != vpn.0);
         #[cfg(feature = "oracle")]
         {
@@ -402,10 +556,17 @@ impl HeatMap {
     }
 
     /// Iterate `(vpn, stats)` over live pages in first-record order.
-    pub fn iter(&self) -> impl Iterator<Item = (Vpn, &PageStats)> {
-        self.live
-            .iter()
-            .map(move |&k| (Vpn(k), &self.slot(k).expect("live page has a slot").stats))
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, PageStats)> + '_ {
+        self.live.iter().map(move |&k| (Vpn(k), self.get(Vpn(k))))
+    }
+
+    /// A lock-free read handle over the dense shards as they are now.
+    /// See [`HeatReader`] for the visibility contract.
+    pub fn reader(&self) -> HeatReader {
+        HeatReader {
+            epoch: Arc::clone(&self.epoch),
+            shards: self.shards.clone(),
+        }
     }
 
     /// The `n` extreme pages under `cmp` (a total order), best first:
@@ -527,6 +688,94 @@ impl HeatMap {
             .into_iter()
             .map(|(v, _)| v)
             .collect()
+    }
+}
+
+impl Clone for HeatMap {
+    /// Deep copy: fresh shard arrays and a fresh (unshared) epoch
+    /// counter, so the clone's readers never observe the original.
+    fn clone(&self) -> HeatMap {
+        HeatMap {
+            decay: self.decay,
+            epoch: Arc::new(AtomicU64::new(self.epoch_now())),
+            shards: self
+                .shards
+                .iter()
+                .map(|sh| Arc::from(sh.iter().map(AtomicSlot::copy_of).collect::<Vec<_>>()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            spill: self.spill.clone(),
+            live: self.live.clone(),
+            #[cfg(feature = "oracle")]
+            shadow: self.shadow.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for HeatMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HeatMap")
+            .field("decay", &self.decay)
+            .field("epoch", &self.epoch_now())
+            .field("live_pages", &self.live.len())
+            .field("spill_capacity", &self.spill.keys.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A lock-free, concurrent read handle over a [`HeatMap`]'s dense
+/// shards.
+///
+/// Reads go through each slot's seqlock: they spin (never block, never
+/// take a lock) while an update is in flight and retry if one raced the
+/// read, so a returned [`PageStats`] is always an untorn snapshot some
+/// writer actually produced. The handle snapshots the shard arrays at
+/// creation: pages first recorded after a shard *grows* past the
+/// snapshot read as cold, as do spill-range VPNs (at or above the dense
+/// limit) — monitoring-grade visibility, while the writer-thread
+/// [`HeatMap::get`] stays exact.
+#[derive(Clone)]
+pub struct HeatReader {
+    epoch: Arc<AtomicU64>,
+    shards: Box<[DenseShard]>,
+}
+
+impl HeatReader {
+    /// Statistics for one page (zero if never sampled, dead, beyond the
+    /// snapshot, or in the spill range).
+    pub fn get(&self, vpn: Vpn) -> PageStats {
+        if vpn.0 >= DENSE_LIMIT {
+            return PageStats::default();
+        }
+        let (sh, idx) = dense_pos(vpn.0);
+        let Some(slot) = self.shards[sh].get(idx) else {
+            return PageStats::default();
+        };
+        loop {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let stamp = slot.stamp.load(Ordering::Relaxed);
+            let stats = slot.stats_relaxed();
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) == s1 {
+                return if stamp == self.epoch.load(Ordering::Relaxed) {
+                    stats
+                } else {
+                    PageStats::default()
+                };
+            }
+        }
+    }
+}
+
+impl fmt::Debug for HeatReader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HeatReader")
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
     }
 }
 
@@ -824,5 +1073,104 @@ mod tests {
         h.record(Vpn(4_000), false, 2.0);
         assert_eq!(h.get(Vpn(4_000)).heat, 2.0);
         assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn clone_is_deep_and_independent() {
+        let mut h = HeatMap::new(0.5);
+        h.record(Vpn(1), false, 4.0);
+        h.record(Vpn(DENSE_LIMIT + 5), true, 2.0);
+        let mut c = h.clone();
+        assert_eq!(c.get(Vpn(1)), h.get(Vpn(1)));
+        assert_eq!(c.get(Vpn(DENSE_LIMIT + 5)), h.get(Vpn(DENSE_LIMIT + 5)));
+        c.record(Vpn(1), false, 1.0);
+        c.decay_epoch();
+        assert_eq!(h.get(Vpn(1)).heat, 4.0, "original untouched by clone");
+        assert_eq!(c.get(Vpn(1)).heat, 2.5);
+    }
+
+    #[test]
+    fn reader_matches_writer_view_single_threaded() {
+        let mut h = HeatMap::new(0.5);
+        for v in 0..300u64 {
+            h.record(Vpn(v), v % 4 == 0, (v % 9) as f64 + 1.0);
+        }
+        h.decay_epoch();
+        for v in 0..50u64 {
+            h.record(Vpn(v), false, 2.0);
+        }
+        let r = h.reader();
+        for v in 0..300u64 {
+            assert_eq!(r.get(Vpn(v)), h.get(Vpn(v)), "vpn {v}");
+        }
+        assert_eq!(r.get(Vpn(9_999)), PageStats::default(), "beyond snapshot");
+        assert_eq!(
+            r.get(Vpn(DENSE_LIMIT + 1)),
+            PageStats::default(),
+            "spill range is cold through the reader"
+        );
+    }
+
+    #[test]
+    fn reader_tracks_decay_through_shared_epoch() {
+        let mut h = HeatMap::new(0.0); // decay 0: everything dies
+        h.record(Vpn(7), false, 5.0);
+        let r = h.reader();
+        assert_eq!(r.get(Vpn(7)).heat, 5.0);
+        h.decay_epoch();
+        assert_eq!(r.get(Vpn(7)), PageStats::default(), "pruned page is cold");
+        h.record(Vpn(7), false, 1.0);
+        assert_eq!(r.get(Vpn(7)).heat, 1.0, "resurrection visible");
+    }
+
+    /// Satellite contract: concurrent lock-free reads during a record
+    /// pass never tear and never deadlock. The writer only issues reads
+    /// (`is_write = false`), so every consistent snapshot satisfies
+    /// `heat == reads && writes == 0` bitwise — both fields go through
+    /// the identical `+= weight` / `*= decay` sequence. A torn read
+    /// (heat updated, reads not) breaks the equality.
+    #[test]
+    fn concurrent_reads_never_tear_or_deadlock() {
+        use std::sync::atomic::AtomicBool;
+
+        let mut h = HeatMap::new(0.5);
+        h.reserve(512);
+        let reader = h.reader();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let r = reader.clone();
+                let done = &done;
+                scope.spawn(move || {
+                    let mut x: u64 = 0xDEAD_BEEF;
+                    let mut observed_hot = 0u64;
+                    while !done.load(Ordering::Relaxed) {
+                        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                        let s = r.get(Vpn((x >> 33) % 512));
+                        assert_eq!(s.heat.to_bits(), s.reads.to_bits(), "torn snapshot: {s:?}");
+                        assert_eq!(s.writes, 0.0, "torn snapshot: {s:?}");
+                        observed_hot += (s.heat > 0.0) as u64;
+                    }
+                    observed_hot
+                });
+            }
+            // The single writer hammers records and decays concurrently.
+            let mut x: u64 = 0x1234_5678;
+            for round in 0..200 {
+                for _ in 0..2_000 {
+                    x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    h.record(Vpn((x >> 33) % 512), false, ((x % 7) + 1) as f64);
+                }
+                if round % 10 == 0 {
+                    h.decay_epoch();
+                }
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+        // The writer-side view stays exact throughout.
+        for v in 0..512u64 {
+            let s = h.get(Vpn(v));
+            assert_eq!(s.heat.to_bits(), s.reads.to_bits());
+        }
     }
 }

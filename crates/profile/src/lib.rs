@@ -15,8 +15,8 @@ pub mod sampler;
 
 pub use advanced::{ChronoProfiler, TelescopeProfiler};
 pub use engine::AnyProfiler;
-pub use heat::{HeatMap, PageStats};
+pub use heat::{HeatMap, HeatReader, PageStats};
 pub use sampler::{
-    EpochOutcome, HintFaultProfiler, HybridProfiler, PebsProfiler, Profiler, PtScanProfiler,
-    DEFAULT_DECAY,
+    AccessBatch, EpochOutcome, HintFaultProfiler, HybridProfiler, PebsProfiler, Profiler,
+    PtScanProfiler, DEFAULT_DECAY,
 };

@@ -31,6 +31,40 @@ impl EpochOutcome {
     }
 }
 
+/// One batched access plane handed to a profiler at a chunk boundary.
+///
+/// The plane *is* the event stream: every access produced exactly one
+/// `on_access(Vpn(offsets[i]), writes[i])` in the scalar path, and
+/// `hints` lists (ascending) the plane indices whose access was
+/// immediately preceded by an `on_hint_fault` with the same VPN and
+/// write flag. Replaying the plane in index order therefore reproduces
+/// the scalar event sequence bit for bit.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessBatch<'a> {
+    /// Page numbers, one per access, in issue order.
+    pub offsets: &'a [u64],
+    /// Write flags, parallel to `offsets`.
+    pub writes: &'a [bool],
+    /// Ascending plane indices that took a hint fault.
+    pub hints: &'a [u32],
+}
+
+impl AccessBatch<'_> {
+    /// Replay the plane through the per-event interface. This is the
+    /// reference semantics every specialized `on_access_batch` must
+    /// reproduce (and the oracle's lockstep comparand).
+    pub fn replay_scalar<P: Profiler + ?Sized>(&self, p: &mut P) {
+        let mut h = 0usize;
+        for i in 0..self.offsets.len() {
+            if h < self.hints.len() && self.hints[h] as usize == i {
+                p.on_hint_fault(Vpn(self.offsets[i]), self.writes[i]);
+                h += 1;
+            }
+            p.on_access(Vpn(self.offsets[i]), self.writes[i]);
+        }
+    }
+}
+
 /// A page-access profiler.
 ///
 /// The runtime calls [`on_access`](Profiler::on_access) for every demand
@@ -48,6 +82,14 @@ pub trait Profiler: Send {
     /// Observe a hinting fault taken on a poisoned PTE.
     fn on_hint_fault(&mut self, vpn: Vpn, is_write: bool) {
         let _ = (vpn, is_write);
+    }
+
+    /// Observe a whole access plane at a batch boundary. Must be
+    /// byte-equivalent to [`AccessBatch::replay_scalar`]; the default is
+    /// exactly that replay, so implementations only override it to go
+    /// faster (e.g. sampling countdown skip-ahead).
+    fn on_access_batch(&mut self, batch: &AccessBatch) {
+        batch.replay_scalar(self);
     }
 
     /// Per-epoch maintenance (scanning, poisoning, decay). Returns the
@@ -106,6 +148,25 @@ impl PebsProfiler {
     pub fn period(&self) -> u64 {
         self.period
     }
+
+    /// Advance the sampling countdown across a run of accesses, touching
+    /// only the sampled ones — O(samples) instead of O(accesses). The
+    /// countdown stays in `[1, period]` on entry and exit, exactly as a
+    /// per-access decrement loop would leave it.
+    #[inline]
+    fn advance(&mut self, offsets: &[u64], writes: &[bool]) {
+        let n = offsets.len() as u64;
+        let mut pos = 0u64;
+        while self.countdown <= n - pos {
+            pos += self.countdown;
+            let i = (pos - 1) as usize;
+            self.countdown = self.period;
+            self.samples += 1;
+            self.heat
+                .record(Vpn(offsets[i]), writes[i], self.period as f64);
+        }
+        self.countdown -= n - pos;
+    }
 }
 
 impl Profiler for PebsProfiler {
@@ -117,6 +178,12 @@ impl Profiler for PebsProfiler {
             // One sample stands for `period` accesses.
             self.heat.record(vpn, is_write, self.period as f64);
         }
+    }
+
+    fn on_access_batch(&mut self, batch: &AccessBatch) {
+        // Hint faults are a no-op for pure PEBS, so the plane reduces to
+        // the countdown skip-ahead.
+        self.advance(batch.offsets, batch.writes);
     }
 
     fn epoch(&mut self, _space: &mut AddressSpace) -> EpochOutcome {
@@ -177,6 +244,10 @@ impl Default for PtScanProfiler {
 impl Profiler for PtScanProfiler {
     fn on_access(&mut self, _vpn: Vpn, _is_write: bool) {
         // Scanning sees accesses only through PTE accessed bits.
+    }
+
+    fn on_access_batch(&mut self, _batch: &AccessBatch) {
+        // No per-access state at all: whole planes are free.
     }
 
     fn epoch(&mut self, space: &mut AddressSpace) -> EpochOutcome {
@@ -259,6 +330,14 @@ impl Profiler for HintFaultProfiler {
         self.heat.record(vpn, is_write, 4.0);
     }
 
+    fn on_access_batch(&mut self, batch: &AccessBatch) {
+        // `on_access` is a no-op, so only the hint positions matter.
+        for &h in batch.hints {
+            let i = h as usize;
+            self.on_hint_fault(Vpn(batch.offsets[i]), batch.writes[i]);
+        }
+    }
+
     fn epoch(&mut self, space: &mut AddressSpace) -> EpochOutcome {
         self.heat.decay_epoch();
         let mut vpns = std::mem::take(&mut self.scratch);
@@ -336,6 +415,25 @@ impl Profiler for HybridProfiler {
         // policies read a single fused view.
         self.hint.faults += 1;
         self.pebs.heat.record(vpn, is_write, 4.0);
+    }
+
+    fn on_access_batch(&mut self, batch: &AccessBatch) {
+        // Hint faults interleave with the sampled stream in plane order
+        // (hint i fires just before access i), so the heat-map record
+        // sequence — and with it every f64 sum — matches the scalar
+        // path: skip-ahead between hint positions, per-event at them.
+        let mut start = 0usize;
+        for &h in batch.hints {
+            let h = h as usize;
+            self.pebs
+                .advance(&batch.offsets[start..h], &batch.writes[start..h]);
+            self.on_hint_fault(Vpn(batch.offsets[h]), batch.writes[h]);
+            self.pebs
+                .advance(&batch.offsets[h..=h], &batch.writes[h..=h]);
+            start = h + 1;
+        }
+        self.pebs
+            .advance(&batch.offsets[start..], &batch.writes[start..]);
     }
 
     fn epoch(&mut self, space: &mut AddressSpace) -> EpochOutcome {

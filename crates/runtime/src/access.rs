@@ -1,11 +1,27 @@
 //! Per-access simulation: TLB → page walk → tier access, with demand
 //! paging, hint faults and replication faults.
+//!
+//! Two drivers share the same per-access semantics:
+//!
+//! * the **scalar loop** ([`run_thread_quantum`]'s fallback): one
+//!   [`simulate_access`] call per access, profiler fed inline;
+//! * the **batched plane sweep** (DESIGN §11): the generator fills a
+//!   struct-of-arrays [`AccessPlan`] for a whole chunk of ops, the TLB
+//!   probes read-hit runs over the flat planes, only cold accesses
+//!   (writes, misses, huge-region hits) drop into the full per-access
+//!   path, and the profiler consumes the executed plane once per chunk
+//!   via [`AccessBatch`]. Batching reorders *host* work only — simulated
+//!   latencies, stats and heat contents are byte-identical because every
+//!   reordered quantity (u64 latency sums, byte counters) commutes and
+//!   every order-sensitive one (f64 heat records, generator RNG draws)
+//!   is replayed in exact plane order.
 
 use crate::state::{WorkloadState, WorkloadStats};
 use vulcan_migrate::ShadowRegistry;
-use vulcan_profile::AnyProfiler;
+use vulcan_profile::{AccessBatch, AnyProfiler};
 use vulcan_sim::{CoreId, FaultSite, Machine, Nanos, TierKind};
 use vulcan_vm::{LocalTid, Process, TlbArray, Vpn};
+use vulcan_workloads::AccessPlan;
 
 /// Cost of linking a thread's private upper-level tables to a shared leaf
 /// (a minor "replication fault", §3.6's manipulation overhead).
@@ -26,12 +42,29 @@ const DIRTY_WALK: Nanos = Nanos(5);
 /// contract: alloc faults degrade to a stall, never a panic).
 const ALLOC_RETRY_STALL: Nanos = Nanos(10_000);
 
+/// Ops per batched plane chunk. Large enough to amortize the per-chunk
+/// profiler flush and latency loads, small enough that the rewind replay
+/// on budget exhaustion stays cheap.
+const BATCH_OPS: usize = 128;
+
 /// Feed an access to the profiler unless the fault plan drops the
 /// sample. A drop is self-recovering — the page's heat simply decays as
 /// if it were cold — so the recovery is tallied at the injection point.
+///
+/// `drops_armed` is hoisted per thread-quantum: with no sample-drop plan
+/// armed the per-access `FaultPlan` roll is skipped entirely, which is
+/// byte-identical because a disabled or rate-0 roll returns `false`
+/// without consuming RNG state or touching counters.
 #[inline]
-fn profile_access(machine: &mut Machine, profiler: &mut AnyProfiler, vpn: Vpn, write: bool) {
-    if machine.faults.sample_dropped() {
+fn profile_access(
+    machine: &mut Machine,
+    profiler: &mut AnyProfiler,
+    drops_armed: bool,
+    vpn: Vpn,
+    write: bool,
+) {
+    debug_assert_eq!(drops_armed, machine.faults.sample_drops_armed());
+    if drops_armed && machine.faults.sample_dropped() {
         machine.faults.note_recovery(FaultSite::SampleDrop);
     } else {
         profiler.on_access(vpn, write);
@@ -39,11 +72,9 @@ fn profile_access(machine: &mut Machine, profiler: &mut AnyProfiler, vpn: Vpn, w
 }
 
 /// Simulate one memory access of `tid` to `vpn`; returns its latency.
+/// Feeds the profiler inline (hint fault first, then the access), in
+/// exactly the order the pre-batching scalar path used.
 #[allow(clippy::too_many_arguments)]
-// Allow-listed for the ISSUE 5 lint gate: every expect below guards a
-// mapping invariant established earlier on the same path (a page just
-// mapped, touched or capacity-checked), not an external condition.
-#[allow(clippy::expect_used)]
 pub(crate) fn simulate_access(
     machine: &mut Machine,
     tlbs: &mut TlbArray,
@@ -53,11 +84,50 @@ pub(crate) fn simulate_access(
     stats: &mut WorkloadStats,
     quota: u64,
     thp: bool,
+    drops_armed: bool,
     core: CoreId,
     tid: LocalTid,
     vpn: Vpn,
     write: bool,
 ) -> Nanos {
+    let (t, hint) = simulate_access_unprofiled(
+        machine, tlbs, process, shadows, stats, quota, thp, core, tid, vpn, write,
+    );
+    // Profiler events trail the machine state changes of the access they
+    // belong to, and the hint fault precedes the access itself — the
+    // same sequence the monolithic path produced. Neither call touches
+    // machine state except the (armed-only) sample-drop roll, which in
+    // the monolithic path also ran after every allocation roll of this
+    // access.
+    if hint {
+        profiler.on_hint_fault(vpn, write);
+    }
+    profile_access(machine, profiler, drops_armed, vpn, write);
+    t
+}
+
+/// The machine/VM side of one access, with every profiler call hoisted
+/// out: returns the access latency and whether it took a hint fault (the
+/// caller owes the profiler `on_hint_fault` + `on_access`, in that
+/// order). The batched sweep defers those to a per-chunk plane flush.
+#[allow(clippy::too_many_arguments)]
+// Allow-listed for the ISSUE 5 lint gate: every expect below guards a
+// mapping invariant established earlier on the same path (a page just
+// mapped, touched or capacity-checked), not an external condition.
+#[allow(clippy::expect_used)]
+fn simulate_access_unprofiled(
+    machine: &mut Machine,
+    tlbs: &mut TlbArray,
+    process: &mut Process,
+    shadows: &mut ShadowRegistry,
+    stats: &mut WorkloadStats,
+    quota: u64,
+    thp: bool,
+    core: CoreId,
+    tid: LocalTid,
+    vpn: Vpn,
+    write: bool,
+) -> (Nanos, bool) {
     let ac = &machine.spec().access_costs;
     let (tlb_hit, walk, minor_fault) = (ac.tlb_hit, ac.walk, ac.minor_fault);
     let mut t = tlb_hit;
@@ -85,7 +155,6 @@ pub(crate) fn simulate_access(
         let lat = machine.access_latency(tier);
         t += lat;
         machine.record_access(tier);
-        profile_access(machine, profiler, vpn, write);
         match tier {
             TierKind::Fast => stats.fast_q += 1,
             TierKind::Slow => stats.slow_q += 1,
@@ -96,9 +165,10 @@ pub(crate) fn simulate_access(
             stats.read_bytes_q += 64;
         }
         stats.mem_time_q += lat;
-        return t;
+        return (t, false);
     }
 
+    let mut hint = false;
     let cached = tlbs.core(core).lookup(process.asid, vpn);
     let frame = match cached {
         Some(f) if !write => f,
@@ -110,7 +180,7 @@ pub(crate) fn simulate_access(
                     if out.hint_fault {
                         stats.hint_faults += 1;
                         t += minor_fault;
-                        profiler.on_hint_fault(vpn, true);
+                        hint = true;
                         stats.hint_faulted_pages.push((vpn, true));
                     }
                     out.pte.frame().expect("touched mapped page")
@@ -140,7 +210,6 @@ pub(crate) fn simulate_access(
                         let tier = pte.tier().expect("mapped");
                         let lat = machine.access_latency(tier);
                         machine.record_access(tier);
-                        profile_access(machine, profiler, vpn, write);
                         match tier {
                             TierKind::Fast => stats.fast_q += 1,
                             TierKind::Slow => stats.slow_q += 1,
@@ -151,7 +220,7 @@ pub(crate) fn simulate_access(
                             stats.read_bytes_q += 64;
                         }
                         stats.mem_time_q += lat;
-                        return t + lat;
+                        return (t + lat, false);
                     }
                     t += MAJOR_FAULT;
                     let frame = match machine.alloc_with_fallback(pref) {
@@ -194,7 +263,7 @@ pub(crate) fn simulate_access(
             if out.hint_fault {
                 stats.hint_faults += 1;
                 t += minor_fault;
-                profiler.on_hint_fault(vpn, write);
+                hint = true;
                 stats.hint_faulted_pages.push((vpn, write));
             }
             if out.replication_fault {
@@ -211,7 +280,6 @@ pub(crate) fn simulate_access(
     let lat = machine.access_latency(tier);
     t += lat;
     machine.record_access(tier);
-    profile_access(machine, profiler, vpn, write);
     match tier {
         TierKind::Fast => stats.fast_q += 1,
         TierKind::Slow => stats.slow_q += 1,
@@ -222,7 +290,7 @@ pub(crate) fn simulate_access(
         stats.read_bytes_q += 64;
     }
     stats.mem_time_q += lat;
-    t
+    (t, hint)
 }
 
 /// Try to service a major fault with a whole 2 MiB region: every page of
@@ -279,7 +347,10 @@ fn try_thp_fault(
 }
 
 /// Run one thread of a workload for (at least) `budget` of simulated time,
-/// completing whole operations.
+/// completing whole operations. Dispatches to the batched plane sweep
+/// when `batched` is requested, the generator supports plan filling, and
+/// no fault plan is armed (fault rolls are interleaved per access, so
+/// injection runs force the scalar loop).
 // Allow-listed for the ISSUE 5 lint gate: thread indices and core
 // pinning are construction-time invariants, not runtime conditions.
 #[allow(clippy::expect_used)]
@@ -289,13 +360,19 @@ pub(crate) fn run_thread_quantum(
     ws: &mut WorkloadState,
     thread_idx: usize,
     budget: Nanos,
+    batched: bool,
 ) {
     if budget == Nanos::ZERO {
         ws.stats.active_q += Nanos::ZERO;
         return;
     }
+    if batched && ws.gen.batchable() && !machine.faults.is_enabled() {
+        run_thread_quantum_batched(machine, tlbs, ws, thread_idx, budget);
+        return;
+    }
     let quota = ws.effective_quota();
     let thp = ws.spec.thp;
+    let drops_armed = machine.faults.sample_drops_armed();
     let tid = LocalTid(u8::try_from(thread_idx).expect("thread index fits the 7-bit PTE field"));
     let WorkloadState {
         gen,
@@ -330,6 +407,7 @@ pub(crate) fn run_thread_quantum(
                 stats,
                 quota,
                 thp,
+                drops_armed,
                 core,
                 tid,
                 Vpn(a.offset),
@@ -340,6 +418,183 @@ pub(crate) fn run_thread_quantum(
         stats.ops_q += 1;
         stats.ops_total += 1;
         stats.op_latency_q += t;
+    }
+    ws.stats.active_q += used;
+}
+
+/// The batched plane sweep (DESIGN §11). Per chunk of [`BATCH_OPS`] ops:
+///
+/// 1. **fill** — the generator writes a struct-of-arrays [`AccessPlan`]
+///    (RNG snapshot taken first, for the budget-exhaustion rewind);
+/// 2. **probe** — [`Tlb::probe_read_one`](vulcan_vm::Tlb) consumes runs
+///    of base-page read hits per op segment, applying exactly
+///    `lookup`'s clock/stamp/hit effects, while hit latencies
+///    accumulate as `count × loaded-latency` (u64 products, so sums
+///    match the scalar order bit-for-bit);
+/// 3. **cold** — the access that stopped the probe (a write, a
+///    huge-region page, or a TLB miss) runs the full
+///    [`simulate_access_unprofiled`] walk/fault path;
+/// 4. **flush** — the executed plane prefix feeds the profiler once via
+///    [`AnyProfiler::on_access_batch`], hint positions interleaved in
+///    plane order, reproducing the scalar event sequence exactly.
+///
+/// Budget is checked per op, as in the scalar loop. If it exhausts
+/// mid-chunk, the generator and RNG are rewound to the op boundary by
+/// replaying the fill for the consumed prefix.
+#[allow(clippy::expect_used)] // same construction-time invariants as the scalar loop
+fn run_thread_quantum_batched(
+    machine: &mut Machine,
+    tlbs: &mut TlbArray,
+    ws: &mut WorkloadState,
+    thread_idx: usize,
+    budget: Nanos,
+) {
+    let quota = ws.effective_quota();
+    let thp = ws.spec.thp;
+    let tid = LocalTid(u8::try_from(thread_idx).expect("thread index fits the 7-bit PTE field"));
+    let WorkloadState {
+        gen,
+        rngs,
+        process,
+        profiler,
+        shadows,
+        stats,
+        ..
+    } = ws;
+    let core = machine
+        .topology
+        .core_of(process.sim_thread(tid))
+        .expect("threads are pinned at construction");
+    let rng = &mut rngs[thread_idx];
+    let fixed = gen.fixed_op_nanos();
+    let tlb_hit = machine.spec().access_costs.tlb_hit;
+    let asid = process.asid;
+
+    let mut plan = AccessPlan::default();
+    let mut scratch = AccessPlan::default();
+    let mut hints: Vec<u32> = Vec::new();
+    let mut used = Nanos::ZERO;
+
+    while used < budget {
+        plan.clear();
+        let snapshot = rng.clone();
+        let filled = gen.fill_batch(thread_idx, rng, &mut plan, BATCH_OPS);
+        debug_assert!(filled > 0 && filled <= BATCH_OPS);
+        hints.clear();
+        // Loaded latencies only change at quantum boundaries; one load
+        // per chunk also keeps the oracle's Latency lockstep check warm.
+        let lat_fast = machine.access_latency(TierKind::Fast);
+        let lat_slow = machine.access_latency(TierKind::Slow);
+        // Huge regions appear only through THP faults, so a chunk that
+        // starts with none (and no THP) can skip the per-access
+        // `in_huge` screen entirely.
+        let huge_possible = thp || process.space.huge_count() > 0;
+        // Tier hits fold into per-chunk counters; every reordered
+        // quantity is a u64 sum, so totals match the scalar order
+        // bit-for-bit.
+        let mut chunk_fast = 0u64;
+        let mut chunk_slow = 0u64;
+        let mut executed = 0usize; // accesses of the plan actually run
+        let mut ops_done = 0usize;
+        for op in 0..filled {
+            let (start, end) = plan.op_range(op);
+            let mut fast = 0u64;
+            let mut slow = 0u64;
+            let mut cold = Nanos::ZERO;
+            let mut i = start;
+            while i < end {
+                // Hot run: consecutive base-page read hits, probed with
+                // `lookup`'s exact side effects and no per-access
+                // accounting beyond two tier counters.
+                {
+                    let tlb = tlbs.core(core);
+                    while i < end {
+                        if plan.writes[i] {
+                            break;
+                        }
+                        let vpn = Vpn(plan.offsets[i]);
+                        if huge_possible && process.space.in_huge(vpn) {
+                            break;
+                        }
+                        match tlb.probe_read_one(asid, vpn) {
+                            Some(frame) => {
+                                match frame.tier {
+                                    TierKind::Fast => fast += 1,
+                                    TierKind::Slow => slow += 1,
+                                }
+                                i += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                if i < end {
+                    // The access that stopped the run: a write, a
+                    // huge-region page, or a TLB miss.
+                    let (dt, hint) = simulate_access_unprofiled(
+                        machine,
+                        tlbs,
+                        process,
+                        shadows,
+                        stats,
+                        quota,
+                        thp,
+                        core,
+                        tid,
+                        Vpn(plan.offsets[i]),
+                        plan.writes[i],
+                    );
+                    cold += dt;
+                    if hint {
+                        hints.push(i as u32);
+                    }
+                    i += 1;
+                }
+            }
+            let reads = fast + slow;
+            let mem = lat_fast.0 * fast + lat_slow.0 * slow;
+            let t = fixed + Nanos(tlb_hit.0 * reads + mem) + cold;
+            chunk_fast += fast;
+            chunk_slow += slow;
+            used += t;
+            stats.ops_q += 1;
+            stats.ops_total += 1;
+            stats.op_latency_q += t;
+            ops_done = op + 1;
+            executed = end;
+            if used >= budget {
+                break;
+            }
+        }
+        let reads = chunk_fast + chunk_slow;
+        stats.fast_q += chunk_fast;
+        stats.slow_q += chunk_slow;
+        stats.read_bytes_q += 64 * reads;
+        stats.mem_time_q += Nanos(lat_fast.0 * chunk_fast + lat_slow.0 * chunk_slow);
+        machine.record_accesses(TierKind::Fast, chunk_fast);
+        machine.record_accesses(TierKind::Slow, chunk_slow);
+        // One profiler flush per chunk, over the executed plane prefix.
+        profiler.on_access_batch(&AccessBatch {
+            offsets: &plan.offsets[..executed],
+            writes: &plan.writes[..executed],
+            hints: &hints,
+        });
+        if ops_done < filled {
+            // Budget exhausted mid-chunk: rewind generator and RNG to the
+            // consumed op boundary by replaying the fill for exactly the
+            // executed ops, leaving both as `ops_done` scalar `next_op`
+            // calls would have.
+            gen.rollback_ops(thread_idx, filled);
+            *rng = snapshot;
+            scratch.clear();
+            let refilled = gen.fill_batch(thread_idx, rng, &mut scratch, ops_done);
+            debug_assert_eq!(refilled, ops_done);
+            debug_assert_eq!(
+                scratch.offsets.as_slice(),
+                &plan.offsets[..executed],
+                "rewind replay must reproduce the executed plan prefix"
+            );
+        }
     }
     ws.stats.active_q += used;
 }

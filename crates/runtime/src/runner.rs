@@ -54,6 +54,12 @@ pub struct SimConfig {
     /// injection enabled, fewer than two core-disjoint groups, a tier
     /// too full for the plenty guard) silently run sequentially.
     pub shards: usize,
+    /// Drive batch-capable generators through the struct-of-arrays plane
+    /// sweep (ISSUE 8) instead of the scalar per-access loop. Both paths
+    /// produce byte-identical results (the differential oracle holds
+    /// them in lockstep); this switch exists for benchmarking the scalar
+    /// baseline. Fault-injection runs always use the scalar loop.
+    pub batched_planes: bool,
 }
 
 impl Default for SimConfig {
@@ -68,6 +74,7 @@ impl Default for SimConfig {
             telemetry: Telemetry::disabled(),
             faults: FaultConfig::default(),
             shards: 1,
+            batched_planes: true,
         }
     }
 }
@@ -473,8 +480,12 @@ impl SimRunner {
 
         // Execute + profile (sharded when the determinism contract
         // holds; see `crate::shard`).
-        let mode =
-            shard::execute_quantum(&mut self.state, self.cfg.quantum_active, self.cfg.shards);
+        let mode = shard::execute_quantum(
+            &mut self.state,
+            self.cfg.quantum_active,
+            self.cfg.shards,
+            self.cfg.batched_planes,
+        );
         if let ExecuteMode::Sharded { .. } = mode {
             self.sharded_quanta += 1;
         }

@@ -1,0 +1,184 @@
+//! The batched plane-sweep contract (ISSUE 8): batching is a host-side
+//! throughput knob, never a results knob.
+//!
+//! A cell stepped with `batched_planes: true` must produce
+//! [`QuantumOutcome`]s *and* per-workload heat-table contents that are
+//! byte-identical to the scalar per-access loop, across THP on/off,
+//! demand-fault churn, and shootdown-producing migration interleavings.
+//! Fault-injection plans interleave RNG rolls per access, so armed
+//! plans must force the scalar loop on both settings.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vulcan_migrate::MechanismConfig;
+use vulcan_runtime::{QuantumOutcome, SimConfig, SimRunner, SystemState, TieringPolicy};
+use vulcan_sim::{FaultConfig, MachineSpec, Nanos, TierKind};
+use vulcan_vm::Vpn;
+use vulcan_workloads::{microbench, MicroConfig, WorkloadSpec};
+
+/// One workload's heat table, flattened to a sortable bitwise form.
+type HeatDump = Vec<(u64, u64, u64, u64)>;
+
+fn dump_heat(st: &SystemState, w: usize) -> HeatDump {
+    let mut rows: HeatDump = st.workloads[w]
+        .heat()
+        .iter()
+        .map(|(vpn, s)| {
+            (
+                vpn.0,
+                s.heat.to_bits(),
+                s.reads.to_bits(),
+                s.writes.to_bits(),
+            )
+        })
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// Shuttles pages both ways every quantum (sync promotions stall and
+/// shoot down TLBs; background demotions age out), then snapshots every
+/// workload's heat table so the comparison covers profiler state, not
+/// just the public outcome.
+struct SnoopShuttle {
+    mech: MechanismConfig,
+    log: Rc<RefCell<Vec<HeatDump>>>,
+}
+
+impl SnoopShuttle {
+    fn resident(st: &SystemState, w: usize, tier: TierKind, cap: usize) -> Vec<Vpn> {
+        let space = &st.workloads[w].process.space;
+        space
+            .mapped_vpns()
+            .filter(|&v| space.pte(v).tier() == Some(tier))
+            .take(cap)
+            .collect()
+    }
+}
+
+impl TieringPolicy for SnoopShuttle {
+    fn name(&self) -> &'static str {
+        "snoop-shuttle"
+    }
+
+    fn on_quantum(&mut self, st: &mut SystemState) {
+        for w in 0..st.n_workloads() {
+            if !st.workloads[w].started {
+                continue;
+            }
+            let up = Self::resident(st, w, TierKind::Slow, 8);
+            if !up.is_empty() {
+                st.migrate_sync(w, &up, TierKind::Fast, &self.mech);
+            }
+            let down = Self::resident(st, w, TierKind::Fast, 4);
+            if !down.is_empty() {
+                st.migrate_background(w, &down, TierKind::Slow, &self.mech);
+            }
+        }
+        let mut log = self.log.borrow_mut();
+        for w in 0..st.n_workloads() {
+            log.push(dump_heat(st, w));
+        }
+    }
+}
+
+fn micro_spec(name: &str, thp: bool, seed_skew: f64) -> WorkloadSpec {
+    let mut spec = microbench(
+        name,
+        MicroConfig {
+            rss_pages: 256,
+            wss_pages: 96,
+            skew: seed_skew,
+            ..Default::default()
+        },
+        2,
+    );
+    spec.thp = thp;
+    spec
+}
+
+struct Cell {
+    runner: SimRunner,
+    log: Rc<RefCell<Vec<HeatDump>>>,
+}
+
+fn cell(batched: bool, thp: bool, seed: u64, faults: FaultConfig) -> Cell {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let runner = SimRunner::builder()
+        .machine(MachineSpec::small(1_024, 4_096, 4))
+        .workloads(vec![micro_spec("a", thp, 0.99), micro_spec("b", thp, 0.8)])
+        .policy(Box::new(SnoopShuttle {
+            mech: MechanismConfig::linux_baseline(),
+            log: Rc::clone(&log),
+        }))
+        .config(SimConfig {
+            n_quanta: 0,
+            quantum_active: Nanos::micros(200),
+            seed,
+            batched_planes: batched,
+            faults,
+            ..Default::default()
+        })
+        .build();
+    Cell { runner, log }
+}
+
+fn step(cell: &mut Cell, quanta: u64) -> Vec<QuantumOutcome> {
+    (0..quanta).map(|_| cell.runner.run_quantum()).collect()
+}
+
+fn assert_lockstep(thp: bool, seed: u64, faults: FaultConfig, quanta: u64) {
+    let mut scalar = cell(false, thp, seed, faults.clone());
+    let mut batched = cell(true, thp, seed, faults);
+    let base = step(&mut scalar, quanta);
+    let plane = step(&mut batched, quanta);
+    for (q, (s, b)) in base.iter().zip(&plane).enumerate() {
+        assert_eq!(
+            s, b,
+            "outcome diverged at quantum {q} (thp={thp} seed={seed})"
+        );
+    }
+    let base_heat = scalar.log.borrow();
+    let plane_heat = batched.log.borrow();
+    assert_eq!(base_heat.len(), plane_heat.len());
+    for (q, (s, b)) in base_heat.iter().zip(plane_heat.iter()).enumerate() {
+        assert_eq!(
+            s, b,
+            "heat tables diverged at snapshot {q} (thp={thp} seed={seed})"
+        );
+    }
+}
+
+#[test]
+fn batched_matches_scalar_without_thp() {
+    // Demand faults, hint faults (default Hybrid profiler poisons PTEs),
+    // sync-promotion shootdowns and write hits all interleave with the
+    // probe runs; outcomes and heat must not move by a bit.
+    for seed in [7, 42] {
+        assert_lockstep(false, seed, FaultConfig::default(), 10);
+    }
+}
+
+#[test]
+fn batched_matches_scalar_with_thp() {
+    // THP-backed regions never enter the read-hit probe (one 2 MiB
+    // entry covers them), so every huge access exercises the cold-path
+    // handoff mid-plane.
+    for seed in [7, 42] {
+        assert_lockstep(true, seed, FaultConfig::default(), 10);
+    }
+}
+
+#[test]
+fn fault_plans_force_the_scalar_loop() {
+    // Armed plans roll per-access RNG decisions the plane sweep cannot
+    // reorder, so `batched_planes: true` must fall back to the scalar
+    // loop — both settings stay byte-identical even with injection on.
+    let cfg = FaultConfig {
+        alloc_fast_rate: 0.05,
+        sample_drop_rate: 0.05,
+        ..FaultConfig::default()
+    };
+    assert_lockstep(false, 11, cfg, 8);
+}

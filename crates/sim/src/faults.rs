@@ -314,6 +314,14 @@ impl FaultPlan {
     pub fn sample_dropped(&mut self) -> bool {
         self.roll(FaultSite::SampleDrop)
     }
+
+    /// Whether [`sample_dropped`](Self::sample_dropped) can ever return
+    /// true. When false the roll is a guaranteed no-op (no RNG draw, no
+    /// counter movement), so callers may skip it wholesale.
+    #[inline]
+    pub fn sample_drops_armed(&self) -> bool {
+        self.enabled && self.cfg.sample_drop_rate > 0.0
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +338,33 @@ mod tests {
         }
         assert_eq!(p.stats().total_injected(), 0);
         assert_eq!(p.counters, [0; N_FAULT_SITES]);
+    }
+
+    #[test]
+    fn unarmed_sample_drop_roll_is_a_pure_no_op() {
+        // The hot path skips `sample_dropped()` entirely when no
+        // sample-drop rate is armed (ISSUE 8 satellite); that is only
+        // byte-identical if an unarmed roll perturbs neither counters
+        // nor any other site's decision stream.
+        let cfg = FaultConfig::single(FaultSite::AllocFast, 0.2);
+        let mut with_rolls = FaultPlan::new(9, cfg.clone());
+        let mut without = FaultPlan::new(9, cfg);
+        assert!(with_rolls.is_enabled());
+        assert!(!with_rolls.sample_drops_armed());
+        let a: Vec<bool> = (0..500)
+            .map(|_| {
+                assert!(!with_rolls.sample_dropped());
+                with_rolls.alloc_fails(TierKind::Fast)
+            })
+            .collect();
+        let b: Vec<bool> = (0..500)
+            .map(|_| without.alloc_fails(TierKind::Fast))
+            .collect();
+        assert_eq!(a, b);
+        assert_eq!(with_rolls.counters, without.counters);
+        assert!(
+            FaultPlan::new(9, FaultConfig::single(FaultSite::SampleDrop, 0.1)).sample_drops_armed()
+        );
     }
 
     #[test]

@@ -228,6 +228,14 @@ impl Machine {
         self.bandwidth.record(tier, 64);
     }
 
+    /// Record `n` cache-line demand accesses against `tier`'s bandwidth
+    /// in one call. Byte counters are plain sums, so this is exactly
+    /// `n` calls to [`record_access`](Self::record_access).
+    #[inline]
+    pub fn record_accesses(&mut self, tier: TierKind, n: u64) {
+        self.bandwidth.record(tier, 64 * n);
+    }
+
     /// Record a page copy (reads source tier, writes destination tier).
     pub fn record_page_copy(&mut self, from: TierKind, to: TierKind) {
         self.bandwidth.record(from, PAGE_SIZE as u64);

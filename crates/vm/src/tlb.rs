@@ -35,15 +35,61 @@ struct HugeWay {
 /// smaller 2 MiB-entry array. One huge entry covers 512 base pages —
 /// the TLB-coverage benefit THP buys (§3.5 keeps THP enabled by default
 /// and splits only on promotion).
+///
+/// Ways live in one flat slot array per structure (`set * ways` stride)
+/// with a per-set occupancy count, instead of a `Vec` per set: one
+/// allocation, no pointer chase per probe, and the batched plane sweep
+/// ([`Tlb::probe_read_one`]) walks it linearly. Within a set the scan
+/// order is insertion order and eviction replaces the minimum-stamp way
+/// in place — exactly the semantics the per-set `Vec`s had.
 #[derive(Clone, Debug)]
 pub struct Tlb {
-    sets: Vec<Vec<Way>>,
+    slots: Vec<Way>,
+    lens: Vec<u32>,
+    n_sets: usize,
     ways: usize,
-    huge_sets: Vec<Vec<HugeWay>>,
+    huge_slots: Vec<HugeWay>,
+    huge_lens: Vec<u32>,
     huge_ways: usize,
     clock: u32,
     hits: u64,
     misses: u64,
+}
+
+/// Filler for unoccupied flat slots (never read: `lens` bounds scans).
+const EMPTY_WAY: Way = Way {
+    asid: Asid(0),
+    vpn: Vpn(0),
+    frame: FrameId {
+        tier: vulcan_sim::TierKind::Fast,
+        index: 0,
+    },
+    stamp: 0,
+};
+
+const EMPTY_HUGE_WAY: HugeWay = HugeWay {
+    asid: Asid(0),
+    base: 0,
+    stamp: 0,
+};
+
+/// The number of huge-TLB sets (fixed; 16 sets × 8 ways = 128 entries).
+const HUGE_SETS: usize = 16;
+
+/// `Vec::retain` over one flat set: keep ways satisfying `keep`,
+/// shifting survivors left (preserving scan order); returns whether
+/// anything was dropped.
+fn retain_set<W: Copy>(slots: &mut [W], len: &mut u32, mut keep: impl FnMut(&W) -> bool) -> bool {
+    let n = *len as usize;
+    let mut kept = 0;
+    for i in 0..n {
+        if keep(&slots[i]) {
+            slots[kept] = slots[i];
+            kept += 1;
+        }
+    }
+    *len = kept as u32;
+    kept != n
 }
 
 impl Tlb {
@@ -51,9 +97,12 @@ impl Tlb {
     pub fn new(sets: usize, ways: usize) -> Tlb {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Tlb {
-            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            slots: vec![EMPTY_WAY; sets * ways],
+            lens: vec![0; sets],
+            n_sets: sets,
             ways,
-            huge_sets: (0..16).map(|_| Vec::with_capacity(8)).collect(),
+            huge_slots: vec![EMPTY_HUGE_WAY; HUGE_SETS * 8],
+            huge_lens: vec![0; HUGE_SETS],
             huge_ways: 8,
             clock: 0,
             hits: 0,
@@ -68,7 +117,14 @@ impl Tlb {
     }
 
     fn huge_set_of(&self, base: u64) -> usize {
-        ((base >> 9) as usize) & (self.huge_sets.len() - 1)
+        ((base >> 9) as usize) & (self.huge_lens.len() - 1)
+    }
+
+    /// The occupied slice of huge set `set`, mutable.
+    #[inline]
+    fn huge_set_mut(&mut self, set: usize) -> &mut [HugeWay] {
+        let base = set * self.huge_ways;
+        &mut self.huge_slots[base..base + self.huge_lens[set] as usize]
     }
 
     /// Look up a 2 MiB translation covering `vpn` (base = `vpn & !511`).
@@ -78,7 +134,8 @@ impl Tlb {
         let stamp = self.clock;
         let base = vpn.huge_base().0;
         let set = self.huge_set_of(base);
-        if let Some(w) = self.huge_sets[set]
+        if let Some(w) = self
+            .huge_set_mut(set)
             .iter_mut()
             .find(|w| w.asid == asid && w.base == base)
         {
@@ -97,16 +154,25 @@ impl Tlb {
         let base = vpn.huge_base().0;
         let ways = self.huge_ways;
         let set = self.huge_set_of(base);
-        let set = &mut self.huge_sets[set];
-        if let Some(w) = set.iter_mut().find(|w| w.asid == asid && w.base == base) {
+        if let Some(w) = self
+            .huge_set_mut(set)
+            .iter_mut()
+            .find(|w| w.asid == asid && w.base == base)
+        {
             w.stamp = stamp;
             return;
         }
         let way = HugeWay { asid, base, stamp };
-        if set.len() < ways {
-            set.push(way);
+        let len = self.huge_lens[set] as usize;
+        let slot_base = set * ways;
+        if len < ways {
+            self.huge_slots[slot_base + len] = way;
+            self.huge_lens[set] += 1;
         } else {
-            *set.iter_mut().min_by_key(|w| w.stamp).expect("full set") = way;
+            *self.huge_slots[slot_base..slot_base + ways]
+                .iter_mut()
+                .min_by_key(|w| w.stamp)
+                .expect("full set") = way;
         }
     }
 
@@ -114,13 +180,16 @@ impl Tlb {
     pub fn invalidate_huge(&mut self, asid: Asid, vpn: Vpn) -> bool {
         let base = vpn.huge_base().0;
         let set = self.huge_set_of(base);
-        let before = self.huge_sets[set].len();
-        self.huge_sets[set].retain(|w| !(w.asid == asid && w.base == base));
-        self.huge_sets[set].len() != before
+        let ways = self.huge_ways;
+        retain_set(
+            &mut self.huge_slots[set * ways..(set + 1) * ways],
+            &mut self.huge_lens[set],
+            |w| !(w.asid == asid && w.base == base),
+        )
     }
 
     fn set_of(&self, vpn: Vpn) -> usize {
-        (vpn.0 as usize) & (self.sets.len() - 1)
+        (vpn.0 as usize) & (self.n_sets - 1)
     }
 
     /// Look up a translation; records hit/miss statistics.
@@ -129,9 +198,10 @@ impl Tlb {
         self.clock = self.clock.wrapping_add(1);
         let stamp = self.clock;
         let set = self.set_of(vpn);
+        let base = set * self.ways;
         // VPN first: it discriminates more than the ASID, so mismatching
         // ways fail on the first compare.
-        if let Some(way) = self.sets[set]
+        if let Some(way) = self.slots[base..base + self.lens[set] as usize]
             .iter_mut()
             .find(|w| w.vpn == vpn && w.asid == asid)
         {
@@ -143,14 +213,38 @@ impl Tlb {
         None
     }
 
+    /// One read-probe of the batched plane sweep: [`Tlb::lookup`]
+    /// specialized to the hit case. On a hit it applies exactly
+    /// `lookup`'s side effects (clock bump, stamp refresh, hit count)
+    /// and returns the frame; on a miss the TLB is left completely
+    /// untouched — no miss count, no clock tick — so the cold path's
+    /// own `lookup` replays the access's single miss exactly.
+    #[inline]
+    pub fn probe_read_one(&mut self, asid: Asid, vpn: Vpn) -> Option<FrameId> {
+        let set = self.set_of(vpn);
+        let base = set * self.ways;
+        let pos = self.slots[base..base + self.lens[set] as usize]
+            .iter()
+            .position(|w| w.vpn == vpn && w.asid == asid)?;
+        self.clock = self.clock.wrapping_add(1);
+        self.hits += 1;
+        let way = &mut self.slots[base + pos];
+        way.stamp = self.clock;
+        Some(way.frame)
+    }
+
     /// Install a translation, evicting LRU within the set if needed.
     pub fn insert(&mut self, asid: Asid, vpn: Vpn, frame: FrameId) {
         self.clock = self.clock.wrapping_add(1);
         let stamp = self.clock;
         let ways = self.ways;
-        let set_idx = self.set_of(vpn);
-        let set = &mut self.sets[set_idx];
-        if let Some(way) = set.iter_mut().find(|w| w.asid == asid && w.vpn == vpn) {
+        let set = self.set_of(vpn);
+        let base = set * ways;
+        let len = self.lens[set] as usize;
+        if let Some(way) = self.slots[base..base + len]
+            .iter_mut()
+            .find(|w| w.asid == asid && w.vpn == vpn)
+        {
             way.frame = frame;
             way.stamp = stamp;
             return;
@@ -161,10 +255,11 @@ impl Tlb {
             frame,
             stamp,
         };
-        if set.len() < ways {
-            set.push(way);
+        if len < ways {
+            self.slots[base + len] = way;
+            self.lens[set] += 1;
         } else {
-            let lru = set
+            let lru = self.slots[base..base + ways]
                 .iter_mut()
                 .min_by_key(|w| w.stamp)
                 .expect("non-empty full set");
@@ -176,29 +271,38 @@ impl Tlb {
     /// Returns true if an entry was present.
     pub fn invalidate(&mut self, asid: Asid, vpn: Vpn) -> bool {
         let set = self.set_of(vpn);
-        let before = self.sets[set].len();
-        self.sets[set].retain(|w| !(w.asid == asid && w.vpn == vpn));
-        self.sets[set].len() != before
+        let ways = self.ways;
+        retain_set(
+            &mut self.slots[set * ways..(set + 1) * ways],
+            &mut self.lens[set],
+            |w| !(w.asid == asid && w.vpn == vpn),
+        )
     }
 
     /// Flush every entry of one address space (full-ASID shootdown).
     pub fn flush_asid(&mut self, asid: Asid) {
-        for set in &mut self.sets {
-            set.retain(|w| w.asid != asid);
+        for set in 0..self.n_sets {
+            let ways = self.ways;
+            retain_set(
+                &mut self.slots[set * ways..(set + 1) * ways],
+                &mut self.lens[set],
+                |w| w.asid != asid,
+            );
         }
-        for set in &mut self.huge_sets {
-            set.retain(|w| w.asid != asid);
+        for set in 0..self.huge_lens.len() {
+            let ways = self.huge_ways;
+            retain_set(
+                &mut self.huge_slots[set * ways..(set + 1) * ways],
+                &mut self.huge_lens[set],
+                |w| w.asid != asid,
+            );
         }
     }
 
     /// Flush everything (context switch without PCID).
     pub fn flush_all(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
-        for set in &mut self.huge_sets {
-            set.clear();
-        }
+        self.lens.fill(0);
+        self.huge_lens.fill(0);
     }
 
     /// A minimal do-nothing stand-in left behind when a core's real TLB
@@ -207,10 +311,13 @@ impl Tlb {
     /// invariants without allocating way storage.
     fn placeholder() -> Tlb {
         Tlb {
-            sets: vec![Vec::new()],
-            ways: 1,
-            huge_sets: vec![Vec::new(); 16],
-            huge_ways: 8,
+            slots: Vec::new(),
+            lens: vec![0],
+            n_sets: 1,
+            ways: 0,
+            huge_slots: Vec::new(),
+            huge_lens: vec![0; HUGE_SETS],
+            huge_ways: 0,
             clock: 0,
             hits: 0,
             misses: 0,
@@ -219,12 +326,12 @@ impl Tlb {
 
     /// Base-page entries currently cached.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// Huge (2 MiB) entries currently cached.
     pub fn huge_occupancy(&self) -> usize {
-        self.huge_sets.iter().map(Vec::len).sum()
+        self.huge_lens.iter().map(|&l| l as usize).sum()
     }
 
     /// (hits, misses) since construction.

@@ -36,6 +36,75 @@ impl PageAccess {
     }
 }
 
+/// A quantum-sized batch of generated accesses for one thread, laid out
+/// as flat struct-of-arrays planes: page offsets and write flags live in
+/// parallel vectors, with per-op end indices so the runtime can account
+/// op latencies and the quantum budget exactly as the scalar loop does.
+///
+/// The planes are *generation output only* — the runtime sweeps them in
+/// stages (TLB probe, walk/fault, tier latency, heat record) without the
+/// generator ever observing simulation state, which is what makes batch
+/// generation equivalent to interleaved `next_op` calls.
+#[derive(Clone, Debug, Default)]
+pub struct AccessPlan {
+    /// Page-offset plane, one entry per access, ops back to back.
+    pub offsets: Vec<u64>,
+    /// Write-flag plane, parallel to `offsets`.
+    pub writes: Vec<bool>,
+    /// Exclusive end index of each op within the planes.
+    pub op_ends: Vec<u32>,
+}
+
+impl AccessPlan {
+    /// Drop all ops, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.offsets.clear();
+        self.writes.clear();
+        self.op_ends.clear();
+    }
+
+    /// Record one access of the op currently being generated.
+    #[inline]
+    pub fn push_access(&mut self, offset: u64, write: bool) {
+        self.offsets.push(offset);
+        self.writes.push(write);
+    }
+
+    /// Close the op currently being generated.
+    #[inline]
+    pub fn end_op(&mut self) {
+        self.op_ends
+            .push(u32::try_from(self.offsets.len()).expect("batch exceeds u32 accesses"));
+    }
+
+    /// Number of complete ops in the plan.
+    pub fn ops(&self) -> usize {
+        self.op_ends.len()
+    }
+
+    /// Total accesses across all ops.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the plan holds no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// The `[start, end)` access-index range of op `i`.
+    #[inline]
+    pub fn op_range(&self, i: usize) -> (usize, usize) {
+        let end = self.op_ends[i] as usize;
+        let start = if i == 0 {
+            0
+        } else {
+            self.op_ends[i - 1] as usize
+        };
+        (start, end)
+    }
+}
+
 /// A workload's access generator.
 pub trait AccessGen: Send {
     /// Append the accesses of thread `tid`'s next operation to `out`
@@ -49,6 +118,37 @@ pub trait AccessGen: Send {
     /// This is what separates a latency-critical service issuing sparse
     /// accesses from a best-effort sweep saturating the memory system.
     fn fixed_op_nanos(&self) -> Nanos;
+
+    /// Whether this generator supports batched plan generation
+    /// ([`fill_batch`](Self::fill_batch) / [`rollback_ops`](Self::rollback_ops)).
+    /// Generators that return `false` are driven through the scalar
+    /// per-op loop.
+    fn batchable(&self) -> bool {
+        false
+    }
+
+    /// Append `max_ops` further operations for thread `tid` to `plan`,
+    /// returning how many were generated. Must consume generator state
+    /// and the RNG exactly as the same number of `next_op` calls would,
+    /// so a batched and a scalar run stay in lockstep.
+    fn fill_batch(
+        &mut self,
+        _tid: usize,
+        _rng: &mut SmallRng,
+        _plan: &mut AccessPlan,
+        _max_ops: usize,
+    ) -> usize {
+        debug_assert!(!self.batchable(), "batchable generators must fill batches");
+        0
+    }
+
+    /// Rewind this generator's own state by `n` operations for thread
+    /// `tid`, undoing the tail of a [`fill_batch`](Self::fill_batch) the
+    /// runtime could not consume (quantum budget exhausted mid-batch).
+    /// RNG state is the caller's to snapshot and restore.
+    fn rollback_ops(&mut self, _tid: usize, _n: usize) {
+        debug_assert!(!self.batchable(), "batchable generators must roll back");
+    }
 }
 
 /// Split a region of `len` pages into `n` contiguous per-thread shards;

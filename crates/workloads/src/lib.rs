@@ -16,7 +16,7 @@ pub mod trace;
 pub mod zipf;
 
 pub use apps::{KvConfig, KvStore, PageRank, PrConfig, Sweep, SweepConfig};
-pub use gen::{shard, AccessGen, PageAccess};
+pub use gen::{shard, AccessGen, AccessPlan, PageAccess};
 pub use microbench::{MicroConfig, Microbench, WssScenario};
 pub use spec::{
     liblinear, memcached, microbench, pagerank, replay, WorkloadClass, WorkloadKind, WorkloadSpec,

@@ -8,8 +8,8 @@
 //! Used for Figure 4 (sync vs async copy across read/write ratios) and
 //! Figure 8 (migration performance across small/medium/large WSS).
 
-use crate::gen::{AccessGen, PageAccess};
-use crate::zipf::Zipf;
+use crate::gen::{AccessGen, AccessPlan, PageAccess};
+use crate::zipf::{Zipf, MANTISSA_SCALE};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use vulcan_sim::Nanos;
@@ -150,6 +150,127 @@ impl AccessGen for Microbench {
 
     fn fixed_op_nanos(&self) -> Nanos {
         self.cfg.fixed_op
+    }
+
+    fn batchable(&self) -> bool {
+        true
+    }
+
+    /// Batched generation: the per-op loop of [`next_op`] with the config
+    /// loads hoisted, filling the struct-of-arrays planes directly. The
+    /// RNG draw order (Zipf rank, then write decision, per access) is the
+    /// contract — it must match a sequence of `next_op` calls exactly.
+    ///
+    /// Generation is two-phase per block of ops: the interleaved RNG
+    /// stream (u, w per access) is buffered first — the only serially
+    /// dependent part — then ranks, offsets and write flags resolve from
+    /// the buffer. The resolutions are independent across accesses, so
+    /// the Zipf CDF scans overlap in flight instead of each waiting on
+    /// the RNG state chain; draw order and values are unchanged.
+    fn fill_batch(
+        &mut self,
+        _tid: usize,
+        rng: &mut SmallRng,
+        plan: &mut AccessPlan,
+        max_ops: usize,
+    ) -> usize {
+        let rss = self.cfg.rss_pages;
+        let wss = self.cfg.wss_pages;
+        let drift = self.cfg.wss_drift;
+        let read_ratio = self.cfg.read_ratio;
+        let wide = wss > rss;
+        let k = self.cfg.accesses_per_op;
+        plan.offsets.reserve(max_ops * k);
+        plan.writes.reserve(max_ops * k);
+        plan.op_ends.reserve(max_ops);
+
+        /// Draw-buffer capacity in accesses (stack-allocated).
+        const BLOCK: usize = 256;
+        if k == 0 || k > BLOCK {
+            // Degenerate op shapes: keep the straightforward loop.
+            for _ in 0..max_ops {
+                let window = (self.ops / 256) * drift;
+                self.ops += 1;
+                let base = (window + wss - 1) % rss;
+                for _ in 0..k {
+                    let rank = self.zipf.sample(rng);
+                    let offset = if wide {
+                        (window + wss - 1 - rank) % rss
+                    } else if rank <= base {
+                        base - rank
+                    } else {
+                        base + rss - rank
+                    };
+                    let write = rng.gen::<f64>() >= read_ratio;
+                    plan.push_access(offset, write);
+                }
+                plan.end_op();
+            }
+            return max_ops;
+        }
+
+        let ops_per_block = BLOCK / k; // ≥ 1
+                                       // The RNG's f64 draws are `m · 2⁻⁵³` for the 53-bit mantissa
+                                       // `m = next_u64() >> 11` (rand-shim Standard mapping), so both
+                                       // per-access decisions resolve in pure integer arithmetic:
+                                       // `w ≥ read_ratio ⟺ m_w ≥ ceil(read_ratio · 2⁵³)` (power-of-two
+                                       // scaling is exact), and the Zipf rank via `Zipf::resolve_m`.
+        let write_threshold = (read_ratio * MANTISSA_SCALE).ceil() as u64;
+        let mut us = [0u64; BLOCK];
+        let mut ws = [0u64; BLOCK];
+        // Plane stores go through pre-sized slices rather than `push`:
+        // two per-access `Vec` length updates form store-forwarding
+        // chains that serialize the resolve loop.
+        let start = plan.offsets.len();
+        plan.offsets.resize(start + max_ops * k, 0);
+        plan.writes.resize(start + max_ops * k, false);
+        let offsets_out = &mut plan.offsets[start..];
+        let writes_out = &mut plan.writes[start..];
+        let mut done = 0usize;
+        let mut out = 0usize;
+        while done < max_ops {
+            let ops_now = ops_per_block.min(max_ops - done);
+            let n = ops_now * k;
+            // Phase 1: the RNG stream, exactly as the scalar loop draws
+            // it — u then w, per access. Buffering first means the only
+            // serially dependent work (the RNG state chain) runs as a
+            // tight loop, and the resolves below are independent.
+            for j in 0..n {
+                us[j] = rng.gen::<u64>() >> 11;
+                ws[j] = rng.gen::<u64>() >> 11;
+            }
+            // Phase 2: resolve the buffered draws.
+            let mut j = 0usize;
+            for _ in 0..ops_now {
+                let window = (self.ops / 256) * drift;
+                self.ops += 1;
+                let base = (window + wss - 1) % rss;
+                for _ in 0..k {
+                    let rank = self.zipf.resolve_m(us[j]);
+                    let offset = if wide {
+                        (window + wss - 1 - rank) % rss
+                    } else if rank <= base {
+                        base - rank
+                    } else {
+                        base + rss - rank
+                    };
+                    offsets_out[out + j] = offset;
+                    writes_out[out + j] = ws[j] >= write_threshold;
+                    j += 1;
+                }
+                plan.op_ends
+                    .push(u32::try_from(start + out + j).expect("batch exceeds u32 accesses"));
+            }
+            out += n;
+            done += ops_now;
+        }
+        max_ops
+    }
+
+    fn rollback_ops(&mut self, _tid: usize, n: usize) {
+        // `ops` is the only generator state `next_op` advances, so a
+        // rollback is a subtraction; the caller restores the RNG.
+        self.ops -= n as u64;
     }
 }
 

@@ -38,6 +38,12 @@ pub struct Zipf {
     /// Every index range fits in [`WINDOW`]: sample by a branchless
     /// fixed-width count instead of a (branch-missy) binary search.
     narrow: bool,
+    /// Mantissa-domain CDF thresholds, parallel to `cdf`: `cdf_m[k]` is
+    /// the smallest 53-bit draw mantissa `m` (u = m·2⁻⁵³) with
+    /// `cdf[k] < u`. Lets [`Zipf::resolve_m`] run entirely in integer
+    /// arithmetic — same ranks, no float convert/compare latency on the
+    /// batched hot path.
+    cdf_m: Vec<u64>,
 }
 
 /// Buckets in the [`Zipf`] acceleration index.
@@ -47,6 +53,11 @@ const INDEX_BUCKETS: usize = 1024;
 /// distributions (ranges collapse to ~1 entry per bucket); near-uniform
 /// CDFs over many ranks exceed it and keep the binary search.
 const WINDOW: usize = 8;
+
+/// `2⁵³`: the RNG's f64 draws are `m · 2⁻⁵³` for a 53-bit mantissa `m`
+/// (the `rand` shim's `Standard` f64 mapping), which is what makes the
+/// mantissa-domain resolve exact.
+pub(crate) const MANTISSA_SCALE: f64 = (1u64 << 53) as f64;
 
 impl Zipf {
     /// Zipf with exponent `s` over `n` ranks. `s = 0` degenerates to
@@ -74,11 +85,19 @@ impl Zipf {
         let narrow = index.windows(2).all(|w| (w[1] - w[0]) as usize <= WINDOW);
         let n = cdf.len();
         cdf.extend(std::iter::repeat_n(2.0, WINDOW));
+        // `c < m·2⁻⁵³  ⟺  m > c·2⁵³  ⟺  m ≥ floor(c·2⁵³) + 1`, and the
+        // scaling by a power of two is exact in f64, so the integer
+        // thresholds reproduce the float comparisons bit-for-bit.
+        let cdf_m = cdf
+            .iter()
+            .map(|&c| (c * MANTISSA_SCALE).floor() as u64 + 1)
+            .collect();
         Zipf {
             cdf,
             n,
             index,
             narrow,
+            cdf_m,
         }
     }
 
@@ -90,7 +109,17 @@ impl Zipf {
     /// Draw one rank.
     #[inline]
     pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.gen();
+        self.resolve(rng.gen())
+    }
+
+    /// Map one already-drawn uniform `u ∈ [0, 1)` to its rank — the
+    /// deterministic half of [`Zipf::sample`]. The batched generator
+    /// buffers a block of RNG draws first and resolves them through
+    /// this, so the (independent) CDF scans overlap in flight instead
+    /// of serializing behind the RNG state chain; the rank for a given
+    /// `u` is bit-identical either way.
+    #[inline]
+    pub fn resolve(&self, u: f64) -> u64 {
         // `u` ∈ [0, 1), so the bucket stays in range; the `min` guards
         // against any rounding at the top end.
         let b = ((u * INDEX_BUCKETS as f64) as usize).min(INDEX_BUCKETS - 1);
@@ -119,6 +148,45 @@ impl Zipf {
                 format!(
                     "indexed rank {rank} != full partition_point {full} \
                      (u={u}, n={}, narrow={})",
+                    self.n, self.narrow
+                )
+            });
+        }
+        rank
+    }
+
+    /// [`Zipf::resolve`] for a raw 53-bit draw mantissa `m` (the `u` it
+    /// maps to is `m · 2⁻⁵³`), entirely in integer arithmetic: the
+    /// bucket is a shift and each CDF comparison is one u64 compare
+    /// against the precomputed `cdf_m` thresholds. Returns the exact
+    /// rank `resolve` would for that draw, without the float-domain
+    /// convert/multiply latency — the batched generator's hot path.
+    #[inline]
+    pub fn resolve_m(&self, m: u64) -> u64 {
+        debug_assert!(m < (1u64 << 53));
+        // `u·INDEX_BUCKETS = m·2⁻⁴³` and the truncating cast is the
+        // same floor, so the bucket matches `resolve` exactly.
+        let b = (m >> 43) as usize;
+        let lo = self.index[b] as usize;
+        let rank = if self.narrow {
+            // `c < u ⟺ cdf_m ≤ m`: same count as the float window scan.
+            let mut k = lo;
+            for &t in &self.cdf_m[lo..lo + WINDOW] {
+                k += (t <= m) as usize;
+            }
+            k as u64
+        } else {
+            let hi = self.index[b + 1] as usize;
+            (lo + self.cdf_m[lo..hi].partition_point(|&t| t <= m)) as u64
+        };
+        #[cfg(feature = "oracle")]
+        {
+            let u = m as f64 / MANTISSA_SCALE;
+            let full = self.cdf[..self.n].partition_point(|&c| c < u) as u64;
+            vulcan_oracle::check(vulcan_oracle::Structure::Zipf, rank == full, None, || {
+                format!(
+                    "mantissa rank {rank} != full partition_point {full} \
+                     (m={m}, n={}, narrow={})",
                     self.n, self.narrow
                 )
             });
@@ -239,6 +307,32 @@ mod tests {
             }
         }
         assert!(saw_narrow && saw_wide, "both sampling paths exercised");
+    }
+
+    #[test]
+    fn mantissa_resolve_matches_float_resolve() {
+        // Both the narrow window scan and the wide binary-search path,
+        // against the exact mantissa↔f64 mapping the rand shim uses.
+        for (n, s) in [(1_024, 0.9), (1_024, 0.99), (65_536, 0.0), (65_536, 0.6)] {
+            let z = Zipf::new(n, s);
+            let mut rng = SmallRng::seed_from_u64(7);
+            for _ in 0..20_000 {
+                let m = rng.gen::<u64>() >> 11;
+                let u = m as f64 * (1.0 / MANTISSA_SCALE);
+                assert_eq!(z.resolve_m(m), z.resolve(u), "n={n} s={s} m={m}");
+            }
+            // Boundary mantissas around each threshold are the cases an
+            // off-by-one in `cdf_m` would break.
+            for k in 0..z.n.min(64) {
+                let t = z.cdf_m[k];
+                for m in [t.saturating_sub(1), t, t + 1] {
+                    if m < (1u64 << 53) {
+                        let u = m as f64 * (1.0 / MANTISSA_SCALE);
+                        assert_eq!(z.resolve_m(m), z.resolve(u), "k={k} m={m}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]
