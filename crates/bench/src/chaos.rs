@@ -11,9 +11,9 @@
 //! 1. **No panics** — every cell runs to completion under every fault
 //!    class at every rate (transient failures requeue, permanent ones
 //!    abort-escalate, allocation exhaustion degrades to stall + retry).
-//! 2. **Frame conservation** — after tearing every workload down, both
-//!    tier allocators report zero used frames: no fault path leaks a
-//!    frame or double-frees one.
+//! 2. **Frame conservation** — after tearing every workload down, every
+//!    chain tier's allocator reports zero used frames: no fault path
+//!    leaks a frame or double-frees one.
 //! 3. **FTHR ≥ GPT** — Vulcan's QoS floor survives injected faults
 //!    (CBFRP shrinks quotas under sustained capacity faults instead of
 //!    over-promising).
@@ -55,7 +55,7 @@ pub struct ChaosOpts {
 }
 
 impl ChaosOpts {
-    /// The full grid: 3 rates × 6 sites × 4 policies.
+    /// The full grid: 3 rates × 7 sites × 4 policies.
     pub fn full() -> Self {
         ChaosOpts {
             rates: &[0.01, 0.1, 0.5],
@@ -142,6 +142,13 @@ fn chaos_grid(opts: &ChaosOpts) -> Vec<ChaosCell> {
             for kind in PolicyKind::PAPER {
                 let mut cell =
                     base_cell(kind, opts.quanta).with_faults(FaultConfig::single(site, rate));
+                if site == FaultSite::AllocNvm {
+                    // The nvm alloc site can only fire on a machine that
+                    // has the tier *and* spills into it: fast + slow
+                    // (3584 pages) < combined RSS (4608), so prealloc
+                    // overflows down the chain onto nvm.
+                    cell = cell.on_machine(MachineSpec::small3(1_536, 2_048, 8_192, 8));
+                }
                 cell.label = format!("{}/{kind}/r{rate}", site.name());
                 grid.push(ChaosCell {
                     cell,
@@ -201,17 +208,20 @@ fn run_cell(c: &ChaosCell) -> CellOutcome {
         ));
     }
 
-    // Teardown audit: every workload down, zero frames still allocated.
+    // Teardown audit: every workload down, zero frames still allocated
+    // on any chain tier.
     for w in 0..runner.state.workloads.len() {
         runner.state.teardown(w);
     }
-    let fast_used = runner.state.machine.allocator(TierKind::Fast).used_frames();
-    let slow_used = runner.state.machine.allocator(TierKind::Slow).used_frames();
-    if fast_used != 0 || slow_used != 0 {
-        violations.push(format!(
-            "{}: frames leaked at teardown (fast={fast_used}, slow={slow_used})",
-            c.cell.label
-        ));
+    for &tier in runner.state.machine.spec().chain() {
+        let used = runner.state.machine.allocator(tier).used_frames();
+        if used != 0 {
+            violations.push(format!(
+                "{}: {used} frames leaked at teardown on {}",
+                c.cell.label,
+                tier.name()
+            ));
+        }
     }
 
     let res = runner.into_result();
@@ -391,13 +401,13 @@ mod tests {
             "violations: {:?}",
             report.violations
         );
-        // 6 sites × 1 rate × 4 policies + 4 rate-0 controls.
-        assert_eq!(report.rows.len(), 6 * 4 + 4);
+        // 7 sites × 1 rate × 4 policies + 4 rate-0 controls.
+        assert_eq!(report.rows.len(), 7 * 4 + 4);
         // At rate 0.5 every fault *site* injected something (individual
         // cells can legitimately stay clean — a policy that has not
         // migrated anything yet cannot hit a copy fault).
         for site in FaultSite::ALL {
-            let injected: u64 = report.rows[..24]
+            let injected: u64 = report.rows[..28]
                 .iter()
                 .filter(|r| r.get("site").and_then(Value::as_str) == Some(site.name()))
                 .map(|r| r.get("injected").and_then(Value::as_u64).unwrap())
@@ -405,7 +415,7 @@ mod tests {
             assert!(injected > 0, "site {} never injected", site.name());
         }
         // Control cells injected nothing.
-        for row in &report.rows[24..] {
+        for row in &report.rows[28..] {
             assert_eq!(row.get("injected").and_then(Value::as_u64), Some(0));
             assert_eq!(row.get("site").and_then(Value::as_str), Some("none"));
         }

@@ -167,10 +167,10 @@ fn run_cell(c: &ChurnCell, min_spawned: u64) -> CellOutcome {
     let report = engine.run();
     let mut violations = Vec::new();
 
-    if report.leaked_fast != 0 || report.leaked_slow != 0 {
+    if report.leaked_total() != 0 {
         violations.push(format!(
-            "{}: frames leaked at teardown (fast={}, slow={})",
-            c.cell.label, report.leaked_fast, report.leaked_slow
+            "{}: frames leaked at teardown (per tier: {:?})",
+            c.cell.label, report.leaked_by_tier
         ));
     }
     if min_spawned > 0 && report.stats.spawned() < min_spawned {
@@ -274,10 +274,10 @@ pub fn run_churn(opts: &ChurnOpts) -> ChurnSweepReport {
                     cell.label
                 ));
             }
-            if report.leaked_fast != 0 || report.leaked_slow != 0 {
+            if report.leaked_total() != 0 {
                 violations.push(format!(
-                    "{}: control cell leaked frames (fast={}, slow={})",
-                    cell.label, report.leaked_fast, report.leaked_slow
+                    "{}: control cell leaked frames (per tier: {:?})",
+                    cell.label, report.leaked_by_tier
                 ));
             }
             if report.stats.arrivals != 0 || report.stats.compaction_rounds != 0 {

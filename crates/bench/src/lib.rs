@@ -31,6 +31,7 @@
 pub mod chaos;
 pub mod churn;
 pub mod suite;
+pub mod tiers;
 
 use std::io;
 use std::path::PathBuf;

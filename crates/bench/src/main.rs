@@ -30,6 +30,10 @@ USAGE:
                                                 arrival rates × the four
                                                 policies, hundreds of tenant
                                                 lifetimes per cell
+    vulcan-bench tiers [OPTIONS]                chain-shape sweep: the policy
+                                                registry raced over {2,3}-tier
+                                                machines, frame conservation
+                                                audited on every chain tier
     vulcan-bench oracle [TARGETS...] [OPTIONS]  run grids in lockstep with
                                                 reference models (requires
                                                 a --features oracle build)
@@ -54,6 +58,11 @@ OPTIONS (churn):
     --threads <N>  thread-pool size
     --shards <N>   intra-cell shards (default 1); rows byte-identical
 
+OPTIONS (tiers):
+    --quick        CI scale: paper policies only, 10 quanta per cell
+    --threads <N>  thread-pool size
+    --shards <N>   intra-cell shards (default 1); rows byte-identical
+
 --threads sizes the pool running whole cells concurrently; --shards
 splits the workloads inside each cell across core-disjoint sweeps with
 a deterministic quantum-boundary merge. The two compose.
@@ -69,6 +78,11 @@ if any cell panics, leaks a frame after the final teardown sweep, falls
 short of the tenant floor (full scale), or produces a rate-0 control
 that differs from the plain static run. Results land in
 target/experiments/churn.json.
+
+The tiers sweep races the policy registry over 2- and 3-tier machine
+shapes (the buffer-pool family under THP plus a latency-critical front
+end), and exits non-zero if any cell leaks a frame on any chain tier at
+teardown. Results land in target/experiments/tiers.json.
 
 Targets default to every simulation grid; analytic targets (fig2, fig3,
 fig7, table1, table2) have no grid and are skipped with a note.
@@ -304,6 +318,40 @@ fn cmd_churn(args: &[String]) {
     vulcan_bench::save_json_or_exit("churn", &report.rows);
 }
 
+fn cmd_tiers(args: &[String]) {
+    let GridArgs {
+        quick,
+        list,
+        shards,
+        names,
+    } = parse_grid_args(args);
+    if list || !names.is_empty() {
+        usage_error("tiers takes no targets (it runs one fixed grid)");
+    }
+    let mut opts = if quick {
+        vulcan_bench::tiers::TiersOpts::quick()
+    } else {
+        vulcan_bench::tiers::TiersOpts::full()
+    };
+    if let Some(n) = shards {
+        opts = opts.with_shards(n);
+    }
+    let report = vulcan_bench::tiers::run_tiers(&opts);
+    vulcan_bench::tiers::tiers_table(&report.rows).print();
+    if !report.violations.is_empty() {
+        for v in &report.violations {
+            eprintln!("tiers: VIOLATION: {v}");
+        }
+        eprintln!("tiers: {} contract violation(s)", report.violations.len());
+        std::process::exit(1);
+    }
+    println!(
+        "tiers: {} cells, zero panics, frames conserved on every chain tier",
+        report.rows.len()
+    );
+    vulcan_bench::save_json_or_exit("tiers", &report.rows);
+}
+
 /// Lockstep differential run: replay the suite grids with the reference
 /// models checking every hot-path structure at every step. Only does
 /// anything in a `--features oracle` build — the checks are compiled
@@ -389,6 +437,7 @@ fn main() {
         Some("suite") => cmd_suite(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("churn") => cmd_churn(&args[1..]),
+        Some("tiers") => cmd_tiers(&args[1..]),
         Some("oracle") => cmd_oracle(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => print!("{USAGE}"),
         None => usage_error("missing subcommand"),

@@ -148,6 +148,30 @@ fn suite_artifacts_are_byte_identical_across_shard_counts() {
 }
 
 #[test]
+fn tiers_rows_are_identical_across_shard_counts() {
+    // The chain-shape sweep (ISSUE 9) runs 3-tier machines; sharding
+    // leases frames from *every* chain tier, so this is the test that
+    // would catch a shard path still assuming the fast/slow pair.
+    use vulcan_bench::tiers::{run_tiers, TiersOpts};
+    pool::set_num_threads(2);
+    let base = run_tiers(&TiersOpts::quick());
+    assert!(
+        base.violations.is_empty(),
+        "baseline tiers sweep violated its contract: {:?}",
+        base.violations
+    );
+    let sharded = run_tiers(&TiersOpts::quick().with_shards(4));
+    assert!(
+        sharded.violations.is_empty(),
+        "sharded tiers sweep violated its contract: {:?}",
+        sharded.violations
+    );
+    let ja = Value::Array(base.rows).to_json_pretty();
+    let jb = Value::Array(sharded.rows).to_json_pretty();
+    assert_eq!(ja, jb, "tiers rows differ between --shards 1 and 4");
+}
+
+#[test]
 fn churn_rows_are_identical_across_shard_counts() {
     // The churn sweep steps cells through the typed QuantumOutcome API;
     // its windowed fairness rows must not move when the quantum sweep

@@ -1,0 +1,59 @@
+//! Lockstep oracle verification on a three-tier chain (ISSUE 9).
+//!
+//! Only meaningful in a `--features oracle` build: every optimized
+//! hot-path structure (heat table, walk caches, Zipf sampler, loaded-
+//! latency cache) is then diffed against its naive reference model at
+//! each step, and the first divergence panics with the structure, VPN
+//! and simulated time identified. Running a 3-tier cell to completion
+//! therefore *is* the assertion that the chain generalization did not
+//! perturb any checked structure — plus an explicit check that the
+//! lockstep comparisons actually fired.
+
+#![cfg(feature = "oracle")]
+
+use vulcan::prelude::*;
+use vulcan_bench::suite::ExperimentCell;
+
+#[test]
+fn three_tier_cell_runs_in_lockstep_with_zero_divergences() {
+    vulcan_oracle::reset_checks();
+    let specs = vec![
+        {
+            let mut lc = microbench(
+                "lc",
+                MicroConfig {
+                    rss_pages: 1_024,
+                    wss_pages: 256,
+                    read_ratio: 0.9,
+                    skew: 1.1,
+                    ..Default::default()
+                },
+                4,
+            )
+            .preallocated(TierKind::Slow);
+            lc.class = WorkloadClass::LatencyCritical;
+            lc
+        },
+        bufferpool(
+            "bufpool",
+            BufferPoolConfig {
+                rss_pages: 4_096,
+                phase_ops: 128,
+                ..Default::default()
+            },
+            4,
+        )
+        .preallocated(TierKind::Slow),
+    ];
+    // Combined RSS (5 120) exceeds fast+slow (3 584): the cell lives on
+    // all three tiers, so the checked structures see chain traffic.
+    let cell = ExperimentCell::new(PolicyKind::Vulcan, specs, 8, 9)
+        .on_machine(MachineSpec::small3(1_536, 2_048, 8_192, 8))
+        .with_quantum_active(Nanos::millis(1));
+    let res = cell.run(); // any divergence panics inside the run
+    assert!(res.per_workload.iter().all(|w| w.ops_total > 0));
+    assert!(
+        vulcan_oracle::total_checks() > 0,
+        "oracle build performed no lockstep checks on the 3-tier cell"
+    );
+}

@@ -54,6 +54,7 @@ impl TenantTemplate {
             WorkloadKind::PageRank(c) => c.rss_pages,
             WorkloadKind::Sweep(c) => c.rss_pages,
             WorkloadKind::Micro(c) => c.rss_pages,
+            WorkloadKind::BufferPool(c) => c.rss_pages,
             WorkloadKind::Replay(t) => t.rss_pages,
         }
     }

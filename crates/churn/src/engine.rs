@@ -11,7 +11,7 @@
 //! quantum and samples a fairness window over the live tenants.
 //!
 //! **Admission.** A tenant is admitted when its whole RSS fits in the
-//! free frames of both tiers combined; otherwise it waits in a bounded
+//! free frames of every chain tier combined; otherwise it waits in a bounded
 //! FIFO queue (head-of-line blocking is deliberate: admitting around a
 //! stuck head would starve large tenants forever) or is rejected when
 //! the queue is full. Departures and compaction rounds schedule an
@@ -179,6 +179,9 @@ pub struct ChurnReport {
     pub leaked_fast: u64,
     /// Slow frames still allocated after the final teardown sweep.
     pub leaked_slow: u64,
+    /// Used frames per chain tier after the final teardown sweep, in
+    /// chain order (covers tiers beyond the legacy fast/slow pair).
+    pub leaked_by_tier: Vec<u64>,
     /// The underlying runner summary (per-tenant means, series).
     pub run: RunResult,
 }
@@ -203,6 +206,12 @@ impl ChurnReport {
         } else {
             Some(defined.iter().sum::<f64>() / defined.len() as f64)
         }
+    }
+
+    /// Total frames leaked across every chain tier (zero on a
+    /// conservation-clean run).
+    pub fn leaked_total(&self) -> u64 {
+        self.leaked_by_tier.iter().sum()
     }
 
     /// p99 tail of per-quantum mean op latency across every tenant and
@@ -334,13 +343,18 @@ impl ChurnEngine {
         }
     }
 
-    /// Admit `spec` if its whole RSS fits in free frames (both tiers);
-    /// spawns it and schedules its departure. Returns false when it
-    /// does not fit — the caller queues or rejects.
+    /// Admit `spec` if its whole RSS fits in free frames across the
+    /// whole tier chain; spawns it and schedules its departure. Returns
+    /// false when it does not fit — the caller queues or rejects.
     fn try_admit(&mut self, spec: &WorkloadSpec, at: Nanos) -> bool {
         let rss = spec.rss_pages();
-        let free = self.runner.state.machine.free_pages(TierKind::Fast)
-            + self.runner.state.machine.free_pages(TierKind::Slow);
+        let machine = &self.runner.state.machine;
+        let free: u64 = machine
+            .spec()
+            .chain()
+            .iter()
+            .map(|&t| machine.free_pages(t))
+            .sum();
         if free < rss {
             return false;
         }
@@ -517,23 +531,24 @@ impl ChurnEngine {
                 self.stats.retired_at_end += 1;
             }
         }
-        let leaked_fast = self
-            .runner
-            .state
-            .machine
-            .allocator(TierKind::Fast)
-            .used_frames();
-        let leaked_slow = self
-            .runner
-            .state
-            .machine
-            .allocator(TierKind::Slow)
-            .used_frames();
+        let machine = &self.runner.state.machine;
+        let leaked_by_tier: Vec<u64> = machine
+            .spec()
+            .chain()
+            .iter()
+            .map(|&t| machine.allocator(t).used_frames())
+            .collect();
+        let leaked_fast = leaked_by_tier[TierKind::Fast.index()];
+        let leaked_slow = leaked_by_tier
+            .get(TierKind::Slow.index())
+            .copied()
+            .unwrap_or(0);
         ChurnReport {
             stats: self.stats,
             windows: self.windows,
             leaked_fast,
             leaked_slow,
+            leaked_by_tier,
             run: self.runner.into_result(),
         }
     }

@@ -23,6 +23,9 @@ pub struct MachineConfig {
     pub fast_gb: u64,
     /// Slow-tier capacity in paper-GB.
     pub slow_gb: u64,
+    /// Optional third-tier (NVM) capacity in paper-GB. `None` (or JSON
+    /// `null`) keeps the classic two-tier machine.
+    pub nvm_gb: Option<u64>,
     /// Cores on the socket.
     pub cores: u16,
 }
@@ -42,6 +45,7 @@ impl Default for MachineConfig {
         MachineConfig {
             fast_gb: default_fast_gb(),
             slow_gb: default_slow_gb(),
+            nvm_gb: None,
             cores: default_cores(),
         }
     }
@@ -52,15 +56,28 @@ impl MachineConfig {
         Ok(MachineConfig {
             fast_gb: opt_u64(v, "fast_gb")?.unwrap_or_else(default_fast_gb),
             slow_gb: opt_u64(v, "slow_gb")?.unwrap_or_else(default_slow_gb),
+            nvm_gb: opt_u64(v, "nvm_gb")?,
             cores: opt_u64(v, "cores")?.unwrap_or(default_cores() as u64) as u16,
         })
     }
 
-    /// Build the machine spec.
+    /// Total capacity across the configured chain, in pages.
+    pub fn capacity_pages(&self) -> u64 {
+        (self.fast_gb + self.slow_gb + self.nvm_gb.unwrap_or(0)) * PAGES_PER_PAPER_GB
+    }
+
+    /// Build the machine spec. A present `nvm_gb` extends the chain to
+    /// three tiers; absent keeps the classic two-tier testbed.
     pub fn to_spec(&self) -> MachineSpec {
-        let mut spec = MachineSpec::paper_testbed();
-        spec.fast.capacity_pages = self.fast_gb * PAGES_PER_PAPER_GB;
-        spec.slow.capacity_pages = self.slow_gb * PAGES_PER_PAPER_GB;
+        let mut spec = match self.nvm_gb {
+            None => MachineSpec::paper_testbed(),
+            Some(_) => MachineSpec::paper_3tier(),
+        };
+        spec.tier_mut(TierKind::Fast).capacity_pages = self.fast_gb * PAGES_PER_PAPER_GB;
+        spec.tier_mut(TierKind::Slow).capacity_pages = self.slow_gb * PAGES_PER_PAPER_GB;
+        if let Some(nvm_gb) = self.nvm_gb {
+            spec.tier_mut(TierKind::Nvm).capacity_pages = nvm_gb * PAGES_PER_PAPER_GB;
+        }
         spec.n_cores = self.cores;
         spec
     }
@@ -321,7 +338,7 @@ impl ExperimentConfig {
             self.workloads.iter().map(|w| w.to_spec()).collect();
         let specs = specs?;
         let total_rss: u64 = specs.iter().map(|w| w.rss_pages()).sum();
-        let capacity = (self.machine.fast_gb + self.machine.slow_gb) * PAGES_PER_PAPER_GB;
+        let capacity = self.machine.capacity_pages();
         if total_rss > capacity {
             return Err(format!(
                 "combined RSS ({total_rss} pages) exceeds machine capacity ({capacity} pages)"
@@ -472,6 +489,31 @@ mod tests {
         // Policy override works too.
         let res2 = cfg.run(Some(PolicyKind::Memtis)).unwrap();
         assert_eq!(res2.policy, "memtis");
+    }
+
+    #[test]
+    fn three_tier_machine_config_extends_the_chain() {
+        let cfg = ExperimentConfig::from_json(
+            r#"{
+                "machine": {"fast_gb": 2, "slow_gb": 8, "nvm_gb": 32, "cores": 8},
+                "seconds": 2,
+                "workloads": [
+                    {"kind": "micro", "name": "a", "rss_pages": 256,
+                     "wss_pages": 64, "threads": 2}
+                ]
+            }"#,
+        )
+        .unwrap();
+        let spec = cfg.machine.to_spec();
+        assert_eq!(spec.n_tiers(), 3);
+        assert_eq!(
+            spec.tier(TierKind::Nvm).capacity_pages,
+            32 * PAGES_PER_PAPER_GB
+        );
+        // Omitting nvm_gb keeps the two-tier machine.
+        assert_eq!(MachineConfig::default().to_spec().n_tiers(), 2);
+        let res = cfg.run(None).unwrap();
+        assert!(res.workload("a").ops_total > 0);
     }
 
     #[test]

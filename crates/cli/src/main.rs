@@ -327,14 +327,14 @@ fn cmd_churn(args: &[String]) -> Result<(), CliError> {
             .map(|v| format!("{v:.0}"))
             .unwrap_or_else(|| "-".into()),
     );
-    if rep.leaked_fast != 0 || rep.leaked_slow != 0 {
+    if rep.leaked_total() != 0 {
         return Err(CliError::Runtime(format!(
-            "frame-conservation violation: fast={} slow={} frames leaked",
-            rep.leaked_fast, rep.leaked_slow
+            "frame-conservation violation: {:?} frames leaked per tier",
+            rep.leaked_by_tier
         )));
     }
     println!(
-        "  frames conserved: fast=0 slow=0 after {} teardowns",
+        "  frames conserved: 0 on every tier after {} teardowns",
         s.retired()
     );
     if let Some(path) = &a.trace {

@@ -327,11 +327,66 @@ impl VulcanPolicy {
         }
     }
 
+    /// Chain maintenance below the fast tier. Only called on machines
+    /// with a third tier — the classic two-tier testbed never reaches
+    /// this code, keeping its results byte-identical. One hop per
+    /// quantum in each direction: hot NVM-resident pages rise to the
+    /// slow tier (where the regular promotion path can pick them up
+    /// next quantum), and under slow-tier capacity pressure the coldest
+    /// slow pages sink to NVM — the chained analogue of the fast-tier
+    /// demotion arm.
+    fn enforce_lower_chain(&mut self, state: &mut SystemState, w: usize) {
+        let mech = self.cfg.mechanism;
+
+        // Promotion: Nvm → Slow, one hop up the chain. Table 1's biased
+        // queues govern only the fast tier; below it pure heat order
+        // suffices (every lower-tier access is already a miss).
+        let headroom = state.machine.free_pages(TierKind::Slow) as usize;
+        if headroom > 0 {
+            let mut hot: Vec<(Vpn, f64)> = {
+                let ws = &state.workloads[w];
+                ws.heat()
+                    .iter()
+                    .filter(|(vpn, s)| {
+                        s.heat >= self.cfg.heat_threshold
+                            && ws.process.space.pte(*vpn).tier() == Some(TierKind::Nvm)
+                            && !ws.async_migrator.is_inflight(*vpn)
+                    })
+                    .map(|(vpn, s)| (vpn, s.heat))
+                    .collect()
+            };
+            hot.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("heat values are finite (decayed EMA of sample counts)")
+                    .then(a.0 .0.cmp(&b.0 .0))
+            });
+            hot.truncate(headroom.min(self.cfg.promotion_budget));
+            if !hot.is_empty() {
+                let pages: Vec<Vpn> = hot.into_iter().map(|(v, _)| v).collect();
+                state.migrate_background(w, &pages, TierKind::Slow, &mech);
+            }
+        }
+
+        // Demotion: Slow → Nvm when the slow tier itself is contended,
+        // mirroring the fast tier's pressure threshold and rate limit.
+        let slow_cap = state.machine.spec().tier(TierKind::Slow).capacity_pages;
+        if state.machine.free_pages(TierKind::Slow) < slow_cap / 50 {
+            let step = (self.cfg.unit_pages as usize).max(1);
+            let victims: Vec<Vpn> = coldest_pages_in(state, w, TierKind::Slow, step)
+                .into_iter()
+                .map(|(v, _)| v)
+                .collect();
+            if !victims.is_empty() {
+                state.migrate_background(w, &victims, TierKind::Nvm, &mech);
+            }
+        }
+    }
+
     /// Pair queued hot candidates against the workload's coldest fast
     /// pages; keep pairs where the candidate is `swap_margin`× hotter.
     fn plan_swaps(&self, state: &SystemState, w: usize) -> Vec<(Vpn, Vpn)> {
         let ws = &state.workloads[w];
-        let mut cold = coldest_fast_pages_with_heat(state, w, self.cfg.swap_budget);
+        let mut cold = coldest_pages_in(state, w, TierKind::Fast, self.cfg.swap_budget);
         cold.reverse(); // coldest last → pop coldest first
         let mut hot: Vec<(Vpn, f64)> = (0..4)
             .flat_map(|l| self.queues[w].level(l))
@@ -357,19 +412,20 @@ impl VulcanPolicy {
 
 /// The `n` coldest fast-resident pages of workload `w`.
 fn coldest_fast_pages(state: &SystemState, w: usize, n: usize) -> Vec<Vpn> {
-    coldest_fast_pages_with_heat(state, w, n)
+    coldest_pages_in(state, w, TierKind::Fast, n)
         .into_iter()
         .map(|(v, _)| v)
         .collect()
 }
 
-fn coldest_fast_pages_with_heat(state: &SystemState, w: usize, n: usize) -> Vec<(Vpn, f64)> {
+/// The `n` coldest pages of workload `w` resident in `tier`, with heat.
+fn coldest_pages_in(state: &SystemState, w: usize, tier: TierKind, n: usize) -> Vec<(Vpn, f64)> {
     let ws = &state.workloads[w];
     let mut pages: Vec<(Vpn, f64)> = ws
         .process
         .space
         .mapped_vpns()
-        .filter(|&v| ws.process.space.pte(v).tier() == Some(TierKind::Fast))
+        .filter(|&v| ws.process.space.pte(v).tier() == Some(tier))
         .map(|v| (v, ws.heat().get(v).heat))
         .collect();
     pages.sort_by(|a, b| {
@@ -516,13 +572,18 @@ impl TieringPolicy for VulcanPolicy {
             return;
         }
 
-        // 4-5. Enforce each workload's partition.
+        // 4-5. Enforce each workload's partition (plus, on chains with a
+        //      third tier, the one-hop maintenance below the fast tier).
+        let chained = state.machine.spec().n_tiers() > 2;
         for (w, &on) in started.iter().enumerate() {
             if !on {
                 continue;
             }
             state.set_quota(w, partition.alloc[w]);
             self.enforce(state, w, partition.alloc[w]);
+            if chained {
+                self.enforce_lower_chain(state, w);
+            }
         }
 
         // 6. Work conservation: capacity no partition claimed still
@@ -664,17 +725,15 @@ mod colloid_tests {
     use super::*;
     use vulcan_profile::HybridProfiler;
     use vulcan_runtime::{SimConfig, SimRunner};
-    use vulcan_sim::{MachineSpec, Nanos, TierSpec};
+    use vulcan_sim::{MachineSpec, Nanos};
     use vulcan_workloads::{microbench, MicroConfig};
 
     /// A machine whose fast tier saturates trivially: the loaded fast
     /// latency quickly exceeds the slow tier's.
     fn contended_machine() -> MachineSpec {
         let mut spec = MachineSpec::small(512, 4096, 8);
-        spec.fast = TierSpec {
-            bandwidth_bytes_per_ns: 0.05, // 50 MB/s: saturates instantly
-            ..spec.fast
-        };
+        // 50 MB/s: saturates instantly.
+        spec.tier_mut(TierKind::Fast).bandwidth_bytes_per_ns = 0.05;
         spec
     }
 

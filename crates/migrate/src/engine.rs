@@ -165,9 +165,11 @@ pub fn migrate_sync(
             continue;
         };
 
-        // Shadow fast path: demoting a clean page that still has its
-        // slow-tier shadow is a pure remap.
-        if dest == TierKind::Slow && cfg.shadowing && !old.dirty() {
+        // Shadow fast path: demoting a clean page whose shadow lives in
+        // exactly the destination tier is a pure remap. (On a two-tier
+        // chain every shadow is a slow frame, so this degenerates to the
+        // classic `dest == Slow` gate.)
+        if cfg.shadowing && !old.dirty() && shadows.get(vpn).map(|f| f.tier) == Some(dest) {
             if let Some(shadow_frame) = shadows.take(vpn) {
                 machine.free(old_frame);
                 process.space.set_pte(vpn, old.with_frame(shadow_frame));
@@ -182,10 +184,7 @@ pub fn migrate_sync(
             // original mapping and report a transient error.
             process.space.set_pte(vpn, old);
             if machine.last_alloc_injected() {
-                machine.faults.note_recovery(match dest {
-                    TierKind::Fast => FaultSite::AllocFast,
-                    TierKind::Slow => FaultSite::AllocSlow,
-                });
+                machine.faults.note_recovery(FaultSite::alloc_for(dest));
             }
             out.failed.push((vpn, MigrateError::DestFull { vpn, dest }));
             continue;
@@ -204,8 +203,9 @@ pub fn migrate_sync(
         machine.record_page_copy(old_frame.tier, dest);
         copied += 1;
 
-        if dest == TierKind::Fast && cfg.shadowing && old_frame.tier == TierKind::Slow {
-            // Keep the slow frame as a shadow of the promoted page.
+        if cfg.shadowing && dest.index() < old_frame.tier.index() {
+            // Promotion up the chain: keep the lower-tier frame as a
+            // shadow of the promoted page.
             if let Some(stale) = shadows.retain(vpn, old_frame) {
                 machine.free(stale);
             }
@@ -378,10 +378,7 @@ impl AsyncMigrator {
                 if machine.last_alloc_injected() {
                     // Injected exhaustion: absorb the fault and move on
                     // to the next page — real capacity may remain.
-                    machine.faults.note_recovery(match dest {
-                        TierKind::Fast => FaultSite::AllocFast,
-                        TierKind::Slow => FaultSite::AllocSlow,
-                    });
+                    machine.faults.note_recovery(FaultSite::alloc_for(dest));
                     continue;
                 }
                 break; // destination full; later pages will not fit either
@@ -493,7 +490,7 @@ impl AsyncMigrator {
                 out.background += sd;
                 continue;
             };
-            if txn.dest == TierKind::Fast && cfg.shadowing && old_frame.tier == TierKind::Slow {
+            if cfg.shadowing && txn.dest.index() < old_frame.tier.index() {
                 if let Some(stale) = shadows.retain(txn.vpn, old_frame) {
                     machine.free(stale);
                 }

@@ -155,9 +155,10 @@ fn simulate_access_unprofiled(
         let lat = machine.access_latency(tier);
         t += lat;
         machine.record_access(tier);
-        match tier {
-            TierKind::Fast => stats.fast_q += 1,
-            TierKind::Slow => stats.slow_q += 1,
+        if tier == TierKind::Fast {
+            stats.fast_q += 1;
+        } else {
+            stats.slow_q += 1; // every non-fast chain tier counts against FTHR
         }
         if write {
             stats.write_bytes_q += 64;
@@ -210,9 +211,10 @@ fn simulate_access_unprofiled(
                         let tier = pte.tier().expect("mapped");
                         let lat = machine.access_latency(tier);
                         machine.record_access(tier);
-                        match tier {
-                            TierKind::Fast => stats.fast_q += 1,
-                            TierKind::Slow => stats.slow_q += 1,
+                        if tier == TierKind::Fast {
+                            stats.fast_q += 1;
+                        } else {
+                            stats.slow_q += 1;
                         }
                         if write {
                             stats.write_bytes_q += 64;
@@ -229,12 +231,13 @@ fn simulate_access_unprofiled(
                             if machine.last_alloc_injected() {
                                 // Injected exhaustion: charge the modeled
                                 // direct-reclaim stall the kernel would
-                                // take, then retry without injection.
+                                // take, then retry without injection. The
+                                // injection flag reports on the *final*
+                                // fallback attempt, so the recovery is
+                                // attributed to the spill terminus.
                                 t += ALLOC_RETRY_STALL;
-                                machine.faults.note_recovery(match pref.other() {
-                                    TierKind::Fast => FaultSite::AllocFast,
-                                    TierKind::Slow => FaultSite::AllocSlow,
-                                });
+                                let terminus = machine.spill_terminus(pref);
+                                machine.faults.note_recovery(FaultSite::alloc_for(terminus));
                             }
                             match machine.alloc_with_fallback_uninjected(pref) {
                                 Ok(f) => f,
@@ -280,9 +283,10 @@ fn simulate_access_unprofiled(
     let lat = machine.access_latency(tier);
     t += lat;
     machine.record_access(tier);
-    match tier {
-        TierKind::Fast => stats.fast_q += 1,
-        TierKind::Slow => stats.slow_q += 1,
+    if tier == TierKind::Fast {
+        stats.fast_q += 1;
+    } else {
+        stats.slow_q += 1;
     }
     if write {
         stats.write_bytes_q += 64;
@@ -330,10 +334,7 @@ fn try_thp_fault(
                         }
                     }
                 }
-                machine.faults.note_recovery(match pref {
-                    TierKind::Fast => FaultSite::AllocFast,
-                    TierKind::Slow => FaultSite::AllocSlow,
-                });
+                machine.faults.note_recovery(FaultSite::alloc_for(pref));
                 return false;
             }
         };
@@ -483,8 +484,9 @@ fn run_thread_quantum_batched(
         hints.clear();
         // Loaded latencies only change at quantum boundaries; one load
         // per chunk also keeps the oracle's Latency lockstep check warm.
-        let lat_fast = machine.access_latency(TierKind::Fast);
-        let lat_slow = machine.access_latency(TierKind::Slow);
+        // Indexed by `TierKind::index()`; tiers absent from the chain
+        // never receive hits, so their entries multiply zeros.
+        let lat: [Nanos; vulcan_sim::MAX_TIERS] = TierKind::ALL.map(|t| machine.access_latency(t));
         // Huge regions appear only through THP faults, so a chunk that
         // starts with none (and no THP) can skip the per-access
         // `in_huge` screen entirely.
@@ -492,20 +494,18 @@ fn run_thread_quantum_batched(
         // Tier hits fold into per-chunk counters; every reordered
         // quantity is a u64 sum, so totals match the scalar order
         // bit-for-bit.
-        let mut chunk_fast = 0u64;
-        let mut chunk_slow = 0u64;
+        let mut chunk_hits = [0u64; vulcan_sim::MAX_TIERS];
         let mut executed = 0usize; // accesses of the plan actually run
         let mut ops_done = 0usize;
         for op in 0..filled {
             let (start, end) = plan.op_range(op);
-            let mut fast = 0u64;
-            let mut slow = 0u64;
+            let mut hits = [0u64; vulcan_sim::MAX_TIERS];
             let mut cold = Nanos::ZERO;
             let mut i = start;
             while i < end {
                 // Hot run: consecutive base-page read hits, probed with
                 // `lookup`'s exact side effects and no per-access
-                // accounting beyond two tier counters.
+                // accounting beyond the per-tier hit counters.
                 {
                     let tlb = tlbs.core(core);
                     while i < end {
@@ -518,10 +518,7 @@ fn run_thread_quantum_batched(
                         }
                         match tlb.probe_read_one(asid, vpn) {
                             Some(frame) => {
-                                match frame.tier {
-                                    TierKind::Fast => fast += 1,
-                                    TierKind::Slow => slow += 1,
-                                }
+                                hits[frame.tier.index()] += 1;
                                 i += 1;
                             }
                             None => break,
@@ -551,11 +548,12 @@ fn run_thread_quantum_batched(
                     i += 1;
                 }
             }
-            let reads = fast + slow;
-            let mem = lat_fast.0 * fast + lat_slow.0 * slow;
+            let reads: u64 = hits.iter().sum();
+            let mem: u64 = lat.iter().zip(&hits).map(|(l, &h)| l.0 * h).sum();
             let t = fixed + Nanos(tlb_hit.0 * reads + mem) + cold;
-            chunk_fast += fast;
-            chunk_slow += slow;
+            for (c, h) in chunk_hits.iter_mut().zip(&hits) {
+                *c += h;
+            }
             used += t;
             stats.ops_q += 1;
             stats.ops_total += 1;
@@ -566,13 +564,16 @@ fn run_thread_quantum_batched(
                 break;
             }
         }
-        let reads = chunk_fast + chunk_slow;
-        stats.fast_q += chunk_fast;
-        stats.slow_q += chunk_slow;
+        let reads: u64 = chunk_hits.iter().sum();
+        stats.fast_q += chunk_hits[TierKind::Fast.index()];
+        // FTHR's denominator splits fast vs everything below it, so all
+        // non-fast chain tiers fold into `slow_q`.
+        stats.slow_q += reads - chunk_hits[TierKind::Fast.index()];
         stats.read_bytes_q += 64 * reads;
-        stats.mem_time_q += Nanos(lat_fast.0 * chunk_fast + lat_slow.0 * chunk_slow);
-        machine.record_accesses(TierKind::Fast, chunk_fast);
-        machine.record_accesses(TierKind::Slow, chunk_slow);
+        stats.mem_time_q += Nanos(lat.iter().zip(&chunk_hits).map(|(l, &h)| l.0 * h).sum());
+        for (t, &h) in TierKind::ALL.iter().zip(&chunk_hits) {
+            machine.record_accesses(*t, h);
+        }
         // One profiler flush per chunk, over the executed plane prefix.
         profiler.on_access_batch(&AccessBatch {
             offsets: &plan.offsets[..executed],

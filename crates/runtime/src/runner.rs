@@ -236,6 +236,7 @@ const FAULT_INJECTED_NAMES: [&str; N_FAULT_SITES] = [
     "faults.injected.shootdown_timeout",
     "faults.injected.throttle",
     "faults.injected.sample_drop",
+    "faults.injected.alloc_nvm",
 ];
 const FAULT_RECOVERED_NAMES: [&str; N_FAULT_SITES] = [
     "faults.recovered.alloc_fast",
@@ -244,6 +245,7 @@ const FAULT_RECOVERED_NAMES: [&str; N_FAULT_SITES] = [
     "faults.recovered.shootdown_timeout",
     "faults.recovered.throttle",
     "faults.recovered.sample_drop",
+    "faults.recovered.alloc_nvm",
 ];
 
 /// Marker type for a [`SimRunnerBuilder`] field that has been provided.
@@ -714,6 +716,18 @@ impl SimRunner {
     /// Summarize without running further quanta (for step-wise drivers
     /// that interleave [`SimRunner::run_quantum`] with inspection).
     pub fn into_result(self) -> RunResult {
+        // Release-mode counterpart of the per-quantum drain
+        // `debug_assert` in `run_quantum`: a queue that survives to the
+        // end of the run means some policy path is accumulating pages
+        // without bound, and that must fail loudly even in optimized
+        // benchmark builds.
+        for ws in &self.state.workloads {
+            assert!(
+                ws.stats.hint_faulted_pages.is_empty() && ws.stats.aborted_pages_q.is_empty(),
+                "workload {}: per-quantum page queues not drained at teardown",
+                ws.spec.name
+            );
+        }
         let per_workload = self
             .state
             .workloads

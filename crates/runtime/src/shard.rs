@@ -236,15 +236,17 @@ fn try_execute_sharded(
         return None;
     }
 
-    // The plenty guard: both tiers must cover every workload's residual
-    // demand, or allocation outcomes become schedule-dependent.
+    // The plenty guard: every chain tier must cover every workload's
+    // residual demand, or allocation outcomes become schedule-dependent.
+    // Iterate the machine's chain, not `TierKind::ALL` — absent tiers
+    // have zero capacity and would veto sharding forever.
     let total_bound: u64 = st
         .workloads
         .iter()
         .filter(|w| w.started)
         .map(demand_bound)
         .sum();
-    for tier in TierKind::ALL {
+    for &tier in st.machine.spec().chain() {
         if st.machine.free_pages(tier) < total_bound {
             return None;
         }
@@ -277,23 +279,21 @@ fn try_execute_sharded(
     // comes back full; the TLB lease *moves* each owned core's TLB into
     // the shard (placeholders left behind) so no TLB state is copied.
     let mut views: Vec<(Machine, TlbArray)> = Vec::with_capacity(n_shards);
+    let chain: Vec<TierKind> = st.machine.spec().chain().to_vec();
     for (&bound, cores) in shard_bounds.iter().zip(&shard_cores) {
-        let fast = st.machine.allocator_mut(TierKind::Fast).alloc_many(bound);
-        let slow = st.machine.allocator_mut(TierKind::Slow).alloc_many(bound);
-        debug_assert_eq!(
-            fast.len() as u64,
-            bound,
-            "plenty guard admitted a short lease"
-        );
-        debug_assert_eq!(
-            slow.len() as u64,
-            bound,
-            "plenty guard admitted a short lease"
-        );
-        views.push((
-            st.machine.shard_view(&fast, &slow),
-            st.tlbs.lease_cores(cores),
-        ));
+        let leases: Vec<Vec<_>> = chain
+            .iter()
+            .map(|&tier| {
+                let lease = st.machine.allocator_mut(tier).alloc_many(bound);
+                debug_assert_eq!(
+                    lease.len() as u64,
+                    bound,
+                    "plenty guard admitted a short lease on {tier:?}"
+                );
+                lease
+            })
+            .collect();
+        views.push((st.machine.shard_view(&leases), st.tlbs.lease_cores(cores)));
     }
 
     // Hand each shard exclusive `&mut` access to its workloads.

@@ -505,9 +505,12 @@ impl SystemState {
         if pages == 0 {
             return;
         }
-        match dest {
-            TierKind::Fast => self.migrations_q.promoted += pages,
-            TierKind::Slow => self.migrations_q.demoted += pages,
+        // Counters are chain-top-relative: moves into the fast tier are
+        // promotions, moves into any lower tier count as demotions.
+        if dest == TierKind::Fast {
+            self.migrations_q.promoted += pages;
+        } else {
+            self.migrations_q.demoted += pages;
         }
     }
 
@@ -534,15 +537,16 @@ impl SystemState {
             return;
         }
         let name = &self.workloads[w].spec.name;
-        let kind = match dest {
-            TierKind::Fast => EventKind::PagesPromoted {
+        let kind = if dest == TierKind::Fast {
+            EventKind::PagesPromoted {
                 pages: out.moved.len() as u64,
                 sync: on_critical_path,
-            },
-            TierKind::Slow => EventKind::PagesDemoted {
+            }
+        } else {
+            EventKind::PagesDemoted {
                 pages: out.moved.len() as u64,
                 remap_only: out.remap_only,
-            },
+            }
         };
         self.telemetry.emit(self.now, Some(name), kind);
         for (phase, cycles) in [

@@ -7,7 +7,7 @@
 //! previous quantum inflates access latency in the current one following a
 //! queueing-style `1/(1-ρ)` curve, capped to keep the simulation stable.
 
-use crate::tier::TierKind;
+use crate::tier::{TierKind, MAX_TIERS};
 use crate::time::Nanos;
 
 /// Maximum latency inflation under saturation. Beyond ~4x the real system
@@ -18,21 +18,35 @@ pub const MAX_INFLATION: f64 = 4.0;
 #[derive(Clone, Debug)]
 pub struct BandwidthTracker {
     /// Peak bandwidth per tier (bytes/ns), indexed by `TierKind::index()`.
-    peak: [f64; 2],
+    /// Tiers absent from the machine's chain carry a placeholder peak of
+    /// 1.0; they never see bytes, so their utilization is exactly 0 and
+    /// their inflation exactly 1.0.
+    peak: [f64; MAX_TIERS],
     /// Bytes transferred in the current quantum.
-    bytes: [u64; 2],
+    bytes: [u64; MAX_TIERS],
     /// Latency inflation factor derived from the *previous* quantum.
-    inflation: [f64; 2],
+    inflation: [f64; MAX_TIERS],
 }
 
 impl BandwidthTracker {
-    /// Create a tracker with the given per-tier peak bandwidths (bytes/ns).
-    pub fn new(fast_peak: f64, slow_peak: f64) -> Self {
-        assert!(fast_peak > 0.0 && slow_peak > 0.0);
+    /// Create a tracker from the chain's per-tier peak bandwidths
+    /// (bytes/ns), fastest first. Tiers beyond `chain_peaks.len()` are
+    /// absent and get the placeholder peak.
+    pub fn new(chain_peaks: &[f64]) -> Self {
+        assert!(
+            !chain_peaks.is_empty() && chain_peaks.len() <= MAX_TIERS,
+            "chain of {} tiers",
+            chain_peaks.len()
+        );
+        let mut peak = [1.0; MAX_TIERS];
+        for (slot, &p) in peak.iter_mut().zip(chain_peaks) {
+            assert!(p > 0.0, "tier peak bandwidth must be positive");
+            *slot = p;
+        }
         BandwidthTracker {
-            peak: [fast_peak, slow_peak],
-            bytes: [0, 0],
-            inflation: [1.0, 1.0],
+            peak,
+            bytes: [0; MAX_TIERS],
+            inflation: [1.0; MAX_TIERS],
         }
     }
 
@@ -51,7 +65,7 @@ impl BandwidthTracker {
     /// Shard-local tracker views start from zero so their end-of-quantum
     /// byte counts are directly the deltas to merge back.
     pub fn reset_bytes(&mut self) {
-        self.bytes = [0, 0];
+        self.bytes = [0; MAX_TIERS];
     }
 
     /// Utilization `ρ` of `tier` if the current quantum lasted `quantum`.
@@ -64,7 +78,8 @@ impl BandwidthTracker {
     }
 
     /// Close the quantum: derive next-quantum inflation from utilization
-    /// and reset byte counters.
+    /// and reset byte counters. Absent tiers see zero bytes, so their
+    /// factor stays exactly 1.0 — the loop can safely cover `ALL`.
     pub fn end_quantum(&mut self, quantum: Nanos) {
         for tier in TierKind::ALL {
             let rho = self.utilization(tier, quantum).min(0.999);
@@ -92,15 +107,16 @@ mod tests {
 
     #[test]
     fn idle_tier_has_no_inflation() {
-        let mut bw = BandwidthTracker::new(205.0, 25.0);
+        let mut bw = BandwidthTracker::new(&[205.0, 25.0]);
         bw.end_quantum(Nanos::millis(1));
         assert_eq!(bw.inflation(TierKind::Fast), 1.0);
         assert_eq!(bw.inflation(TierKind::Slow), 1.0);
+        assert_eq!(bw.inflation(TierKind::Nvm), 1.0);
     }
 
     #[test]
     fn utilization_computation() {
-        let mut bw = BandwidthTracker::new(205.0, 25.0);
+        let mut bw = BandwidthTracker::new(&[205.0, 25.0]);
         // 25 bytes/ns * 1000 ns = 25_000 bytes saturates the slow tier.
         bw.record(TierKind::Slow, 12_500);
         let rho = bw.utilization(TierKind::Slow, Nanos(1000));
@@ -109,7 +125,7 @@ mod tests {
 
     #[test]
     fn saturation_inflates_and_caps() {
-        let mut bw = BandwidthTracker::new(205.0, 25.0);
+        let mut bw = BandwidthTracker::new(&[205.0, 25.0]);
         bw.record(TierKind::Slow, 10 * 25_000); // 10x oversubscribed
         bw.end_quantum(Nanos(1000));
         assert_eq!(bw.inflation(TierKind::Slow), MAX_INFLATION);
@@ -119,7 +135,7 @@ mod tests {
 
     #[test]
     fn half_load_doubles_latency() {
-        let mut bw = BandwidthTracker::new(205.0, 25.0);
+        let mut bw = BandwidthTracker::new(&[205.0, 25.0]);
         bw.record(TierKind::Slow, 12_500);
         bw.end_quantum(Nanos(1000));
         let inflated = bw.inflate(TierKind::Slow, Nanos(162));
@@ -127,8 +143,17 @@ mod tests {
     }
 
     #[test]
+    fn third_tier_tracks_its_own_contention() {
+        let mut bw = BandwidthTracker::new(&[205.0, 25.0, 8.0]);
+        bw.record(TierKind::Nvm, 4_000); // ρ = 0.5 at 8 bytes/ns × 1000 ns
+        bw.end_quantum(Nanos(1000));
+        assert_eq!(bw.inflate(TierKind::Nvm, Nanos(350)), Nanos(700));
+        assert_eq!(bw.inflation(TierKind::Slow), 1.0);
+    }
+
+    #[test]
     fn counters_reset_each_quantum() {
-        let mut bw = BandwidthTracker::new(205.0, 25.0);
+        let mut bw = BandwidthTracker::new(&[205.0, 25.0]);
         bw.record(TierKind::Fast, 1_000);
         bw.end_quantum(Nanos(1000));
         assert_eq!(bw.bytes_this_quantum(TierKind::Fast), 0);
@@ -136,7 +161,7 @@ mod tests {
 
     #[test]
     fn migration_traffic_counts() {
-        let mut bw = BandwidthTracker::new(205.0, 25.0);
+        let mut bw = BandwidthTracker::new(&[205.0, 25.0]);
         bw.record(TierKind::Slow, 4096); // a page copy read
         assert_eq!(bw.bytes_this_quantum(TierKind::Slow), 4096);
     }

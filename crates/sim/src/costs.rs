@@ -37,6 +37,10 @@ pub struct AccessCosts {
     pub fast: Nanos,
     /// Unloaded slow-tier access latency (paper: 162 ns).
     pub slow: Nanos,
+    /// Unloaded NVM-class third-tier access latency ("Emulating Hybrid
+    /// Memory on NUMA Hardware" calibration range; only reachable on
+    /// machines whose chain includes [`TierKind::Nvm`]).
+    pub nvm: Nanos,
     /// Minor page-fault service time (NUMA hinting faults add this to the
     /// faulting access — the cost AutoTiering/TPP-style profiling pays).
     pub minor_fault: Nanos,
@@ -50,6 +54,7 @@ impl Default for AccessCosts {
             walk_cold_level: Nanos(15),
             fast: Nanos(70),
             slow: Nanos(162),
+            nvm: Nanos(350),
             minor_fault: Nanos(1_500),
         }
     }
@@ -61,6 +66,7 @@ impl AccessCosts {
         match tier {
             TierKind::Fast => self.fast,
             TierKind::Slow => self.slow,
+            TierKind::Nvm => self.nvm,
         }
     }
 }
@@ -351,6 +357,7 @@ mod tests {
         let a = AccessCosts::default();
         assert_eq!(a.tier_latency(TierKind::Fast), Nanos(70));
         assert_eq!(a.tier_latency(TierKind::Slow), Nanos(162));
+        assert_eq!(a.tier_latency(TierKind::Nvm), Nanos(350));
     }
 
     #[test]

@@ -21,9 +21,12 @@
 use crate::tier::TierKind;
 
 /// Number of distinct injection sites.
-pub const N_FAULT_SITES: usize = 6;
+pub const N_FAULT_SITES: usize = 7;
 
 /// An injection site: each owns an independent decision stream.
+///
+/// `AllocNvm` is appended *after* the original six sites: stream keys
+/// are index-derived, so appending never perturbs existing schedules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultSite {
     /// Fast-tier frame allocation reports exhaustion.
@@ -38,6 +41,8 @@ pub enum FaultSite {
     Throttle,
     /// The profiler drops an access sample.
     SampleDrop,
+    /// NVM-tier frame allocation reports exhaustion (3-tier chains).
+    AllocNvm,
 }
 
 impl FaultSite {
@@ -49,6 +54,7 @@ impl FaultSite {
         FaultSite::ShootdownTimeout,
         FaultSite::Throttle,
         FaultSite::SampleDrop,
+        FaultSite::AllocNvm,
     ];
 
     /// Dense index of the site (stream/counter slot).
@@ -60,6 +66,16 @@ impl FaultSite {
             FaultSite::ShootdownTimeout => 3,
             FaultSite::Throttle => 4,
             FaultSite::SampleDrop => 5,
+            FaultSite::AllocNvm => 6,
+        }
+    }
+
+    /// The allocation-exhaustion site of one tier.
+    pub fn alloc_for(tier: TierKind) -> FaultSite {
+        match tier {
+            TierKind::Fast => FaultSite::AllocFast,
+            TierKind::Slow => FaultSite::AllocSlow,
+            TierKind::Nvm => FaultSite::AllocNvm,
         }
     }
 
@@ -72,6 +88,7 @@ impl FaultSite {
             FaultSite::ShootdownTimeout => "shootdown_timeout",
             FaultSite::Throttle => "throttle",
             FaultSite::SampleDrop => "sample_drop",
+            FaultSite::AllocNvm => "alloc_nvm",
         }
     }
 }
@@ -94,6 +111,8 @@ pub struct FaultConfig {
     pub throttle_factor: f64,
     /// Probability the profiler drops an access sample.
     pub sample_drop_rate: f64,
+    /// Probability an NVM-tier allocation reports exhaustion.
+    pub alloc_nvm_rate: f64,
     /// Retry budget for timed-out shootdown acks before escalation.
     pub max_shootdown_retries: u32,
 }
@@ -108,6 +127,7 @@ impl Default for FaultConfig {
             throttle_rate: 0.0,
             throttle_factor: 2.0,
             sample_drop_rate: 0.0,
+            alloc_nvm_rate: 0.0,
             max_shootdown_retries: 3,
         }
     }
@@ -124,6 +144,7 @@ impl FaultConfig {
             FaultSite::ShootdownTimeout => cfg.shootdown_timeout_rate = rate,
             FaultSite::Throttle => cfg.throttle_rate = rate,
             FaultSite::SampleDrop => cfg.sample_drop_rate = rate,
+            FaultSite::AllocNvm => cfg.alloc_nvm_rate = rate,
         }
         cfg
     }
@@ -137,6 +158,7 @@ impl FaultConfig {
             FaultSite::ShootdownTimeout => self.shootdown_timeout_rate,
             FaultSite::Throttle => self.throttle_rate,
             FaultSite::SampleDrop => self.sample_drop_rate,
+            FaultSite::AllocNvm => self.alloc_nvm_rate,
         }
     }
 
@@ -284,11 +306,7 @@ impl FaultPlan {
     /// Decision: does this allocation in `tier` report exhaustion?
     #[inline]
     pub fn alloc_fails(&mut self, tier: TierKind) -> bool {
-        let site = match tier {
-            TierKind::Fast => FaultSite::AllocFast,
-            TierKind::Slow => FaultSite::AllocSlow,
-        };
-        self.roll(site)
+        self.roll(FaultSite::alloc_for(tier))
     }
 
     /// Decision: does this migration page copy fail?
@@ -450,6 +468,18 @@ mod tests {
         p.note_recovery(FaultSite::CopyFail);
         assert_eq!(p.stats().total_injected(), 1);
         assert_eq!(p.stats().total_recovered(), 1);
+    }
+
+    #[test]
+    fn nvm_alloc_site_rolls_its_own_stream() {
+        let mut p = FaultPlan::new(11, FaultConfig::single(FaultSite::AllocNvm, 1.0));
+        assert!((0..50).all(|_| p.alloc_fails(TierKind::Nvm)));
+        assert!(!p.alloc_fails(TierKind::Fast), "other sites untouched");
+        assert!(!p.alloc_fails(TierKind::Slow));
+        assert_eq!(FaultSite::AllocNvm.index(), N_FAULT_SITES - 1, "appended");
+        for t in TierKind::ALL {
+            assert!(FaultSite::alloc_for(t).name().starts_with("alloc_"));
+        }
     }
 
     #[test]

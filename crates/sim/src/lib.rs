@@ -28,6 +28,6 @@ pub use event::EventQueue;
 pub use faults::{FaultConfig, FaultPlan, FaultSite, FaultStats, N_FAULT_SITES};
 pub use frame::{FrameAllocator, FrameId, OutOfFrames};
 pub use machine::{Machine, MachineSpec};
-pub use tier::{TierKind, TierSpec, HUGE_PAGE_PAGES, PAGES_PER_PAPER_GB, PAGE_SIZE};
+pub use tier::{TierKind, TierSpec, HUGE_PAGE_PAGES, MAX_TIERS, PAGES_PER_PAPER_GB, PAGE_SIZE};
 pub use time::{Cycles, Nanos, SimClock, CYCLES_PER_NANO};
 pub use topology::{CoreId, SimThreadId, Topology};

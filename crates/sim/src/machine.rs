@@ -1,21 +1,27 @@
 //! The simulated tiered-memory machine: tiers, allocators, bandwidth,
 //! topology and cost models in one place.
+//!
+//! Tiers form an ordered demotion chain (see `tier.rs`); the classic
+//! two-tier paper testbed is simply the chain `[Fast, Slow]`. Per-tier
+//! state lives in `MAX_TIERS`-sized arrays indexed by
+//! [`TierKind::index`]; tiers absent from the chain hold zero-capacity
+//! allocators and placeholder bandwidth, so they can never satisfy an
+//! allocation and never perturb two-tier results.
 
 use crate::bandwidth::BandwidthTracker;
 use crate::costs::{AccessCosts, MigrationCosts};
 use crate::faults::{FaultPlan, FaultSite};
 use crate::frame::{FrameAllocator, FrameId, OutOfFrames};
-use crate::tier::{TierKind, TierSpec, PAGE_SIZE};
+use crate::tier::{validate_chain, TierKind, TierSpec, MAX_TIERS, PAGE_SIZE};
 use crate::time::Nanos;
 use crate::topology::Topology;
 
 /// Configuration of a simulated machine.
 #[derive(Clone, Debug)]
 pub struct MachineSpec {
-    /// Fast-tier (local DRAM) description.
-    pub fast: TierSpec,
-    /// Slow-tier (CXL-like) description.
-    pub slow: TierSpec,
+    /// Ordered demotion chain, fastest first — a non-empty prefix of
+    /// [`TierKind::ALL`] (validated when a [`Machine`] is built).
+    pub tiers: Vec<TierSpec>,
     /// Cores on the socket.
     pub n_cores: u16,
     /// Demand-access cost model.
@@ -29,31 +35,93 @@ impl MachineSpec {
     /// (scaled), 70 ns / 162 ns (§5.1).
     pub fn paper_testbed() -> MachineSpec {
         MachineSpec {
-            fast: TierSpec::paper_fast(),
-            slow: TierSpec::paper_slow(),
+            tiers: vec![TierSpec::paper_fast(), TierSpec::paper_slow()],
             n_cores: 32,
             access_costs: AccessCosts::default(),
             migration_costs: MigrationCosts::default(),
         }
     }
 
-    /// A small machine for tests: `fast_pages` / `slow_pages` capacity.
+    /// The testbed extended with an NVM-class third tier — the
+    /// DRAM→CXL→NVM demotion chain of ROADMAP item 4.
+    pub fn paper_3tier() -> MachineSpec {
+        MachineSpec {
+            tiers: vec![
+                TierSpec::paper_fast(),
+                TierSpec::paper_slow(),
+                TierSpec::paper_nvm(),
+            ],
+            n_cores: 32,
+            access_costs: AccessCosts::default(),
+            migration_costs: MigrationCosts::default(),
+        }
+    }
+
+    /// A small two-tier machine for tests: `fast_pages` / `slow_pages`.
     pub fn small(fast_pages: u64, slow_pages: u64, n_cores: u16) -> MachineSpec {
         MachineSpec {
-            fast: TierSpec::test_tier(TierKind::Fast, fast_pages),
-            slow: TierSpec::test_tier(TierKind::Slow, slow_pages),
+            tiers: vec![
+                TierSpec::test_tier(TierKind::Fast, fast_pages),
+                TierSpec::test_tier(TierKind::Slow, slow_pages),
+            ],
             n_cores,
             access_costs: AccessCosts::default(),
             migration_costs: MigrationCosts::default(),
         }
     }
 
-    /// Spec of one tier.
-    pub fn tier(&self, kind: TierKind) -> &TierSpec {
-        match kind {
-            TierKind::Fast => &self.fast,
-            TierKind::Slow => &self.slow,
+    /// A small three-tier machine for tests.
+    pub fn small3(fast_pages: u64, slow_pages: u64, nvm_pages: u64, n_cores: u16) -> MachineSpec {
+        MachineSpec {
+            tiers: vec![
+                TierSpec::test_tier(TierKind::Fast, fast_pages),
+                TierSpec::test_tier(TierKind::Slow, slow_pages),
+                TierSpec::test_tier(TierKind::Nvm, nvm_pages),
+            ],
+            n_cores,
+            access_costs: AccessCosts::default(),
+            migration_costs: MigrationCosts::default(),
         }
+    }
+
+    /// Number of tiers in the chain.
+    pub fn n_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// The chain's tier kinds, fastest first.
+    pub fn chain(&self) -> &'static [TierKind] {
+        &TierKind::ALL[..self.tiers.len()]
+    }
+
+    /// Whether `kind` is part of this machine's chain.
+    pub fn has_tier(&self, kind: TierKind) -> bool {
+        kind.index() < self.tiers.len()
+    }
+
+    /// Spec of one tier; panics if the tier is not in the chain.
+    pub fn tier(&self, kind: TierKind) -> &TierSpec {
+        self.tiers
+            .get(kind.index())
+            .unwrap_or_else(|| panic!("tier {kind:?} absent from {}-tier chain", self.tiers.len()))
+    }
+
+    /// Mutable spec of one tier; panics if the tier is not in the chain.
+    pub fn tier_mut(&mut self, kind: TierKind) -> &mut TierSpec {
+        let n = self.tiers.len();
+        self.tiers
+            .get_mut(kind.index())
+            .unwrap_or_else(|| panic!("tier {kind:?} absent from {n}-tier chain"))
+    }
+
+    /// One hop down this machine's demotion chain, or `None` at the end.
+    pub fn demote_target(&self, tier: TierKind) -> Option<TierKind> {
+        tier.demote_target(self.tiers.len())
+    }
+
+    /// One hop up this machine's demotion chain, or `None` at the top.
+    pub fn promote_target(&self, tier: TierKind) -> Option<TierKind> {
+        tier.promote_target()
     }
 }
 
@@ -61,7 +129,7 @@ impl MachineSpec {
 #[derive(Clone, Debug)]
 pub struct Machine {
     spec: MachineSpec,
-    allocators: [FrameAllocator; 2],
+    allocators: [FrameAllocator; MAX_TIERS],
     /// Per-tier bandwidth accounting and contention.
     pub bandwidth: BandwidthTracker,
     /// Cores and thread pinning.
@@ -69,7 +137,7 @@ pub struct Machine {
     /// Per-tier inflated demand latency, recomputed once per quantum —
     /// inflation only changes at [`Machine::end_quantum`], so the f64
     /// multiply-and-round is hoisted off the per-access path.
-    loaded_latency: [Nanos; 2],
+    loaded_latency: [Nanos; MAX_TIERS],
     /// Seeded fault-injection schedule (disabled by default; installed by
     /// the runtime after construction so preallocation is unaffected).
     pub faults: FaultPlan,
@@ -82,23 +150,29 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Build a machine from a spec.
+    /// Build a machine from a spec. Panics if the spec's tiers do not
+    /// form a valid demotion chain (non-empty prefix of `TierKind::ALL`).
     pub fn new(spec: MachineSpec) -> Machine {
-        let allocators = [
-            FrameAllocator::new(TierKind::Fast, spec.fast.capacity_pages),
-            FrameAllocator::new(TierKind::Slow, spec.slow.capacity_pages),
-        ];
-        let bandwidth = BandwidthTracker::new(
-            spec.fast.bandwidth_bytes_per_ns,
-            spec.slow.bandwidth_bytes_per_ns,
-        );
+        let kinds: Vec<TierKind> = spec.tiers.iter().map(|t| t.kind).collect();
+        validate_chain(&kinds);
+        // Absent tiers get zero-capacity allocators: every alloc fails,
+        // free_pages reads 0, and teardown audits see them empty.
+        let allocators = TierKind::ALL.map(|kind| {
+            FrameAllocator::new(
+                kind,
+                spec.tiers.get(kind.index()).map_or(0, |t| t.capacity_pages),
+            )
+        });
+        let peaks: Vec<f64> = spec
+            .tiers
+            .iter()
+            .map(|t| t.bandwidth_bytes_per_ns)
+            .collect();
+        let bandwidth = BandwidthTracker::new(&peaks);
         let topology = Topology::new(spec.n_cores);
         // Inflation starts at 1.0, so the loaded latency is the unloaded
         // one (inflate(x, 1.0) rounds back to x exactly).
-        let loaded_latency = [
-            spec.access_costs.tier_latency(TierKind::Fast),
-            spec.access_costs.tier_latency(TierKind::Slow),
-        ];
+        let loaded_latency = TierKind::ALL.map(|kind| spec.access_costs.tier_latency(kind));
         Machine {
             spec,
             allocators,
@@ -114,6 +188,16 @@ impl Machine {
     /// The machine's static spec.
     pub fn spec(&self) -> &MachineSpec {
         &self.spec
+    }
+
+    /// Number of tiers in the demotion chain.
+    pub fn n_tiers(&self) -> usize {
+        self.spec.tiers.len()
+    }
+
+    /// The chain's tier kinds, fastest first.
+    pub fn chain(&self) -> &'static [TierKind] {
+        self.spec.chain()
     }
 
     /// The frame allocator for one tier.
@@ -155,28 +239,53 @@ impl Machine {
         self.allocators[tier.index()].alloc()
     }
 
-    /// Allocate in `tier` if possible, else fall back to the other tier
-    /// (new allocations spill to slow memory when fast is full — the
-    /// standard first-touch behaviour of tiered systems).
+    /// Spill order after `preferred` fails: the rest of the chain in
+    /// demotion order below `preferred` first (new allocations spill
+    /// *down* — first-touch behaviour of tiered systems), then upward —
+    /// every tier is tried before exhaustion is reported, so a chain
+    /// never skips its middle tiers.
+    fn spill_order(&self, preferred: TierKind) -> impl Iterator<Item = TierKind> {
+        let n = self.spec.tiers.len();
+        let p = preferred.index();
+        debug_assert!(
+            p < n,
+            "preferred tier {preferred:?} absent from {n}-tier chain"
+        );
+        let down = TierKind::ALL[p + 1..n].iter().copied();
+        let up = TierKind::ALL[..p].iter().rev().copied();
+        down.chain(up)
+    }
+
+    /// The last tier [`Machine::alloc_with_fallback`] attempts for
+    /// `preferred` — the tier whose fault site an all-tiers-failed
+    /// outcome reports on. `preferred` itself on a single-tier chain.
+    pub fn spill_terminus(&self, preferred: TierKind) -> TierKind {
+        self.spill_order(preferred).last().unwrap_or(preferred)
+    }
+
+    /// Allocate in `tier` if possible, else walk the remaining chain
+    /// tiers (downward in demotion order, then upward) and only report
+    /// exhaustion once every tier has failed.
     ///
     /// A successful spill after an *injected* exhaustion of the
     /// preferred tier is itself the degraded path, so it is tallied as
-    /// a recovery; callers only handle the case where both tiers fail.
+    /// a recovery; callers only handle the case where all tiers fail.
     pub fn alloc_with_fallback(&mut self, tier: TierKind) -> Result<FrameId, OutOfFrames> {
-        match self.alloc(tier) {
-            Ok(f) => Ok(f),
-            Err(_) => {
-                let preferred_injected = self.last_alloc_injected;
-                let res = self.alloc(tier.other());
-                if preferred_injected && res.is_ok() {
-                    self.faults.note_recovery(match tier {
-                        TierKind::Fast => FaultSite::AllocFast,
-                        TierKind::Slow => FaultSite::AllocSlow,
-                    });
+        let mut res = self.alloc(tier);
+        if res.is_ok() {
+            return res;
+        }
+        let preferred_injected = self.last_alloc_injected;
+        for next in self.spill_order(tier).collect::<Vec<_>>() {
+            res = self.alloc(next);
+            if res.is_ok() {
+                if preferred_injected {
+                    self.faults.note_recovery(FaultSite::alloc_for(tier));
                 }
-                res
+                return res;
             }
         }
+        res
     }
 
     /// Fallback allocation bypassing fault injection (degraded-path
@@ -185,8 +294,17 @@ impl Machine {
         &mut self,
         tier: TierKind,
     ) -> Result<FrameId, OutOfFrames> {
-        self.alloc_uninjected(tier)
-            .or_else(|_| self.alloc_uninjected(tier.other()))
+        let mut res = self.alloc_uninjected(tier);
+        if res.is_ok() {
+            return res;
+        }
+        for next in self.spill_order(tier).collect::<Vec<_>>() {
+            res = self.alloc_uninjected(next);
+            if res.is_ok() {
+                return res;
+            }
+        }
+        res
     }
 
     /// Free a frame back to its tier.
@@ -244,7 +362,7 @@ impl Machine {
 
     /// Close a quantum of length `quantum`: roll bandwidth contention
     /// over, draw the next transient-throttle fault decision, and refresh
-    /// the cached loaded latencies.
+    /// the cached loaded latencies for every chain tier.
     pub fn end_quantum(&mut self, quantum: Nanos) {
         self.bandwidth.end_quantum(quantum);
         // One throttle decision per quantum; with faults disabled this is
@@ -254,7 +372,7 @@ impl Machine {
         } else {
             1.0
         };
-        for tier in TierKind::ALL {
+        for &tier in self.spec.chain() {
             self.loaded_latency[tier.index()] = Self::apply_throttle(
                 self.bandwidth
                     .inflate(tier, self.spec.access_costs.tier_latency(tier)),
@@ -285,9 +403,10 @@ impl Machine {
     }
 
     /// Build a shard-local view of this machine backed by pre-reserved
-    /// frame leases: same spec, topology, cost model and *cached loaded
-    /// latencies* (so per-access latency inside the shard is identical to
-    /// the sequential schedule), but
+    /// frame leases (one lease slice per chain tier, fastest first):
+    /// same spec, topology, cost model and *cached loaded latencies* (so
+    /// per-access latency inside the shard is identical to the
+    /// sequential schedule), but
     ///
     /// - each tier's allocator hands out only the leased frames, and
     /// - the bandwidth tracker's byte counters start at zero, so the
@@ -296,27 +415,31 @@ impl Machine {
     /// Fault injection is never active on a view (the sharded execute
     /// path is only taken with faults disabled — per-site fault counters
     /// are schedule-order-sensitive).
-    pub fn shard_view(&self, fast_lease: &[FrameId], slow_lease: &[FrameId]) -> Machine {
+    pub fn shard_view(&self, leases: &[Vec<FrameId>]) -> Machine {
         debug_assert!(
             !self.faults.is_enabled(),
             "shard views require fault injection disabled"
         );
+        assert_eq!(
+            leases.len(),
+            self.spec.tiers.len(),
+            "one lease per chain tier"
+        );
         let mut bandwidth = self.bandwidth.clone();
         bandwidth.reset_bytes();
+        static EMPTY: &[FrameId] = &[];
+        let allocators = TierKind::ALL.map(|kind| {
+            let lease = leases.get(kind.index()).map_or(EMPTY, |l| l.as_slice());
+            let capacity = self
+                .spec
+                .tiers
+                .get(kind.index())
+                .map_or(0, |t| t.capacity_pages);
+            FrameAllocator::lease_view(kind, capacity, lease)
+        });
         Machine {
             spec: self.spec.clone(),
-            allocators: [
-                FrameAllocator::lease_view(
-                    TierKind::Fast,
-                    self.spec.fast.capacity_pages,
-                    fast_lease,
-                ),
-                FrameAllocator::lease_view(
-                    TierKind::Slow,
-                    self.spec.slow.capacity_pages,
-                    slow_lease,
-                ),
-            ],
+            allocators,
             bandwidth,
             topology: self.topology.clone(),
             loaded_latency: self.loaded_latency,
@@ -331,7 +454,7 @@ impl Machine {
     /// lease frame to the shared allocators. Called in fixed shard order
     /// so the merged state is independent of shard execution timing.
     pub fn absorb_shard_view(&mut self, mut view: Machine) {
-        for tier in TierKind::ALL {
+        for &tier in self.spec().chain() {
             let bytes = view.bandwidth.bytes_this_quantum(tier);
             if bytes > 0 {
                 self.bandwidth.record(tier, bytes);
@@ -353,7 +476,18 @@ mod tests {
         let m = Machine::new(MachineSpec::paper_testbed());
         assert_eq!(m.allocator(TierKind::Fast).capacity(), 8192);
         assert_eq!(m.allocator(TierKind::Slow).capacity(), 65536);
+        assert_eq!(m.allocator(TierKind::Nvm).capacity(), 0, "absent tier");
         assert_eq!(m.topology.n_cores(), 32);
+        assert_eq!(m.n_tiers(), 2);
+    }
+
+    #[test]
+    fn three_tier_testbed_dimensions() {
+        let m = Machine::new(MachineSpec::paper_3tier());
+        assert_eq!(m.n_tiers(), 3);
+        assert_eq!(m.allocator(TierKind::Nvm).capacity(), 131072);
+        assert_eq!(m.spec().demote_target(TierKind::Slow), Some(TierKind::Nvm));
+        assert_eq!(m.spec().demote_target(TierKind::Nvm), None);
     }
 
     #[test]
@@ -363,6 +497,67 @@ mod tests {
         assert_eq!(a.tier, TierKind::Fast);
         let b = m.alloc_with_fallback(TierKind::Fast).unwrap();
         assert_eq!(b.tier, TierKind::Slow);
+    }
+
+    #[test]
+    fn alloc_storm_walks_the_whole_chain_in_order() {
+        // Regression (ISSUE 9 satellite): the spill path used to be
+        // hard-wired to `tier.other()` — on a 3-tier chain it must visit
+        // fast, then the MIDDLE tier, then nvm, and only then give up.
+        let mut m = Machine::new(MachineSpec::small3(2, 2, 2, 2));
+        let tiers: Vec<TierKind> = (0..6)
+            .map(|_| m.alloc_with_fallback(TierKind::Fast).unwrap().tier)
+            .collect();
+        assert_eq!(
+            tiers,
+            [
+                TierKind::Fast,
+                TierKind::Fast,
+                TierKind::Slow,
+                TierKind::Slow,
+                TierKind::Nvm,
+                TierKind::Nvm
+            ],
+            "middle tier skipped"
+        );
+        assert!(m.alloc_with_fallback(TierKind::Fast).is_err());
+    }
+
+    #[test]
+    fn spill_prefers_down_chain_before_up() {
+        // From the middle of the chain, spill goes down (Nvm) before up.
+        let mut m = Machine::new(MachineSpec::small3(4, 1, 1, 2));
+        m.alloc(TierKind::Slow).unwrap();
+        assert_eq!(
+            m.alloc_with_fallback(TierKind::Slow).map(|f| f.tier),
+            Ok(TierKind::Nvm)
+        );
+        // Nvm now full too: next spill climbs to Fast.
+        assert_eq!(
+            m.alloc_with_fallback(TierKind::Slow).map(|f| f.tier),
+            Ok(TierKind::Fast)
+        );
+    }
+
+    #[test]
+    fn uninjected_fallback_walks_the_chain_too() {
+        let mut m = Machine::new(MachineSpec::small3(1, 1, 1, 2));
+        assert_eq!(
+            m.alloc_with_fallback_uninjected(TierKind::Slow)
+                .map(|f| f.tier),
+            Ok(TierKind::Slow)
+        );
+        assert_eq!(
+            m.alloc_with_fallback_uninjected(TierKind::Slow)
+                .map(|f| f.tier),
+            Ok(TierKind::Nvm)
+        );
+        assert_eq!(
+            m.alloc_with_fallback_uninjected(TierKind::Slow)
+                .map(|f| f.tier),
+            Ok(TierKind::Fast)
+        );
+        assert!(m.alloc_with_fallback_uninjected(TierKind::Slow).is_err());
     }
 
     #[test]
@@ -411,6 +606,21 @@ mod tests {
     }
 
     #[test]
+    fn injected_nvm_fault_spills_back_up_the_chain() {
+        use crate::faults::{FaultConfig, FaultPlan, FaultSite};
+        let mut m = Machine::new(MachineSpec::small3(4, 4, 4, 2));
+        m.faults = FaultPlan::new(7, FaultConfig::single(FaultSite::AllocNvm, 1.0));
+        assert!(m.alloc(TierKind::Nvm).is_err(), "injected exhaustion");
+        assert!(m.last_alloc_injected());
+        // Bottom of the chain: spill climbs upward and tallies recovery.
+        assert_eq!(
+            m.alloc_with_fallback(TierKind::Nvm).map(|f| f.tier),
+            Ok(TierKind::Slow)
+        );
+        assert_eq!(m.faults.stats().recovered[FaultSite::AllocNvm.index()], 1);
+    }
+
+    #[test]
     fn throttle_fault_scales_loaded_latency() {
         use crate::faults::{FaultConfig, FaultPlan, FaultSite};
         let mut m = Machine::new(MachineSpec::small(64, 64, 2));
@@ -438,5 +648,13 @@ mod tests {
         m.record_page_copy(TierKind::Slow, TierKind::Fast);
         assert_eq!(m.bandwidth.bytes_this_quantum(TierKind::Slow), 4096);
         assert_eq!(m.bandwidth.bytes_this_quantum(TierKind::Fast), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix of TierKind::ALL")]
+    fn machine_rejects_invalid_chains() {
+        let mut spec = MachineSpec::small(2, 2, 2);
+        spec.tiers.remove(0); // [Slow] is not a prefix of ALL
+        Machine::new(spec);
     }
 }

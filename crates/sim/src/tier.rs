@@ -3,11 +3,21 @@
 //! The paper's testbed (§5.1): locally-attached fast memory, 32 GB,
 //! 70 ns unloaded latency; emulated CXL slow memory, 256 GB, 162 ns
 //! unloaded latency; 205 GB/s local bandwidth, 25 GB/s cross-link
-//! bandwidth per direction.
+//! bandwidth per direction. The optional third tier models NVM-class
+//! memory calibrated per "Emulating Hybrid Memory on NUMA Hardware"
+//! (PAPERS.md): ~350 ns random-read latency, single-digit GB/s.
 //!
 //! Capacities are scaled for simulation: **1 paper-GB = 256 pages of
 //! 4 KiB** (see DESIGN.md §5). The latency *gap* and the capacity *ratio*
 //! are what drive every result in the paper, and both are preserved.
+//!
+//! Tiers form an ordered **demotion chain**, fastest first. A machine's
+//! chain is always a non-empty prefix of [`TierKind::ALL`], so a tier's
+//! [`TierKind::index`] equals its position in the chain and the
+//! promotion/demotion targets are pure index arithmetic:
+//! [`TierKind::demote_target`] walks one hop down the chain,
+//! [`TierKind::promote_target`] one hop up, both saturating to `None`
+//! at the ends.
 
 use crate::time::Nanos;
 
@@ -21,33 +31,68 @@ pub const HUGE_PAGE_PAGES: usize = 512;
 /// Scale factor: number of simulated 4 KiB pages representing one paper-GB.
 pub const PAGES_PER_PAPER_GB: u64 = 256;
 
-/// Which memory tier a frame lives in.
+/// Maximum chain length the machine supports (per-tier arrays are sized
+/// by this; absent tiers hold zero capacity and never allocate).
+pub const MAX_TIERS: usize = 3;
+
+/// Which memory tier a frame lives in, ordered along the demotion chain.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TierKind {
     /// Fast, locally attached DRAM.
     Fast,
     /// Slow CXL-like far memory.
     Slow,
+    /// NVM-class capacity tier below CXL (third chain hop).
+    Nvm,
 }
 
 impl TierKind {
-    /// Both tiers, fast first.
-    pub const ALL: [TierKind; 2] = [TierKind::Fast, TierKind::Slow];
+    /// Every tier the machine can model, in demotion-chain order.
+    pub const ALL: [TierKind; MAX_TIERS] = [TierKind::Fast, TierKind::Slow, TierKind::Nvm];
 
-    /// The other tier (migration destination/source).
-    pub fn other(self) -> TierKind {
-        match self {
-            TierKind::Fast => TierKind::Slow,
-            TierKind::Slow => TierKind::Fast,
-        }
-    }
-
-    /// Dense index for array-per-tier structures.
+    /// Dense index for array-per-tier structures; equals the tier's
+    /// position in any chain that contains it.
     pub fn index(self) -> usize {
         match self {
             TierKind::Fast => 0,
             TierKind::Slow => 1,
+            TierKind::Nvm => 2,
         }
+    }
+
+    /// One hop *down* the demotion chain of an `n_tiers` machine
+    /// (chains are prefixes of [`Self::ALL`]), or `None` at the bottom.
+    pub fn demote_target(self, n_tiers: usize) -> Option<TierKind> {
+        debug_assert!(
+            self.index() < n_tiers,
+            "tier {self:?} is not part of a {n_tiers}-tier chain"
+        );
+        let next = self.index() + 1;
+        (next < n_tiers).then(|| Self::ALL[next])
+    }
+
+    /// One hop *up* the demotion chain, or `None` at the top. Chain
+    /// length is irrelevant: any tier in a chain has the same ancestors.
+    pub fn promote_target(self) -> Option<TierKind> {
+        self.index().checked_sub(1).map(|i| Self::ALL[i])
+    }
+
+    /// Short lowercase name for reports and assertions.
+    pub fn name(self) -> &'static str {
+        match self {
+            TierKind::Fast => "fast",
+            TierKind::Slow => "slow",
+            TierKind::Nvm => "nvm",
+        }
+    }
+}
+
+impl TryFrom<usize> for TierKind {
+    type Error = usize;
+
+    /// Inverse of [`TierKind::index`]; the offending index is the error.
+    fn try_from(index: usize) -> Result<TierKind, usize> {
+        TierKind::ALL.get(index).copied().ok_or(index)
     }
 }
 
@@ -90,11 +135,24 @@ impl TierSpec {
         }
     }
 
+    /// NVM-class capacity tier: 512 GB, 350 ns, 8 GB/s — the far end of
+    /// the emulated-hybrid-memory calibration range (PAPERS.md).
+    pub fn paper_nvm() -> TierSpec {
+        TierSpec {
+            kind: TierKind::Nvm,
+            capacity_pages: 512 * PAGES_PER_PAPER_GB,
+            load_latency: Nanos(350),
+            store_latency: Nanos(350),
+            bandwidth_bytes_per_ns: 8.0,
+        }
+    }
+
     /// A tiny tier for unit tests.
     pub fn test_tier(kind: TierKind, capacity_pages: u64) -> TierSpec {
         let (lat, bw) = match kind {
             TierKind::Fast => (Nanos(70), 205.0),
             TierKind::Slow => (Nanos(162), 25.0),
+            TierKind::Nvm => (Nanos(350), 8.0),
         };
         TierSpec {
             kind,
@@ -116,6 +174,25 @@ impl TierSpec {
     }
 }
 
+/// Panic unless `chain` is a valid demotion chain: a non-empty prefix
+/// of [`TierKind::ALL`]. Machines validate their spec with this at
+/// construction so `TierKind::index()` can double as chain position.
+pub fn validate_chain(chain: &[TierKind]) {
+    assert!(!chain.is_empty(), "a machine needs at least one tier");
+    assert!(
+        chain.len() <= MAX_TIERS,
+        "chain of {} tiers exceeds MAX_TIERS={MAX_TIERS}",
+        chain.len()
+    );
+    for (pos, &tier) in chain.iter().enumerate() {
+        assert_eq!(
+            tier,
+            TierKind::ALL[pos],
+            "chain must be a prefix of TierKind::ALL; position {pos} holds {tier:?}"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,14 +207,60 @@ mod tests {
         assert!(slow.load_latency.0 - fast.load_latency.0 >= 70);
         // Capacity ratio 256/32 = 8x is preserved under scaling.
         assert_eq!(slow.capacity_pages / fast.capacity_pages, 8);
+        // NVM sits below CXL on both axes.
+        let nvm = TierSpec::paper_nvm();
+        assert!(nvm.load_latency > slow.load_latency);
+        assert!(nvm.bandwidth_bytes_per_ns < slow.bandwidth_bytes_per_ns);
+        assert!(nvm.capacity_pages > slow.capacity_pages);
     }
 
     #[test]
-    fn other_tier_is_involution() {
-        for t in TierKind::ALL {
-            assert_eq!(t.other().other(), t);
-            assert_ne!(t.other(), t);
+    fn promote_demote_compose_along_every_chain() {
+        // Property: for every valid chain length and every member tier,
+        // demote∘promote and promote∘demote are the identity mid-chain
+        // and saturate to None at the chain ends.
+        for n_tiers in 1..=MAX_TIERS {
+            let chain = &TierKind::ALL[..n_tiers];
+            validate_chain(chain);
+            for (pos, &t) in chain.iter().enumerate() {
+                let down = t.demote_target(n_tiers);
+                let up = t.promote_target();
+                assert_eq!(down.is_none(), pos + 1 == n_tiers, "{t:?} in {n_tiers}");
+                assert_eq!(up.is_none(), pos == 0, "{t:?}");
+                if let Some(d) = down {
+                    assert_eq!(d.promote_target(), Some(t), "demote∘promote {t:?}");
+                    assert_eq!(d.index(), pos + 1);
+                }
+                if let Some(u) = up {
+                    assert_eq!(u.demote_target(n_tiers), Some(t), "promote∘demote {t:?}");
+                    assert_eq!(u.index(), pos - 1);
+                }
+            }
         }
+    }
+
+    #[test]
+    fn two_tier_chain_matches_legacy_other() {
+        // The old two-tier `other()` involution is exactly what the chain
+        // degenerates to at n_tiers = 2.
+        assert_eq!(TierKind::Fast.demote_target(2), Some(TierKind::Slow));
+        assert_eq!(TierKind::Slow.promote_target(), Some(TierKind::Fast));
+        assert_eq!(TierKind::Slow.demote_target(2), None);
+        assert_eq!(TierKind::Fast.promote_target(), None);
+    }
+
+    #[test]
+    fn try_from_round_trips_and_rejects() {
+        for t in TierKind::ALL {
+            assert_eq!(TierKind::try_from(t.index()), Ok(t));
+        }
+        assert_eq!(TierKind::try_from(MAX_TIERS), Err(MAX_TIERS));
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix of TierKind::ALL")]
+    fn chain_validation_rejects_gaps() {
+        validate_chain(&[TierKind::Fast, TierKind::Nvm]);
     }
 
     #[test]
@@ -152,8 +275,9 @@ mod tests {
 
     #[test]
     fn indexes_are_dense() {
-        assert_eq!(TierKind::Fast.index(), 0);
-        assert_eq!(TierKind::Slow.index(), 1);
+        for (i, t) in TierKind::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
     }
 
     #[test]

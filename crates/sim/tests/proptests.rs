@@ -38,7 +38,7 @@ proptest! {
         sorted.sort();
         let mut last = 0.0;
         for &bytes in &sorted {
-            let mut bw = BandwidthTracker::new(205.0, 25.0);
+            let mut bw = BandwidthTracker::new(&[205.0, 25.0]);
             bw.record(TierKind::Slow, bytes);
             bw.end_quantum(Nanos(1_000));
             let f = bw.inflation(TierKind::Slow);

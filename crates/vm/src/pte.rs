@@ -11,7 +11,7 @@
 //! bit  5      accessed      (hardware A bit, used by table scanning)
 //! bit  6      dirty         (hardware D bit, used by migration copy)
 //! bit  8      hint-poisoned (reserved-bit NUMA hinting fault, §2.1)
-//! bit  9      frame tier    (0 = fast, 1 = slow)
+//! bits 9–10   frame tier    (chain index: 00 = fast, 01 = slow, 10 = nvm)
 //! bits 12–51  frame index
 //! bits 52–58  thread owner  (0x7F = shared)
 //! ```
@@ -42,7 +42,11 @@ const WRITABLE: u64 = 1 << 1;
 const ACCESSED: u64 = 1 << 5;
 const DIRTY: u64 = 1 << 6;
 const POISONED: u64 = 1 << 8;
-const TIER_SLOW: u64 = 1 << 9;
+// Two-bit tier field holding the frame's chain index. Fast (00) and
+// Slow (01) keep the layout of the original single TIER_SLOW bit; Nvm
+// (10) extends into previously-unused bit 10.
+const TIER_SHIFT: u32 = 9;
+const TIER_MASK: u64 = 0b11 << TIER_SHIFT;
 const FRAME_SHIFT: u32 = 12;
 const FRAME_MASK: u64 = ((1u64 << 40) - 1) << FRAME_SHIFT;
 const OWNER_SHIFT: u32 = 52;
@@ -64,9 +68,7 @@ impl Pte {
         );
         let mut bits = PRESENT | WRITABLE;
         bits |= (frame.index as u64) << FRAME_SHIFT;
-        if frame.tier == TierKind::Slow {
-            bits |= TIER_SLOW;
-        }
+        bits |= (frame.tier.index() as u64) << TIER_SHIFT;
         bits |= (owner.0 as u64) << OWNER_SHIFT;
         Pte(bits)
     }
@@ -81,11 +83,9 @@ impl Pte {
         if !self.present() {
             return None;
         }
-        let tier = if self.0 & TIER_SLOW != 0 {
-            TierKind::Slow
-        } else {
-            TierKind::Fast
-        };
+        let raw = ((self.0 & TIER_MASK) >> TIER_SHIFT) as usize;
+        let tier = TierKind::try_from(raw)
+            .unwrap_or_else(|i| panic!("PTE tier field {i} is not a valid chain index"));
         Some(FrameId {
             tier,
             index: ((self.0 & FRAME_MASK) >> FRAME_SHIFT) as u32,
@@ -94,11 +94,9 @@ impl Pte {
 
     /// Replace the mapped frame, keeping flags and owner (remap step ⑤).
     pub fn with_frame(self, frame: FrameId) -> Pte {
-        let mut bits = self.0 & !(FRAME_MASK | TIER_SLOW);
+        let mut bits = self.0 & !(FRAME_MASK | TIER_MASK);
         bits |= (frame.index as u64) << FRAME_SHIFT;
-        if frame.tier == TierKind::Slow {
-            bits |= TIER_SLOW;
-        }
+        bits |= (frame.tier.index() as u64) << TIER_SHIFT;
         Pte(bits)
     }
 
@@ -207,6 +205,19 @@ mod tests {
         let pte = Pte::new(f, LocalTid(0));
         assert_eq!(pte.frame(), Some(f));
         assert_eq!(pte.tier(), Some(TierKind::Slow));
+    }
+
+    #[test]
+    fn roundtrip_nvm_frame() {
+        let f = frame(TierKind::Nvm, 42);
+        let pte = Pte::new(f, LocalTid(2)).touch(true);
+        assert_eq!(pte.frame(), Some(f));
+        assert_eq!(pte.tier(), Some(TierKind::Nvm));
+        // Two-tier encodings are unchanged: the Nvm bit never appears in
+        // fast/slow entries, and remapping down-chain clears it.
+        let back = pte.with_frame(frame(TierKind::Slow, 7));
+        assert_eq!(back.tier(), Some(TierKind::Slow));
+        assert!(back.dirty(), "flags survive the remap");
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub mod prelude {
     pub use vulcan_telemetry::{EventKind, Telemetry};
     pub use vulcan_vm::{PageOwner, ShootdownScope, Vpn};
     pub use vulcan_workloads::{
-        liblinear, memcached, microbench, pagerank, replay, MicroConfig, Trace, TraceReplayer,
-        WorkloadClass, WorkloadSpec, WssScenario,
+        bufferpool, liblinear, memcached, microbench, pagerank, replay, BufferPoolConfig,
+        MicroConfig, Trace, TraceReplayer, WorkloadClass, WorkloadSpec, WssScenario,
     };
 }

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod bufferpool;
 pub mod gen;
 pub mod microbench;
 pub mod spec;
@@ -16,10 +17,12 @@ pub mod trace;
 pub mod zipf;
 
 pub use apps::{KvConfig, KvStore, PageRank, PrConfig, Sweep, SweepConfig};
+pub use bufferpool::{BufferPool, BufferPoolConfig};
 pub use gen::{shard, AccessGen, AccessPlan, PageAccess};
 pub use microbench::{MicroConfig, Microbench, WssScenario};
 pub use spec::{
-    liblinear, memcached, microbench, pagerank, replay, WorkloadClass, WorkloadKind, WorkloadSpec,
+    bufferpool, liblinear, memcached, microbench, pagerank, replay, WorkloadClass, WorkloadKind,
+    WorkloadSpec,
 };
 pub use trace::{Trace, TraceOp, TraceReplayer};
 pub use zipf::Zipf;

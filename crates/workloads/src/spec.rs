@@ -1,6 +1,7 @@
 //! Workload specifications and the Table 2 presets.
 
 use crate::apps::{KvConfig, KvStore, PageRank, PrConfig, Sweep, SweepConfig};
+use crate::bufferpool::{BufferPool, BufferPoolConfig};
 use crate::gen::AccessGen;
 use crate::microbench::{MicroConfig, Microbench};
 use crate::trace::{Trace, TraceReplayer};
@@ -31,6 +32,8 @@ pub enum WorkloadKind {
     Sweep(SweepConfig),
     /// Nomad-style Zipfian microbenchmark.
     Micro(MicroConfig),
+    /// Database buffer pool: phase-alternating scans and point lookups.
+    BufferPool(BufferPoolConfig),
     /// Replay of a recorded access trace.
     Replay(Arc<Trace>),
 }
@@ -76,6 +79,10 @@ impl WorkloadSpec {
                 ..c.clone()
             })),
             WorkloadKind::Micro(c) => Box::new(Microbench::new(c.clone())),
+            WorkloadKind::BufferPool(c) => Box::new(BufferPool::new(BufferPoolConfig {
+                n_threads: self.n_threads,
+                ..c.clone()
+            })),
             WorkloadKind::Replay(t) => {
                 Box::new(TraceReplayer::new(t.clone()).expect("validated trace"))
             }
@@ -89,6 +96,7 @@ impl WorkloadSpec {
             WorkloadKind::PageRank(c) => c.rss_pages,
             WorkloadKind::Sweep(c) => c.rss_pages,
             WorkloadKind::Micro(c) => c.rss_pages,
+            WorkloadKind::BufferPool(c) => c.rss_pages,
             WorkloadKind::Replay(t) => t.rss_pages,
         }
     }
@@ -190,6 +198,22 @@ pub fn microbench(name: &str, cfg: MicroConfig, n_threads: usize) -> WorkloadSpe
     }
 }
 
+/// A buffer-pool workload (scan/point-lookup phases over a paged
+/// relation). Classed best-effort by default: the scan phases dominate
+/// its runtime and its metric of interest is sweep throughput.
+pub fn bufferpool(name: &str, cfg: BufferPoolConfig, n_threads: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.into(),
+        class: WorkloadClass::BestEffort,
+        n_threads,
+        start: Nanos::ZERO,
+        kind: WorkloadKind::BufferPool(cfg),
+        prealloc: None,
+        thp: false,
+        stop: None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +252,18 @@ mod tests {
         let w = microbench("mb", MicroConfig::default(), 4);
         assert_eq!(w.n_threads, 4);
         assert_eq!(w.rss_pages(), 8_192);
+    }
+
+    #[test]
+    fn bufferpool_spec() {
+        let w = bufferpool("bufpool", BufferPoolConfig::default(), 4).with_thp();
+        assert_eq!(w.n_threads, 4);
+        assert_eq!(w.rss_pages(), 12_288);
+        assert_eq!(w.class, WorkloadClass::BestEffort);
+        assert!(w.thp, "scan phases are THP-sensitive");
+        // The spec's thread count overrides the config's.
+        let g = w.build();
+        assert_eq!(g.rss_pages(), w.rss_pages());
+        assert!(!g.batchable());
     }
 }
