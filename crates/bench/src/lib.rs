@@ -32,6 +32,7 @@ pub mod chaos;
 pub mod churn;
 pub mod suite;
 pub mod tiers;
+pub mod tournament;
 
 use std::io;
 use std::path::PathBuf;

@@ -34,6 +34,11 @@ USAGE:
                                                 registry raced over {2,3}-tier
                                                 machines, frame conservation
                                                 audited on every chain tier
+    vulcan-bench tournament [OPTIONS]           fork one mid-run checkpoint
+                                                across the policy registry ×
+                                                what-if machine knobs; ranked
+                                                report with deltas vs the
+                                                origin policy
     vulcan-bench oracle [TARGETS...] [OPTIONS]  run grids in lockstep with
                                                 reference models (requires
                                                 a --features oracle build)
@@ -62,6 +67,13 @@ OPTIONS (tiers):
     --quick        CI scale: paper policies only, 10 quanta per cell
     --threads <N>  thread-pool size
     --shards <N>   intra-cell shards (default 1); rows byte-identical
+
+OPTIONS (tournament):
+    --quick        CI scale: shorter prefix and continuations (the full
+                   registry races either way)
+    --threads <N>  thread-pool size (forks run concurrently)
+    --shards <N>   intra-cell shards for the origin prefix (default 1);
+                   rows byte-identical
 
 --threads sizes the pool running whole cells concurrently; --shards
 splits the workloads inside each cell across core-disjoint sweeps with
@@ -352,6 +364,45 @@ fn cmd_tiers(args: &[String]) {
     vulcan_bench::save_json_or_exit("tiers", &report.rows);
 }
 
+fn cmd_tournament(args: &[String]) {
+    let GridArgs {
+        quick,
+        list,
+        shards,
+        names,
+    } = parse_grid_args(args);
+    if list || !names.is_empty() {
+        usage_error("tournament takes no targets (it runs one fixed grid)");
+    }
+    let mut opts = if quick {
+        vulcan_bench::tournament::TournamentOpts::quick()
+    } else {
+        vulcan_bench::tournament::TournamentOpts::full()
+    };
+    if let Some(n) = shards {
+        opts = opts.with_shards(n);
+    }
+    let report = vulcan_bench::tournament::run_tournament(&opts);
+    vulcan_bench::tournament::tournament_table(&report.rows).print();
+    if !report.violations.is_empty() {
+        for v in &report.violations {
+            eprintln!("tournament: VIOLATION: {v}");
+        }
+        eprintln!(
+            "tournament: {} contract violation(s)",
+            report.violations.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "tournament: {} forks from one checkpoint at quantum {}, zero \
+         frame-conservation violations",
+        report.rows.len(),
+        opts.fork_at
+    );
+    vulcan_bench::save_json_or_exit("tournament", &report.rows);
+}
+
 /// Lockstep differential run: replay the suite grids with the reference
 /// models checking every hot-path structure at every step. Only does
 /// anything in a `--features oracle` build — the checks are compiled
@@ -438,6 +489,7 @@ fn main() {
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("churn") => cmd_churn(&args[1..]),
         Some("tiers") => cmd_tiers(&args[1..]),
+        Some("tournament") => cmd_tournament(&args[1..]),
         Some("oracle") => cmd_oracle(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => print!("{USAGE}"),
         None => usage_error("missing subcommand"),

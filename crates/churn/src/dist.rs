@@ -103,6 +103,31 @@ impl ChurnStreams {
     }
 }
 
+impl vulcan_json::Snapshot for ChurnStreams {
+    /// Stream keys are seed-derived but travel with the counters so a
+    /// restored engine never needs the original seed to keep drawing
+    /// from the exact schedule position.
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("streams", snap::u64_array(&self.streams)),
+            ("counters", snap::u64_array(&self.counters)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        fn arr(xs: Vec<u64>, key: &str) -> Result<[u64; N_STREAMS], String> {
+            <[u64; N_STREAMS]>::try_from(xs.as_slice())
+                .map_err(|_| format!("\"{key}\" needs {N_STREAMS} entries, got {}", xs.len()))
+        }
+        Ok(ChurnStreams {
+            streams: arr(snap::array_u64(snap::field(v, "streams")?)?, "streams")?,
+            counters: arr(snap::array_u64(snap::field(v, "counters")?)?, "counters")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

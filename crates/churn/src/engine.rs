@@ -500,6 +500,142 @@ impl ChurnEngine {
         );
     }
 
+    /// Serialize the engine — the wrapped runner's full checkpoint plus
+    /// a `"churn"` section (event queue with original sequence numbers,
+    /// decision-stream counters, admission queue, tallies and fairness
+    /// windows) — as one payload [`ChurnEngine::restore`] reads back.
+    /// Take it between [`step`](ChurnEngine::step) calls.
+    pub fn checkpoint(&self) -> Result<vulcan_json::Value, String> {
+        use vulcan_json::{snap, Snapshot as _, Value};
+        let base = self.runner.checkpoint()?;
+        let Value::Object(mut m) = base else {
+            return Err("runner checkpoint is not an object".to_string());
+        };
+        let (entries, next_seq) = self.events.parts();
+        let events = Value::Array(
+            entries
+                .into_iter()
+                .map(|(at, seq, ev)| {
+                    snap::obj(vec![
+                        ("at", snap::u64_value(at.0)),
+                        ("seq", snap::u64_value(seq)),
+                        ("event", event_to_value(ev)),
+                    ])
+                })
+                .collect(),
+        );
+        let pending = Value::Array(
+            self.pending
+                .iter()
+                .map(|p| {
+                    snap::obj(vec![
+                        ("spec", p.spec.snapshot()),
+                        ("enqueued", snap::u64_value(p.enqueued.0)),
+                    ])
+                })
+                .collect(),
+        );
+        m.insert(
+            "churn",
+            snap::obj(vec![
+                ("cfg", self.cfg.snapshot()),
+                (
+                    "events",
+                    snap::obj(vec![
+                        ("entries", events),
+                        ("next_seq", snap::u64_value(next_seq)),
+                    ]),
+                ),
+                ("streams", self.streams.snapshot()),
+                ("pending", pending),
+                ("next_tenant", snap::u64_value(self.next_tenant)),
+                ("stats", self.stats.snapshot()),
+                (
+                    "windows",
+                    Value::Array(self.windows.iter().map(|w| w.snapshot()).collect()),
+                ),
+            ]),
+        );
+        Ok(Value::Object(m))
+    }
+
+    /// Rebuild an engine from a [`checkpoint`](ChurnEngine::checkpoint).
+    /// `policy` and `profiler_factory` follow the
+    /// [`SimRunner::restore`] contract (same policy kind, factory used
+    /// for tenants admitted after the restore); `catalog` is code, not
+    /// data — pass the same mix the original run used.
+    pub fn restore<R: Into<vulcan_profile::AnyProfiler>>(
+        v: &vulcan_json::Value,
+        policy: Box<dyn vulcan_runtime::TieringPolicy>,
+        profiler_factory: impl FnMut(&WorkloadSpec) -> R + 'static,
+        catalog: Catalog,
+    ) -> Result<ChurnEngine, vulcan_runtime::CheckpointError> {
+        use vulcan_json::{snap, Snapshot as _};
+        use vulcan_runtime::CheckpointError;
+        let runner = SimRunner::restore(v, policy, profiler_factory)?;
+        let invalid = CheckpointError::Invalid;
+        let c = v.get("churn").ok_or_else(|| {
+            invalid("checkpoint has no \"churn\" section (taken from a static run?)".to_string())
+        })?;
+        fn section<T>(r: Result<T, String>) -> Result<T, CheckpointError> {
+            r.map_err(CheckpointError::Invalid)
+        }
+        let cfg = section(ChurnConfig::restore(
+            snap::field(c, "cfg").map_err(invalid)?,
+        ))?;
+        let ev = snap::field(c, "events").map_err(invalid)?;
+        let mut entries = Vec::new();
+        for e in section(snap::field_array(ev, "entries"))? {
+            let at = Nanos(section(snap::field_u64(e, "at"))?);
+            let seq = section(snap::field_u64(e, "seq"))?;
+            let payload = section(event_from_value(snap::field(e, "event").map_err(invalid)?))?;
+            entries.push((at, seq, payload));
+        }
+        let next_seq = section(snap::field_u64(ev, "next_seq"))?;
+        let events = EventQueue::from_parts(entries, next_seq);
+        let streams = section(ChurnStreams::restore(
+            snap::field(c, "streams").map_err(invalid)?,
+        ))?;
+        let mut pending = VecDeque::new();
+        for p in section(snap::field_array(c, "pending"))? {
+            pending.push_back(Pending {
+                spec: section(WorkloadSpec::restore(
+                    snap::field(p, "spec").map_err(invalid)?,
+                ))?,
+                enqueued: Nanos(section(snap::field_u64(p, "enqueued"))?),
+            });
+        }
+        let stats = section(ChurnStats::restore(
+            snap::field(c, "stats").map_err(invalid)?,
+        ))?;
+        let windows = section(snap::field_array(c, "windows"))?
+            .iter()
+            .map(WindowSample::restore)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(CheckpointError::Invalid)?;
+        Ok(ChurnEngine {
+            runner,
+            cfg,
+            catalog,
+            events,
+            streams,
+            pending,
+            next_tenant: section(snap::field_u64(c, "next_tenant"))?,
+            stats,
+            windows,
+        })
+    }
+
+    /// Run the quanta remaining until the configured total, then retire
+    /// and summarize — the resume half of a mid-churn checkpoint. On a
+    /// fresh engine this equals [`run`](ChurnEngine::run).
+    pub fn run_remaining(mut self) -> ChurnReport {
+        while self.runner.state.quantum_index < self.cfg.n_quanta {
+            self.step();
+        }
+        self.finish()
+    }
+
     fn record_window(&mut self, outcome: &QuantumOutcome) {
         let fthrs: Vec<f64> = outcome
             .workloads
@@ -551,5 +687,226 @@ impl ChurnEngine {
             leaked_by_tier,
             run: self.runner.into_result(),
         }
+    }
+}
+
+/// Tagged serialization of a lifecycle event.
+fn event_to_value(ev: &ChurnEvent) -> vulcan_json::Value {
+    use vulcan_json::{snap, Value};
+    match ev {
+        ChurnEvent::Arrival => snap::obj(vec![("kind", Value::Str("arrival".into()))]),
+        ChurnEvent::Departure { slot } => snap::obj(vec![
+            ("kind", Value::Str("departure".into())),
+            ("slot", snap::u64_value(*slot as u64)),
+        ]),
+        ChurnEvent::AdmissionReview => {
+            snap::obj(vec![("kind", Value::Str("admission_review".into()))])
+        }
+        ChurnEvent::PeriodicCompaction => {
+            snap::obj(vec![("kind", Value::Str("compaction".into()))])
+        }
+    }
+}
+
+fn event_from_value(v: &vulcan_json::Value) -> Result<ChurnEvent, String> {
+    use vulcan_json::snap;
+    match snap::field_str(v, "kind")? {
+        "arrival" => Ok(ChurnEvent::Arrival),
+        "departure" => Ok(ChurnEvent::Departure {
+            slot: snap::field_usize(v, "slot")?,
+        }),
+        "admission_review" => Ok(ChurnEvent::AdmissionReview),
+        "compaction" => Ok(ChurnEvent::PeriodicCompaction),
+        other => Err(format!("unknown churn event tag \"{other}\"")),
+    }
+}
+
+impl vulcan_json::Snapshot for ChurnConfig {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            (
+                "arrival_rate_per_sec",
+                snap::f64_value(self.arrival_rate_per_sec),
+            ),
+            ("lifetime_xm", snap::u64_value(self.lifetime_xm.0)),
+            ("lifetime_alpha", snap::f64_value(self.lifetime_alpha)),
+            ("n_quanta", snap::u64_value(self.n_quanta)),
+            ("max_queue", snap::u64_value(self.max_queue as u64)),
+            ("queue_timeout", snap::u64_value(self.queue_timeout.0)),
+            (
+                "compaction_period",
+                snap::u64_value(self.compaction_period.0),
+            ),
+            (
+                "compaction_budget",
+                snap::u64_value(self.compaction_budget as u64),
+            ),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        Ok(ChurnConfig {
+            arrival_rate_per_sec: snap::value_f64(snap::field(v, "arrival_rate_per_sec")?)?,
+            lifetime_xm: Nanos(snap::field_u64(v, "lifetime_xm")?),
+            lifetime_alpha: snap::value_f64(snap::field(v, "lifetime_alpha")?)?,
+            n_quanta: snap::field_u64(v, "n_quanta")?,
+            max_queue: snap::field_usize(v, "max_queue")?,
+            queue_timeout: Nanos(snap::field_u64(v, "queue_timeout")?),
+            compaction_period: Nanos(snap::field_u64(v, "compaction_period")?),
+            compaction_budget: snap::field_usize(v, "compaction_budget")?,
+        })
+    }
+}
+
+impl vulcan_json::Snapshot for ChurnStats {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("arrivals", snap::u64_value(self.arrivals)),
+            ("admitted", snap::u64_value(self.admitted)),
+            (
+                "admitted_from_queue",
+                snap::u64_value(self.admitted_from_queue),
+            ),
+            ("queued", snap::u64_value(self.queued)),
+            ("rejected", snap::u64_value(self.rejected)),
+            ("timed_out", snap::u64_value(self.timed_out)),
+            ("departed", snap::u64_value(self.departed)),
+            ("retired_at_end", snap::u64_value(self.retired_at_end)),
+            ("compaction_rounds", snap::u64_value(self.compaction_rounds)),
+            ("shadows_reclaimed", snap::u64_value(self.shadows_reclaimed)),
+            (
+                "compaction_promoted",
+                snap::u64_value(self.compaction_promoted),
+            ),
+            ("peak_active", snap::u64_value(self.peak_active)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        Ok(ChurnStats {
+            arrivals: snap::field_u64(v, "arrivals")?,
+            admitted: snap::field_u64(v, "admitted")?,
+            admitted_from_queue: snap::field_u64(v, "admitted_from_queue")?,
+            queued: snap::field_u64(v, "queued")?,
+            rejected: snap::field_u64(v, "rejected")?,
+            timed_out: snap::field_u64(v, "timed_out")?,
+            departed: snap::field_u64(v, "departed")?,
+            retired_at_end: snap::field_u64(v, "retired_at_end")?,
+            compaction_rounds: snap::field_u64(v, "compaction_rounds")?,
+            shadows_reclaimed: snap::field_u64(v, "shadows_reclaimed")?,
+            compaction_promoted: snap::field_u64(v, "compaction_promoted")?,
+            peak_active: snap::field_u64(v, "peak_active")?,
+        })
+    }
+}
+
+impl vulcan_json::Snapshot for WindowSample {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::{snap, Value};
+        let opt = |x: Option<f64>| x.map(snap::f64_value).unwrap_or(Value::Null);
+        snap::obj(vec![
+            ("t_secs", snap::f64_value(self.t_secs)),
+            ("active", snap::u64_value(self.active)),
+            ("jain_fthr", opt(self.jain_fthr)),
+            ("mean_fthr", opt(self.mean_fthr)),
+            ("fast_util", snap::f64_value(self.fast_util)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::{snap, Value};
+        let opt = |key: &str| -> Result<Option<f64>, String> {
+            match snap::field(v, key)? {
+                Value::Null => Ok(None),
+                x => Ok(Some(snap::value_f64(x)?)),
+            }
+        };
+        Ok(WindowSample {
+            t_secs: snap::value_f64(snap::field(v, "t_secs")?)?,
+            active: snap::field_u64(v, "active")?,
+            jain_fthr: opt("jain_fthr")?,
+            mean_fthr: opt("mean_fthr")?,
+            fast_util: snap::value_f64(snap::field(v, "fast_util")?)?,
+        })
+    }
+}
+
+impl ChurnReport {
+    /// Render the report as the `churn.json` artifact: tallies, fairness
+    /// windows, leak audit, per-tenant summaries and the full recorded
+    /// series. Deterministic — identical runs (including a checkpoint/
+    /// resume split anywhere in the run) produce byte-identical JSON, so
+    /// artifacts can be compared by hash.
+    pub fn to_value(&self) -> vulcan_json::Value {
+        use vulcan_json::{Map, Snapshot as _, Value};
+        let s = &self.stats;
+        let stats = Value::Object(
+            Map::new()
+                .with("arrivals", s.arrivals)
+                .with("admitted", s.admitted)
+                .with("admitted_from_queue", s.admitted_from_queue)
+                .with("queued", s.queued)
+                .with("rejected", s.rejected)
+                .with("timed_out", s.timed_out)
+                .with("departed", s.departed)
+                .with("retired_at_end", s.retired_at_end)
+                .with("compaction_rounds", s.compaction_rounds)
+                .with("shadows_reclaimed", s.shadows_reclaimed)
+                .with("compaction_promoted", s.compaction_promoted)
+                .with("peak_active", s.peak_active),
+        );
+        let opt = |x: Option<f64>| x.map(Value::Float).unwrap_or(Value::Null);
+        let windows = Value::Array(
+            self.windows
+                .iter()
+                .map(|w| {
+                    Value::Object(
+                        Map::new()
+                            .with("t_secs", w.t_secs)
+                            .with("active", w.active)
+                            .with("jain_fthr", opt(w.jain_fthr))
+                            .with("mean_fthr", opt(w.mean_fthr))
+                            .with("fast_util", w.fast_util),
+                    )
+                })
+                .collect(),
+        );
+        let tenants = Value::Array(
+            self.run
+                .per_workload
+                .iter()
+                .map(|w| {
+                    Value::Object(
+                        Map::new()
+                            .with("name", w.name.as_str())
+                            .with("class", format!("{:?}", w.class))
+                            .with("mean_ops_per_sec", w.mean_ops_per_sec)
+                            .with("mean_latency_ns", w.mean_latency_ns)
+                            .with("mean_fthr", w.mean_fthr)
+                            .with("ops_total", w.ops_total),
+                    )
+                })
+                .collect(),
+        );
+        Value::Object(
+            Map::new()
+                .with("policy", self.run.policy.as_str())
+                .with("stats", stats)
+                .with("windows", windows)
+                .with(
+                    "leaked_by_tier",
+                    Value::Array(self.leaked_by_tier.iter().map(|&n| n.into()).collect()),
+                )
+                .with("mean_windowed_jain", opt(self.mean_windowed_jain()))
+                .with("mean_windowed_fthr", opt(self.mean_windowed_fthr()))
+                .with("p99_latency_ns", opt(self.p99_latency_ns()))
+                .with("cfi", self.run.cfi)
+                .with("tenants", tenants)
+                .with("series", self.run.series.snapshot()),
+        )
     }
 }

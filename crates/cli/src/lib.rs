@@ -330,6 +330,18 @@ impl ExperimentConfig {
         policy_override: Option<PolicyKind>,
         telemetry: Telemetry,
     ) -> Result<RunResult, String> {
+        Ok(self.build_runner(policy_override, telemetry)?.run())
+    }
+
+    /// Build the configured runner without running it — the shared front
+    /// half of [`run_with_telemetry`](ExperimentConfig::run_with_telemetry)
+    /// and the `vulcan-sim checkpoint` verb, which steps it partway and
+    /// serializes the state instead of finishing the run.
+    pub fn build_runner(
+        &self,
+        policy_override: Option<PolicyKind>,
+        telemetry: Telemetry,
+    ) -> Result<SimRunner, String> {
         if self.workloads.is_empty() {
             return Err("config needs at least one workload".into());
         }
@@ -344,7 +356,7 @@ impl ExperimentConfig {
                 "combined RSS ({total_rss} pages) exceeds machine capacity ({capacity} pages)"
             ));
         }
-        let runner = SimRunner::builder()
+        Ok(SimRunner::builder()
             .machine(self.machine.to_spec())
             .workloads(specs)
             .profiler_factory(move |_| kind.profiler())
@@ -356,8 +368,7 @@ impl ExperimentConfig {
                 shards: self.shards,
                 ..Default::default()
             })
-            .build();
-        Ok(runner.run())
+            .build())
     }
 
     /// A commented example configuration.

@@ -12,6 +12,12 @@ USAGE:
     vulcan-sim churn [OPTIONS]               open-loop tenancy churn run:
                                              Poisson arrivals, Pareto
                                              lifetimes, admission control
+    vulcan-sim checkpoint <config.json> --at <q> --out <ck.json>
+                                             run q quanta, then serialize the
+                                             complete simulation state
+    vulcan-sim resume <ck.json> [OPTIONS]    restore a checkpoint and run the
+                                             remaining quanta; the results are
+                                             byte-identical to the straight run
     vulcan-sim example                       print an example config
     vulcan-sim help                          this text
 
@@ -35,6 +41,19 @@ OPTIONS (churn):
     --trace <out.jsonl>   write the structured event trace as JSON lines
     --shards <n>          shard the quantum sweep within the cell
                           (default 1; conflicts with --trace)
+    --out <report.json>   write the deterministic churn report artifact
+    --checkpoint-at <q>   serialize the engine after quantum q (the run
+                          still continues to completion)
+    --checkpoint-out <p>  where to write the mid-churn checkpoint
+                          (required with --checkpoint-at)
+
+OPTIONS (resume):
+    --out <report.json>   churn checkpoints: write the churn report
+                          artifact (sha256-comparable with the straight
+                          run's --out)
+    --series-out <p>      static checkpoints: write the series JSON
+                          (sha256-comparable with the straight run's
+                          series_out)
 ";
 
 /// Parse a `--shards` value: a positive integer, 0 and garbage rejected
@@ -171,6 +190,9 @@ struct ChurnArgs {
     policy: PolicyKind,
     trace: Option<String>,
     shards: usize,
+    out: Option<String>,
+    checkpoint_at: Option<u64>,
+    checkpoint_out: Option<String>,
 }
 
 fn parse_churn_args(args: &[String]) -> Result<ChurnArgs, CliError> {
@@ -181,6 +203,9 @@ fn parse_churn_args(args: &[String]) -> Result<ChurnArgs, CliError> {
         policy: PolicyKind::Vulcan,
         trace: None,
         shards: 1,
+        out: None,
+        checkpoint_at: None,
+        checkpoint_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -220,6 +245,14 @@ fn parse_churn_args(args: &[String]) -> Result<ChurnArgs, CliError> {
             }
             "--trace" => parsed.trace = Some(value("--trace")?),
             "--shards" => parsed.shards = parse_shards_value(&value("--shards")?)?,
+            "--out" => parsed.out = Some(value("--out")?),
+            "--checkpoint-at" => {
+                parsed.checkpoint_at =
+                    Some(value("--checkpoint-at")?.parse::<u64>().map_err(|_| {
+                        CliError::Usage("--checkpoint-at needs a quantum index".into())
+                    })?);
+            }
+            "--checkpoint-out" => parsed.checkpoint_out = Some(value("--checkpoint-out")?),
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown option '{flag}'")));
             }
@@ -235,6 +268,22 @@ fn parse_churn_args(args: &[String]) -> Result<ChurnArgs, CliError> {
              drop one of them"
                 .into(),
         ));
+    }
+    if parsed.checkpoint_at.is_some() != parsed.checkpoint_out.is_some() {
+        return Err(CliError::Usage(
+            "--checkpoint-at and --checkpoint-out go together: one says \
+             when to serialize the engine, the other where to write it"
+                .into(),
+        ));
+    }
+    if let Some(at) = parsed.checkpoint_at {
+        let n_quanta = parsed.duration_ns.div_ceil(1_000_000_000);
+        if at >= n_quanta {
+            return Err(CliError::Usage(format!(
+                "--checkpoint-at {at} is past the run: the configured \
+                 duration spans {n_quanta} quanta"
+            )));
+        }
     }
     Ok(parsed)
 }
@@ -269,44 +318,11 @@ fn churn_anchors() -> Vec<vulcan::prelude::WorkloadSpec> {
     vec![lc, be]
 }
 
-fn cmd_churn(args: &[String]) -> Result<(), CliError> {
-    use vulcan::prelude::*;
-    let a = parse_churn_args(args)?;
-    let telemetry = if a.trace.is_some() {
-        Telemetry::enabled()
-    } else {
-        Telemetry::disabled()
-    };
-    let n_quanta = a.duration_ns.div_ceil(1_000_000_000);
-    let kind = a.policy;
-    let runner = SimRunner::builder()
-        .machine(MachineSpec::small(2_048, 32_768, 8))
-        .workloads(churn_anchors())
-        .profiler_factory(move |_| kind.profiler())
-        .policy(kind.make())
-        .config(SimConfig {
-            n_quanta: 0, // the engine owns stepping
-            seed: a.seed,
-            quantum_active: Nanos::millis(1),
-            telemetry: telemetry.clone(),
-            shards: a.shards,
-            ..Default::default()
-        })
-        .build();
-    let cfg = vulcan_churn::ChurnConfig {
-        arrival_rate_per_sec: a.rate,
-        n_quanta,
-        ..vulcan_churn::ChurnConfig::default()
-    };
-    let engine =
-        vulcan_churn::ChurnEngine::new(runner, a.seed, cfg, vulcan_churn::Catalog::default_mix());
-    let rep = engine.run();
-
+/// Print the churn tallies and audit frame conservation — shared by the
+/// straight `churn` run and a `resume` of a mid-churn checkpoint, so
+/// both render identically.
+fn print_churn_report(rep: &vulcan_churn::ChurnReport) -> Result<(), CliError> {
     let s = &rep.stats;
-    println!(
-        "churn: policy={} rate={}/s duration={}s seed={}",
-        rep.run.policy, a.rate, n_quanta, a.seed
-    );
     println!(
         "  arrivals={} admitted={} (+{} from queue) queued={} rejected={} timed_out={}",
         s.arrivals, s.admitted, s.admitted_from_queue, s.queued, s.rejected, s.timed_out
@@ -337,10 +353,225 @@ fn cmd_churn(args: &[String]) -> Result<(), CliError> {
         "  frames conserved: 0 on every tier after {} teardowns",
         s.retired()
     );
+    Ok(())
+}
+
+/// Write the deterministic churn report artifact (`--out`).
+fn dump_churn_report(rep: &vulcan_churn::ChurnReport, path: &str) -> Result<(), CliError> {
+    std::fs::write(path, rep.to_value().to_json())
+        .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+    println!("[report written to {path}]");
+    Ok(())
+}
+
+fn cmd_churn(args: &[String]) -> Result<(), CliError> {
+    use vulcan::prelude::*;
+    let a = parse_churn_args(args)?;
+    let telemetry = if a.trace.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let n_quanta = a.duration_ns.div_ceil(1_000_000_000);
+    let kind = a.policy;
+    let runner = SimRunner::builder()
+        .machine(MachineSpec::small(2_048, 32_768, 8))
+        .workloads(churn_anchors())
+        .profiler_factory(move |_| kind.profiler())
+        .policy(kind.make())
+        .config(SimConfig {
+            n_quanta: 0, // the engine owns stepping
+            seed: a.seed,
+            quantum_active: Nanos::millis(1),
+            telemetry: telemetry.clone(),
+            shards: a.shards,
+            ..Default::default()
+        })
+        .build();
+    let cfg = vulcan_churn::ChurnConfig {
+        arrival_rate_per_sec: a.rate,
+        n_quanta,
+        ..vulcan_churn::ChurnConfig::default()
+    };
+    let mut engine =
+        vulcan_churn::ChurnEngine::new(runner, a.seed, cfg, vulcan_churn::Catalog::default_mix());
+    if let (Some(at), Some(out)) = (a.checkpoint_at, &a.checkpoint_out) {
+        for _ in 0..at {
+            engine.step();
+        }
+        let ck = engine
+            .checkpoint()
+            .map_err(|e| CliError::Runtime(format!("cannot checkpoint: {e}")))?;
+        std::fs::write(out, ck.to_json())
+            .map_err(|e| CliError::Runtime(format!("cannot write {out}: {e}")))?;
+        println!("[checkpoint at quantum {at} written to {out}]");
+    }
+    let rep = engine.run_remaining();
+
+    println!(
+        "churn: policy={} rate={}/s duration={}s seed={}",
+        rep.run.policy, a.rate, n_quanta, a.seed
+    );
+    print_churn_report(&rep)?;
+    if let Some(path) = &a.out {
+        dump_churn_report(&rep, path)?;
+    }
     if let Some(path) = &a.trace {
         std::fs::write(path, telemetry.events_jsonl())
             .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
         println!("[trace written to {path}]");
+    }
+    Ok(())
+}
+
+fn parse_checkpoint_args(args: &[String]) -> Result<(String, u64, String), CliError> {
+    let mut config = None;
+    let mut at = None;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--at" => {
+                at = Some(
+                    value("--at")?
+                        .parse::<u64>()
+                        .map_err(|_| CliError::Usage("--at needs a quantum index".into()))?,
+                );
+            }
+            "--out" => out = Some(value("--out")?),
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option '{flag}'")));
+            }
+            path if config.is_none() => config = Some(path.to_string()),
+            extra => {
+                return Err(CliError::Usage(format!("unexpected argument '{extra}'")));
+            }
+        }
+    }
+    Ok((
+        config.ok_or_else(|| CliError::Usage("checkpoint needs a config path".into()))?,
+        at.ok_or_else(|| CliError::Usage("checkpoint needs --at <quantum>".into()))?,
+        out.ok_or_else(|| CliError::Usage("checkpoint needs --out <path>".into()))?,
+    ))
+}
+
+fn cmd_checkpoint(args: &[String]) -> Result<(), CliError> {
+    let (config, at, out) = parse_checkpoint_args(args)?;
+    let cfg = load(&config)?;
+    if at >= cfg.seconds {
+        return Err(CliError::Usage(format!(
+            "--at {at} is past the run: the config spans {} quanta",
+            cfg.seconds
+        )));
+    }
+    let mut runner = cfg
+        .build_runner(None, Telemetry::disabled())
+        .map_err(CliError::Usage)?;
+    for _ in 0..at {
+        runner.run_quantum();
+    }
+    let ck = runner
+        .checkpoint()
+        .map_err(|e| CliError::Runtime(format!("cannot checkpoint: {e}")))?;
+    std::fs::write(&out, ck.to_json())
+        .map_err(|e| CliError::Runtime(format!("cannot write {out}: {e}")))?;
+    println!(
+        "[checkpoint of {config} at quantum {at}/{} written to {out}]",
+        cfg.seconds
+    );
+    Ok(())
+}
+
+fn parse_resume_args(
+    args: &[String],
+) -> Result<(String, Option<String>, Option<String>), CliError> {
+    let mut path = None;
+    let mut out = None;
+    let mut series_out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--out" => out = Some(value("--out")?),
+            "--series-out" => series_out = Some(value("--series-out")?),
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option '{flag}'")));
+            }
+            p if path.is_none() => path = Some(p.to_string()),
+            extra => {
+                return Err(CliError::Usage(format!("unexpected argument '{extra}'")));
+            }
+        }
+    }
+    Ok((
+        path.ok_or_else(|| CliError::Usage("resume needs a checkpoint path".into()))?,
+        out,
+        series_out,
+    ))
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), CliError> {
+    use vulcan::prelude::*;
+    use vulcan::runtime::checkpoint as ck;
+    let (path, out, series_out) = parse_resume_args(args)?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+    // Every CheckpointError — truncation, foreign format, version skew,
+    // inconsistent fields — is an input problem: exit 2, never a panic.
+    let v = ck::parse_checkpoint(&text).map_err(|e| CliError::Usage(e.to_string()))?;
+    let name = ck::policy_name(&v).map_err(|e| CliError::Usage(e.to_string()))?;
+    let kind = name
+        .parse::<PolicyKind>()
+        .map_err(|e| CliError::Usage(format!("checkpoint policy: {e}")))?;
+    let at = ck::quantum_index(&v).map_err(|e| CliError::Usage(e.to_string()))?;
+    if v.get("churn").is_some() {
+        if series_out.is_some() {
+            return Err(CliError::Usage(
+                "--series-out is for static checkpoints; a churn resume \
+                 writes its artifact with --out"
+                    .into(),
+            ));
+        }
+        let engine = vulcan_churn::ChurnEngine::restore(
+            &v,
+            kind.make(),
+            move |_| kind.profiler(),
+            vulcan_churn::Catalog::default_mix(),
+        )
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+        let rep = engine.run_remaining();
+        println!("churn (resumed at quantum {at}): policy={}", rep.run.policy);
+        print_churn_report(&rep)?;
+        if let Some(path) = &out {
+            dump_churn_report(&rep, path)?;
+        }
+    } else {
+        if out.is_some() {
+            return Err(CliError::Usage(
+                "--out is the churn artifact; a static resume writes its \
+                 series with --series-out"
+                    .into(),
+            ));
+        }
+        let runner = SimRunner::restore(&v, kind.make(), move |_| kind.profiler())
+            .map_err(|e| CliError::Usage(e.to_string()))?;
+        let res = runner.run_remaining();
+        println!("[resumed at quantum {at}]");
+        print!("{}", report(&res));
+        if let Some(path) = &series_out {
+            std::fs::write(path, res.series.to_json())
+                .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+            println!("[series written to {path}]");
+        }
     }
     Ok(())
 }
@@ -364,6 +595,8 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("churn") => cmd_churn(&args[1..]),
+        Some("checkpoint") => cmd_checkpoint(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
         Some("example") => {
             println!("{}", ExperimentConfig::example());
             Ok(())

@@ -1,0 +1,147 @@
+//! End-to-end CLI contract for `vulcan-sim checkpoint` / `resume`: the
+//! artifact files a resumed run writes are byte-identical to the
+//! straight run's (the same comparison CI performs with sha256), and
+//! every way a checkpoint can be unusable — version skew, truncation,
+//! a foreign file — exits 2 with a pointed message, never a panic.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vulcan-sim"))
+}
+
+/// Fresh scratch directory per test (cargo runs tests concurrently).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vulcan-sim-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().unwrap();
+    assert!(
+        out.status.success(),
+        "command failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn config_text(series_out: &std::path::Path) -> String {
+    format!(
+        r#"{{
+  "machine": {{"fast_gb": 2, "slow_gb": 16, "cores": 8}},
+  "seconds": 5,
+  "seed": 42,
+  "policy": "vulcan",
+  "workloads": [
+    {{"kind": "micro", "name": "a", "rss_pages": 256, "wss_pages": 64, "threads": 2}},
+    {{"kind": "micro", "name": "b", "rss_pages": 256, "wss_pages": 64, "threads": 2,
+      "prealloc_slow": true}}
+  ],
+  "series_out": {:?}
+}}"#,
+        series_out.to_str().unwrap()
+    )
+}
+
+#[test]
+fn static_round_trip_writes_identical_series() {
+    let dir = scratch("static");
+    let s1 = dir.join("s1.json");
+    let cfg = dir.join("cfg.json");
+    std::fs::write(&cfg, config_text(&s1)).unwrap();
+    run_ok(bin().arg("run").arg(&cfg));
+    let ck = dir.join("ck.json");
+    run_ok(
+        bin()
+            .args(["checkpoint"])
+            .arg(&cfg)
+            .args(["--at", "2", "--out"])
+            .arg(&ck),
+    );
+    let s2 = dir.join("s2.json");
+    run_ok(bin().args(["resume"]).arg(&ck).arg("--series-out").arg(&s2));
+    let (a, b) = (std::fs::read(&s1).unwrap(), std::fs::read(&s2).unwrap());
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "resumed series differs from the straight run's");
+}
+
+#[test]
+fn churn_round_trip_writes_identical_report() {
+    let dir = scratch("churn");
+    let (c1, c2) = (dir.join("c1.json"), dir.join("c2.json"));
+    let ck = dir.join("ck.json");
+    run_ok(
+        bin()
+            .args(["churn", "--duration", "8000000000", "--rate", "6", "--out"])
+            .arg(&c1)
+            .args(["--checkpoint-at", "3", "--checkpoint-out"])
+            .arg(&ck),
+    );
+    run_ok(bin().args(["resume"]).arg(&ck).arg("--out").arg(&c2));
+    let (a, b) = (std::fs::read(&c1).unwrap(), std::fs::read(&c2).unwrap());
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "resumed churn report differs from the straight run's");
+}
+
+#[test]
+fn version_skew_and_truncation_exit_2() {
+    let dir = scratch("skew");
+    let cfg = dir.join("cfg.json");
+    std::fs::write(&cfg, config_text(&dir.join("unused.json"))).unwrap();
+    let ck = dir.join("ck.json");
+    run_ok(
+        bin()
+            .args(["checkpoint"])
+            .arg(&cfg)
+            .args(["--at", "1", "--out"])
+            .arg(&ck),
+    );
+    let text = std::fs::read_to_string(&ck).unwrap();
+
+    // A checkpoint from a future format version.
+    let skewed = dir.join("ck99.json");
+    std::fs::write(&skewed, text.replace("\"version\":1,", "\"version\":99,")).unwrap();
+    let out = bin().args(["resume"]).arg(&skewed).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unsupported checkpoint version 99 (this build reads version 1)"),
+        "stderr: {err}"
+    );
+
+    // A payload cut off mid-write.
+    let trunc = dir.join("trunc.json");
+    std::fs::write(&trunc, &text[..text.len() / 2]).unwrap();
+    let out = bin().args(["resume"]).arg(&trunc).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not a vulcan checkpoint"), "stderr: {err}");
+
+    // Not a checkpoint at all.
+    let out = bin().args(["resume"]).arg(&cfg).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not a vulcan checkpoint"), "stderr: {err}");
+}
+
+#[test]
+fn checkpoint_past_the_run_exits_2() {
+    let dir = scratch("past");
+    let cfg = dir.join("cfg.json");
+    std::fs::write(&cfg, config_text(&dir.join("unused.json"))).unwrap();
+    let out = bin()
+        .args(["checkpoint"])
+        .arg(&cfg)
+        .args(["--at", "99", "--out"])
+        .arg(dir.join("ck.json"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("past the run"), "stderr: {err}");
+}

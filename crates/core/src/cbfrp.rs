@@ -241,6 +241,42 @@ impl Cbfrp {
     }
 }
 
+impl vulcan_json::Snapshot for Cbfrp {
+    /// `prev_alloc` is the BE-retention memory (stage 2 reads it), so it
+    /// travels alongside the credit ledger. Credits are bit-cast i64→u64
+    /// per element to stay in the exact integer lane.
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        let credits: Vec<u64> = self.credits.iter().map(|&c| c as u64).collect();
+        snap::obj(vec![
+            ("unit_pages", snap::u64_value(self.unit_pages)),
+            ("credits", snap::u64_array(&credits)),
+            ("prev_alloc", snap::u64_array(&self.prev_alloc)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let unit_pages = snap::field_u64(v, "unit_pages")?;
+        if unit_pages == 0 {
+            return Err("cbfrp unit_pages must be positive".to_string());
+        }
+        let credits: Vec<i64> = snap::array_u64(snap::field(v, "credits")?)?
+            .into_iter()
+            .map(|c| c as i64)
+            .collect();
+        let prev_alloc = snap::array_u64(snap::field(v, "prev_alloc")?)?;
+        if prev_alloc.len() != credits.len() {
+            return Err("cbfrp ledger arrays have mismatched lengths".to_string());
+        }
+        Ok(Cbfrp {
+            unit_pages,
+            credits,
+            prev_alloc,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +417,38 @@ mod tests {
         // Shrinking is refused: slots are never reused.
         c.grow_to(1);
         assert_eq!(c.credits().len(), 4);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_ledger_and_retention_memory() {
+        use vulcan_json::Snapshot;
+        let mut c = Cbfrp::new(3, 8);
+        // Two rounds build non-trivial credits AND prev_alloc (the
+        // hidden BE-retention state stage 2 reads next round).
+        c.partition(&[3000, 0, 0], &[BE, LC, BE], &[true; 3], 1000);
+        c.partition(&[3000, 500, 0], &[BE, LC, BE], &[true; 3], 1000);
+        let snap_v = c.snapshot();
+        let mut back = Cbfrp::restore(&snap_v).unwrap();
+        assert_eq!(back.snapshot(), snap_v, "idempotent round trip");
+        assert_eq!(back.credits(), c.credits());
+        // Behavioral continuation: the next round depends on prev_alloc
+        // (retention) and credits — both machines must agree exactly.
+        let p1 = c.partition(&[3000, 2000, 100], &[BE, LC, BE], &[true; 3], 1000);
+        let p2 = back.partition(&[3000, 2000, 100], &[BE, LC, BE], &[true; 3], 1000);
+        assert_eq!(p1.alloc, p2.alloc);
+        assert_eq!(c.credits(), back.credits());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_ledger() {
+        use vulcan_json::{Snapshot, Value};
+        let c = Cbfrp::new(2, 8);
+        let Value::Object(mut o) = c.snapshot() else {
+            panic!("snapshot is an object")
+        };
+        o.insert("prev_alloc", vulcan_json::snap::u64_array(&[1, 2, 3]));
+        let err = Cbfrp::restore(&Value::Object(o)).unwrap_err();
+        assert!(err.contains("mismatched"), "{err}");
     }
 
     #[test]

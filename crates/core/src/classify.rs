@@ -90,6 +90,63 @@ impl Classifier {
     }
 }
 
+impl vulcan_json::Snapshot for Classifier {
+    /// The EMA and warm-up counters are the classifier's entire memory;
+    /// verdicts travel as "lc"/"be" tags so the hysteresis state (which
+    /// side of the band each workload sits on) survives the round trip.
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::{snap, Value};
+        let verdicts: Vec<Value> = self
+            .verdict
+            .iter()
+            .map(|c| {
+                Value::Str(match c {
+                    ServiceClass::LatencyCritical => "lc".to_string(),
+                    ServiceClass::BestEffort => "be".to_string(),
+                })
+            })
+            .collect();
+        let warm: Vec<u64> = self.warm.iter().map(|&w| u64::from(w)).collect();
+        snap::obj(vec![
+            ("duty_ema", snap::f64_array(&self.duty_ema)),
+            ("verdict", Value::Array(verdicts)),
+            ("warm", snap::u64_array(&warm)),
+            ("lc_threshold", snap::f64_value(self.lc_threshold)),
+            ("hysteresis", snap::f64_value(self.hysteresis)),
+            ("warmup", snap::u64_value(u64::from(self.warmup))),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::{snap, Value};
+        let duty_ema = snap::array_f64(snap::field(v, "duty_ema")?)?;
+        let mut verdict = Vec::new();
+        for t in snap::field_array(v, "verdict")? {
+            verdict.push(match t {
+                Value::Str(s) if s == "lc" => ServiceClass::LatencyCritical,
+                Value::Str(s) if s == "be" => ServiceClass::BestEffort,
+                other => return Err(format!("unknown service-class tag {other:?}")),
+            });
+        }
+        let warm = snap::array_u64(snap::field(v, "warm")?)?
+            .into_iter()
+            .map(|w| u32::try_from(w).map_err(|_| format!("warm counter {w} out of range")))
+            .collect::<Result<Vec<_>, String>>()?;
+        if verdict.len() != duty_ema.len() || warm.len() != duty_ema.len() {
+            return Err("classifier arrays have mismatched lengths".to_string());
+        }
+        Ok(Classifier {
+            duty_ema,
+            verdict,
+            warm,
+            lc_threshold: snap::field_f64(v, "lc_threshold")?,
+            hysteresis: snap::field_f64(v, "hysteresis")?,
+            warmup: u32::try_from(snap::field_u64(v, "warmup")?)
+                .map_err(|_| "classifier warmup out of range".to_string())?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +213,45 @@ mod tests {
             c.observe(1, 0.1);
         }
         assert_eq!(c.class(1), LC);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_ema_and_warmup() {
+        use vulcan_json::Snapshot;
+        let mut c = Classifier::new(3);
+        // w0 settled LC, w1 settled BE, w2 mid-warm-up (one observation
+        // short) — the warm counters are hidden state a restore must keep.
+        for _ in 0..10 {
+            c.observe(0, 0.1);
+            c.observe(1, 0.9);
+        }
+        c.observe(2, 0.1);
+        let snap_v = c.snapshot();
+        let mut back = Classifier::restore(&snap_v).unwrap();
+        assert_eq!(back.snapshot(), snap_v, "idempotent round trip");
+        assert_eq!(back.classes(), c.classes());
+        // Continuation: one more observation completes w2's warm-up in
+        // BOTH classifiers, and hysteresis keeps w0/w1 in lockstep.
+        for m in [&mut c, &mut back] {
+            m.observe(0, 0.52);
+            m.observe(1, 0.52);
+            m.observe(2, 0.1);
+        }
+        assert_eq!(back.classes(), c.classes());
+        for i in 0..3 {
+            assert_eq!(back.duty(i).to_bits(), c.duty(i).to_bits(), "w{i} EMA");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_unknown_class_tag() {
+        use vulcan_json::{Snapshot, Value};
+        let Value::Object(mut o) = Classifier::new(1).snapshot() else {
+            panic!("snapshot is an object")
+        };
+        o.insert("verdict", Value::Array(vec![Value::Str("vip".into())]));
+        let err = Classifier::restore(&Value::Object(o)).unwrap_err();
+        assert!(err.contains("unknown service-class"), "{err}");
     }
 
     #[test]

@@ -442,6 +442,81 @@ impl TieringPolicy for VulcanPolicy {
         "vulcan"
     }
 
+    /// Everything `on_quantum` reads besides the config: the CBFRP
+    /// credit ledger, the classifier's EMAs and verdicts, the MLFQ
+    /// queues with carried ages, the guard/fault counters and the
+    /// capacity-confidence scalar. The config itself is NOT serialized —
+    /// a restored policy is built with the same `VulcanConfig` first,
+    /// then this state is replayed into it.
+    fn snapshot_state(&self) -> Result<vulcan_json::Value, String> {
+        use vulcan_json::{snap, Snapshot as _, Value};
+        let opt = |v: Option<Value>| v.unwrap_or(Value::Null);
+        let queues: Vec<Value> = self.queues.iter().map(|q| q.snapshot()).collect();
+        let classes: Vec<Value> = self
+            .last_classes
+            .iter()
+            .map(|c| {
+                Value::Str(match c {
+                    ServiceClass::LatencyCritical => "lc".to_string(),
+                    ServiceClass::BestEffort => "be".to_string(),
+                })
+            })
+            .collect();
+        Ok(snap::obj(vec![
+            ("cbfrp", opt(self.cbfrp.as_ref().map(|c| c.snapshot()))),
+            (
+                "classifier",
+                opt(self.classifier.as_ref().map(|c| c.snapshot())),
+            ),
+            ("queues", Value::Array(queues)),
+            ("guard_engaged", snap::u64_value(self.guard_engaged)),
+            ("last_classes", Value::Array(classes)),
+            (
+                "capacity_confidence",
+                snap::f64_value(self.capacity_confidence),
+            ),
+            ("seen_alloc_faults", snap::u64_value(self.seen_alloc_faults)),
+        ]))
+    }
+
+    fn restore_state(&mut self, v: &vulcan_json::Value) -> Result<(), String> {
+        use vulcan_json::{snap, Snapshot as _, Value};
+        let cbfrp = match snap::field(v, "cbfrp")? {
+            Value::Null => None,
+            c => Some(Cbfrp::restore(c)?),
+        };
+        let classifier = match snap::field(v, "classifier")? {
+            Value::Null => None,
+            c => Some(Classifier::restore(c)?),
+        };
+        let queues = snap::field_array(v, "queues")?
+            .iter()
+            .map(PromotionQueues::restore)
+            .collect::<Result<Vec<_>, String>>()?;
+        let mut last_classes = Vec::new();
+        for t in snap::field_array(v, "last_classes")? {
+            last_classes.push(match t {
+                Value::Str(s) if s == "lc" => ServiceClass::LatencyCritical,
+                Value::Str(s) if s == "be" => ServiceClass::BestEffort,
+                other => return Err(format!("unknown service-class tag {other:?}")),
+            });
+        }
+        if cbfrp.is_some() != classifier.is_some() {
+            return Err("vulcan state is partially initialized".to_string());
+        }
+        if queues.len() != last_classes.len() {
+            return Err("vulcan per-workload arrays have mismatched lengths".to_string());
+        }
+        self.cbfrp = cbfrp;
+        self.classifier = classifier;
+        self.queues = queues;
+        self.guard_engaged = snap::field_u64(v, "guard_engaged")?;
+        self.last_classes = last_classes;
+        self.capacity_confidence = snap::field_f64(v, "capacity_confidence")?;
+        self.seen_alloc_faults = snap::field_u64(v, "seen_alloc_faults")?;
+        Ok(())
+    }
+
     fn on_quantum(&mut self, state: &mut SystemState) {
         let n = state.n_workloads();
         self.ensure_init(n);
@@ -717,6 +792,106 @@ mod tests {
         assert_eq!(p.classes().unwrap().len(), 2);
         assert_eq!(p.credits().unwrap(), &[0, 0]);
         assert_eq!(p.name(), "vulcan");
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use vulcan_profile::HybridProfiler;
+    use vulcan_runtime::{SimConfig, SimRunner};
+    use vulcan_sim::{MachineSpec, Nanos};
+    use vulcan_workloads::{microbench, MicroConfig};
+
+    struct Noop;
+    impl vulcan_runtime::TieringPolicy for Noop {
+        fn name(&self) -> &'static str {
+            "noop"
+        }
+        fn on_quantum(&mut self, _s: &mut vulcan_runtime::SystemState) {}
+    }
+
+    fn mk_runner() -> SimRunner {
+        let mk = |name: &str, fixed_op: Nanos| {
+            microbench(
+                name,
+                MicroConfig {
+                    rss_pages: 512,
+                    wss_pages: 128,
+                    fixed_op,
+                    ..Default::default()
+                },
+                2,
+            )
+            .preallocated(vulcan_sim::TierKind::Slow)
+        };
+        SimRunner::builder()
+            .machine(MachineSpec::small(256, 8192, 16))
+            .workloads(vec![mk("lc", Nanos(20_000)), mk("be", Nanos(0))])
+            .profiler_factory(|_| Box::new(HybridProfiler::vulcan_default()))
+            .policy(Box::new(Noop))
+            .config(SimConfig {
+                quantum_active: Nanos::micros(500),
+                n_quanta: 0,
+                ..Default::default()
+            })
+            .build()
+    }
+
+    /// Restore a fresh policy from a mid-run snapshot and keep driving
+    /// it against the same deterministic system: every per-quantum
+    /// observable must match the straight run. This is the policy-layer
+    /// cell of the restore-replay identity oracle — the ledger, EMAs,
+    /// MLFQ ages and fault counters are all load-bearing.
+    fn run(restore_at: Option<usize>) -> (Vec<u64>, vulcan_json::Value) {
+        let mut runner = mk_runner();
+        let mut policy = VulcanPolicy::new();
+        let mut log = Vec::new();
+        for q in 0..12 {
+            runner.run_quantum();
+            policy.on_quantum(&mut runner.state);
+            log.push(runner.state.workloads[0].stats.fast_used);
+            log.push(runner.state.workloads[1].stats.fast_used);
+            if restore_at == Some(q) {
+                let snap_v = policy.snapshot_state().unwrap();
+                let mut fresh = VulcanPolicy::new();
+                fresh.restore_state(&snap_v).unwrap();
+                assert_eq!(
+                    fresh.snapshot_state().unwrap(),
+                    snap_v,
+                    "idempotent round trip"
+                );
+                policy = fresh;
+            }
+        }
+        (log, policy.snapshot_state().unwrap())
+    }
+
+    #[test]
+    fn restored_policy_replays_identically() {
+        let (straight_log, straight_final) = run(None);
+        for at in [0, 4, 9] {
+            let (log, fin) = run(Some(at));
+            assert_eq!(log, straight_log, "fast_used trace, restore at {at}");
+            assert_eq!(fin, straight_final, "final policy state, restore at {at}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_partial_initialization() {
+        use vulcan_json::Value;
+        let mut runner = mk_runner();
+        let mut policy = VulcanPolicy::new();
+        runner.run_quantum();
+        policy.on_quantum(&mut runner.state);
+        let Value::Object(mut o) = policy.snapshot_state().unwrap() else {
+            panic!("snapshot is an object")
+        };
+        o.insert("classifier", Value::Null);
+        let err = VulcanPolicy::new()
+            .restore_state(&Value::Object(o))
+            .unwrap_err();
+        assert!(err.contains("partially initialized"), "{err}");
     }
 }
 

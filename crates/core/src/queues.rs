@@ -231,6 +231,78 @@ impl PromotionQueues {
     }
 }
 
+impl vulcan_json::Snapshot for PromotionQueues {
+    /// Each queue level serializes as parallel arrays in queue order
+    /// (order is behavioral: `drain` takes from the front). Carried ages
+    /// are the MLFQ memory; the original class travels with each entry
+    /// because an aged page's *level* no longer encodes its copy strategy.
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::{snap, Value};
+        let levels: Vec<Value> = self
+            .queues
+            .iter()
+            .map(|q| {
+                let vpns: Vec<u64> = q.iter().map(|e| e.vpn.0).collect();
+                let heats: Vec<f64> = q.iter().map(|e| e.heat).collect();
+                let ages: Vec<u64> = q.iter().map(|e| u64::from(e.age)).collect();
+                let classes: Vec<u64> = q.iter().map(|e| e.class.index() as u64).collect();
+                snap::obj(vec![
+                    ("vpns", snap::u64_array(&vpns)),
+                    ("heats", snap::f64_array(&heats)),
+                    ("ages", snap::u64_array(&ages)),
+                    ("classes", snap::u64_array(&classes)),
+                ])
+            })
+            .collect();
+        snap::obj(vec![
+            ("levels", Value::Array(levels)),
+            (
+                "aging_quanta",
+                snap::u64_value(u64::from(self.aging_quanta)),
+            ),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let levels = snap::field_array(v, "levels")?;
+        if levels.len() != 4 {
+            return Err(format!(
+                "expected 4 promotion queues, found {}",
+                levels.len()
+            ));
+        }
+        let mut queues: [Vec<Entry>; 4] = Default::default();
+        for (level, lv) in levels.iter().enumerate() {
+            let vpns = snap::array_u64(snap::field(lv, "vpns")?)?;
+            let heats = snap::array_f64(snap::field(lv, "heats")?)?;
+            let ages = snap::array_u64(snap::field(lv, "ages")?)?;
+            let classes = snap::array_u64(snap::field(lv, "classes")?)?;
+            if heats.len() != vpns.len() || ages.len() != vpns.len() || classes.len() != vpns.len()
+            {
+                return Err(format!("queue {level} arrays have mismatched lengths"));
+            }
+            for i in 0..vpns.len() {
+                let class = *PageClass::ALL
+                    .get(classes[i] as usize)
+                    .ok_or_else(|| format!("queue {level}: bad class code {}", classes[i]))?;
+                queues[level].push(Entry {
+                    vpn: Vpn(vpns[i]),
+                    heat: heats[i],
+                    age: u32::try_from(ages[i])
+                        .map_err(|_| format!("queue {level}: age {} out of range", ages[i]))?,
+                    class,
+                });
+            }
+        }
+        Ok(PromotionQueues {
+            queues,
+            aging_quanta: u32::try_from(snap::field_u64(v, "aging_quanta")?)
+                .map_err(|_| "aging_quanta out of range".to_string())?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +423,61 @@ mod tests {
         // Requeueing a page already queued does not duplicate it.
         q.note_failed([(Vpn(1), PageClass::SharedWrite, 5.0)]);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_mlfq_ages() {
+        use vulcan_json::Snapshot;
+        let mut q = PromotionQueues::new();
+        // Age a shared-write page partway up the ladder, keep a fresh
+        // read page in its home queue, and requeue a transient failure —
+        // three distinct (age, level, class) shapes in one snapshot.
+        for _ in 0..4 {
+            q.refill([
+                (Vpn(7), PageClass::SharedWrite, 1.0),
+                (Vpn(2), PageClass::PrivateRead, 9.0),
+            ]);
+        }
+        q.note_failed([(Vpn(5), PageClass::PrivateWrite, 3.0)]);
+        let snap_v = q.snapshot();
+        let mut back = PromotionQueues::restore(&snap_v).unwrap();
+        assert_eq!(back.snapshot(), snap_v, "idempotent round trip");
+        // Continuation: the carried ages drive the next refill's levels
+        // and the original classes drive the async/sync split.
+        let cands = [
+            (Vpn(7), PageClass::SharedWrite, 1.0),
+            (Vpn(2), PageClass::PrivateRead, 9.0),
+            (Vpn(5), PageClass::PrivateWrite, 3.0),
+        ];
+        q.refill(cands);
+        back.refill(cands);
+        for level in 0..4 {
+            assert_eq!(back.level(level), q.level(level), "level {level}");
+        }
+        let (p1, p2) = (q.drain(8), back.drain(8));
+        assert_eq!(p1.async_pages, p2.async_pages);
+        assert_eq!(p1.sync_pages, p2.sync_pages);
+    }
+
+    #[test]
+    fn restore_rejects_bad_class_code() {
+        use vulcan_json::{Snapshot, Value};
+        let mut q = PromotionQueues::new();
+        q.refill([(Vpn(1), PageClass::PrivateRead, 1.0)]);
+        let Value::Object(mut o) = q.snapshot() else {
+            panic!("snapshot is an object")
+        };
+        let Some(Value::Array(levels)) = o.get("levels").cloned() else {
+            panic!("levels is an array")
+        };
+        let mut levels = levels;
+        let Value::Object(l0) = &mut levels[0] else {
+            panic!("level is an object")
+        };
+        l0.insert("classes", vulcan_json::snap::u64_array(&[9]));
+        o.insert("levels", Value::Array(levels));
+        let err = PromotionQueues::restore(&Value::Object(o)).unwrap_err();
+        assert!(err.contains("bad class code"), "{err}");
     }
 
     #[test]

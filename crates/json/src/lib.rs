@@ -17,8 +17,10 @@
 #![warn(missing_docs)]
 
 mod parse;
+pub mod snap;
 
 pub use parse::{parse, ParseError};
+pub use snap::Snapshot;
 
 /// An ordered JSON object: a flat list of `(key, value)` pairs.
 #[derive(Clone, Debug, Default, PartialEq)]

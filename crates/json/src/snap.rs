@@ -1,0 +1,169 @@
+//! Bit-exact snapshot encoding helpers.
+//!
+//! Checkpoints demand lossless round-trips for every scalar, which the
+//! ordinary [`Value`] conversions do not guarantee: `From<u64>` degrades
+//! values above `i64::MAX` to a lossy float, and floats written through
+//! the human-readable formatter re-parse exactly but carry no contract
+//! for NaN payloads or signed zeros. This module therefore encodes
+//! `u64` and `f64` as their 64-bit patterns bit-cast into the exact
+//! [`Value::Int`] lane: every value — including `u64::MAX`, `-0.0` and
+//! NaNs — survives serialize → parse → decode unchanged.
+//!
+//! The [`Snapshot`] trait is the per-crate hook: state-bearing types
+//! implement it (or inherent `snapshot`/`restore` methods when rebuild
+//! needs context such as a config) and the runtime's checkpoint module
+//! composes the trees into one versioned document.
+
+use crate::{Map, Value};
+
+/// Types whose complete behavioral state round-trips through a
+/// [`Value`] tree. `restore(&snapshot(x))` must rebuild a value that is
+/// observationally identical to `x` — the restore-replay identity
+/// contract leans on every implementation.
+pub trait Snapshot: Sized {
+    /// Serialize the complete behavioral state.
+    fn snapshot(&self) -> Value;
+
+    /// Rebuild from a [`Snapshot::snapshot`] tree.
+    fn restore(v: &Value) -> Result<Self, String>;
+}
+
+/// Encode a `u64` losslessly (bit-cast into the exact integer lane).
+pub fn u64_value(x: u64) -> Value {
+    Value::Int(x as i64)
+}
+
+/// Decode a [`u64_value`].
+pub fn value_u64(v: &Value) -> Result<u64, String> {
+    match v {
+        Value::Int(i) => Ok(*i as u64),
+        other => Err(format!("expected bit-encoded u64, got {other:?}")),
+    }
+}
+
+/// Encode an `f64` losslessly (IEEE-754 bits in the exact integer lane).
+pub fn f64_value(x: f64) -> Value {
+    Value::Int(x.to_bits() as i64)
+}
+
+/// Decode an [`f64_value`].
+pub fn value_f64(v: &Value) -> Result<f64, String> {
+    match v {
+        Value::Int(i) => Ok(f64::from_bits(*i as u64)),
+        other => Err(format!("expected bit-encoded f64, got {other:?}")),
+    }
+}
+
+/// Encode a `u64` slice losslessly.
+pub fn u64_array(xs: &[u64]) -> Value {
+    Value::Array(xs.iter().map(|&x| u64_value(x)).collect())
+}
+
+/// Decode a [`u64_array`].
+pub fn array_u64(v: &Value) -> Result<Vec<u64>, String> {
+    v.as_array()
+        .ok_or_else(|| format!("expected array of u64, got {v:?}"))?
+        .iter()
+        .map(value_u64)
+        .collect()
+}
+
+/// Encode an `f64` slice losslessly.
+pub fn f64_array(xs: &[f64]) -> Value {
+    Value::Array(xs.iter().map(|&x| f64_value(x)).collect())
+}
+
+/// Decode an [`f64_array`].
+pub fn array_f64(v: &Value) -> Result<Vec<f64>, String> {
+    v.as_array()
+        .ok_or_else(|| format!("expected array of f64, got {v:?}"))?
+        .iter()
+        .map(value_f64)
+        .collect()
+}
+
+/// Fetch a required field of an object.
+pub fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field \"{key}\""))
+}
+
+/// Fetch a required bit-encoded `u64` field.
+pub fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    value_u64(field(v, key)?).map_err(|e| format!("field \"{key}\": {e}"))
+}
+
+/// Fetch a required bit-encoded `f64` field.
+pub fn field_f64(v: &Value, key: &str) -> Result<f64, String> {
+    value_f64(field(v, key)?).map_err(|e| format!("field \"{key}\": {e}"))
+}
+
+/// Fetch a required `usize` field (stored via [`u64_value`]).
+pub fn field_usize(v: &Value, key: &str) -> Result<usize, String> {
+    Ok(field_u64(v, key)? as usize)
+}
+
+/// Fetch a required boolean field.
+pub fn field_bool(v: &Value, key: &str) -> Result<bool, String> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field \"{key}\" must be a boolean"))
+}
+
+/// Fetch a required string field.
+pub fn field_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field \"{key}\" must be a string"))
+}
+
+/// Fetch a required array field.
+pub fn field_array<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("field \"{key}\" must be an array"))
+}
+
+/// Build an object from `(key, value)` pairs in order.
+pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    let mut m = Map::new();
+    for (k, v) in pairs {
+        m.insert(k, v);
+    }
+    Value::Object(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn u64_bit_encoding_survives_the_writer() {
+        for x in [0u64, 1, i64::MAX as u64, i64::MAX as u64 + 1, u64::MAX] {
+            let text = u64_value(x).to_json();
+            let back = parse(&text).unwrap();
+            assert_eq!(value_u64(&back).unwrap(), x, "{text}");
+        }
+    }
+
+    #[test]
+    fn f64_bit_encoding_is_exact() {
+        for x in [0.0f64, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE, f64::MAX] {
+            let text = f64_value(x).to_json();
+            let back = parse(&text).unwrap();
+            assert_eq!(value_f64(&back).unwrap().to_bits(), x.to_bits(), "{text}");
+        }
+        // NaN payloads survive too — the plain float path would null them.
+        let nan = f64::from_bits(0x7ff8_0000_dead_beef);
+        let back = parse(&f64_value(nan).to_json()).unwrap();
+        assert_eq!(value_f64(&back).unwrap().to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn field_accessors_report_the_key() {
+        let v = obj(vec![("a", u64_value(7))]);
+        assert_eq!(field_u64(&v, "a").unwrap(), 7);
+        let err = field_u64(&v, "b").unwrap_err();
+        assert!(err.contains("\"b\""), "{err}");
+    }
+}

@@ -133,6 +133,24 @@ impl CfiAccumulator {
     }
 }
 
+impl vulcan_json::Snapshot for CfiAccumulator {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("x", snap::f64_array(&self.x)),
+            ("samples", snap::u64_value(self.samples)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        Ok(CfiAccumulator {
+            x: snap::array_f64(snap::field(v, "x")?)?,
+            samples: snap::field_u64(v, "samples")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

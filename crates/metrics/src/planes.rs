@@ -4,6 +4,8 @@
 //! surface instead of six parallel `Vec<OnlineStats>` fields.
 
 use crate::stats::OnlineStats;
+use vulcan_json::snap::{self, Snapshot};
+use vulcan_json::Value;
 
 /// One quantum's sample across every plane of one workload.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -82,6 +84,16 @@ impl StatPlanes {
         p.write_gbps.push(s.write_gbps);
     }
 
+    /// Plane names, in the order [`Snapshot`] serializes them.
+    const PLANES: [&'static str; 6] = [
+        "ops_per_sec",
+        "latency_ns",
+        "fthr",
+        "hot_ratio",
+        "read_gbps",
+        "write_gbps",
+    ];
+
     /// Per-plane means for workload `w` (zeros when nothing was pushed).
     pub fn means(&self, w: usize) -> PlaneSample {
         let p = &self.workloads[w];
@@ -96,9 +108,77 @@ impl StatPlanes {
     }
 }
 
+impl Snapshot for StatPlanes {
+    fn snapshot(&self) -> Value {
+        Value::Array(
+            self.workloads
+                .iter()
+                .map(|p| {
+                    snap::obj(vec![
+                        ("ops_per_sec", p.ops_per_sec.snapshot()),
+                        ("latency_ns", p.latency_ns.snapshot()),
+                        ("fthr", p.fthr.snapshot()),
+                        ("hot_ratio", p.hot_ratio.snapshot()),
+                        ("read_gbps", p.read_gbps.snapshot()),
+                        ("write_gbps", p.write_gbps.snapshot()),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    fn restore(v: &Value) -> Result<Self, String> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| "StatPlanes snapshot must be an array".to_string())?;
+        let mut workloads = Vec::with_capacity(arr.len());
+        for w in arr {
+            let mut planes = [OnlineStats::new(); 6];
+            for (slot, name) in planes.iter_mut().zip(StatPlanes::PLANES) {
+                *slot = OnlineStats::restore(snap::field(w, name)?)?;
+            }
+            let [ops_per_sec, latency_ns, fthr, hot_ratio, read_gbps, write_gbps] = planes;
+            workloads.push(WorkloadPlanes {
+                ops_per_sec,
+                latency_ns,
+                fthr,
+                hot_ratio,
+                read_gbps,
+                write_gbps,
+            });
+        }
+        Ok(StatPlanes { workloads })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_roundtrips_bit_exactly() {
+        let mut planes = StatPlanes::new(2);
+        planes.push(
+            0,
+            PlaneSample {
+                ops_per_sec: 1.0 / 3.0,
+                latency_ns: 123.456,
+                fthr: 0.9,
+                hot_ratio: 0.1,
+                read_gbps: 2.5,
+                write_gbps: 0.0,
+            },
+        );
+        let text = planes.snapshot().to_json();
+        let back = StatPlanes::restore(&vulcan_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.len(), 2);
+        let (a, b) = (planes.means(0), back.means(0));
+        assert_eq!(a.ops_per_sec.to_bits(), b.ops_per_sec.to_bits());
+        assert_eq!(a.latency_ns.to_bits(), b.latency_ns.to_bits());
+        // The untouched workload keeps its empty sentinels (±infinity
+        // min/max), which only bit-exact encoding preserves.
+        assert_eq!(back.means(1), PlaneSample::default());
+    }
 
     #[test]
     fn push_and_means_roundtrip() {

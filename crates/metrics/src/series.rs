@@ -161,9 +161,65 @@ impl SeriesSet {
     }
 }
 
+impl vulcan_json::Snapshot for SeriesSet {
+    /// Bit-exact form for checkpoints: unlike [`SeriesSet::to_value`],
+    /// points are encoded as IEEE-754 bit patterns, so non-finite values
+    /// and every last mantissa bit survive the round-trip.
+    fn snapshot(&self) -> Value {
+        use vulcan_json::snap;
+        Value::Array(
+            self.series
+                .iter()
+                .map(|s| {
+                    let mut flat = Vec::with_capacity(s.points.len() * 2);
+                    for &(t, v) in &s.points {
+                        flat.push(t);
+                        flat.push(v);
+                    }
+                    snap::obj(vec![
+                        ("name", Value::Str(s.name.clone())),
+                        ("points", snap::f64_array(&flat)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    fn restore(v: &Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let arr = v
+            .as_array()
+            .ok_or_else(|| "SeriesSet snapshot must be an array".to_string())?;
+        let mut set = SeriesSet::new();
+        for s in arr {
+            let flat = snap::array_f64(snap::field(s, "points")?)?;
+            if flat.len() % 2 != 0 {
+                return Err("series points must pair up".into());
+            }
+            set.series.push(TimeSeries {
+                name: snap::field_str(s, "name")?.to_string(),
+                points: flat.chunks_exact(2).map(|c| (c[0], c[1])).collect(),
+            });
+        }
+        Ok(set)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_exact() {
+        use vulcan_json::Snapshot;
+        let mut set = SeriesSet::new();
+        set.entry("a").push(1.0 / 3.0, f64::INFINITY);
+        let text = set.snapshot().to_json();
+        let back = SeriesSet::restore(&vulcan_json::parse(&text).unwrap()).unwrap();
+        let p = back.get("a").unwrap().points[0];
+        assert_eq!(p.0.to_bits(), (1.0f64 / 3.0).to_bits());
+        assert!(p.1.is_infinite());
+    }
 
     #[test]
     fn push_and_query() {

@@ -1,6 +1,9 @@
 //! Summary statistics: online mean/variance, percentiles, and the
 //! mean ± 95% confidence intervals the paper plots over 10 trials.
 
+use vulcan_json::snap::{self, Snapshot};
+use vulcan_json::Value;
+
 /// Welford online mean/variance accumulator.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct OnlineStats {
@@ -78,6 +81,28 @@ impl OnlineStats {
             return 0.0;
         }
         1.96 * self.stddev() / (self.n as f64).sqrt()
+    }
+}
+
+impl Snapshot for OnlineStats {
+    fn snapshot(&self) -> Value {
+        snap::obj(vec![
+            ("n", snap::u64_value(self.n)),
+            ("mean", snap::f64_value(self.mean)),
+            ("m2", snap::f64_value(self.m2)),
+            ("min", snap::f64_value(self.min)),
+            ("max", snap::f64_value(self.max)),
+        ])
+    }
+
+    fn restore(v: &Value) -> Result<Self, String> {
+        Ok(OnlineStats {
+            n: snap::field_u64(v, "n")?,
+            mean: snap::field_f64(v, "mean")?,
+            m2: snap::field_f64(v, "m2")?,
+            min: snap::field_f64(v, "min")?,
+            max: snap::field_f64(v, "max")?,
+        })
     }
 }
 

@@ -518,6 +518,175 @@ impl AsyncMigrator {
     }
 }
 
+fn tier_name(t: TierKind) -> &'static str {
+    t.name()
+}
+
+fn tier_from_name(name: &str) -> Result<TierKind, String> {
+    TierKind::ALL
+        .iter()
+        .copied()
+        .find(|t| t.name() == name)
+        .ok_or_else(|| format!("unknown tier \"{name}\""))
+}
+
+impl vulcan_json::Snapshot for MechanismConfig {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::{snap, Value};
+        let prep = match self.prep {
+            PrepStrategy::BaselineGlobal => "baseline_global",
+            PrepStrategy::Optimized => "optimized",
+        };
+        let scope = match self.scope {
+            ShootdownScope::ProcessWide => "process_wide",
+            ShootdownScope::Targeted => "targeted",
+        };
+        let sd_mode = match self.sd_mode {
+            ShootdownMode::Cold => "cold",
+            ShootdownMode::Batched => "batched",
+        };
+        snap::obj(vec![
+            ("prep", Value::Str(prep.to_string())),
+            ("scope", Value::Str(scope.to_string())),
+            ("sd_mode", Value::Str(sd_mode.to_string())),
+            ("shadowing", Value::Bool(self.shadowing)),
+            (
+                "max_async_retries",
+                snap::u64_value(self.max_async_retries as u64),
+            ),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let prep = match snap::field_str(v, "prep")? {
+            "baseline_global" => PrepStrategy::BaselineGlobal,
+            "optimized" => PrepStrategy::Optimized,
+            other => return Err(format!("unknown prep strategy \"{other}\"")),
+        };
+        let scope = match snap::field_str(v, "scope")? {
+            "process_wide" => ShootdownScope::ProcessWide,
+            "targeted" => ShootdownScope::Targeted,
+            other => return Err(format!("unknown shootdown scope \"{other}\"")),
+        };
+        let sd_mode = match snap::field_str(v, "sd_mode")? {
+            "cold" => ShootdownMode::Cold,
+            "batched" => ShootdownMode::Batched,
+            other => return Err(format!("unknown shootdown mode \"{other}\"")),
+        };
+        let retries = snap::field_u64(v, "max_async_retries")?;
+        Ok(MechanismConfig {
+            prep,
+            scope,
+            sd_mode,
+            shadowing: snap::field_bool(v, "shadowing")?,
+            max_async_retries: u32::try_from(retries)
+                .map_err(|_| format!("max_async_retries {retries} out of range"))?,
+        })
+    }
+}
+
+impl vulcan_json::Snapshot for AsyncMigrator {
+    /// In-flight transactions are serialized as parallel arrays in queue
+    /// order (poll iterates `inflight` front to back, so order is
+    /// behavioral), together with the dirty-check RNG state — `poll`
+    /// draws one `f64` per due transaction, so the stream position must
+    /// survive a checkpoint for the retry/abort sequence to replay
+    /// identically.
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::{snap, Value};
+        let vpns: Vec<u64> = self.inflight.iter().map(|t| t.vpn.0).collect();
+        let dests: Vec<Value> = self
+            .inflight
+            .iter()
+            .map(|t| Value::Str(tier_name(t.dest).to_string()))
+            .collect();
+        let frame_tiers: Vec<Value> = self
+            .inflight
+            .iter()
+            .map(|t| Value::Str(tier_name(t.dest_frame.tier).to_string()))
+            .collect();
+        let frame_indices: Vec<u64> = self
+            .inflight
+            .iter()
+            .map(|t| t.dest_frame.index as u64)
+            .collect();
+        let completes: Vec<u64> = self.inflight.iter().map(|t| t.completes.0).collect();
+        let retries: Vec<u64> = self.inflight.iter().map(|t| t.retries as u64).collect();
+        snap::obj(vec![
+            ("vpns", snap::u64_array(&vpns)),
+            ("dests", Value::Array(dests)),
+            ("frame_tiers", Value::Array(frame_tiers)),
+            ("frame_indices", snap::u64_array(&frame_indices)),
+            ("completes", snap::u64_array(&completes)),
+            ("retries", snap::u64_array(&retries)),
+            ("rng", snap::u64_array(&self.rng.state())),
+            ("started", snap::u64_value(self.stats.started)),
+            ("committed", snap::u64_value(self.stats.committed)),
+            ("retried", snap::u64_value(self.stats.retried)),
+            ("aborted", snap::u64_value(self.stats.aborted)),
+            ("copy_faulted", snap::u64_value(self.stats.copy_faulted)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let vpns = snap::array_u64(snap::field(v, "vpns")?)?;
+        let dests = snap::field_array(v, "dests")?;
+        let frame_tiers = snap::field_array(v, "frame_tiers")?;
+        let frame_indices = snap::array_u64(snap::field(v, "frame_indices")?)?;
+        let completes = snap::array_u64(snap::field(v, "completes")?)?;
+        let retries = snap::array_u64(snap::field(v, "retries")?)?;
+        let n = vpns.len();
+        if dests.len() != n
+            || frame_tiers.len() != n
+            || frame_indices.len() != n
+            || completes.len() != n
+            || retries.len() != n
+        {
+            return Err("async migrator txn arrays have mismatched lengths".to_string());
+        }
+        let mut inflight = Vec::with_capacity(n);
+        for i in 0..n {
+            let dest = match &dests[i] {
+                vulcan_json::Value::Str(s) => tier_from_name(s)?,
+                _ => return Err("txn dest is not a string".to_string()),
+            };
+            let frame_tier = match &frame_tiers[i] {
+                vulcan_json::Value::Str(s) => tier_from_name(s)?,
+                _ => return Err("txn frame tier is not a string".to_string()),
+            };
+            inflight.push(Txn {
+                vpn: Vpn(vpns[i]),
+                dest,
+                dest_frame: FrameId {
+                    tier: frame_tier,
+                    index: u32::try_from(frame_indices[i])
+                        .map_err(|_| format!("frame index {} out of range", frame_indices[i]))?,
+                },
+                completes: Nanos(completes[i]),
+                retries: u32::try_from(retries[i])
+                    .map_err(|_| format!("txn retries {} out of range", retries[i]))?,
+            });
+        }
+        let rng_state = snap::array_u64(snap::field(v, "rng")?)?;
+        let rng_state: [u64; 4] = rng_state
+            .try_into()
+            .map_err(|_| "rng state is not 4 words".to_string())?;
+        Ok(AsyncMigrator {
+            inflight,
+            rng: SmallRng::from_state(rng_state),
+            stats: AsyncStats {
+                started: snap::field_u64(v, "started")?,
+                committed: snap::field_u64(v, "committed")?,
+                retried: snap::field_u64(v, "retried")?,
+                aborted: snap::field_u64(v, "aborted")?,
+                copy_faulted: snap::field_u64(v, "copy_faulted")?,
+            },
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -877,5 +1046,88 @@ mod tests {
             am.start(&mut p, &mut m, &mut t, &pages, TierKind::Fast, Nanos(0)),
             2
         );
+    }
+
+    #[test]
+    fn mechanism_config_roundtrips_presets_and_overrides() {
+        use vulcan_json::Snapshot;
+        for cfg in [
+            MechanismConfig::linux_baseline(),
+            MechanismConfig::vulcan(),
+            MechanismConfig {
+                sd_mode: ShootdownMode::Cold,
+                max_async_retries: 9,
+                ..MechanismConfig::vulcan()
+            },
+        ] {
+            let back = MechanismConfig::restore(&cfg.snapshot()).expect("restore");
+            assert_eq!(back, cfg);
+        }
+    }
+
+    /// A restored migrator must replay the exact dirty-check stream:
+    /// `poll` draws one RNG value per due transaction, so losing the RNG
+    /// position (or reordering the in-flight queue) silently changes
+    /// which pages retry, which abort, and when — the hidden-state class
+    /// the checkpoint round-trip oracle exists to catch.
+    #[test]
+    fn async_snapshot_roundtrip_replays_the_dirty_check_stream() {
+        use vulcan_json::Snapshot;
+        type RoundLog = Vec<(Vec<Vpn>, Vec<Vpn>)>;
+        let run = |restore_at: Option<usize>| -> (RoundLog, AsyncStats) {
+            let (mut p, mut m, mut t, mut s) = setup(16, 16);
+            let pages = map_slow(&mut p, &mut m, 6);
+            let cfg = MechanismConfig {
+                max_async_retries: 2,
+                ..MechanismConfig::vulcan()
+            };
+            let mut am = AsyncMigrator::with_seed(42);
+            am.start(&mut p, &mut m, &mut t, &pages, TierKind::Fast, Nanos(0));
+            let mut log = Vec::new();
+            let mut now = Nanos(0);
+            for round in 0..6 {
+                now += Nanos::millis(1);
+                // 50% dirty windows: every due transaction consumes one
+                // RNG draw, and retries keep transactions in flight.
+                let poll = am.poll(&mut p, &mut m, &mut t, &mut s, now, &cfg, &mut |_| 0.5);
+                log.push((poll.committed.clone(), poll.aborted.clone()));
+                if restore_at == Some(round) {
+                    let snap_v = am.snapshot();
+                    let back = AsyncMigrator::restore(&snap_v).expect("restore");
+                    assert_eq!(back.snapshot(), snap_v, "snapshot(restore(c)) == c");
+                    am = back;
+                }
+            }
+            (log, am.stats)
+        };
+        let (straight_log, straight_stats) = run(None);
+        assert!(
+            straight_stats.committed > 0 && straight_stats.retried > 0,
+            "scenario must exercise both commits and retries: {straight_stats:?}"
+        );
+        for at in 0..3 {
+            let (log, stats) = run(Some(at));
+            assert_eq!(log, straight_log, "restore at round {at} diverged");
+            assert_eq!(stats, straight_stats, "restore at round {at} stats");
+        }
+    }
+
+    #[test]
+    fn async_restore_rejects_mismatched_txn_arrays() {
+        use vulcan_json::Snapshot;
+        let (mut p, mut m, mut t, _s) = setup(16, 16);
+        let pages = map_slow(&mut p, &mut m, 2);
+        let mut am = AsyncMigrator::new();
+        am.start(&mut p, &mut m, &mut t, &pages, TierKind::Fast, Nanos(0));
+        let mut snap_v = am.snapshot();
+        if let vulcan_json::Value::Object(o) = &mut snap_v {
+            o.insert("retries", vulcan_json::snap::u64_array(&[0]));
+        } else {
+            panic!("snapshot is not an object");
+        }
+        match AsyncMigrator::restore(&snap_v) {
+            Ok(_) => panic!("corrupt snapshot must be rejected"),
+            Err(e) => assert!(e.contains("mismatched lengths"), "unexpected error: {e}"),
+        }
     }
 }

@@ -83,6 +83,58 @@ impl ShadowRegistry {
     }
 }
 
+impl vulcan_json::Snapshot for ShadowRegistry {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        let vpns: Vec<u64> = self.shadows.keys().copied().collect();
+        let tiers: Vec<vulcan_json::Value> = self
+            .shadows
+            .values()
+            .map(|f| vulcan_json::Value::Str(f.tier.name().to_string()))
+            .collect();
+        let indices: Vec<u64> = self.shadows.values().map(|f| f.index as u64).collect();
+        snap::obj(vec![
+            ("vpns", snap::u64_array(&vpns)),
+            ("tiers", vulcan_json::Value::Array(tiers)),
+            ("indices", snap::u64_array(&indices)),
+            ("hits", snap::u64_value(self.hits)),
+            ("invalidations", snap::u64_value(self.invalidations)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        use vulcan_sim::TierKind;
+        let vpns = snap::array_u64(snap::field(v, "vpns")?)?;
+        let tiers = snap::field_array(v, "tiers")?;
+        let indices = snap::array_u64(snap::field(v, "indices")?)?;
+        if tiers.len() != vpns.len() || indices.len() != vpns.len() {
+            return Err("shadow registry arrays have mismatched lengths".to_string());
+        }
+        let mut shadows = BTreeMap::new();
+        for i in 0..vpns.len() {
+            let tier = match &tiers[i] {
+                vulcan_json::Value::Str(s) => TierKind::ALL
+                    .iter()
+                    .copied()
+                    .find(|t| t.name() == s.as_str())
+                    .ok_or_else(|| format!("unknown tier \"{s}\""))?,
+                _ => return Err("shadow tier is not a string".to_string()),
+            };
+            let index = u32::try_from(indices[i])
+                .map_err(|_| format!("shadow frame index {} out of range", indices[i]))?;
+            if shadows.insert(vpns[i], FrameId { tier, index }).is_some() {
+                return Err(format!("duplicate shadow vpn {}", vpns[i]));
+            }
+        }
+        Ok(ShadowRegistry {
+            shadows,
+            hits: snap::field_u64(v, "hits")?,
+            invalidations: snap::field_u64(v, "invalidations")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +172,40 @@ mod tests {
         assert_eq!(r.get(Vpn(1)), None);
         assert_eq!(r.stats(), (0, 1));
         assert_eq!(r.invalidate(Vpn(1)), None);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_shadows_and_stats() {
+        use vulcan_json::Snapshot;
+        let mut r = ShadowRegistry::new();
+        for i in 0..8 {
+            r.retain(Vpn(i * 3), frame(i as u32));
+        }
+        r.take(Vpn(0));
+        r.invalidate(Vpn(3));
+        let snap = r.snapshot();
+        let back = ShadowRegistry::restore(&snap).expect("restore");
+        assert_eq!(back.snapshot(), snap, "snapshot(restore(c)) == c");
+        assert_eq!(back.len(), r.len());
+        assert_eq!(back.stats(), r.stats());
+        assert_eq!(back.get(Vpn(6)), Some(frame(2)));
+        assert_eq!(back.get(Vpn(0)), None);
+    }
+
+    #[test]
+    fn restore_rejects_duplicate_vpn() {
+        use vulcan_json::Snapshot;
+        let mut r = ShadowRegistry::new();
+        r.retain(Vpn(1), frame(0));
+        r.retain(Vpn(2), frame(1));
+        let mut snap = r.snapshot();
+        if let vulcan_json::Value::Object(o) = &mut snap {
+            o.insert("vpns", vulcan_json::snap::u64_array(&[1, 1]));
+        } else {
+            panic!("snapshot is not an object");
+        }
+        let err = ShadowRegistry::restore(&snap).unwrap_err();
+        assert!(err.contains("duplicate"), "unexpected error: {err}");
     }
 
     #[test]

@@ -236,6 +236,13 @@ impl RefHeat {
         self.map.remove(&key);
     }
 
+    /// Install exact statistics for `key`, bypassing the arithmetic
+    /// path — checkpoint restore rebuilds the shadow model bitwise from
+    /// serialized state, so subsequent oracle diffs stay exact.
+    pub fn set_exact(&mut self, key: u64, stats: RefStats) {
+        self.map.insert(key, stats);
+    }
+
     /// Statistics for `key`; zero when untracked.
     pub fn get(&self, key: u64) -> RefStats {
         self.map.get(&key).copied().unwrap_or_default()

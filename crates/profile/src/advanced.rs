@@ -234,6 +234,78 @@ impl Profiler for TelescopeProfiler {
     }
 }
 
+impl vulcan_json::Snapshot for ChronoProfiler {
+    /// `last_seen` is a HashMap; it serializes sorted by key so the
+    /// snapshot bytes are deterministic (iteration order never leaks
+    /// into behavior — lookups are keyed).
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        let mut pairs: Vec<(u64, u64)> = self.last_seen.iter().map(|(&k, &v)| (k, v)).collect();
+        pairs.sort_unstable();
+        let keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+        let seen: Vec<u64> = pairs.iter().map(|&(_, v)| v).collect();
+        snap::obj(vec![
+            ("period", snap::u64_value(self.period)),
+            ("countdown", snap::u64_value(self.countdown)),
+            ("epoch", snap::u64_value(self.epoch)),
+            ("last_seen_keys", snap::u64_array(&keys)),
+            ("last_seen_epochs", snap::u64_array(&seen)),
+            ("samples", snap::u64_value(self.samples)),
+            ("heat", self.heat.snapshot()),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let period = snap::field_u64(v, "period")?;
+        if period == 0 {
+            return Err("Chrono period must be positive".into());
+        }
+        let keys = snap::array_u64(snap::field(v, "last_seen_keys")?)?;
+        let seen = snap::array_u64(snap::field(v, "last_seen_epochs")?)?;
+        if keys.len() != seen.len() {
+            return Err("last_seen key/epoch arrays disagree".into());
+        }
+        Ok(ChronoProfiler {
+            heat: HeatMap::restore(snap::field(v, "heat")?)?,
+            period,
+            countdown: snap::field_u64(v, "countdown")?,
+            epoch: snap::field_u64(v, "epoch")?,
+            last_seen: keys.into_iter().zip(seen).collect(),
+            samples: snap::field_u64(v, "samples")?,
+        })
+    }
+}
+
+impl vulcan_json::Snapshot for TelescopeProfiler {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("per_pte", snap::u64_value(self.per_pte.0)),
+            (
+                "probes_per_region",
+                snap::u64_value(self.probes_per_region as u64),
+            ),
+            ("regions_skipped", snap::u64_value(self.regions_skipped)),
+            ("regions_scanned", snap::u64_value(self.regions_scanned)),
+            ("heat", self.heat.snapshot()),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        Ok(TelescopeProfiler {
+            heat: HeatMap::restore(snap::field(v, "heat")?)?,
+            per_pte: Cycles(snap::field_u64(v, "per_pte")?),
+            probes_per_region: snap::field_usize(v, "probes_per_region")?,
+            regions_skipped: snap::field_u64(v, "regions_skipped")?,
+            regions_scanned: snap::field_u64(v, "regions_scanned")?,
+            scratch: Vec::new(),
+            region_scratch: Vec::new(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -148,6 +148,50 @@ impl AnyProfiler {
     pub fn as_dyn_mut(&mut self) -> &mut dyn Profiler {
         self
     }
+
+    /// Serialize this profiler for a checkpoint: `{kind, state}` with
+    /// the concrete variant's full internal state.
+    ///
+    /// Fails (rather than silently dropping state) for
+    /// [`AnyProfiler::Custom`]: an out-of-tree profiler has no known
+    /// serialization, and a checkpoint that quietly forgot profiler
+    /// state would break the restore-replay identity contract.
+    pub fn checkpoint_state(&self) -> Result<vulcan_json::Value, String> {
+        use vulcan_json::{snap, Snapshot, Value};
+        let (kind, state) = match self {
+            AnyProfiler::Pebs(p) => ("pebs", p.snapshot()),
+            AnyProfiler::PtScan(p) => ("ptscan", p.snapshot()),
+            AnyProfiler::HintFault(p) => ("hintfault", p.snapshot()),
+            AnyProfiler::Hybrid(p) => ("hybrid", p.snapshot()),
+            AnyProfiler::Chrono(p) => ("chrono", p.snapshot()),
+            AnyProfiler::Telescope(p) => ("telescope", p.snapshot()),
+            AnyProfiler::Custom(_) => {
+                return Err("custom (out-of-tree) profilers are not checkpointable".to_string())
+            }
+        };
+        Ok(snap::obj(vec![
+            ("kind", Value::Str(kind.to_string())),
+            ("state", state),
+        ]))
+    }
+
+    /// Rebuild a profiler from [`checkpoint_state`](Self::checkpoint_state)
+    /// output.
+    pub fn from_checkpoint(v: &vulcan_json::Value) -> Result<AnyProfiler, String> {
+        use crate::sampler::{HintFaultProfiler, HybridProfiler, PebsProfiler, PtScanProfiler};
+        use vulcan_json::{snap, Snapshot};
+        let kind = snap::field_str(v, "kind")?;
+        let state = snap::field(v, "state")?;
+        Ok(match kind {
+            "pebs" => AnyProfiler::Pebs(PebsProfiler::restore(state)?),
+            "ptscan" => AnyProfiler::PtScan(PtScanProfiler::restore(state)?),
+            "hintfault" => AnyProfiler::HintFault(HintFaultProfiler::restore(state)?),
+            "hybrid" => AnyProfiler::Hybrid(HybridProfiler::restore(state)?),
+            "chrono" => AnyProfiler::Chrono(ChronoProfiler::restore(state)?),
+            "telescope" => AnyProfiler::Telescope(TelescopeProfiler::restore(state)?),
+            other => return Err(format!("unknown profiler kind \"{other}\"")),
+        })
+    }
 }
 
 /// `AnyProfiler` is itself a [`Profiler`], so the policy boundary keeps
@@ -308,6 +352,52 @@ mod tests {
         assert!(matches!(p, AnyProfiler::Chrono(_)));
         let p: AnyProfiler = Box::new(TelescopeProfiler::new()).into();
         assert!(matches!(p, AnyProfiler::Telescope(_)));
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_every_concrete_variant() {
+        let variants: Vec<AnyProfiler> = vec![
+            PebsProfiler::new(8).into(),
+            PtScanProfiler::new().into(),
+            HintFaultProfiler::new(0.1).into(),
+            HybridProfiler::vulcan_default().into(),
+            ChronoProfiler::new(4).into(),
+            TelescopeProfiler::new().into(),
+        ];
+        for mut p in variants {
+            for i in 0..100u64 {
+                p.on_access(Vpn(i % 16), i % 4 == 0);
+            }
+            let state = match p.checkpoint_state() {
+                Ok(s) => s,
+                Err(e) => panic!("concrete variants serialize: {e}"),
+            };
+            let back = match AnyProfiler::from_checkpoint(&state) {
+                Ok(b) => b,
+                Err(e) => panic!("restore: {e}"),
+            };
+            assert_eq!(
+                back.checkpoint_state().ok(),
+                Some(state),
+                "idempotent roundtrip"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_profiler_checkpoint_is_a_typed_error() {
+        let boxed: Box<dyn Profiler> = Box::new(PebsProfiler::new(2));
+        let p: AnyProfiler = boxed.into();
+        let err = p.checkpoint_state().unwrap_err();
+        assert!(err.contains("not checkpointable"), "{err}");
+        let bogus = AnyProfiler::from_checkpoint(&vulcan_json::snap::obj(vec![
+            ("kind", vulcan_json::Value::Str("martian".into())),
+            ("state", vulcan_json::Value::Null),
+        ]));
+        match bogus {
+            Err(e) => assert!(e.contains("unknown profiler kind"), "{e}"),
+            Ok(_) => panic!("bogus kind must not restore"),
+        }
     }
 
     #[test]

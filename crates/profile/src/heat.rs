@@ -691,6 +691,135 @@ impl HeatMap {
     }
 }
 
+impl vulcan_json::Snapshot for HeatMap {
+    /// Live pages travel as the `live` key list (first-record order is
+    /// behavioral: it is the map's iteration order) plus parallel
+    /// bit-exact stat arrays. The spill table is serialized **verbatim**
+    /// — keys (dead ones included), stamps, stats and the `used`
+    /// counter — because compaction hysteresis depends on the history of
+    /// distinct keys ever inserted, not just the live set (ISSUE 10
+    /// satellite: spillover compaction hysteresis is hidden state).
+    /// Dense shard capacities are wall-clock-only and rebuilt on demand.
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        let mut heat = Vec::with_capacity(self.live.len());
+        let mut reads = Vec::with_capacity(self.live.len());
+        let mut writes = Vec::with_capacity(self.live.len());
+        for &key in &self.live {
+            let s = self.get(Vpn(key));
+            heat.push(s.heat);
+            reads.push(s.reads);
+            writes.push(s.writes);
+        }
+        let spill_stamps: Vec<u64> = self.spill.slots.iter().map(|s| s.stamp).collect();
+        let spill_heat: Vec<f64> = self.spill.slots.iter().map(|s| s.stats.heat).collect();
+        let spill_reads: Vec<f64> = self.spill.slots.iter().map(|s| s.stats.reads).collect();
+        let spill_writes: Vec<f64> = self.spill.slots.iter().map(|s| s.stats.writes).collect();
+        snap::obj(vec![
+            ("decay", snap::f64_value(self.decay)),
+            ("epoch", snap::u64_value(self.epoch_now())),
+            ("live", snap::u64_array(&self.live)),
+            ("heat", snap::f64_array(&heat)),
+            ("reads", snap::f64_array(&reads)),
+            ("writes", snap::f64_array(&writes)),
+            ("spill_keys", snap::u64_array(&self.spill.keys)),
+            ("spill_stamps", snap::u64_array(&spill_stamps)),
+            ("spill_heat", snap::f64_array(&spill_heat)),
+            ("spill_reads", snap::f64_array(&spill_reads)),
+            ("spill_writes", snap::f64_array(&spill_writes)),
+            ("spill_used", snap::u64_value(self.spill.used as u64)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let decay = snap::field_f64(v, "decay")?;
+        if !(0.0..=1.0).contains(&decay) {
+            return Err(format!("decay {decay} out of [0,1]"));
+        }
+        let epoch = snap::field_u64(v, "epoch")?;
+        let live = snap::array_u64(snap::field(v, "live")?)?;
+        let heat = snap::array_f64(snap::field(v, "heat")?)?;
+        let reads = snap::array_f64(snap::field(v, "reads")?)?;
+        let writes = snap::array_f64(snap::field(v, "writes")?)?;
+        if heat.len() != live.len() || reads.len() != live.len() || writes.len() != live.len() {
+            return Err("heat-map stat arrays disagree with live key list".into());
+        }
+        let spill_keys = snap::array_u64(snap::field(v, "spill_keys")?)?;
+        if !spill_keys.is_empty() && !spill_keys.len().is_power_of_two() {
+            return Err("spill capacity must be a power of two".into());
+        }
+        let spill_stamps = snap::array_u64(snap::field(v, "spill_stamps")?)?;
+        let spill_heat = snap::array_f64(snap::field(v, "spill_heat")?)?;
+        let spill_reads = snap::array_f64(snap::field(v, "spill_reads")?)?;
+        let spill_writes = snap::array_f64(snap::field(v, "spill_writes")?)?;
+        if [
+            spill_stamps.len(),
+            spill_heat.len(),
+            spill_reads.len(),
+            spill_writes.len(),
+        ]
+        .iter()
+        .any(|&n| n != spill_keys.len())
+        {
+            return Err("spill arrays disagree with spill capacity".into());
+        }
+        let spill = Spill {
+            slots: spill_stamps
+                .iter()
+                .zip(spill_heat.iter().zip(spill_reads.iter().zip(&spill_writes)))
+                .map(|(&stamp, (&heat, (&reads, &writes)))| Slot {
+                    stats: PageStats {
+                        heat,
+                        reads,
+                        writes,
+                    },
+                    stamp,
+                })
+                .collect(),
+            keys: spill_keys,
+            used: usize::try_from(snap::field_u64(v, "spill_used")?)
+                .map_err(|_| "spill_used out of range".to_string())?,
+        };
+        let mut map = HeatMap::new(decay);
+        map.epoch.store(epoch, Ordering::Relaxed);
+        map.spill = spill;
+        for (i, &key) in live.iter().enumerate() {
+            let stats = PageStats {
+                heat: heat[i],
+                reads: reads[i],
+                writes: writes[i],
+            };
+            if key < DENSE_LIMIT {
+                let (sh, idx) = dense_pos(key);
+                if idx >= map.shards[sh].len() {
+                    map.grow_shard(sh, idx);
+                }
+                map.shards[sh][idx].write(epoch, stats);
+            } else {
+                let j = map
+                    .spill
+                    .find(key)
+                    .ok_or_else(|| format!("live spill key {key} missing from spill table"))?;
+                if map.spill.slots[j].stamp != epoch {
+                    return Err(format!("live spill key {key} has a dead stamp"));
+                }
+            }
+            #[cfg(feature = "oracle")]
+            map.shadow.set_exact(
+                key,
+                vulcan_oracle::RefStats {
+                    heat: stats.heat,
+                    reads: stats.reads,
+                    writes: stats.writes,
+                },
+            );
+        }
+        map.live = live;
+        Ok(map)
+    }
+}
+
 impl Clone for HeatMap {
     /// Deep copy: fresh shard arrays and a fresh (unshared) epoch
     /// counter, so the clone's readers never observe the original.

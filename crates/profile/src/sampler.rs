@@ -452,6 +452,109 @@ impl Profiler for HybridProfiler {
     }
 }
 
+impl vulcan_json::Snapshot for PebsProfiler {
+    /// The countdown is the profiler's position inside its sampling
+    /// stride — hidden state that decides *which* future access is the
+    /// next sample, so it must travel for restore-replay identity.
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("period", snap::u64_value(self.period)),
+            ("countdown", snap::u64_value(self.countdown)),
+            ("samples", snap::u64_value(self.samples)),
+            ("heat", self.heat.snapshot()),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let period = snap::field_u64(v, "period")?;
+        if period == 0 {
+            return Err("PEBS period must be positive".into());
+        }
+        let countdown = snap::field_u64(v, "countdown")?;
+        if countdown == 0 || countdown > period {
+            return Err(format!("countdown {countdown} outside [1, {period}]"));
+        }
+        Ok(PebsProfiler {
+            period,
+            countdown,
+            heat: HeatMap::restore(snap::field(v, "heat")?)?,
+            samples: snap::field_u64(v, "samples")?,
+        })
+    }
+}
+
+impl vulcan_json::Snapshot for PtScanProfiler {
+    /// The scratch buffer is reuse-only (cleared before every scan), so
+    /// it restores empty.
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("per_pte", snap::u64_value(self.per_pte.0)),
+            ("scans", snap::u64_value(self.scans)),
+            ("heat", self.heat.snapshot()),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        Ok(PtScanProfiler {
+            heat: HeatMap::restore(snap::field(v, "heat")?)?,
+            per_pte: Cycles(snap::field_u64(v, "per_pte")?),
+            scans: snap::field_u64(v, "scans")?,
+            scratch: Vec::new(),
+        })
+    }
+}
+
+impl vulcan_json::Snapshot for HintFaultProfiler {
+    /// The rotating cursor decides which window poisons next epoch —
+    /// hidden state with direct downstream effect on fault timing.
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("poison_fraction", snap::f64_value(self.poison_fraction)),
+            ("cursor", snap::u64_value(self.cursor)),
+            ("faults", snap::u64_value(self.faults)),
+            ("heat", self.heat.snapshot()),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let poison_fraction = snap::field_f64(v, "poison_fraction")?;
+        if !(0.0..=1.0).contains(&poison_fraction) {
+            return Err(format!("poison_fraction {poison_fraction} out of [0,1]"));
+        }
+        Ok(HintFaultProfiler {
+            heat: HeatMap::restore(snap::field(v, "heat")?)?,
+            poison_fraction,
+            cursor: snap::field_u64(v, "cursor")?,
+            faults: snap::field_u64(v, "faults")?,
+            scratch: Vec::new(),
+        })
+    }
+}
+
+impl vulcan_json::Snapshot for HybridProfiler {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("pebs", self.pebs.snapshot()),
+            ("hint", self.hint.snapshot()),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        Ok(HybridProfiler {
+            pebs: PebsProfiler::restore(snap::field(v, "pebs")?)?,
+            hint: HintFaultProfiler::restore(snap::field(v, "hint")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,5 +667,50 @@ mod tests {
         let out = p.epoch(&mut s);
         assert_eq!(out.cycles, Cycles::ZERO);
         assert!(out.poisoned.is_empty());
+    }
+
+    /// The hybrid profiler restored mid-stride must sample exactly the
+    /// same future accesses as the original: the PEBS countdown, the
+    /// hint cursor and every heat cell continue bit-for-bit.
+    #[test]
+    fn hybrid_snapshot_roundtrip_continues_the_sample_stream() {
+        use vulcan_json::Snapshot;
+        let mut s1 = space_with_pages(64);
+        let mut orig = HybridProfiler::vulcan_default();
+        for i in 0..777u64 {
+            orig.on_access(Vpn(i % 64), i % 5 == 0); // countdown mid-stride
+        }
+        orig.epoch(&mut s1);
+        orig.on_hint_fault(Vpn(9), true);
+        let snap = orig.snapshot();
+        let mut back = HybridProfiler::restore(&snap).expect("restore");
+        assert_eq!(back.snapshot(), snap, "idempotent");
+        let mut s2 = s1.clone();
+        for i in 0..500u64 {
+            orig.on_access(Vpn((i * 7) % 64), i % 3 == 0);
+            back.on_access(Vpn((i * 7) % 64), i % 3 == 0);
+        }
+        let o1 = orig.epoch(&mut s1);
+        let o2 = back.epoch(&mut s2);
+        assert_eq!(o1.cycles, o2.cycles);
+        assert_eq!(o1.poisoned, o2.poisoned, "hint cursor traveled");
+        for v in 0..64u64 {
+            let a = orig.heat().get(Vpn(v));
+            let b = back.heat().get(Vpn(v));
+            assert_eq!(a.heat.to_bits(), b.heat.to_bits(), "vpn {v}");
+            assert_eq!(a.writes.to_bits(), b.writes.to_bits(), "vpn {v}");
+        }
+        assert_eq!(back.snapshot(), orig.snapshot(), "lockstep");
+    }
+
+    #[test]
+    fn pebs_restore_rejects_mid_stride_corruption() {
+        use vulcan_json::Snapshot;
+        let p = PebsProfiler::new(10);
+        let mut v = p.snapshot();
+        if let vulcan_json::Value::Object(m) = &mut v {
+            m.insert("countdown", vulcan_json::snap::u64_value(11));
+        }
+        assert!(PebsProfiler::restore(&v).unwrap_err().contains("countdown"));
     }
 }

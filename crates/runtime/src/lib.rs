@@ -14,11 +14,13 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod access;
+pub mod checkpoint;
 pub mod policy;
 pub mod runner;
 pub mod shard;
 pub mod state;
 
+pub use checkpoint::{CheckpointError, CHECKPOINT_FORMAT, CHECKPOINT_VERSION};
 pub use policy::{StaticPlacement, TieringPolicy, UniformPartition};
 pub use runner::{
     hot_page_ratio, QuantumOutcome, RunResult, SimConfig, SimRunner, SimRunnerBuilder,

@@ -20,6 +20,21 @@ pub trait TieringPolicy {
 
     /// Observe the system and issue migrations for this quantum.
     fn on_quantum(&mut self, state: &mut SystemState);
+
+    /// Serialize the policy's internal state for checkpointing. Stateless
+    /// policies (every baseline except Vulcan) keep the default empty
+    /// object; stateful ones must capture everything their next
+    /// `on_quantum` reads — credit ledgers, classifier EMAs, queue ages —
+    /// so a restored run replays identically.
+    fn snapshot_state(&self) -> Result<vulcan_json::Value, String> {
+        Ok(vulcan_json::snap::obj(vec![]))
+    }
+
+    /// Restore state captured by [`snapshot_state`](Self::snapshot_state)
+    /// into a freshly constructed policy of the same kind and config.
+    fn restore_state(&mut self, _v: &vulcan_json::Value) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// A policy that never migrates: pages stay where first-touch allocation

@@ -79,6 +79,41 @@ impl Default for SimConfig {
     }
 }
 
+impl vulcan_json::Snapshot for SimConfig {
+    /// The telemetry handle is NOT serialized (recording never affects
+    /// results); a restored config starts with a disabled sink.
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::{snap, Value};
+        snap::obj(vec![
+            ("quantum_active", snap::u64_value(self.quantum_active.0)),
+            ("quantum_wall", snap::u64_value(self.quantum_wall.0)),
+            ("n_quanta", snap::u64_value(self.n_quanta)),
+            ("seed", snap::u64_value(self.seed)),
+            ("replication", Value::Bool(self.replication)),
+            ("record_series", Value::Bool(self.record_series)),
+            ("faults", self.faults.snapshot()),
+            ("shards", snap::u64_value(self.shards as u64)),
+            ("batched_planes", Value::Bool(self.batched_planes)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        Ok(SimConfig {
+            quantum_active: Nanos(snap::field_u64(v, "quantum_active")?),
+            quantum_wall: Nanos(snap::field_u64(v, "quantum_wall")?),
+            n_quanta: snap::field_u64(v, "n_quanta")?,
+            seed: snap::field_u64(v, "seed")?,
+            replication: snap::field_bool(v, "replication")?,
+            record_series: snap::field_bool(v, "record_series")?,
+            telemetry: Telemetry::disabled(),
+            faults: FaultConfig::restore(snap::field(v, "faults")?)?,
+            shards: snap::field_usize(v, "shards")?,
+            batched_planes: snap::field_bool(v, "batched_planes")?,
+        })
+    }
+}
+
 /// Per-workload summary of a finished run.
 #[derive(Clone, Debug)]
 pub struct WorkloadResult {
@@ -430,6 +465,215 @@ impl SimRunner {
             fault_recovered,
             published_faults: FaultStats::default(),
         }
+    }
+
+    /// Serialize the runner's complete state as a versioned checkpoint
+    /// (see [`crate::checkpoint`]). Take it at a quantum boundary —
+    /// between [`run_quantum`](Self::run_quantum) calls — where the
+    /// phase protocol guarantees a consistent state.
+    pub fn checkpoint(&self) -> Result<vulcan_json::Value, String> {
+        use vulcan_json::{snap, Snapshot as _, Value};
+        Ok(snap::obj(vec![
+            (
+                "format",
+                Value::Str(crate::checkpoint::CHECKPOINT_FORMAT.to_string()),
+            ),
+            (
+                "version",
+                snap::u64_value(crate::checkpoint::CHECKPOINT_VERSION),
+            ),
+            (
+                "policy",
+                snap::obj(vec![
+                    ("name", Value::Str(self.policy.name().to_string())),
+                    ("state", self.policy.snapshot_state()?),
+                ]),
+            ),
+            ("config", self.cfg.snapshot()),
+            ("state", self.state.checkpoint_value()?),
+            ("series", self.series.snapshot()),
+            ("cfi", self.cfi.snapshot()),
+            ("planes", self.planes.snapshot()),
+        ]))
+    }
+
+    /// Rebuild a runner from a checkpoint. `policy` must be a freshly
+    /// constructed policy of the same kind (and config) the checkpoint
+    /// was taken under — its name is checked, then its serialized state
+    /// is replayed into it. `profiler_factory` is only consulted for
+    /// workloads admitted *after* the restore (churn); every existing
+    /// workload's profiler is restored from the checkpoint itself.
+    pub fn restore<R: Into<AnyProfiler>>(
+        v: &vulcan_json::Value,
+        mut policy: Box<dyn TieringPolicy>,
+        mut profiler_factory: impl FnMut(&WorkloadSpec) -> R + 'static,
+    ) -> Result<SimRunner, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        crate::checkpoint::validate_header(v)?;
+        let stored = crate::checkpoint::policy_name(v)?;
+        if stored != policy.name() {
+            return Err(CheckpointError::PolicyMismatch {
+                expected: stored.to_string(),
+                found: policy.name().to_string(),
+            });
+        }
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| CheckpointError::Invalid(format!("missing \"{name}\"")))
+        };
+        let invalid = CheckpointError::Invalid;
+        policy
+            .restore_state(
+                field("policy")?
+                    .get("state")
+                    .ok_or_else(|| invalid("missing policy state".to_string()))?,
+            )
+            .map_err(invalid)?;
+        let (cfg, state, series, cfi, planes) = Self::restore_parts(v)?;
+        Ok(Self::assemble(
+            cfg,
+            state,
+            policy,
+            Box::new(move |spec| profiler_factory(spec).into()),
+            series,
+            cfi,
+            planes,
+        ))
+    }
+
+    /// Fork a checkpoint under a *different* policy and, optionally, a
+    /// re-parameterized machine (the tournament's what-if knobs). Unlike
+    /// [`restore`](Self::restore), no policy-name check is made and no
+    /// policy state is replayed — the new policy starts cold against the
+    /// checkpointed placement — and every live workload gets a fresh
+    /// profiler from `profiler_factory` (profiler families are paired
+    /// with policies, so the checkpointed internals may not even be the
+    /// right kind). `respec` may change latency/bandwidth/cost
+    /// parameters but not the tier shape or core count.
+    pub fn fork<R: Into<AnyProfiler>>(
+        v: &vulcan_json::Value,
+        policy: Box<dyn TieringPolicy>,
+        mut profiler_factory: impl FnMut(&WorkloadSpec) -> R + 'static,
+        respec: Option<MachineSpec>,
+    ) -> Result<SimRunner, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        crate::checkpoint::validate_header(v)?;
+        let (cfg, mut state, series, cfi, planes) = Self::restore_parts(v)?;
+        if let Some(spec) = respec {
+            state
+                .machine
+                .reconfigure(spec)
+                .map_err(CheckpointError::Invalid)?;
+        }
+        let mut factory: BoxedProfilerFactory = Box::new(move |spec| profiler_factory(spec).into());
+        for ws in &mut state.workloads {
+            if ws.started && !ws.departed {
+                ws.profiler = factory(&ws.spec);
+            }
+        }
+        Ok(Self::assemble(
+            cfg, state, policy, factory, series, cfi, planes,
+        ))
+    }
+
+    /// Decode the checkpoint payload sections shared by
+    /// [`restore`](Self::restore) and [`fork`](Self::fork).
+    #[allow(clippy::type_complexity)]
+    fn restore_parts(
+        v: &vulcan_json::Value,
+    ) -> Result<
+        (
+            SimConfig,
+            SystemState,
+            SeriesSet,
+            CfiAccumulator,
+            StatPlanes,
+        ),
+        crate::checkpoint::CheckpointError,
+    > {
+        use crate::checkpoint::CheckpointError;
+        use vulcan_json::Snapshot as _;
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| CheckpointError::Invalid(format!("missing \"{name}\"")))
+        };
+        let invalid = CheckpointError::Invalid;
+        let cfg = SimConfig::restore(field("config")?).map_err(invalid)?;
+        let state = SystemState::from_checkpoint(field("state")?).map_err(invalid)?;
+        let series = vulcan_metrics::SeriesSet::restore(field("series")?).map_err(invalid)?;
+        let cfi = CfiAccumulator::restore(field("cfi")?).map_err(invalid)?;
+        let planes = StatPlanes::restore(field("planes")?).map_err(invalid)?;
+        let n = state.n_workloads();
+        if cfi.cumulative().len() != n || planes.len() != n {
+            return Err(CheckpointError::Invalid(format!(
+                "accumulators cover {}/{} workloads, state has {n}",
+                cfi.cumulative().len(),
+                planes.len()
+            )));
+        }
+        Ok((cfg, state, series, cfi, planes))
+    }
+
+    /// Wire restored parts into a runner (telemetry counters rebuilt
+    /// against the restored — disabled — sink).
+    fn assemble(
+        cfg: SimConfig,
+        state: SystemState,
+        policy: Box<dyn TieringPolicy>,
+        profiler_factory: BoxedProfilerFactory,
+        series: SeriesSet,
+        cfi: CfiAccumulator,
+        planes: StatPlanes,
+    ) -> SimRunner {
+        let tel = &cfg.telemetry;
+        let (ops_counter, fast_hits_counter, slow_hits_counter, quanta_counter) = (
+            tel.counter("sim.ops"),
+            tel.counter("sim.accesses.fast"),
+            tel.counter("sim.accesses.slow"),
+            tel.counter("sim.quanta"),
+        );
+        let lat_hist = tel.histogram(
+            "quantum.mean_latency_ns",
+            &[100, 300, 1_000, 3_000, 10_000, 30_000, 100_000],
+        );
+        let fault_injected = FAULT_INJECTED_NAMES.map(|n| tel.counter(n));
+        let fault_recovered = FAULT_RECOVERED_NAMES.map(|n| tel.counter(n));
+        SimRunner {
+            state,
+            policy,
+            cfg,
+            profiler_factory,
+            series,
+            cfi,
+            planes,
+            last_execute_mode: ExecuteMode::Sequential,
+            sharded_quanta: 0,
+            ops_counter,
+            fast_hits_counter,
+            slow_hits_counter,
+            quanta_counter,
+            lat_hist,
+            fault_injected,
+            fault_recovered,
+            published_faults: FaultStats::default(),
+        }
+    }
+
+    /// The configured total quantum count — on a restored or forked
+    /// runner, the original run's horizon (quanta already executed
+    /// count toward it; see [`SystemState::quantum_index`]).
+    pub fn n_quanta(&self) -> u64 {
+        self.cfg.n_quanta
+    }
+
+    /// Run the quanta remaining until the configured total and summarize.
+    /// On a fresh runner this equals [`run`](Self::run); on a restored
+    /// one it completes exactly the quanta the original run had left.
+    pub fn run_remaining(mut self) -> RunResult {
+        while self.state.quantum_index < self.cfg.n_quanta {
+            self.run_quantum();
+        }
+        self.into_result()
     }
 
     /// Admit a workload mid-run (open-loop churn): builds its profiler

@@ -125,6 +125,93 @@ impl WorkloadStats {
     }
 }
 
+impl vulcan_json::Snapshot for WorkloadStats {
+    /// Every counter serializes, including the per-quantum ones: a
+    /// checkpoint is taken at a quantum boundary where the page queues
+    /// are drained, but the cumulative totals, the FTHR EMA pair
+    /// (`fthr`, `prev_h`) and the carried byte counters all feed the
+    /// next quantum's equations and reports.
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::{snap, Value};
+        let hint_vpns: Vec<u64> = self.hint_faulted_pages.iter().map(|&(v, _)| v.0).collect();
+        let hint_writes: Vec<Value> = self
+            .hint_faulted_pages
+            .iter()
+            .map(|&(_, w)| Value::Bool(w))
+            .collect();
+        let aborted: Vec<u64> = self.aborted_pages_q.iter().map(|v| v.0).collect();
+        snap::obj(vec![
+            ("ops_total", snap::u64_value(self.ops_total)),
+            ("ops_q", snap::u64_value(self.ops_q)),
+            ("op_latency_q", snap::u64_value(self.op_latency_q.0)),
+            ("fast_q", snap::u64_value(self.fast_q)),
+            ("slow_q", snap::u64_value(self.slow_q)),
+            ("read_bytes_q", snap::u64_value(self.read_bytes_q)),
+            ("write_bytes_q", snap::u64_value(self.write_bytes_q)),
+            ("active_q", snap::u64_value(self.active_q.0)),
+            ("mem_time_q", snap::u64_value(self.mem_time_q.0)),
+            ("fthr", snap::f64_value(self.fthr)),
+            ("prev_h", snap::f64_value(self.prev_h)),
+            ("hint_faults", snap::u64_value(self.hint_faults)),
+            ("major_faults", snap::u64_value(self.major_faults)),
+            (
+                "replication_faults",
+                snap::u64_value(self.replication_faults),
+            ),
+            ("daemon_cycles", snap::u64_value(self.daemon_cycles.0)),
+            ("stall_cycles", snap::u64_value(self.stall_cycles.0)),
+            ("stall_q", snap::u64_value(self.stall_q.0)),
+            ("fast_used", snap::u64_value(self.fast_used)),
+            ("hint_vpns", snap::u64_array(&hint_vpns)),
+            ("hint_writes", Value::Array(hint_writes)),
+            ("aborted_pages_q", snap::u64_array(&aborted)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::{snap, Value};
+        let hint_vpns = snap::array_u64(snap::field(v, "hint_vpns")?)?;
+        let hint_writes = snap::field_array(v, "hint_writes")?;
+        if hint_writes.len() != hint_vpns.len() {
+            return Err("hint-fault arrays have mismatched lengths".to_string());
+        }
+        let hint_faulted_pages = hint_vpns
+            .into_iter()
+            .zip(hint_writes)
+            .map(|(vpn, w)| match w {
+                Value::Bool(b) => Ok((Vpn(vpn), *b)),
+                other => Err(format!("hint write flag is not a bool: {other:?}")),
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let aborted_pages_q = snap::array_u64(snap::field(v, "aborted_pages_q")?)?
+            .into_iter()
+            .map(Vpn)
+            .collect();
+        Ok(WorkloadStats {
+            ops_total: snap::field_u64(v, "ops_total")?,
+            ops_q: snap::field_u64(v, "ops_q")?,
+            op_latency_q: Nanos(snap::field_u64(v, "op_latency_q")?),
+            fast_q: snap::field_u64(v, "fast_q")?,
+            slow_q: snap::field_u64(v, "slow_q")?,
+            read_bytes_q: snap::field_u64(v, "read_bytes_q")?,
+            write_bytes_q: snap::field_u64(v, "write_bytes_q")?,
+            active_q: Nanos(snap::field_u64(v, "active_q")?),
+            mem_time_q: Nanos(snap::field_u64(v, "mem_time_q")?),
+            fthr: snap::field_f64(v, "fthr")?,
+            prev_h: snap::field_f64(v, "prev_h")?,
+            hint_faults: snap::field_u64(v, "hint_faults")?,
+            major_faults: snap::field_u64(v, "major_faults")?,
+            replication_faults: snap::field_u64(v, "replication_faults")?,
+            daemon_cycles: Cycles(snap::field_u64(v, "daemon_cycles")?),
+            stall_cycles: Cycles(snap::field_u64(v, "stall_cycles")?),
+            stall_q: Cycles(snap::field_u64(v, "stall_q")?),
+            fast_used: snap::field_u64(v, "fast_used")?,
+            hint_faulted_pages,
+            aborted_pages_q,
+        })
+    }
+}
+
 /// One co-located workload's live state.
 pub struct WorkloadState {
     /// The workload's specification.
@@ -179,6 +266,86 @@ impl WorkloadState {
     /// Effective fast-tier quota (unlimited when unset).
     pub fn effective_quota(&self) -> u64 {
         self.quota.unwrap_or(u64::MAX)
+    }
+
+    /// Serialize this workload's complete live state for checkpointing.
+    /// The generator's *config* travels inside the spec; only its mutable
+    /// cursor state is captured separately — restore rebuilds the
+    /// generator from the spec and replays that state into it.
+    pub fn checkpoint_value(&self) -> Result<vulcan_json::Value, String> {
+        use vulcan_json::{snap, Snapshot as _, Value};
+        let rngs: Vec<Value> = self
+            .rngs
+            .iter()
+            .map(|r| snap::u64_array(&r.state()))
+            .collect();
+        Ok(snap::obj(vec![
+            ("spec", self.spec.snapshot()),
+            ("process", self.process.snapshot()),
+            ("profiler", self.profiler.checkpoint_state()?),
+            ("shadows", self.shadows.snapshot()),
+            ("async_migrator", self.async_migrator.snapshot()),
+            (
+                "quota",
+                match self.quota {
+                    Some(q) => snap::u64_value(q),
+                    None => Value::Null,
+                },
+            ),
+            ("async_mech", self.async_mech.snapshot()),
+            ("stats", self.stats.snapshot()),
+            ("started", Value::Bool(self.started)),
+            ("departed", Value::Bool(self.departed)),
+            ("gen", self.gen.snapshot_state()),
+            ("rngs", Value::Array(rngs)),
+            ("pending_stall", snap::u64_value(self.pending_stall.0)),
+        ]))
+    }
+
+    /// Rebuild a workload from [`checkpoint_value`](Self::checkpoint_value)
+    /// output: the generator is constructed fresh from the restored spec,
+    /// then its cursor state and per-thread RNG streams are replayed in.
+    pub fn from_checkpoint(v: &vulcan_json::Value) -> Result<WorkloadState, String> {
+        use rand::rngs::SmallRng;
+        use vulcan_json::{snap, Snapshot as _, Value};
+        let spec = WorkloadSpec::restore(snap::field(v, "spec")?)?;
+        let mut gen = spec.build();
+        gen.restore_state(snap::field(v, "gen")?)?;
+        let mut rngs = Vec::new();
+        for r in snap::field_array(v, "rngs")? {
+            let words = snap::array_u64(r)?;
+            let state: [u64; 4] = words
+                .try_into()
+                .map_err(|w: Vec<u64>| format!("rng state needs 4 words, got {}", w.len()))?;
+            rngs.push(SmallRng::from_state(state));
+        }
+        if rngs.len() != spec.n_threads {
+            return Err(format!(
+                "workload {}: {} rng streams for {} threads",
+                spec.name,
+                rngs.len(),
+                spec.n_threads
+            ));
+        }
+        let quota = match snap::field(v, "quota")? {
+            Value::Null => None,
+            q => Some(snap::value_u64(q)?),
+        };
+        Ok(WorkloadState {
+            process: vulcan_vm::Process::restore(snap::field(v, "process")?)?,
+            profiler: AnyProfiler::from_checkpoint(snap::field(v, "profiler")?)?,
+            shadows: ShadowRegistry::restore(snap::field(v, "shadows")?)?,
+            async_migrator: AsyncMigrator::restore(snap::field(v, "async_migrator")?)?,
+            quota,
+            async_mech: MechanismConfig::restore(snap::field(v, "async_mech")?)?,
+            stats: WorkloadStats::restore(snap::field(v, "stats")?)?,
+            started: snap::field_bool(v, "started")?,
+            departed: snap::field_bool(v, "departed")?,
+            gen,
+            rngs,
+            pending_stall: Nanos(snap::field_u64(v, "pending_stall")?),
+            spec,
+        })
     }
 }
 
@@ -799,6 +966,85 @@ impl SystemState {
             self.machine.free(f);
         }
         count
+    }
+
+    /// Serialize the complete system state at a quantum boundary.
+    /// Telemetry is deliberately NOT serialized: recording never affects
+    /// simulation results, and a restored state always starts with a
+    /// disabled sink (the runner re-installs the configured handle).
+    pub fn checkpoint_value(&self) -> Result<vulcan_json::Value, String> {
+        use vulcan_json::{snap, Snapshot as _, Value};
+        let workloads = self
+            .workloads
+            .iter()
+            .map(WorkloadState::checkpoint_value)
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(snap::obj(vec![
+            ("machine", self.machine.snapshot()),
+            ("tlbs", self.tlbs.snapshot()),
+            ("workloads", Value::Array(workloads)),
+            ("now", snap::u64_value(self.now.0)),
+            ("quantum_index", snap::u64_value(self.quantum_index)),
+            ("quantum_active", snap::u64_value(self.quantum_active.0)),
+            ("migrations_q", self.migrations_q.snapshot()),
+            ("replication", Value::Bool(self.replication)),
+            ("base_seed", snap::u64_value(self.base_seed)),
+            (
+                "next_sim_tid",
+                snap::u64_value(u64::from(self.next_sim_tid)),
+            ),
+            ("next_core", snap::u64_value(u64::from(self.next_core))),
+        ]))
+    }
+
+    /// Rebuild a system state from [`checkpoint_value`](Self::checkpoint_value)
+    /// output. The spawn bookkeeping (`base_seed`, `next_sim_tid`,
+    /// `next_core`) round-trips so a tenant admitted after the restore
+    /// follows the exact same recipe as in the original run.
+    pub fn from_checkpoint(v: &vulcan_json::Value) -> Result<SystemState, String> {
+        use vulcan_json::{snap, Snapshot as _};
+        let workloads = snap::field_array(v, "workloads")?
+            .iter()
+            .map(WorkloadState::from_checkpoint)
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(SystemState {
+            machine: Machine::restore(snap::field(v, "machine")?)?,
+            tlbs: TlbArray::restore(snap::field(v, "tlbs")?)?,
+            workloads,
+            now: Nanos(snap::field_u64(v, "now")?),
+            quantum_index: snap::field_u64(v, "quantum_index")?,
+            quantum_active: Nanos(snap::field_u64(v, "quantum_active")?),
+            telemetry: Telemetry::disabled(),
+            migrations_q: MigrationCounts::restore(snap::field(v, "migrations_q")?)?,
+            replication: snap::field_bool(v, "replication")?,
+            base_seed: snap::field_u64(v, "base_seed")?,
+            next_sim_tid: u32::try_from(snap::field_u64(v, "next_sim_tid")?)
+                .map_err(|_| "next_sim_tid out of range".to_string())?,
+            next_core: u16::try_from(snap::field_u64(v, "next_core")?)
+                .map_err(|_| "next_core out of range".to_string())?,
+        })
+    }
+}
+
+impl vulcan_json::Snapshot for MigrationCounts {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("promoted", snap::u64_value(self.promoted)),
+            ("demoted", snap::u64_value(self.demoted)),
+            ("async_committed", snap::u64_value(self.async_committed)),
+            ("async_aborted", snap::u64_value(self.async_aborted)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        Ok(MigrationCounts {
+            promoted: snap::field_u64(v, "promoted")?,
+            demoted: snap::field_u64(v, "demoted")?,
+            async_committed: snap::field_u64(v, "async_committed")?,
+            async_aborted: snap::field_u64(v, "async_aborted")?,
+        })
     }
 }
 

@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 use vulcan_profile::PebsProfiler;
+use vulcan_runtime::checkpoint::parse_checkpoint;
 use vulcan_runtime::{SimConfig, SimRunner, StaticPlacement, TieringPolicy, UniformPartition};
 use vulcan_sim::{MachineSpec, Nanos, TierKind};
 use vulcan_workloads::{microbench, MicroConfig, WorkloadSpec};
@@ -125,6 +126,74 @@ proptest! {
             prop_assert_eq!(x.mean_fthr, y.mean_fthr);
             prop_assert_eq!(x.mean_latency_ns, y.mean_latency_ns);
         }
+    }
+
+    /// ISSUE 10: checkpoint → restore → run is indistinguishable from the
+    /// straight run, for arbitrary (policy × tier shape × seed × quantum)
+    /// tuples — and re-checkpointing a just-restored runner reproduces
+    /// the checkpoint byte-for-byte (idempotency).
+    #[test]
+    fn checkpoint_restore_replay_identity(
+        sizes in arb_sizes(),
+        seed in 0u64..1_000,
+        uniform in any::<bool>(),
+        three_tier in any::<bool>(),
+        restore_at in 0u64..6,
+        shards in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        let total = 7u64;
+        let machine = if three_tier {
+            MachineSpec::small3(192, 2_048, 4_096, 8)
+        } else {
+            MachineSpec::small(192, 4_096, 8)
+        };
+        let policy = move || -> Box<dyn TieringPolicy> {
+            if uniform {
+                Box::new(UniformPartition)
+            } else {
+                Box::new(StaticPlacement)
+            }
+        };
+        let mk = || {
+            SimRunner::builder()
+                .machine(machine.clone())
+                .workloads(mix(&sizes, false))
+                .profiler_factory(|_| Box::new(PebsProfiler::new(8)))
+                .policy(policy())
+                .config(SimConfig {
+                    quantum_active: Nanos::micros(200),
+                    n_quanta: total,
+                    seed,
+                    shards,
+                    ..Default::default()
+                })
+                .build()
+        };
+        let mut straight = mk();
+        let mut straight_out = Vec::new();
+        for _ in 0..total {
+            straight_out.push(straight.run_quantum());
+        }
+        let mut r = mk();
+        let mut resumed_out = Vec::new();
+        for q in 0..total {
+            resumed_out.push(r.run_quantum());
+            if q == restore_at {
+                let text = r.checkpoint().expect("checkpoint").to_json();
+                let v = parse_checkpoint(&text).expect("reparse");
+                r = SimRunner::restore(&v, policy(), |_| Box::new(PebsProfiler::new(8)))
+                    .expect("restore");
+                // Idempotency: checkpoint(restore(c)) == c.
+                let again = r.checkpoint().expect("re-checkpoint").to_json();
+                prop_assert_eq!(again, text, "checkpoint not idempotent under restore");
+            }
+        }
+        prop_assert_eq!(resumed_out, straight_out, "replay diverged");
+        prop_assert_eq!(
+            r.checkpoint().expect("final checkpoint").to_json(),
+            straight.checkpoint().expect("final checkpoint").to_json(),
+            "final state diverged"
+        );
     }
 
     /// Different seeds perturb the run (the trials in Figure 10 are

@@ -50,6 +50,24 @@ impl BandwidthTracker {
         }
     }
 
+    /// Swap the per-tier peak bandwidths (what-if forks: 2× CXL, thinned
+    /// NVM) while keeping the in-quantum byte counters and the inflation
+    /// factors — the fork continues the run, it does not restart it.
+    /// Same validation as [`new`](BandwidthTracker::new).
+    pub fn set_peaks(&mut self, chain_peaks: &[f64]) {
+        assert!(
+            !chain_peaks.is_empty() && chain_peaks.len() <= MAX_TIERS,
+            "chain of {} tiers",
+            chain_peaks.len()
+        );
+        let mut peak = [1.0; MAX_TIERS];
+        for (slot, &p) in peak.iter_mut().zip(chain_peaks) {
+            assert!(p > 0.0, "tier peak bandwidth must be positive");
+            *slot = p;
+        }
+        self.peak = peak;
+    }
+
     /// Record `bytes` moved to/from `tier` (demand accesses and migration
     /// copies both count — migration traffic steals workload bandwidth).
     pub fn record(&mut self, tier: TierKind, bytes: u64) {
@@ -98,6 +116,35 @@ impl BandwidthTracker {
     /// Apply the inflation factor to an unloaded latency.
     pub fn inflate(&self, tier: TierKind, unloaded: Nanos) -> Nanos {
         Nanos((unloaded.0 as f64 * self.inflation(tier)).round() as u64)
+    }
+}
+
+impl vulcan_json::Snapshot for BandwidthTracker {
+    /// Inflation factors derive from the *previous* quantum, so they are
+    /// live state across a quantum boundary (ISSUE 10 satellite: the
+    /// cached loaded latencies in [`crate::Machine`] depend on them).
+    /// Peaks are spec-derived but tiny, so they travel too; bytes are
+    /// zero at a boundary yet serialized for mid-quantum generality.
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("peak", snap::f64_array(&self.peak)),
+            ("bytes", snap::u64_array(&self.bytes)),
+            ("inflation", snap::f64_array(&self.inflation)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        fn arr<T: Copy, const N: usize>(xs: Vec<T>, key: &str) -> Result<[T; N], String> {
+            <[T; N]>::try_from(xs.as_slice())
+                .map_err(|_| format!("\"{key}\" needs {N} entries, got {}", xs.len()))
+        }
+        Ok(BandwidthTracker {
+            peak: arr(snap::array_f64(snap::field(v, "peak")?)?, "peak")?,
+            bytes: arr(snap::array_u64(snap::field(v, "bytes")?)?, "bytes")?,
+            inflation: arr(snap::array_f64(snap::field(v, "inflation")?)?, "inflation")?,
+        })
     }
 }
 

@@ -71,6 +71,35 @@ impl AccessCosts {
     }
 }
 
+impl vulcan_json::Snapshot for AccessCosts {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("tlb_hit", snap::u64_value(self.tlb_hit.0)),
+            ("walk", snap::u64_value(self.walk.0)),
+            ("walk_cold_level", snap::u64_value(self.walk_cold_level.0)),
+            ("fast", snap::u64_value(self.fast.0)),
+            ("slow", snap::u64_value(self.slow.0)),
+            ("nvm", snap::u64_value(self.nvm.0)),
+            ("minor_fault", snap::u64_value(self.minor_fault.0)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let ns = |key| snap::field_u64(v, key).map(Nanos);
+        Ok(AccessCosts {
+            tlb_hit: ns("tlb_hit")?,
+            walk: ns("walk")?,
+            walk_cold_level: ns("walk_cold_level")?,
+            fast: ns("fast")?,
+            slow: ns("slow")?,
+            nvm: ns("nvm")?,
+            minor_fault: ns("minor_fault")?,
+        })
+    }
+}
+
 /// Costs of the five-phase page-migration mechanism (§2.1):
 /// ① kernel trapping, ② PTE locking and unmapping, ③ TLB shootdown,
 /// ④ content copy, ⑤ PTE remapping — plus Linux's migration
@@ -145,6 +174,58 @@ impl Default for MigrationCosts {
             sd_batch_per_page_target: Cycles(90),
             sd_batch_contention_log: 0.35,
         }
+    }
+}
+
+impl vulcan_json::Snapshot for MigrationCosts {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("trap", snap::u64_value(self.trap.0)),
+            ("unmap", snap::u64_value(self.unmap.0)),
+            ("remap", snap::u64_value(self.remap.0)),
+            ("copy_single", snap::u64_value(self.copy_single.0)),
+            ("copy_batch_setup", snap::u64_value(self.copy_batch_setup.0)),
+            ("copy_batch_page", snap::u64_value(self.copy_batch_page.0)),
+            ("prep_base", snap::u64_value(self.prep_base.0)),
+            ("prep_per_cpu", snap::u64_value(self.prep_per_cpu.0)),
+            ("prep_contention", snap::u64_value(self.prep_contention.0)),
+            ("prep_optimized", snap::u64_value(self.prep_optimized.0)),
+            ("sd_cold_base", snap::u64_value(self.sd_cold_base.0)),
+            (
+                "sd_cold_per_target",
+                snap::u64_value(self.sd_cold_per_target.0),
+            ),
+            (
+                "sd_batch_per_page_target",
+                snap::u64_value(self.sd_batch_per_page_target.0),
+            ),
+            (
+                "sd_batch_contention_log",
+                snap::f64_value(self.sd_batch_contention_log),
+            ),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let cy = |key| snap::field_u64(v, key).map(Cycles);
+        Ok(MigrationCosts {
+            trap: cy("trap")?,
+            unmap: cy("unmap")?,
+            remap: cy("remap")?,
+            copy_single: cy("copy_single")?,
+            copy_batch_setup: cy("copy_batch_setup")?,
+            copy_batch_page: cy("copy_batch_page")?,
+            prep_base: cy("prep_base")?,
+            prep_per_cpu: cy("prep_per_cpu")?,
+            prep_contention: cy("prep_contention")?,
+            prep_optimized: cy("prep_optimized")?,
+            sd_cold_base: cy("sd_cold_base")?,
+            sd_cold_per_target: cy("sd_cold_per_target")?,
+            sd_batch_per_page_target: cy("sd_batch_per_page_target")?,
+            sd_batch_contention_log: snap::field_f64(v, "sd_batch_contention_log")?,
+        })
     }
 }
 

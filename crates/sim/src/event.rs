@@ -89,6 +89,46 @@ impl<E: Eq> EventQueue<E> {
         out
     }
 
+    /// Decompose into checkpoint parts: every pending entry as
+    /// `(at, seq, payload)` in firing order, plus the next sequence
+    /// number. The original seq values travel with the entries — they
+    /// are what keeps same-instant FIFO ordering stable across a
+    /// checkpoint/restore boundary.
+    pub fn parts(&self) -> (Vec<(Nanos, u64, &E)>, u64) {
+        let mut entries: Vec<(Nanos, u64, &E)> = self
+            .heap
+            .iter()
+            .map(|Reverse(s)| (s.at, s.seq, &s.payload))
+            .collect();
+        entries.sort_by_key(|&(at, seq, _)| (at, seq));
+        (entries, self.seq)
+    }
+
+    /// Rebuild a queue from [`parts`](EventQueue::parts) output.
+    ///
+    /// # Panics
+    /// Panics if any entry's seq is `>= next_seq` or duplicated — a
+    /// queue that could later mint a colliding sequence number would
+    /// silently scramble same-instant ordering.
+    pub fn from_parts(entries: Vec<(Nanos, u64, E)>, next_seq: u64) -> Self {
+        let mut seen: Vec<u64> = entries.iter().map(|&(_, s, _)| s).collect();
+        seen.sort_unstable();
+        seen.windows(2).for_each(|w| {
+            assert_ne!(w[0], w[1], "duplicate event seq {}", w[0]);
+        });
+        let heap = entries
+            .into_iter()
+            .map(|(at, seq, payload)| {
+                assert!(seq < next_seq, "event seq {seq} >= next_seq {next_seq}");
+                Reverse(Scheduled { at, seq, payload })
+            })
+            .collect();
+        EventQueue {
+            heap,
+            seq: next_seq,
+        }
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -158,6 +198,31 @@ mod tests {
             vec!["late-but-earlier", "compaction", "admission-review"],
             "time first, then FIFO among same-tick events, across pops"
         );
+    }
+
+    #[test]
+    fn parts_roundtrip_preserves_tie_order_across_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(10), "a");
+        q.schedule(Nanos(10), "b");
+        q.pop_due(Nanos(10)).unwrap(); // consume "a"; seq counter is now 2
+        q.schedule(Nanos(10), "c");
+        let (entries, next_seq) = q.parts();
+        let owned: Vec<_> = entries.into_iter().map(|(at, s, p)| (at, s, *p)).collect();
+        let mut back = EventQueue::from_parts(owned, next_seq);
+        back.schedule(Nanos(10), "d"); // must fire after b and c
+        let fired: Vec<&str> = back
+            .drain_due(Nanos(10))
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect();
+        assert_eq!(fired, vec!["b", "c", "d"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "event seq")]
+    fn from_parts_rejects_future_seq() {
+        let _ = EventQueue::from_parts(vec![(Nanos(1), 5u64, ())], 3);
     }
 
     #[test]

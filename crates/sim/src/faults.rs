@@ -184,6 +184,46 @@ impl FaultConfig {
     }
 }
 
+impl vulcan_json::Snapshot for FaultConfig {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("alloc_fast_rate", snap::f64_value(self.alloc_fast_rate)),
+            ("alloc_slow_rate", snap::f64_value(self.alloc_slow_rate)),
+            ("copy_fail_rate", snap::f64_value(self.copy_fail_rate)),
+            (
+                "shootdown_timeout_rate",
+                snap::f64_value(self.shootdown_timeout_rate),
+            ),
+            ("throttle_rate", snap::f64_value(self.throttle_rate)),
+            ("throttle_factor", snap::f64_value(self.throttle_factor)),
+            ("sample_drop_rate", snap::f64_value(self.sample_drop_rate)),
+            ("alloc_nvm_rate", snap::f64_value(self.alloc_nvm_rate)),
+            (
+                "max_shootdown_retries",
+                snap::u64_value(self.max_shootdown_retries as u64),
+            ),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let retries = snap::field_u64(v, "max_shootdown_retries")?;
+        Ok(FaultConfig {
+            alloc_fast_rate: snap::field_f64(v, "alloc_fast_rate")?,
+            alloc_slow_rate: snap::field_f64(v, "alloc_slow_rate")?,
+            copy_fail_rate: snap::field_f64(v, "copy_fail_rate")?,
+            shootdown_timeout_rate: snap::field_f64(v, "shootdown_timeout_rate")?,
+            throttle_rate: snap::field_f64(v, "throttle_rate")?,
+            throttle_factor: snap::field_f64(v, "throttle_factor")?,
+            sample_drop_rate: snap::field_f64(v, "sample_drop_rate")?,
+            alloc_nvm_rate: snap::field_f64(v, "alloc_nvm_rate")?,
+            max_shootdown_retries: u32::try_from(retries)
+                .map_err(|_| "max_shootdown_retries out of u32 range".to_string())?,
+        })
+    }
+}
+
 /// Running injection/recovery tallies, per site.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultStats {
@@ -342,9 +382,64 @@ impl FaultPlan {
     }
 }
 
+impl vulcan_json::Snapshot for FaultPlan {
+    /// Full live state: stream keys and per-site decision counters are
+    /// serialized verbatim so a restored plan continues its schedule at
+    /// exactly the next decision (ISSUE 10 satellite: per-site counters
+    /// are hidden state the round-trip oracle must preserve).
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::{snap, Value};
+        snap::obj(vec![
+            ("cfg", self.cfg.snapshot()),
+            ("streams", snap::u64_array(&self.streams)),
+            ("counters", snap::u64_array(&self.counters)),
+            ("injected", snap::u64_array(&self.stats.injected)),
+            ("recovered", snap::u64_array(&self.stats.recovered)),
+            ("enabled", Value::Bool(self.enabled)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let arr = |key| -> Result<[u64; N_FAULT_SITES], String> {
+            let xs = snap::array_u64(snap::field(v, key)?)?;
+            <[u64; N_FAULT_SITES]>::try_from(xs)
+                .map_err(|xs| format!("\"{key}\" needs {N_FAULT_SITES} entries, got {}", xs.len()))
+        };
+        let cfg = FaultConfig::restore(snap::field(v, "cfg")?)?;
+        cfg.validate();
+        Ok(FaultPlan {
+            cfg,
+            streams: arr("streams")?,
+            counters: arr("counters")?,
+            stats: FaultStats {
+                injected: arr("injected")?,
+                recovered: arr("recovered")?,
+            },
+            enabled: snap::field_bool(v, "enabled")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn restored_plan_continues_the_decision_stream() {
+        use vulcan_json::Snapshot;
+        let cfg = FaultConfig::single(FaultSite::CopyFail, 0.3);
+        let mut a = FaultPlan::new(7, cfg);
+        for _ in 0..123 {
+            a.copy_fails();
+        }
+        let text = a.snapshot().to_json();
+        let mut b = FaultPlan::restore(&vulcan_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(a.stats(), b.stats());
+        let sa: Vec<bool> = (0..200).map(|_| a.copy_fails()).collect();
+        let sb: Vec<bool> = (0..200).map(|_| b.copy_fails()).collect();
+        assert_eq!(sa, sb, "restored stream must continue, not restart");
+    }
 
     #[test]
     fn disabled_plan_never_injects_and_keeps_counters_idle() {

@@ -169,6 +169,48 @@ impl FrameAllocator {
     }
 }
 
+impl vulcan_json::Snapshot for FrameAllocator {
+    /// The free list is serialized *in stack order*: which frame the next
+    /// `alloc` hands out is behavioral, so the order must survive the
+    /// round trip verbatim. The allocation bitmap is its complement and
+    /// is rebuilt rather than stored.
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::{snap, Value};
+        let free: Vec<u64> = self.free.iter().map(|&i| i as u64).collect();
+        snap::obj(vec![
+            ("tier", Value::Str(self.tier.name().to_string())),
+            ("capacity", snap::u64_value(self.capacity as u64)),
+            ("free", snap::u64_array(&free)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let name = snap::field_str(v, "tier")?;
+        let tier = TierKind::from_name(name).ok_or_else(|| format!("unknown tier {name:?}"))?;
+        let capacity = u32::try_from(snap::field_u64(v, "capacity")?)
+            .map_err(|_| "allocator capacity out of u32 range".to_string())?;
+        let mut allocated = vec![true; capacity as usize];
+        let mut free = Vec::new();
+        for x in snap::array_u64(snap::field(v, "free")?)? {
+            let i = u32::try_from(x)
+                .ok()
+                .filter(|&i| i < capacity)
+                .ok_or_else(|| format!("free frame {x} out of range 0..{capacity}"))?;
+            if !std::mem::replace(&mut allocated[i as usize], false) {
+                return Err(format!("free frame {i} listed twice"));
+            }
+            free.push(i);
+        }
+        Ok(FrameAllocator {
+            tier,
+            capacity,
+            free,
+            allocated,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

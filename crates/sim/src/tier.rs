@@ -87,6 +87,13 @@ impl TierKind {
     }
 }
 
+impl TierKind {
+    /// Inverse of [`TierKind::name`] (checkpoint decoding).
+    pub fn from_name(name: &str) -> Option<TierKind> {
+        TierKind::ALL.into_iter().find(|t| t.name() == name)
+    }
+}
+
 impl TryFrom<usize> for TierKind {
     type Error = usize;
 
@@ -171,6 +178,36 @@ impl TierSpec {
     /// Time to stream-copy `bytes` at this tier's peak bandwidth.
     pub fn stream_time(&self, bytes: u64) -> Nanos {
         Nanos((bytes as f64 / self.bandwidth_bytes_per_ns).ceil() as u64)
+    }
+}
+
+impl vulcan_json::Snapshot for TierSpec {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::{snap, Value};
+        snap::obj(vec![
+            ("kind", Value::Str(self.kind.name().to_string())),
+            ("capacity_pages", snap::u64_value(self.capacity_pages)),
+            ("load_latency", snap::u64_value(self.load_latency.0)),
+            ("store_latency", snap::u64_value(self.store_latency.0)),
+            (
+                "bandwidth_bytes_per_ns",
+                snap::f64_value(self.bandwidth_bytes_per_ns),
+            ),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let name = snap::field_str(v, "kind")?;
+        let kind =
+            TierKind::from_name(name).ok_or_else(|| format!("unknown tier kind {name:?}"))?;
+        Ok(TierSpec {
+            kind,
+            capacity_pages: snap::field_u64(v, "capacity_pages")?,
+            load_latency: Nanos(snap::field_u64(v, "load_latency")?),
+            store_latency: Nanos(snap::field_u64(v, "store_latency")?),
+            bandwidth_bytes_per_ns: snap::field_f64(v, "bandwidth_bytes_per_ns")?,
+        })
     }
 }
 

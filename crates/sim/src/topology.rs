@@ -106,6 +106,43 @@ impl Topology {
     }
 }
 
+impl vulcan_json::Snapshot for Topology {
+    /// Dense thread order is preserved: `threads_on` and the pin tables
+    /// iterate it, so a restored topology must list threads in the same
+    /// order they were pinned.
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        let threads: Vec<u64> = self.threads.iter().map(|t| t.0 as u64).collect();
+        let pins: Vec<u64> = self.pins.iter().map(|c| c.0 as u64).collect();
+        snap::obj(vec![
+            ("n_cores", snap::u64_value(self.n_cores as u64)),
+            ("threads", snap::u64_array(&threads)),
+            ("pins", snap::u64_array(&pins)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let n_cores = u16::try_from(snap::field_u64(v, "n_cores")?)
+            .map_err(|_| "n_cores out of u16 range".to_string())?;
+        let threads = snap::array_u64(snap::field(v, "threads")?)?;
+        let pins = snap::array_u64(snap::field(v, "pins")?)?;
+        if threads.len() != pins.len() {
+            return Err("threads/pins length mismatch".into());
+        }
+        let mut topo = Topology::new(n_cores);
+        for (&t, &c) in threads.iter().zip(&pins) {
+            let t = u32::try_from(t).map_err(|_| "thread id out of u32 range".to_string())?;
+            let c = u16::try_from(c)
+                .ok()
+                .filter(|&c| c < n_cores)
+                .ok_or_else(|| format!("pin core {c} out of range 0..{n_cores}"))?;
+            topo.pin(SimThreadId(t), CoreId(c));
+        }
+        Ok(topo)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -77,6 +77,37 @@ impl Process {
     }
 }
 
+impl vulcan_json::Snapshot for Process {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        let threads: Vec<u64> = self.threads.iter().map(|t| t.0 as u64).collect();
+        snap::obj(vec![
+            ("asid", snap::u64_value(self.asid.0 as u64)),
+            ("space", self.space.snapshot()),
+            ("threads", snap::u64_array(&threads)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let asid = u16::try_from(snap::field_u64(v, "asid")?)
+            .map_err(|_| "asid out of u16 range".to_string())?;
+        let threads: Vec<SimThreadId> = snap::array_u64(snap::field(v, "threads")?)?
+            .into_iter()
+            .map(|t| {
+                u32::try_from(t)
+                    .map(SimThreadId)
+                    .map_err(|_| "thread id out of u32 range".to_string())
+            })
+            .collect::<Result<_, String>>()?;
+        Ok(Process {
+            asid: Asid(asid),
+            space: AddressSpace::restore(snap::field(v, "space")?)?,
+            threads,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +148,32 @@ mod tests {
             Some(vec![SimThreadId(10), SimThreadId(11)])
         );
         assert_eq!(p.caching_threads(Vpn(99)), None);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_keeps_threads_and_ownership() {
+        use vulcan_json::Snapshot;
+        let mut p = proc();
+        let t0 = p.spawn_thread(SimThreadId(10));
+        let t1 = p.spawn_thread(SimThreadId(11));
+        p.space.map(
+            Vpn(5),
+            FrameId {
+                tier: TierKind::Fast,
+                index: 2,
+            },
+            t0,
+        );
+        p.space.touch(Vpn(5), t0, true).unwrap();
+        p.space.touch(Vpn(5), t1, false).unwrap();
+        let back = Process::restore(&p.snapshot()).expect("restore");
+        assert_eq!(back.snapshot(), p.snapshot());
+        assert_eq!(back.asid, p.asid);
+        assert_eq!(back.n_threads(), 2);
+        assert_eq!(back.sim_thread(t1), SimThreadId(11));
+        assert_eq!(
+            back.caching_threads(Vpn(5)),
+            Some(vec![SimThreadId(10), SimThreadId(11)])
+        );
     }
 }

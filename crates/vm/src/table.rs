@@ -611,6 +611,153 @@ impl AddressSpace {
     }
 }
 
+/// Tagged slot encoding for checkpoints: `Empty` = 0, `Node(i)` = tag 1,
+/// `Leaf(i)` = tag 2, with the arena index in the low 32 bits. Arena
+/// indices are `u32`, so the tag never collides with an index.
+const SLOT_TAG_NODE: u64 = 1 << 32;
+const SLOT_TAG_LEAF: u64 = 2 << 32;
+
+fn slot_code(s: Slot) -> u64 {
+    match s {
+        Slot::Empty => 0,
+        Slot::Node(i) => SLOT_TAG_NODE | i as u64,
+        Slot::Leaf(i) => SLOT_TAG_LEAF | i as u64,
+    }
+}
+
+fn slot_decode(code: u64) -> Result<Slot, String> {
+    let idx = (code & 0xFFFF_FFFF) as u32;
+    match code & !0xFFFF_FFFF {
+        0 if code == 0 => Ok(Slot::Empty),
+        SLOT_TAG_NODE => Ok(Slot::Node(idx)),
+        SLOT_TAG_LEAF => Ok(Slot::Leaf(idx)),
+        _ => Err(format!("bad slot code {code:#x}")),
+    }
+}
+
+/// Sentinel for an absent `thread_roots` entry in checkpoints.
+const NO_ROOT: u64 = u64::MAX;
+
+impl vulcan_json::Snapshot for AddressSpace {
+    /// Serializes both arenas verbatim — slot graphs, leaf PTE words and
+    /// per-leaf mapped counts — in arena order, so restored arena indices
+    /// (and hence future arena allocations) are identical. The software
+    /// walk caches are deliberately **not** serialized: they are
+    /// memoization only (the `walk_cache_disabled_matches_enabled` test
+    /// proves behavioral equivalence), so restore rebuilds them empty and
+    /// they re-fill on first touch.
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::{snap, Value};
+        let nodes: Vec<Value> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let codes: Vec<u64> = n.slots.iter().map(|&s| slot_code(s)).collect();
+                snap::u64_array(&codes)
+            })
+            .collect();
+        let leaves: Vec<Value> = self
+            .leaves
+            .iter()
+            .map(|l| {
+                let ptes: Vec<u64> = l.ptes.iter().map(|p| p.0).collect();
+                snap::obj(vec![
+                    ("ptes", snap::u64_array(&ptes)),
+                    ("mapped", snap::u64_value(l.mapped as u64)),
+                ])
+            })
+            .collect();
+        let roots: Vec<u64> = self
+            .thread_roots
+            .iter()
+            .map(|r| r.map_or(NO_ROOT, |i| i as u64))
+            .collect();
+        let mapped: Vec<u64> = self.mapped.iter().copied().collect();
+        let huge: Vec<u64> = self.huge_bases.iter().copied().collect();
+        snap::obj(vec![
+            ("nodes", Value::Array(nodes)),
+            ("leaves", Value::Array(leaves)),
+            ("process_root", snap::u64_value(self.process_root as u64)),
+            ("thread_roots", snap::u64_array(&roots)),
+            ("replication", Value::Bool(self.replication)),
+            ("mapped", snap::u64_array(&mapped)),
+            ("huge_bases", snap::u64_array(&huge)),
+            ("walk_enabled", Value::Bool(self.walk_enabled)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let nodes: Vec<Node> = snap::field_array(v, "nodes")?
+            .iter()
+            .map(|nv| {
+                let codes = snap::array_u64(nv)?;
+                if codes.len() != FANOUT {
+                    return Err(format!("node needs {FANOUT} slots, got {}", codes.len()));
+                }
+                let slots: Result<Vec<Slot>, String> = codes.into_iter().map(slot_decode).collect();
+                Ok(Node {
+                    slots: slots?.into_boxed_slice(),
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let leaves: Vec<Leaf> = snap::field_array(v, "leaves")?
+            .iter()
+            .map(|lv| {
+                let ptes = snap::array_u64(snap::field(lv, "ptes")?)?;
+                if ptes.len() != FANOUT {
+                    return Err(format!("leaf needs {FANOUT} ptes, got {}", ptes.len()));
+                }
+                let mapped = u32::try_from(snap::field_u64(lv, "mapped")?)
+                    .map_err(|_| "leaf mapped count out of u32 range".to_string())?;
+                Ok(Leaf {
+                    ptes: ptes
+                        .into_iter()
+                        .map(Pte)
+                        .collect::<Vec<_>>()
+                        .into_boxed_slice(),
+                    mapped,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let process_root = u32::try_from(snap::field_u64(v, "process_root")?)
+            .ok()
+            .filter(|&r| (r as usize) < nodes.len())
+            .ok_or_else(|| "process_root out of arena range".to_string())?;
+        let thread_roots: Vec<Option<u32>> = snap::array_u64(snap::field(v, "thread_roots")?)?
+            .into_iter()
+            .map(|r| {
+                if r == NO_ROOT {
+                    Ok(None)
+                } else {
+                    u32::try_from(r)
+                        .ok()
+                        .filter(|&r| (r as usize) < nodes.len())
+                        .map(Some)
+                        .ok_or_else(|| format!("thread root {r} out of arena range"))
+                }
+            })
+            .collect::<Result<_, String>>()?;
+        let thread_walks = thread_roots.iter().map(|_| WalkCache::new()).collect();
+        Ok(AddressSpace {
+            nodes,
+            leaves,
+            process_root,
+            thread_roots,
+            replication: snap::field_bool(v, "replication")?,
+            mapped: snap::array_u64(snap::field(v, "mapped")?)?
+                .into_iter()
+                .collect(),
+            huge_bases: snap::array_u64(snap::field(v, "huge_bases")?)?
+                .into_iter()
+                .collect(),
+            walk: WalkCache::new(),
+            thread_walks,
+            walk_enabled: snap::field_bool(v, "walk_enabled")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -918,5 +1065,63 @@ mod tests {
         assert_eq!(after.frame(), Some(new_frame));
         assert_eq!(after.owner(), PageOwner::Private(LocalTid(2)));
         assert!(after.dirty());
+    }
+
+    /// ISSUE 10 satellite (walk-cache audit): a restored space starts
+    /// with **empty** walk caches, yet must behave identically to the
+    /// original whose caches are warm — and continue allocating arena
+    /// indices identically, so later snapshots still match.
+    #[test]
+    fn snapshot_roundtrip_with_cold_walk_caches_matches_warm_original() {
+        use vulcan_json::Snapshot;
+        let mut orig = space();
+        let ops: Vec<(u64, u8, bool)> = (0..600)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(2_654_435_761) >> 7;
+                (x % 1_500, (x % 3) as u8, x.is_multiple_of(5))
+            })
+            .collect();
+        for &(v, t, w) in &ops[..400] {
+            if !orig.is_mapped(Vpn(v)) {
+                orig.map(Vpn(v), frame(v as u32), LocalTid(t));
+            }
+            orig.touch(Vpn(v), LocalTid(t), w);
+        }
+        orig.mark_huge(Vpn(512 * 9));
+        let snap = orig.snapshot();
+        let mut back = AddressSpace::restore(&snap).expect("restore");
+        // Idempotency: re-snapshotting the restored space is bit-identical.
+        assert_eq!(back.snapshot(), snap);
+        // Continue both with the tail ops (cold caches vs warm).
+        for &(v, t, w) in &ops[400..] {
+            if !orig.is_mapped(Vpn(v)) {
+                orig.map(Vpn(v), frame(v as u32), LocalTid(t));
+                back.map(Vpn(v), frame(v as u32), LocalTid(t));
+            }
+            assert_eq!(
+                orig.touch(Vpn(v), LocalTid(t), w),
+                back.touch(Vpn(v), LocalTid(t), w),
+                "vpn {v} tid {t} write {w}"
+            );
+        }
+        for &(v, _, _) in &ops {
+            assert_eq!(orig.pte(Vpn(v)), back.pte(Vpn(v)));
+        }
+        assert_eq!(orig.inner_node_count(), back.inner_node_count());
+        assert_eq!(orig.leaf_count(), back.leaf_count());
+        assert_eq!(back.snapshot(), orig.snapshot(), "states stay in lockstep");
+    }
+
+    #[test]
+    fn restore_rejects_dangling_root() {
+        use vulcan_json::Snapshot;
+        let s = space();
+        let mut v = s.snapshot();
+        if let vulcan_json::Value::Object(m) = &mut v {
+            m.insert("process_root".to_string(), vulcan_json::snap::u64_value(99));
+        }
+        assert!(AddressSpace::restore(&v)
+            .unwrap_err()
+            .contains("process_root"));
     }
 }

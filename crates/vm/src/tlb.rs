@@ -428,6 +428,186 @@ impl TlbArray {
     }
 }
 
+impl vulcan_json::Snapshot for Tlb {
+    /// Way order within a set, per-way stamps and the global clock are
+    /// all behavioral (set scans run in insertion order; eviction picks
+    /// the minimum-stamp way), so every occupied way travels verbatim in
+    /// set-major order as parallel flat arrays. Hit/miss counters feed
+    /// FTHR telemetry and policy decisions, so they travel too.
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        let mut asids = Vec::new();
+        let mut vpns = Vec::new();
+        let mut tiers = Vec::new();
+        let mut frames = Vec::new();
+        let mut stamps = Vec::new();
+        for set in 0..self.n_sets {
+            let base = set * self.ways;
+            for w in &self.slots[base..base + self.lens[set] as usize] {
+                asids.push(w.asid.0 as u64);
+                vpns.push(w.vpn.0);
+                tiers.push(w.frame.tier.index() as u64);
+                frames.push(w.frame.index as u64);
+                stamps.push(w.stamp as u64);
+            }
+        }
+        let mut h_asids = Vec::new();
+        let mut h_bases = Vec::new();
+        let mut h_stamps = Vec::new();
+        for set in 0..self.huge_lens.len() {
+            let base = set * self.huge_ways;
+            for w in &self.huge_slots[base..base + self.huge_lens[set] as usize] {
+                h_asids.push(w.asid.0 as u64);
+                h_bases.push(w.base);
+                h_stamps.push(w.stamp as u64);
+            }
+        }
+        let lens: Vec<u64> = self.lens.iter().map(|&l| l as u64).collect();
+        let huge_lens: Vec<u64> = self.huge_lens.iter().map(|&l| l as u64).collect();
+        snap::obj(vec![
+            ("sets", snap::u64_value(self.n_sets as u64)),
+            ("ways", snap::u64_value(self.ways as u64)),
+            ("lens", snap::u64_array(&lens)),
+            ("way_asid", snap::u64_array(&asids)),
+            ("way_vpn", snap::u64_array(&vpns)),
+            ("way_tier", snap::u64_array(&tiers)),
+            ("way_frame", snap::u64_array(&frames)),
+            ("way_stamp", snap::u64_array(&stamps)),
+            ("huge_ways", snap::u64_value(self.huge_ways as u64)),
+            ("huge_lens", snap::u64_array(&huge_lens)),
+            ("huge_asid", snap::u64_array(&h_asids)),
+            ("huge_base", snap::u64_array(&h_bases)),
+            ("huge_stamp", snap::u64_array(&h_stamps)),
+            ("clock", snap::u64_value(self.clock as u64)),
+            ("hits", snap::u64_value(self.hits)),
+            ("misses", snap::u64_value(self.misses)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        use vulcan_sim::TierKind;
+        let n_sets = snap::field_usize(v, "sets")?;
+        let ways = snap::field_usize(v, "ways")?;
+        if !n_sets.is_power_of_two() {
+            return Err(format!("set count {n_sets} not a power of two"));
+        }
+        let huge_ways = snap::field_usize(v, "huge_ways")?;
+        let u32s = |key: &str| -> Result<Vec<u32>, String> {
+            snap::array_u64(snap::field(v, key)?)?
+                .into_iter()
+                .map(|x| u32::try_from(x).map_err(|_| format!("\"{key}\" entry out of u32 range")))
+                .collect()
+        };
+        let lens = u32s("lens")?;
+        let huge_lens = u32s("huge_lens")?;
+        if lens.len() != n_sets || huge_lens.len() != HUGE_SETS {
+            return Err("TLB set-length arrays have wrong shape".into());
+        }
+        let asids = u32s("way_asid")?;
+        let vpns = snap::array_u64(snap::field(v, "way_vpn")?)?;
+        let tiers = u32s("way_tier")?;
+        let frames = u32s("way_frame")?;
+        let stamps = u32s("way_stamp")?;
+        let occupied: usize = lens.iter().map(|&l| l as usize).sum();
+        if [
+            asids.len(),
+            vpns.len(),
+            tiers.len(),
+            frames.len(),
+            stamps.len(),
+        ]
+        .iter()
+        .any(|&n| n != occupied)
+        {
+            return Err("TLB way arrays disagree with set lengths".into());
+        }
+        let mut slots = vec![EMPTY_WAY; n_sets * ways];
+        let mut cursor = 0;
+        for (set, &len) in lens.iter().enumerate() {
+            if len as usize > ways {
+                return Err(format!("set {set} holds {len} ways, capacity {ways}"));
+            }
+            for i in 0..len as usize {
+                let tier = *TierKind::ALL
+                    .get(tiers[cursor] as usize)
+                    .ok_or_else(|| format!("bad tier index {}", tiers[cursor]))?;
+                slots[set * ways + i] = Way {
+                    asid: Asid(
+                        u16::try_from(asids[cursor])
+                            .map_err(|_| "asid out of u16 range".to_string())?,
+                    ),
+                    vpn: Vpn(vpns[cursor]),
+                    frame: FrameId {
+                        tier,
+                        index: frames[cursor],
+                    },
+                    stamp: stamps[cursor],
+                };
+                cursor += 1;
+            }
+        }
+        let h_asids = u32s("huge_asid")?;
+        let h_bases = snap::array_u64(snap::field(v, "huge_base")?)?;
+        let h_stamps = u32s("huge_stamp")?;
+        let h_occupied: usize = huge_lens.iter().map(|&l| l as usize).sum();
+        if h_asids.len() != h_occupied
+            || h_bases.len() != h_occupied
+            || h_stamps.len() != h_occupied
+        {
+            return Err("huge-TLB way arrays disagree with set lengths".into());
+        }
+        let mut huge_slots = vec![EMPTY_HUGE_WAY; HUGE_SETS * huge_ways];
+        let mut cursor = 0;
+        for (set, &len) in huge_lens.iter().enumerate() {
+            if len as usize > huge_ways {
+                return Err(format!(
+                    "huge set {set} holds {len} ways, capacity {huge_ways}"
+                ));
+            }
+            for i in 0..len as usize {
+                huge_slots[set * huge_ways + i] = HugeWay {
+                    asid: Asid(
+                        u16::try_from(h_asids[cursor])
+                            .map_err(|_| "asid out of u16 range".to_string())?,
+                    ),
+                    base: h_bases[cursor],
+                    stamp: h_stamps[cursor],
+                };
+                cursor += 1;
+            }
+        }
+        Ok(Tlb {
+            slots,
+            lens,
+            n_sets,
+            ways,
+            huge_slots,
+            huge_lens,
+            huge_ways,
+            clock: u32::try_from(snap::field_u64(v, "clock")?)
+                .map_err(|_| "clock out of u32 range".to_string())?,
+            hits: snap::field_u64(v, "hits")?,
+            misses: snap::field_u64(v, "misses")?,
+        })
+    }
+}
+
+impl vulcan_json::Snapshot for TlbArray {
+    fn snapshot(&self) -> vulcan_json::Value {
+        vulcan_json::Value::Array(self.tlbs.iter().map(|t| t.snapshot()).collect())
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| "TlbArray snapshot must be an array".to_string())?;
+        Ok(TlbArray {
+            tlbs: arr.iter().map(Tlb::restore).collect::<Result<_, _>>()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,5 +744,59 @@ mod tests {
         let held = arr.invalidate_on([CoreId(0), CoreId(1), CoreId(2)], Asid(1), Vpn(9));
         assert_eq!(held, 2);
         assert_eq!(arr.core(CoreId(0)).lookup(Asid(1), Vpn(9)), None);
+    }
+
+    /// A restored TLB must evict exactly the same victims as the
+    /// original: stamps, way order and the clock all travel, so the LRU
+    /// decisions downstream of the checkpoint are bit-identical.
+    #[test]
+    fn snapshot_roundtrip_preserves_lru_and_stats() {
+        use vulcan_json::Snapshot;
+        let mut orig = Tlb::new(4, 2); // tiny, to force evictions
+        let asid = Asid(3);
+        for i in 0..10u64 {
+            orig.insert(asid, Vpn(i), frame(i as u32));
+            orig.lookup(asid, Vpn(i / 2)); // mixed hits/misses, stamp churn
+        }
+        orig.insert_huge(asid, Vpn(512));
+        orig.lookup_huge(asid, Vpn(513));
+        let snap = orig.snapshot();
+        let mut back = Tlb::restore(&snap).expect("restore");
+        assert_eq!(back.snapshot(), snap, "idempotent");
+        assert_eq!(back.stats(), orig.stats());
+        assert_eq!(back.occupancy(), orig.occupancy());
+        // Continue both with the same pressure; evictions must agree.
+        for i in 10..40u64 {
+            assert_eq!(
+                orig.lookup(asid, Vpn(i % 13)),
+                back.lookup(asid, Vpn(i % 13)),
+                "lookup {i}"
+            );
+            orig.insert(asid, Vpn(i), frame(i as u32));
+            back.insert(asid, Vpn(i), frame(i as u32));
+        }
+        assert_eq!(back.snapshot(), orig.snapshot(), "lockstep after resume");
+    }
+
+    #[test]
+    fn restore_rejects_overfull_set() {
+        use vulcan_json::Snapshot;
+        let mut tlb = Tlb::new(2, 2);
+        tlb.insert(Asid(1), Vpn(0), frame(0));
+        let mut v = tlb.snapshot();
+        if let vulcan_json::Value::Object(m) = &mut v {
+            m.insert("ways", vulcan_json::snap::u64_value(0));
+        }
+        assert!(Tlb::restore(&v).is_err());
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        use vulcan_json::Snapshot;
+        let mut arr = TlbArray::new(3);
+        arr.core(CoreId(1)).insert(Asid(1), Vpn(42), frame(7));
+        let back = TlbArray::restore(&arr.snapshot()).expect("restore");
+        assert_eq!(back.snapshot(), arr.snapshot());
+        assert_eq!(back.len(), 3);
     }
 }

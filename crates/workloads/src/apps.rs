@@ -239,6 +239,35 @@ impl AccessGen for PageRank {
     fn fixed_op_nanos(&self) -> Nanos {
         self.cfg.fixed_op
     }
+
+    fn snapshot_state(&self) -> vulcan_json::Value {
+        vulcan_json::snap::obj(vec![
+            (
+                "edge_cursor",
+                vulcan_json::snap::u64_array(&self.edge_cursor),
+            ),
+            (
+                "next_cursor",
+                vulcan_json::snap::u64_array(&self.next_cursor),
+            ),
+        ])
+    }
+
+    fn restore_state(&mut self, v: &vulcan_json::Value) -> Result<(), String> {
+        use vulcan_json::snap;
+        let edge = snap::array_u64(snap::field(v, "edge_cursor")?)?;
+        let next = snap::array_u64(snap::field(v, "next_cursor")?)?;
+        if edge.len() != self.cfg.n_threads || next.len() != self.cfg.n_threads {
+            return Err(format!(
+                "pagerank cursor arrays sized for {} threads, generator has {}",
+                edge.len(),
+                self.cfg.n_threads
+            ));
+        }
+        self.edge_cursor = edge;
+        self.next_cursor = next;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -324,6 +353,120 @@ impl AccessGen for Sweep {
 
     fn fixed_op_nanos(&self) -> Nanos {
         self.cfg.fixed_op
+    }
+
+    fn snapshot_state(&self) -> vulcan_json::Value {
+        vulcan_json::snap::obj(vec![("cursor", vulcan_json::snap::u64_array(&self.cursor))])
+    }
+
+    fn restore_state(&mut self, v: &vulcan_json::Value) -> Result<(), String> {
+        use vulcan_json::snap;
+        let cursor = snap::array_u64(snap::field(v, "cursor")?)?;
+        if cursor.len() != self.cfg.n_threads {
+            return Err(format!(
+                "sweep cursor array sized for {} threads, generator has {}",
+                cursor.len(),
+                self.cfg.n_threads
+            ));
+        }
+        self.cursor = cursor;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config serialization: exact field inventories with bit-exact floats, so
+// a checkpointed spec rebuilds byte-identical generators.
+
+impl vulcan_json::Snapshot for KvConfig {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("rss_pages", snap::u64_value(self.rss_pages)),
+            ("get_ratio", snap::f64_value(self.get_ratio)),
+            ("hot_fraction", snap::f64_value(self.hot_fraction)),
+            ("hot_access_prob", snap::f64_value(self.hot_access_prob)),
+            ("index_fraction", snap::f64_value(self.index_fraction)),
+            (
+                "index_accesses",
+                snap::u64_value(self.index_accesses as u64),
+            ),
+            (
+                "value_accesses",
+                snap::u64_value(self.value_accesses as u64),
+            ),
+            ("value_span", snap::u64_value(self.value_span)),
+            ("fixed_op", snap::u64_value(self.fixed_op.0)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        Ok(KvConfig {
+            rss_pages: snap::field_u64(v, "rss_pages")?,
+            get_ratio: snap::field_f64(v, "get_ratio")?,
+            hot_fraction: snap::field_f64(v, "hot_fraction")?,
+            hot_access_prob: snap::field_f64(v, "hot_access_prob")?,
+            index_fraction: snap::field_f64(v, "index_fraction")?,
+            index_accesses: snap::field_usize(v, "index_accesses")?,
+            value_accesses: snap::field_usize(v, "value_accesses")?,
+            value_span: snap::field_u64(v, "value_span")?,
+            fixed_op: Nanos(snap::field_u64(v, "fixed_op")?),
+        })
+    }
+}
+
+impl vulcan_json::Snapshot for PrConfig {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("rss_pages", snap::u64_value(self.rss_pages)),
+            ("n_threads", snap::u64_value(self.n_threads as u64)),
+            ("rank_fraction", snap::f64_value(self.rank_fraction)),
+            ("edge_reads", snap::u64_value(self.edge_reads as u64)),
+            ("rank_reads", snap::u64_value(self.rank_reads as u64)),
+            ("rank_skew", snap::f64_value(self.rank_skew)),
+            ("fixed_op", snap::u64_value(self.fixed_op.0)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        Ok(PrConfig {
+            rss_pages: snap::field_u64(v, "rss_pages")?,
+            n_threads: snap::field_usize(v, "n_threads")?,
+            rank_fraction: snap::field_f64(v, "rank_fraction")?,
+            edge_reads: snap::field_usize(v, "edge_reads")?,
+            rank_reads: snap::field_usize(v, "rank_reads")?,
+            rank_skew: snap::field_f64(v, "rank_skew")?,
+            fixed_op: Nanos(snap::field_u64(v, "fixed_op")?),
+        })
+    }
+}
+
+impl vulcan_json::Snapshot for SweepConfig {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("rss_pages", snap::u64_value(self.rss_pages)),
+            ("n_threads", snap::u64_value(self.n_threads as u64)),
+            ("model_fraction", snap::f64_value(self.model_fraction)),
+            ("sweep_reads", snap::u64_value(self.sweep_reads as u64)),
+            ("model_write_prob", snap::f64_value(self.model_write_prob)),
+            ("fixed_op", snap::u64_value(self.fixed_op.0)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        Ok(SweepConfig {
+            rss_pages: snap::field_u64(v, "rss_pages")?,
+            n_threads: snap::field_usize(v, "n_threads")?,
+            model_fraction: snap::field_f64(v, "model_fraction")?,
+            sweep_reads: snap::field_usize(v, "sweep_reads")?,
+            model_write_prob: snap::field_f64(v, "model_write_prob")?,
+            fixed_op: Nanos(snap::field_u64(v, "fixed_op")?),
+        })
     }
 }
 

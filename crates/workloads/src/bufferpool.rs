@@ -189,6 +189,88 @@ impl AccessGen for BufferPool {
     fn fixed_op_nanos(&self) -> Nanos {
         self.cfg.fixed_op
     }
+
+    fn snapshot_state(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        let phases: Vec<u64> = self
+            .phase
+            .iter()
+            .map(|p| match p {
+                Phase::Scan => 0,
+                Phase::Lookup => 1,
+            })
+            .collect();
+        snap::obj(vec![
+            ("phase_op", snap::u64_array(&self.phase_op)),
+            ("phase", snap::u64_array(&phases)),
+            ("scan_cursor", snap::u64_array(&self.scan_cursor)),
+            ("cycles", snap::u64_array(&self.cycles)),
+        ])
+    }
+
+    fn restore_state(&mut self, v: &vulcan_json::Value) -> Result<(), String> {
+        use vulcan_json::snap;
+        let phase_op = snap::array_u64(snap::field(v, "phase_op")?)?;
+        let phases = snap::array_u64(snap::field(v, "phase")?)?;
+        let scan_cursor = snap::array_u64(snap::field(v, "scan_cursor")?)?;
+        let cycles = snap::array_u64(snap::field(v, "cycles")?)?;
+        let n = self.cfg.n_threads;
+        if phase_op.len() != n || phases.len() != n || scan_cursor.len() != n || cycles.len() != n {
+            return Err("buffer-pool state arrays do not match thread count".to_string());
+        }
+        if phase_op.iter().any(|&c| c >= self.cfg.phase_ops) {
+            return Err("buffer-pool phase_op exceeds phase_ops".to_string());
+        }
+        let mut phase = Vec::with_capacity(n);
+        for &p in &phases {
+            phase.push(match p {
+                0 => Phase::Scan,
+                1 => Phase::Lookup,
+                other => return Err(format!("unknown buffer-pool phase code {other}")),
+            });
+        }
+        self.phase_op = phase_op;
+        self.phase = phase;
+        self.scan_cursor = scan_cursor;
+        self.cycles = cycles;
+        Ok(())
+    }
+}
+
+impl vulcan_json::Snapshot for BufferPoolConfig {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("rss_pages", snap::u64_value(self.rss_pages)),
+            ("n_threads", snap::u64_value(self.n_threads as u64)),
+            ("meta_fraction", snap::f64_value(self.meta_fraction)),
+            ("phase_ops", snap::u64_value(self.phase_ops)),
+            ("scan_reads", snap::u64_value(self.scan_reads as u64)),
+            ("lookup_reads", snap::u64_value(self.lookup_reads as u64)),
+            ("hot_fraction", snap::f64_value(self.hot_fraction)),
+            ("lookup_skew", snap::f64_value(self.lookup_skew)),
+            ("shift_fraction", snap::f64_value(self.shift_fraction)),
+            ("write_prob", snap::f64_value(self.write_prob)),
+            ("fixed_op", snap::u64_value(self.fixed_op.0)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        Ok(BufferPoolConfig {
+            rss_pages: snap::field_u64(v, "rss_pages")?,
+            n_threads: snap::field_usize(v, "n_threads")?,
+            meta_fraction: snap::field_f64(v, "meta_fraction")?,
+            phase_ops: snap::field_u64(v, "phase_ops")?,
+            scan_reads: snap::field_usize(v, "scan_reads")?,
+            lookup_reads: snap::field_usize(v, "lookup_reads")?,
+            hot_fraction: snap::field_f64(v, "hot_fraction")?,
+            lookup_skew: snap::field_f64(v, "lookup_skew")?,
+            shift_fraction: snap::field_f64(v, "shift_fraction")?,
+            write_prob: snap::field_f64(v, "write_prob")?,
+            fixed_op: Nanos(snap::field_u64(v, "fixed_op")?),
+        })
+    }
 }
 
 #[cfg(test)]

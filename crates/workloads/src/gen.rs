@@ -149,6 +149,21 @@ pub trait AccessGen: Send {
     fn rollback_ops(&mut self, _tid: usize, _n: usize) {
         debug_assert!(!self.batchable(), "batchable generators must roll back");
     }
+
+    /// Serialize the generator's *mutable* state — cursors, phase
+    /// counters, op counts — for checkpointing. Configuration is not
+    /// included: a restore rebuilds the generator from its
+    /// [`WorkloadSpec`](crate::WorkloadSpec) and then replays this state
+    /// into it. Stateless generators return an empty object.
+    fn snapshot_state(&self) -> vulcan_json::Value {
+        vulcan_json::snap::obj(vec![])
+    }
+
+    /// Restore state captured by [`snapshot_state`](Self::snapshot_state)
+    /// into a freshly built generator of the same configuration.
+    fn restore_state(&mut self, _v: &vulcan_json::Value) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// Split a region of `len` pages into `n` contiguous per-thread shards;

@@ -272,6 +272,46 @@ impl AccessGen for Microbench {
         // rollback is a subtraction; the caller restores the RNG.
         self.ops -= n as u64;
     }
+
+    fn snapshot_state(&self) -> vulcan_json::Value {
+        vulcan_json::snap::obj(vec![("ops", vulcan_json::snap::u64_value(self.ops))])
+    }
+
+    fn restore_state(&mut self, v: &vulcan_json::Value) -> Result<(), String> {
+        self.ops = vulcan_json::snap::field_u64(v, "ops")?;
+        Ok(())
+    }
+}
+
+impl vulcan_json::Snapshot for MicroConfig {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::snap;
+        snap::obj(vec![
+            ("rss_pages", snap::u64_value(self.rss_pages)),
+            ("wss_pages", snap::u64_value(self.wss_pages)),
+            ("skew", snap::f64_value(self.skew)),
+            ("read_ratio", snap::f64_value(self.read_ratio)),
+            (
+                "accesses_per_op",
+                snap::u64_value(self.accesses_per_op as u64),
+            ),
+            ("wss_drift", snap::u64_value(self.wss_drift)),
+            ("fixed_op", snap::u64_value(self.fixed_op.0)),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        Ok(MicroConfig {
+            rss_pages: snap::field_u64(v, "rss_pages")?,
+            wss_pages: snap::field_u64(v, "wss_pages")?,
+            skew: snap::field_f64(v, "skew")?,
+            read_ratio: snap::field_f64(v, "read_ratio")?,
+            accesses_per_op: snap::field_usize(v, "accesses_per_op")?,
+            wss_drift: snap::field_u64(v, "wss_drift")?,
+            fixed_op: Nanos(snap::field_u64(v, "fixed_op")?),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -127,6 +127,97 @@ impl WorkloadSpec {
     }
 }
 
+impl vulcan_json::Snapshot for WorkloadKind {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::{snap, Value};
+        let (tag, cfg) = match self {
+            WorkloadKind::Kv(c) => ("kv", c.snapshot()),
+            WorkloadKind::PageRank(c) => ("pagerank", c.snapshot()),
+            WorkloadKind::Sweep(c) => ("sweep", c.snapshot()),
+            WorkloadKind::Micro(c) => ("micro", c.snapshot()),
+            WorkloadKind::BufferPool(c) => ("bufferpool", c.snapshot()),
+            WorkloadKind::Replay(t) => ("replay", t.to_value()),
+        };
+        snap::obj(vec![("kind", Value::Str(tag.to_string())), ("config", cfg)])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::snap;
+        let cfg = snap::field(v, "config")?;
+        Ok(match snap::field_str(v, "kind")? {
+            "kv" => WorkloadKind::Kv(KvConfig::restore(cfg)?),
+            "pagerank" => WorkloadKind::PageRank(PrConfig::restore(cfg)?),
+            "sweep" => WorkloadKind::Sweep(SweepConfig::restore(cfg)?),
+            "micro" => WorkloadKind::Micro(MicroConfig::restore(cfg)?),
+            "bufferpool" => WorkloadKind::BufferPool(BufferPoolConfig::restore(cfg)?),
+            "replay" => WorkloadKind::Replay(Arc::new(Trace::from_value(cfg)?)),
+            other => return Err(format!("unknown workload kind \"{other}\"")),
+        })
+    }
+}
+
+impl vulcan_json::Snapshot for WorkloadSpec {
+    fn snapshot(&self) -> vulcan_json::Value {
+        use vulcan_json::{snap, Value};
+        let class = match self.class {
+            WorkloadClass::LatencyCritical => "lc",
+            WorkloadClass::BestEffort => "be",
+        };
+        let prealloc = match self.prealloc {
+            Some(t) => Value::Str(t.name().to_string()),
+            None => Value::Null,
+        };
+        let stop = match self.stop {
+            Some(t) => snap::u64_value(t.0),
+            None => Value::Null,
+        };
+        snap::obj(vec![
+            ("name", Value::Str(self.name.clone())),
+            ("class", Value::Str(class.to_string())),
+            ("n_threads", snap::u64_value(self.n_threads as u64)),
+            ("start", snap::u64_value(self.start.0)),
+            ("kind", self.kind.snapshot()),
+            ("prealloc", prealloc),
+            ("thp", Value::Bool(self.thp)),
+            ("stop", stop),
+        ])
+    }
+
+    fn restore(v: &vulcan_json::Value) -> Result<Self, String> {
+        use vulcan_json::{snap, Value};
+        let class = match snap::field_str(v, "class")? {
+            "lc" => WorkloadClass::LatencyCritical,
+            "be" => WorkloadClass::BestEffort,
+            other => return Err(format!("unknown workload class \"{other}\"")),
+        };
+        let prealloc = match snap::field(v, "prealloc")? {
+            Value::Null => None,
+            Value::Str(s) => Some(
+                TierKind::ALL
+                    .iter()
+                    .copied()
+                    .find(|t| t.name() == s.as_str())
+                    .ok_or_else(|| format!("unknown prealloc tier \"{s}\""))?,
+            ),
+            _ => return Err("prealloc is neither null nor a tier name".to_string()),
+        };
+        let stop = match snap::field(v, "stop")? {
+            Value::Null => None,
+            other => Some(Nanos(snap::value_u64(other)?)),
+        };
+        Ok(WorkloadSpec {
+            name: snap::field_str(v, "name")?.to_string(),
+            class,
+            n_threads: snap::field_usize(v, "n_threads")?,
+            start: Nanos(snap::field_u64(v, "start")?),
+            kind: WorkloadKind::restore(snap::field(v, "kind")?)?,
+            prealloc,
+            thp: snap::field_bool(v, "thp")?,
+            stop,
+        })
+    }
+}
+
 /// Table 2: Memcached, 51 GB, YCSB-style KV — latency-critical.
 pub fn memcached() -> WorkloadSpec {
     WorkloadSpec {
@@ -252,6 +343,101 @@ mod tests {
         let w = microbench("mb", MicroConfig::default(), 4);
         assert_eq!(w.n_threads, 4);
         assert_eq!(w.rss_pages(), 8_192);
+    }
+
+    #[test]
+    fn spec_snapshot_roundtrips_every_kind() {
+        use vulcan_json::Snapshot;
+        let trace = {
+            let mut g = Microbench::new(MicroConfig {
+                rss_pages: 256,
+                wss_pages: 64,
+                ..Default::default()
+            });
+            Arc::new(Trace::record(&mut g, 2, 10, 7))
+        };
+        let specs = vec![
+            memcached().starting_at(Nanos::secs(3)),
+            pagerank().preallocated(TierKind::Slow),
+            liblinear().stopping_at(Nanos::secs(99)),
+            microbench("mb", MicroConfig::default(), 4).with_thp(),
+            bufferpool("bp", BufferPoolConfig::default(), 4),
+            replay("rp", trace, WorkloadClass::LatencyCritical),
+        ];
+        for spec in specs {
+            let snap = spec.snapshot();
+            let back = WorkloadSpec::restore(&snap).expect("restore");
+            assert_eq!(back.snapshot(), snap, "snapshot(restore(c)) == c");
+            assert_eq!(back.name, spec.name);
+            assert_eq!(back.class, spec.class);
+            assert_eq!(back.n_threads, spec.n_threads);
+            assert_eq!(back.start, spec.start);
+            assert_eq!(back.prealloc, spec.prealloc);
+            assert_eq!(back.thp, spec.thp);
+            assert_eq!(back.stop, spec.stop);
+            assert_eq!(back.rss_pages(), spec.rss_pages());
+        }
+    }
+
+    /// Every stateful generator must resume exactly where it left off: a
+    /// fresh generator built from the restored spec plus
+    /// `restore_state` produces the same access stream as the original
+    /// continuing uninterrupted.
+    #[test]
+    fn generator_state_roundtrip_continues_the_access_stream() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        use vulcan_json::Snapshot;
+        let trace = {
+            let mut g = Microbench::new(MicroConfig {
+                rss_pages: 256,
+                wss_pages: 64,
+                ..Default::default()
+            });
+            Arc::new(Trace::record(&mut g, 2, 10, 7))
+        };
+        let specs = vec![
+            memcached(),
+            pagerank(),
+            liblinear(),
+            microbench("mb", MicroConfig::default(), 4),
+            bufferpool("bp", BufferPoolConfig::default(), 4),
+            replay("rp", trace, WorkloadClass::BestEffort),
+        ];
+        for spec in specs {
+            let mut rng = SmallRng::seed_from_u64(11);
+            let mut gen = spec.build();
+            let mut buf = Vec::new();
+            // Warm up mid-phase and mid-cursor on several threads.
+            for i in 0..700 {
+                buf.clear();
+                gen.next_op(i % spec.n_threads, &mut rng, &mut buf);
+            }
+            let state = gen.snapshot_state();
+            let spec2 = WorkloadSpec::restore(&spec.snapshot()).expect("spec restore");
+            let mut fresh = spec2.build();
+            fresh
+                .restore_state(&state)
+                .unwrap_or_else(|e| panic!("{}: restore_state: {e}", spec.name));
+            assert_eq!(
+                fresh.snapshot_state(),
+                state,
+                "{}: snapshot_state(restore_state(s)) == s",
+                spec.name
+            );
+            // Both must now produce identical streams from the same RNG.
+            let rng_state = rng.state();
+            let mut rng2 = SmallRng::from_state(rng_state);
+            let mut buf2 = Vec::new();
+            for i in 0..300 {
+                let tid = i % spec.n_threads;
+                buf.clear();
+                buf2.clear();
+                gen.next_op(tid, &mut rng, &mut buf);
+                fresh.next_op(tid, &mut rng2, &mut buf2);
+                assert_eq!(buf, buf2, "{}: op {i} diverged after restore", spec.name);
+            }
+        }
     }
 
     #[test]

@@ -65,10 +65,10 @@ impl Trace {
         }
     }
 
-    /// Serialize as JSON:
+    /// Serialize as a JSON value:
     /// `{"rss_pages": N, "fixed_op_nanos": N, "n_threads": N,
     ///   "ops": [{"tid": N, "accesses": [[offset, write], ...]}, ...]}`.
-    pub fn to_json(&self) -> String {
+    pub fn to_value(&self) -> Value {
         let ops: Vec<Value> = self
             .ops
             .iter()
@@ -87,12 +87,21 @@ impl Trace {
                 .with("n_threads", self.n_threads)
                 .with("ops", ops),
         )
-        .to_json()
     }
 
-    /// Parse from JSON.
+    /// Serialize as JSON text (see [`to_value`](Self::to_value)).
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Parse from JSON text.
     pub fn from_json(text: &str) -> Result<Trace, String> {
         let v = vulcan_json::parse(text).map_err(|e| format!("trace parse error: {e}"))?;
+        Self::from_value(&v)
+    }
+
+    /// Parse from a JSON value (see [`to_value`](Self::to_value)).
+    pub fn from_value(v: &Value) -> Result<Trace, String> {
         let field = |name: &str| {
             v.get(name)
                 .and_then(Value::as_u64)
@@ -241,6 +250,24 @@ impl AccessGen for TraceReplayer {
     fn rollback_ops(&mut self, tid: usize, n: usize) {
         // Replay consumes no RNG; the cursor is the only state.
         self.cursors[tid] -= n;
+    }
+
+    fn snapshot_state(&self) -> vulcan_json::Value {
+        let cursors: Vec<u64> = self.cursors.iter().map(|&c| c as u64).collect();
+        vulcan_json::snap::obj(vec![("cursors", vulcan_json::snap::u64_array(&cursors))])
+    }
+
+    fn restore_state(&mut self, v: &vulcan_json::Value) -> Result<(), String> {
+        use vulcan_json::snap;
+        let cursors = snap::array_u64(snap::field(v, "cursors")?)?;
+        if cursors.len() != self.trace.n_threads {
+            return Err("trace replayer cursors do not match thread count".to_string());
+        }
+        self.cursors = cursors
+            .into_iter()
+            .map(|c| usize::try_from(c).map_err(|_| format!("cursor {c} out of range")))
+            .collect::<Result<_, String>>()?;
+        Ok(())
     }
 }
 
